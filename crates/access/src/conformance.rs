@@ -1,0 +1,220 @@
+//! Conformance of a database to an access schema.
+//!
+//! A database `D` conforms to an access schema `A` when every constraint's
+//! cardinality bound holds in `D` (paper, Section 4).  The retrieval-time
+//! component `T` is a promise about the physical design (indexes), which
+//! [`crate::indexed::AccessIndexedDatabase`] discharges by building the
+//! required indexes; it is not checkable against the data itself.
+
+use crate::schema::AccessSchema;
+use si_data::{Database, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A single conformance violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The relation on which the violation occurred.
+    pub relation: String,
+    /// Human-readable description of the violated constraint.
+    pub constraint: String,
+    /// The key value combination whose group exceeds the bound.
+    pub witness_key: Vec<Value>,
+    /// The number of tuples (or projected tuples) observed for that key.
+    pub observed: usize,
+    /// The bound `N` promised by the constraint.
+    pub bound: usize,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "relation `{}` violates {}: key {:?} has {} tuples (bound {})",
+            self.relation, self.constraint, self.witness_key, self.observed, self.bound
+        )
+    }
+}
+
+/// Checks every constraint of `access` against `db`, returning all
+/// violations (empty means `db` conforms to `access`).
+pub fn violations(db: &Database, access: &AccessSchema) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    for c in access.constraints() {
+        let Ok(relation) = db.relation(&c.relation) else {
+            continue;
+        };
+        let Ok(positions) = relation.schema().positions_of(&c.on) else {
+            continue;
+        };
+        let mut groups: BTreeMap<Vec<Value>, usize> = BTreeMap::new();
+        for t in relation.iter() {
+            let key: Vec<Value> = positions.iter().map(|&p| t[p].clone()).collect();
+            *groups.entry(key).or_insert(0) += 1;
+        }
+        for (key, count) in groups {
+            if count > c.bound {
+                out.push(Violation {
+                    relation: c.relation.clone(),
+                    constraint: c.to_string(),
+                    witness_key: key,
+                    observed: count,
+                    bound: c.bound,
+                });
+            }
+        }
+    }
+
+    for e in access.embedded() {
+        let Ok(relation) = db.relation(&e.relation) else {
+            continue;
+        };
+        let Ok(from_positions) = relation.schema().positions_of(&e.from) else {
+            continue;
+        };
+        let Ok(onto_positions) = relation.schema().positions_of(&e.onto) else {
+            continue;
+        };
+        let mut groups: BTreeMap<Vec<Value>, BTreeSet<Vec<Value>>> = BTreeMap::new();
+        for t in relation.iter() {
+            let key: Vec<Value> = from_positions.iter().map(|&p| t[p].clone()).collect();
+            let proj: Vec<Value> = onto_positions.iter().map(|&p| t[p].clone()).collect();
+            groups.entry(key).or_default().insert(proj);
+        }
+        for (key, projections) in groups {
+            if projections.len() > e.bound {
+                out.push(Violation {
+                    relation: e.relation.clone(),
+                    constraint: e.to_string(),
+                    witness_key: key,
+                    observed: projections.len(),
+                    bound: e.bound,
+                });
+            }
+        }
+    }
+
+    out
+}
+
+/// True iff `db` conforms to `access`.
+pub fn conforms(db: &Database, access: &AccessSchema) -> bool {
+    violations(db, access).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::AccessConstraint;
+    use crate::embedded::EmbeddedConstraint;
+    use crate::schema::facebook_access_schema;
+    use si_data::schema::{social_schema, social_schema_dated};
+    use si_data::tuple;
+
+    fn db() -> Database {
+        let mut db = Database::empty(social_schema());
+        db.insert_all(
+            "person",
+            vec![tuple![1, "ann", "NYC"], tuple![2, "bob", "NYC"]],
+        )
+        .unwrap();
+        db.insert_all("friend", vec![tuple![1, 2], tuple![2, 1]])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn conforming_database_has_no_violations() {
+        let a = facebook_access_schema(5000);
+        assert!(conforms(&db(), &a));
+        assert!(violations(&db(), &a).is_empty());
+    }
+
+    #[test]
+    fn fanout_violation_is_detected() {
+        let mut d = db();
+        // Give person 1 three friends while the cap is 2.
+        d.insert("friend", tuple![1, 3]).unwrap();
+        d.insert("friend", tuple![1, 4]).unwrap();
+        let a = AccessSchema::new().with(AccessConstraint::new("friend", &["id1"], 2, 1));
+        let vs = violations(&d, &a);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].relation, "friend");
+        assert_eq!(vs[0].observed, 3);
+        assert_eq!(vs[0].bound, 2);
+        assert_eq!(vs[0].witness_key, vec![Value::int(1)]);
+        assert!(!conforms(&d, &a));
+        assert!(vs[0].to_string().contains("friend"));
+    }
+
+    #[test]
+    fn key_violation_is_detected() {
+        let mut d = db();
+        d.insert("person", tuple![1, "ann2", "LA"]).unwrap();
+        let a = AccessSchema::new().with(AccessConstraint::key("person", &["id"], 1));
+        assert!(!conforms(&d, &a));
+    }
+
+    #[test]
+    fn empty_x_bounds_relation_size() {
+        let d = db();
+        let tight = AccessSchema::new().with(AccessConstraint::new("friend", &[], 1, 1));
+        assert!(!conforms(&d, &tight));
+        let loose = AccessSchema::new().with(AccessConstraint::new("friend", &[], 10, 1));
+        assert!(conforms(&d, &loose));
+    }
+
+    #[test]
+    fn embedded_constraint_counts_projections() {
+        let mut d = Database::empty(social_schema_dated());
+        // Two visits by the same person on the same date to the same
+        // restaurant differ only in the full tuple, not in the projection.
+        d.insert_all(
+            "visit",
+            vec![
+                tuple![1, 10, 2013, 5, 1],
+                tuple![1, 11, 2013, 5, 1],
+                tuple![1, 12, 2013, 6, 2],
+            ],
+        )
+        .unwrap();
+        // At most 2 distinct (mm, dd) pairs per year here; bound 2 passes,
+        // bound 1 fails.
+        let pass = AccessSchema::new().with_embedded(EmbeddedConstraint::new(
+            "visit",
+            &["yy"],
+            &["mm", "dd"],
+            2,
+            1,
+        ));
+        assert!(conforms(&d, &pass));
+        let fail = AccessSchema::new().with_embedded(EmbeddedConstraint::new(
+            "visit",
+            &["yy"],
+            &["mm", "dd"],
+            1,
+            1,
+        ));
+        let vs = violations(&d, &fail);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].observed, 2);
+
+        // The FD id,yy,mm,dd → rid is violated by the first two tuples.
+        let fd = AccessSchema::new().with_embedded(EmbeddedConstraint::functional_dependency(
+            "visit",
+            &["id", "yy", "mm", "dd"],
+            &["rid"],
+            1,
+        ));
+        assert!(!conforms(&d, &fd));
+    }
+
+    #[test]
+    fn unknown_relations_are_skipped_not_fatal() {
+        let a = AccessSchema::new().with(AccessConstraint::new("enemy", &["x"], 1, 1));
+        // The constraint refers to a relation the database does not have;
+        // conformance checking skips it (validation catches it separately).
+        assert!(conforms(&db(), &a));
+    }
+}

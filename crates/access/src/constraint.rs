@@ -1,0 +1,122 @@
+//! Plain access constraints `(R, X, N, T)`.
+//!
+//! An access constraint (paper, Section 4) promises that for every tuple of
+//! values `a̅` over the attributes `X` of relation `R`:
+//!
+//! * `σ_{X=a̅}(R)` contains at most `N` tuples, and
+//! * those tuples can be retrieved in time at most `T` (via an index on `X`).
+//!
+//! The special case `X = ∅` states that the whole relation has at most `N`
+//! tuples.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A single access constraint `(R, X, N, T)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessConstraint {
+    /// The relation `R` the constraint applies to.
+    pub relation: String,
+    /// The attribute set `X` that must be provided to use the index.
+    pub on: Vec<String>,
+    /// Cardinality bound `N` on `σ_{X=a̅}(R)`.
+    pub bound: usize,
+    /// Retrieval-time bound `T`, in abstract time units.
+    pub time: u64,
+}
+
+impl AccessConstraint {
+    /// Creates a constraint `(relation, on, bound, time)`.
+    pub fn new(
+        relation: impl Into<String>,
+        on: &[&str],
+        bound: usize,
+        time: u64,
+    ) -> Self {
+        AccessConstraint {
+            relation: relation.into(),
+            on: on.iter().map(|a| (*a).to_owned()).collect(),
+            bound,
+            time,
+        }
+    }
+
+    /// A key constraint: providing `on` identifies at most one tuple.
+    pub fn key(relation: impl Into<String>, on: &[&str], time: u64) -> Self {
+        AccessConstraint::new(relation, on, 1, time)
+    }
+
+    /// The attribute set `X` as a sorted set (for subset tests).
+    pub fn on_set(&self) -> BTreeSet<&str> {
+        self.on.iter().map(String::as_str).collect()
+    }
+
+    /// True iff the constraint can serve a probe that binds (at least) the
+    /// attributes in `bound_attrs`: the index needs exactly `X`, so `X` must
+    /// be contained in the bound attributes.
+    pub fn usable_with(&self, bound_attrs: &BTreeSet<&str>) -> bool {
+        self.on_set().iter().all(|a| bound_attrs.contains(a))
+    }
+
+    /// True iff this constraint's attribute set is exactly `attrs`.
+    pub fn is_on(&self, attrs: &[String]) -> bool {
+        let mine = self.on_set();
+        let theirs: BTreeSet<&str> = attrs.iter().map(String::as_str).collect();
+        mine == theirs
+    }
+}
+
+impl fmt::Display for AccessConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}, {{{}}}, {}, {})",
+            self.relation,
+            self.on.join(", "),
+            self.bound,
+            self.time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let c = AccessConstraint::new("friend", &["id1"], 5000, 2);
+        assert_eq!(c.relation, "friend");
+        assert_eq!(c.on, vec!["id1"]);
+        assert_eq!(c.bound, 5000);
+        assert_eq!(c.time, 2);
+        let k = AccessConstraint::key("person", &["id"], 1);
+        assert_eq!(k.bound, 1);
+    }
+
+    #[test]
+    fn usable_with_requires_containment() {
+        let c = AccessConstraint::new("visit", &["id", "rid"], 10, 1);
+        let bound: BTreeSet<&str> = ["id", "rid", "yy"].into_iter().collect();
+        assert!(c.usable_with(&bound));
+        let bound: BTreeSet<&str> = ["id"].into_iter().collect();
+        assert!(!c.usable_with(&bound));
+        // The empty-X constraint is usable with anything.
+        let c = AccessConstraint::new("restr", &[], 100, 1);
+        assert!(c.usable_with(&BTreeSet::new()));
+    }
+
+    #[test]
+    fn is_on_compares_sets_not_orders() {
+        let c = AccessConstraint::new("visit", &["rid", "id"], 10, 1);
+        assert!(c.is_on(&["id".into(), "rid".into()]));
+        assert!(!c.is_on(&["id".into()]));
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let c = AccessConstraint::new("friend", &["id1"], 5000, 2);
+        assert_eq!(c.to_string(), "(friend, {id1}, 5000, 2)");
+    }
+}

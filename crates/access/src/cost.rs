@@ -1,0 +1,140 @@
+//! Static cost bounds derived from an access schema.
+//!
+//! Theorem 4.2 of the paper guarantees that a controlled query can be
+//! answered in time that depends only on the access schema and the query.
+//! [`StaticCost`] is the quantity that makes this concrete for a chain of
+//! indexed fetches: the product/sum structure of per-step cardinality bounds
+//! `N` and time bounds `T`, *independent of `|D|`*.  Bounded plans in
+//! `si-core` compute their worst-case budget with this type and experiments
+//! compare it against the measured [`si_data::MeterSnapshot`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A static (data-independent) bound on the work performed by a bounded plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StaticCost {
+    /// Worst-case number of base tuples fetched.
+    pub max_tuples: u64,
+    /// Worst-case number of index probes issued.
+    pub max_probes: u64,
+    /// Worst-case abstract time units (sum of the `T` bounds, weighted by how
+    /// often each access can run).
+    pub max_time: u64,
+}
+
+impl StaticCost {
+    /// The zero cost.
+    pub fn zero() -> Self {
+        StaticCost::default()
+    }
+
+    /// Cost of a single fetch through a constraint with bounds `(N, T)`.
+    pub fn single_fetch(bound: usize, time: u64) -> Self {
+        StaticCost {
+            max_tuples: bound as u64,
+            max_probes: 1,
+            max_time: time,
+        }
+    }
+
+    /// Sequential composition: both costs are always paid.
+    pub fn then(self, other: StaticCost) -> Self {
+        StaticCost {
+            max_tuples: self.max_tuples.saturating_add(other.max_tuples),
+            max_probes: self.max_probes.saturating_add(other.max_probes),
+            max_time: self.max_time.saturating_add(other.max_time),
+        }
+    }
+
+    /// Nested composition: `other` is paid once per tuple that `self` can
+    /// produce (`multiplicity`), e.g. probing `person` once per fetched
+    /// `friend` tuple.
+    pub fn per_result(self, multiplicity: u64, other: StaticCost) -> Self {
+        StaticCost {
+            max_tuples: self
+                .max_tuples
+                .saturating_add(multiplicity.saturating_mul(other.max_tuples)),
+            max_probes: self
+                .max_probes
+                .saturating_add(multiplicity.saturating_mul(other.max_probes)),
+            max_time: self
+                .max_time
+                .saturating_add(multiplicity.saturating_mul(other.max_time)),
+        }
+    }
+
+    /// Branch composition (e.g. a union): both sides are paid.
+    pub fn either(self, other: StaticCost) -> Self {
+        self.then(other)
+    }
+
+    /// True iff the tuple budget fits within `m`.
+    pub fn within_tuple_budget(&self, m: u64) -> bool {
+        self.max_tuples <= m
+    }
+}
+
+impl fmt::Display for StaticCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "≤{} tuples, ≤{} probes, ≤{} time units",
+            self.max_tuples, self.max_probes, self.max_time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_fetch_and_then() {
+        let friend = StaticCost::single_fetch(5000, 2);
+        let person = StaticCost::single_fetch(1, 1);
+        let seq = friend.then(person);
+        assert_eq!(seq.max_tuples, 5001);
+        assert_eq!(seq.max_probes, 2);
+        assert_eq!(seq.max_time, 3);
+    }
+
+    #[test]
+    fn per_result_multiplies_the_inner_cost() {
+        // Q1's plan: fetch ≤5000 friends, then 1 person probe per friend.
+        let friend = StaticCost::single_fetch(5000, 2);
+        let person = StaticCost::single_fetch(1, 1);
+        let plan = friend.per_result(5000, person);
+        assert_eq!(plan.max_tuples, 5000 + 5000);
+        assert_eq!(plan.max_probes, 1 + 5000);
+        assert_eq!(plan.max_time, 2 + 5000);
+        assert!(plan.within_tuple_budget(10_000));
+        assert!(!plan.within_tuple_budget(9_999));
+    }
+
+    #[test]
+    fn zero_is_the_identity_for_then() {
+        let c = StaticCost::single_fetch(7, 3);
+        assert_eq!(StaticCost::zero().then(c), c);
+        assert_eq!(c.then(StaticCost::zero()), c);
+        assert_eq!(c.either(StaticCost::zero()), c);
+    }
+
+    #[test]
+    fn saturation_prevents_overflow() {
+        let huge = StaticCost {
+            max_tuples: u64::MAX,
+            max_probes: u64::MAX,
+            max_time: u64::MAX,
+        };
+        let combined = huge.per_result(u64::MAX, huge);
+        assert_eq!(combined.max_tuples, u64::MAX);
+    }
+
+    #[test]
+    fn display_mentions_all_components() {
+        let s = StaticCost::single_fetch(5, 1).to_string();
+        assert!(s.contains("≤5 tuples"));
+        assert!(s.contains("≤1 probes"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Embedded access constraints `(R, X[Y], N, T)`.
+//!
+//! Embedded constraints (paper, Section 4, "Embedded controllability and
+//! query answering under constraints") state that for a given tuple `a̅` of
+//! values over `X`, the projection `π_Y(σ_{X=a̅}(R))` has at most `N` tuples
+//! and can be retrieved in time `T`, where `X ⊆ Y`.
+//!
+//! Two special cases matter in practice:
+//!
+//! * `Y = attr(R)` recovers a plain [`AccessConstraint`];
+//! * a functional dependency `X → Y` with retrieval time `T` is the embedded
+//!   constraint `(R, X[X ∪ Y], 1, T)` ([`EmbeddedConstraint::functional_dependency`]).
+
+use crate::constraint::AccessConstraint;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An embedded access constraint `(R, X[Y], N, T)` with `X ⊆ Y`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmbeddedConstraint {
+    /// The relation `R`.
+    pub relation: String,
+    /// The input attributes `X`.
+    pub from: Vec<String>,
+    /// The output attributes `Y` (must contain `X`).
+    pub onto: Vec<String>,
+    /// Cardinality bound `N` on `π_Y(σ_{X=a̅}(R))`.
+    pub bound: usize,
+    /// Retrieval-time bound `T`.
+    pub time: u64,
+}
+
+impl EmbeddedConstraint {
+    /// Creates an embedded constraint; `onto` is extended with `from` if the
+    /// caller did not already include it (the paper requires `X ⊆ Y`).
+    pub fn new(
+        relation: impl Into<String>,
+        from: &[&str],
+        onto: &[&str],
+        bound: usize,
+        time: u64,
+    ) -> Self {
+        let from: Vec<String> = from.iter().map(|a| (*a).to_owned()).collect();
+        let mut onto: Vec<String> = onto.iter().map(|a| (*a).to_owned()).collect();
+        for a in &from {
+            if !onto.contains(a) {
+                onto.push(a.clone());
+            }
+        }
+        EmbeddedConstraint {
+            relation: relation.into(),
+            from,
+            onto,
+            bound,
+            time,
+        }
+    }
+
+    /// Builds the embedded constraint encoding the functional dependency
+    /// `X → Y` on `R`: `(R, X[X ∪ Y], 1, T)`.
+    pub fn functional_dependency(
+        relation: impl Into<String>,
+        determinant: &[&str],
+        dependent: &[&str],
+        time: u64,
+    ) -> Self {
+        EmbeddedConstraint::new(relation, determinant, dependent, 1, time)
+    }
+
+    /// Lifts a plain constraint `(R, X, N, T)` into the embedded form
+    /// `(R, X[attr(R)], N, T)`; `all_attributes` must be `attr(R)`.
+    pub fn from_plain(constraint: &AccessConstraint, all_attributes: &[String]) -> Self {
+        EmbeddedConstraint {
+            relation: constraint.relation.clone(),
+            from: constraint.on.clone(),
+            onto: all_attributes.to_vec(),
+            bound: constraint.bound,
+            time: constraint.time,
+        }
+    }
+
+    /// The input attribute set `X`.
+    pub fn from_set(&self) -> BTreeSet<&str> {
+        self.from.iter().map(String::as_str).collect()
+    }
+
+    /// The output attribute set `Y`.
+    pub fn onto_set(&self) -> BTreeSet<&str> {
+        self.onto.iter().map(String::as_str).collect()
+    }
+
+    /// True iff providing `bound_attrs` suffices to use the constraint.
+    pub fn usable_with(&self, bound_attrs: &BTreeSet<&str>) -> bool {
+        self.from_set().iter().all(|a| bound_attrs.contains(a))
+    }
+
+    /// True iff the constraint behaves like a functional dependency
+    /// (`N = 1`).
+    pub fn is_functional(&self) -> bool {
+        self.bound == 1
+    }
+}
+
+impl fmt::Display for EmbeddedConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}, {{{}}}[{{{}}}], {}, {})",
+            self.relation,
+            self.from.join(", "),
+            self.onto.join(", "),
+            self.bound,
+            self.time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_ensures_x_subset_of_y() {
+        let e = EmbeddedConstraint::new("visit", &["yy"], &["mm", "dd"], 366, 3);
+        assert!(e.onto_set().contains("yy"));
+        assert_eq!(e.bound, 366);
+        assert!(e.from_set().is_subset(&e.onto_set()));
+    }
+
+    #[test]
+    fn functional_dependency_has_bound_one() {
+        let fd = EmbeddedConstraint::functional_dependency(
+            "visit",
+            &["id", "yy", "mm", "dd"],
+            &["rid"],
+            1,
+        );
+        assert!(fd.is_functional());
+        assert!(fd.onto_set().contains("rid"));
+        assert!(fd.onto_set().contains("id"));
+    }
+
+    #[test]
+    fn from_plain_uses_all_attributes() {
+        let plain = AccessConstraint::new("person", &["id"], 1, 1);
+        let attrs = vec!["id".to_string(), "name".to_string(), "city".to_string()];
+        let e = EmbeddedConstraint::from_plain(&plain, &attrs);
+        assert_eq!(e.onto, attrs);
+        assert_eq!(e.from, vec!["id"]);
+        assert!(e.is_functional());
+    }
+
+    #[test]
+    fn usable_with_checks_input_attributes() {
+        let e = EmbeddedConstraint::new("visit", &["yy"], &["mm", "dd"], 366, 3);
+        let have: BTreeSet<&str> = ["yy", "id"].into_iter().collect();
+        assert!(e.usable_with(&have));
+        let have: BTreeSet<&str> = ["mm"].into_iter().collect();
+        assert!(!e.usable_with(&have));
+    }
+
+    #[test]
+    fn display_uses_bracket_notation() {
+        let e = EmbeddedConstraint::new("visit", &["yy"], &["mm"], 366, 3);
+        assert_eq!(e.to_string(), "(visit, {yy}[{mm, yy}], 366, 3)");
+    }
+}

@@ -1,0 +1,529 @@
+//! Access-schema-aware retrieval.
+//!
+//! [`AccessIndexedDatabase`] wraps a [`Database`] together with an
+//! [`AccessSchema`] and builds the indexes promised by the schema.  Its
+//! `fetch*` methods are the *only* retrieval primitives the bounded
+//! (scale-independent) executors in `si-core` are allowed to use: each fetch
+//! must be covered by an access constraint, is charged to the built-in
+//! [`AccessMeter`], and bills the constraint's time bound `T` to the cost
+//! model.  Full scans are permitted only for relations the schema declares
+//! fully accessible (the `A(R)` augmentation of Proposition 5.5).
+
+use crate::conformance::{violations, Violation};
+use crate::constraint::AccessConstraint;
+use crate::schema::AccessSchema;
+use si_data::{AccessMeter, Database, DataError, MeterSnapshot, Tuple, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors raised by access-schema-mediated retrieval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessError {
+    /// Underlying storage error.
+    Data(DataError),
+    /// No access constraint authorises the requested fetch.
+    NoConstraint {
+        /// Relation that was probed.
+        relation: String,
+        /// Attributes the caller could bind.
+        bound_attributes: Vec<String>,
+    },
+    /// A full scan was requested on a relation without full access.
+    FullScanNotAllowed(String),
+    /// The database does not conform to the access schema.
+    NotConforming(Vec<Violation>),
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessError::Data(e) => write!(f, "{e}"),
+            AccessError::NoConstraint {
+                relation,
+                bound_attributes,
+            } => write!(
+                f,
+                "no access constraint on `{relation}` is usable with bound attributes {bound_attributes:?}"
+            ),
+            AccessError::FullScanNotAllowed(r) => {
+                write!(f, "relation `{r}` is not declared fully accessible")
+            }
+            AccessError::NotConforming(vs) => {
+                write!(f, "database does not conform to the access schema ({} violations)", vs.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AccessError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for AccessError {
+    fn from(e: DataError) -> Self {
+        AccessError::Data(e)
+    }
+}
+
+/// A database wrapped with an access schema, its indexes and an access meter.
+#[derive(Debug)]
+pub struct AccessIndexedDatabase {
+    db: Database,
+    access: AccessSchema,
+    meter: AccessMeter,
+}
+
+impl AccessIndexedDatabase {
+    /// Builds the indexes required by `access` over `db`.
+    ///
+    /// This does *not* require `db` to conform to `access`; use
+    /// [`AccessIndexedDatabase::checked`] for the conforming variant.
+    pub fn new(mut db: Database, access: AccessSchema) -> Result<Self, AccessError> {
+        access.validate(db.schema()).map_err(AccessError::Data)?;
+        for (relation, attrs) in access.required_indexes() {
+            if !attrs.is_empty() {
+                db.ensure_index(&relation, &attrs)?;
+            }
+        }
+        Ok(AccessIndexedDatabase {
+            db,
+            access,
+            meter: AccessMeter::new(),
+        })
+    }
+
+    /// Like [`AccessIndexedDatabase::new`] but additionally verifies that the
+    /// database conforms to the access schema.
+    pub fn checked(db: Database, access: AccessSchema) -> Result<Self, AccessError> {
+        let vs = violations(&db, &access);
+        if !vs.is_empty() {
+            return Err(AccessError::NotConforming(vs));
+        }
+        AccessIndexedDatabase::new(db, access)
+    }
+
+    /// The underlying database (read only).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the underlying database.  Intended for applying
+    /// updates; indexes are maintained by the relation layer.
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The access schema.
+    pub fn access_schema(&self) -> &AccessSchema {
+        &self.access
+    }
+
+    /// The access meter charged by every fetch.
+    pub fn meter(&self) -> &AccessMeter {
+        &self.meter
+    }
+
+    /// Snapshot of the meter (convenience).
+    pub fn meter_snapshot(&self) -> MeterSnapshot {
+        self.meter.snapshot()
+    }
+
+    /// Resets the access meter.
+    pub fn reset_meter(&self) {
+        self.meter.reset()
+    }
+
+    /// Fetches `σ_{attrs = key}(relation)` through an access constraint.
+    ///
+    /// The fetch is authorised by the tightest constraint whose input
+    /// attribute set `X` is contained in `attrs`; the index is probed on `X`
+    /// and the remaining `attrs ∖ X` equalities are applied as a post-filter
+    /// (all fetched tuples are charged to the meter, matching the paper's
+    /// accounting where `σ_{X=a̅}(R)` is what the index returns).
+    pub fn fetch(
+        &self,
+        relation: &str,
+        attrs: &[String],
+        key: &[Value],
+    ) -> Result<Vec<Tuple>, AccessError> {
+        let bound: BTreeSet<&str> = attrs.iter().map(String::as_str).collect();
+        let constraint = self
+            .access
+            .best_constraint(relation, &bound)
+            .ok_or_else(|| AccessError::NoConstraint {
+                relation: relation.to_owned(),
+                bound_attributes: attrs.to_vec(),
+            })?;
+        self.fetch_via(constraint, relation, attrs, key)
+    }
+
+    /// Fetches through a specific constraint (used by planners that have
+    /// already chosen their constraint).
+    pub fn fetch_via(
+        &self,
+        constraint: &AccessConstraint,
+        relation: &str,
+        attrs: &[String],
+        key: &[Value],
+    ) -> Result<Vec<Tuple>, AccessError> {
+        debug_assert_eq!(constraint.relation, relation);
+        let rel = self.db.relation(relation)?;
+        // Split the probe into the indexed part (the constraint's X) and the
+        // residual filter.
+        let mut index_attrs: Vec<String> = Vec::new();
+        let mut index_key: Vec<Value> = Vec::new();
+        let mut filter: Vec<(usize, Value)> = Vec::new();
+        for (a, v) in attrs.iter().zip(key.iter()) {
+            if constraint.on.contains(a) {
+                index_attrs.push(a.clone());
+                index_key.push(v.clone());
+            } else {
+                filter.push((rel.schema().position_of(a)?, v.clone()));
+            }
+        }
+
+        self.meter.add_probe();
+        self.meter.add_time(constraint.time);
+
+        let (fetched, _used_index) = if index_attrs.is_empty() {
+            // X = ∅: the constraint bounds the whole relation; fetching it is
+            // a (bounded) scan.
+            (rel.iter().cloned().collect::<Vec<_>>(), false)
+        } else {
+            rel.select_eq(&index_attrs, &index_key)?
+        };
+        self.meter.add_tuples(fetched.len() as u64);
+
+        Ok(fetched
+            .into_iter()
+            .filter(|t| filter.iter().all(|(p, v)| t.get(*p) == Some(v)))
+            .collect())
+    }
+
+    /// Fetches the projection `π_onto(σ_{attrs = key}(relation))` through an
+    /// embedded constraint.  The distinct projected tuples are what is
+    /// charged to the meter, matching the embedded constraint's bound.
+    pub fn fetch_embedded(
+        &self,
+        relation: &str,
+        attrs: &[String],
+        key: &[Value],
+        onto: &[String],
+    ) -> Result<Vec<Tuple>, AccessError> {
+        let bound: BTreeSet<&str> = attrs.iter().map(String::as_str).collect();
+        let onto_set: BTreeSet<&str> = onto.iter().map(String::as_str).collect();
+        let constraint = self
+            .access
+            .embedded()
+            .iter()
+            .filter(|e| {
+                e.relation == relation
+                    && e.usable_with(&bound)
+                    && onto_set.is_subset(&e.onto_set())
+            })
+            .min_by_key(|e| e.bound)
+            .ok_or_else(|| AccessError::NoConstraint {
+                relation: relation.to_owned(),
+                bound_attributes: attrs.to_vec(),
+            })?;
+
+        let rel = self.db.relation(relation)?;
+        let positions = rel.schema().positions_of(onto)?;
+        let mut index_attrs: Vec<String> = Vec::new();
+        let mut index_key: Vec<Value> = Vec::new();
+        let mut filter: Vec<(usize, Value)> = Vec::new();
+        for (a, v) in attrs.iter().zip(key.iter()) {
+            if constraint.from.contains(a) {
+                index_attrs.push(a.clone());
+                index_key.push(v.clone());
+            } else {
+                filter.push((rel.schema().position_of(a)?, v.clone()));
+            }
+        }
+
+        self.meter.add_probe();
+        self.meter.add_time(constraint.time);
+
+        let (fetched, _) = if index_attrs.is_empty() {
+            (rel.iter().cloned().collect::<Vec<_>>(), false)
+        } else {
+            rel.select_eq(&index_attrs, &index_key)?
+        };
+        let mut seen: BTreeSet<Tuple> = BTreeSet::new();
+        let mut out = Vec::new();
+        for t in fetched
+            .into_iter()
+            .filter(|t| filter.iter().all(|(p, v)| t.get(*p) == Some(v)))
+        {
+            let proj = t.project(&positions);
+            if seen.insert(proj.clone()) {
+                out.push(proj);
+            }
+        }
+        self.meter.add_tuples(out.len() as u64);
+        Ok(out)
+    }
+
+    /// Membership probe: is `tuple` in `relation`?
+    ///
+    /// Providing values for *all* attributes identifies at most one tuple, so
+    /// a membership probe is always permitted regardless of the access
+    /// schema (this is the implicit "controlled by all its free variables"
+    /// reading used in Example 4.1 of the paper).  It is charged as one probe
+    /// fetching at most one tuple.
+    pub fn contains(&self, relation: &str, tuple: &Tuple) -> Result<bool, AccessError> {
+        let rel = self.db.relation(relation)?;
+        self.meter.add_probe();
+        self.meter.add_time(1);
+        let found = rel.contains(tuple);
+        if found {
+            self.meter.add_tuples(1);
+        }
+        Ok(found)
+    }
+
+    /// Retrieves the entire relation.  Only allowed when the access schema
+    /// grants full access to it (Proposition 5.5's `A(R)`).
+    pub fn full_scan(&self, relation: &str) -> Result<Vec<Tuple>, AccessError> {
+        if !self.access.has_full_access(relation) {
+            return Err(AccessError::FullScanNotAllowed(relation.to_owned()));
+        }
+        let rel = self.db.relation(relation)?;
+        self.meter.add_scan();
+        self.meter.add_tuples(rel.len() as u64);
+        Ok(rel.iter().cloned().collect())
+    }
+
+    /// Does any constraint authorise probing `relation` when `attrs` can be
+    /// bound?
+    pub fn can_fetch(&self, relation: &str, attrs: &[String]) -> bool {
+        let bound: BTreeSet<&str> = attrs.iter().map(String::as_str).collect();
+        self.access.best_constraint(relation, &bound).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::AccessConstraint;
+    use crate::embedded::EmbeddedConstraint;
+    use crate::schema::facebook_access_schema;
+    use si_data::schema::{social_schema, social_schema_dated};
+    use si_data::tuple;
+
+    fn db() -> Database {
+        let mut db = Database::empty(social_schema());
+        db.insert_all(
+            "person",
+            vec![
+                tuple![1, "ann", "NYC"],
+                tuple![2, "bob", "NYC"],
+                tuple![3, "cat", "LA"],
+            ],
+        )
+        .unwrap();
+        db.insert_all("friend", vec![tuple![1, 2], tuple![1, 3], tuple![2, 3]])
+            .unwrap();
+        db.insert_all(
+            "restr",
+            vec![tuple![10, "sushi", "NYC", "A"], tuple![11, "taco", "LA", "B"]],
+        )
+        .unwrap();
+        db.insert_all("visit", vec![tuple![2, 10], tuple![3, 11]])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn construction_builds_required_indexes() {
+        let adb = AccessIndexedDatabase::new(db(), facebook_access_schema(5000)).unwrap();
+        assert!(adb
+            .database()
+            .relation("friend")
+            .unwrap()
+            .index_on(&["id1".into()])
+            .is_some());
+        assert!(adb
+            .database()
+            .relation("person")
+            .unwrap()
+            .index_on(&["id".into()])
+            .is_some());
+    }
+
+    #[test]
+    fn checked_rejects_non_conforming_databases() {
+        let a = AccessSchema::new().with(AccessConstraint::new("friend", &["id1"], 1, 1));
+        let err = AccessIndexedDatabase::checked(db(), a).unwrap_err();
+        assert!(matches!(err, AccessError::NotConforming(_)));
+        assert!(err.to_string().contains("violations"));
+        let ok = AccessIndexedDatabase::checked(db(), facebook_access_schema(5000));
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn construction_validates_schema() {
+        let a = AccessSchema::new().with(AccessConstraint::new("enemy", &["x"], 1, 1));
+        assert!(matches!(
+            AccessIndexedDatabase::new(db(), a),
+            Err(AccessError::Data(_))
+        ));
+    }
+
+    #[test]
+    fn fetch_uses_constraint_and_charges_meter() {
+        let adb = AccessIndexedDatabase::new(db(), facebook_access_schema(5000)).unwrap();
+        let friends = adb
+            .fetch("friend", &["id1".into()], &[Value::int(1)])
+            .unwrap();
+        assert_eq!(friends.len(), 2);
+        let snap = adb.meter_snapshot();
+        assert_eq!(snap.index_probes, 1);
+        assert_eq!(snap.tuples_fetched, 2);
+        assert_eq!(snap.time_units, 2);
+        assert_eq!(snap.full_scans, 0);
+    }
+
+    #[test]
+    fn fetch_with_extra_bound_attributes_post_filters() {
+        let adb = AccessIndexedDatabase::new(db(), facebook_access_schema(5000)).unwrap();
+        // Bind both id and city; only the id constraint exists, city filters.
+        let people = adb
+            .fetch(
+                "person",
+                &["id".into(), "city".into()],
+                &[Value::int(3), Value::str("LA")],
+            )
+            .unwrap();
+        assert_eq!(people, vec![tuple![3, "cat", "LA"]]);
+        let none = adb
+            .fetch(
+                "person",
+                &["id".into(), "city".into()],
+                &[Value::int(3), Value::str("NYC")],
+            )
+            .unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn fetch_without_constraint_is_rejected() {
+        let adb = AccessIndexedDatabase::new(db(), facebook_access_schema(5000)).unwrap();
+        let err = adb
+            .fetch("visit", &["id".into()], &[Value::int(2)])
+            .unwrap_err();
+        assert!(matches!(err, AccessError::NoConstraint { .. }));
+        assert!(err.to_string().contains("visit"));
+        assert!(!adb.can_fetch("visit", &["id".into()]));
+        assert!(adb.can_fetch("friend", &["id1".into()]));
+    }
+
+    #[test]
+    fn empty_x_constraint_allows_bounded_whole_relation_fetch() {
+        let a = facebook_access_schema(5000)
+            .with(AccessConstraint::new("restr", &[], 100, 1));
+        let adb = AccessIndexedDatabase::new(db(), a).unwrap();
+        let all = adb.fetch("restr", &[], &[]).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(adb.meter().tuples_fetched(), 2);
+    }
+
+    #[test]
+    fn full_scan_requires_grant() {
+        let a = facebook_access_schema(5000).with_full_access("visit");
+        let adb = AccessIndexedDatabase::new(db(), a).unwrap();
+        assert_eq!(adb.full_scan("visit").unwrap().len(), 2);
+        assert_eq!(adb.meter().full_scans(), 1);
+        assert!(matches!(
+            adb.full_scan("friend"),
+            Err(AccessError::FullScanNotAllowed(_))
+        ));
+    }
+
+    #[test]
+    fn fetch_embedded_projects_and_bounds() {
+        let mut d = Database::empty(social_schema_dated());
+        d.insert_all(
+            "visit",
+            vec![
+                tuple![1, 10, 2013, 5, 1],
+                tuple![1, 11, 2013, 5, 1],
+                tuple![2, 12, 2013, 6, 2],
+                tuple![1, 13, 2014, 1, 1],
+            ],
+        )
+        .unwrap();
+        let a = AccessSchema::new().with_embedded(EmbeddedConstraint::new(
+            "visit",
+            &["yy"],
+            &["mm", "dd"],
+            366,
+            3,
+        ));
+        let adb = AccessIndexedDatabase::new(d, a).unwrap();
+        let dates = adb
+            .fetch_embedded(
+                "visit",
+                &["yy".into()],
+                &[Value::int(2013)],
+                &["mm".into(), "dd".into()],
+            )
+            .unwrap();
+        // (5,1) appears twice but is projected once; (6,2) once.
+        assert_eq!(dates.len(), 2);
+        assert_eq!(adb.meter().tuples_fetched(), 2);
+        assert_eq!(adb.meter().time_units(), 3);
+
+        // Requesting attributes outside the constraint's Y fails.
+        assert!(adb
+            .fetch_embedded(
+                "visit",
+                &["yy".into()],
+                &[Value::int(2013)],
+                &["rid".into()],
+            )
+            .is_err());
+        // Requesting with unbound X fails.
+        assert!(adb
+            .fetch_embedded("visit", &["mm".into()], &[Value::int(5)], &["dd".into()])
+            .is_err());
+    }
+
+    #[test]
+    fn membership_probe_is_always_allowed_and_cheap() {
+        let adb = AccessIndexedDatabase::new(db(), facebook_access_schema(5000)).unwrap();
+        assert!(adb.contains("visit", &tuple![2, 10]).unwrap());
+        assert!(!adb.contains("visit", &tuple![9, 9]).unwrap());
+        let snap = adb.meter_snapshot();
+        assert_eq!(snap.index_probes, 2);
+        assert_eq!(snap.tuples_fetched, 1);
+        assert!(adb.contains("enemy", &tuple![1]).is_err());
+    }
+
+    #[test]
+    fn meter_reset_and_snapshot() {
+        let adb = AccessIndexedDatabase::new(db(), facebook_access_schema(5000)).unwrap();
+        adb.fetch("friend", &["id1".into()], &[Value::int(1)])
+            .unwrap();
+        assert!(adb.meter_snapshot().tuples_fetched > 0);
+        adb.reset_meter();
+        assert_eq!(adb.meter_snapshot().tuples_fetched, 0);
+    }
+
+    #[test]
+    fn database_mut_allows_updates_and_keeps_indexes() {
+        let mut adb = AccessIndexedDatabase::new(db(), facebook_access_schema(5000)).unwrap();
+        adb.database_mut()
+            .insert("friend", tuple![1, 4])
+            .unwrap();
+        let friends = adb
+            .fetch("friend", &["id1".into()], &[Value::int(1)])
+            .unwrap();
+        assert_eq!(friends.len(), 3);
+    }
+}

@@ -1,0 +1,34 @@
+//! # `si-access` — access schemas
+//!
+//! Implementation of the access schemas of Section 4 of *"On Scale
+//! Independence for Querying Big Data"* (Fan, Geerts, Libkin, PODS 2014):
+//!
+//! * [`constraint`] — plain constraints `(R, X, N, T)`;
+//! * [`embedded`] — embedded constraints `(R, X[Y], N, T)` and functional
+//!   dependencies as the special case `N = 1`;
+//! * [`schema`] — the access schema `A` itself, including the `A(R)`
+//!   full-access augmentation of Proposition 5.5;
+//! * [`conformance`] — checking that a database conforms to `A`;
+//! * [`indexed`] — [`AccessIndexedDatabase`], the retrieval layer that builds
+//!   the promised indexes and meters every fetch;
+//! * [`cost`] — static, data-independent cost bounds used by bounded plans.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conformance;
+pub mod constraint;
+pub mod cost;
+pub mod embedded;
+pub mod indexed;
+pub mod schema;
+
+pub use conformance::{conforms, violations, Violation};
+pub use constraint::AccessConstraint;
+pub use cost::StaticCost;
+pub use embedded::EmbeddedConstraint;
+pub use indexed::{AccessError, AccessIndexedDatabase};
+pub use schema::{facebook_access_schema, AccessSchema};
+
+/// Convenience result alias for fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, AccessError>;

@@ -1,0 +1,321 @@
+//! Access schemas: collections of (embedded) access constraints.
+
+use crate::constraint::AccessConstraint;
+use crate::embedded::EmbeddedConstraint;
+use serde::{Deserialize, Serialize};
+use si_data::DatabaseSchema;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An access schema `A` over a relational schema: a set of plain constraints
+/// `(R, X, N, T)`, a set of embedded constraints `(R, X[Y], N, T)`, and an
+/// optional set of relations declared fully accessible (the `A(R)`
+/// augmentation of Proposition 5.5, which states that the entire relation
+/// `R` can be obtained in constant time).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessSchema {
+    constraints: Vec<AccessConstraint>,
+    embedded: Vec<EmbeddedConstraint>,
+    full_access: BTreeSet<String>,
+}
+
+impl AccessSchema {
+    /// Creates an empty access schema.
+    pub fn new() -> Self {
+        AccessSchema::default()
+    }
+
+    /// Adds a plain access constraint.
+    pub fn add(&mut self, constraint: AccessConstraint) -> &mut Self {
+        self.constraints.push(constraint);
+        self
+    }
+
+    /// Adds an embedded access constraint.
+    pub fn add_embedded(&mut self, constraint: EmbeddedConstraint) -> &mut Self {
+        self.embedded.push(constraint);
+        self
+    }
+
+    /// Builder-style variant of [`AccessSchema::add`].
+    pub fn with(mut self, constraint: AccessConstraint) -> Self {
+        self.constraints.push(constraint);
+        self
+    }
+
+    /// Builder-style variant of [`AccessSchema::add_embedded`].
+    pub fn with_embedded(mut self, constraint: EmbeddedConstraint) -> Self {
+        self.embedded.push(constraint);
+        self
+    }
+
+    /// Declares `relation` fully accessible, i.e. augments `A` to `A(R)` as
+    /// in Proposition 5.5 of the paper (the paper writes this as adding
+    /// `(R, ∅, 1, 1)` with the reading "the entire relation is obtainable in
+    /// constant time"; we record the intent explicitly instead of abusing the
+    /// cardinality bound).
+    pub fn with_full_access(mut self, relation: impl Into<String>) -> Self {
+        self.full_access.insert(relation.into());
+        self
+    }
+
+    /// Mutating variant of [`AccessSchema::with_full_access`].
+    pub fn grant_full_access(&mut self, relation: impl Into<String>) -> &mut Self {
+        self.full_access.insert(relation.into());
+        self
+    }
+
+    /// True iff `relation` was declared fully accessible.
+    pub fn has_full_access(&self, relation: &str) -> bool {
+        self.full_access.contains(relation)
+    }
+
+    /// All plain constraints.
+    pub fn constraints(&self) -> &[AccessConstraint] {
+        &self.constraints
+    }
+
+    /// All embedded constraints.
+    pub fn embedded(&self) -> &[EmbeddedConstraint] {
+        &self.embedded
+    }
+
+    /// Plain constraints on a given relation.
+    pub fn constraints_on<'a>(
+        &'a self,
+        relation: &'a str,
+    ) -> impl Iterator<Item = &'a AccessConstraint> {
+        self.constraints.iter().filter(move |c| c.relation == relation)
+    }
+
+    /// Embedded constraints on a given relation.
+    pub fn embedded_on<'a>(
+        &'a self,
+        relation: &'a str,
+    ) -> impl Iterator<Item = &'a EmbeddedConstraint> {
+        self.embedded.iter().filter(move |c| c.relation == relation)
+    }
+
+    /// Every constraint (plain and embedded) on `relation`, lifted into the
+    /// embedded form (plain constraints become `X[attr(R)]`).
+    pub fn all_embedded_on(
+        &self,
+        relation: &str,
+        schema: &DatabaseSchema,
+    ) -> Vec<EmbeddedConstraint> {
+        let mut out: Vec<EmbeddedConstraint> = self.embedded_on(relation).cloned().collect();
+        if let Ok(rel) = schema.relation(relation) {
+            for c in self.constraints_on(relation) {
+                out.push(EmbeddedConstraint::from_plain(c, rel.attributes()));
+            }
+        }
+        out
+    }
+
+    /// Finds the tightest (smallest-`N`) plain constraint on `relation` whose
+    /// input attributes are contained in `bound_attrs`.
+    pub fn best_constraint<'a>(
+        &'a self,
+        relation: &str,
+        bound_attrs: &BTreeSet<&str>,
+    ) -> Option<&'a AccessConstraint> {
+        self.constraints
+            .iter()
+            .filter(|c| c.relation == relation && c.usable_with(bound_attrs))
+            .min_by_key(|c| c.bound)
+    }
+
+    /// The set of index specifications `(relation, X)` this schema requires
+    /// to be built, deduplicated.
+    pub fn required_indexes(&self) -> Vec<(String, Vec<String>)> {
+        let mut out: Vec<(String, Vec<String>)> = Vec::new();
+        let mut push = |relation: &str, attrs: &[String]| {
+            let mut key: Vec<String> = attrs.to_vec();
+            key.sort();
+            key.dedup();
+            let entry = (relation.to_owned(), key);
+            if !out.contains(&entry) {
+                out.push(entry);
+            }
+        };
+        for c in &self.constraints {
+            push(&c.relation, &c.on);
+        }
+        for e in &self.embedded {
+            push(&e.relation, &e.from);
+        }
+        out
+    }
+
+    /// Total number of constraints (plain + embedded).
+    pub fn len(&self) -> usize {
+        self.constraints.len() + self.embedded.len()
+    }
+
+    /// True iff the schema contains no constraints and grants no full access.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty() && self.embedded.is_empty() && self.full_access.is_empty()
+    }
+
+    /// Validates that every constraint mentions a known relation and known
+    /// attributes of that relation.
+    pub fn validate(&self, schema: &DatabaseSchema) -> Result<(), si_data::DataError> {
+        for c in &self.constraints {
+            let rel = schema.relation(&c.relation)?;
+            for a in &c.on {
+                rel.position_of(a)?;
+            }
+        }
+        for e in &self.embedded {
+            let rel = schema.relation(&e.relation)?;
+            for a in e.from.iter().chain(e.onto.iter()) {
+                rel.position_of(a)?;
+            }
+        }
+        for r in &self.full_access {
+            schema.relation(r)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for AccessSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "AccessSchema {{")?;
+        for c in &self.constraints {
+            writeln!(f, "  {c}")?;
+        }
+        for e in &self.embedded {
+            writeln!(f, "  {e}")?;
+        }
+        for r in &self.full_access {
+            writeln!(f, "  full-access({r})")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The access schema of the paper's running example (Section 4):
+/// `(friend, {id1}, 5000, T)` — at most 5000 friends per person — and
+/// `(person, {id}, 1, T')` — `id` is a key of `person`.  We also include the
+/// analogous key constraint on `restr` (rid is a key) used by Example 4.6 and
+/// a city index on `restr` used when rewriting with views.
+pub fn facebook_access_schema(friend_cap: usize) -> AccessSchema {
+    AccessSchema::new()
+        .with(AccessConstraint::new("friend", &["id1"], friend_cap, 2))
+        .with(AccessConstraint::key("person", &["id"], 1))
+        .with(AccessConstraint::key("restr", &["rid"], 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_data::schema::{social_schema, social_schema_dated};
+
+    #[test]
+    fn builders_accumulate_constraints() {
+        let a = facebook_access_schema(5000)
+            .with_embedded(EmbeddedConstraint::new(
+                "visit",
+                &["yy"],
+                &["mm", "dd"],
+                366,
+                3,
+            ))
+            .with_full_access("visit");
+        assert_eq!(a.constraints().len(), 3);
+        assert_eq!(a.embedded().len(), 1);
+        assert!(a.has_full_access("visit"));
+        assert!(!a.has_full_access("friend"));
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+        assert!(AccessSchema::new().is_empty());
+    }
+
+    #[test]
+    fn constraints_on_filters_by_relation() {
+        let a = facebook_access_schema(5000);
+        assert_eq!(a.constraints_on("friend").count(), 1);
+        assert_eq!(a.constraints_on("person").count(), 1);
+        assert_eq!(a.constraints_on("visit").count(), 0);
+    }
+
+    #[test]
+    fn best_constraint_picks_smallest_bound() {
+        let a = AccessSchema::new()
+            .with(AccessConstraint::new("person", &["city"], 100_000, 5))
+            .with(AccessConstraint::key("person", &["id"], 1));
+        let bound: BTreeSet<&str> = ["id", "city"].into_iter().collect();
+        let best = a.best_constraint("person", &bound).unwrap();
+        assert_eq!(best.bound, 1);
+        let bound: BTreeSet<&str> = ["city"].into_iter().collect();
+        let best = a.best_constraint("person", &bound).unwrap();
+        assert_eq!(best.bound, 100_000);
+        let bound: BTreeSet<&str> = ["name"].into_iter().collect();
+        assert!(a.best_constraint("person", &bound).is_none());
+        assert!(a.best_constraint("friend", &bound).is_none());
+    }
+
+    #[test]
+    fn all_embedded_on_lifts_plain_constraints() {
+        let schema = social_schema_dated();
+        let a = facebook_access_schema(5000).with_embedded(EmbeddedConstraint::new(
+            "visit",
+            &["yy"],
+            &["mm", "dd"],
+            366,
+            3,
+        ));
+        let person = a.all_embedded_on("person", &schema);
+        assert_eq!(person.len(), 1);
+        assert_eq!(person[0].onto.len(), 3);
+        let visit = a.all_embedded_on("visit", &schema);
+        assert_eq!(visit.len(), 1);
+        assert_eq!(visit[0].bound, 366);
+    }
+
+    #[test]
+    fn required_indexes_deduplicate() {
+        let a = facebook_access_schema(5000)
+            .with(AccessConstraint::new("friend", &["id1"], 4000, 1))
+            .with_embedded(EmbeddedConstraint::new("friend", &["id1"], &["id2"], 4000, 1));
+        let idx = a.required_indexes();
+        assert_eq!(
+            idx.iter()
+                .filter(|(r, k)| r == "friend" && k == &vec!["id1".to_string()])
+                .count(),
+            1
+        );
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn validation_checks_relations_and_attributes() {
+        let schema = social_schema();
+        facebook_access_schema(5000).validate(&schema).unwrap();
+        let bad = AccessSchema::new().with(AccessConstraint::new("enemy", &["id"], 1, 1));
+        assert!(bad.validate(&schema).is_err());
+        let bad = AccessSchema::new().with(AccessConstraint::new("person", &["zip"], 1, 1));
+        assert!(bad.validate(&schema).is_err());
+        let bad = AccessSchema::new().with_full_access("enemy");
+        assert!(bad.validate(&schema).is_err());
+        let bad = AccessSchema::new().with_embedded(EmbeddedConstraint::new(
+            "visit",
+            &["yy"],
+            &["mm"],
+            366,
+            1,
+        ));
+        // `yy` only exists in the dated schema.
+        assert!(bad.validate(&schema).is_err());
+        assert!(bad.validate(&social_schema_dated()).is_ok());
+    }
+
+    #[test]
+    fn display_lists_everything() {
+        let a = facebook_access_schema(5000).with_full_access("visit");
+        let s = a.to_string();
+        assert!(s.contains("(friend, {id1}, 5000, 2)"));
+        assert!(s.contains("full-access(visit)"));
+    }
+}

@@ -1,0 +1,35 @@
+//! E2: Q1 bounded vs naive evaluation as |D| grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use si_access::{facebook_access_schema, AccessIndexedDatabase};
+use si_bench::social_database;
+use si_core::prelude::*;
+use si_data::Value;
+use si_workload::q1;
+
+fn bench_q1(c: &mut Criterion) {
+    let access = facebook_access_schema(5000);
+    let query = q1();
+    let mut group = c.benchmark_group("q1_scaling");
+    group.sample_size(10);
+    for persons in [1_000usize, 8_000, 32_000] {
+        let db = social_database(persons);
+        let schema = db.schema().clone();
+        let plan = BoundedPlanner::new(&schema, &access)
+            .plan(&query, &["p".into()])
+            .unwrap();
+        let adb = AccessIndexedDatabase::new(db, access.clone()).unwrap();
+        group.bench_with_input(BenchmarkId::new("bounded", persons), &adb, |b, adb| {
+            b.iter(|| execute_bounded(&plan, &[Value::int(7)], adb).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("naive", persons), &adb, |b, adb| {
+            b.iter(|| {
+                execute_naive(&query, &["p".into()], &[Value::int(7)], adb.database()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_q1);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E4: incremental maintenance of Q2 vs recomputation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use si_access::AccessIndexedDatabase;
+use si_bench::{q2_access_schema, social_database};
+use si_core::prelude::*;
+use si_data::Value;
+use si_workload::{q2, visit_insertions};
+
+fn bench_incremental(c: &mut Criterion) {
+    let access = q2_access_schema();
+    let mut group = c.benchmark_group("q2_incremental");
+    group.sample_size(10);
+    for persons in [2_000usize, 16_000] {
+        let base = social_database(persons);
+        group.bench_with_input(
+            BenchmarkId::new("maintain_100_insertions", persons),
+            &base,
+            |b, base| {
+                b.iter(|| {
+                    let mut adb = AccessIndexedDatabase::new(base.clone(), access.clone()).unwrap();
+                    let mut evaluator = IncrementalBoundedEvaluator::new(
+                        q2(),
+                        vec!["p".into()],
+                        vec![Value::int(7)],
+                        &adb,
+                    )
+                    .unwrap();
+                    let delta = visit_insertions(adb.database(), 100, 99);
+                    evaluator.apply_update(&mut adb, &delta).unwrap();
+                    evaluator.answers().len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("recompute_from_scratch", persons),
+            &base,
+            |b, base| {
+                b.iter(|| {
+                    execute_naive(&q2(), &["p".into()], &[Value::int(7)], base)
+                        .unwrap()
+                        .answers
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E5: Q2 answered through the views V1, V2 vs direct evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use si_access::{facebook_access_schema, AccessIndexedDatabase};
+use si_bench::social_database;
+use si_core::prelude::*;
+use si_data::Value;
+use si_workload::{paper_views, q2, q2_rewriting};
+
+fn bench_views(c: &mut Criterion) {
+    let views = paper_views();
+    let rewriting = q2_rewriting();
+    let mut group = c.benchmark_group("q2_views");
+    group.sample_size(10);
+    for persons in [1_000usize, 8_000] {
+        let db = social_database(persons);
+        let materialized = views.materialize_views_only(&db).unwrap();
+        let adb = AccessIndexedDatabase::new(db, facebook_access_schema(5000)).unwrap();
+        group.bench_with_input(BenchmarkId::new("with_views", persons), &adb, |b, adb| {
+            b.iter(|| {
+                execute_with_views(
+                    &rewriting,
+                    &views,
+                    &["p".into()],
+                    &[Value::int(7)],
+                    adb,
+                    &materialized,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive", persons), &adb, |b, adb| {
+            b.iter(|| {
+                execute_naive(&q2(), &["p".into()], &[Value::int(7)], adb.database()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_views);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E3: Q3 with embedded constraints (Example 4.6) vs naive evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use si_access::AccessIndexedDatabase;
+use si_bench::dated_social_database;
+use si_core::prelude::*;
+use si_data::Value;
+use si_workload::{example_46_access_schema, q3};
+
+fn bench_q3(c: &mut Criterion) {
+    let access = example_46_access_schema(5000);
+    let query = q3();
+    let mut group = c.benchmark_group("q3_embedded");
+    group.sample_size(10);
+    for persons in [1_000usize, 8_000] {
+        let db = dated_social_database(persons);
+        let schema = db.schema().clone();
+        let plan = BoundedPlanner::new(&schema, &access)
+            .plan(&query, &["p".into(), "yy".into()])
+            .unwrap();
+        let adb = AccessIndexedDatabase::new(db, access.clone()).unwrap();
+        group.bench_with_input(BenchmarkId::new("bounded", persons), &adb, |b, adb| {
+            b.iter(|| execute_bounded(&plan, &[Value::int(7), Value::int(2013)], adb).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("naive", persons), &adb, |b, adb| {
+            b.iter(|| {
+                execute_naive(
+                    &query,
+                    &["p".into(), "yy".into()],
+                    &[Value::int(7), Value::int(2013)],
+                    adb.database(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_q3);
+criterion_main!(benches);

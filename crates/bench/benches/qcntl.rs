@@ -1,0 +1,31 @@
+//! E6: QCntl / minimal controlling set search (Theorem 4.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use si_access::{AccessConstraint, AccessSchema};
+use si_core::minimal_controlling_sets;
+use si_data::{DatabaseSchema, RelationSchema};
+use si_query::parse_fo_query;
+
+fn bench_qcntl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qcntl");
+    group.sample_size(10);
+    for k in [4usize, 8, 12] {
+        let attrs: Vec<String> = (0..k).map(|i| format!("a{i}")).collect();
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let schema =
+            DatabaseSchema::from_relations(vec![RelationSchema::new("r", &attr_refs)]).unwrap();
+        let mut access = AccessSchema::new();
+        for i in 0..k - 1 {
+            access.add(AccessConstraint::new("r", &[&attrs[i], &attrs[i + 1]], 10, 1));
+        }
+        let head = attrs.join(", ");
+        let q = parse_fo_query(&format!("Q({head}) := r({head})")).unwrap();
+        group.bench_with_input(BenchmarkId::new("minimal_sets", k), &k, |b, _| {
+            b.iter(|| minimal_controlling_sets(&q, &schema, &access).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qcntl);
+criterion_main!(benches);

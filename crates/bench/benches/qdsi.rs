@@ -1,0 +1,45 @@
+//! E1 (Table 1): cost of the exact QDSI decision procedures by language.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use si_bench::social_database;
+use si_core::{decide_qdsi, AnyQuery, SearchLimits};
+use si_data::Value;
+use si_query::parse_fo_query;
+use si_workload::q1;
+
+fn bench_qdsi(c: &mut Criterion) {
+    let limits = SearchLimits::default();
+    let mut group = c.benchmark_group("qdsi");
+    group.sample_size(10);
+    for persons in [6usize, 10, 14] {
+        let db = social_database(persons);
+        let cq: AnyQuery = q1().bind(&[("p".into(), Value::int(0))]).into();
+        group.bench_with_input(BenchmarkId::new("cq_data_selecting", persons), &db, |b, db| {
+            b.iter(|| decide_qdsi(&cq, db, 4, &limits).unwrap())
+        });
+        let boolean: AnyQuery = si_query::ConjunctiveQuery {
+            name: "B".into(),
+            head: vec![],
+            atoms: q1().atoms.clone(),
+            equalities: vec![],
+        }
+        .into();
+        group.bench_with_input(BenchmarkId::new("cq_boolean_fast_path", persons), &db, |b, db| {
+            b.iter(|| decide_qdsi(&boolean, db, 2, &limits).unwrap())
+        });
+    }
+    // FO subset enumeration only on a very small instance.
+    let db = social_database(5);
+    let fo: AnyQuery = parse_fo_query(
+        r#"NoFriends() := exists x, n, c. person(x, n, c) & ! (exists y. friend(x, y))"#,
+    )
+    .unwrap()
+    .into();
+    group.bench_function("fo_boolean_subsets", |b| {
+        b.iter(|| decide_qdsi(&fo, &db, 1, &limits).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_qdsi);
+criterion_main!(benches);

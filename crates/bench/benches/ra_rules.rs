@@ -1,0 +1,40 @@
+//! E7: RA_A controllability derivation and incremental maintenance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use si_bench::{q2_access_schema, social_database};
+use si_core::controllability::{AlgebraControllability, ExprForm};
+use si_core::incremental::{maintain, propagate};
+use si_data::schema::social_schema;
+use si_query::{cq_to_ra, evaluate_ra};
+use si_workload::{q2, visit_insertions};
+
+fn bench_ra(c: &mut Criterion) {
+    let schema = social_schema();
+    let access = q2_access_schema();
+    let expr = cq_to_ra(&q2(), &schema).unwrap();
+    let mut group = c.benchmark_group("ra_rules");
+    group.sample_size(10);
+    group.bench_function("controllability_derivation", |b| {
+        let analyzer = AlgebraControllability::new(&schema, &access);
+        b.iter(|| {
+            (
+                analyzer.controlling_sets(&expr, ExprForm::Plain).unwrap(),
+                analyzer.controlling_sets(&expr, ExprForm::Delta).unwrap(),
+                analyzer.controlling_sets(&expr, ExprForm::Nabla).unwrap(),
+            )
+        })
+    });
+    group.bench_function("change_propagation_derivation", |b| {
+        b.iter(|| propagate(&expr).unwrap())
+    });
+    let db = social_database(2_000);
+    let old = evaluate_ra(&expr, &db).unwrap();
+    let delta = visit_insertions(&db, 50, 11);
+    group.bench_function("maintain_materialised_result", |b| {
+        b.iter(|| maintain(&expr, &old, &db, &delta).unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ra);
+criterion_main!(benches);

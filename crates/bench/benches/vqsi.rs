@@ -1,0 +1,24 @@
+//! E8: VQSI rewriting search cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use si_core::decide_vqsi_cq;
+use si_core::views::find_rewritings;
+use si_workload::{paper_views, q2};
+
+fn bench_vqsi(c: &mut Criterion) {
+    let views = paper_views();
+    let mut group = c.benchmark_group("vqsi");
+    group.sample_size(10);
+    for m in [0usize, 1, 4] {
+        group.bench_with_input(BenchmarkId::new("decide_vqsi_q2", m), &m, |b, &m| {
+            b.iter(|| decide_vqsi_cq(&q2(), &views, m, 64).unwrap())
+        });
+    }
+    group.bench_function("rewriting_enumeration", |b| {
+        b.iter(|| find_rewritings(&q2(), &views, 64).unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vqsi);
+criterion_main!(benches);

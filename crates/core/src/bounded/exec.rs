@@ -1,0 +1,512 @@
+//! Execution of bounded plans against an access-indexed database.
+//!
+//! The executor realises the evaluation strategy from the proof of
+//! Theorem 4.2: it maintains a set of partial assignments for the query's
+//! variables and extends them step by step, touching the base data only
+//! through the access-schema-mediated retrieval primitives of
+//! [`AccessIndexedDatabase`].  The result records the answers, the witness
+//! `D_Q` (the base facts actually used) and the exact access cost.
+
+use crate::bounded::plan::{BoundedPlan, PlanStep};
+use crate::error::CoreError;
+use crate::si::Witness;
+use si_access::AccessIndexedDatabase;
+use si_data::{MeterSnapshot, Tuple, Value};
+use si_query::{Term, Var};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A variable assignment built during execution.
+type Assignment = BTreeMap<Var, Value>;
+
+/// The result of executing a bounded plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundedAnswer {
+    /// The answer tuples, projected onto the plan's output variables.
+    pub answers: Vec<Tuple>,
+    /// The witness `D_Q`: the base facts fetched and used by the evaluation.
+    pub witness: Witness,
+    /// The access cost of this execution (difference of meter snapshots).
+    pub accesses: MeterSnapshot,
+}
+
+/// Executes `plan` with the given parameter values over `adb`.
+///
+/// `parameter_values` must supply one value per plan parameter, in order.
+pub fn execute_bounded(
+    plan: &BoundedPlan,
+    parameter_values: &[Value],
+    adb: &AccessIndexedDatabase,
+) -> Result<BoundedAnswer, CoreError> {
+    if parameter_values.len() != plan.parameters.len() {
+        return Err(CoreError::Invariant(format!(
+            "plan expects {} parameter values, got {}",
+            plan.parameters.len(),
+            parameter_values.len()
+        )));
+    }
+    let before = adb.meter_snapshot();
+    let schema = adb.database().schema();
+
+    // Seed assignment: parameters plus variables equated to constants.
+    let mut seed: Assignment = plan
+        .parameters
+        .iter()
+        .cloned()
+        .zip(parameter_values.iter().cloned())
+        .collect();
+    let mut consistent = true;
+    for (l, r) in &plan.query.equalities {
+        match (l, r) {
+            (Term::Var(v), Term::Const(c)) | (Term::Const(c), Term::Var(v)) => {
+                match seed.get(v) {
+                    Some(existing) if existing != c => consistent = false,
+                    _ => {
+                        seed.insert(v.clone(), c.clone());
+                    }
+                }
+            }
+            (Term::Const(c1), Term::Const(c2)) if c1 != c2 => consistent = false,
+            _ => {}
+        }
+    }
+
+    let mut assignments: Vec<Assignment> = if consistent { vec![seed] } else { Vec::new() };
+    let mut witness_facts: Vec<(String, Tuple)> = Vec::new();
+
+    for step in &plan.steps {
+        if assignments.is_empty() {
+            break;
+        }
+        // Propagate variable/variable equalities into each assignment where
+        // one side is known.
+        for assignment in assignments.iter_mut() {
+            loop {
+                let mut changed = false;
+                for (l, r) in &plan.query.equalities {
+                    if let (Term::Var(a), Term::Var(b)) = (l, r) {
+                        if let (Some(va), None) =
+                            (assignment.get(a).cloned(), assignment.get(b).cloned())
+                        {
+                            assignment.insert(b.clone(), va);
+                            changed = true;
+                        } else if let (None, Some(vb)) =
+                            (assignment.get(a).cloned(), assignment.get(b).cloned())
+                        {
+                            assignment.insert(a.clone(), vb);
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+
+        let atom = &plan.query.atoms[step.atom_index()];
+        let rel_schema = schema.relation(&atom.relation)?;
+        let mut next: Vec<Assignment> = Vec::new();
+
+        match step {
+            PlanStep::Fetch {
+                probe_attributes, ..
+            } => {
+                for assignment in &assignments {
+                    // Build the probe key from the bound positions named in
+                    // the plan; positions that became bound later (not in the
+                    // recorded list) are checked after the fetch.
+                    let mut attrs: Vec<String> = Vec::new();
+                    let mut key: Vec<Value> = Vec::new();
+                    for a in probe_attributes {
+                        let pos = rel_schema.position_of(a)?;
+                        match &atom.terms[pos] {
+                            Term::Const(c) => {
+                                attrs.push(a.clone());
+                                key.push(c.clone());
+                            }
+                            Term::Var(v) => {
+                                if let Some(value) = assignment.get(v) {
+                                    attrs.push(a.clone());
+                                    key.push(value.clone());
+                                }
+                            }
+                        }
+                    }
+                    let fetched = adb.fetch(&atom.relation, &attrs, &key)?;
+                    for tuple in fetched {
+                        if let Some(extended) = extend_assignment(assignment, atom, &tuple) {
+                            witness_facts.push((atom.relation.clone(), tuple.clone()));
+                            next.push(extended);
+                        }
+                    }
+                }
+            }
+            PlanStep::Enumerate { constraint, .. } => {
+                // Enumerate values for the constraint's output attributes that
+                // are not yet bound.
+                for assignment in &assignments {
+                    let mut from_attrs: Vec<String> = Vec::new();
+                    let mut from_key: Vec<Value> = Vec::new();
+                    for a in &constraint.from {
+                        let pos = rel_schema.position_of(a)?;
+                        match &atom.terms[pos] {
+                            Term::Const(c) => {
+                                from_attrs.push(a.clone());
+                                from_key.push(c.clone());
+                            }
+                            Term::Var(v) => {
+                                let value = assignment.get(v).ok_or_else(|| {
+                                    CoreError::Invariant(format!(
+                                        "enumerate step requires `{v}` to be bound"
+                                    ))
+                                })?;
+                                from_attrs.push(a.clone());
+                                from_key.push(value.clone());
+                            }
+                        }
+                    }
+                    let onto: Vec<String> = constraint.onto.clone();
+                    let projections =
+                        adb.fetch_embedded(&atom.relation, &from_attrs, &from_key, &onto)?;
+                    for proj in projections {
+                        // proj is a tuple over `onto` attribute order.
+                        let mut extended = assignment.clone();
+                        let mut ok = true;
+                        for (a, value) in onto.iter().zip(proj.iter()) {
+                            let pos = rel_schema.position_of(a)?;
+                            match &atom.terms[pos] {
+                                Term::Const(c) => {
+                                    if c != value {
+                                        ok = false;
+                                        break;
+                                    }
+                                }
+                                Term::Var(v) => match extended.get(v) {
+                                    Some(existing) if existing != value => {
+                                        ok = false;
+                                        break;
+                                    }
+                                    Some(_) => {}
+                                    None => {
+                                        extended.insert(v.clone(), value.clone());
+                                    }
+                                },
+                            }
+                        }
+                        if ok {
+                            next.push(extended);
+                        }
+                    }
+                }
+            }
+            PlanStep::Check { .. } => {
+                for assignment in &assignments {
+                    let tuple: Option<Tuple> = atom
+                        .terms
+                        .iter()
+                        .map(|t| match t {
+                            Term::Const(c) => Some(c.clone()),
+                            Term::Var(v) => assignment.get(v).cloned(),
+                        })
+                        .collect();
+                    let tuple = tuple.ok_or_else(|| {
+                        CoreError::Invariant(
+                            "membership check reached with unbound variables".into(),
+                        )
+                    })?;
+                    if adb.contains(&atom.relation, &tuple)? {
+                        witness_facts.push((atom.relation.clone(), tuple));
+                        next.push(assignment.clone());
+                    }
+                }
+            }
+        }
+        assignments = next;
+    }
+
+    // Final equality filter (covers equalities between variables bound by
+    // different steps).
+    assignments.retain(|assignment| {
+        plan.query.equalities.iter().all(|(l, r)| {
+            let value_of = |t: &Term| match t {
+                Term::Var(v) => assignment.get(v).cloned(),
+                Term::Const(c) => Some(c.clone()),
+            };
+            match (value_of(l), value_of(r)) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            }
+        })
+    });
+
+    // Project onto the output variables.
+    let outputs = plan.output_variables();
+    let mut seen: BTreeSet<Tuple> = BTreeSet::new();
+    let mut answers: Vec<Tuple> = Vec::new();
+    for assignment in &assignments {
+        let tuple: Option<Tuple> = outputs.iter().map(|v| assignment.get(v).cloned()).collect();
+        let tuple = tuple.ok_or_else(|| {
+            CoreError::Invariant("output variable not bound at the end of the plan".into())
+        })?;
+        if seen.insert(tuple.clone()) {
+            answers.push(tuple);
+        }
+    }
+
+    let after = adb.meter_snapshot();
+    Ok(BoundedAnswer {
+        answers,
+        witness: Witness::from_facts(witness_facts),
+        accesses: after.since(&before),
+    })
+}
+
+/// Extends `assignment` with the bindings induced by matching `atom` against
+/// `tuple`; returns `None` on any inconsistency (constant mismatch or
+/// conflicting variable binding).
+fn extend_assignment(assignment: &Assignment, atom: &si_query::Atom, tuple: &Tuple) -> Option<Assignment> {
+    let mut extended = assignment.clone();
+    for (pos, term) in atom.terms.iter().enumerate() {
+        let value = tuple.get(pos)?;
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    return None;
+                }
+            }
+            Term::Var(v) => match extended.get(v) {
+                Some(existing) if existing != value => return None,
+                Some(_) => {}
+                None => {
+                    extended.insert(v.clone(), value.clone());
+                }
+            },
+        }
+    }
+    Some(extended)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounded::plan::BoundedPlanner;
+    use si_access::{facebook_access_schema, EmbeddedConstraint};
+    use si_data::schema::{social_schema, social_schema_dated};
+    use si_data::{tuple, Database};
+    use si_query::{evaluate_cq, parse_cq};
+
+    fn social_db() -> Database {
+        let mut db = Database::empty(social_schema());
+        db.insert_all(
+            "person",
+            vec![
+                tuple![1, "ann", "NYC"],
+                tuple![2, "bob", "NYC"],
+                tuple![3, "cat", "LA"],
+                tuple![4, "dan", "NYC"],
+            ],
+        )
+        .unwrap();
+        db.insert_all(
+            "friend",
+            vec![tuple![1, 2], tuple![1, 3], tuple![1, 4], tuple![2, 4], tuple![3, 1]],
+        )
+        .unwrap();
+        db.insert_all(
+            "restr",
+            vec![
+                tuple![10, "sushi", "NYC", "A"],
+                tuple![11, "taco", "NYC", "B"],
+                tuple![12, "pasta", "LA", "A"],
+            ],
+        )
+        .unwrap();
+        db.insert_all(
+            "visit",
+            vec![tuple![2, 10], tuple![4, 10], tuple![4, 11], tuple![3, 12]],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn q1_bounded_execution_matches_naive_and_is_bounded() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let planner = BoundedPlanner::new(&schema, &access);
+        let q1 = parse_cq(r#"Q1(p, name) :- friend(p, id), person(id, name, "NYC")"#).unwrap();
+        let plan = planner.plan(&q1, &["p".into()]).unwrap();
+        let adb = AccessIndexedDatabase::new(social_db(), access).unwrap();
+
+        let result = execute_bounded(&plan, &[Value::int(1)], &adb).unwrap();
+        let mut answers = result.answers.clone();
+        answers.sort();
+        assert_eq!(answers, vec![tuple!["bob"], tuple!["dan"]]);
+
+        // Same answers as naive evaluation with p bound to 1.
+        let bound = q1.bind(&[("p".into(), Value::int(1))]);
+        let mut naive = evaluate_cq(&bound, adb.database(), None).unwrap();
+        naive.sort();
+        assert_eq!(answers, naive);
+
+        // Access cost: 3 friend tuples + 3 person probes (1 tuple each for
+        // NYC friends 2, 4 and LA friend 3 which yields a tuple that fails
+        // the city filter → fetched but filtered by the probe itself).
+        assert!(result.accesses.tuples_fetched <= 6);
+        assert!(result.accesses.full_scans == 0);
+
+        // The witness really is a witness.
+        assert!(crate::si::check_witness(
+            &crate::si::AnyQuery::Cq(bound),
+            adb.database(),
+            &result.witness,
+            result.witness.size()
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn bounded_execution_for_person_without_nyc_friends_is_empty() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let planner = BoundedPlanner::new(&schema, &access);
+        let q1 = parse_cq(r#"Q1(p, name) :- friend(p, id), person(id, name, "NYC")"#).unwrap();
+        let plan = planner.plan(&q1, &["p".into()]).unwrap();
+        let adb = AccessIndexedDatabase::new(social_db(), access).unwrap();
+        // Person 4 has no outgoing friend edges.
+        let result = execute_bounded(&plan, &[Value::int(4)], &adb).unwrap();
+        assert!(result.answers.is_empty());
+        assert_eq!(result.witness.size(), 0);
+    }
+
+    #[test]
+    fn q2_with_restaurant_key_is_bounded() {
+        // Q2 for a fixed person: friend, visit, person, restr.  visit has no
+        // constraint in the plain Facebook schema, so add one on id.
+        let schema = social_schema();
+        let access = facebook_access_schema(5000)
+            .with(si_access::AccessConstraint::new("visit", &["id"], 1000, 1));
+        let planner = BoundedPlanner::new(&schema, &access);
+        let q2 = parse_cq(
+            r#"Q2(p, rn) :- friend(p, id), visit(id, rid), person(id, pn, "NYC"), restr(rid, rn, "NYC", "A")"#,
+        )
+        .unwrap();
+        let plan = planner.plan(&q2, &["p".into()]).unwrap();
+        let adb = AccessIndexedDatabase::new(social_db(), access).unwrap();
+        let result = execute_bounded(&plan, &[Value::int(1)], &adb).unwrap();
+        assert_eq!(result.answers, vec![tuple!["sushi"]]);
+        // Cross-check against naive evaluation.
+        let bound = q2.bind(&[("p".into(), Value::int(1))]);
+        assert_eq!(
+            result.answers,
+            evaluate_cq(&bound, adb.database(), None).unwrap()
+        );
+    }
+
+    #[test]
+    fn q3_embedded_plan_executes_correctly() {
+        let schema = social_schema_dated();
+        let access = facebook_access_schema(5000)
+            .with_embedded(EmbeddedConstraint::new(
+                "visit",
+                &["yy"],
+                &["mm", "dd"],
+                366,
+                3,
+            ))
+            .with_embedded(EmbeddedConstraint::functional_dependency(
+                "visit",
+                &["id", "yy", "mm", "dd"],
+                &["rid"],
+                1,
+            ));
+        let planner = BoundedPlanner::new(&schema, &access);
+        let q3 = parse_cq(
+            r#"Q3(rn, p, yy) :- friend(p, id), visit(id, rid, yy, mm, dd), person(id, pn, "NYC"), restr(rid, rn, "NYC", "A")"#,
+        )
+        .unwrap();
+        let plan = planner.plan(&q3, &["p".into(), "yy".into()]).unwrap();
+
+        let mut db = Database::empty(schema.clone());
+        db.insert_all(
+            "person",
+            vec![tuple![1, "ann", "NYC"], tuple![2, "bob", "NYC"], tuple![3, "cat", "LA"]],
+        )
+        .unwrap();
+        db.insert_all("friend", vec![tuple![1, 2], tuple![1, 3]])
+            .unwrap();
+        db.insert_all(
+            "restr",
+            vec![tuple![10, "sushi", "NYC", "A"], tuple![11, "taco", "NYC", "B"]],
+        )
+        .unwrap();
+        db.insert_all(
+            "visit",
+            vec![
+                tuple![2, 10, 2013, 5, 1],
+                tuple![2, 11, 2013, 6, 2],
+                tuple![3, 10, 2013, 7, 3],
+                tuple![2, 10, 2014, 1, 1],
+            ],
+        )
+        .unwrap();
+        let adb = AccessIndexedDatabase::new(db, access).unwrap();
+        let result =
+            execute_bounded(&plan, &[Value::int(1), Value::int(2013)], &adb).unwrap();
+        // Friend 2 (NYC) visited sushi (A-rated, NYC) in 2013; taco is
+        // B-rated; friend 3 lives in LA.
+        assert_eq!(result.answers, vec![tuple!["sushi"]]);
+        // Cross-check with naive evaluation of the bound query.
+        let bound = q3.bind(&[
+            ("p".into(), Value::int(1)),
+            ("yy".into(), Value::int(2013)),
+        ]);
+        assert_eq!(
+            result.answers,
+            evaluate_cq(&bound, adb.database(), None).unwrap()
+        );
+        assert!(result.accesses.full_scans == 0);
+    }
+
+    #[test]
+    fn parameter_arity_mismatch_is_rejected() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let planner = BoundedPlanner::new(&schema, &access);
+        let q1 = parse_cq(r#"Q1(p, name) :- friend(p, id), person(id, name, "NYC")"#).unwrap();
+        let plan = planner.plan(&q1, &["p".into()]).unwrap();
+        let adb = AccessIndexedDatabase::new(social_db(), facebook_access_schema(5000)).unwrap();
+        assert!(matches!(
+            execute_bounded(&plan, &[], &adb),
+            Err(CoreError::Invariant(_))
+        ));
+    }
+
+    #[test]
+    fn contradictory_equalities_produce_empty_answers() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let planner = BoundedPlanner::new(&schema, &access);
+        let q = parse_cq(r#"Q(name) :- friend(1, id), person(id, name, "NYC"), 1 = 2"#).unwrap();
+        let plan = planner.plan(&q, &[]).unwrap();
+        let adb = AccessIndexedDatabase::new(social_db(), access).unwrap();
+        let result = execute_bounded(&plan, &[], &adb).unwrap();
+        assert!(result.answers.is_empty());
+        assert_eq!(result.accesses.tuples_fetched, 0);
+    }
+
+    #[test]
+    fn static_cost_upper_bounds_measured_cost() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let planner = BoundedPlanner::new(&schema, &access);
+        let q1 = parse_cq(r#"Q1(p, name) :- friend(p, id), person(id, name, "NYC")"#).unwrap();
+        let plan = planner.plan(&q1, &["p".into()]).unwrap();
+        let adb = AccessIndexedDatabase::new(social_db(), access).unwrap();
+        for p in 1..=4 {
+            let result = execute_bounded(&plan, &[Value::int(p)], &adb).unwrap();
+            assert!(result.accesses.tuples_fetched <= plan.static_cost().max_tuples);
+            assert!(result.accesses.index_probes <= plan.static_cost().max_probes);
+        }
+    }
+}

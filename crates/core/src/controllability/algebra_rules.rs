@@ -1,0 +1,617 @@
+//! The `RA_A` rules of Section 5: controllability for relational algebra
+//! expressions and for their increment (`E∆`) and decrement (`E∇`) forms.
+//!
+//! The paper inductively generates a set `RA_A` of pairs `(E, X)` where `E`
+//! is a relational algebra expression (possibly annotated with `∆` or `∇`)
+//! and `X` a set of its output attributes, such that `σ_{X=a̅}(E)` is
+//! scale-independent under `A` (Theorem 5.4), and such that when both
+//! `(E∆, X)` and `(E∇, X)` are derivable, `σ_{X=a̅}(E)` is *incrementally*
+//! scale-independent.
+//!
+//! This module computes, for an expression, the family of minimal attribute
+//! sets `X` with `(E, X) ∈ RA_A` (and likewise for `E∆` / `E∇`).  The
+//! *expansion* rule (`X ⊆ Y ⊆ attr(E)` ⇒ `(E, Y) ∈ RA_A`) is realised by the
+//! subset test of [`AttrFamily::controlled_by`].
+
+use crate::error::CoreError;
+use si_access::AccessSchema;
+use si_data::DatabaseSchema;
+use si_query::algebra::{Condition, RaExpr};
+use std::collections::BTreeSet;
+
+/// A set of attribute names.
+pub type AttrSet = BTreeSet<String>;
+
+/// A family of controlling attribute sets, kept minimal under inclusion.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AttrFamily {
+    sets: Vec<AttrSet>,
+}
+
+impl AttrFamily {
+    /// The empty family (no derivable controlling set).
+    pub fn none() -> Self {
+        AttrFamily { sets: Vec::new() }
+    }
+
+    /// A family with one set.
+    pub fn single(set: AttrSet) -> Self {
+        let mut f = AttrFamily::none();
+        f.insert(set);
+        f
+    }
+
+    /// Inserts a set, keeping the family minimal.
+    pub fn insert(&mut self, set: AttrSet) {
+        if self.sets.iter().any(|s| s.is_subset(&set)) {
+            return;
+        }
+        self.sets.retain(|s| !set.is_subset(s));
+        self.sets.push(set);
+    }
+
+    /// Merges another family.
+    pub fn extend(&mut self, other: AttrFamily) {
+        for s in other.sets {
+            self.insert(s);
+        }
+    }
+
+    /// The minimal sets.
+    pub fn sets(&self) -> &[AttrSet] {
+        &self.sets
+    }
+
+    /// True iff no controlling set is derivable.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Expansion rule: `(E, attrs)` is derivable iff some minimal set is
+    /// contained in `attrs`.
+    pub fn controlled_by(&self, attrs: &AttrSet) -> bool {
+        self.sets.iter().any(|s| s.is_subset(attrs))
+    }
+
+    /// True iff the expression is controlled by all of its attributes
+    /// (needed e.g. for the right-hand side of a difference).
+    pub fn is_controlled(&self) -> bool {
+        !self.is_empty()
+    }
+
+    /// Smallest derivable set, if any.
+    pub fn smallest(&self) -> Option<&AttrSet> {
+        self.sets.iter().min_by_key(|s| s.len())
+    }
+}
+
+/// Which form of the expression a derivation refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExprForm {
+    /// The expression itself.
+    Plain,
+    /// Its increment `E∆`.
+    Delta,
+    /// Its decrement `E∇`.
+    Nabla,
+}
+
+/// Derives `RA_A` memberships for relational algebra expressions.
+#[derive(Debug, Clone)]
+pub struct AlgebraControllability<'a> {
+    schema: &'a DatabaseSchema,
+    access: &'a AccessSchema,
+}
+
+impl<'a> AlgebraControllability<'a> {
+    /// Creates an analyzer.
+    pub fn new(schema: &'a DatabaseSchema, access: &'a AccessSchema) -> Self {
+        AlgebraControllability { schema, access }
+    }
+
+    /// The minimal attribute sets `X` with `(E, X) ∈ RA_A` for the requested
+    /// form of `E`.
+    pub fn controlling_sets(
+        &self,
+        expr: &RaExpr,
+        form: ExprForm,
+    ) -> Result<AttrFamily, CoreError> {
+        match form {
+            ExprForm::Plain => self.plain(expr),
+            ExprForm::Delta => self.delta(expr),
+            ExprForm::Nabla => self.nabla(expr),
+        }
+    }
+
+    /// Theorem 5.4(1): is `σ_{X=a̅}(E)` scale-independent for `X = attrs`?
+    pub fn is_scale_independent(
+        &self,
+        expr: &RaExpr,
+        attrs: &[String],
+    ) -> Result<bool, CoreError> {
+        let set: AttrSet = attrs.iter().cloned().collect();
+        let out_attrs: AttrSet = expr.attributes(self.schema)?.into_iter().collect();
+        if !set.is_subset(&out_attrs) {
+            return Ok(false);
+        }
+        Ok(self.plain(expr)?.controlled_by(&set))
+    }
+
+    /// Theorem 5.4(2): is `σ_{X=a̅}(E)` *incrementally* scale-independent for
+    /// `X = attrs`, i.e. are both `(E∆, X)` and `(E∇, X)` derivable?
+    pub fn is_incrementally_scale_independent(
+        &self,
+        expr: &RaExpr,
+        attrs: &[String],
+    ) -> Result<bool, CoreError> {
+        let set: AttrSet = attrs.iter().cloned().collect();
+        let out_attrs: AttrSet = expr.attributes(self.schema)?.into_iter().collect();
+        if !set.is_subset(&out_attrs) {
+            return Ok(false);
+        }
+        Ok(self.delta(expr)?.controlled_by(&set) && self.nabla(expr)?.controlled_by(&set))
+    }
+
+    fn plain(&self, expr: &RaExpr) -> Result<AttrFamily, CoreError> {
+        let attrs: AttrSet = expr.attributes(self.schema)?.into_iter().collect();
+        Ok(match expr {
+            RaExpr::Relation(name) => {
+                let mut family = AttrFamily::none();
+                // Membership-probe reading: providing all attributes bounds
+                // the selection by 1 tuple (kept consistent with the FO side).
+                family.insert(attrs.clone());
+                for c in self.access.constraints_on(name) {
+                    family.insert(c.on.iter().cloned().collect());
+                }
+                if self.access.has_full_access(name) {
+                    family.insert(AttrSet::new());
+                }
+                family
+            }
+            // ∆R / ∇R used as *inputs* of an expression are small given the
+            // update, so they are controlled by the empty set (this mirrors
+            // the base case of the decrement/increment rules).
+            RaExpr::DeltaRelation(_) | RaExpr::NablaRelation(_) => {
+                AttrFamily::single(AttrSet::new())
+            }
+            RaExpr::Select(input, conditions) => {
+                let inner = self.plain(input)?;
+                let fixed: AttrSet = conditions
+                    .iter()
+                    .filter_map(Condition::fixes_attribute)
+                    .map(str::to_owned)
+                    .collect();
+                let mut family = AttrFamily::none();
+                for s in inner.sets() {
+                    family.insert(s.difference(&fixed).cloned().collect());
+                }
+                family
+            }
+            RaExpr::Project(input, keep) => {
+                let inner = self.plain(input)?;
+                let keep: AttrSet = keep.iter().cloned().collect();
+                let mut family = AttrFamily::none();
+                for s in inner.sets() {
+                    if s.is_subset(&keep) {
+                        family.insert(s.clone());
+                    }
+                }
+                family
+            }
+            RaExpr::Rename(input, mapping) => {
+                let inner = self.plain(input)?;
+                let mut family = AttrFamily::none();
+                for s in inner.sets() {
+                    family.insert(
+                        s.iter()
+                            .map(|a| {
+                                mapping
+                                    .iter()
+                                    .find(|(old, _)| old == a)
+                                    .map(|(_, new)| new.clone())
+                                    .unwrap_or_else(|| a.clone())
+                            })
+                            .collect(),
+                    );
+                }
+                family
+            }
+            RaExpr::Union(l, r) => {
+                let fl = self.plain(l)?;
+                let fr = self.plain(r)?;
+                let mut family = AttrFamily::none();
+                for sl in fl.sets() {
+                    for sr in fr.sets() {
+                        family.insert(sl.union(sr).cloned().collect());
+                    }
+                }
+                family
+            }
+            RaExpr::Diff(l, r) => {
+                // (E1 − E2, X1) requires (E2, attr(E2)) ∈ RA_A.
+                let fr = self.plain(r)?;
+                if fr.is_controlled() {
+                    self.plain(l)?
+                } else {
+                    AttrFamily::none()
+                }
+            }
+            RaExpr::Intersect(l, r) => {
+                // E1 ∩ E2 ⊆ E1: either side's controlling sets work, provided
+                // the other side is controlled by all of its attributes.
+                let fl = self.plain(l)?;
+                let fr = self.plain(r)?;
+                let mut family = AttrFamily::none();
+                if fr.is_controlled() {
+                    family.extend(fl.clone());
+                }
+                if fl.is_controlled() {
+                    family.extend(fr);
+                }
+                family
+            }
+            RaExpr::Join(l, r) => {
+                let fl = self.plain(l)?;
+                let fr = self.plain(r)?;
+                let attrs_l: AttrSet = l.attributes(self.schema)?.into_iter().collect();
+                let attrs_r: AttrSet = r.attributes(self.schema)?.into_iter().collect();
+                let mut family = AttrFamily::none();
+                for sl in fl.sets() {
+                    for sr in fr.sets() {
+                        // X1 ∪ (X2 − attr(E1)) and the symmetric variant.
+                        family.insert(
+                            sl.iter()
+                                .cloned()
+                                .chain(sr.difference(&attrs_l).cloned())
+                                .collect(),
+                        );
+                        family.insert(
+                            sr.iter()
+                                .cloned()
+                                .chain(sl.difference(&attrs_r).cloned())
+                                .collect(),
+                        );
+                    }
+                }
+                let _ = attrs;
+                family
+            }
+        })
+    }
+
+    fn nabla(&self, expr: &RaExpr) -> Result<AttrFamily, CoreError> {
+        Ok(match expr {
+            // (R∇, ∅) ∈ RA_A.
+            RaExpr::Relation(_) => AttrFamily::single(AttrSet::new()),
+            RaExpr::DeltaRelation(_) | RaExpr::NablaRelation(_) => {
+                AttrFamily::single(AttrSet::new())
+            }
+            RaExpr::Select(input, _) => self.nabla(input)?,
+            RaExpr::Project(input, keep) => {
+                // Requires (E∇, X), (E, X) and (E∆, X) with X ⊆ Y.
+                let keep: AttrSet = keep.iter().cloned().collect();
+                let n = self.nabla(input)?;
+                let p = self.plain(input)?;
+                let d = self.delta(input)?;
+                let mut family = AttrFamily::none();
+                for s in n.sets() {
+                    if s.is_subset(&keep) && p.controlled_by(s) && d.controlled_by(s) {
+                        family.insert(s.clone());
+                    }
+                }
+                family
+            }
+            RaExpr::Rename(input, mapping) => {
+                rename_family(self.nabla(input)?, mapping)
+            }
+            RaExpr::Union(l, r) => {
+                // Requires (Ei∇, Xi), (Ei, attr), (Ei∆, attr).
+                if self.plain(l)?.is_controlled()
+                    && self.plain(r)?.is_controlled()
+                    && self.delta(l)?.is_controlled()
+                    && self.delta(r)?.is_controlled()
+                {
+                    union_pairs(&self.nabla(l)?, &self.nabla(r)?)
+                } else {
+                    AttrFamily::none()
+                }
+            }
+            RaExpr::Diff(l, r) => {
+                // (E1−E2)∇ needs (E1∇, X), (E2∆, Z), (Ei, attr).
+                if self.plain(l)?.is_controlled() && self.plain(r)?.is_controlled() {
+                    union_pairs(&self.nabla(l)?, &self.delta(r)?)
+                } else {
+                    AttrFamily::none()
+                }
+            }
+            RaExpr::Intersect(l, r) => {
+                if self.plain(l)?.is_controlled() && self.plain(r)?.is_controlled() {
+                    union_pairs(&self.nabla(l)?, &self.nabla(r)?)
+                } else {
+                    AttrFamily::none()
+                }
+            }
+            RaExpr::Join(l, r) => {
+                // (E1⋈E2)∇ needs (Ei∇, Xi), (Ei, Yi); result
+                // X1 ∪ X2 ∪ (Y1 − attr(E2)) ∪ (Y2 − attr(E1)).
+                self.join_change_family(l, r, ExprForm::Nabla)?
+            }
+        })
+    }
+
+    fn delta(&self, expr: &RaExpr) -> Result<AttrFamily, CoreError> {
+        Ok(match expr {
+            RaExpr::Relation(_) => AttrFamily::single(AttrSet::new()),
+            RaExpr::DeltaRelation(_) | RaExpr::NablaRelation(_) => {
+                AttrFamily::single(AttrSet::new())
+            }
+            RaExpr::Select(input, _) => self.delta(input)?,
+            RaExpr::Project(input, keep) => {
+                let keep: AttrSet = keep.iter().cloned().collect();
+                let d = self.delta(input)?;
+                let p = self.plain(input)?;
+                let mut family = AttrFamily::none();
+                for s in d.sets() {
+                    if s.is_subset(&keep) && p.controlled_by(s) {
+                        family.insert(s.clone());
+                    }
+                }
+                family
+            }
+            RaExpr::Rename(input, mapping) => rename_family(self.delta(input)?, mapping),
+            RaExpr::Union(l, r) => {
+                if self.plain(l)?.is_controlled() && self.plain(r)?.is_controlled() {
+                    union_pairs(&self.delta(l)?, &self.delta(r)?)
+                } else {
+                    AttrFamily::none()
+                }
+            }
+            RaExpr::Diff(l, r) => {
+                // (E1−E2)∆ needs (E1∆, X1), (E2∇, Z2), (Ei, attr).
+                if self.plain(l)?.is_controlled() && self.plain(r)?.is_controlled() {
+                    union_pairs(&self.delta(l)?, &self.nabla(r)?)
+                } else {
+                    AttrFamily::none()
+                }
+            }
+            RaExpr::Intersect(l, r) => {
+                if self.plain(l)?.is_controlled() && self.plain(r)?.is_controlled() {
+                    union_pairs(&self.delta(l)?, &self.delta(r)?)
+                } else {
+                    AttrFamily::none()
+                }
+            }
+            RaExpr::Join(l, r) => self.join_change_family(l, r, ExprForm::Delta)?,
+        })
+    }
+
+    /// Shared shape of the join increment/decrement rules:
+    /// X1 ∪ X2 ∪ (Y1 − attr(E2)) ∪ (Y2 − attr(E1)), where Xi controls the
+    /// change of Ei and Yi controls Ei itself.
+    fn join_change_family(
+        &self,
+        l: &RaExpr,
+        r: &RaExpr,
+        form: ExprForm,
+    ) -> Result<AttrFamily, CoreError> {
+        let (cl, cr) = match form {
+            ExprForm::Delta => (self.delta(l)?, self.delta(r)?),
+            ExprForm::Nabla => (self.nabla(l)?, self.nabla(r)?),
+            ExprForm::Plain => unreachable!("join_change_family is only for change forms"),
+        };
+        let pl = self.plain(l)?;
+        let pr = self.plain(r)?;
+        let attrs_l: AttrSet = l.attributes(self.schema)?.into_iter().collect();
+        let attrs_r: AttrSet = r.attributes(self.schema)?.into_iter().collect();
+        let mut family = AttrFamily::none();
+        for x1 in cl.sets() {
+            for x2 in cr.sets() {
+                for y1 in pl.sets() {
+                    for y2 in pr.sets() {
+                        let set: AttrSet = x1
+                            .iter()
+                            .cloned()
+                            .chain(x2.iter().cloned())
+                            .chain(y1.difference(&attrs_r).cloned())
+                            .chain(y2.difference(&attrs_l).cloned())
+                            .collect();
+                        family.insert(set);
+                    }
+                }
+            }
+        }
+        Ok(family)
+    }
+}
+
+fn rename_family(inner: AttrFamily, mapping: &[(String, String)]) -> AttrFamily {
+    let mut family = AttrFamily::none();
+    for s in inner.sets() {
+        family.insert(
+            s.iter()
+                .map(|a| {
+                    mapping
+                        .iter()
+                        .find(|(old, _)| old == a)
+                        .map(|(_, new)| new.clone())
+                        .unwrap_or_else(|| a.clone())
+                })
+                .collect(),
+        );
+    }
+    family
+}
+
+fn union_pairs(a: &AttrFamily, b: &AttrFamily) -> AttrFamily {
+    let mut family = AttrFamily::none();
+    for sa in a.sets() {
+        for sb in b.sets() {
+            family.insert(sa.union(sb).cloned().collect());
+        }
+    }
+    family
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_access::{facebook_access_schema, AccessConstraint, AccessSchema};
+    use si_data::schema::social_schema;
+
+    fn attrs(names: &[&str]) -> AttrSet {
+        names.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    /// Q1 in relational algebra: friend ⋈ ρ[id→id2](σ[city=NYC](person)),
+    /// projected to (id1, name).
+    fn q1_expr() -> RaExpr {
+        RaExpr::relation("friend")
+            .join(
+                RaExpr::relation("person")
+                    .select_eq("city", "NYC")
+                    .rename(&[("id", "id2")]),
+            )
+            .project(&["id1", "name"])
+    }
+
+    #[test]
+    fn base_relations_use_constraints_and_full_access() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000).with_full_access("visit");
+        let analyzer = AlgebraControllability::new(&schema, &access);
+        let friend = analyzer
+            .controlling_sets(&RaExpr::relation("friend"), ExprForm::Plain)
+            .unwrap();
+        assert!(friend.controlled_by(&attrs(&["id1"])));
+        assert!(!friend.controlled_by(&attrs(&["id2"])));
+        let visit = analyzer
+            .controlling_sets(&RaExpr::relation("visit"), ExprForm::Plain)
+            .unwrap();
+        assert!(visit.controlled_by(&attrs(&[])));
+        // ∆R / ∇R are ∅-controlled.
+        let d = analyzer
+            .controlling_sets(&RaExpr::delta("visit"), ExprForm::Plain)
+            .unwrap();
+        assert!(d.controlled_by(&attrs(&[])));
+    }
+
+    #[test]
+    fn selection_discharges_fixed_attributes() {
+        let schema = social_schema();
+        let access = AccessSchema::new()
+            .with(AccessConstraint::new("person", &["id", "city"], 1, 1));
+        let analyzer = AlgebraControllability::new(&schema, &access);
+        let expr = RaExpr::relation("person").select_eq("city", "NYC");
+        let family = analyzer.controlling_sets(&expr, ExprForm::Plain).unwrap();
+        // city is fixed by the selection, so id alone controls.
+        assert!(family.controlled_by(&attrs(&["id"])));
+        assert!(!family.controlled_by(&attrs(&["name"])));
+    }
+
+    #[test]
+    fn q1_expression_is_id1_controlled() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let analyzer = AlgebraControllability::new(&schema, &access);
+        assert!(analyzer
+            .is_scale_independent(&q1_expr(), &["id1".into()])
+            .unwrap());
+        assert!(!analyzer
+            .is_scale_independent(&q1_expr(), &["name".into()])
+            .unwrap());
+        // Attributes outside the output are rejected.
+        assert!(!analyzer
+            .is_scale_independent(&q1_expr(), &["city".into()])
+            .unwrap());
+    }
+
+    #[test]
+    fn q1_without_constraints_is_not_controlled_by_id1() {
+        let schema = social_schema();
+        let access = AccessSchema::new();
+        let analyzer = AlgebraControllability::new(&schema, &access);
+        assert!(!analyzer
+            .is_scale_independent(&q1_expr(), &["id1".into()])
+            .unwrap());
+    }
+
+    #[test]
+    fn projection_drops_sets_outside_the_projection() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let analyzer = AlgebraControllability::new(&schema, &access);
+        // π[name](person): the id-key controlling set mentions id, which is
+        // projected away, so only … nothing remains (name is not a key).
+        let expr = RaExpr::relation("person").project(&["name"]);
+        let family = analyzer.controlling_sets(&expr, ExprForm::Plain).unwrap();
+        assert!(family.is_empty());
+    }
+
+    #[test]
+    fn union_and_difference_follow_the_paper_rules() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000)
+            .with(AccessConstraint::new("visit", &["id"], 100, 1));
+        let analyzer = AlgebraControllability::new(&schema, &access);
+        // visit ∪ visit: controlled by id (union of the two sides' sets).
+        let u = RaExpr::relation("visit").union(RaExpr::relation("visit"));
+        assert!(analyzer.is_scale_independent(&u, &["id".into()]).unwrap());
+        // friend − (friend): RHS is controlled by all attributes (membership
+        // probe), so the difference inherits the LHS's id1 control.
+        let d = RaExpr::relation("friend").diff(RaExpr::relation("friend"));
+        assert!(analyzer.is_scale_independent(&d, &["id1".into()]).unwrap());
+    }
+
+    #[test]
+    fn incremental_controllability_of_a_join() {
+        let schema = social_schema();
+        // Make both relations key-accessible on their join attribute so the
+        // join's change family is small.
+        let access = AccessSchema::new()
+            .with(AccessConstraint::new("friend", &["id2"], 5000, 1))
+            .with(AccessConstraint::new("visit", &["id"], 100, 1));
+        let analyzer = AlgebraControllability::new(&schema, &access);
+        let expr = RaExpr::relation("friend")
+            .rename(&[("id2", "id")])
+            .join(RaExpr::relation("visit"));
+        // (E∆, X) and (E∇, X): base deltas are ∅-controlled; the join rule
+        // then needs Y1/Y2 minus the other side's attributes, giving
+        // {id1}… let us just check Theorem 5.4(2) for X = {id1, id, rid}
+        // (all attributes) and for the more interesting X = {id}.
+        let all: Vec<String> = expr.attributes(&schema).unwrap();
+        assert!(analyzer
+            .is_incrementally_scale_independent(&expr, &all)
+            .unwrap());
+        let nabla = analyzer.controlling_sets(&expr, ExprForm::Nabla).unwrap();
+        let delta = analyzer.controlling_sets(&expr, ExprForm::Delta).unwrap();
+        assert!(!nabla.is_empty());
+        assert!(!delta.is_empty());
+    }
+
+    #[test]
+    fn rename_maps_controlling_attributes() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let analyzer = AlgebraControllability::new(&schema, &access);
+        let expr = RaExpr::relation("friend").rename(&[("id1", "src")]);
+        let family = analyzer.controlling_sets(&expr, ExprForm::Plain).unwrap();
+        assert!(family.controlled_by(&attrs(&["src"])));
+        assert!(!family.controlled_by(&attrs(&["id1"])));
+        // Change forms commute with rename as well.
+        let nabla = analyzer.controlling_sets(&expr, ExprForm::Nabla).unwrap();
+        assert!(nabla.controlled_by(&attrs(&[])));
+    }
+
+    #[test]
+    fn smallest_and_display_helpers() {
+        let mut f = AttrFamily::none();
+        f.insert(attrs(&["a", "b"]));
+        f.insert(attrs(&["c"]));
+        assert_eq!(f.smallest().unwrap(), &attrs(&["c"]));
+        assert_eq!(f.sets().len(), 2);
+        f.extend(AttrFamily::single(attrs(&[])));
+        assert_eq!(f.sets().len(), 1);
+        assert!(f.controlled_by(&attrs(&[])));
+        assert!(AttrFamily::none().is_empty());
+    }
+}

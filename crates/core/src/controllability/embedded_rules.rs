@@ -1,0 +1,348 @@
+//! Embedded controllability: x̄[ȳ]-controlled queries (Section 4).
+//!
+//! Embedded access constraints `(R, X[Y], N, T)` let a bounded plan
+//! *enumerate* values of the `Y` attributes from values of the `X`
+//! attributes (at most `N` combinations).  The paper's rules 1–4 compose such
+//! steps across a conjunction; their combined power for conjunctions of atoms
+//! is captured by a **closure computation** analogous to the closure of a set
+//! of functional dependencies:
+//!
+//! starting from the provided variables (parameters and constants), repeatedly
+//! apply any constraint whose input variables are already known, adding its
+//! output variables — each application enumerates at most `N` value
+//! combinations, so the whole closure stays bounded.
+//!
+//! *Proposition 4.5* then reads: if the closure of the parameters covers the
+//! output variables, the query (with parameters fixed) is efficiently
+//! scale-independent.  The bounded planner additionally asks for the closure
+//! to cover *all* body variables, which yields a complete fetch-and-check
+//! evaluation strategy (this is exactly what Example 4.6 does for `Q3`).
+
+use crate::error::CoreError;
+use si_access::AccessSchema;
+use si_data::DatabaseSchema;
+use si_query::{ConjunctiveQuery, Term, Var};
+use std::collections::BTreeSet;
+
+/// One applied enumeration step in a closure derivation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosureStep {
+    /// The relation whose constraint was applied.
+    pub relation: String,
+    /// Index of the atom (within the query's atom list) the step applies to.
+    pub atom_index: usize,
+    /// Variables that had to be known before the step.
+    pub requires: BTreeSet<Var>,
+    /// Variables newly bound by the step.
+    pub provides: BTreeSet<Var>,
+    /// The cardinality bound of the constraint used.
+    pub bound: usize,
+    /// The time bound of the constraint used.
+    pub time: u64,
+    /// Human-readable description of the constraint used.
+    pub via: String,
+}
+
+/// The result of an embedded-controllability closure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EmbeddedClosure {
+    /// Variables known at the end (the `ȳ` of the derived `x̄[ȳ]` pair).
+    pub known: BTreeSet<Var>,
+    /// The steps applied, in order.
+    pub steps: Vec<ClosureStep>,
+}
+
+impl EmbeddedClosure {
+    /// True iff every variable in `vars` ends up known.
+    pub fn covers<'v>(&self, vars: impl IntoIterator<Item = &'v Var>) -> bool {
+        vars.into_iter().all(|v| self.known.contains(v))
+    }
+
+    /// The product of the step bounds — the worst-case number of candidate
+    /// assignments the closure can enumerate (data-independent).
+    pub fn enumeration_bound(&self) -> u64 {
+        self.steps
+            .iter()
+            .fold(1u64, |acc, s| acc.saturating_mul(s.bound as u64))
+    }
+}
+
+/// Analyzer for embedded controllability of conjunctions of atoms.
+#[derive(Debug, Clone)]
+pub struct EmbeddedControllability<'a> {
+    schema: &'a DatabaseSchema,
+    access: &'a AccessSchema,
+}
+
+impl<'a> EmbeddedControllability<'a> {
+    /// Creates an analyzer.
+    pub fn new(schema: &'a DatabaseSchema, access: &'a AccessSchema) -> Self {
+        EmbeddedControllability { schema, access }
+    }
+
+    /// Computes the closure of `params` under the embedded (and lifted plain)
+    /// constraints applicable to the atoms of `query`.
+    ///
+    /// Constants occurring in atoms and variables equated to constants are
+    /// treated as provided.  Variable/variable equalities propagate
+    /// knowledge in both directions.
+    pub fn closure(
+        &self,
+        query: &ConjunctiveQuery,
+        params: &[Var],
+    ) -> Result<EmbeddedClosure, CoreError> {
+        query.validate(self.schema)?;
+        let mut known: BTreeSet<Var> = params.iter().cloned().collect();
+        // Variables equated to constants are known.
+        for (l, r) in &query.equalities {
+            match (l, r) {
+                (Term::Var(v), Term::Const(_)) | (Term::Const(_), Term::Var(v)) => {
+                    known.insert(v.clone());
+                }
+                _ => {}
+            }
+        }
+        let mut steps: Vec<ClosureStep> = Vec::new();
+        let mut applied: BTreeSet<(usize, String)> = BTreeSet::new();
+        loop {
+            let mut progress = false;
+            // Equality propagation.
+            for (l, r) in &query.equalities {
+                if let (Term::Var(a), Term::Var(b)) = (l, r) {
+                    if known.contains(a) && known.insert(b.clone()) {
+                        progress = true;
+                    }
+                    if known.contains(b) && known.insert(a.clone()) {
+                        progress = true;
+                    }
+                }
+            }
+            // Constraint applications.
+            for (atom_index, atom) in query.atoms.iter().enumerate() {
+                let rel = self.schema.relation(&atom.relation)?;
+                for constraint in self.access.all_embedded_on(&atom.relation, self.schema) {
+                    let key = (atom_index, constraint.to_string());
+                    if applied.contains(&key) {
+                        continue;
+                    }
+                    // Map the constraint's attribute names to the atom's terms.
+                    let mut requires: BTreeSet<Var> = BTreeSet::new();
+                    let mut inputs_known = true;
+                    for a in &constraint.from {
+                        let pos = rel.position_of(a)?;
+                        match &atom.terms[pos] {
+                            Term::Const(_) => {}
+                            Term::Var(v) => {
+                                if known.contains(v) {
+                                    requires.insert(v.clone());
+                                } else {
+                                    inputs_known = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if !inputs_known {
+                        continue;
+                    }
+                    let mut provides: BTreeSet<Var> = BTreeSet::new();
+                    for a in &constraint.onto {
+                        let pos = rel.position_of(a)?;
+                        if let Term::Var(v) = &atom.terms[pos] {
+                            if !known.contains(v) {
+                                provides.insert(v.clone());
+                            }
+                        }
+                    }
+                    if provides.is_empty() {
+                        continue;
+                    }
+                    for v in &provides {
+                        known.insert(v.clone());
+                    }
+                    applied.insert(key);
+                    steps.push(ClosureStep {
+                        relation: atom.relation.clone(),
+                        atom_index,
+                        requires,
+                        provides,
+                        bound: constraint.bound,
+                        time: constraint.time,
+                        via: constraint.to_string(),
+                    });
+                    progress = true;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        Ok(EmbeddedClosure { known, steps })
+    }
+
+    /// Proposition 4.5 check: with `params` fixed, can the query's *head*
+    /// variables be enumerated boundedly?  (The query is x̄[x̄ ∪ ȳ]-controlled
+    /// with x̄ = params and ȳ ⊇ head ∖ params.)
+    pub fn is_embedded_controlled(
+        &self,
+        query: &ConjunctiveQuery,
+        params: &[Var],
+    ) -> Result<bool, CoreError> {
+        let closure = self.closure(query, params)?;
+        Ok(query.head.iter().all(|v| closure.known.contains(v)))
+    }
+
+    /// Stronger check used by the bounded planner: with `params` fixed, can
+    /// *every* body variable be enumerated boundedly?  When this holds the
+    /// query can be answered by enumerating candidate assignments and
+    /// verifying each atom with a membership probe.
+    pub fn is_fully_determined(
+        &self,
+        query: &ConjunctiveQuery,
+        params: &[Var],
+    ) -> Result<bool, CoreError> {
+        let closure = self.closure(query, params)?;
+        Ok(query
+            .body_variables()
+            .iter()
+            .all(|v| closure.known.contains(v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_access::{facebook_access_schema, AccessSchema, EmbeddedConstraint};
+    use si_data::schema::{social_schema, social_schema_dated};
+    use si_query::parse_cq;
+
+    fn q3() -> ConjunctiveQuery {
+        parse_cq(
+            r#"Q3(rn, p, yy) :- friend(p, id), visit(id, rid, yy, mm, dd), person(id, pn, "NYC"), restr(rid, rn, "NYC", "A")"#,
+        )
+        .unwrap()
+    }
+
+    /// The enriched access schema of Example 4.6: plain Facebook constraints
+    /// plus the 366-days-per-year bound and the FD id,yy,mm,dd → rid.
+    fn example_46_access() -> AccessSchema {
+        facebook_access_schema(5000)
+            .with_embedded(EmbeddedConstraint::new(
+                "visit",
+                &["yy"],
+                &["mm", "dd"],
+                366,
+                3,
+            ))
+            .with_embedded(EmbeddedConstraint::functional_dependency(
+                "visit",
+                &["id", "yy", "mm", "dd"],
+                &["rid"],
+                1,
+            ))
+    }
+
+    #[test]
+    fn q3_is_not_embedded_controlled_under_plain_schema() {
+        let schema = social_schema_dated();
+        let access = facebook_access_schema(5000);
+        let analyzer = EmbeddedControllability::new(&schema, &access);
+        assert!(!analyzer
+            .is_embedded_controlled(&q3(), &["p".into(), "yy".into()])
+            .unwrap());
+        assert!(!analyzer
+            .is_fully_determined(&q3(), &["p".into(), "yy".into()])
+            .unwrap());
+    }
+
+    #[test]
+    fn q3_becomes_controlled_with_embedded_constraints() {
+        // Example 4.6: with the 366-day bound and the dining FD, Q3 is
+        // (p, yy)-controlled.
+        let schema = social_schema_dated();
+        let access = example_46_access();
+        let analyzer = EmbeddedControllability::new(&schema, &access);
+        let closure = analyzer.closure(&q3(), &["p".into(), "yy".into()]).unwrap();
+        assert!(closure.covers(&q3().body_variables()));
+        assert!(analyzer
+            .is_embedded_controlled(&q3(), &["p".into(), "yy".into()])
+            .unwrap());
+        assert!(analyzer
+            .is_fully_determined(&q3(), &["p".into(), "yy".into()])
+            .unwrap());
+        // But not with p alone: yy cannot be enumerated.
+        assert!(!analyzer
+            .is_embedded_controlled(&q3(), &["p".into()])
+            .unwrap());
+        // The enumeration bound is data-independent: 5000 friends × 366 days.
+        assert!(closure.enumeration_bound() >= 5000 * 366);
+    }
+
+    #[test]
+    fn closure_steps_record_the_derivation() {
+        let schema = social_schema_dated();
+        let access = example_46_access();
+        let analyzer = EmbeddedControllability::new(&schema, &access);
+        let closure = analyzer.closure(&q3(), &["p".into(), "yy".into()]).unwrap();
+        let relations: Vec<&str> = closure.steps.iter().map(|s| s.relation.as_str()).collect();
+        assert!(relations.contains(&"friend"));
+        assert!(relations.contains(&"visit"));
+        assert!(relations.contains(&"restr"));
+        // The FD step requires id, yy, mm, dd and provides rid.
+        let fd_step = closure
+            .steps
+            .iter()
+            .find(|s| s.provides.contains("rid"))
+            .unwrap();
+        assert!(fd_step.requires.contains("id"));
+        assert_eq!(fd_step.bound, 1);
+    }
+
+    #[test]
+    fn constants_and_equalities_seed_the_closure() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let analyzer = EmbeddedControllability::new(&schema, &access);
+        // friend(1, id): the constant provides id1, so id is enumerable with
+        // no parameters at all.
+        let q = parse_cq("Q(id) :- friend(1, id)").unwrap();
+        assert!(analyzer.is_embedded_controlled(&q, &[]).unwrap());
+        // Q(id) :- friend(p, id), p = 7 — the equality provides p.
+        let q = parse_cq("Q(id) :- friend(p, id), p = 7").unwrap();
+        assert!(analyzer.is_embedded_controlled(&q, &[]).unwrap());
+        // Variable/variable equality propagates knowledge.
+        let q = parse_cq("Q(id) :- friend(q, id), q = p").unwrap();
+        assert!(analyzer.is_embedded_controlled(&q, &["p".into()]).unwrap());
+        assert!(!analyzer.is_embedded_controlled(&q, &[]).unwrap());
+    }
+
+    #[test]
+    fn q1_closure_matches_plain_controllability() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let analyzer = EmbeddedControllability::new(&schema, &access);
+        let q1 = parse_cq(r#"Q1(p, name) :- friend(p, id), person(id, name, "NYC")"#).unwrap();
+        assert!(analyzer.is_fully_determined(&q1, &["p".into()]).unwrap());
+        assert!(!analyzer.is_fully_determined(&q1, &[]).unwrap());
+    }
+
+    #[test]
+    fn closure_bound_multiplies_step_bounds() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let analyzer = EmbeddedControllability::new(&schema, &access);
+        let q1 = parse_cq(r#"Q1(p, name) :- friend(p, id), person(id, name, "NYC")"#).unwrap();
+        let closure = analyzer.closure(&q1, &["p".into()]).unwrap();
+        assert_eq!(closure.enumeration_bound(), 5000);
+        assert!(closure.covers(&["name".to_string()]));
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let analyzer = EmbeddedControllability::new(&schema, &access);
+        let bad = parse_cq("Q(x) :- enemy(x)").unwrap();
+        assert!(analyzer.closure(&bad, &[]).is_err());
+    }
+}

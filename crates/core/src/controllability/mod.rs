@@ -1,0 +1,14 @@
+//! Controllability: the syntactic sufficient conditions for scale
+//! independence of Section 4 (first-order rules, embedded constraints) and
+//! Section 5 (`RA_A` rules for relational algebra, including increment and
+//! decrement forms), together with the QCntl / QCntlmin decision problems.
+
+pub mod algebra_rules;
+pub mod embedded_rules;
+pub mod qcntl;
+pub mod rules;
+
+pub use algebra_rules::{AlgebraControllability, AttrFamily, AttrSet, ExprForm};
+pub use embedded_rules::{ClosureStep, EmbeddedClosure, EmbeddedControllability};
+pub use qcntl::{decide_qcntl, decide_qcntl_min, minimal_controlling_sets, QcntlOutcome};
+pub use rules::{ControlFamily, Controllability, ControllabilityAnalyzer, VarSet};

@@ -1,0 +1,164 @@
+//! The decision problems QCntl and QCntlmin (Theorem 4.4).
+//!
+//! * **QCntl**: given an access schema `A`, a number `K` and a query `Q(ȳ)`,
+//!   is there a tuple `x̄` with `|x̄| ≤ K` such that `Q` is x̄-controlled?
+//! * **QCntlmin**: given `A`, `Q` and a variable `x`, is `Q` *minimally*
+//!   controlled by some `x̄` containing `x` (x̄-controlled but not
+//!   x̄'-controlled for any proper subtuple x̄')?
+//!
+//! Both are NP-complete (the paper reduces from candidate-key / prime-
+//! attribute problems), which shows up here as the potentially exponential
+//! size of the family of minimal controlling sets; the procedures below are
+//! exact and their cost is measured by the benchmarks of experiment E6.
+
+use crate::controllability::rules::{ControlFamily, ControllabilityAnalyzer};
+use crate::error::CoreError;
+use si_access::AccessSchema;
+use si_data::DatabaseSchema;
+use si_query::{FoQuery, Var};
+
+/// Outcome of a QCntl decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QcntlOutcome {
+    /// Whether some controlling tuple of size ≤ K exists.
+    pub controllable_within: bool,
+    /// A smallest controlling set (regardless of K), if any exists.
+    pub smallest: Option<Vec<Var>>,
+    /// The number of minimal controlling sets derived (work measure).
+    pub family_size: usize,
+}
+
+/// Decides QCntl: is there `x̄` with `|x̄| ≤ k` such that `query` is
+/// x̄-controlled under `access`?
+pub fn decide_qcntl(
+    query: &FoQuery,
+    schema: &DatabaseSchema,
+    access: &AccessSchema,
+    k: usize,
+) -> Result<QcntlOutcome, CoreError> {
+    let analyzer = ControllabilityAnalyzer::new(schema, access);
+    let family = analyzer.query_controlling_sets(query)?;
+    let smallest = family
+        .smallest()
+        .map(|s| s.iter().cloned().collect::<Vec<Var>>());
+    Ok(QcntlOutcome {
+        controllable_within: smallest.as_ref().map(|s| s.len() <= k).unwrap_or(false),
+        smallest,
+        family_size: family.sets().len(),
+    })
+}
+
+/// Decides QCntlmin: is `query` minimally controlled by some `x̄` containing
+/// `variable`?
+///
+/// The derivable controlling sets are upward closed (expansion rule), so the
+/// minimal controlling tuples are exactly the minimal sets of the derived
+/// family; the answer is whether `variable` occurs in one of them.
+pub fn decide_qcntl_min(
+    query: &FoQuery,
+    schema: &DatabaseSchema,
+    access: &AccessSchema,
+    variable: &str,
+) -> Result<bool, CoreError> {
+    let analyzer = ControllabilityAnalyzer::new(schema, access);
+    let family = analyzer.query_controlling_sets(query)?;
+    Ok(family
+        .sets()
+        .iter()
+        .any(|s| s.contains(variable)))
+}
+
+/// Returns every minimal controlling set of the query (the full family),
+/// sorted by size then lexicographically — used by benchmarks and examples to
+/// display the search space behind Theorem 4.4.
+pub fn minimal_controlling_sets(
+    query: &FoQuery,
+    schema: &DatabaseSchema,
+    access: &AccessSchema,
+) -> Result<Vec<Vec<Var>>, CoreError> {
+    let analyzer = ControllabilityAnalyzer::new(schema, access);
+    let family: ControlFamily = analyzer.query_controlling_sets(query)?;
+    let mut sets: Vec<Vec<Var>> = family
+        .sets()
+        .iter()
+        .map(|s| s.iter().cloned().collect())
+        .collect();
+    sets.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    Ok(sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_access::{facebook_access_schema, AccessConstraint};
+    use si_data::schema::social_schema;
+    use si_data::{DatabaseSchema, RelationSchema};
+    use si_query::parse_fo_query;
+
+    #[test]
+    fn q1_is_controllable_with_one_variable() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let q1 = parse_fo_query(
+            r#"Q1(p, name) := exists id. friend(p, id) & person(id, name, "NYC")"#,
+        )
+        .unwrap();
+        let out = decide_qcntl(&q1, &schema, &access, 1).unwrap();
+        assert!(out.controllable_within);
+        assert_eq!(out.smallest, Some(vec!["p".to_string()]));
+        let out = decide_qcntl(&q1, &schema, &access, 0).unwrap();
+        assert!(!out.controllable_within);
+    }
+
+    #[test]
+    fn qcntl_min_detects_prime_variables() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let q1 = parse_fo_query(
+            r#"Q1(p, name) := exists id. friend(p, id) & person(id, name, "NYC")"#,
+        )
+        .unwrap();
+        // p occurs in the minimal controlling set {p}; name does not occur
+        // in any minimal controlling set.
+        assert!(decide_qcntl_min(&q1, &schema, &access, "p").unwrap());
+        assert!(!decide_qcntl_min(&q1, &schema, &access, "name").unwrap());
+    }
+
+    #[test]
+    fn uncontrollable_queries_report_no_smallest_set() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        // Negation alone is not derivable.
+        let q = parse_fo_query("Q(x, y) := ! friend(x, y)").unwrap();
+        let out = decide_qcntl(&q, &schema, &access, 5).unwrap();
+        assert!(!out.controllable_within);
+        assert!(out.smallest.is_none());
+        assert_eq!(out.family_size, 0);
+        assert!(!decide_qcntl_min(&q, &schema, &access, "x").unwrap());
+    }
+
+    #[test]
+    fn family_can_contain_multiple_incomparable_sets() {
+        // A schema with several alternative "keys" mirrors the candidate-key
+        // reduction of Theorem 4.4: r(a, b, c) with constraints on {a} and
+        // {b} gives two incomparable minimal controlling sets for a query
+        // that projects away c.
+        let schema =
+            DatabaseSchema::from_relations(vec![RelationSchema::new("r", &["a", "b", "c"])])
+                .unwrap();
+        let access = AccessSchema::new()
+            .with(AccessConstraint::new("r", &["a"], 10, 1))
+            .with(AccessConstraint::new("r", &["b"], 10, 1));
+        let q = parse_fo_query("Q(a, b) := exists c. r(a, b, c)").unwrap();
+        let sets = minimal_controlling_sets(&q, &schema, &access).unwrap();
+        assert_eq!(
+            sets,
+            vec![vec!["a".to_string()], vec!["b".to_string()]]
+        );
+        let out = decide_qcntl(&q, &schema, &access, 1).unwrap();
+        assert!(out.controllable_within);
+        assert_eq!(out.family_size, 2);
+        assert!(decide_qcntl_min(&q, &schema, &access, "a").unwrap());
+        assert!(decide_qcntl_min(&q, &schema, &access, "b").unwrap());
+    }
+}

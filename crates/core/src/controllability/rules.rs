@@ -1,0 +1,701 @@
+//! The inductive rules for x̄-controlled FO queries (Section 4).
+//!
+//! A query `Q(x̄)` is *x̄-controlled* under an access schema `A` when the
+//! rules of Section 4 derive it; Theorem 4.2 then guarantees that `Q` is
+//! efficiently x̄-scale-independent under `A`.  This module computes, for a
+//! formula, the family of **minimal controlling sets**: `Q` is x̄-controlled
+//! iff some derived set is contained in `x̄` (the *expansion* rule closes the
+//! family upward, so keeping only minimal sets loses nothing).
+//!
+//! The rules implemented (names as in the paper):
+//!
+//! * **atoms** — `R(ȳ)` is controlled by the variables sitting on the `X`
+//!   attributes of any constraint `(R, X, N, T) ∈ A` (constants in those
+//!   positions need not be provided).  In addition, following the reading
+//!   used in Example 4.1 ("all base relations are … controlled by all their
+//!   free variables"), an atom is always controlled by the full set of its
+//!   variables: providing every attribute value is a membership probe that
+//!   retrieves at most one tuple.
+//! * **conditions** — Boolean combinations of equalities are controlled by
+//!   their free variables.
+//! * **disjunction**, **conjunction**, **safe negation**,
+//!   **existential quantification**, **universal quantification**,
+//!   **expansion** — as in the paper; see the match arms below.
+
+use crate::error::CoreError;
+use si_access::AccessSchema;
+use si_query::{Atom, Formula, FoQuery, Term, Var};
+use std::collections::BTreeSet;
+
+/// A controlling set of variables.
+pub type VarSet = BTreeSet<Var>;
+
+/// A family of controlling sets, kept minimal under set inclusion.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ControlFamily {
+    sets: Vec<VarSet>,
+}
+
+impl ControlFamily {
+    /// The empty family: the (sub)formula is not controlled by anything.
+    pub fn none() -> Self {
+        ControlFamily { sets: Vec::new() }
+    }
+
+    /// A family with a single controlling set.
+    pub fn single(set: VarSet) -> Self {
+        let mut f = ControlFamily::none();
+        f.insert(set);
+        f
+    }
+
+    /// Inserts a controlling set, keeping the family minimal: supersets of
+    /// existing sets are dropped, and existing supersets of the new set are
+    /// removed.
+    pub fn insert(&mut self, set: VarSet) {
+        if self.sets.iter().any(|s| s.is_subset(&set)) {
+            return;
+        }
+        self.sets.retain(|s| !set.is_subset(s));
+        self.sets.push(set);
+    }
+
+    /// Merges another family into this one.
+    pub fn extend(&mut self, other: ControlFamily) {
+        for s in other.sets {
+            self.insert(s);
+        }
+    }
+
+    /// The minimal controlling sets.
+    pub fn sets(&self) -> &[VarSet] {
+        &self.sets
+    }
+
+    /// True iff no controlling set was derived.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// True iff the formula is controlled by `vars`, i.e. some derived set is
+    /// contained in `vars` (this realises the *expansion* rule).
+    pub fn controlled_by(&self, vars: &VarSet) -> bool {
+        self.sets.iter().any(|s| s.is_subset(vars))
+    }
+
+    /// True iff the formula is *controlled* in the paper's absolute sense:
+    /// controlled by (a subset of) its own free variables — with minimal
+    /// sets this is simply non-emptiness, because every derived set consists
+    /// of free variables.
+    pub fn is_controlled(&self) -> bool {
+        !self.is_empty()
+    }
+
+    /// The smallest controlling set, if any (used by QCntl).
+    pub fn smallest(&self) -> Option<&VarSet> {
+        self.sets.iter().min_by_key(|s| s.len())
+    }
+}
+
+/// Derives controlling-set families for formulas under a fixed access schema.
+#[derive(Debug, Clone)]
+pub struct Controllability<'a> {
+    access: &'a AccessSchema,
+}
+
+impl<'a> Controllability<'a> {
+    /// Creates an analyzer for the given access schema.
+    pub fn new(access: &'a AccessSchema) -> Self {
+        Controllability { access }
+    }
+
+    /// The family of minimal controlling sets of `formula`.
+    pub fn controlling_sets(&self, formula: &Formula) -> ControlFamily {
+        match formula {
+            Formula::True | Formula::False => ControlFamily::single(VarSet::new()),
+            Formula::Eq(l, r) => {
+                // conditions rule: controlled by its free variables.
+                let mut vars = VarSet::new();
+                for t in [l, r] {
+                    if let Term::Var(v) = t {
+                        vars.insert(v.clone());
+                    }
+                }
+                ControlFamily::single(vars)
+            }
+            Formula::Atom(atom) => self.atom_sets(atom),
+            Formula::And(f, g) => self.conjunction_sets(f, g),
+            Formula::Or(f, g) => {
+                // disjunction rule: union of controlling sets of the two sides.
+                let cf = self.controlling_sets(f);
+                let cg = self.controlling_sets(g);
+                let mut out = ControlFamily::none();
+                for sf in cf.sets() {
+                    for sg in cg.sets() {
+                        out.insert(sf.union(sg).cloned().collect());
+                    }
+                }
+                out
+            }
+            Formula::Not(_) => {
+                // Standalone negation is not covered by any rule; it only
+                // becomes usable through the safe-negation pattern handled in
+                // the conjunction case.
+                ControlFamily::none()
+            }
+            Formula::Implies(_, _) => {
+                // Implication outside the universal-quantification pattern is
+                // not covered by the rules.
+                ControlFamily::none()
+            }
+            Formula::Exists(vars, body) => {
+                // existential quantification: drop controlling sets that
+                // mention a quantified variable (those values can no longer
+                // be provided from outside).
+                let inner = self.controlling_sets(body);
+                let quantified: BTreeSet<&Var> = vars.iter().collect();
+                let mut out = ControlFamily::none();
+                for s in inner.sets() {
+                    if s.iter().all(|v| !quantified.contains(v)) {
+                        out.insert(s.clone());
+                    }
+                }
+                out
+            }
+            Formula::Forall(vars, body) => self.forall_sets(vars, body),
+        }
+    }
+
+    /// Convenience: controlling sets of a named query's body.
+    pub fn query_controlling_sets(&self, query: &FoQuery) -> ControlFamily {
+        self.controlling_sets(&query.body)
+    }
+
+    /// Is `query` x̄-controlled for `x̄ = vars`?
+    pub fn is_controlled_by(&self, query: &FoQuery, vars: &[Var]) -> bool {
+        let set: VarSet = vars.iter().cloned().collect();
+        let free = query.body.free_variables();
+        if !set.iter().all(|v| free.contains(v)) {
+            // Controlling variables must be free variables of the query
+            // (expansion allows supersets only within the free variables).
+            return false;
+        }
+        self.query_controlling_sets(query).controlled_by(&set)
+    }
+
+    /// Is `query` controlled (by all of its free variables)?
+    pub fn is_controlled(&self, query: &FoQuery) -> bool {
+        self.query_controlling_sets(query).is_controlled()
+    }
+
+    fn atom_sets(&self, atom: &Atom) -> ControlFamily {
+        let mut family = ControlFamily::none();
+        // Membership probe: all variables of the atom.
+        let all_vars: VarSet = atom.variables().into_iter().collect();
+        family.insert(all_vars);
+        // One controlling set per applicable access constraint.
+        for constraint in self.access.constraints_on(&atom.relation) {
+            if let Some(vars) = self.constraint_variables(atom, &constraint.on) {
+                family.insert(vars);
+            }
+        }
+        // Embedded constraints whose output covers every attribute of the
+        // relation behave like plain constraints for the plain rules.
+        for embedded in self.access.embedded_on(&atom.relation) {
+            if embedded.onto.len() >= atom.terms.len() {
+                if let Some(vars) = self.constraint_variables(atom, &embedded.from) {
+                    family.insert(vars);
+                }
+            }
+        }
+        family
+    }
+
+    /// The variables of `atom` sitting on the attributes `on` of its relation
+    /// (positions are resolved by attribute order of the access constraint's
+    /// relation).  Returns `None` when the attribute list cannot be resolved
+    /// against the atom's arity — in that case the constraint is ignored.
+    fn constraint_variables(&self, atom: &Atom, on: &[String]) -> Option<VarSet> {
+        // Attribute names are positional: we need the relation schema to map
+        // names to positions.  The access schema was validated against the
+        // database schema, but here we only have the atom; we rely on the
+        // convention (used throughout the workspace) that constraints store
+        // attribute names and atoms are positional over the same relation
+        // schema.  The position lookup is provided by the schema recorded in
+        // the access schema's constraints, so we ask the atom's relation via
+        // the constraint's attribute order: the caller must have kept the
+        // schema consistent.  We therefore resolve positions lazily through
+        // the `schema` captured at construction time of the higher-level
+        // analyzer (see `ControllabilityWithSchema`).
+        let _ = (atom, on);
+        None
+    }
+}
+
+/// Controllability analysis that can resolve attribute names to atom
+/// positions through the database schema.  This is the analyzer used by the
+/// rest of the crate; [`Controllability`] exists separately only to keep the
+/// rule implementations testable without a schema.
+#[derive(Debug, Clone)]
+pub struct ControllabilityAnalyzer<'a> {
+    access: &'a AccessSchema,
+    schema: &'a si_data::DatabaseSchema,
+}
+
+impl<'a> ControllabilityAnalyzer<'a> {
+    /// Creates an analyzer.
+    pub fn new(schema: &'a si_data::DatabaseSchema, access: &'a AccessSchema) -> Self {
+        ControllabilityAnalyzer { access, schema }
+    }
+
+    /// The family of minimal controlling sets of `formula`.
+    pub fn controlling_sets(&self, formula: &Formula) -> Result<ControlFamily, CoreError> {
+        Ok(match formula {
+            Formula::True | Formula::False => ControlFamily::single(VarSet::new()),
+            Formula::Eq(l, r) => {
+                let mut vars = VarSet::new();
+                for t in [l, r] {
+                    if let Term::Var(v) = t {
+                        vars.insert(v.clone());
+                    }
+                }
+                ControlFamily::single(vars)
+            }
+            Formula::Atom(atom) => self.atom_sets(atom)?,
+            Formula::And(f, g) => self.conjunction_sets(f, g)?,
+            Formula::Or(f, g) => {
+                let cf = self.controlling_sets(f)?;
+                let cg = self.controlling_sets(g)?;
+                let mut out = ControlFamily::none();
+                for sf in cf.sets() {
+                    for sg in cg.sets() {
+                        out.insert(sf.union(sg).cloned().collect());
+                    }
+                }
+                out
+            }
+            Formula::Not(_) | Formula::Implies(_, _) => ControlFamily::none(),
+            Formula::Exists(vars, body) => {
+                let inner = self.controlling_sets(body)?;
+                let quantified: BTreeSet<&Var> = vars.iter().collect();
+                let mut out = ControlFamily::none();
+                for s in inner.sets() {
+                    if s.iter().all(|v| !quantified.contains(v)) {
+                        out.insert(s.clone());
+                    }
+                }
+                out
+            }
+            Formula::Forall(vars, body) => self.forall_sets(vars, body)?,
+        })
+    }
+
+    /// Controlling sets of a named query's body.
+    pub fn query_controlling_sets(&self, query: &FoQuery) -> Result<ControlFamily, CoreError> {
+        self.controlling_sets(&query.body)
+    }
+
+    /// Is `query` x̄-controlled for `x̄ = vars`?
+    pub fn is_controlled_by(&self, query: &FoQuery, vars: &[Var]) -> Result<bool, CoreError> {
+        let set: VarSet = vars.iter().cloned().collect();
+        let free = query.body.free_variables();
+        if !set.iter().all(|v| free.contains(v)) {
+            return Ok(false);
+        }
+        Ok(self.query_controlling_sets(query)?.controlled_by(&set))
+    }
+
+    /// Is `query` controlled by (all of) its free variables?
+    pub fn is_controlled(&self, query: &FoQuery) -> Result<bool, CoreError> {
+        Ok(self.query_controlling_sets(query)?.is_controlled())
+    }
+
+    fn atom_sets(&self, atom: &Atom) -> Result<ControlFamily, CoreError> {
+        let rel = self.schema.relation(&atom.relation)?;
+        if rel.arity() != atom.terms.len() {
+            return Err(CoreError::Query(si_query::QueryError::AtomArity {
+                relation: atom.relation.clone(),
+                expected: rel.arity(),
+                actual: atom.terms.len(),
+            }));
+        }
+        let mut family = ControlFamily::none();
+        // Membership-probe reading: the atom is controlled by all of its
+        // variables.
+        family.insert(atom.variables().into_iter().collect());
+        let mut add_for = |attrs: &[String]| -> Result<(), CoreError> {
+            let mut vars = VarSet::new();
+            for a in attrs {
+                let pos = rel.position_of(a)?;
+                match &atom.terms[pos] {
+                    Term::Var(v) => {
+                        vars.insert(v.clone());
+                    }
+                    Term::Const(_) => {
+                        // A constant already provides the value; nothing to add.
+                    }
+                }
+            }
+            family.insert(vars);
+            Ok(())
+        };
+        for constraint in self.access.constraints_on(&atom.relation) {
+            add_for(&constraint.on)?;
+        }
+        for embedded in self.access.embedded_on(&atom.relation) {
+            // An embedded constraint whose output covers all attributes acts
+            // like a plain constraint here; narrower ones are handled by the
+            // embedded-controllability rules.
+            if embedded.onto.len() == rel.arity() {
+                add_for(&embedded.from)?;
+            }
+        }
+        Ok(family)
+    }
+
+    fn conjunction_sets(&self, f: &Formula, g: &Formula) -> Result<ControlFamily, CoreError> {
+        let mut out = ControlFamily::none();
+        // Safe negation: Q ∧ ¬Q' with Q' controlled and FV(Q') ⊆ FV(Q).
+        for (positive, negated) in [(f, g), (g, f)] {
+            if let Formula::Not(inner) = negated {
+                let inner_free = inner.free_variables();
+                let positive_free = positive.free_variables();
+                if inner_free.is_subset(&positive_free)
+                    && self.controlling_sets(inner)?.is_controlled()
+                {
+                    out.extend(self.controlling_sets(positive)?);
+                }
+            }
+        }
+        // Plain conjunction rule.
+        let cf = self.controlling_sets(f)?;
+        let cg = self.controlling_sets(g)?;
+        let free_f = f.free_variables();
+        let free_g = g.free_variables();
+        for sf in cf.sets() {
+            for sg in cg.sets() {
+                // x̄1 ∪ (x̄2 − ȳ1): provide f's controlling set, then g's
+                // minus whatever f's output already binds.
+                let left: VarSet = sf
+                    .iter()
+                    .cloned()
+                    .chain(sg.iter().filter(|v| !free_f.contains(*v)).cloned())
+                    .collect();
+                out.insert(left);
+                // Symmetric case x̄2 ∪ (x̄1 − ȳ2).
+                let right: VarSet = sg
+                    .iter()
+                    .cloned()
+                    .chain(sf.iter().filter(|v| !free_g.contains(*v)).cloned())
+                    .collect();
+                out.insert(right);
+            }
+        }
+        Ok(out)
+    }
+
+    fn forall_sets(&self, vars: &[Var], body: &Formula) -> Result<ControlFamily, CoreError> {
+        // universal quantification rule: ∀ȳ (Q(x̄, ȳ) → Q'(z̄)) is
+        // x̄-controlled when Q is x̄-controlled and Q' is controlled with
+        // z̄ ⊆ x̄ ∪ ȳ.
+        if let Formula::Implies(premise, conclusion) = body {
+            let premise_free = premise.free_variables();
+            let conclusion_free = conclusion.free_variables();
+            let quantified: BTreeSet<&Var> = vars.iter().collect();
+            let allowed: BTreeSet<&Var> = premise_free.iter().chain(vars.iter()).collect();
+            if conclusion_free.iter().all(|v| allowed.contains(v))
+                && self.controlling_sets(conclusion)?.is_controlled()
+            {
+                let inner = self.controlling_sets(premise)?;
+                let mut out = ControlFamily::none();
+                for s in inner.sets() {
+                    if s.iter().all(|v| !quantified.contains(v)) {
+                        out.insert(s.clone());
+                    }
+                }
+                return Ok(out);
+            }
+        }
+        Ok(ControlFamily::none())
+    }
+}
+
+// The schema-less `Controllability` type shares the conjunction/forall logic
+// with the analyzer; the atom rule cannot resolve attribute positions without
+// a schema, so it only exposes the membership-probe set there.
+impl<'a> Controllability<'a> {
+    fn conjunction_sets(&self, f: &Formula, g: &Formula) -> ControlFamily {
+        let mut out = ControlFamily::none();
+        for (positive, negated) in [(f, g), (g, f)] {
+            if let Formula::Not(inner) = negated {
+                let inner_free = inner.free_variables();
+                let positive_free = positive.free_variables();
+                if inner_free.is_subset(&positive_free)
+                    && self.controlling_sets(inner).is_controlled()
+                {
+                    out.extend(self.controlling_sets(positive));
+                }
+            }
+        }
+        let cf = self.controlling_sets(f);
+        let cg = self.controlling_sets(g);
+        let free_f = f.free_variables();
+        let free_g = g.free_variables();
+        for sf in cf.sets() {
+            for sg in cg.sets() {
+                let left: VarSet = sf
+                    .iter()
+                    .cloned()
+                    .chain(sg.iter().filter(|v| !free_f.contains(*v)).cloned())
+                    .collect();
+                out.insert(left);
+                let right: VarSet = sg
+                    .iter()
+                    .cloned()
+                    .chain(sf.iter().filter(|v| !free_g.contains(*v)).cloned())
+                    .collect();
+                out.insert(right);
+            }
+        }
+        out
+    }
+
+    fn forall_sets(&self, vars: &[Var], body: &Formula) -> ControlFamily {
+        if let Formula::Implies(premise, conclusion) = body {
+            let premise_free = premise.free_variables();
+            let conclusion_free = conclusion.free_variables();
+            let quantified: BTreeSet<&Var> = vars.iter().collect();
+            let allowed: BTreeSet<&Var> = premise_free.iter().chain(vars.iter()).collect();
+            if conclusion_free.iter().all(|v| allowed.contains(v))
+                && self.controlling_sets(conclusion).is_controlled()
+            {
+                let inner = self.controlling_sets(premise);
+                let mut out = ControlFamily::none();
+                for s in inner.sets() {
+                    if s.iter().all(|v| !quantified.contains(v)) {
+                        out.insert(s.clone());
+                    }
+                }
+                return out;
+            }
+        }
+        ControlFamily::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_access::{facebook_access_schema, AccessConstraint};
+    use si_data::schema::{social_schema, social_schema_dated};
+    use si_query::ast::{c, v};
+    use si_query::parse_fo_query;
+
+    fn vars(names: &[&str]) -> VarSet {
+        names.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn control_family_keeps_minimal_sets() {
+        let mut f = ControlFamily::none();
+        f.insert(vars(&["a", "b"]));
+        f.insert(vars(&["a"]));
+        f.insert(vars(&["a", "c"]));
+        // {a} subsumes both {a, b} and {a, c}, so only {a} remains.
+        assert_eq!(f.sets().len(), 1);
+        assert!(f.controlled_by(&vars(&["a"])));
+        assert!(f.controlled_by(&vars(&["a", "z"])));
+        assert!(!f.controlled_by(&vars(&["b"])));
+        assert_eq!(f.smallest().unwrap(), &vars(&["a"]));
+    }
+
+    #[test]
+    fn q1_is_p_controlled_under_facebook_schema() {
+        // Example 4.1: Q1(p, name) is p-controlled.
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let analyzer = ControllabilityAnalyzer::new(&schema, &access);
+        let q1 = parse_fo_query(
+            r#"Q1(p, name) := exists id. friend(p, id) & person(id, name, "NYC")"#,
+        )
+        .unwrap();
+        assert!(analyzer.is_controlled_by(&q1, &["p".into()]).unwrap());
+        assert!(analyzer
+            .is_controlled_by(&q1, &["p".into(), "name".into()])
+            .unwrap());
+        // Not controlled by name alone.
+        assert!(!analyzer.is_controlled_by(&q1, &["name".into()]).unwrap());
+        // Non-free variables cannot control.
+        assert!(!analyzer.is_controlled_by(&q1, &["id".into()]).unwrap());
+        let family = analyzer.query_controlling_sets(&q1).unwrap();
+        assert_eq!(family.smallest().unwrap(), &vars(&["p"]));
+    }
+
+    #[test]
+    fn q1_is_not_p_controlled_without_constraints() {
+        let schema = social_schema();
+        let access = AccessSchema::new();
+        let analyzer = ControllabilityAnalyzer::new(&schema, &access);
+        let q1 = parse_fo_query(
+            r#"Q1(p, name) := exists id. friend(p, id) & person(id, name, "NYC")"#,
+        )
+        .unwrap();
+        assert!(!analyzer.is_controlled_by(&q1, &["p".into()]).unwrap());
+        // Even all free variables do not control it: id is existentially
+        // quantified and no constraint lets us enumerate it.
+        assert!(!analyzer
+            .is_controlled_by(&q1, &["p".into(), "name".into()])
+            .unwrap());
+    }
+
+    #[test]
+    fn q3_is_not_controlled_under_plain_schema() {
+        // Example 4.1: Q3 is not scale-independent under the plain schema —
+        // the existential quantification "forgets" rid, mm, dd.
+        let schema = social_schema_dated();
+        let access = facebook_access_schema(5000);
+        let analyzer = ControllabilityAnalyzer::new(&schema, &access);
+        let q3 = parse_fo_query(
+            r#"Q3(rn, p, yy) := exists id, rid, pn, mm, dd. friend(p, id) & visit(id, rid, yy, mm, dd) & person(id, pn, "NYC") & restr(rid, rn, "NYC", "A")"#,
+        )
+        .unwrap();
+        assert!(!analyzer
+            .is_controlled_by(&q3, &["p".into(), "yy".into()])
+            .unwrap());
+        assert!(!analyzer
+            .is_controlled_by(&q3, &["rn".into(), "p".into(), "yy".into()])
+            .unwrap());
+    }
+
+    #[test]
+    fn atoms_are_controlled_by_all_their_variables() {
+        let schema = social_schema();
+        let access = AccessSchema::new();
+        let analyzer = ControllabilityAnalyzer::new(&schema, &access);
+        let q = parse_fo_query("Q(x, y) := friend(x, y)").unwrap();
+        assert!(analyzer
+            .is_controlled_by(&q, &["x".into(), "y".into()])
+            .unwrap());
+        assert!(!analyzer.is_controlled_by(&q, &["x".into()]).unwrap());
+    }
+
+    #[test]
+    fn constants_discharge_constraint_attributes() {
+        // friend(1, id): the constraint on id1 is satisfied by the constant,
+        // so the atom is ∅-controlled.
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let analyzer = ControllabilityAnalyzer::new(&schema, &access);
+        let q = si_query::FoQuery::new(
+            "Q",
+            vec!["id".into()],
+            Formula::Atom(Atom::new("friend", vec![c(1), v("id")])),
+        );
+        assert!(analyzer.is_controlled_by(&q, &[]).unwrap());
+    }
+
+    #[test]
+    fn disjunction_unions_controlling_sets() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000)
+            .with(AccessConstraint::new("person", &["city"], 1_000_000, 5));
+        let analyzer = ControllabilityAnalyzer::new(&schema, &access);
+        // Q(p, id, city) := friend(p, id) | exists n. person(id, n, city)
+        let q = parse_fo_query(
+            "Q(p, id, city) := friend(p, id) | (exists n. person(id, n, city))",
+        )
+        .unwrap();
+        // friend is p-controlled (id1 constraint); person is city-controlled
+        // and id-controlled (key); union needs one set from each side.
+        assert!(analyzer
+            .is_controlled_by(&q, &["p".into(), "city".into()])
+            .unwrap());
+        assert!(analyzer
+            .is_controlled_by(&q, &["p".into(), "id".into()])
+            .unwrap());
+        assert!(!analyzer.is_controlled_by(&q, &["p".into()]).unwrap());
+    }
+
+    #[test]
+    fn safe_negation_keeps_positive_controlling_sets() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let analyzer = ControllabilityAnalyzer::new(&schema, &access);
+        // Friends of p that are not friends of q… here: friend(p, id) ∧ ¬friend(id, p).
+        let q = parse_fo_query("Q(p, id) := friend(p, id) & ! friend(id, p)").unwrap();
+        // friend(id, p) is controlled (by all its variables {id, p} ⊆ FV of
+        // the positive part), so the conjunction inherits friend(p, id)'s
+        // p-control.
+        assert!(analyzer.is_controlled_by(&q, &["p".into()]).unwrap());
+    }
+
+    #[test]
+    fn standalone_negation_is_not_controlled() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let analyzer = ControllabilityAnalyzer::new(&schema, &access);
+        let q = parse_fo_query("Q(p, id) := ! friend(p, id)").unwrap();
+        assert!(!analyzer
+            .is_controlled_by(&q, &["p".into(), "id".into()])
+            .unwrap());
+    }
+
+    #[test]
+    fn universal_quantification_rule_from_the_paper_example() {
+        // The SQL example of Section 4: R(x, y) ∧ x = 1 ∧ ∀z (S(x,y,z) → T(x,y,z)).
+        // With (R, A, N, T) and (S, {A,B}, N', T') in A, the query is
+        // controlled (T is controlled by all its variables).
+        let mut schema = si_data::DatabaseSchema::new();
+        schema
+            .add_relation(si_data::RelationSchema::new("r", &["a", "b"]))
+            .unwrap();
+        schema
+            .add_relation(si_data::RelationSchema::new("s", &["a", "b", "c"]))
+            .unwrap();
+        schema
+            .add_relation(si_data::RelationSchema::new("t", &["a", "b", "c"]))
+            .unwrap();
+        let access = AccessSchema::new()
+            .with(AccessConstraint::new("r", &["a"], 100, 1))
+            .with(AccessConstraint::new("s", &["a", "b"], 50, 1));
+        let analyzer = ControllabilityAnalyzer::new(&schema, &access);
+        let q = parse_fo_query(
+            "Q(x, y) := r(x, y) & x = 1 & (forall z. (s(x, y, z) -> t(x, y, z)))",
+        )
+        .unwrap();
+        assert!(analyzer.is_controlled_by(&q, &["x".into()]).unwrap());
+        // Without the constraint on S, the universally quantified z cannot be
+        // enumerated boundedly: every controlling set of the premise mentions
+        // z, so the ∀ rule derives nothing and the query is not controlled at
+        // all — exactly the "build an index on A,B for S" advice of the paper.
+        let weaker = AccessSchema::new().with(AccessConstraint::new("r", &["a"], 100, 1));
+        let analyzer = ControllabilityAnalyzer::new(&schema, &weaker);
+        assert!(!analyzer.is_controlled_by(&q, &["x".into()]).unwrap());
+        assert!(!analyzer
+            .is_controlled_by(&q, &["x".into(), "y".into()])
+            .unwrap());
+    }
+
+    #[test]
+    fn schema_less_analyzer_only_uses_membership_probes() {
+        let access = facebook_access_schema(5000);
+        let analyzer = Controllability::new(&access);
+        let q = parse_fo_query("Q(x, y) := friend(x, y)").unwrap();
+        let family = analyzer.query_controlling_sets(&q);
+        assert_eq!(family.sets().len(), 1);
+        assert!(analyzer.is_controlled_by(&q, &["x".into(), "y".into()]));
+        assert!(!analyzer.is_controlled_by(&q, &["x".into()]));
+        assert!(analyzer.is_controlled(&q));
+    }
+
+    #[test]
+    fn atom_arity_mismatch_is_an_error() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let analyzer = ControllabilityAnalyzer::new(&schema, &access);
+        let bad = Formula::Atom(Atom::new("friend", vec![v("x")]));
+        assert!(analyzer.controlling_sets(&bad).is_err());
+        let unknown = Formula::Atom(Atom::new("enemy", vec![v("x")]));
+        assert!(analyzer.controlling_sets(&unknown).is_err());
+    }
+}

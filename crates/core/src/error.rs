@@ -1,0 +1,112 @@
+//! Error type for the scale-independence core.
+
+use si_access::AccessError;
+use si_data::DataError;
+use si_query::QueryError;
+use std::fmt;
+
+/// Errors raised by the scale-independence machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Propagated storage error.
+    Data(DataError),
+    /// Propagated query error.
+    Query(QueryError),
+    /// Propagated access-schema error.
+    Access(AccessError),
+    /// No bounded (scale-independent) plan exists for the query under the
+    /// given access schema and parameters; the payload lists the atoms that
+    /// could not be covered by any access constraint.
+    NotBoundedPlannable {
+        /// Human-readable rendering of the atoms that blocked planning.
+        blocked_atoms: Vec<String>,
+    },
+    /// The requested analysis is only exact on small inputs and the input
+    /// exceeded the configured limit.
+    SearchSpaceTooLarge(String),
+    /// The query fragment is not supported by the requested operation.
+    Unsupported(String),
+    /// An internal invariant was violated.
+    Invariant(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Data(e) => write!(f, "{e}"),
+            CoreError::Query(e) => write!(f, "{e}"),
+            CoreError::Access(e) => write!(f, "{e}"),
+            CoreError::NotBoundedPlannable { blocked_atoms } => write!(
+                f,
+                "no bounded plan exists; blocked atoms: {}",
+                blocked_atoms.join(", ")
+            ),
+            CoreError::SearchSpaceTooLarge(msg) => {
+                write!(f, "exact search space too large: {msg}")
+            }
+            CoreError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            CoreError::Invariant(msg) => write!(f, "invariant violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Data(e) => Some(e),
+            CoreError::Query(e) => Some(e),
+            CoreError::Access(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for CoreError {
+    fn from(e: DataError) -> Self {
+        CoreError::Data(e)
+    }
+}
+
+impl From<QueryError> for CoreError {
+    fn from(e: QueryError) -> Self {
+        CoreError::Query(e)
+    }
+}
+
+impl From<AccessError> for CoreError {
+    fn from(e: AccessError) -> Self {
+        CoreError::Access(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = DataError::UnknownRelation("r".into()).into();
+        assert!(e.to_string().contains("unknown relation"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: CoreError = QueryError::UnboundVariable("x".into()).into();
+        assert!(e.to_string().contains('x'));
+
+        let e: CoreError = AccessError::FullScanNotAllowed("visit".into()).into();
+        assert!(e.to_string().contains("visit"));
+
+        let e = CoreError::NotBoundedPlannable {
+            blocked_atoms: vec!["visit(id, rid)".into()],
+        };
+        assert!(e.to_string().contains("visit(id, rid)"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        assert!(CoreError::SearchSpaceTooLarge("2^40 subsets".into())
+            .to_string()
+            .contains("2^40"));
+        assert!(CoreError::Unsupported("aggregation".into())
+            .to_string()
+            .contains("aggregation"));
+        assert!(CoreError::Invariant("oops".into()).to_string().contains("oops"));
+    }
+}

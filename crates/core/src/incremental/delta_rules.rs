@@ -1,0 +1,365 @@
+//! Change propagation for relational algebra (Section 5).
+//!
+//! Given an expression `E` and an update `∆D = (∆D, ∇D)`, the maintenance
+//! expressions `E∇` and `E∆` compute the tuples leaving and entering `E`:
+//!
+//! ```text
+//! E(D ⊕ ∆D)  =  (E(D) − E∇(D, ∆D)) ∪ E∆(D, ∆D)
+//! ```
+//!
+//! with the invariants `E∇ ⊆ E` and `E∆ ∩ E = ∅` required by the paper
+//! (which follows Griffin–Libkin–Trickey [14]).  [`propagate`] derives the
+//! two expressions structurally; the per-operator shapes for difference are
+//! exactly the ones quoted in the paper
+//! (`(E1 − E2)∇ = (E1∇ − E2) ∪ (E2∆ ∩ E1)`).
+
+use crate::error::CoreError;
+use si_data::{Database, Delta, Tuple};
+use si_query::algebra_eval::{NamedRelation, RaEvaluator};
+use si_query::RaExpr;
+use std::collections::BTreeSet;
+
+/// The pair of maintenance expressions of an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangeExprs {
+    /// Tuples leaving the expression (`E∇`).
+    pub nabla: RaExpr,
+    /// Tuples entering the expression (`E∆`).
+    pub delta: RaExpr,
+}
+
+/// Rewrites `E` into the expression computing `E(D ⊕ ∆D)`: every base
+/// relation `R` is replaced by `(R − ∇R) ∪ ∆R`.
+pub fn new_expr(expr: &RaExpr) -> RaExpr {
+    match expr {
+        RaExpr::Relation(name) => RaExpr::relation(name.clone())
+            .diff(RaExpr::nabla(name.clone()))
+            .union(RaExpr::delta(name.clone())),
+        RaExpr::DeltaRelation(_) | RaExpr::NablaRelation(_) => expr.clone(),
+        RaExpr::Select(e, conds) => RaExpr::Select(Box::new(new_expr(e)), conds.clone()),
+        RaExpr::Project(e, attrs) => RaExpr::Project(Box::new(new_expr(e)), attrs.clone()),
+        RaExpr::Rename(e, mapping) => RaExpr::Rename(Box::new(new_expr(e)), mapping.clone()),
+        RaExpr::Join(l, r) => RaExpr::Join(Box::new(new_expr(l)), Box::new(new_expr(r))),
+        RaExpr::Union(l, r) => RaExpr::Union(Box::new(new_expr(l)), Box::new(new_expr(r))),
+        RaExpr::Diff(l, r) => RaExpr::Diff(Box::new(new_expr(l)), Box::new(new_expr(r))),
+        RaExpr::Intersect(l, r) => {
+            RaExpr::Intersect(Box::new(new_expr(l)), Box::new(new_expr(r)))
+        }
+    }
+}
+
+/// Derives the maintenance expressions `E∇`, `E∆` for `expr`.
+pub fn propagate(expr: &RaExpr) -> Result<ChangeExprs, CoreError> {
+    Ok(match expr {
+        RaExpr::Relation(name) => ChangeExprs {
+            nabla: RaExpr::nabla(name.clone()),
+            delta: RaExpr::delta(name.clone()),
+        },
+        // ∆R / ∇R leaves are the update itself — they do not change.
+        RaExpr::DeltaRelation(_) | RaExpr::NablaRelation(_) => ChangeExprs {
+            nabla: expr.clone().diff(expr.clone()),
+            delta: expr.clone().diff(expr.clone()),
+        },
+        RaExpr::Select(e, conds) => {
+            let inner = propagate(e)?;
+            ChangeExprs {
+                nabla: RaExpr::Select(Box::new(inner.nabla), conds.clone()),
+                delta: RaExpr::Select(Box::new(inner.delta), conds.clone()),
+            }
+        }
+        RaExpr::Project(e, attrs) => {
+            let inner = propagate(e)?;
+            let project = |x: RaExpr| RaExpr::Project(Box::new(x), attrs.clone());
+            ChangeExprs {
+                // π_Y(E∇) − π_Y(new(E)): a projected tuple is gone only when
+                // no surviving witness projects to it.
+                nabla: project(inner.nabla).diff(project(new_expr(e))),
+                // π_Y(E∆) − π_Y(E): a projected tuple is new only when it had
+                // no witness before.
+                delta: project(inner.delta).diff(project((**e).clone())),
+            }
+        }
+        RaExpr::Rename(e, mapping) => {
+            let inner = propagate(e)?;
+            ChangeExprs {
+                nabla: RaExpr::Rename(Box::new(inner.nabla), mapping.clone()),
+                delta: RaExpr::Rename(Box::new(inner.delta), mapping.clone()),
+            }
+        }
+        RaExpr::Union(l, r) => {
+            let cl = propagate(l)?;
+            let cr = propagate(r)?;
+            ChangeExprs {
+                nabla: cl
+                    .nabla
+                    .union(cr.nabla)
+                    .diff(new_expr(l).union(new_expr(r))),
+                delta: cl.delta.union(cr.delta).diff((**l).clone().union((**r).clone())),
+            }
+        }
+        RaExpr::Diff(l, r) => {
+            let cl = propagate(l)?;
+            let cr = propagate(r)?;
+            ChangeExprs {
+                // (E1 − E2)∇ = (E1∇ − E2) ∪ (E2∆ ∩ E1)  — as in the paper.
+                nabla: cl
+                    .nabla
+                    .diff((**r).clone())
+                    .union(cr.delta.intersect((**l).clone())),
+                // (E1 − E2)∆ = (E1∆ − new(E2)) ∪ (E2∇ ∩ new(E1)).
+                delta: cl
+                    .delta
+                    .diff(new_expr(r))
+                    .union(cr.nabla.intersect(new_expr(l))),
+            }
+        }
+        RaExpr::Intersect(l, r) => {
+            let cl = propagate(l)?;
+            let cr = propagate(r)?;
+            ChangeExprs {
+                nabla: cl
+                    .nabla
+                    .intersect((**r).clone())
+                    .union((**l).clone().intersect(cr.nabla))
+                    .diff(new_expr(l).intersect(new_expr(r))),
+                delta: cl
+                    .delta
+                    .intersect(new_expr(r))
+                    .union(new_expr(l).intersect(cr.delta))
+                    .diff((**l).clone().intersect((**r).clone())),
+            }
+        }
+        RaExpr::Join(l, r) => {
+            let cl = propagate(l)?;
+            let cr = propagate(r)?;
+            ChangeExprs {
+                // ((E1∇ ⋈ E2) ∪ (E1 ⋈ E2∇)) − (new(E1) ⋈ new(E2))
+                nabla: cl
+                    .nabla
+                    .join((**r).clone())
+                    .union((**l).clone().join(cr.nabla))
+                    .diff(new_expr(l).join(new_expr(r))),
+                // ((E1∆ ⋈ new(E2)) ∪ (new(E1) ⋈ E2∆)) − (E1 ⋈ E2)
+                delta: cl
+                    .delta
+                    .join(new_expr(r))
+                    .union(new_expr(l).join(cr.delta))
+                    .diff((**l).clone().join((**r).clone())),
+            }
+        }
+    })
+}
+
+/// Applies the maintenance expressions to a materialised result:
+/// `new = (old − E∇) ∪ E∆`, evaluated over the *old* database plus the
+/// update, and returns the new tuple set.
+pub fn maintain(
+    expr: &RaExpr,
+    old: &NamedRelation,
+    db: &Database,
+    update: &Delta,
+) -> Result<NamedRelation, CoreError> {
+    let changes = propagate(expr)?;
+    let evaluator = RaEvaluator::new(db).with_delta(update);
+    let removed = evaluator.evaluate(&changes.nabla)?;
+    let added = evaluator.evaluate(&changes.delta)?;
+    let removed_aligned = removed.align_to(&old.attributes)?;
+    let added_aligned = added.align_to(&old.attributes)?;
+    let removed_set: BTreeSet<Tuple> = removed_aligned.tuples.into_iter().collect();
+    let mut tuples: Vec<Tuple> = old
+        .tuples
+        .iter()
+        .filter(|t| !removed_set.contains(*t))
+        .cloned()
+        .collect();
+    let existing: BTreeSet<Tuple> = tuples.iter().cloned().collect();
+    for t in added_aligned.tuples {
+        if !existing.contains(&t) {
+            tuples.push(t);
+        }
+    }
+    Ok(NamedRelation {
+        attributes: old.attributes.clone(),
+        tuples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_data::schema::social_schema;
+    use si_data::tuple;
+    use si_query::algebra_eval::evaluate_ra;
+    use si_query::Condition;
+
+    fn db() -> Database {
+        let mut db = Database::empty(social_schema());
+        db.insert_all(
+            "person",
+            vec![tuple![1, "ann", "NYC"], tuple![2, "bob", "NYC"], tuple![3, "cat", "LA"]],
+        )
+        .unwrap();
+        db.insert_all("friend", vec![tuple![1, 2], tuple![1, 3], tuple![2, 3]])
+            .unwrap();
+        db.insert_all(
+            "restr",
+            vec![tuple![10, "sushi", "NYC", "A"], tuple![11, "taco", "LA", "B"]],
+        )
+        .unwrap();
+        db.insert_all("visit", vec![tuple![2, 10], tuple![3, 11]])
+            .unwrap();
+        db
+    }
+
+    /// Checks the fundamental identity `E(D ⊕ ∆D) = (E(D) − E∇) ∪ E∆` and
+    /// the invariants `E∇ ⊆ E(D)`, `E∆ ∩ E(D) = ∅` for a given expression
+    /// and update.
+    fn check_propagation(expr: &RaExpr, base: &Database, update: &Delta) {
+        let old = evaluate_ra(expr, base).unwrap();
+        let updated_db = update.apply(base).unwrap();
+        let expected = evaluate_ra(expr, &updated_db).unwrap();
+
+        let changes = propagate(expr).unwrap();
+        let evaluator = RaEvaluator::new(base).with_delta(update);
+        let removed = evaluator.evaluate(&changes.nabla).unwrap();
+        let added = evaluator.evaluate(&changes.delta).unwrap();
+
+        let old_set: BTreeSet<Tuple> = old.tuples.iter().cloned().collect();
+        for t in &removed.align_to(&old.attributes).unwrap().tuples {
+            assert!(old_set.contains(t), "E∇ must be contained in E(D): {t}");
+        }
+        for t in &added.align_to(&old.attributes).unwrap().tuples {
+            assert!(!old_set.contains(t), "E∆ must be disjoint from E(D): {t}");
+        }
+
+        let maintained = maintain(expr, &old, base, update).unwrap();
+        let mut got: Vec<Tuple> = maintained.tuples;
+        let mut want: Vec<Tuple> = expected.align_to(&maintained.attributes).unwrap().tuples;
+        got.sort();
+        want.sort();
+        assert_eq!(got, want, "maintenance disagrees for {expr}");
+    }
+
+    fn q2_like_expr() -> RaExpr {
+        // friends of person 1 joined with their visits and A-rated NYC restaurants
+        RaExpr::relation("friend")
+            .select(vec![Condition::EqConst("id1".into(), 1.into())])
+            .rename(&[("id2", "id")])
+            .join(RaExpr::relation("visit"))
+            .join(
+                RaExpr::relation("restr")
+                    .select(vec![
+                        Condition::EqConst("city".into(), "NYC".into()),
+                        Condition::EqConst("rating".into(), "A".into()),
+                    ])
+                    .project(&["rid", "name"]),
+            )
+            .project(&["id", "name"])
+    }
+
+    #[test]
+    fn insertion_into_visit_is_propagated() {
+        let base = db();
+        let mut update = Delta::new();
+        update.insert("visit", tuple![3, 10]);
+        update.insert("visit", tuple![2, 11]);
+        check_propagation(&q2_like_expr(), &base, &update);
+        check_propagation(&RaExpr::relation("visit"), &base, &update);
+    }
+
+    #[test]
+    fn deletion_from_visit_is_propagated() {
+        let base = db();
+        let mut update = Delta::new();
+        update.delete("visit", tuple![2, 10]);
+        check_propagation(&q2_like_expr(), &base, &update);
+    }
+
+    #[test]
+    fn mixed_update_on_joins_and_projections() {
+        let base = db();
+        let mut update = Delta::new();
+        update.insert("visit", tuple![3, 10]);
+        update.delete("friend", tuple![1, 3]);
+        update.insert("friend", tuple![1, 9]);
+        check_propagation(&q2_like_expr(), &base, &update);
+        // Projection-only expression.
+        let proj = RaExpr::relation("friend").project(&["id1"]);
+        check_propagation(&proj, &base, &update);
+    }
+
+    #[test]
+    fn union_difference_intersection_propagation() {
+        let base = db();
+        let mut update = Delta::new();
+        update.insert("friend", tuple![2, 1]);
+        update.delete("friend", tuple![2, 3]);
+
+        let reversed = RaExpr::relation("friend")
+            .rename(&[("id1", "tmp"), ("id2", "id1")])
+            .rename(&[("tmp", "id2")]);
+        let union = RaExpr::relation("friend").union(reversed.clone());
+        check_propagation(&union, &base, &update);
+
+        let diff = RaExpr::relation("friend").diff(reversed.clone());
+        check_propagation(&diff, &base, &update);
+
+        let inter = RaExpr::relation("friend").intersect(reversed);
+        check_propagation(&inter, &base, &update);
+    }
+
+    #[test]
+    fn selection_propagation_and_empty_updates() {
+        let base = db();
+        let update = Delta::new();
+        let expr = RaExpr::relation("person").select_eq("city", "NYC");
+        check_propagation(&expr, &base, &update);
+        let mut update = Delta::new();
+        update.insert("person", tuple![4, "dan", "NYC"]);
+        update.insert("person", tuple![5, "eli", "LA"]);
+        check_propagation(&expr, &base, &update);
+    }
+
+    #[test]
+    fn delta_leaves_are_stable() {
+        // Propagating an expression that already mentions ∆R treats the ∆R
+        // part as unchanging.
+        let expr = RaExpr::relation("friend")
+            .rename(&[("id2", "id")])
+            .join(RaExpr::delta("visit"));
+        let changes = propagate(&expr).unwrap();
+        assert!(changes.nabla.to_string().contains("∆visit"));
+        // The ∆visit leaf's own change expressions are of the form E − E.
+        let leaf = propagate(&RaExpr::delta("visit")).unwrap();
+        let base = db();
+        let evaluator = RaEvaluator::new(&base);
+        assert!(evaluator.evaluate(&leaf.nabla).unwrap().is_empty());
+        assert!(evaluator.evaluate(&leaf.delta).unwrap().is_empty());
+    }
+
+    #[test]
+    fn new_expr_rewrites_base_relations_only() {
+        let e = RaExpr::relation("friend").join(RaExpr::delta("visit"));
+        let n = new_expr(&e);
+        let s = n.to_string();
+        assert!(s.contains("((friend − ∇friend) ∪ ∆friend)"));
+        assert!(s.contains("∆visit"));
+        // Semantics: evaluating new_expr over (D, ∆D) equals evaluating the
+        // original over D ⊕ ∆D.
+        let base = db();
+        let mut update = Delta::new();
+        update.insert("friend", tuple![3, 1]);
+        update.delete("friend", tuple![1, 2]);
+        let expr = RaExpr::relation("friend");
+        let via_new = RaEvaluator::new(&base)
+            .with_delta(&update)
+            .evaluate(&new_expr(&expr))
+            .unwrap();
+        let direct = evaluate_ra(&expr, &update.apply(&base).unwrap()).unwrap();
+        let mut a = via_new.tuples;
+        let mut b = direct.tuples;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,711 @@
+//! Incremental scale independence (Section 5).
+//!
+//! A query `Q` is incrementally scale-independent in `D` w.r.t. `(M, k)` when
+//! for every update `∆D` with `|∆D| ≤ k` the maintenance queries can be
+//! answered by accessing at most `M` tuples of `D`.  This module provides
+//!
+//! * [`IncrementalBoundedEvaluator`] — the constructive side: it maintains
+//!   `Q(a̅, D)` under updates by running *bounded* plans for the maintenance
+//!   work, touching `O(|∆D|)` base tuples per update (Example 1.1(b): three
+//!   fetches per inserted `visit` tuple);
+//! * [`maintenance_is_bounded`] — the Corollary 5.3 / Proposition 5.5 check:
+//!   are the maintenance queries controlled (bounded-plannable) under the
+//!   access schema once the updated relation's tuple is given?
+//! * [`decide_delta_qsi_for_update`] / [`decide_delta_qsi`] — exact (and
+//!   therefore exponential) decision procedures for ∆QSI on small instances,
+//!   used by the complexity experiments.
+
+use crate::bounded::{execute_bounded, BoundedPlanner};
+use crate::error::CoreError;
+use crate::qdsi::SearchLimits;
+use crate::si::AnyQuery;
+use si_access::AccessIndexedDatabase;
+use si_data::{Database, Delta, MeterSnapshot, Tuple, Value};
+use si_query::{ConjunctiveQuery, Term, Var};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Is the insertion/deletion maintenance work for `query` bounded under
+/// `access` when updates target `relation` and the parameters `params` are
+/// fixed?
+///
+/// For every occurrence of `relation` in the query body this checks that the
+/// *rest* of the query is bounded-plannable once that occurrence's variables
+/// are treated as given (they come from the update tuple itself).  This is
+/// the Corollary 5.3 condition specialised to CQ maintenance queries, and
+/// part (1) of Proposition 5.5.
+pub fn maintenance_is_bounded(
+    query: &ConjunctiveQuery,
+    schema: &si_data::DatabaseSchema,
+    access: &si_access::AccessSchema,
+    relation: &str,
+    params: &[Var],
+) -> Result<bool, CoreError> {
+    let planner = BoundedPlanner::new(schema, access);
+    for (i, atom) in query.atoms.iter().enumerate() {
+        if atom.relation != relation {
+            continue;
+        }
+        let mut rest = query.clone();
+        rest.atoms.remove(i);
+        restrict_head(&mut rest);
+        let mut given: Vec<Var> = params.to_vec();
+        for v in atom.variables() {
+            if !given.contains(&v) {
+                given.push(v);
+            }
+        }
+        if rest.atoms.is_empty() {
+            continue;
+        }
+        if planner.plan(&rest, &given).is_err() {
+            return Ok(false);
+        }
+    }
+    // Every occurrence checked out (a query that never mentions the updated
+    // relation is trivially maintainable: the update cannot change it).
+    Ok(true)
+}
+
+/// Maintains `Q(a̅, D)` under updates using bounded plans for the
+/// maintenance work.
+#[derive(Debug)]
+pub struct IncrementalBoundedEvaluator {
+    query: ConjunctiveQuery,
+    parameters: Vec<Var>,
+    parameter_values: Vec<Value>,
+    answers: BTreeSet<Tuple>,
+    /// Access cost of the initial (offline) computation.
+    initial_cost: MeterSnapshot,
+}
+
+impl IncrementalBoundedEvaluator {
+    /// Computes the initial answer `Q(a̅, D)` with a bounded plan (falling
+    /// back to naive evaluation if the full query is not plannable — the
+    /// paper's setting where `Q(D)` is computed "once and offline").
+    pub fn new(
+        query: ConjunctiveQuery,
+        parameters: Vec<Var>,
+        parameter_values: Vec<Value>,
+        adb: &AccessIndexedDatabase,
+    ) -> Result<Self, CoreError> {
+        let schema = adb.database().schema().clone();
+        let planner = BoundedPlanner::new(&schema, adb.access_schema());
+        let before = adb.meter_snapshot();
+        let answers: BTreeSet<Tuple> = match planner.plan(&query, &parameters) {
+            Ok(plan) => execute_bounded(&plan, &parameter_values, adb)?
+                .answers
+                .into_iter()
+                .collect(),
+            Err(_) => {
+                // Offline precomputation: naive evaluation over the base data.
+                let bindings: Vec<(Var, Value)> = parameters
+                    .iter()
+                    .cloned()
+                    .zip(parameter_values.iter().cloned())
+                    .collect();
+                si_query::evaluate_cq(&query.bind(&bindings), adb.database(), None)?
+                    .into_iter()
+                    .collect()
+            }
+        };
+        let initial_cost = adb.meter_snapshot().since(&before);
+        Ok(IncrementalBoundedEvaluator {
+            query,
+            parameters,
+            parameter_values,
+            answers,
+            initial_cost,
+        })
+    }
+
+    /// The currently materialised answers.
+    pub fn answers(&self) -> Vec<Tuple> {
+        self.answers.iter().cloned().collect()
+    }
+
+    /// Access cost of the initial computation.
+    pub fn initial_cost(&self) -> MeterSnapshot {
+        self.initial_cost
+    }
+
+    /// Applies an update: the database inside `adb` must *not* yet contain
+    /// the update — this method applies it and maintains the answers, and
+    /// returns the base-data access cost of the maintenance work alone.
+    pub fn apply_update(
+        &mut self,
+        adb: &mut AccessIndexedDatabase,
+        update: &Delta,
+    ) -> Result<MeterSnapshot, CoreError> {
+        update.validate(adb.database())?;
+        let schema = adb.database().schema().clone();
+        let access = adb.access_schema().clone();
+        let planner = BoundedPlanner::new(&schema, &access);
+        let before = adb.meter_snapshot();
+
+        // Deletions first (as in D ⊕ ∆D = (D − ∇D) ∪ ∆D), then insertions:
+        // the net result is order-independent because ∆D and ∇D are disjoint
+        // from each other and from/within D.
+        let deletions: Vec<(String, Tuple)> = update
+            .iter()
+            .flat_map(|(rel, d)| d.deletions.iter().map(move |t| (rel.clone(), t.clone())))
+            .collect();
+        let insertions: Vec<(String, Tuple)> = update
+            .iter()
+            .flat_map(|(rel, d)| d.insertions.iter().map(move |t| (rel.clone(), t.clone())))
+            .collect();
+
+        // --- deletions: find potentially affected answers, then re-check them.
+        let mut candidates_for_recheck: BTreeSet<Tuple> = BTreeSet::new();
+        for (relation, tuple) in &deletions {
+            for (i, atom) in self.query.atoms.iter().enumerate() {
+                if &atom.relation != relation {
+                    continue;
+                }
+                let Some(bindings) = unify_atom(atom, tuple, &self.seed_assignment()) else {
+                    continue;
+                };
+                let mut rest = self.query.clone();
+                rest.atoms.remove(i);
+                restrict_head(&mut rest);
+                let affected: Vec<Tuple> = if rest.atoms.is_empty() {
+                    // The whole query is the single atom: its answers are the
+                    // projections of the bindings.
+                    self.project_answer(&bindings).into_iter().collect()
+                } else {
+                    let (given, values) = split_bindings(&bindings);
+                    let plan = planner.plan(&rest, &given)?;
+                    let result = execute_bounded(&plan, &values, adb)?;
+                    // Rebuild full answers from the rest's outputs plus the
+                    // bindings from the deleted tuple.
+                    let outputs = plan.output_variables();
+                    result
+                        .answers
+                        .iter()
+                        .filter_map(|t| {
+                            let mut assignment = bindings.clone();
+                            for (v, val) in outputs.iter().zip(t.iter()) {
+                                assignment.insert(v.clone(), val.clone());
+                            }
+                            self.project_answer(&assignment)
+                        })
+                        .collect()
+                };
+                candidates_for_recheck.extend(affected);
+            }
+        }
+
+        // Apply the update to the stored database.
+        update.apply_in_place(adb.database_mut())?;
+
+        // Re-check candidate answers against the updated database: an answer
+        // survives iff it is still derivable.  This needs the query to be
+        // plannable with all head variables given (Proposition 5.5(2)).
+        for candidate in candidates_for_recheck {
+            let mut given = self.parameters.clone();
+            let mut values = self.parameter_values.clone();
+            for (v, val) in self.output_variables().iter().zip(candidate.iter()) {
+                given.push(v.clone());
+                values.push(val.clone());
+            }
+            let plan = planner.plan(&self.query, &given)?;
+            // With every head variable given, the plan's output is the empty
+            // tuple: non-empty answers mean the candidate is still derivable.
+            let still_there = !execute_bounded(&plan, &values, adb)?.answers.is_empty();
+            if !still_there {
+                self.answers.remove(&candidate);
+            }
+        }
+
+        // --- insertions: each inserted tuple seeds the corresponding atom and
+        // the rest of the query is evaluated boundedly.
+        for (relation, tuple) in &insertions {
+            for (i, atom) in self.query.atoms.iter().enumerate() {
+                if &atom.relation != relation {
+                    continue;
+                }
+                let Some(bindings) = unify_atom(atom, tuple, &self.seed_assignment()) else {
+                    continue;
+                };
+                let mut rest = self.query.clone();
+                rest.atoms.remove(i);
+                restrict_head(&mut rest);
+                if rest.atoms.is_empty() {
+                    if let Some(answer) = self.project_answer(&bindings) {
+                        self.answers.insert(answer);
+                    }
+                    continue;
+                }
+                let (given, values) = split_bindings(&bindings);
+                let plan = planner.plan(&rest, &given)?;
+                let result = execute_bounded(&plan, &values, adb)?;
+                let outputs = plan.output_variables();
+                for t in &result.answers {
+                    let mut assignment = bindings.clone();
+                    for (v, val) in outputs.iter().zip(t.iter()) {
+                        assignment.insert(v.clone(), val.clone());
+                    }
+                    if self.satisfies_equalities(&assignment) {
+                        if let Some(answer) = self.project_answer(&assignment) {
+                            self.answers.insert(answer);
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(adb.meter_snapshot().since(&before))
+    }
+
+    fn output_variables(&self) -> Vec<Var> {
+        self.query
+            .head
+            .iter()
+            .filter(|v| !self.parameters.contains(v))
+            .cloned()
+            .collect()
+    }
+
+    fn seed_assignment(&self) -> BTreeMap<Var, Value> {
+        self.parameters
+            .iter()
+            .cloned()
+            .zip(self.parameter_values.iter().cloned())
+            .collect()
+    }
+
+    fn project_answer(&self, assignment: &BTreeMap<Var, Value>) -> Option<Tuple> {
+        self.output_variables()
+            .iter()
+            .map(|v| assignment.get(v).cloned())
+            .collect()
+    }
+
+    fn satisfies_equalities(&self, assignment: &BTreeMap<Var, Value>) -> bool {
+        self.query.equalities.iter().all(|(l, r)| {
+            let value_of = |t: &Term| match t {
+                Term::Var(v) => assignment.get(v).cloned(),
+                Term::Const(c) => Some(c.clone()),
+            };
+            match (value_of(l), value_of(r)) {
+                (Some(a), Some(b)) => a == b,
+                _ => true,
+            }
+        })
+    }
+}
+
+/// Drops head variables that no longer occur in the query body (used when an
+/// atom is removed to form a maintenance sub-query).
+fn restrict_head(query: &mut ConjunctiveQuery) {
+    let body: BTreeSet<Var> = query.body_variables().into_iter().collect();
+    query.head.retain(|v| body.contains(v));
+}
+
+/// Unifies an atom with a concrete tuple under an existing partial
+/// assignment; returns the extended assignment or `None` on mismatch.
+fn unify_atom(
+    atom: &si_query::Atom,
+    tuple: &Tuple,
+    seed: &BTreeMap<Var, Value>,
+) -> Option<BTreeMap<Var, Value>> {
+    if atom.terms.len() != tuple.arity() {
+        return None;
+    }
+    let mut assignment = seed.clone();
+    for (term, value) in atom.terms.iter().zip(tuple.iter()) {
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    return None;
+                }
+            }
+            Term::Var(v) => match assignment.get(v) {
+                Some(existing) if existing != value => return None,
+                Some(_) => {}
+                None => {
+                    assignment.insert(v.clone(), value.clone());
+                }
+            },
+        }
+    }
+    Some(assignment)
+}
+
+fn split_bindings(bindings: &BTreeMap<Var, Value>) -> (Vec<Var>, Vec<Value>) {
+    let mut vars = Vec::with_capacity(bindings.len());
+    let mut values = Vec::with_capacity(bindings.len());
+    for (v, val) in bindings {
+        vars.push(v.clone());
+        values.push(val.clone());
+    }
+    (vars, values)
+}
+
+/// Checks whether a *specific* update admits a witness of size ≤ `m`:
+/// is there `D_Q ⊆ D` with `|D_Q| ≤ M` such that the change of `Q` computed
+/// over `D_Q` (plus the update) equals the true change?
+pub fn decide_delta_qsi_for_update(
+    query: &AnyQuery,
+    db: &Database,
+    update: &Delta,
+    m: usize,
+    limits: &SearchLimits,
+) -> Result<bool, CoreError> {
+    update.validate(db)?;
+    let old = query.answer_set(db)?;
+    let updated = update.apply(db)?;
+    let new = query.answer_set(&updated)?;
+    let true_added: BTreeSet<Tuple> = new.difference(&old).cloned().collect();
+    let true_removed: BTreeSet<Tuple> = old.difference(&new).cloned().collect();
+
+    let facts = db.all_facts();
+    let n = facts.len();
+    let mut subsets: u64 = 0;
+    let mut acc: u64 = 1;
+    for k in 0..=m.min(n) {
+        if k > 0 {
+            acc = acc.saturating_mul((n - k + 1) as u64) / k as u64;
+        }
+        subsets = subsets.saturating_add(acc);
+        if subsets > limits.max_subsets {
+            return Err(CoreError::SearchSpaceTooLarge(format!(
+                "∆QSI witness search over {n} facts with M = {m} exceeds {} subsets",
+                limits.max_subsets
+            )));
+        }
+    }
+
+    let mut chosen: Vec<(String, Tuple)> = Vec::new();
+    search_delta_witness(
+        query,
+        db,
+        update,
+        &old,
+        &true_added,
+        &true_removed,
+        &facts,
+        0,
+        m,
+        &mut chosen,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search_delta_witness(
+    query: &AnyQuery,
+    db: &Database,
+    update: &Delta,
+    old: &BTreeSet<Tuple>,
+    true_added: &BTreeSet<Tuple>,
+    true_removed: &BTreeSet<Tuple>,
+    facts: &[(String, Tuple)],
+    start: usize,
+    remaining: usize,
+    chosen: &mut Vec<(String, Tuple)>,
+) -> Result<bool, CoreError> {
+    // Evaluate the change over the candidate sub-instance.
+    let sub = db.sub_database(chosen)?;
+    // The update may delete tuples that the sub-instance does not contain;
+    // restrict the update accordingly.
+    let mut restricted = Delta::new();
+    for (rel, d) in update.iter() {
+        for t in &d.insertions {
+            restricted.insert(rel.clone(), t.clone());
+        }
+        for t in &d.deletions {
+            if sub.contains(rel, t)? {
+                restricted.delete(rel.clone(), t.clone());
+            }
+        }
+    }
+    let sub_updated = restricted.apply(&sub)?;
+    let before = query.answer_set(&sub)?;
+    let after = query.answer_set(&sub_updated)?;
+    let added: BTreeSet<Tuple> = after.difference(&before).cloned().collect();
+    let removed: BTreeSet<Tuple> = before.difference(&after).cloned().collect();
+    // The change computed on the sub-instance must reproduce the true new
+    // answer when applied to the materialised old answer.
+    let reconstructed: BTreeSet<Tuple> = old
+        .iter()
+        .filter(|t| !removed.contains(*t))
+        .cloned()
+        .chain(added.iter().cloned())
+        .collect();
+    let truth: BTreeSet<Tuple> = old
+        .iter()
+        .filter(|t| !true_removed.contains(*t))
+        .cloned()
+        .chain(true_added.iter().cloned())
+        .collect();
+    if reconstructed == truth {
+        return Ok(true);
+    }
+    if remaining == 0 {
+        return Ok(false);
+    }
+    for i in start..facts.len() {
+        chosen.push(facts[i].clone());
+        let ok = search_delta_witness(
+            query,
+            db,
+            update,
+            old,
+            true_added,
+            true_removed,
+            facts,
+            i + 1,
+            remaining - 1,
+            chosen,
+        )?;
+        chosen.pop();
+        if ok {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Exact ∆QSI over all insertion-only updates of size ≤ `k` whose tuples are
+/// drawn from `candidate_insertions`.  Exponential; meant for the small
+/// instances of the complexity experiments.
+pub fn decide_delta_qsi(
+    query: &AnyQuery,
+    db: &Database,
+    candidate_insertions: &[(String, Tuple)],
+    m: usize,
+    k: usize,
+    limits: &SearchLimits,
+) -> Result<bool, CoreError> {
+    let mut chosen: Vec<(String, Tuple)> = Vec::new();
+    enumerate_updates(query, db, candidate_insertions, m, k, 0, &mut chosen, limits)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_updates(
+    query: &AnyQuery,
+    db: &Database,
+    pool: &[(String, Tuple)],
+    m: usize,
+    k: usize,
+    start: usize,
+    chosen: &mut Vec<(String, Tuple)>,
+    limits: &SearchLimits,
+) -> Result<bool, CoreError> {
+    if !chosen.is_empty() {
+        let mut update = Delta::new();
+        for (rel, t) in chosen.iter() {
+            update.insert(rel.clone(), t.clone());
+        }
+        if update.validate(db).is_ok()
+            && !decide_delta_qsi_for_update(query, db, &update, m, limits)?
+        {
+            return Ok(false);
+        }
+    }
+    if k == 0 {
+        return Ok(true);
+    }
+    for i in start..pool.len() {
+        chosen.push(pool[i].clone());
+        let ok = enumerate_updates(query, db, pool, m, k - 1, i + 1, chosen, limits)?;
+        chosen.pop();
+        if !ok {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_access::{facebook_access_schema, AccessConstraint};
+    use si_data::schema::social_schema;
+    use si_data::tuple;
+    use si_query::parse_cq;
+
+    fn q2() -> ConjunctiveQuery {
+        parse_cq(
+            r#"Q2(p, rn) :- friend(p, id), visit(id, rid), person(id, pn, "NYC"), restr(rid, rn, "NYC", "A")"#,
+        )
+        .unwrap()
+    }
+
+    fn social_db() -> Database {
+        let mut db = Database::empty(social_schema());
+        db.insert_all(
+            "person",
+            vec![
+                tuple![1, "ann", "NYC"],
+                tuple![2, "bob", "NYC"],
+                tuple![3, "cat", "LA"],
+                tuple![4, "dan", "NYC"],
+            ],
+        )
+        .unwrap();
+        db.insert_all("friend", vec![tuple![1, 2], tuple![1, 3], tuple![1, 4]])
+            .unwrap();
+        db.insert_all(
+            "restr",
+            vec![
+                tuple![10, "sushi", "NYC", "A"],
+                tuple![11, "taco", "NYC", "B"],
+                tuple![12, "ramen", "NYC", "A"],
+            ],
+        )
+        .unwrap();
+        db.insert_all("visit", vec![tuple![2, 10]]).unwrap();
+        db
+    }
+
+    #[test]
+    fn maintenance_boundedness_mirrors_example_11b() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        // Insertions into visit: the rest of Q2 (friend, person, restr) is
+        // plannable once (id, rid) are given → bounded maintenance.
+        assert!(maintenance_is_bounded(&q2(), &schema, &access, "visit", &["p".into()]).unwrap());
+        // Insertions into friend: the rest contains visit with only id bound
+        // and no constraint on visit → not bounded.
+        assert!(
+            !maintenance_is_bounded(&q2(), &schema, &access, "friend", &["p".into()]).unwrap()
+        );
+        // Adding a visit-by-id constraint makes friend insertions bounded too.
+        let better = facebook_access_schema(5000)
+            .with(AccessConstraint::new("visit", &["id"], 100, 1));
+        assert!(
+            maintenance_is_bounded(&q2(), &schema, &better, "friend", &["p".into()]).unwrap()
+        );
+        // Updates to person behave like updates to friend: unbounded under
+        // the plain schema, bounded once visit is indexed by id.
+        assert!(
+            !maintenance_is_bounded(&q2(), &schema, &access, "person", &["p".into()]).unwrap()
+        );
+        assert!(
+            maintenance_is_bounded(&q2(), &schema, &better, "person", &["p".into()]).unwrap()
+        );
+        // A relation the query never mentions is trivially fine.
+        let q_no_restr = parse_cq(r#"Q(p, id) :- friend(p, id), person(id, pn, "NYC")"#).unwrap();
+        assert!(
+            maintenance_is_bounded(&q_no_restr, &schema, &access, "restr", &["p".into()]).unwrap()
+        );
+    }
+
+    #[test]
+    fn incremental_evaluator_tracks_insertions_boundedly() {
+        let access = facebook_access_schema(5000);
+        let mut adb = AccessIndexedDatabase::new(social_db(), access).unwrap();
+        let mut evaluator = IncrementalBoundedEvaluator::new(
+            q2(),
+            vec!["p".into()],
+            vec![Value::int(1)],
+            &adb,
+        )
+        .unwrap();
+        assert_eq!(evaluator.answers(), vec![tuple!["sushi"]]);
+
+        // Friend 4 visits restaurant 12 (ramen, A) and 11 (taco, B);
+        // friend 3 (LA) visits 10.
+        let mut update = Delta::new();
+        update.insert("visit", tuple![4, 12]);
+        update.insert("visit", tuple![4, 11]);
+        update.insert("visit", tuple![3, 10]);
+        let cost = evaluator.apply_update(&mut adb, &update).unwrap();
+        let mut answers = evaluator.answers();
+        answers.sort();
+        assert_eq!(answers, vec![tuple!["ramen"], tuple!["sushi"]]);
+        // Bounded maintenance: roughly 3 probes of ≤ 1 tuple per insertion
+        // (friend-edge check is via the id1 index), certainly no full scans
+        // and far fewer fetches than |D|.
+        assert_eq!(cost.full_scans, 0);
+        assert!(cost.tuples_fetched <= 3 * update.size() as u64 + update.size() as u64);
+
+        // The maintained result matches recomputation from scratch.
+        let recomputed = si_query::evaluate_cq(
+            &q2().bind(&[("p".into(), Value::int(1))]),
+            adb.database(),
+            None,
+        )
+        .unwrap();
+        let mut recomputed = recomputed;
+        recomputed.sort();
+        assert_eq!(answers, recomputed);
+    }
+
+    #[test]
+    fn incremental_evaluator_handles_deletions() {
+        let access = facebook_access_schema(5000)
+            .with(AccessConstraint::new("visit", &["id"], 100, 1))
+            .with(AccessConstraint::new("visit", &["rid"], 100, 1));
+        let mut adb = AccessIndexedDatabase::new(social_db(), access).unwrap();
+        let mut evaluator = IncrementalBoundedEvaluator::new(
+            q2(),
+            vec!["p".into()],
+            vec![Value::int(1)],
+            &adb,
+        )
+        .unwrap();
+        assert_eq!(evaluator.answers(), vec![tuple!["sushi"]]);
+        // Remove the only visit supporting "sushi".
+        let update = Delta::deletions_from("visit", vec![tuple![2, 10]]);
+        evaluator.apply_update(&mut adb, &update).unwrap();
+        assert!(evaluator.answers().is_empty());
+        // Re-insert and check it comes back.
+        let update = Delta::insertions_into("visit", vec![tuple![2, 10]]);
+        evaluator.apply_update(&mut adb, &update).unwrap();
+        assert_eq!(evaluator.answers(), vec![tuple!["sushi"]]);
+    }
+
+    #[test]
+    fn delta_qsi_for_a_single_update_small_instance() {
+        let db = {
+            let mut db = Database::empty(social_schema());
+            db.insert("person", tuple![2, "bob", "NYC"]).unwrap();
+            db.insert("friend", tuple![1, 2]).unwrap();
+            db.insert("restr", tuple![10, "sushi", "NYC", "A"]).unwrap();
+            db
+        };
+        let q: AnyQuery = q2().bind(&[("p".into(), Value::int(1))]).into();
+        let update = Delta::insertions_into("visit", vec![tuple![2, 10]]);
+        // The change needs the friend, person and restr facts: 3 tuples.
+        assert!(decide_delta_qsi_for_update(&q, &db, &update, 3, &SearchLimits::default())
+            .unwrap());
+        assert!(!decide_delta_qsi_for_update(&q, &db, &update, 2, &SearchLimits::default())
+            .unwrap());
+    }
+
+    #[test]
+    fn delta_qsi_over_all_small_updates() {
+        let db = {
+            let mut db = Database::empty(social_schema());
+            db.insert("person", tuple![2, "bob", "NYC"]).unwrap();
+            db.insert("friend", tuple![1, 2]).unwrap();
+            db.insert("restr", tuple![10, "sushi", "NYC", "A"]).unwrap();
+            db
+        };
+        let q: AnyQuery = q2().bind(&[("p".into(), Value::int(1))]).into();
+        let pool = vec![
+            ("visit".to_string(), tuple![2, 10]),
+            ("visit".to_string(), tuple![9, 10]),
+        ];
+        assert!(decide_delta_qsi(&q, &db, &pool, 3, 1, &SearchLimits::default()).unwrap());
+        assert!(!decide_delta_qsi(&q, &db, &pool, 2, 1, &SearchLimits::default()).unwrap());
+        // k = 0 means no updates at all: trivially true.
+        assert!(decide_delta_qsi(&q, &db, &pool, 0, 0, &SearchLimits::default()).unwrap());
+    }
+
+    #[test]
+    fn search_guard_applies_to_delta_qsi() {
+        let db = social_db();
+        let q: AnyQuery = q2().bind(&[("p".into(), Value::int(1))]).into();
+        let update = Delta::insertions_into("visit", vec![tuple![4, 12]]);
+        let limits = SearchLimits {
+            max_subsets: 2,
+            max_branches: 2,
+        };
+        assert!(matches!(
+            decide_delta_qsi_for_update(&q, &db, &update, 5, &limits),
+            Err(CoreError::SearchSpaceTooLarge(_))
+        ));
+    }
+}

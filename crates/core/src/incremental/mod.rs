@@ -1,0 +1,12 @@
+//! Incremental scale independence (Section 5): change propagation for
+//! relational algebra, bounded maintenance of conjunctive-query answers, and
+//! the ∆QSI decision procedures.
+
+pub mod delta_rules;
+pub mod incr_si;
+
+pub use delta_rules::{maintain, new_expr, propagate, ChangeExprs};
+pub use incr_si::{
+    decide_delta_qsi, decide_delta_qsi_for_update, maintenance_is_bounded,
+    IncrementalBoundedEvaluator,
+};

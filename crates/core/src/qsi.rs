@@ -1,0 +1,423 @@
+//! The decision problem QSI: is `Q` scale-independent in *every* instance of
+//! the schema w.r.t. `M`?
+//!
+//! The paper's findings (Section 3):
+//!
+//! * for non-trivial CQ/UCQ the answer is **no** — monotonicity lets one add
+//!   tuples generating ever more answers, each of which needs its own
+//!   witness facts (we construct such a counterexample instance explicitly);
+//! * for Boolean CQ the answer depends only on the query: the worst case is
+//!   the canonical (frozen tableau) database, on which the minimum witness is
+//!   the size of the core of `Q`;
+//! * for FO the problem is undecidable and `SQ_FO,R(M)` is not even
+//!   recursively enumerable (Proposition 3.5), so all this module can offer
+//!   for FO is a bounded counterexample search returning
+//!   [`QsiAnswer::Unknown`] when it finds nothing.
+
+use crate::error::CoreError;
+use crate::qdsi::{decide_qdsi, minimal_witness_monotone, SearchLimits};
+use crate::si::AnyQuery;
+use si_data::{Database, DatabaseSchema, Tuple, Value};
+use si_query::{ConjunctiveQuery, Term};
+
+/// The three possible outcomes of a QSI analysis.
+#[derive(Debug, Clone)]
+pub enum QsiAnswer {
+    /// `Q ∈ SQ_L,R(M)`: scale-independent in every instance.
+    ScaleIndependent,
+    /// Not scale-independent; the payload is a counterexample instance on
+    /// which every witness exceeds `M` facts.
+    NotScaleIndependent(Box<Database>),
+    /// The analysis could not decide (FO undecidability, or search limits).
+    Unknown,
+}
+
+impl QsiAnswer {
+    /// True iff the answer is [`QsiAnswer::ScaleIndependent`].
+    pub fn is_scale_independent(&self) -> bool {
+        matches!(self, QsiAnswer::ScaleIndependent)
+    }
+}
+
+/// Decides QSI for a query.
+///
+/// `fo_search_depth` bounds the counterexample search for FO queries: all
+/// instances with at most that many facts over a small fresh domain are
+/// tried.  Pass 0 to skip the search entirely.
+pub fn decide_qsi(
+    query: &AnyQuery,
+    schema: &DatabaseSchema,
+    m: usize,
+    fo_search_depth: usize,
+    limits: &SearchLimits,
+) -> Result<QsiAnswer, CoreError> {
+    match query {
+        AnyQuery::Cq(q) => decide_qsi_cq(q, schema, m, limits),
+        AnyQuery::Ucq(u) => {
+            // A UCQ is scale-independent over all instances only if each
+            // disjunct is (a counterexample for one disjunct is padded so the
+            // other disjuncts add answers of their own, never shrinking the
+            // required witness).  Conversely the union of per-disjunct
+            // witnesses is bounded by the sum of bounds, so we report the
+            // conservative conjunction of per-disjunct answers.
+            let mut all_independent = true;
+            for d in &u.disjuncts {
+                match decide_qsi_cq(d, schema, m, limits)? {
+                    QsiAnswer::ScaleIndependent => {}
+                    QsiAnswer::NotScaleIndependent(cex) => {
+                        return Ok(QsiAnswer::NotScaleIndependent(cex))
+                    }
+                    QsiAnswer::Unknown => all_independent = false,
+                }
+            }
+            Ok(if all_independent {
+                QsiAnswer::ScaleIndependent
+            } else {
+                QsiAnswer::Unknown
+            })
+        }
+        AnyQuery::Fo(_) => decide_qsi_fo_bounded(query, schema, m, fo_search_depth, limits),
+    }
+}
+
+/// QSI for a conjunctive query.
+pub fn decide_qsi_cq(
+    query: &ConjunctiveQuery,
+    schema: &DatabaseSchema,
+    m: usize,
+    limits: &SearchLimits,
+) -> Result<QsiAnswer, CoreError> {
+    query.validate(schema)?;
+    let head_has_variable = query
+        .head
+        .iter()
+        .any(|h| query.body_variables().contains(h));
+
+    if query.atoms.is_empty() {
+        // No relation atoms: the answer never depends on the data beyond the
+        // (empty) active-domain corner cases; treat as trivially
+        // scale-independent.
+        return Ok(QsiAnswer::ScaleIndependent);
+    }
+
+    if head_has_variable && !query.head.is_empty() {
+        // Non-trivial data-selecting CQ: construct the counterexample of
+        // Proposition-style monotonicity — M+1 disjoint frozen copies of the
+        // tableau produce M+1 answers whose derivations are pairwise
+        // disjoint, so any witness needs more than M facts.
+        let cex = disjoint_copies(query, schema, m + 1)?;
+        debug_assert!({
+            let q: AnyQuery = query.clone().into();
+            !decide_qdsi(&q, &cex, m, limits)?.scale_independent
+        });
+        return Ok(QsiAnswer::NotScaleIndependent(Box::new(cex)));
+    }
+
+    // Boolean CQ (or head of constants only): the hardest instance is the
+    // canonical database; the minimum witness there is the size of the core.
+    let (canonical, _) = query.canonical_database(schema)?;
+    let boolean = ConjunctiveQuery {
+        name: query.name.clone(),
+        head: Vec::new(),
+        atoms: query.atoms.clone(),
+        equalities: query.equalities.clone(),
+    };
+    let any: AnyQuery = boolean.clone().into();
+    let (witness, _) = minimal_witness_monotone(
+        &any,
+        std::slice::from_ref(&boolean),
+        &canonical,
+        canonical.size(),
+        limits,
+    )?;
+    match witness {
+        Some(w) if w.size() <= m => Ok(QsiAnswer::ScaleIndependent),
+        Some(_) => Ok(QsiAnswer::NotScaleIndependent(Box::new(canonical))),
+        None => Ok(QsiAnswer::Unknown),
+    }
+}
+
+/// Builds `copies` disjoint frozen copies of the query's tableau, each using
+/// fresh constants, so that each copy contributes its own answers.
+pub fn disjoint_copies(
+    query: &ConjunctiveQuery,
+    schema: &DatabaseSchema,
+    copies: usize,
+) -> Result<Database, CoreError> {
+    let mut db = Database::empty(schema.clone());
+    for i in 0..copies {
+        for atom in &query.atoms {
+            let tuple: Tuple = atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => c.clone(),
+                    Term::Var(v) => Value::str(format!("{v}#{i}")),
+                })
+                .collect();
+            db.insert(&atom.relation, tuple)?;
+        }
+    }
+    Ok(db)
+}
+
+/// Bounded counterexample search for FO: enumerates all instances with up to
+/// `depth` facts over a fresh domain of `depth + 1` constants and checks QDSI
+/// on each.  Returns `Unknown` when no counterexample is found — it cannot
+/// return `ScaleIndependent` because the problem is undecidable.
+pub fn decide_qsi_fo_bounded(
+    query: &AnyQuery,
+    schema: &DatabaseSchema,
+    m: usize,
+    depth: usize,
+    limits: &SearchLimits,
+) -> Result<QsiAnswer, CoreError> {
+    if depth == 0 {
+        return Ok(QsiAnswer::Unknown);
+    }
+    let domain: Vec<Value> = (0..=depth as i64).map(Value::Int).collect();
+    // Candidate facts: every relation × every tuple over the small domain.
+    let mut candidates: Vec<(String, Tuple)> = Vec::new();
+    for rel in schema.relations() {
+        let arity = rel.arity();
+        let mut tuple_indices = vec![0usize; arity];
+        loop {
+            let tuple: Tuple = tuple_indices.iter().map(|&i| domain[i].clone()).collect();
+            candidates.push((rel.name().to_owned(), tuple));
+            // Advance the odometer.
+            let mut pos = 0;
+            loop {
+                if pos == arity {
+                    break;
+                }
+                tuple_indices[pos] += 1;
+                if tuple_indices[pos] < domain.len() {
+                    break;
+                }
+                tuple_indices[pos] = 0;
+                pos += 1;
+            }
+            if pos == arity {
+                break;
+            }
+            if arity == 0 {
+                break;
+            }
+        }
+        if arity == 0 {
+            // A 0-ary relation has a single possible fact, already pushed.
+            continue;
+        }
+    }
+    if candidates.len() > 24 {
+        // 2^24 instances is already too many; restrict to a prefix so the
+        // search stays bounded and document the incompleteness via Unknown.
+        candidates.truncate(24);
+    }
+
+    // Enumerate subsets of the candidate facts of size ≤ depth.
+    let mut chosen: Vec<(String, Tuple)> = Vec::new();
+    let found = search_fo_counterexample(
+        query, schema, m, depth, &candidates, 0, &mut chosen, limits,
+    )?;
+    Ok(match found {
+        Some(db) => QsiAnswer::NotScaleIndependent(Box::new(db)),
+        None => QsiAnswer::Unknown,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search_fo_counterexample(
+    query: &AnyQuery,
+    schema: &DatabaseSchema,
+    m: usize,
+    remaining: usize,
+    candidates: &[(String, Tuple)],
+    start: usize,
+    chosen: &mut Vec<(String, Tuple)>,
+    limits: &SearchLimits,
+) -> Result<Option<Database>, CoreError> {
+    let mut db = Database::empty(schema.clone());
+    for (rel, t) in chosen.iter() {
+        db.insert(rel, t.clone())?;
+    }
+    if m < db.size() {
+        // Only instances strictly larger than M can possibly be
+        // counterexamples (otherwise the whole instance is a witness).
+        match decide_qdsi(query, &db, m, limits) {
+            Ok(out) if !out.scale_independent => return Ok(Some(db)),
+            Ok(_) => {}
+            Err(CoreError::SearchSpaceTooLarge(_)) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    if remaining == 0 {
+        return Ok(None);
+    }
+    for i in start..candidates.len() {
+        chosen.push(candidates[i].clone());
+        let found = search_fo_counterexample(
+            query,
+            schema,
+            m,
+            remaining - 1,
+            candidates,
+            i + 1,
+            chosen,
+            limits,
+        )?;
+        chosen.pop();
+        if found.is_some() {
+            return Ok(found);
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_data::schema::social_schema;
+    use si_data::RelationSchema;
+    use si_query::ast::{c, v, Atom};
+    use si_query::{Formula, FoQuery};
+
+    fn q1() -> ConjunctiveQuery {
+        ConjunctiveQuery::new(
+            "Q1",
+            vec!["p".into(), "name".into()],
+            vec![
+                Atom::new("friend", vec![v("p"), v("id")]),
+                Atom::new("person", vec![v("id"), v("name"), c("NYC")]),
+            ],
+        )
+    }
+
+    #[test]
+    fn non_trivial_data_selecting_cq_is_never_qsi() {
+        let schema = social_schema();
+        let answer = decide_qsi_cq(&q1(), &schema, 100, &SearchLimits::default()).unwrap();
+        match answer {
+            QsiAnswer::NotScaleIndependent(cex) => {
+                // The counterexample has 101 disjoint copies of the tableau.
+                assert_eq!(cex.size(), 2 * 101);
+                let q: AnyQuery = q1().into();
+                let out = decide_qdsi(&q, &cex, 100, &SearchLimits::default()).unwrap();
+                assert!(!out.scale_independent);
+            }
+            other => panic!("expected a counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boolean_cq_is_qsi_iff_core_fits() {
+        let schema = social_schema();
+        let boolean = ConjunctiveQuery::new(
+            "B",
+            vec![],
+            vec![
+                Atom::new("friend", vec![v("x"), v("y")]),
+                Atom::new("person", vec![v("y"), v("n"), c("NYC")]),
+            ],
+        );
+        assert!(decide_qsi_cq(&boolean, &schema, 2, &SearchLimits::default())
+            .unwrap()
+            .is_scale_independent());
+        assert!(!decide_qsi_cq(&boolean, &schema, 1, &SearchLimits::default())
+            .unwrap()
+            .is_scale_independent());
+    }
+
+    #[test]
+    fn boolean_cq_core_can_be_smaller_than_tableau() {
+        // friend(x, y) ∧ friend(u, w): the core is a single atom, so M = 1
+        // suffices even though ‖Q‖ = 2.
+        let schema = social_schema();
+        let boolean = ConjunctiveQuery::new(
+            "B",
+            vec![],
+            vec![
+                Atom::new("friend", vec![v("x"), v("y")]),
+                Atom::new("friend", vec![v("u"), v("w")]),
+            ],
+        );
+        assert!(decide_qsi_cq(&boolean, &schema, 1, &SearchLimits::default())
+            .unwrap()
+            .is_scale_independent());
+    }
+
+    #[test]
+    fn atomless_queries_are_trivially_qsi() {
+        let schema = social_schema();
+        let q = ConjunctiveQuery::new("T", vec![], vec![]);
+        assert!(decide_qsi_cq(&q, &schema, 0, &SearchLimits::default())
+            .unwrap()
+            .is_scale_independent());
+    }
+
+    #[test]
+    fn ucq_propagates_counterexamples() {
+        let schema = social_schema();
+        let u = si_query::UnionQuery::new("U", vec![q1()]).unwrap();
+        let q: AnyQuery = u.into();
+        let answer = decide_qsi(&q, &schema, 10, 0, &SearchLimits::default()).unwrap();
+        assert!(matches!(answer, QsiAnswer::NotScaleIndependent(_)));
+    }
+
+    #[test]
+    fn fo_returns_unknown_without_search() {
+        let schema = social_schema();
+        let q: AnyQuery = FoQuery::boolean(
+            "B",
+            Formula::forall(
+                vec!["x".into(), "y".into()],
+                Formula::Atom(Atom::new("friend", vec![v("x"), v("y")])),
+            ),
+        )
+        .into();
+        assert!(matches!(
+            decide_qsi(&q, &schema, 3, 0, &SearchLimits::default()).unwrap(),
+            QsiAnswer::Unknown
+        ));
+    }
+
+    #[test]
+    fn fo_bounded_search_finds_counterexamples() {
+        // Over a tiny schema with a single unary relation, the query
+        // "every element of U is in R" (∀x ¬R(x) fails …) — use a query that
+        // fully uses its input (Proposition 3.6 flavour):
+        // Q = ∀x,y (R(x) ∧ R(y) → x = y), i.e. "R has at most one element".
+        // With M = 1 it is not scale-independent: on an instance with two
+        // R-facts the query is false, but any single-fact sub-instance makes
+        // it true.
+        let schema = DatabaseSchema::from_relations(vec![RelationSchema::new("r", &["a"])])
+            .unwrap();
+        let body = Formula::forall(
+            vec!["x".into(), "y".into()],
+            Formula::Implies(
+                Box::new(
+                    Formula::Atom(Atom::new("r", vec![v("x")]))
+                        .and(Formula::Atom(Atom::new("r", vec![v("y")]))),
+                ),
+                Box::new(Formula::Eq(v("x"), v("y"))),
+            ),
+        );
+        let q: AnyQuery = FoQuery::boolean("AtMostOne", body).into();
+        let answer = decide_qsi(&q, &schema, 1, 2, &SearchLimits::default()).unwrap();
+        match answer {
+            QsiAnswer::NotScaleIndependent(cex) => {
+                assert!(cex.size() >= 2);
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disjoint_copies_produces_disjoint_answers() {
+        let schema = social_schema();
+        let db = disjoint_copies(&q1(), &schema, 3).unwrap();
+        assert_eq!(db.size(), 6);
+        let q: AnyQuery = q1().into();
+        assert_eq!(q.answers(&db).unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,388 @@
+//! Scale independence: definitions and the witness problem.
+//!
+//! Section 3 of the paper: a query `Q` is *scale-independent in `D`
+//! w.r.t. `M`* when there exists `D_Q ⊆ D` with `|D_Q| ≤ M` and
+//! `Q(D_Q) = Q(D)`.  `D_Q` is a *witness*.  The *witness problem* — given a
+//! candidate `D' ⊆ D`, does `Q(D') = Q(D)` hold? — is the inner check of all
+//! the decision procedures in [`crate::qdsi`].
+
+use crate::error::CoreError;
+use si_data::{Database, Tuple};
+use si_query::{
+    evaluate_cq, evaluate_fo, evaluate_ucq, ConjunctiveQuery, FoQuery, UnionQuery,
+};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A query in one of the three languages studied by the paper.
+///
+/// Keeping the concrete representation (rather than converting everything to
+/// FO) lets the decision procedures exploit the CQ/UCQ fast paths of
+/// Corollary 3.2 and Theorem 3.3.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyQuery {
+    /// A conjunctive query.
+    Cq(ConjunctiveQuery),
+    /// A union of conjunctive queries.
+    Ucq(UnionQuery),
+    /// A first-order query.
+    Fo(FoQuery),
+}
+
+impl AnyQuery {
+    /// The query's name.
+    pub fn name(&self) -> &str {
+        match self {
+            AnyQuery::Cq(q) => &q.name,
+            AnyQuery::Ucq(q) => &q.name,
+            AnyQuery::Fo(q) => &q.name,
+        }
+    }
+
+    /// Number of output variables.
+    pub fn arity(&self) -> usize {
+        match self {
+            AnyQuery::Cq(q) => q.arity(),
+            AnyQuery::Ucq(q) => q.arity(),
+            AnyQuery::Fo(q) => q.arity(),
+        }
+    }
+
+    /// True iff the query is Boolean (a sentence).
+    pub fn is_boolean(&self) -> bool {
+        self.arity() == 0
+    }
+
+    /// True for CQ and UCQ, which are monotone: `D' ⊆ D ⇒ Q(D') ⊆ Q(D)`.
+    /// The decision procedures use this to prune the witness search.
+    pub fn is_monotone(&self) -> bool {
+        matches!(self, AnyQuery::Cq(_) | AnyQuery::Ucq(_))
+    }
+
+    /// The tableau size `‖Q‖` for CQ/UCQ (Section 3); `None` for FO.
+    pub fn tableau_size(&self) -> Option<usize> {
+        match self {
+            AnyQuery::Cq(q) => Some(q.tableau_size()),
+            AnyQuery::Ucq(q) => Some(q.tableau_size()),
+            AnyQuery::Fo(_) => None,
+        }
+    }
+
+    /// Evaluates the query over `db`, returning the answer set.
+    ///
+    /// Boolean queries return `[()]`(the empty tuple) when true and `[]`
+    /// when false, uniformly across languages.
+    pub fn answers(&self, db: &Database) -> Result<Vec<Tuple>, CoreError> {
+        let out = match self {
+            AnyQuery::Cq(q) => {
+                if q.is_boolean() {
+                    if si_query::evaluate_boolean_cq(q, db, None)? {
+                        vec![Tuple::empty()]
+                    } else {
+                        vec![]
+                    }
+                } else {
+                    evaluate_cq(q, db, None)?
+                }
+            }
+            AnyQuery::Ucq(q) => {
+                if q.is_boolean() {
+                    let any = q
+                        .disjuncts
+                        .iter()
+                        .map(|d| si_query::evaluate_boolean_cq(d, db, None))
+                        .collect::<Result<Vec<bool>, _>>()?
+                        .into_iter()
+                        .any(|b| b);
+                    if any {
+                        vec![Tuple::empty()]
+                    } else {
+                        vec![]
+                    }
+                } else {
+                    evaluate_ucq(q, db, None)?
+                }
+            }
+            AnyQuery::Fo(q) => evaluate_fo(q, db)?,
+        };
+        Ok(out)
+    }
+
+    /// Evaluates the query and returns the answers as a set.
+    pub fn answer_set(&self, db: &Database) -> Result<BTreeSet<Tuple>, CoreError> {
+        Ok(self.answers(db)?.into_iter().collect())
+    }
+}
+
+impl From<ConjunctiveQuery> for AnyQuery {
+    fn from(q: ConjunctiveQuery) -> Self {
+        AnyQuery::Cq(q)
+    }
+}
+
+impl From<UnionQuery> for AnyQuery {
+    fn from(q: UnionQuery) -> Self {
+        AnyQuery::Ucq(q)
+    }
+}
+
+impl From<FoQuery> for AnyQuery {
+    fn from(q: FoQuery) -> Self {
+        AnyQuery::Fo(q)
+    }
+}
+
+impl fmt::Display for AnyQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnyQuery::Cq(q) => write!(f, "{q}"),
+            AnyQuery::Ucq(q) => write!(f, "{q}"),
+            AnyQuery::Fo(q) => write!(f, "{q}"),
+        }
+    }
+}
+
+/// A witness `D_Q ⊆ D` for scale independence: the list of facts retained.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Witness {
+    /// The retained `(relation, tuple)` facts.
+    pub facts: Vec<(String, Tuple)>,
+}
+
+impl Witness {
+    /// An empty witness.
+    pub fn empty() -> Self {
+        Witness::default()
+    }
+
+    /// Creates a witness from facts, deduplicating.
+    pub fn from_facts(facts: Vec<(String, Tuple)>) -> Self {
+        let mut seen = BTreeSet::new();
+        let facts = facts
+            .into_iter()
+            .filter(|f| seen.insert(f.clone()))
+            .collect();
+        Witness { facts }
+    }
+
+    /// Number of facts, `|D_Q|`.
+    pub fn size(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Materialises the witness as a sub-database of `db`.
+    pub fn to_database(&self, db: &Database) -> Result<Database, CoreError> {
+        Ok(db.sub_database(&self.facts)?)
+    }
+}
+
+impl fmt::Display for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "witness[{} facts]", self.size())
+    }
+}
+
+/// The *witness problem*: does the sub-instance `candidate ⊆ db` satisfy
+/// `Q(candidate) = Q(db)`?
+pub fn is_witness(
+    query: &AnyQuery,
+    db: &Database,
+    candidate: &Database,
+) -> Result<bool, CoreError> {
+    if !db.contains_database(candidate) {
+        return Err(CoreError::Invariant(
+            "candidate witness is not a sub-instance of the base database".into(),
+        ));
+    }
+    Ok(query.answer_set(candidate)? == query.answer_set(db)?)
+}
+
+/// Checks a [`Witness`] (fact list form) against the definition.
+pub fn check_witness(
+    query: &AnyQuery,
+    db: &Database,
+    witness: &Witness,
+    m: usize,
+) -> Result<bool, CoreError> {
+    if witness.size() > m {
+        return Ok(false);
+    }
+    let sub = witness.to_database(db)?;
+    is_witness(query, db, &sub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_data::schema::social_schema;
+    use si_data::tuple;
+    use si_query::ast::{c, v, Atom};
+    use si_query::Formula;
+
+    fn db() -> Database {
+        let mut db = Database::empty(social_schema());
+        db.insert_all(
+            "person",
+            vec![
+                tuple![1, "ann", "NYC"],
+                tuple![2, "bob", "NYC"],
+                tuple![3, "cat", "LA"],
+            ],
+        )
+        .unwrap();
+        db.insert_all("friend", vec![tuple![1, 2], tuple![1, 3], tuple![2, 3]])
+            .unwrap();
+        db
+    }
+
+    fn q1_bound() -> ConjunctiveQuery {
+        ConjunctiveQuery::new(
+            "Q1",
+            vec!["name".into()],
+            vec![
+                Atom::new("friend", vec![c(1), v("id")]),
+                Atom::new("person", vec![v("id"), v("name"), c("NYC")]),
+            ],
+        )
+    }
+
+    #[test]
+    fn any_query_dispatch() {
+        let q: AnyQuery = q1_bound().into();
+        assert_eq!(q.name(), "Q1");
+        assert_eq!(q.arity(), 1);
+        assert!(!q.is_boolean());
+        assert!(q.is_monotone());
+        assert_eq!(q.tableau_size(), Some(2));
+        assert_eq!(q.answers(&db()).unwrap(), vec![tuple!["bob"]]);
+        assert!(q.to_string().contains("Q1"));
+    }
+
+    #[test]
+    fn boolean_cq_and_fo_answers_are_uniform() {
+        let boolean_cq: AnyQuery = ConjunctiveQuery::new(
+            "B",
+            vec![],
+            vec![Atom::new("friend", vec![v("x"), v("y")])],
+        )
+        .into();
+        assert_eq!(boolean_cq.answers(&db()).unwrap(), vec![Tuple::empty()]);
+
+        let boolean_fo: AnyQuery = FoQuery::boolean(
+            "B",
+            Formula::exists(
+                vec!["x".into(), "y".into()],
+                Formula::Atom(Atom::new("friend", vec![v("x"), v("y")])),
+            ),
+        )
+        .into();
+        assert!(!boolean_fo.is_monotone());
+        assert_eq!(boolean_fo.tableau_size(), None);
+        assert_eq!(boolean_fo.answers(&db()).unwrap(), vec![Tuple::empty()]);
+
+        let false_cq: AnyQuery = ConjunctiveQuery::new(
+            "B",
+            vec![],
+            vec![Atom::new("person", vec![v("x"), v("n"), c("Tokyo")])],
+        )
+        .into();
+        assert!(false_cq.answers(&db()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ucq_queries_dispatch() {
+        let u = UnionQuery::new(
+            "U",
+            vec![
+                ConjunctiveQuery::new(
+                    "a",
+                    vec!["n".into()],
+                    vec![Atom::new("person", vec![v("x"), v("n"), c("LA")])],
+                ),
+                ConjunctiveQuery::new(
+                    "b",
+                    vec!["n".into()],
+                    vec![Atom::new("person", vec![v("x"), v("n"), c("Tokyo")])],
+                ),
+            ],
+        )
+        .unwrap();
+        let q: AnyQuery = u.into();
+        assert!(q.is_monotone());
+        assert_eq!(q.answers(&db()).unwrap(), vec![tuple!["cat"]]);
+
+        let bool_u = UnionQuery::new(
+            "U",
+            vec![ConjunctiveQuery::new(
+                "a",
+                vec![],
+                vec![Atom::new("person", vec![v("x"), v("n"), c("LA")])],
+            )],
+        )
+        .unwrap();
+        let q: AnyQuery = bool_u.into();
+        assert!(q.is_boolean());
+        assert_eq!(q.answers(&db()).unwrap(), vec![Tuple::empty()]);
+    }
+
+    #[test]
+    fn witness_checking_accepts_the_provenance_facts() {
+        let q: AnyQuery = q1_bound().into();
+        let d = db();
+        // The two facts used by the only answer form a witness.
+        let w = Witness::from_facts(vec![
+            ("friend".into(), tuple![1, 2]),
+            ("person".into(), tuple![2, "bob", "NYC"]),
+        ]);
+        assert_eq!(w.size(), 2);
+        assert!(check_witness(&q, &d, &w, 2).unwrap());
+        assert!(!check_witness(&q, &d, &w, 1).unwrap(), "budget too small");
+        // An unrelated fact is not a witness.
+        let w = Witness::from_facts(vec![("friend".into(), tuple![2, 3])]);
+        assert!(!check_witness(&q, &d, &w, 10).unwrap());
+        // The empty witness is not a witness here (answer is non-empty)…
+        assert!(!check_witness(&q, &d, &Witness::empty(), 10).unwrap());
+    }
+
+    #[test]
+    fn empty_witness_works_for_false_boolean_monotone_queries() {
+        let q: AnyQuery = ConjunctiveQuery::new(
+            "B",
+            vec![],
+            vec![Atom::new("person", vec![v("x"), v("n"), c("Tokyo")])],
+        )
+        .into();
+        assert!(check_witness(&q, &db(), &Witness::empty(), 0).unwrap());
+    }
+
+    #[test]
+    fn is_witness_rejects_non_subinstances() {
+        let q: AnyQuery = q1_bound().into();
+        let d = db();
+        let mut other = Database::empty(social_schema());
+        other.insert("friend", tuple![9, 9]).unwrap();
+        assert!(matches!(
+            is_witness(&q, &d, &other),
+            Err(CoreError::Invariant(_))
+        ));
+    }
+
+    #[test]
+    fn witness_deduplicates_facts() {
+        let w = Witness::from_facts(vec![
+            ("friend".into(), tuple![1, 2]),
+            ("friend".into(), tuple![1, 2]),
+        ]);
+        assert_eq!(w.size(), 1);
+        assert!(w.to_string().contains("1 facts"));
+    }
+
+    #[test]
+    fn full_database_is_always_a_witness() {
+        // Q ∈ SQ_L(D, |D|) for every Q and D (Section 3 remark).
+        let q: AnyQuery = q1_bound().into();
+        let d = db();
+        let w = Witness::from_facts(d.all_facts());
+        assert!(check_witness(&q, &d, &w, d.size()).unwrap());
+    }
+}

@@ -1,0 +1,142 @@
+//! Constrained and unconstrained distinguished variables of a rewriting.
+//!
+//! The NP characterisation of VQSI (proof of Theorem 6.1) hinges on which
+//! distinguished (head) variables of a rewriting `Q'` are *constrained*: a
+//! head variable `x` is constrained when it is instantiated to a constant or
+//! when it is **not** connected to a base relation atom through a chain of
+//! joins `S1, …, Sl` with `S1, …, S_{l−1}` view atoms, `Sl` a base atom,
+//! `x ∈ v̄1` and consecutive atoms sharing a variable.  Unconstrained head
+//! variables force the rewriting to read base data proportional to the data
+//! size, which is what the budget `M` must cover.
+
+use crate::views::view::ViewSet;
+use si_query::{ConjunctiveQuery, Term, Var};
+use std::collections::BTreeSet;
+
+/// The distinguished variables of `rewriting` that are **unconstrained**
+/// (connected to a base atom via a chain of view atoms).
+pub fn unconstrained_variables(rewriting: &ConjunctiveQuery, views: &ViewSet) -> Vec<Var> {
+    rewriting
+        .head
+        .iter()
+        .filter(|x| is_unconstrained(rewriting, views, x))
+        .cloned()
+        .collect()
+}
+
+/// The distinguished variables of `rewriting` that are constrained.
+pub fn constrained_variables(rewriting: &ConjunctiveQuery, views: &ViewSet) -> Vec<Var> {
+    rewriting
+        .head
+        .iter()
+        .filter(|x| !is_unconstrained(rewriting, views, x))
+        .cloned()
+        .collect()
+}
+
+/// Is the head variable `x` unconstrained in `rewriting`?
+pub fn is_unconstrained(rewriting: &ConjunctiveQuery, views: &ViewSet, x: &str) -> bool {
+    // A head variable equated to a constant is constrained.
+    let equated_to_constant = rewriting.equalities.iter().any(|(l, r)| {
+        matches!((l, r), (Term::Var(v), Term::Const(_)) if v == x)
+            || matches!((l, r), (Term::Const(_), Term::Var(v)) if v == x)
+    });
+    if equated_to_constant {
+        return false;
+    }
+    // BFS over atoms containing reachable variables, travelling only through
+    // view atoms; reaching any base atom makes x unconstrained.
+    let start_atoms: Vec<usize> = rewriting
+        .atoms
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.variables().iter().any(|v| v == x))
+        .map(|(i, _)| i)
+        .collect();
+    let mut visited: BTreeSet<usize> = BTreeSet::new();
+    let mut queue: Vec<usize> = start_atoms;
+    while let Some(i) = queue.pop() {
+        if !visited.insert(i) {
+            continue;
+        }
+        let atom = &rewriting.atoms[i];
+        if !views.is_view(&atom.relation) {
+            // Reached a base atom.
+            return true;
+        }
+        // Continue through atoms sharing a variable with this view atom.
+        let vars: BTreeSet<Var> = atom.variables().into_iter().collect();
+        for (j, other) in rewriting.atoms.iter().enumerate() {
+            if visited.contains(&j) {
+                continue;
+            }
+            if other.variables().iter().any(|v| vars.contains(v)) {
+                queue.push(j);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::views::view::ViewDef;
+    use si_query::parse_cq;
+
+    fn views() -> ViewSet {
+        ViewSet::new()
+            .with(ViewDef::new(
+                "v1",
+                parse_cq(r#"V1(rid, rn, rating) :- restr(rid, rn, "NYC", rating)"#).unwrap(),
+            ))
+            .with(ViewDef::new(
+                "v2",
+                parse_cq(r#"V2(id, rid) :- visit(id, rid), person(id, pn, "NYC")"#).unwrap(),
+            ))
+    }
+
+    #[test]
+    fn rn_is_unconstrained_in_the_papers_rewriting() {
+        // Q'2(p, rn): rn connects to the base relation friend via the chain
+        // V1 – V2 – friend, as observed in the paper.
+        let q2_prime =
+            parse_cq(r#"Q2p(p, rn) :- friend(p, id), v2(id, rid), v1(rid, rn, "A")"#).unwrap();
+        let vs = views();
+        assert!(is_unconstrained(&q2_prime, &vs, "rn"));
+        assert!(is_unconstrained(&q2_prime, &vs, "p"));
+        assert_eq!(unconstrained_variables(&q2_prime, &vs).len(), 2);
+        assert!(constrained_variables(&q2_prime, &vs).is_empty());
+    }
+
+    #[test]
+    fn variables_only_touching_views_are_constrained() {
+        // A rewriting with no base atoms at all: every head variable is
+        // constrained (a complete rewriting; M = 0 suffices).
+        let complete = parse_cq(r#"Q(id, rn) :- v2(id, rid), v1(rid, rn, "A")"#).unwrap();
+        let vs = views();
+        assert!(!is_unconstrained(&complete, &vs, "id"));
+        assert!(!is_unconstrained(&complete, &vs, "rn"));
+        assert_eq!(constrained_variables(&complete, &vs).len(), 2);
+    }
+
+    #[test]
+    fn constants_constrain_variables() {
+        let q = parse_cq(r#"Q(p, rn) :- friend(p, id), v2(id, rid), v1(rid, rn, "A"), p = 1"#)
+            .unwrap();
+        let vs = views();
+        assert!(!is_unconstrained(&q, &vs, "p"));
+        assert!(is_unconstrained(&q, &vs, "rn"));
+        assert_eq!(unconstrained_variables(&q, &vs), vec!["rn".to_string()]);
+    }
+
+    #[test]
+    fn disconnected_view_components_do_not_reach_base_atoms() {
+        // rn only occurs in a view atom that shares no variables with the
+        // base atom: constrained.
+        let q = parse_cq(r#"Q(p, rn) :- friend(p, id), v1(rid, rn, "A")"#).unwrap();
+        let vs = views();
+        assert!(!is_unconstrained(&q, &vs, "rn"));
+        assert!(is_unconstrained(&q, &vs, "p"));
+    }
+}

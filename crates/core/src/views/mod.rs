@@ -1,0 +1,18 @@
+//! Scale independence using views (Section 6): view definitions and
+//! materialisation, rewriting search and verification, constrained-variable
+//! analysis, the VQSI decision procedure and the view-based bounded executor.
+
+pub mod constrained;
+pub mod rewrite;
+pub mod view;
+pub mod vqsi;
+
+pub use constrained::{constrained_variables, is_unconstrained, unconstrained_variables};
+pub use rewrite::{
+    base_part_size, expand_rewriting, find_rewriting, find_rewritings, is_rewriting,
+    split_rewriting,
+};
+pub use view::{ViewDef, ViewSet};
+pub use vqsi::{
+    decide_vqsi_cq, execute_with_views, is_scale_independent_using_views, VqsiOutcome,
+};

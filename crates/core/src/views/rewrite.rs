@@ -1,0 +1,324 @@
+//! Conjunctive-query rewritings using views (Section 6).
+//!
+//! A rewriting `Q'` of `Q` using `V` is a query over the base schema extended
+//! with the view relations such that `Q(D) = Q'(D, V(D))` for every `D`.
+//! [`expand_rewriting`] unfolds the view atoms by their definitions, and
+//! [`is_rewriting`] verifies a candidate by checking expansion-equivalence via
+//! the homomorphism theorem.  [`find_rewriting`] performs a bounded search for
+//! rewritings that replace sub-patterns of `Q` by view atoms, preferring
+//! rewritings with as few base atoms as possible (those are the ones that can
+//! be scale-independent with a small budget `M`).
+
+use crate::error::CoreError;
+use crate::views::view::ViewSet;
+use si_query::hom::{apply_to_term, find_homomorphism, Homomorphism};
+use si_query::{equivalent, Atom, ConjunctiveQuery, Term};
+use std::collections::BTreeSet;
+
+/// Splits a rewriting into its base part `Q'_b` and view part `Q'_v`
+/// (returning the atom lists).
+pub fn split_rewriting<'a>(
+    rewriting: &'a ConjunctiveQuery,
+    views: &ViewSet,
+) -> (Vec<&'a Atom>, Vec<&'a Atom>) {
+    let mut base = Vec::new();
+    let mut view = Vec::new();
+    for atom in &rewriting.atoms {
+        if views.is_view(&atom.relation) {
+            view.push(atom);
+        } else {
+            base.push(atom);
+        }
+    }
+    (base, view)
+}
+
+/// The size `‖Q'_b‖` of the base part of a rewriting.
+pub fn base_part_size(rewriting: &ConjunctiveQuery, views: &ViewSet) -> usize {
+    split_rewriting(rewriting, views).0.len()
+}
+
+/// Unfolds every view atom of `rewriting` by its definition, renaming the
+/// view's existential variables apart, and returns the expansion `Q'_e`.
+pub fn expand_rewriting(
+    rewriting: &ConjunctiveQuery,
+    views: &ViewSet,
+) -> Result<ConjunctiveQuery, CoreError> {
+    let mut atoms: Vec<Atom> = Vec::new();
+    let mut equalities = rewriting.equalities.clone();
+    let mut fresh = 0usize;
+    for atom in &rewriting.atoms {
+        match views.view(&atom.relation) {
+            None => atoms.push(atom.clone()),
+            Some(view) => {
+                if view.query.head.len() != atom.terms.len() {
+                    return Err(CoreError::Unsupported(format!(
+                        "view atom {atom} does not match the arity of view `{}`",
+                        view.name
+                    )));
+                }
+                fresh += 1;
+                // Head variable i of the view maps to the atom's i-th term;
+                // every other variable gets a fresh name.
+                let head_map: Vec<(&String, &Term)> =
+                    view.query.head.iter().zip(atom.terms.iter()).collect();
+                let rename = |t: &Term| -> Term {
+                    match t {
+                        Term::Const(_) => t.clone(),
+                        Term::Var(v) => {
+                            if let Some((_, target)) =
+                                head_map.iter().find(|(hv, _)| hv.as_str() == v)
+                            {
+                                (*target).clone()
+                            } else {
+                                Term::Var(format!("{v}%{fresh}"))
+                            }
+                        }
+                    }
+                };
+                for body_atom in &view.query.atoms {
+                    atoms.push(Atom {
+                        relation: body_atom.relation.clone(),
+                        terms: body_atom.terms.iter().map(rename).collect(),
+                    });
+                }
+                for (l, r) in &view.query.equalities {
+                    equalities.push((rename(l), rename(r)));
+                }
+            }
+        }
+    }
+    Ok(ConjunctiveQuery {
+        name: format!("{}#expanded", rewriting.name),
+        head: rewriting.head.clone(),
+        atoms,
+        equalities,
+    })
+}
+
+/// Is `candidate` a rewriting of `query` using `views`, i.e. is its expansion
+/// equivalent to `query`?
+pub fn is_rewriting(
+    query: &ConjunctiveQuery,
+    views: &ViewSet,
+    candidate: &ConjunctiveQuery,
+) -> Result<bool, CoreError> {
+    let expansion = expand_rewriting(candidate, views)?;
+    Ok(equivalent(&expansion, query))
+}
+
+/// Searches for rewritings of `query` using `views`, returning all verified
+/// rewritings found, ordered by the size of their base part (fewest base
+/// atoms first).  The search replaces, for each view and each homomorphism
+/// from the view's body into the query's body, the covered atoms by a single
+/// view atom; combinations of views are explored greedily up to
+/// `max_candidates` candidates.
+pub fn find_rewritings(
+    query: &ConjunctiveQuery,
+    views: &ViewSet,
+    max_candidates: usize,
+) -> Result<Vec<ConjunctiveQuery>, CoreError> {
+    let mut candidates: Vec<ConjunctiveQuery> = vec![query.clone()];
+    // Iteratively try to apply each view to each candidate.
+    let mut frontier = vec![query.clone()];
+    while let Some(current) = frontier.pop() {
+        if candidates.len() >= max_candidates {
+            break;
+        }
+        for view in views.views() {
+            for application in view_applications(&current, view)? {
+                if candidates.iter().any(|c| c == &application) {
+                    continue;
+                }
+                candidates.push(application.clone());
+                frontier.push(application);
+                if candidates.len() >= max_candidates {
+                    break;
+                }
+            }
+        }
+    }
+
+    let mut verified: Vec<ConjunctiveQuery> = Vec::new();
+    for mut c in candidates {
+        c.name = format!("{}#rw{}", query.name, verified.len());
+        if is_rewriting(query, views, &c)? {
+            verified.push(c);
+        }
+    }
+    verified.sort_by_key(|c| base_part_size(c, views));
+    Ok(verified)
+}
+
+/// Finds the best (fewest base atoms) verified rewriting, if any.
+pub fn find_rewriting(
+    query: &ConjunctiveQuery,
+    views: &ViewSet,
+) -> Result<Option<ConjunctiveQuery>, CoreError> {
+    Ok(find_rewritings(query, views, 64)?.into_iter().next())
+}
+
+/// All ways of replacing a sub-pattern of `query` by one atom of `view`:
+/// for each homomorphism from the view's body into the query's body, remove
+/// the covered atoms (when safe) and add the view atom over the mapped head.
+fn view_applications(
+    query: &ConjunctiveQuery,
+    view: &crate::views::view::ViewDef,
+) -> Result<Vec<ConjunctiveQuery>, CoreError> {
+    let mut out = Vec::new();
+    // A homomorphism from the view body into the query body: reuse the CQ
+    // homomorphism machinery by treating both as Boolean queries (heads are
+    // handled separately because the view's head need not match the query's).
+    let view_as_boolean = ConjunctiveQuery {
+        name: view.query.name.clone(),
+        head: Vec::new(),
+        atoms: view.query.atoms.clone(),
+        equalities: view.query.equalities.clone(),
+    };
+    let query_as_boolean = ConjunctiveQuery {
+        name: query.name.clone(),
+        head: Vec::new(),
+        atoms: query.atoms.clone(),
+        equalities: query.equalities.clone(),
+    };
+    let Some(h): Option<Homomorphism> = find_homomorphism(&view_as_boolean, &query_as_boolean)
+    else {
+        return Ok(out);
+    };
+    // Which query atoms are covered by the image of the view body?
+    let image: BTreeSet<Atom> = view
+        .query
+        .atoms
+        .iter()
+        .map(|a| si_query::hom::apply_to_atom(&h, a))
+        .collect();
+    let covered: Vec<usize> = query
+        .atoms
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| image.contains(*a))
+        .map(|(i, _)| i)
+        .collect();
+    if covered.is_empty() {
+        return Ok(out);
+    }
+    // The view atom over the mapped head terms.
+    let view_atom = Atom {
+        relation: view.name.clone(),
+        terms: view
+            .query
+            .head
+            .iter()
+            .map(|v| apply_to_term(&h, &Term::Var(v.clone())))
+            .collect(),
+    };
+    // Candidate: drop the covered atoms, add the view atom.  (Soundness is
+    // re-checked by expansion-equivalence in the caller, so we do not need
+    // the full safety conditions here.)
+    let mut rewritten = query.clone();
+    let covered_set: BTreeSet<usize> = covered.iter().copied().collect();
+    rewritten.atoms = rewritten
+        .atoms
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !covered_set.contains(i))
+        .map(|(_, a)| a)
+        .collect();
+    rewritten.atoms.push(view_atom);
+    out.push(rewritten);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::views::view::ViewDef;
+    use si_query::parse_cq;
+
+    fn views() -> ViewSet {
+        ViewSet::new()
+            .with(ViewDef::new(
+                "v1",
+                parse_cq(r#"V1(rid, rn, rating) :- restr(rid, rn, "NYC", rating)"#).unwrap(),
+            ))
+            .with(ViewDef::new(
+                "v2",
+                parse_cq(r#"V2(id, rid) :- visit(id, rid), person(id, pn, "NYC")"#).unwrap(),
+            ))
+    }
+
+    fn q2() -> ConjunctiveQuery {
+        parse_cq(
+            r#"Q2(p, rn) :- friend(p, id), visit(id, rid), person(id, pn, "NYC"), restr(rid, rn, "NYC", "A")"#,
+        )
+        .unwrap()
+    }
+
+    /// The paper's rewriting Q'2(p, rn) = ∃id, rid (friend(p,id) ∧ V2(id,rid) ∧ V1(rid,rn,"A")).
+    fn q2_prime() -> ConjunctiveQuery {
+        parse_cq(r#"Q2p(p, rn) :- friend(p, id), v2(id, rid), v1(rid, rn, "A")"#).unwrap()
+    }
+
+    #[test]
+    fn expansion_unfolds_view_definitions() {
+        let expansion = expand_rewriting(&q2_prime(), &views()).unwrap();
+        let relations: Vec<&str> = expansion.atoms.iter().map(|a| a.relation.as_str()).collect();
+        assert!(relations.contains(&"friend"));
+        assert!(relations.contains(&"visit"));
+        assert!(relations.contains(&"person"));
+        assert!(relations.contains(&"restr"));
+        assert!(!relations.contains(&"v1"));
+        // The expansion has 1 + 2 + 1 = 4 base atoms.
+        assert_eq!(expansion.atoms.len(), 4);
+    }
+
+    #[test]
+    fn the_papers_rewriting_verifies() {
+        assert!(is_rewriting(&q2(), &views(), &q2_prime()).unwrap());
+        // Dropping the friend atom breaks equivalence.
+        let broken = parse_cq(r#"Qx(p, rn) :- v2(id, rid), v1(rid, rn, "A"), friend(p, q)"#)
+            .unwrap();
+        assert!(!is_rewriting(&q2(), &views(), &broken).unwrap());
+    }
+
+    #[test]
+    fn base_and_view_parts_are_split() {
+        let q = q2_prime();
+        let vs = views();
+        let (base, view) = split_rewriting(&q, &vs);
+        assert_eq!(base.len(), 1);
+        assert_eq!(base[0].relation, "friend");
+        assert_eq!(view.len(), 2);
+        assert_eq!(base_part_size(&q, &vs), 1);
+        assert_eq!(base_part_size(&q2(), &vs), 4);
+    }
+
+    #[test]
+    fn rewriting_search_finds_the_view_based_plan() {
+        let found = find_rewriting(&q2(), &views()).unwrap().expect("rewriting");
+        // The best rewriting uses both views, leaving only friend as a base atom.
+        assert_eq!(base_part_size(&found, &views()), 1);
+        assert!(is_rewriting(&q2(), &views(), &found).unwrap());
+        // And the original query itself is always among the rewritings.
+        let all = find_rewritings(&q2(), &views(), 64).unwrap();
+        assert!(all.iter().any(|c| base_part_size(c, &views()) == 4));
+        assert!(all.len() >= 2);
+    }
+
+    #[test]
+    fn arity_mismatched_view_atoms_are_rejected() {
+        let bad = parse_cq("Qx(p) :- v1(p)").unwrap();
+        assert!(matches!(
+            expand_rewriting(&bad, &views()),
+            Err(CoreError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn queries_not_coverable_by_views_yield_only_the_trivial_rewriting() {
+        let q = parse_cq("Q(a, b) :- friend(a, b)").unwrap();
+        let all = find_rewritings(&q, &views(), 16).unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(base_part_size(&all[0], &views()), 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! View definitions and materialisation.
+//!
+//! Section 6 of the paper assumes a set `V` of views defined over the base
+//! schema, whose extents `V(D)` are materialised and cheap to access ("cached
+//! in memory").  A [`ViewDef`] is a named conjunctive query; a [`ViewSet`]
+//! can extend the database schema with one relation per view, materialise the
+//! extents, and produce the access constraints under which the materialised
+//! views are efficiently retrievable.
+
+use crate::error::CoreError;
+use si_access::{AccessConstraint, AccessSchema};
+use si_data::{Database, DatabaseSchema, RelationSchema};
+use si_query::{evaluate_cq, ConjunctiveQuery};
+
+/// A named view defined by a conjunctive query; the view relation's
+/// attributes are the query's head variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewDef {
+    /// The view (relation) name.
+    pub name: String,
+    /// The defining query.
+    pub query: ConjunctiveQuery,
+}
+
+impl ViewDef {
+    /// Creates a view definition.
+    pub fn new(name: impl Into<String>, query: ConjunctiveQuery) -> Self {
+        ViewDef {
+            name: name.into(),
+            query,
+        }
+    }
+
+    /// The schema of the view relation.
+    pub fn relation_schema(&self) -> RelationSchema {
+        let attrs: Vec<&str> = self.query.head.iter().map(String::as_str).collect();
+        RelationSchema::new(self.name.clone(), &attrs)
+    }
+}
+
+/// A set of views over a common base schema.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ViewSet {
+    views: Vec<ViewDef>,
+}
+
+impl ViewSet {
+    /// Creates an empty view set.
+    pub fn new() -> Self {
+        ViewSet::default()
+    }
+
+    /// Adds a view (builder style).
+    pub fn with(mut self, view: ViewDef) -> Self {
+        self.views.push(view);
+        self
+    }
+
+    /// The views.
+    pub fn views(&self) -> &[ViewDef] {
+        &self.views
+    }
+
+    /// Looks up a view by name.
+    pub fn view(&self, name: &str) -> Option<&ViewDef> {
+        self.views.iter().find(|v| v.name == name)
+    }
+
+    /// True iff `name` is one of the views.
+    pub fn is_view(&self, name: &str) -> bool {
+        self.view(name).is_some()
+    }
+
+    /// The base schema extended with one relation per view.
+    pub fn extended_schema(&self, base: &DatabaseSchema) -> Result<DatabaseSchema, CoreError> {
+        let mut relations: Vec<RelationSchema> = base.relations().cloned().collect();
+        for v in &self.views {
+            relations.push(v.relation_schema());
+        }
+        Ok(DatabaseSchema::from_relations(relations)?)
+    }
+
+    /// Materialises every view over `db`, returning a database over the
+    /// extended schema containing the base relations *and* the view extents.
+    pub fn materialize(&self, db: &Database) -> Result<Database, CoreError> {
+        let schema = self.extended_schema(db.schema())?;
+        let mut out = Database::empty(schema);
+        for relation in db.relations() {
+            for t in relation.iter() {
+                out.insert(relation.name(), t.clone())?;
+            }
+        }
+        for v in &self.views {
+            let extent = evaluate_cq(&v.query, db, None)?;
+            out.insert_all(&v.name, extent)?;
+        }
+        Ok(out)
+    }
+
+    /// Materialises only the view extents (no base relations), over a schema
+    /// containing just the view relations.
+    pub fn materialize_views_only(&self, db: &Database) -> Result<Database, CoreError> {
+        let schema =
+            DatabaseSchema::from_relations(self.views.iter().map(ViewDef::relation_schema).collect())?;
+        let mut out = Database::empty(schema);
+        for v in &self.views {
+            let extent = evaluate_cq(&v.query, db, None)?;
+            out.insert_all(&v.name, extent)?;
+        }
+        Ok(out)
+    }
+
+    /// Access constraints describing how the *materialised* views can be
+    /// probed: the views are assumed cached, so every view is retrievable in
+    /// full (`X = ∅`, bounded by `view_bound`) and by any single attribute.
+    /// `view_bound` plays the role of the cache-resident view size.
+    pub fn view_access_schema(&self, view_bound: usize) -> AccessSchema {
+        let mut access = AccessSchema::new();
+        for v in &self.views {
+            access.add(AccessConstraint::new(&v.name, &[], view_bound, 1));
+            for attr in &v.query.head {
+                access.add(AccessConstraint::new(
+                    &v.name,
+                    &[attr.as_str()],
+                    view_bound,
+                    1,
+                ));
+            }
+            access.grant_full_access(&v.name);
+        }
+        access
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_data::schema::social_schema;
+    use si_data::tuple;
+    use si_query::parse_cq;
+
+    /// V1: all A-rated? — no, per Example 1.1(c): V1 = restaurants in NYC,
+    /// V2 = visits by NYC residents.
+    pub fn v1() -> ViewDef {
+        ViewDef::new(
+            "v1",
+            parse_cq(r#"V1(rid, rn, rating) :- restr(rid, rn, "NYC", rating)"#).unwrap(),
+        )
+    }
+
+    pub fn v2() -> ViewDef {
+        ViewDef::new(
+            "v2",
+            parse_cq(r#"V2(id, rid) :- visit(id, rid), person(id, pn, "NYC")"#).unwrap(),
+        )
+    }
+
+    fn db() -> Database {
+        let mut db = Database::empty(social_schema());
+        db.insert_all(
+            "person",
+            vec![tuple![1, "ann", "NYC"], tuple![2, "bob", "NYC"], tuple![3, "cat", "LA"]],
+        )
+        .unwrap();
+        db.insert_all("friend", vec![tuple![1, 2], tuple![1, 3]])
+            .unwrap();
+        db.insert_all(
+            "restr",
+            vec![tuple![10, "sushi", "NYC", "A"], tuple![11, "pasta", "LA", "A"]],
+        )
+        .unwrap();
+        db.insert_all("visit", vec![tuple![2, 10], tuple![3, 11], tuple![3, 10]])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn view_schema_uses_head_variables() {
+        let v = v1();
+        let schema = v.relation_schema();
+        assert_eq!(schema.name(), "v1");
+        assert_eq!(schema.attributes(), &["rid", "rn", "rating"]);
+    }
+
+    #[test]
+    fn extended_schema_and_lookup() {
+        let views = ViewSet::new().with(v1()).with(v2());
+        let schema = views.extended_schema(&social_schema()).unwrap();
+        assert!(schema.has_relation("v1"));
+        assert!(schema.has_relation("friend"));
+        assert!(views.is_view("v2"));
+        assert!(!views.is_view("friend"));
+        assert_eq!(views.views().len(), 2);
+        assert!(views.view("v1").is_some());
+    }
+
+    #[test]
+    fn materialisation_computes_view_extents() {
+        let views = ViewSet::new().with(v1()).with(v2());
+        let full = views.materialize(&db()).unwrap();
+        // V1: NYC restaurants → only sushi.
+        assert_eq!(full.relation("v1").unwrap().len(), 1);
+        assert!(full
+            .contains("v1", &tuple![10, "sushi", "A"])
+            .unwrap());
+        // V2: visits by NYC residents → visit(2, 10) only.
+        assert_eq!(full.relation("v2").unwrap().len(), 1);
+        assert!(full.contains("v2", &tuple![2, 10]).unwrap());
+        // Base relations are carried over.
+        assert_eq!(full.relation("friend").unwrap().len(), 2);
+
+        let only = views.materialize_views_only(&db()).unwrap();
+        assert_eq!(only.size(), 2);
+        assert!(only.relation("friend").is_err());
+    }
+
+    #[test]
+    fn view_access_schema_grants_cached_access() {
+        let views = ViewSet::new().with(v1()).with(v2());
+        let access = views.view_access_schema(100_000);
+        assert!(access.has_full_access("v1"));
+        assert!(access.constraints_on("v2").count() >= 3);
+        // Name clash with duplicated view names would be a schema error.
+        let dup = ViewSet::new().with(v1()).with(v1());
+        assert!(dup.extended_schema(&social_schema()).is_err());
+    }
+}

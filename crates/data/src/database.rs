@@ -1,0 +1,299 @@
+//! Database instances: named collections of relations.
+
+use crate::error::DataError;
+use crate::relation::Relation;
+use crate::schema::DatabaseSchema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+/// An instance `D` of a relational schema: one [`Relation`] per relation name.
+///
+/// The paper measures `|D|` as the total number of tuples across relations
+/// ([`Database::size`]); the active domain `adom(D)` is the set of all values
+/// appearing anywhere in `D` ([`Database::active_domain`]).
+#[derive(Debug, Clone)]
+pub struct Database {
+    schema: DatabaseSchema,
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Creates an empty instance of `schema` (every relation empty).
+    pub fn empty(schema: DatabaseSchema) -> Self {
+        let relations = schema
+            .relations()
+            .map(|r| (r.name().to_owned(), Relation::new(r.clone())))
+            .collect();
+        Database { schema, relations }
+    }
+
+    /// The database schema.
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+
+    /// Total number of tuples, `|D|`.
+    pub fn size(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// True iff every relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.size() == 0
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| DataError::UnknownRelation(name.to_owned()))
+    }
+
+    /// Mutable lookup of a relation by name.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| DataError::UnknownRelation(name.to_owned()))
+    }
+
+    /// Iterates over all relations in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// Inserts a tuple into the named relation.
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<bool> {
+        self.relation_mut(relation)?.insert(tuple)
+    }
+
+    /// Bulk-inserts tuples into the named relation.
+    pub fn insert_all<I>(&mut self, relation: &str, tuples: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let rel = self.relation_mut(relation)?;
+        let mut inserted = 0;
+        for t in tuples {
+            if rel.insert(t)? {
+                inserted += 1;
+            }
+        }
+        Ok(inserted)
+    }
+
+    /// Removes a tuple from the named relation; `true` if it was present.
+    pub fn remove(&mut self, relation: &str, tuple: &Tuple) -> Result<bool> {
+        Ok(self.relation_mut(relation)?.remove(tuple))
+    }
+
+    /// Membership test for a tuple in a relation.
+    pub fn contains(&self, relation: &str, tuple: &Tuple) -> Result<bool> {
+        Ok(self.relation(relation)?.contains(tuple))
+    }
+
+    /// The active domain `adom(D)`: every value occurring in the instance.
+    pub fn active_domain(&self) -> HashSet<Value> {
+        let mut adom = HashSet::new();
+        for r in self.relations.values() {
+            r.collect_adom(&mut adom);
+        }
+        adom
+    }
+
+    /// Builds a sub-instance containing exactly the listed
+    /// `(relation, tuple)` pairs.  Pairs referring to tuples not present in
+    /// `self` are rejected, so the result is guaranteed to satisfy
+    /// `D' ⊆ D` — the shape of the witness sets `D_Q` of the paper.
+    pub fn sub_database(&self, picks: &[(String, Tuple)]) -> Result<Database> {
+        let mut sub = Database::empty(self.schema.clone());
+        for (rel_name, tuple) in picks {
+            let rel = self.relation(rel_name)?;
+            if !rel.contains(tuple) {
+                return Err(DataError::Invariant(format!(
+                    "tuple {tuple} is not in relation `{rel_name}` of the base instance"
+                )));
+            }
+            sub.insert(rel_name, tuple.clone())?;
+        }
+        Ok(sub)
+    }
+
+    /// Lists every `(relation, tuple)` pair of the instance, in deterministic
+    /// order.  This is the ground set over which witness search enumerates
+    /// subsets.
+    pub fn all_facts(&self) -> Vec<(String, Tuple)> {
+        let mut facts = Vec::with_capacity(self.size());
+        for (name, rel) in &self.relations {
+            for t in rel.iter() {
+                facts.push((name.clone(), t.clone()));
+            }
+        }
+        facts
+    }
+
+    /// True iff every tuple of `other` appears in `self` (instance-wise
+    /// containment `other ⊆ self`).
+    pub fn contains_database(&self, other: &Database) -> bool {
+        other.relations.iter().all(|(name, rel)| {
+            self.relations
+                .get(name)
+                .map(|mine| rel.iter().all(|t| mine.contains(t)))
+                .unwrap_or_else(|| rel.is_empty())
+        })
+    }
+
+    /// Ensures an index exists on `attributes` of `relation`.
+    pub fn ensure_index(&mut self, relation: &str, attributes: &[String]) -> Result<()> {
+        self.relation_mut(relation)?.ensure_index(attributes)
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Database [{} tuples]", self.size())?;
+        for r in self.relations.values() {
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{social_schema, RelationSchema};
+    use crate::tuple;
+
+    fn small_social() -> Database {
+        let mut db = Database::empty(social_schema());
+        db.insert_all(
+            "person",
+            vec![
+                tuple![1, "ann", "NYC"],
+                tuple![2, "bob", "LA"],
+                tuple![3, "cat", "NYC"],
+            ],
+        )
+        .unwrap();
+        db.insert_all("friend", vec![tuple![1, 2], tuple![1, 3], tuple![2, 3]])
+            .unwrap();
+        db.insert_all(
+            "restr",
+            vec![tuple![10, "sushi", "NYC", "A"], tuple![11, "taco", "LA", "B"]],
+        )
+        .unwrap();
+        db.insert_all("visit", vec![tuple![2, 10], tuple![3, 10], tuple![3, 11]])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn size_counts_all_relations() {
+        let db = small_social();
+        assert_eq!(db.size(), 3 + 3 + 2 + 3);
+        assert!(!db.is_empty());
+        assert!(Database::empty(social_schema()).is_empty());
+    }
+
+    #[test]
+    fn relation_lookup_and_errors() {
+        let db = small_social();
+        assert_eq!(db.relation("friend").unwrap().len(), 3);
+        assert!(matches!(
+            db.relation("enemy"),
+            Err(DataError::UnknownRelation(_))
+        ));
+        assert!(db.contains("visit", &tuple![2, 10]).unwrap());
+        assert!(!db.contains("visit", &tuple![1, 10]).unwrap());
+    }
+
+    #[test]
+    fn insert_remove_round_trip() {
+        let mut db = small_social();
+        assert!(db.insert("friend", tuple![3, 1]).unwrap());
+        assert!(!db.insert("friend", tuple![3, 1]).unwrap());
+        assert!(db.remove("friend", &tuple![3, 1]).unwrap());
+        assert!(!db.remove("friend", &tuple![3, 1]).unwrap());
+    }
+
+    #[test]
+    fn active_domain_collects_values_across_relations() {
+        let db = small_social();
+        let adom = db.active_domain();
+        assert!(adom.contains(&Value::str("NYC")));
+        assert!(adom.contains(&Value::int(11)));
+        assert!(adom.contains(&Value::str("A")));
+        assert!(!adom.contains(&Value::str("Tokyo")));
+    }
+
+    #[test]
+    fn sub_database_is_contained_in_base() {
+        let db = small_social();
+        let sub = db
+            .sub_database(&[
+                ("friend".into(), tuple![1, 2]),
+                ("person".into(), tuple![2, "bob", "LA"]),
+            ])
+            .unwrap();
+        assert_eq!(sub.size(), 2);
+        assert!(db.contains_database(&sub));
+        assert!(!sub.contains_database(&db));
+    }
+
+    #[test]
+    fn sub_database_rejects_foreign_tuples() {
+        let db = small_social();
+        let err = db
+            .sub_database(&[("friend".into(), tuple![9, 9])])
+            .unwrap_err();
+        assert!(matches!(err, DataError::Invariant(_)));
+    }
+
+    #[test]
+    fn all_facts_enumerates_every_tuple() {
+        let db = small_social();
+        let facts = db.all_facts();
+        assert_eq!(facts.len(), db.size());
+        assert!(facts.contains(&("person".into(), tuple![1, "ann", "NYC"])));
+        // Deterministic order: relations in name order.
+        assert_eq!(facts[0].0, "friend");
+    }
+
+    #[test]
+    fn contains_database_handles_schema_differences() {
+        let db = small_social();
+        let other_schema = DatabaseSchema::from_relations(vec![RelationSchema::new(
+            "friend",
+            &["id1", "id2"],
+        )])
+        .unwrap();
+        let mut other = Database::empty(other_schema);
+        other.insert("friend", tuple![1, 2]).unwrap();
+        assert!(db.contains_database(&other));
+        other.insert("friend", tuple![9, 9]).unwrap();
+        assert!(!db.contains_database(&other));
+    }
+
+    #[test]
+    fn ensure_index_delegates_to_relation() {
+        let mut db = small_social();
+        db.ensure_index("person", &["id".into()]).unwrap();
+        assert!(db
+            .relation("person")
+            .unwrap()
+            .index_on(&["id".into()])
+            .is_some());
+        assert!(db.ensure_index("enemy", &["id".into()]).is_err());
+    }
+
+    #[test]
+    fn display_lists_relations() {
+        let db = small_social();
+        let text = db.to_string();
+        assert!(text.contains("Database [11 tuples]"));
+        assert!(text.contains("person"));
+    }
+}

@@ -1,0 +1,322 @@
+//! Updates `∆D = (∆D, ∇D)` as defined in Section 5 of the paper.
+//!
+//! An update consists of a list of tuples to be inserted (`∆D`) and a list of
+//! tuples to be deleted (`∇D`).  Well-formedness requires `∇D ⊆ D`,
+//! `∆D ∩ D = ∅` and `∆D ∩ ∇D = ∅`; [`Delta::apply`] checks these conditions
+//! and produces `D ⊕ ∆D = (D − ∇D) ∪ ∆D`, applied relation-wise.
+
+use crate::database::Database;
+use crate::error::DataError;
+use crate::tuple::Tuple;
+use crate::Result;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Insertions and deletions targeting a single relation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RelationDelta {
+    /// Tuples to insert (`∆D` restricted to this relation).
+    pub insertions: Vec<Tuple>,
+    /// Tuples to delete (`∇D` restricted to this relation).
+    pub deletions: Vec<Tuple>,
+}
+
+impl RelationDelta {
+    /// Number of tuples mentioned by this per-relation update.
+    pub fn len(&self) -> usize {
+        self.insertions.len() + self.deletions.len()
+    }
+
+    /// True iff neither insertions nor deletions are present.
+    pub fn is_empty(&self) -> bool {
+        self.insertions.is_empty() && self.deletions.is_empty()
+    }
+}
+
+/// A full update `∆D = (∆D, ∇D)` over a database, organised per relation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Delta {
+    relations: BTreeMap<String, RelationDelta>,
+}
+
+impl Delta {
+    /// Creates an empty update.
+    pub fn new() -> Self {
+        Delta::default()
+    }
+
+    /// Records a tuple insertion into `relation`.
+    pub fn insert(&mut self, relation: impl Into<String>, tuple: Tuple) -> &mut Self {
+        self.relations
+            .entry(relation.into())
+            .or_default()
+            .insertions
+            .push(tuple);
+        self
+    }
+
+    /// Records a tuple deletion from `relation`.
+    pub fn delete(&mut self, relation: impl Into<String>, tuple: Tuple) -> &mut Self {
+        self.relations
+            .entry(relation.into())
+            .or_default()
+            .deletions
+            .push(tuple);
+        self
+    }
+
+    /// Builds an insertion-only update into a single relation.
+    pub fn insertions_into(relation: impl Into<String>, tuples: Vec<Tuple>) -> Self {
+        let mut delta = Delta::new();
+        let relation = relation.into();
+        for t in tuples {
+            delta.insert(relation.clone(), t);
+        }
+        delta
+    }
+
+    /// Builds a deletion-only update from a single relation.
+    pub fn deletions_from(relation: impl Into<String>, tuples: Vec<Tuple>) -> Self {
+        let mut delta = Delta::new();
+        let relation = relation.into();
+        for t in tuples {
+            delta.delete(relation.clone(), t);
+        }
+        delta
+    }
+
+    /// Total number of tuples mentioned, `|∆D|` in the paper's notation
+    /// (insertions plus deletions).
+    pub fn size(&self) -> usize {
+        self.relations.values().map(RelationDelta::len).sum()
+    }
+
+    /// True iff the update changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.size() == 0
+    }
+
+    /// True iff the update contains no deletions.
+    pub fn is_insertion_only(&self) -> bool {
+        self.relations.values().all(|d| d.deletions.is_empty())
+    }
+
+    /// Names of the relations touched by the update.
+    pub fn touched_relations(&self) -> Vec<String> {
+        self.relations
+            .iter()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+
+    /// The per-relation slice of the update.
+    pub fn relation_delta(&self, relation: &str) -> Option<&RelationDelta> {
+        self.relations.get(relation)
+    }
+
+    /// Iterates over `(relation, delta)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &RelationDelta)> {
+        self.relations.iter()
+    }
+
+    /// Checks the well-formedness conditions of Section 5 against `db`:
+    /// deletions must already be present, insertions must be absent, and no
+    /// tuple may be both inserted and deleted.
+    pub fn validate(&self, db: &Database) -> Result<()> {
+        for (relation, delta) in &self.relations {
+            let rel = db.relation(relation)?;
+            for t in &delta.insertions {
+                if t.arity() != rel.schema().arity() {
+                    return Err(DataError::ArityMismatch {
+                        relation: relation.clone(),
+                        expected: rel.schema().arity(),
+                        actual: t.arity(),
+                    });
+                }
+                if rel.contains(t) {
+                    return Err(DataError::InvalidUpdate(format!(
+                        "insertion {t} into `{relation}` is not disjoint from D"
+                    )));
+                }
+            }
+            for t in &delta.deletions {
+                if !rel.contains(t) {
+                    return Err(DataError::InvalidUpdate(format!(
+                        "deletion {t} from `{relation}` is not contained in D"
+                    )));
+                }
+                if delta.insertions.contains(t) {
+                    return Err(DataError::InvalidUpdate(format!(
+                        "tuple {t} of `{relation}` appears in both ∆D and ∇D"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the update, returning `D ⊕ ∆D` as a new database.
+    ///
+    /// The original database is left untouched; callers that want in-place
+    /// application can use [`Delta::apply_in_place`].
+    pub fn apply(&self, db: &Database) -> Result<Database> {
+        self.validate(db)?;
+        let mut out = db.clone();
+        self.apply_unchecked(&mut out)?;
+        Ok(out)
+    }
+
+    /// Applies the update in place after validating it.
+    pub fn apply_in_place(&self, db: &mut Database) -> Result<()> {
+        self.validate(db)?;
+        self.apply_unchecked(db)
+    }
+
+    fn apply_unchecked(&self, db: &mut Database) -> Result<()> {
+        for (relation, delta) in &self.relations {
+            for t in &delta.deletions {
+                db.remove(relation, t)?;
+            }
+            for t in &delta.insertions {
+                db.insert(relation, t.clone())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "∆D[")?;
+        let mut first = true;
+        for (rel, d) in &self.relations {
+            if !first {
+                write!(f, "; ")?;
+            }
+            first = false;
+            write!(f, "{rel}: +{} −{}", d.insertions.len(), d.deletions.len())?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::social_schema;
+    use crate::tuple;
+
+    fn db() -> Database {
+        let mut db = Database::empty(social_schema());
+        db.insert("person", tuple![1, "ann", "NYC"]).unwrap();
+        db.insert("friend", tuple![1, 2]).unwrap();
+        db.insert("visit", tuple![1, 10]).unwrap();
+        db
+    }
+
+    #[test]
+    fn builders_and_size() {
+        let mut delta = Delta::new();
+        delta
+            .insert("visit", tuple![2, 10])
+            .insert("visit", tuple![3, 10])
+            .delete("friend", tuple![1, 2]);
+        assert_eq!(delta.size(), 3);
+        assert!(!delta.is_empty());
+        assert!(!delta.is_insertion_only());
+        assert_eq!(delta.touched_relations(), vec!["friend", "visit"]);
+        assert_eq!(delta.relation_delta("visit").unwrap().insertions.len(), 2);
+        assert!(delta.relation_delta("person").is_none());
+        assert_eq!(delta.iter().count(), 2);
+    }
+
+    #[test]
+    fn insertion_only_constructor() {
+        let delta = Delta::insertions_into("visit", vec![tuple![5, 10], tuple![6, 10]]);
+        assert!(delta.is_insertion_only());
+        assert_eq!(delta.size(), 2);
+        let delta = Delta::deletions_from("visit", vec![tuple![1, 10]]);
+        assert!(!delta.is_insertion_only());
+    }
+
+    #[test]
+    fn apply_produces_d_oplus_delta() {
+        let base = db();
+        let mut delta = Delta::new();
+        delta.insert("visit", tuple![2, 11]);
+        delta.delete("friend", tuple![1, 2]);
+        let updated = delta.apply(&base).unwrap();
+        assert!(updated.contains("visit", &tuple![2, 11]).unwrap());
+        assert!(!updated.contains("friend", &tuple![1, 2]).unwrap());
+        // Base must be unchanged.
+        assert!(base.contains("friend", &tuple![1, 2]).unwrap());
+        assert!(!base.contains("visit", &tuple![2, 11]).unwrap());
+        assert_eq!(updated.size(), base.size());
+    }
+
+    #[test]
+    fn apply_in_place_mutates() {
+        let mut base = db();
+        let delta = Delta::insertions_into("visit", vec![tuple![9, 9]]);
+        delta.apply_in_place(&mut base).unwrap();
+        assert!(base.contains("visit", &tuple![9, 9]).unwrap());
+    }
+
+    #[test]
+    fn validation_rejects_non_disjoint_insertions() {
+        let base = db();
+        let delta = Delta::insertions_into("visit", vec![tuple![1, 10]]);
+        assert!(matches!(
+            delta.apply(&base),
+            Err(DataError::InvalidUpdate(_))
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_missing_deletions() {
+        let base = db();
+        let delta = Delta::deletions_from("visit", vec![tuple![7, 7]]);
+        assert!(matches!(
+            delta.apply(&base),
+            Err(DataError::InvalidUpdate(_))
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_overlapping_insert_delete() {
+        let base = db();
+        let mut delta = Delta::new();
+        // The tuple is in D, so deleting is fine, but it also appears in the
+        // insertion list which the paper forbids (∆D ∩ ∇D = ∅).  Insertion of
+        // an existing tuple is caught first; craft the overlap the other way.
+        delta.delete("visit", tuple![1, 10]);
+        delta.insert("visit", tuple![1, 10]);
+        let err = delta.apply(&base).unwrap_err();
+        assert!(matches!(err, DataError::InvalidUpdate(_)));
+    }
+
+    #[test]
+    fn validation_rejects_bad_arity_and_unknown_relation() {
+        let base = db();
+        let delta = Delta::insertions_into("visit", vec![tuple![1, 2, 3]]);
+        assert!(matches!(
+            delta.apply(&base),
+            Err(DataError::ArityMismatch { .. })
+        ));
+        let delta = Delta::insertions_into("enemy", vec![tuple![1]]);
+        assert!(matches!(
+            delta.apply(&base),
+            Err(DataError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn display_summarises_counts() {
+        let mut delta = Delta::new();
+        delta.insert("visit", tuple![2, 10]).delete("friend", tuple![1, 2]);
+        let s = delta.to_string();
+        assert!(s.contains("visit: +1 −0"));
+        assert!(s.contains("friend: +0 −1"));
+    }
+}

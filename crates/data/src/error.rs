@@ -1,0 +1,102 @@
+//! Error type shared by the data substrate.
+
+use std::fmt;
+
+/// Errors raised by the relational substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A relation name was not found in the schema or database.
+    UnknownRelation(String),
+    /// An attribute name was not found in a relation schema.
+    UnknownAttribute {
+        /// Relation in which the lookup happened.
+        relation: String,
+        /// The attribute that could not be resolved.
+        attribute: String,
+    },
+    /// A tuple's arity did not match the relation schema it was inserted into.
+    ArityMismatch {
+        /// Relation being modified.
+        relation: String,
+        /// Arity declared by the schema.
+        expected: usize,
+        /// Arity of the offending tuple.
+        actual: usize,
+    },
+    /// A relation with the same name was declared twice.
+    DuplicateRelation(String),
+    /// An update violated the well-formedness conditions of Section 5 of the
+    /// paper: deletions must be contained in `D` and insertions disjoint
+    /// from `D`.
+    InvalidUpdate(String),
+    /// A generic invariant violation with a human-readable description.
+    Invariant(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            DataError::UnknownAttribute {
+                relation,
+                attribute,
+            } => write!(f, "unknown attribute `{attribute}` in relation `{relation}`"),
+            DataError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "arity mismatch for relation `{relation}`: schema declares {expected} attributes, tuple has {actual}"
+            ),
+            DataError::DuplicateRelation(name) => {
+                write!(f, "relation `{name}` declared more than once")
+            }
+            DataError::InvalidUpdate(msg) => write!(f, "invalid update: {msg}"),
+            DataError::Invariant(msg) => write!(f, "invariant violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offenders() {
+        let e = DataError::UnknownRelation("friend".into());
+        assert!(e.to_string().contains("friend"));
+
+        let e = DataError::UnknownAttribute {
+            relation: "person".into(),
+            attribute: "zip".into(),
+        };
+        assert!(e.to_string().contains("person"));
+        assert!(e.to_string().contains("zip"));
+
+        let e = DataError::ArityMismatch {
+            relation: "visit".into(),
+            expected: 2,
+            actual: 5,
+        };
+        assert!(e.to_string().contains('2'));
+        assert!(e.to_string().contains('5'));
+
+        let e = DataError::DuplicateRelation("person".into());
+        assert!(e.to_string().contains("person"));
+
+        let e = DataError::InvalidUpdate("insert not disjoint".into());
+        assert!(e.to_string().contains("disjoint"));
+
+        let e = DataError::Invariant("broken".into());
+        assert!(e.to_string().contains("broken"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: std::error::Error>(_e: E) {}
+        takes_error(DataError::UnknownRelation("r".into()));
+    }
+}

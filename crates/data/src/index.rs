@@ -1,0 +1,166 @@
+//! Equality hash indexes on attribute subsets.
+//!
+//! An access constraint `(R, X, N, T)` of the paper promises that
+//! `σ_{X=a̅}(R)` can be retrieved via an index in at most `T` time and has at
+//! most `N` tuples.  [`HashIndex`] is the physical structure that realises
+//! the retrieval: it maps the projection of each tuple onto the key
+//! positions `X` to the list of tuple positions carrying that key.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A hash index over a fixed list of key positions of a relation.
+///
+/// The index stores *positions* into the owning relation's tuple vector so
+/// that the relation remains the single owner of tuple storage.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    key_positions: Vec<usize>,
+    buckets: HashMap<Vec<Value>, Vec<usize>>,
+}
+
+impl HashIndex {
+    /// Builds an index on `key_positions` over the given tuples.
+    pub fn build(key_positions: Vec<usize>, tuples: &[Tuple]) -> Self {
+        let mut index = HashIndex {
+            key_positions,
+            buckets: HashMap::new(),
+        };
+        for (pos, tuple) in tuples.iter().enumerate() {
+            index.insert(pos, tuple);
+        }
+        index
+    }
+
+    /// The key positions this index is built on.
+    pub fn key_positions(&self) -> &[usize] {
+        &self.key_positions
+    }
+
+    /// Registers `tuple`, stored at `position` in the relation, in the index.
+    pub fn insert(&mut self, position: usize, tuple: &Tuple) {
+        let key = self.key_of(tuple);
+        self.buckets.entry(key).or_default().push(position);
+    }
+
+    /// Removes the entry for `tuple` previously stored at `position`.
+    ///
+    /// Removing a pair that was never inserted is a no-op.
+    pub fn remove(&mut self, position: usize, tuple: &Tuple) {
+        let key = self.key_of(tuple);
+        if let Some(bucket) = self.buckets.get_mut(&key) {
+            bucket.retain(|&p| p != position);
+            if bucket.is_empty() {
+                self.buckets.remove(&key);
+            }
+        }
+    }
+
+    /// Returns the positions of all tuples whose key equals `key`.
+    pub fn lookup(&self, key: &[Value]) -> &[usize] {
+        self.buckets.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of tuples matching `key` without materialising them.
+    pub fn bucket_size(&self, key: &[Value]) -> usize {
+        self.buckets.get(key).map(Vec::len).unwrap_or(0)
+    }
+
+    /// The largest bucket size, i.e. the smallest `N` for which the indexed
+    /// relation satisfies the cardinality half of an access constraint on
+    /// these key positions.
+    pub fn max_bucket_size(&self) -> usize {
+        self.buckets.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Number of distinct keys currently present.
+    pub fn distinct_keys(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Iterates over `(key, positions)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<Value>, &Vec<usize>)> {
+        self.buckets.iter()
+    }
+
+    /// Extracts the key of `tuple` for this index.
+    fn key_of(&self, tuple: &Tuple) -> Vec<Value> {
+        self.key_positions
+            .iter()
+            .map(|&p| tuple[p].clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn friend_tuples() -> Vec<Tuple> {
+        vec![
+            tuple![1, 2],
+            tuple![1, 3],
+            tuple![2, 3],
+            tuple![3, 1],
+            tuple![1, 4],
+        ]
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let tuples = friend_tuples();
+        let idx = HashIndex::build(vec![0], &tuples);
+        assert_eq!(idx.key_positions(), &[0]);
+        assert_eq!(idx.lookup(&[Value::int(1)]), &[0, 1, 4]);
+        assert_eq!(idx.lookup(&[Value::int(2)]), &[2]);
+        assert_eq!(idx.lookup(&[Value::int(9)]), &[] as &[usize]);
+        assert_eq!(idx.bucket_size(&[Value::int(1)]), 3);
+        assert_eq!(idx.bucket_size(&[Value::int(9)]), 0);
+        assert_eq!(idx.max_bucket_size(), 3);
+        assert_eq!(idx.distinct_keys(), 3);
+    }
+
+    #[test]
+    fn multi_attribute_keys() {
+        let tuples = friend_tuples();
+        let idx = HashIndex::build(vec![0, 1], &tuples);
+        assert_eq!(idx.lookup(&[Value::int(1), Value::int(3)]), &[1]);
+        assert_eq!(idx.max_bucket_size(), 1);
+        assert_eq!(idx.distinct_keys(), 5);
+    }
+
+    #[test]
+    fn empty_key_positions_bucket_everything_together() {
+        let tuples = friend_tuples();
+        let idx = HashIndex::build(vec![], &tuples);
+        assert_eq!(idx.lookup(&[]).len(), 5);
+        assert_eq!(idx.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn insert_and_remove_maintain_buckets() {
+        let tuples = friend_tuples();
+        let mut idx = HashIndex::build(vec![0], &tuples);
+        idx.insert(5, &tuple![1, 9]);
+        assert_eq!(idx.lookup(&[Value::int(1)]), &[0, 1, 4, 5]);
+        idx.remove(1, &tuple![1, 3]);
+        assert_eq!(idx.lookup(&[Value::int(1)]), &[0, 4, 5]);
+        // removing an entry twice is a no-op
+        idx.remove(1, &tuple![1, 3]);
+        assert_eq!(idx.lookup(&[Value::int(1)]), &[0, 4, 5]);
+        // removing the last entry for a key drops the bucket
+        idx.remove(2, &tuple![2, 3]);
+        assert_eq!(idx.lookup(&[Value::int(2)]), &[] as &[usize]);
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn iter_exposes_all_buckets() {
+        let tuples = friend_tuples();
+        let idx = HashIndex::build(vec![0], &tuples);
+        let total: usize = idx.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, tuples.len());
+    }
+}

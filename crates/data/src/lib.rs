@@ -1,0 +1,47 @@
+//! # `si-data` — relational data substrate
+//!
+//! This crate provides the storage layer used by the reproduction of
+//! *"On Scale Independence for Querying Big Data"* (Fan, Geerts, Libkin,
+//! PODS 2014).  It deliberately mirrors the paper's preliminaries
+//! (Section 2): a relational schema is a collection of relation names with a
+//! fixed set of attributes, an instance associates a finite relation over a
+//! countable domain `U` with every relation name, and the *size* `|D|` of an
+//! instance is the total number of tuples in its relations.
+//!
+//! The crate contains no query-processing logic; it only offers:
+//!
+//! * [`Value`], [`Tuple`] — the element domain `U` and tuples over it,
+//! * [`RelationSchema`], [`DatabaseSchema`] — named relation signatures,
+//! * [`Relation`], [`Database`] — set-semantics instances with size and
+//!   active-domain accessors,
+//! * [`HashIndex`] — equality indexes on attribute subsets (the physical
+//!   realisation of the paper's access constraints),
+//! * [`Delta`] — insert/delete updates `∆D = (∆D, ∇D)` as used in Section 5,
+//! * [`AccessMeter`] — a deterministic counter of tuples fetched, used by all
+//!   experiments to measure the quantity that scale independence bounds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod delta;
+pub mod error;
+pub mod index;
+pub mod meter;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use database::Database;
+pub use delta::{Delta, RelationDelta};
+pub use error::DataError;
+pub use index::HashIndex;
+pub use meter::{AccessMeter, MeterSnapshot};
+pub use relation::Relation;
+pub use schema::{DatabaseSchema, RelationSchema};
+pub use tuple::Tuple;
+pub use value::Value;
+
+/// Convenience result alias for fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, DataError>;

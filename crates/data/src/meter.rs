@@ -1,0 +1,190 @@
+//! Deterministic access metering.
+//!
+//! Scale independence is defined in terms of *how many tuples of the base
+//! data are accessed*, not wall-clock time.  Every retrieval path in the
+//! workspace (indexed fetches, full scans, naive evaluation) reports to an
+//! [`AccessMeter`], so that experiments can verify claims such as
+//! "`Q(D)` was computed by fetching at most `M` tuples of `D`" exactly,
+//! independent of machine speed.
+
+use std::cell::Cell;
+use std::fmt;
+
+/// Counters describing how much of the base data an evaluation touched.
+///
+/// The meter uses interior mutability (`Cell`) so that it can be shared
+/// immutably between an executor and the storage layer it drives.
+#[derive(Debug, Default)]
+pub struct AccessMeter {
+    tuples_fetched: Cell<u64>,
+    index_probes: Cell<u64>,
+    full_scans: Cell<u64>,
+    time_units: Cell<u64>,
+}
+
+/// An immutable snapshot of an [`AccessMeter`], convenient for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MeterSnapshot {
+    /// Number of base tuples materialised by retrievals.
+    pub tuples_fetched: u64,
+    /// Number of index probes issued.
+    pub index_probes: u64,
+    /// Number of full relation scans performed.
+    pub full_scans: u64,
+    /// Abstract time units charged by the access-schema cost model (the `T`
+    /// components of access constraints).
+    pub time_units: u64,
+}
+
+impl AccessMeter {
+    /// Creates a meter with all counters at zero.
+    pub fn new() -> Self {
+        AccessMeter::default()
+    }
+
+    /// Records that `n` base tuples were fetched.
+    pub fn add_tuples(&self, n: u64) {
+        self.tuples_fetched.set(self.tuples_fetched.get() + n);
+    }
+
+    /// Records one index probe.
+    pub fn add_probe(&self) {
+        self.index_probes.set(self.index_probes.get() + 1);
+    }
+
+    /// Records one full relation scan.
+    pub fn add_scan(&self) {
+        self.full_scans.set(self.full_scans.get() + 1);
+    }
+
+    /// Charges `t` abstract time units.
+    pub fn add_time(&self, t: u64) {
+        self.time_units.set(self.time_units.get() + t);
+    }
+
+    /// Number of base tuples fetched so far.
+    pub fn tuples_fetched(&self) -> u64 {
+        self.tuples_fetched.get()
+    }
+
+    /// Number of index probes so far.
+    pub fn index_probes(&self) -> u64 {
+        self.index_probes.get()
+    }
+
+    /// Number of full scans so far.
+    pub fn full_scans(&self) -> u64 {
+        self.full_scans.get()
+    }
+
+    /// Abstract time units charged so far.
+    pub fn time_units(&self) -> u64 {
+        self.time_units.get()
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.tuples_fetched.set(0);
+        self.index_probes.set(0);
+        self.full_scans.set(0);
+        self.time_units.set(0);
+    }
+
+    /// Takes an immutable snapshot of the counters.
+    pub fn snapshot(&self) -> MeterSnapshot {
+        MeterSnapshot {
+            tuples_fetched: self.tuples_fetched.get(),
+            index_probes: self.index_probes.get(),
+            full_scans: self.full_scans.get(),
+            time_units: self.time_units.get(),
+        }
+    }
+}
+
+impl fmt::Display for MeterSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fetched={} probes={} scans={} time={}",
+            self.tuples_fetched, self.index_probes, self.full_scans, self.time_units
+        )
+    }
+}
+
+impl MeterSnapshot {
+    /// Component-wise difference `self − earlier`, useful for measuring a
+    /// single evaluation inside a longer-running meter.
+    pub fn since(&self, earlier: &MeterSnapshot) -> MeterSnapshot {
+        MeterSnapshot {
+            tuples_fetched: self.tuples_fetched - earlier.tuples_fetched,
+            index_probes: self.index_probes - earlier.index_probes,
+            full_scans: self.full_scans - earlier.full_scans,
+            time_units: self.time_units - earlier.time_units,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = AccessMeter::new();
+        m.add_tuples(3);
+        m.add_tuples(2);
+        m.add_probe();
+        m.add_scan();
+        m.add_time(7);
+        assert_eq!(m.tuples_fetched(), 5);
+        assert_eq!(m.index_probes(), 1);
+        assert_eq!(m.full_scans(), 1);
+        assert_eq!(m.time_units(), 7);
+    }
+
+    #[test]
+    fn snapshot_and_reset() {
+        let m = AccessMeter::new();
+        m.add_tuples(10);
+        m.add_probe();
+        let snap = m.snapshot();
+        assert_eq!(snap.tuples_fetched, 10);
+        assert_eq!(snap.index_probes, 1);
+        m.reset();
+        assert_eq!(m.snapshot(), MeterSnapshot::default());
+    }
+
+    #[test]
+    fn since_subtracts_componentwise() {
+        let m = AccessMeter::new();
+        m.add_tuples(4);
+        let before = m.snapshot();
+        m.add_tuples(6);
+        m.add_scan();
+        let after = m.snapshot();
+        let delta = after.since(&before);
+        assert_eq!(delta.tuples_fetched, 6);
+        assert_eq!(delta.full_scans, 1);
+        assert_eq!(delta.index_probes, 0);
+    }
+
+    #[test]
+    fn meter_is_shareable_immutably() {
+        let m = AccessMeter::new();
+        let r1 = &m;
+        let r2 = &m;
+        r1.add_tuples(1);
+        r2.add_tuples(1);
+        assert_eq!(m.tuples_fetched(), 2);
+    }
+
+    #[test]
+    fn display_mentions_all_counters() {
+        let m = AccessMeter::new();
+        m.add_tuples(2);
+        m.add_time(3);
+        let s = m.snapshot().to_string();
+        assert!(s.contains("fetched=2"));
+        assert!(s.contains("time=3"));
+    }
+}

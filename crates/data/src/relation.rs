@@ -1,0 +1,372 @@
+//! Set-semantics relations with attached hash indexes.
+
+use crate::error::DataError;
+use crate::index::HashIndex;
+use crate::schema::RelationSchema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::Result;
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+/// A finite relation: a set of tuples of a fixed arity, plus any number of
+/// hash indexes on attribute subsets.
+///
+/// Tuples are stored in insertion order (deduplicated) so that iteration is
+/// deterministic; the paper's set semantics is preserved because duplicate
+/// insertions are ignored.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: RelationSchema,
+    tuples: Vec<Tuple>,
+    /// Set view of `tuples` used for O(1) membership checks.
+    members: HashSet<Tuple>,
+    /// Indexes keyed by their (sorted) key positions.
+    indexes: BTreeMap<Vec<usize>, HashIndex>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    pub fn new(schema: RelationSchema) -> Self {
+        Relation {
+            schema,
+            tuples: Vec::new(),
+            members: HashSet::new(),
+            indexes: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a relation and bulk-inserts `tuples`.
+    pub fn with_tuples(schema: RelationSchema, tuples: Vec<Tuple>) -> Result<Self> {
+        let mut r = Relation::new(schema);
+        for t in tuples {
+            r.insert(t)?;
+        }
+        Ok(r)
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &RelationSchema {
+        &self.schema
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterates over the tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The tuples as a slice (insertion order).
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.members.contains(tuple)
+    }
+
+    /// Inserts a tuple, ignoring exact duplicates (set semantics).
+    ///
+    /// Returns `true` when the tuple was new.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(DataError::ArityMismatch {
+                relation: self.schema.name().to_owned(),
+                expected: self.schema.arity(),
+                actual: tuple.arity(),
+            });
+        }
+        if self.members.contains(&tuple) {
+            return Ok(false);
+        }
+        let position = self.tuples.len();
+        for index in self.indexes.values_mut() {
+            index.insert(position, &tuple);
+        }
+        self.members.insert(tuple.clone());
+        self.tuples.push(tuple);
+        Ok(true)
+    }
+
+    /// Removes a tuple if present; returns `true` when something was removed.
+    ///
+    /// Removal rebuilds the affected index buckets lazily by re-indexing the
+    /// relation, which keeps the code simple; deletions are rare in the
+    /// workloads of the paper (updates are mostly insertions).
+    pub fn remove(&mut self, tuple: &Tuple) -> bool {
+        if !self.members.remove(tuple) {
+            return false;
+        }
+        if let Some(pos) = self.tuples.iter().position(|t| t == tuple) {
+            self.tuples.remove(pos);
+        }
+        self.rebuild_indexes();
+        true
+    }
+
+    /// Ensures a hash index exists on the given attribute names.
+    pub fn ensure_index(&mut self, attributes: &[String]) -> Result<()> {
+        let mut positions = self.schema.positions_of(attributes)?;
+        positions.sort_unstable();
+        positions.dedup();
+        if !self.indexes.contains_key(&positions) {
+            let index = HashIndex::build(positions.clone(), &self.tuples);
+            self.indexes.insert(positions, index);
+        }
+        Ok(())
+    }
+
+    /// Returns the index on the given attribute names, if one was built.
+    pub fn index_on(&self, attributes: &[String]) -> Option<&HashIndex> {
+        let mut positions: Vec<usize> = attributes
+            .iter()
+            .map(|a| self.schema.position_of(a).ok())
+            .collect::<Option<Vec<_>>>()?;
+        positions.sort_unstable();
+        positions.dedup();
+        self.indexes.get(&positions)
+    }
+
+    /// Selects the tuples whose attributes `attributes` equal `key`
+    /// (σ_{X=a̅}(R)), using an index when one is available and a scan
+    /// otherwise.  Returns the matching tuples and whether an index was used.
+    pub fn select_eq(&self, attributes: &[String], key: &[Value]) -> Result<(Vec<Tuple>, bool)> {
+        let positions = self.schema.positions_of(
+            &attributes.iter().map(|a| a.to_owned()).collect::<Vec<_>>(),
+        )?;
+        // An index stores its key positions sorted and deduplicated, so align
+        // the probe key with that normalisation.
+        let mut pairs: Vec<(usize, Value)> = positions
+            .iter()
+            .cloned()
+            .zip(key.iter().cloned())
+            .collect();
+        pairs.sort_by_key(|(p, _)| *p);
+        pairs.dedup_by(|a, b| a.0 == b.0);
+        let sorted_positions: Vec<usize> = pairs.iter().map(|(p, _)| *p).collect();
+        let sorted_key: Vec<Value> = pairs.iter().map(|(_, v)| v.clone()).collect();
+
+        if let Some(index) = self.indexes.get(&sorted_positions) {
+            let matches = index
+                .lookup(&sorted_key)
+                .iter()
+                .map(|&pos| self.tuples[pos].clone())
+                // A probe key that repeats a position with conflicting values
+                // can over-approximate after dedup; re-check the original
+                // predicate to stay exact.
+                .filter(|t| t.matches_on(&positions, key))
+                .collect();
+            Ok((matches, true))
+        } else {
+            let matches = self
+                .tuples
+                .iter()
+                .filter(|t| t.matches_on(&positions, key))
+                .cloned()
+                .collect();
+            Ok((matches, false))
+        }
+    }
+
+    /// The maximum number of tuples sharing any single value combination on
+    /// `attributes` — the tight cardinality bound `N` for an access
+    /// constraint on those attributes.
+    pub fn fanout_on(&self, attributes: &[String]) -> Result<usize> {
+        let positions = self.schema.positions_of(attributes)?;
+        let mut counts: BTreeMap<Vec<Value>, usize> = BTreeMap::new();
+        for t in &self.tuples {
+            let key: Vec<Value> = positions.iter().map(|&p| t[p].clone()).collect();
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        Ok(counts.values().copied().max().unwrap_or(0))
+    }
+
+    /// Collects every value appearing in any tuple (contribution to the
+    /// active domain).
+    pub fn collect_adom(&self, into: &mut HashSet<Value>) {
+        for t in &self.tuples {
+            for v in t.iter() {
+                into.insert(v.clone());
+            }
+        }
+    }
+
+    fn rebuild_indexes(&mut self) {
+        let keys: Vec<Vec<usize>> = self.indexes.keys().cloned().collect();
+        self.indexes.clear();
+        for key in keys {
+            let index = HashIndex::build(key.clone(), &self.tuples);
+            self.indexes.insert(key, index);
+        }
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} [{} tuples]", self.schema, self.len())?;
+        for t in self.tuples.iter().take(20) {
+            writeln!(f, "  {t}")?;
+        }
+        if self.len() > 20 {
+            writeln!(f, "  … ({} more)", self.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn person() -> Relation {
+        let schema = RelationSchema::new("person", &["id", "name", "city"]);
+        Relation::with_tuples(
+            schema,
+            vec![
+                tuple![1, "ann", "NYC"],
+                tuple![2, "bob", "LA"],
+                tuple![3, "cat", "NYC"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_respects_set_semantics_and_arity() {
+        let mut r = person();
+        assert_eq!(r.len(), 3);
+        assert!(!r.insert(tuple![1, "ann", "NYC"]).unwrap());
+        assert_eq!(r.len(), 3);
+        assert!(r.insert(tuple![4, "dan", "SF"]).unwrap());
+        assert_eq!(r.len(), 4);
+        let err = r.insert(tuple![5, "eve"]).unwrap_err();
+        assert!(matches!(err, DataError::ArityMismatch { expected: 3, actual: 2, .. }));
+    }
+
+    #[test]
+    fn contains_and_remove() {
+        let mut r = person();
+        assert!(r.contains(&tuple![2, "bob", "LA"]));
+        assert!(r.remove(&tuple![2, "bob", "LA"]));
+        assert!(!r.contains(&tuple![2, "bob", "LA"]));
+        assert!(!r.remove(&tuple![2, "bob", "LA"]));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn select_eq_without_index_scans() {
+        let r = person();
+        let (rows, used_index) = r
+            .select_eq(&["city".into()], &[Value::str("NYC")])
+            .unwrap();
+        assert!(!used_index);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn select_eq_with_index_probes() {
+        let mut r = person();
+        r.ensure_index(&["city".into()]).unwrap();
+        let (rows, used_index) = r
+            .select_eq(&["city".into()], &[Value::str("NYC")])
+            .unwrap();
+        assert!(used_index);
+        assert_eq!(rows.len(), 2);
+        let (rows, _) = r
+            .select_eq(&["city".into()], &[Value::str("Tokyo")])
+            .unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn index_is_maintained_under_insert_and_remove() {
+        let mut r = person();
+        r.ensure_index(&["city".into()]).unwrap();
+        r.insert(tuple![4, "dan", "NYC"]).unwrap();
+        let (rows, used) = r
+            .select_eq(&["city".into()], &[Value::str("NYC")])
+            .unwrap();
+        assert!(used);
+        assert_eq!(rows.len(), 3);
+        r.remove(&tuple![1, "ann", "NYC"]);
+        let (rows, used) = r
+            .select_eq(&["city".into()], &[Value::str("NYC")])
+            .unwrap();
+        assert!(used);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn multi_attribute_select_normalises_positions() {
+        let mut r = person();
+        r.ensure_index(&["city".into(), "id".into()]).unwrap();
+        // Probe with attributes listed in a different order than the index key.
+        let (rows, used) = r
+            .select_eq(
+                &["id".into(), "city".into()],
+                &[Value::int(3), Value::str("NYC")],
+            )
+            .unwrap();
+        assert!(used);
+        assert_eq!(rows, vec![tuple![3, "cat", "NYC"]]);
+    }
+
+    #[test]
+    fn fanout_reports_tight_bound() {
+        let r = person();
+        assert_eq!(r.fanout_on(&["city".into()]).unwrap(), 2);
+        assert_eq!(r.fanout_on(&["id".into()]).unwrap(), 1);
+        let empty = Relation::new(RelationSchema::new("e", &["a"]));
+        assert_eq!(empty.fanout_on(&["a".into()]).unwrap(), 0);
+    }
+
+    #[test]
+    fn collect_adom_gathers_all_values() {
+        let r = person();
+        let mut adom = HashSet::new();
+        r.collect_adom(&mut adom);
+        assert!(adom.contains(&Value::int(1)));
+        assert!(adom.contains(&Value::str("NYC")));
+        assert_eq!(adom.len(), 8); // 3 ids + 3 names + 2 distinct cities
+    }
+
+    #[test]
+    fn index_on_returns_built_indexes_only() {
+        let mut r = person();
+        assert!(r.index_on(&["id".into()]).is_none());
+        r.ensure_index(&["id".into()]).unwrap();
+        assert!(r.index_on(&["id".into()]).is_some());
+        assert!(r.index_on(&["nope".into()]).is_none());
+    }
+
+    #[test]
+    fn unknown_attribute_errors_propagate() {
+        let r = person();
+        assert!(r.select_eq(&["zip".into()], &[Value::int(0)]).is_err());
+        assert!(r.fanout_on(&["zip".into()]).is_err());
+    }
+
+    #[test]
+    fn display_mentions_name_and_count() {
+        let r = person();
+        let s = r.to_string();
+        assert!(s.contains("person"));
+        assert!(s.contains("3 tuples"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Tuples over the universe [`Value`].
+//!
+//! A [`Tuple`] is an ordered sequence of values.  Positions are resolved to
+//! attribute names by the [`RelationSchema`](crate::RelationSchema) the tuple
+//! belongs to; the tuple itself is schema-agnostic, which keeps joins and
+//! projections cheap.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// An ordered sequence of [`Value`]s, i.e. an element of `U^m`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Tuple(Vec<Value>);
+
+impl Tuple {
+    /// Creates a tuple from a vector of values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(values)
+    }
+
+    /// Creates the empty (0-ary) tuple, the single answer of a Boolean query.
+    pub fn empty() -> Self {
+        Tuple(Vec::new())
+    }
+
+    /// Number of components (the arity of the tuple).
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff this is the 0-ary tuple.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns the value at `position` if it exists.
+    pub fn get(&self, position: usize) -> Option<&Value> {
+        self.0.get(position)
+    }
+
+    /// Iterates over the components in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        self.0.iter()
+    }
+
+    /// Returns the underlying values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Consumes the tuple and returns its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+    }
+
+    /// Projects the tuple onto the given positions, in the given order.
+    ///
+    /// Positions may repeat; out-of-range positions are an invariant
+    /// violation of the caller and yield a panic in debug builds only.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&p| self.0[p].clone()).collect())
+    }
+
+    /// Like [`Tuple::project`] but returns `None` when any position is out of
+    /// range, for callers that cannot guarantee positions statically.
+    pub fn try_project(&self, positions: &[usize]) -> Option<Tuple> {
+        let mut out = Vec::with_capacity(positions.len());
+        for &p in positions {
+            out.push(self.0.get(p)?.clone());
+        }
+        Some(Tuple(out))
+    }
+
+    /// Concatenates two tuples (used when joining).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.arity() + other.arity());
+        values.extend_from_slice(&self.0);
+        values.extend_from_slice(&other.0);
+        Tuple(values)
+    }
+
+    /// Returns `true` when the values at `positions` equal `key`
+    /// component-wise.
+    pub fn matches_on(&self, positions: &[usize], key: &[Value]) -> bool {
+        positions.len() == key.len()
+            && positions
+                .iter()
+                .zip(key.iter())
+                .all(|(&p, v)| self.0.get(p) == Some(v))
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+
+    fn index(&self, index: usize) -> &Value {
+        &self.0[index]
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple(values)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+impl IntoIterator for Tuple {
+    type Item = Value;
+    type IntoIter = std::vec::IntoIter<Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Tuple {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Builds a [`Tuple`] from a heterogeneous list of expressions convertible to
+/// [`Value`].
+///
+/// ```
+/// use si_data::{tuple, Value};
+/// let t = tuple![1, "NYC", true];
+/// assert_eq!(t.arity(), 3);
+/// assert_eq!(t[1], Value::str("NYC"));
+/// ```
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t123() -> Tuple {
+        Tuple::new(vec![Value::int(1), Value::int(2), Value::int(3)])
+    }
+
+    #[test]
+    fn arity_and_get() {
+        let t = t123();
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(0), Some(&Value::int(1)));
+        assert_eq!(t.get(3), None);
+        assert_eq!(t[2], Value::int(3));
+        assert!(!t.is_empty());
+        assert!(Tuple::empty().is_empty());
+    }
+
+    #[test]
+    fn project_reorders_and_repeats() {
+        let t = t123();
+        assert_eq!(
+            t.project(&[2, 0, 0]),
+            Tuple::new(vec![Value::int(3), Value::int(1), Value::int(1)])
+        );
+        assert_eq!(t.project(&[]), Tuple::empty());
+    }
+
+    #[test]
+    fn try_project_handles_out_of_range() {
+        let t = t123();
+        assert_eq!(t.try_project(&[0, 2]), Some(t.project(&[0, 2])));
+        assert_eq!(t.try_project(&[5]), None);
+    }
+
+    #[test]
+    fn concat_appends_components() {
+        let a = tuple![1, 2];
+        let b = tuple!["x"];
+        assert_eq!(a.concat(&b), tuple![1, 2, "x"]);
+        assert_eq!(a, tuple![1, 2], "concat must not mutate its operands");
+    }
+
+    #[test]
+    fn matches_on_compares_selected_positions() {
+        let t = tuple![1, "NYC", 3];
+        assert!(t.matches_on(&[1], &[Value::str("NYC")]));
+        assert!(t.matches_on(&[0, 2], &[Value::int(1), Value::int(3)]));
+        assert!(!t.matches_on(&[0], &[Value::int(9)]));
+        assert!(!t.matches_on(&[0], &[Value::int(1), Value::int(3)]));
+        assert!(!t.matches_on(&[7], &[Value::int(1)]));
+    }
+
+    #[test]
+    fn macro_and_display() {
+        let t = tuple![5, "a"];
+        assert_eq!(t.to_string(), "(5, \"a\")");
+        assert_eq!(Tuple::empty().to_string(), "()");
+    }
+
+    #[test]
+    fn iteration_round_trips() {
+        let t = t123();
+        let vs: Vec<Value> = t.iter().cloned().collect();
+        let t2: Tuple = vs.into_iter().collect();
+        assert_eq!(t, t2);
+        assert_eq!(t.clone().into_values().len(), 3);
+    }
+}

@@ -1,0 +1,242 @@
+//! The element domain `U` from which databases are populated.
+//!
+//! The paper assumes a countably infinite set `U`; we realise it as the
+//! disjoint union of 64-bit integers, strings and booleans, plus a `Null`
+//! marker used by some generators for "unknown".  Values are totally ordered
+//! and hashable so that they can be used as index keys and set elements.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single constant of the universe `U`.
+///
+/// `Value` is intentionally small and cheap to clone; strings are the only
+/// heap-owning variant.  The derived equality is exact (no numeric coercion
+/// between variants).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent / unknown value.  Compares equal only to itself.
+    Null,
+    /// A boolean constant.
+    Bool(bool),
+    /// A 64-bit integer constant.
+    Int(i64),
+    /// A string constant.
+    Str(String),
+}
+
+impl Value {
+    /// Builds a string value from anything string-like.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Builds an integer value.
+    pub const fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Builds a boolean value.
+    pub const fn bool(b: bool) -> Self {
+        Value::Bool(b)
+    }
+
+    /// Returns the integer payload if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True iff this value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// A small integer tag used to order values of different variants.
+    fn variant_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => a.variant_rank().cmp(&b.variant_rank()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn accessors_return_payloads() {
+        assert_eq!(Value::int(7).as_int(), Some(7));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::bool(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::str("x").as_int(), None);
+        assert_eq!(Value::int(7).as_str(), None);
+        assert_eq!(Value::int(7).as_bool(), None);
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(3u32), Value::Int(3));
+        assert_eq!(Value::from(3usize), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("abc"), Value::Str("abc".into()));
+        assert_eq!(Value::from(String::from("abc")), Value::Str("abc".into()));
+    }
+
+    #[test]
+    fn ordering_is_total_and_variant_stratified() {
+        let mut vs = vec![
+            Value::str("b"),
+            Value::Null,
+            Value::int(10),
+            Value::bool(false),
+            Value::int(-1),
+            Value::str("a"),
+            Value::bool(true),
+        ];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![
+                Value::Null,
+                Value::bool(false),
+                Value::bool(true),
+                Value::int(-1),
+                Value::int(10),
+                Value::str("a"),
+                Value::str("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn equality_is_not_coercing() {
+        assert_ne!(Value::Int(1), Value::Str("1".into()));
+        assert_ne!(Value::Bool(true), Value::Int(1));
+        assert_ne!(Value::Null, Value::Int(0));
+    }
+
+    #[test]
+    fn hashing_distinguishes_variants() {
+        let mut set = HashSet::new();
+        set.insert(Value::Int(1));
+        set.insert(Value::Str("1".into()));
+        set.insert(Value::Bool(true));
+        set.insert(Value::Null);
+        assert_eq!(set.len(), 4);
+        assert!(set.contains(&Value::Int(1)));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(Value::int(5).to_string(), "5");
+        assert_eq!(Value::str("nyc").to_string(), "\"nyc\"");
+        assert_eq!(Value::bool(true).to_string(), "true");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn ordering_within_ints_and_strings_is_natural() {
+        assert!(Value::int(2) < Value::int(10));
+        assert!(Value::str("abc") < Value::str("abd"));
+        assert!(Value::bool(false) < Value::bool(true));
+    }
+}

@@ -1,0 +1,38 @@
+//! Shared helpers for the runnable examples.
+//!
+//! Each binary in `src/bin/` is a self-contained walk-through of one part of
+//! the scale-independence story; this library crate only hosts tiny shared
+//! formatting helpers so that the binaries stay readable.
+
+#![forbid(unsafe_code)]
+
+use si_data::MeterSnapshot;
+
+/// Formats an access-cost snapshot for display in the examples.
+pub fn format_cost(label: &str, cost: &MeterSnapshot) -> String {
+    format!(
+        "{label:<28} fetched {:>8} tuples, {:>6} probes, {:>3} scans",
+        cost.tuples_fetched, cost.index_probes, cost.full_scans
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_cost_mentions_all_counters() {
+        let s = format_cost(
+            "bounded",
+            &MeterSnapshot {
+                tuples_fetched: 12,
+                index_probes: 3,
+                full_scans: 0,
+                time_units: 9,
+            },
+        );
+        assert!(s.contains("bounded"));
+        assert!(s.contains("12"));
+        assert!(s.contains('3'));
+    }
+}

@@ -1,0 +1,447 @@
+//! Relational algebra expressions.
+//!
+//! Section 5 of the paper develops scale independence for relational algebra
+//! (the `RA_A` rules), including *increment* and *decrement* expressions
+//! `E∆` and `E∇` used for incremental evaluation.  This module provides the
+//! algebra AST with named attributes; evaluation lives in
+//! [`crate::algebra_eval`] and the controllability rules in the core crate.
+//!
+//! Attribute handling follows the paper: selections carry conjunctions of
+//! (in)equalities, joins are natural joins on shared attribute names, and
+//! `attr(E)` is the output attribute set of an expression.
+
+use crate::error::QueryError;
+use serde::{Deserialize, Serialize};
+use si_data::{DatabaseSchema, Value};
+use std::fmt;
+
+/// An atomic selection condition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Condition {
+    /// `attribute = constant`
+    EqConst(String, Value),
+    /// `attribute1 = attribute2`
+    EqAttr(String, String),
+    /// `attribute ≠ constant`
+    NeqConst(String, Value),
+    /// `attribute1 ≠ attribute2`
+    NeqAttr(String, String),
+}
+
+impl Condition {
+    /// Attributes mentioned by the condition.
+    pub fn attributes(&self) -> Vec<&str> {
+        match self {
+            Condition::EqConst(a, _) | Condition::NeqConst(a, _) => vec![a],
+            Condition::EqAttr(a, b) | Condition::NeqAttr(a, b) => vec![a, b],
+        }
+    }
+
+    /// True for conditions of the form `A = c`; these are the conditions the
+    /// `RA_A` selection rule uses to discharge controlling attributes
+    /// ("the set of attributes A for which θ implies that A = a").
+    pub fn fixes_attribute(&self) -> Option<&str> {
+        match self {
+            Condition::EqConst(a, _) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::EqConst(a, v) => write!(f, "{a} = {v}"),
+            Condition::EqAttr(a, b) => write!(f, "{a} = {b}"),
+            Condition::NeqConst(a, v) => write!(f, "{a} ≠ {v}"),
+            Condition::NeqAttr(a, b) => write!(f, "{a} ≠ {b}"),
+        }
+    }
+}
+
+/// A relational algebra expression with named attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RaExpr {
+    /// A base relation `R`.
+    Relation(String),
+    /// The insertion delta `∆R` of an update (Section 5).
+    DeltaRelation(String),
+    /// The deletion delta `∇R` of an update (Section 5).
+    NablaRelation(String),
+    /// Selection `σ_θ(E)` with `θ` a conjunction of conditions.
+    Select(Box<RaExpr>, Vec<Condition>),
+    /// Projection `π_Y(E)`.
+    Project(Box<RaExpr>, Vec<String>),
+    /// Renaming of attributes `ρ(E)`, given as `(old, new)` pairs.
+    Rename(Box<RaExpr>, Vec<(String, String)>),
+    /// Natural join `E1 ⋈ E2` on shared attribute names.
+    Join(Box<RaExpr>, Box<RaExpr>),
+    /// Union `E1 ∪ E2` (same attribute set required).
+    Union(Box<RaExpr>, Box<RaExpr>),
+    /// Difference `E1 − E2` (same attribute set required).
+    Diff(Box<RaExpr>, Box<RaExpr>),
+    /// Intersection `E1 ∩ E2` (same attribute set required).
+    Intersect(Box<RaExpr>, Box<RaExpr>),
+}
+
+impl RaExpr {
+    /// Base relation reference.
+    pub fn relation(name: impl Into<String>) -> Self {
+        RaExpr::Relation(name.into())
+    }
+
+    /// `∆R` reference.
+    pub fn delta(name: impl Into<String>) -> Self {
+        RaExpr::DeltaRelation(name.into())
+    }
+
+    /// `∇R` reference.
+    pub fn nabla(name: impl Into<String>) -> Self {
+        RaExpr::NablaRelation(name.into())
+    }
+
+    /// Selection builder.
+    pub fn select(self, conditions: Vec<Condition>) -> Self {
+        RaExpr::Select(Box::new(self), conditions)
+    }
+
+    /// Convenience builder for a single `attribute = constant` selection.
+    pub fn select_eq(self, attribute: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.select(vec![Condition::EqConst(attribute.into(), value.into())])
+    }
+
+    /// Projection builder.
+    pub fn project(self, attributes: &[&str]) -> Self {
+        RaExpr::Project(
+            Box::new(self),
+            attributes.iter().map(|a| (*a).to_owned()).collect(),
+        )
+    }
+
+    /// Rename builder with `(old, new)` pairs.
+    pub fn rename(self, mapping: &[(&str, &str)]) -> Self {
+        RaExpr::Rename(
+            Box::new(self),
+            mapping
+                .iter()
+                .map(|(o, n)| ((*o).to_owned(), (*n).to_owned()))
+                .collect(),
+        )
+    }
+
+    /// Natural join builder.
+    pub fn join(self, other: RaExpr) -> Self {
+        RaExpr::Join(Box::new(self), Box::new(other))
+    }
+
+    /// Union builder.
+    pub fn union(self, other: RaExpr) -> Self {
+        RaExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Difference builder.
+    pub fn diff(self, other: RaExpr) -> Self {
+        RaExpr::Diff(Box::new(self), Box::new(other))
+    }
+
+    /// Intersection builder.
+    pub fn intersect(self, other: RaExpr) -> Self {
+        RaExpr::Intersect(Box::new(self), Box::new(other))
+    }
+
+    /// The output attributes `attr(E)` of the expression under `schema`.
+    ///
+    /// Base, delta and nabla relations take their attributes from the schema
+    /// of the underlying relation.  Binary set operations require both sides
+    /// to produce the same attribute *set*; the left-hand order is used for
+    /// the output.
+    pub fn attributes(&self, schema: &DatabaseSchema) -> Result<Vec<String>, QueryError> {
+        match self {
+            RaExpr::Relation(name) | RaExpr::DeltaRelation(name) | RaExpr::NablaRelation(name) => {
+                Ok(schema.relation(name)?.attributes().to_vec())
+            }
+            RaExpr::Select(input, conditions) => {
+                let attrs = input.attributes(schema)?;
+                for cond in conditions {
+                    for a in cond.attributes() {
+                        if !attrs.iter().any(|x| x == a) {
+                            return Err(QueryError::UnknownAttribute(a.to_owned()));
+                        }
+                    }
+                }
+                Ok(attrs)
+            }
+            RaExpr::Project(input, attributes) => {
+                let attrs = input.attributes(schema)?;
+                for a in attributes {
+                    if !attrs.contains(a) {
+                        return Err(QueryError::UnknownAttribute(a.clone()));
+                    }
+                }
+                Ok(attributes.clone())
+            }
+            RaExpr::Rename(input, mapping) => {
+                let attrs = input.attributes(schema)?;
+                for (old, _) in mapping {
+                    if !attrs.contains(old) {
+                        return Err(QueryError::UnknownAttribute(old.clone()));
+                    }
+                }
+                let renamed: Vec<String> = attrs
+                    .iter()
+                    .map(|a| {
+                        mapping
+                            .iter()
+                            .find(|(old, _)| old == a)
+                            .map(|(_, new)| new.clone())
+                            .unwrap_or_else(|| a.clone())
+                    })
+                    .collect();
+                let mut dedup = renamed.clone();
+                dedup.sort();
+                dedup.dedup();
+                if dedup.len() != renamed.len() {
+                    return Err(QueryError::SchemaMismatch(
+                        "renaming produced duplicate attribute names".into(),
+                    ));
+                }
+                Ok(renamed)
+            }
+            RaExpr::Join(left, right) => {
+                let l = left.attributes(schema)?;
+                let r = right.attributes(schema)?;
+                let mut out = l.clone();
+                for a in r {
+                    if !out.contains(&a) {
+                        out.push(a);
+                    }
+                }
+                Ok(out)
+            }
+            RaExpr::Union(left, right)
+            | RaExpr::Diff(left, right)
+            | RaExpr::Intersect(left, right) => {
+                let l = left.attributes(schema)?;
+                let r = right.attributes(schema)?;
+                let mut ls = l.clone();
+                let mut rs = r.clone();
+                ls.sort();
+                rs.sort();
+                if ls != rs {
+                    return Err(QueryError::SchemaMismatch(format!(
+                        "set operation over incompatible attribute sets {l:?} and {r:?}"
+                    )));
+                }
+                Ok(l)
+            }
+        }
+    }
+
+    /// All base relation names mentioned by the expression (delta and nabla
+    /// references report the underlying relation name).
+    pub fn base_relations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_relations(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_relations(&self, out: &mut Vec<String>) {
+        match self {
+            RaExpr::Relation(n) | RaExpr::DeltaRelation(n) | RaExpr::NablaRelation(n) => {
+                out.push(n.clone())
+            }
+            RaExpr::Select(e, _) | RaExpr::Project(e, _) | RaExpr::Rename(e, _) => {
+                e.collect_relations(out)
+            }
+            RaExpr::Join(l, r)
+            | RaExpr::Union(l, r)
+            | RaExpr::Diff(l, r)
+            | RaExpr::Intersect(l, r) => {
+                l.collect_relations(out);
+                r.collect_relations(out);
+            }
+        }
+    }
+
+    /// True iff the expression refers to any `∆R` or `∇R`.
+    pub fn mentions_deltas(&self) -> bool {
+        match self {
+            RaExpr::Relation(_) => false,
+            RaExpr::DeltaRelation(_) | RaExpr::NablaRelation(_) => true,
+            RaExpr::Select(e, _) | RaExpr::Project(e, _) | RaExpr::Rename(e, _) => {
+                e.mentions_deltas()
+            }
+            RaExpr::Join(l, r)
+            | RaExpr::Union(l, r)
+            | RaExpr::Diff(l, r)
+            | RaExpr::Intersect(l, r) => l.mentions_deltas() || r.mentions_deltas(),
+        }
+    }
+
+    /// Number of AST nodes, used for reporting expression sizes.
+    pub fn size(&self) -> usize {
+        match self {
+            RaExpr::Relation(_) | RaExpr::DeltaRelation(_) | RaExpr::NablaRelation(_) => 1,
+            RaExpr::Select(e, _) | RaExpr::Project(e, _) | RaExpr::Rename(e, _) => 1 + e.size(),
+            RaExpr::Join(l, r)
+            | RaExpr::Union(l, r)
+            | RaExpr::Diff(l, r)
+            | RaExpr::Intersect(l, r) => 1 + l.size() + r.size(),
+        }
+    }
+}
+
+impl fmt::Display for RaExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaExpr::Relation(n) => write!(f, "{n}"),
+            RaExpr::DeltaRelation(n) => write!(f, "∆{n}"),
+            RaExpr::NablaRelation(n) => write!(f, "∇{n}"),
+            RaExpr::Select(e, conds) => {
+                let conds: Vec<String> = conds.iter().map(|c| c.to_string()).collect();
+                write!(f, "σ[{}]({e})", conds.join(" ∧ "))
+            }
+            RaExpr::Project(e, attrs) => write!(f, "π[{}]({e})", attrs.join(", ")),
+            RaExpr::Rename(e, mapping) => {
+                let pairs: Vec<String> = mapping
+                    .iter()
+                    .map(|(o, n)| format!("{o}→{n}"))
+                    .collect();
+                write!(f, "ρ[{}]({e})", pairs.join(", "))
+            }
+            RaExpr::Join(l, r) => write!(f, "({l} ⋈ {r})"),
+            RaExpr::Union(l, r) => write!(f, "({l} ∪ {r})"),
+            RaExpr::Diff(l, r) => write!(f, "({l} − {r})"),
+            RaExpr::Intersect(l, r) => write!(f, "({l} ∩ {r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_data::schema::social_schema;
+
+    #[test]
+    fn base_relation_attributes_come_from_schema() {
+        let schema = social_schema();
+        let e = RaExpr::relation("person");
+        assert_eq!(e.attributes(&schema).unwrap(), vec!["id", "name", "city"]);
+        let e = RaExpr::delta("visit");
+        assert_eq!(e.attributes(&schema).unwrap(), vec!["id", "rid"]);
+        let e = RaExpr::nabla("friend");
+        assert_eq!(e.attributes(&schema).unwrap(), vec!["id1", "id2"]);
+        assert!(RaExpr::relation("enemy").attributes(&schema).is_err());
+    }
+
+    #[test]
+    fn select_checks_condition_attributes() {
+        let schema = social_schema();
+        let good = RaExpr::relation("person").select_eq("city", "NYC");
+        assert_eq!(good.attributes(&schema).unwrap().len(), 3);
+        let bad = RaExpr::relation("person").select_eq("zip", "10001");
+        assert!(matches!(
+            bad.attributes(&schema),
+            Err(QueryError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn project_restricts_attributes() {
+        let schema = social_schema();
+        let e = RaExpr::relation("person").project(&["name"]);
+        assert_eq!(e.attributes(&schema).unwrap(), vec!["name"]);
+        let bad = RaExpr::relation("person").project(&["zip"]);
+        assert!(bad.attributes(&schema).is_err());
+    }
+
+    #[test]
+    fn rename_rewrites_and_rejects_collisions() {
+        let schema = social_schema();
+        let e = RaExpr::relation("friend").rename(&[("id2", "id")]);
+        assert_eq!(e.attributes(&schema).unwrap(), vec!["id1", "id"]);
+        let collision = RaExpr::relation("friend").rename(&[("id2", "id1")]);
+        assert!(matches!(
+            collision.attributes(&schema),
+            Err(QueryError::SchemaMismatch(_))
+        ));
+        let unknown = RaExpr::relation("friend").rename(&[("zip", "id")]);
+        assert!(matches!(
+            unknown.attributes(&schema),
+            Err(QueryError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn join_unions_attributes_without_duplicates() {
+        let schema = social_schema();
+        // friend ⋈ (person renamed so that id matches id2)
+        let e = RaExpr::relation("friend")
+            .join(RaExpr::relation("person").rename(&[("id", "id2")]));
+        assert_eq!(
+            e.attributes(&schema).unwrap(),
+            vec!["id1", "id2", "name", "city"]
+        );
+    }
+
+    #[test]
+    fn set_operations_require_equal_attribute_sets() {
+        let schema = social_schema();
+        let ok = RaExpr::relation("visit").union(RaExpr::delta("visit"));
+        assert_eq!(ok.attributes(&schema).unwrap(), vec!["id", "rid"]);
+        let bad = RaExpr::relation("visit").diff(RaExpr::relation("friend"));
+        assert!(matches!(
+            bad.attributes(&schema),
+            Err(QueryError::SchemaMismatch(_))
+        ));
+        let ok = RaExpr::relation("friend")
+            .intersect(RaExpr::relation("friend"));
+        assert_eq!(ok.attributes(&schema).unwrap(), vec!["id1", "id2"]);
+    }
+
+    #[test]
+    fn base_relations_and_delta_detection() {
+        let e = RaExpr::relation("friend")
+            .join(RaExpr::delta("visit"))
+            .diff(RaExpr::relation("friend").join(RaExpr::relation("visit")));
+        assert_eq!(e.base_relations(), vec!["friend", "visit"]);
+        assert!(e.mentions_deltas());
+        assert!(!RaExpr::relation("friend").mentions_deltas());
+    }
+
+    #[test]
+    fn size_and_display() {
+        let e = RaExpr::relation("person")
+            .select_eq("city", "NYC")
+            .project(&["name"]);
+        assert_eq!(e.size(), 3);
+        let s = e.to_string();
+        assert!(s.contains("π[name]"));
+        assert!(s.contains("σ[city = \"NYC\"]"));
+        assert!(RaExpr::delta("visit").to_string().contains("∆visit"));
+        assert!(RaExpr::nabla("visit").to_string().contains("∇visit"));
+        let s = RaExpr::relation("a")
+            .rename(&[("x", "y")])
+            .to_string();
+        assert!(s.contains("ρ[x→y]"));
+    }
+
+    #[test]
+    fn condition_helpers() {
+        let c = Condition::EqConst("city".into(), Value::str("NYC"));
+        assert_eq!(c.fixes_attribute(), Some("city"));
+        assert_eq!(c.attributes(), vec!["city"]);
+        let c = Condition::EqAttr("a".into(), "b".into());
+        assert_eq!(c.fixes_attribute(), None);
+        assert_eq!(c.attributes(), vec!["a", "b"]);
+        assert!(Condition::NeqConst("a".into(), Value::int(1))
+            .to_string()
+            .contains('≠'));
+        assert_eq!(
+            Condition::NeqAttr("a".into(), "b".into()).attributes(),
+            vec!["a", "b"]
+        );
+    }
+}

@@ -1,0 +1,466 @@
+//! Evaluation of relational algebra expressions.
+//!
+//! [`RaEvaluator`] evaluates an [`RaExpr`] against a [`Database`] and,
+//! optionally, a [`Delta`] providing the `∆R` / `∇R` relations used by the
+//! incremental machinery of Section 5.  The result is a [`NamedRelation`]
+//! carrying its attribute names, so that natural joins and set operations can
+//! be checked and aligned by name.
+
+use crate::algebra::{Condition, RaExpr};
+use crate::error::QueryError;
+use si_data::{AccessMeter, Database, Delta, Tuple, Value};
+use std::collections::{BTreeSet, HashMap};
+
+/// An evaluation result: attribute names plus a set of tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamedRelation {
+    /// Output attribute names, in order.
+    pub attributes: Vec<String>,
+    /// The tuples, deduplicated, in first-derivation order.
+    pub tuples: Vec<Tuple>,
+}
+
+impl NamedRelation {
+    /// Creates an empty result with the given attributes.
+    pub fn empty(attributes: Vec<String>) -> Self {
+        NamedRelation {
+            attributes,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff there are no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Position of an attribute name.
+    pub fn position_of(&self, attribute: &str) -> Result<usize, QueryError> {
+        self.attributes
+            .iter()
+            .position(|a| a == attribute)
+            .ok_or_else(|| QueryError::UnknownAttribute(attribute.to_owned()))
+    }
+
+    /// Reorders the columns to match `target` attribute order.
+    pub fn align_to(&self, target: &[String]) -> Result<NamedRelation, QueryError> {
+        let positions: Result<Vec<usize>, QueryError> =
+            target.iter().map(|a| self.position_of(a)).collect();
+        let positions = positions?;
+        Ok(NamedRelation {
+            attributes: target.to_vec(),
+            tuples: self.tuples.iter().map(|t| t.project(&positions)).collect(),
+        })
+    }
+
+    /// Deduplicates tuples preserving first occurrences.
+    fn dedup(mut self) -> Self {
+        let mut seen = BTreeSet::new();
+        self.tuples.retain(|t| seen.insert(t.clone()));
+        self
+    }
+}
+
+/// Evaluates relational algebra expressions over a database (and optional
+/// update) while charging base-data accesses to an optional meter.
+pub struct RaEvaluator<'a> {
+    db: &'a Database,
+    delta: Option<&'a Delta>,
+    meter: Option<&'a AccessMeter>,
+}
+
+impl<'a> RaEvaluator<'a> {
+    /// Creates an evaluator over `db` with no update and no meter.
+    pub fn new(db: &'a Database) -> Self {
+        RaEvaluator {
+            db,
+            delta: None,
+            meter: None,
+        }
+    }
+
+    /// Attaches the update providing `∆R` / `∇R`.
+    pub fn with_delta(mut self, delta: &'a Delta) -> Self {
+        self.delta = Some(delta);
+        self
+    }
+
+    /// Attaches an access meter.
+    pub fn with_meter(mut self, meter: &'a AccessMeter) -> Self {
+        self.meter = Some(meter);
+        self
+    }
+
+    /// Evaluates `expr`, returning a named relation.
+    pub fn evaluate(&self, expr: &RaExpr) -> Result<NamedRelation, QueryError> {
+        let attributes = expr.attributes(self.db.schema())?;
+        let result = match expr {
+            RaExpr::Relation(name) => {
+                let rel = self.db.relation(name)?;
+                if let Some(m) = self.meter {
+                    m.add_scan();
+                    m.add_tuples(rel.len() as u64);
+                }
+                NamedRelation {
+                    attributes,
+                    tuples: rel.iter().cloned().collect(),
+                }
+            }
+            RaExpr::DeltaRelation(name) => {
+                self.db.relation(name)?; // validate existence
+                let tuples = self
+                    .delta
+                    .and_then(|d| d.relation_delta(name))
+                    .map(|d| d.insertions.clone())
+                    .unwrap_or_default();
+                NamedRelation { attributes, tuples }
+            }
+            RaExpr::NablaRelation(name) => {
+                self.db.relation(name)?;
+                let tuples = self
+                    .delta
+                    .and_then(|d| d.relation_delta(name))
+                    .map(|d| d.deletions.clone())
+                    .unwrap_or_default();
+                NamedRelation { attributes, tuples }
+            }
+            RaExpr::Select(input, conditions) => {
+                let inner = self.evaluate(input)?;
+                let mut out = NamedRelation::empty(inner.attributes.clone());
+                for t in &inner.tuples {
+                    if conditions
+                        .iter()
+                        .all(|c| Self::check_condition(c, &inner, t).unwrap_or(false))
+                    {
+                        out.tuples.push(t.clone());
+                    }
+                }
+                out
+            }
+            RaExpr::Project(input, attrs) => {
+                let inner = self.evaluate(input)?;
+                let positions: Result<Vec<usize>, QueryError> =
+                    attrs.iter().map(|a| inner.position_of(a)).collect();
+                let positions = positions?;
+                NamedRelation {
+                    attributes: attrs.clone(),
+                    tuples: inner.tuples.iter().map(|t| t.project(&positions)).collect(),
+                }
+            }
+            RaExpr::Rename(input, _) => {
+                let inner = self.evaluate(input)?;
+                NamedRelation {
+                    attributes,
+                    tuples: inner.tuples,
+                }
+            }
+            RaExpr::Join(left, right) => {
+                let l = self.evaluate(left)?;
+                let r = self.evaluate(right)?;
+                Self::natural_join(&l, &r, &attributes)?
+            }
+            RaExpr::Union(left, right) => {
+                let l = self.evaluate(left)?;
+                let r = self.evaluate(right)?.align_to(&l.attributes)?;
+                let mut out = l;
+                out.tuples.extend(r.tuples);
+                out
+            }
+            RaExpr::Diff(left, right) => {
+                let l = self.evaluate(left)?;
+                let r = self.evaluate(right)?.align_to(&l.attributes)?;
+                let exclude: BTreeSet<Tuple> = r.tuples.into_iter().collect();
+                NamedRelation {
+                    attributes: l.attributes,
+                    tuples: l
+                        .tuples
+                        .into_iter()
+                        .filter(|t| !exclude.contains(t))
+                        .collect(),
+                }
+            }
+            RaExpr::Intersect(left, right) => {
+                let l = self.evaluate(left)?;
+                let r = self.evaluate(right)?.align_to(&l.attributes)?;
+                let keep: BTreeSet<Tuple> = r.tuples.into_iter().collect();
+                NamedRelation {
+                    attributes: l.attributes,
+                    tuples: l
+                        .tuples
+                        .into_iter()
+                        .filter(|t| keep.contains(t))
+                        .collect(),
+                }
+            }
+        };
+        Ok(result.dedup())
+    }
+
+    fn check_condition(
+        condition: &Condition,
+        rel: &NamedRelation,
+        tuple: &Tuple,
+    ) -> Result<bool, QueryError> {
+        let value_of = |attr: &str| -> Result<Value, QueryError> {
+            Ok(tuple[rel.position_of(attr)?].clone())
+        };
+        Ok(match condition {
+            Condition::EqConst(a, v) => &value_of(a)? == v,
+            Condition::NeqConst(a, v) => &value_of(a)? != v,
+            Condition::EqAttr(a, b) => value_of(a)? == value_of(b)?,
+            Condition::NeqAttr(a, b) => value_of(a)? != value_of(b)?,
+        })
+    }
+
+    fn natural_join(
+        left: &NamedRelation,
+        right: &NamedRelation,
+        output_attributes: &[String],
+    ) -> Result<NamedRelation, QueryError> {
+        // Shared attributes drive the join; right-only attributes are appended.
+        let shared: Vec<String> = right
+            .attributes
+            .iter()
+            .filter(|a| left.attributes.contains(a))
+            .cloned()
+            .collect();
+        let shared_left: Vec<usize> = shared
+            .iter()
+            .map(|a| left.position_of(a))
+            .collect::<Result<_, _>>()?;
+        let shared_right: Vec<usize> = shared
+            .iter()
+            .map(|a| right.position_of(a))
+            .collect::<Result<_, _>>()?;
+        let right_only: Vec<usize> = right
+            .attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !left.attributes.contains(a))
+            .map(|(i, _)| i)
+            .collect();
+
+        let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
+        for t in &right.tuples {
+            let key: Vec<Value> = shared_right.iter().map(|&p| t[p].clone()).collect();
+            table.entry(key).or_default().push(t);
+        }
+
+        let mut out = NamedRelation::empty(output_attributes.to_vec());
+        for lt in &left.tuples {
+            let key: Vec<Value> = shared_left.iter().map(|&p| lt[p].clone()).collect();
+            if let Some(matches) = table.get(&key) {
+                for rt in matches {
+                    let extra: Tuple = right_only.iter().map(|&p| rt[p].clone()).collect();
+                    out.tuples.push(lt.concat(&extra));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Convenience wrapper evaluating `expr` over `db` without delta or meter.
+pub fn evaluate_ra(expr: &RaExpr, db: &Database) -> Result<NamedRelation, QueryError> {
+    RaEvaluator::new(db).evaluate(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_data::schema::social_schema;
+    use si_data::tuple;
+
+    fn db() -> Database {
+        let mut db = Database::empty(social_schema());
+        db.insert_all(
+            "person",
+            vec![
+                tuple![1, "ann", "NYC"],
+                tuple![2, "bob", "NYC"],
+                tuple![3, "cat", "LA"],
+            ],
+        )
+        .unwrap();
+        db.insert_all("friend", vec![tuple![1, 2], tuple![1, 3], tuple![2, 3]])
+            .unwrap();
+        db.insert_all(
+            "restr",
+            vec![
+                tuple![10, "sushi", "NYC", "A"],
+                tuple![11, "taco", "LA", "B"],
+            ],
+        )
+        .unwrap();
+        db.insert_all("visit", vec![tuple![2, 10], tuple![3, 11]])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn base_relation_scan_is_metered() {
+        let db = db();
+        let meter = AccessMeter::new();
+        let ev = RaEvaluator::new(&db).with_meter(&meter);
+        let out = ev.evaluate(&RaExpr::relation("person")).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.attributes, vec!["id", "name", "city"]);
+        assert_eq!(meter.full_scans(), 1);
+        assert_eq!(meter.tuples_fetched(), 3);
+    }
+
+    #[test]
+    fn selection_filters_by_constant_and_attribute() {
+        let db = db();
+        let nyc = evaluate_ra(
+            &RaExpr::relation("person").select_eq("city", "NYC"),
+            &db,
+        )
+        .unwrap();
+        assert_eq!(nyc.len(), 2);
+        let self_friend = evaluate_ra(
+            &RaExpr::relation("friend")
+                .select(vec![Condition::EqAttr("id1".into(), "id2".into())]),
+            &db,
+        )
+        .unwrap();
+        assert!(self_friend.is_empty());
+        let neq = evaluate_ra(
+            &RaExpr::relation("person")
+                .select(vec![Condition::NeqConst("city".into(), Value::str("NYC"))]),
+            &db,
+        )
+        .unwrap();
+        assert_eq!(neq.len(), 1);
+        let neq_attr = evaluate_ra(
+            &RaExpr::relation("friend")
+                .select(vec![Condition::NeqAttr("id1".into(), "id2".into())]),
+            &db,
+        )
+        .unwrap();
+        assert_eq!(neq_attr.len(), 3);
+    }
+
+    #[test]
+    fn projection_deduplicates() {
+        let db = db();
+        let cities = evaluate_ra(&RaExpr::relation("person").project(&["city"]), &db).unwrap();
+        assert_eq!(cities.len(), 2);
+        assert_eq!(cities.attributes, vec!["city"]);
+    }
+
+    #[test]
+    fn rename_then_join_implements_q1() {
+        let db = db();
+        // Q1 for p = 1: π[name](σ[id1=1](friend) ⋈ ρ[id→id2, …](σ[city=NYC](person)))
+        let expr = RaExpr::relation("friend")
+            .select_eq("id1", 1)
+            .join(
+                RaExpr::relation("person")
+                    .select_eq("city", "NYC")
+                    .rename(&[("id", "id2")]),
+            )
+            .project(&["name"]);
+        let out = evaluate_ra(&expr, &db).unwrap();
+        assert_eq!(out.tuples, vec![tuple!["bob"]]);
+    }
+
+    #[test]
+    fn join_with_no_shared_attributes_is_cartesian_product() {
+        let db = db();
+        let expr = RaExpr::relation("friend").join(RaExpr::relation("visit"));
+        let out = evaluate_ra(&expr, &db).unwrap();
+        assert_eq!(out.len(), 3 * 2);
+        assert_eq!(out.attributes, vec!["id1", "id2", "id", "rid"]);
+    }
+
+    #[test]
+    fn union_diff_intersect_respect_set_semantics() {
+        let db = db();
+        let visits = RaExpr::relation("visit");
+        let union = evaluate_ra(&visits.clone().union(visits.clone()), &db).unwrap();
+        assert_eq!(union.len(), 2);
+        let diff = evaluate_ra(&visits.clone().diff(visits.clone()), &db).unwrap();
+        assert!(diff.is_empty());
+        let inter = evaluate_ra(&visits.clone().intersect(visits.clone()), &db).unwrap();
+        assert_eq!(inter.len(), 2);
+    }
+
+    #[test]
+    fn union_aligns_attribute_orders() {
+        let db = db();
+        // friend(id1,id2) ∪ ρ[id1↔id2](friend) — reversed edges.
+        let reversed = RaExpr::relation("friend")
+            .rename(&[("id1", "tmp"), ("id2", "id1")])
+            .rename(&[("tmp", "id2")]);
+        let expr = RaExpr::relation("friend").union(reversed);
+        let out = evaluate_ra(&expr, &db).unwrap();
+        assert_eq!(out.len(), 6);
+        assert!(out.tuples.contains(&tuple![2, 1]));
+    }
+
+    #[test]
+    fn delta_and_nabla_relations_read_from_update() {
+        let db = db();
+        let mut delta = Delta::new();
+        delta.insert("visit", tuple![1, 10]);
+        delta.delete("visit", tuple![3, 11]);
+        let ev = RaEvaluator::new(&db).with_delta(&delta);
+        let ins = ev.evaluate(&RaExpr::delta("visit")).unwrap();
+        assert_eq!(ins.tuples, vec![tuple![1, 10]]);
+        let del = ev.evaluate(&RaExpr::nabla("visit")).unwrap();
+        assert_eq!(del.tuples, vec![tuple![3, 11]]);
+        // Without an update attached both are empty.
+        let ev = RaEvaluator::new(&db);
+        assert!(ev.evaluate(&RaExpr::delta("visit")).unwrap().is_empty());
+        assert!(ev.evaluate(&RaExpr::nabla("visit")).unwrap().is_empty());
+        // Unknown relations still error.
+        assert!(ev.evaluate(&RaExpr::delta("enemy")).is_err());
+    }
+
+    #[test]
+    fn incremental_identity_holds_for_simple_join() {
+        // (E over D ⊕ ∆D) = (E over D) ∪ (∆-part), for E = friend ⋈ visit
+        // restricted to insertions into visit only.
+        let db = db();
+        let mut delta = Delta::new();
+        delta.insert("visit", tuple![3, 10]);
+        let updated = delta.apply(&db).unwrap();
+
+        let e = RaExpr::relation("friend")
+            .rename(&[("id2", "id")])
+            .join(RaExpr::relation("visit"));
+        let full = evaluate_ra(&e, &updated).unwrap();
+
+        let e_delta = RaExpr::relation("friend")
+            .rename(&[("id2", "id")])
+            .join(RaExpr::delta("visit"));
+        let old = evaluate_ra(&e, &db).unwrap();
+        let inc = RaEvaluator::new(&db)
+            .with_delta(&delta)
+            .evaluate(&e_delta)
+            .unwrap();
+
+        let mut combined: Vec<Tuple> = old.tuples;
+        combined.extend(inc.tuples);
+        combined.sort();
+        combined.dedup();
+        let mut expected = full.tuples.clone();
+        expected.sort();
+        assert_eq!(combined, expected);
+    }
+
+    #[test]
+    fn named_relation_align_and_position_errors() {
+        let db = db();
+        let out = evaluate_ra(&RaExpr::relation("friend"), &db).unwrap();
+        assert!(out.position_of("nope").is_err());
+        assert!(out.align_to(&["id2".into(), "id1".into()]).is_ok());
+        assert!(out.align_to(&["id1".into(), "nope".into()]).is_err());
+    }
+}

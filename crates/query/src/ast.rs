@@ -1,0 +1,599 @@
+//! First-order logic query ASTs.
+//!
+//! The paper works with three languages (Section 2): conjunctive queries
+//! (CQ), unions of conjunctive queries (UCQ), and full first-order logic
+//! (FO).  This module defines the FO syntax tree; the dedicated CQ/UCQ
+//! representations live in [`crate::cq`] and [`crate::ucq`] and convert into
+//! [`Formula`] when FO machinery is needed.
+
+use serde::{Deserialize, Serialize};
+use si_data::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A variable name.  Variables are compared by name.
+pub type Var = String;
+
+/// A term: either a variable or a constant of the universe.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Term {
+    /// A variable occurrence.
+    Var(Var),
+    /// A constant occurrence.
+    Const(Value),
+}
+
+impl Term {
+    /// Builds a variable term.
+    pub fn var(name: impl Into<String>) -> Self {
+        Term::Var(name.into())
+    }
+
+    /// Builds a constant term.
+    pub fn constant(value: impl Into<Value>) -> Self {
+        Term::Const(value.into())
+    }
+
+    /// Returns the variable name if this term is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Returns the constant if this term is a constant.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(c),
+        }
+    }
+
+    /// True iff the term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A relation atom `R(t̅)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Atom {
+    /// Relation name.
+    pub relation: String,
+    /// Argument terms, positionally matching the relation's attributes.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        Atom {
+            relation: relation.into(),
+            terms,
+        }
+    }
+
+    /// The variables occurring in the atom, in first-occurrence order.
+    pub fn variables(&self) -> Vec<Var> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for t in &self.terms {
+            if let Term::Var(v) = t {
+                if seen.insert(v.clone()) {
+                    out.push(v.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies a substitution of a single variable by a constant.
+    pub fn substitute(&self, var: &str, value: &Value) -> Atom {
+        Atom {
+            relation: self.relation.clone(),
+            terms: self
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) if v == var => Term::Const(value.clone()),
+                    other => other.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A first-order formula over a relational schema.
+///
+/// The constructors mirror the grammar of Section 2 of the paper: relation
+/// atoms and equality atoms closed under `¬`, `∧`, `∨`, `→`, `∃` and `∀`.
+/// `True`/`False` are included for convenience (they are definable but keep
+/// derived formulas small).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Formula {
+    /// The true constant.
+    True,
+    /// The false constant.
+    False,
+    /// A relation atom `R(t̅)`.
+    Atom(Atom),
+    /// An equality atom `t1 = t2` (between variables and/or constants).
+    Eq(Term, Term),
+    /// Negation `¬φ`.
+    Not(Box<Formula>),
+    /// Conjunction `φ ∧ ψ`.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction `φ ∨ ψ`.
+    Or(Box<Formula>, Box<Formula>),
+    /// Implication `φ → ψ`.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Existential quantification `∃x̅ φ`.
+    Exists(Vec<Var>, Box<Formula>),
+    /// Universal quantification `∀x̅ φ`.
+    Forall(Vec<Var>, Box<Formula>),
+}
+
+impl Formula {
+    /// Conjunction helper that simplifies `True` operands.
+    pub fn and(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::True, g) => g,
+            (f, Formula::True) => f,
+            (f, g) => Formula::And(Box::new(f), Box::new(g)),
+        }
+    }
+
+    /// Disjunction helper that simplifies `False` operands.
+    pub fn or(self, other: Formula) -> Formula {
+        match (self, other) {
+            (Formula::False, g) => g,
+            (f, Formula::False) => f,
+            (f, g) => Formula::Or(Box::new(f), Box::new(g)),
+        }
+    }
+
+    /// Negation helper collapsing double negation.
+    pub fn negate(self) -> Formula {
+        match self {
+            Formula::Not(inner) => *inner,
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            f => Formula::Not(Box::new(f)),
+        }
+    }
+
+    /// Existential quantification helper; quantifying over nothing is the
+    /// identity.
+    pub fn exists(vars: Vec<Var>, body: Formula) -> Formula {
+        if vars.is_empty() {
+            body
+        } else {
+            Formula::Exists(vars, Box::new(body))
+        }
+    }
+
+    /// Universal quantification helper; quantifying over nothing is the
+    /// identity.
+    pub fn forall(vars: Vec<Var>, body: Formula) -> Formula {
+        if vars.is_empty() {
+            body
+        } else {
+            Formula::Forall(vars, Box::new(body))
+        }
+    }
+
+    /// The free variables of the formula, sorted by name.
+    pub fn free_variables(&self) -> BTreeSet<Var> {
+        let mut free = BTreeSet::new();
+        self.collect_free(&mut BTreeSet::new(), &mut free);
+        free
+    }
+
+    fn collect_free(&self, bound: &mut BTreeSet<Var>, free: &mut BTreeSet<Var>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(a) => {
+                for t in &a.terms {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            free.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::Eq(l, r) => {
+                for t in [l, r] {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            free.insert(v.clone());
+                        }
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_free(bound, free),
+            Formula::And(f, g) | Formula::Or(f, g) | Formula::Implies(f, g) => {
+                f.collect_free(bound, free);
+                g.collect_free(bound, free);
+            }
+            Formula::Exists(vars, f) | Formula::Forall(vars, f) => {
+                let newly_bound: Vec<Var> = vars
+                    .iter()
+                    .filter(|v| bound.insert((*v).clone()))
+                    .cloned()
+                    .collect();
+                f.collect_free(bound, free);
+                for v in newly_bound {
+                    bound.remove(&v);
+                }
+            }
+        }
+    }
+
+    /// All relation names mentioned anywhere in the formula.
+    pub fn relations(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_relations(&mut out);
+        out
+    }
+
+    fn collect_relations(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Formula::True | Formula::False | Formula::Eq(_, _) => {}
+            Formula::Atom(a) => {
+                out.insert(a.relation.clone());
+            }
+            Formula::Not(f) => f.collect_relations(out),
+            Formula::And(f, g) | Formula::Or(f, g) | Formula::Implies(f, g) => {
+                f.collect_relations(out);
+                g.collect_relations(out);
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.collect_relations(out),
+        }
+    }
+
+    /// All relation atoms occurring in the formula (with multiplicity).
+    pub fn atoms(&self) -> Vec<&Atom> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms<'a>(&'a self, out: &mut Vec<&'a Atom>) {
+        match self {
+            Formula::True | Formula::False | Formula::Eq(_, _) => {}
+            Formula::Atom(a) => out.push(a),
+            Formula::Not(f) => f.collect_atoms(out),
+            Formula::And(f, g) | Formula::Or(f, g) | Formula::Implies(f, g) => {
+                f.collect_atoms(out);
+                g.collect_atoms(out);
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.collect_atoms(out),
+        }
+    }
+
+    /// Substitutes a free variable by a constant, leaving bound occurrences
+    /// untouched.
+    pub fn substitute(&self, var: &str, value: &Value) -> Formula {
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom(a) => Formula::Atom(a.substitute(var, value)),
+            Formula::Eq(l, r) => {
+                let sub = |t: &Term| match t {
+                    Term::Var(v) if v == var => Term::Const(value.clone()),
+                    other => other.clone(),
+                };
+                Formula::Eq(sub(l), sub(r))
+            }
+            Formula::Not(f) => Formula::Not(Box::new(f.substitute(var, value))),
+            Formula::And(f, g) => Formula::And(
+                Box::new(f.substitute(var, value)),
+                Box::new(g.substitute(var, value)),
+            ),
+            Formula::Or(f, g) => Formula::Or(
+                Box::new(f.substitute(var, value)),
+                Box::new(g.substitute(var, value)),
+            ),
+            Formula::Implies(f, g) => Formula::Implies(
+                Box::new(f.substitute(var, value)),
+                Box::new(g.substitute(var, value)),
+            ),
+            Formula::Exists(vars, f) => {
+                if vars.iter().any(|v| v == var) {
+                    Formula::Exists(vars.clone(), f.clone())
+                } else {
+                    Formula::Exists(vars.clone(), Box::new(f.substitute(var, value)))
+                }
+            }
+            Formula::Forall(vars, f) => {
+                if vars.iter().any(|v| v == var) {
+                    Formula::Forall(vars.clone(), f.clone())
+                } else {
+                    Formula::Forall(vars.clone(), Box::new(f.substitute(var, value)))
+                }
+            }
+        }
+    }
+
+    /// Structural size of the formula (number of AST nodes), used by the
+    /// decision procedures to report query sizes.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) | Formula::Eq(_, _) => 1,
+            Formula::Not(f) => 1 + f.size(),
+            Formula::And(f, g) | Formula::Or(f, g) | Formula::Implies(f, g) => {
+                1 + f.size() + g.size()
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => 1 + f.size(),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::Eq(l, r) => write!(f, "{l} = {r}"),
+            Formula::Not(inner) => write!(f, "¬({inner})"),
+            Formula::And(l, r) => write!(f, "({l} ∧ {r})"),
+            Formula::Or(l, r) => write!(f, "({l} ∨ {r})"),
+            Formula::Implies(l, r) => write!(f, "({l} → {r})"),
+            Formula::Exists(vars, inner) => write!(f, "∃{}.({inner})", vars.join(",")),
+            Formula::Forall(vars, inner) => write!(f, "∀{}.({inner})", vars.join(",")),
+        }
+    }
+}
+
+/// A named first-order query: a formula together with an ordered tuple of
+/// output (free) variables `x̅`, written `Q(x̅)` in the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FoQuery {
+    /// Query name (used for display only).
+    pub name: String,
+    /// Ordered output variables.  Empty for Boolean queries.
+    pub head: Vec<Var>,
+    /// The query body.
+    pub body: Formula,
+}
+
+impl FoQuery {
+    /// Creates a named query.
+    pub fn new(name: impl Into<String>, head: Vec<Var>, body: Formula) -> Self {
+        FoQuery {
+            name: name.into(),
+            head,
+            body,
+        }
+    }
+
+    /// Creates a Boolean (sentence) query.
+    pub fn boolean(name: impl Into<String>, body: Formula) -> Self {
+        FoQuery::new(name, Vec::new(), body)
+    }
+
+    /// True iff the query has no free output variables.
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// The arity of the query's answers.
+    pub fn arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Fixes the values of some head variables (the "given tuple a̅ of values
+    /// for x̅" of the paper), producing a query over the remaining head
+    /// variables.
+    pub fn bind(&self, bindings: &[(Var, Value)]) -> FoQuery {
+        let mut body = self.body.clone();
+        for (v, val) in bindings {
+            body = body.substitute(v, val);
+        }
+        let bound: BTreeSet<&Var> = bindings.iter().map(|(v, _)| v).collect();
+        let head = self
+            .head
+            .iter()
+            .filter(|v| !bound.contains(v))
+            .cloned()
+            .collect();
+        FoQuery {
+            name: format!("{}#bound", self.name),
+            head,
+            body,
+        }
+    }
+
+    /// Sanity check: every head variable must be free in the body.
+    pub fn validate(&self) -> Result<(), crate::error::QueryError> {
+        let free = self.body.free_variables();
+        for v in &self.head {
+            if !free.contains(v) {
+                return Err(crate::error::QueryError::UnboundVariable(v.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for FoQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}) := {}", self.name, self.head.join(", "), self.body)
+    }
+}
+
+/// Shorthand for building a variable term.
+pub fn v(name: &str) -> Term {
+    Term::var(name)
+}
+
+/// Shorthand for building a constant term.
+pub fn c(value: impl Into<Value>) -> Term {
+    Term::constant(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q1_body() -> Formula {
+        // ∃id (friend(p, id) ∧ person(id, name, "NYC"))
+        Formula::exists(
+            vec!["id".into()],
+            Formula::Atom(Atom::new("friend", vec![v("p"), v("id")])).and(Formula::Atom(
+                Atom::new("person", vec![v("id"), v("name"), c("NYC")]),
+            )),
+        )
+    }
+
+    #[test]
+    fn term_accessors() {
+        assert_eq!(v("x").as_var(), Some("x"));
+        assert!(v("x").is_var());
+        assert_eq!(c(3).as_const(), Some(&Value::Int(3)));
+        assert_eq!(c(3).as_var(), None);
+        assert_eq!(v("x").as_const(), None);
+    }
+
+    #[test]
+    fn atom_variables_deduplicate_in_order() {
+        let a = Atom::new("r", vec![v("x"), c(1), v("y"), v("x")]);
+        assert_eq!(a.variables(), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn atom_substitution_replaces_only_target() {
+        let a = Atom::new("r", vec![v("x"), v("y")]);
+        let s = a.substitute("x", &Value::int(7));
+        assert_eq!(s.terms, vec![c(7), v("y")]);
+    }
+
+    #[test]
+    fn free_variables_respect_quantifiers() {
+        let f = q1_body();
+        let free: Vec<String> = f.free_variables().into_iter().collect();
+        assert_eq!(free, vec!["name".to_string(), "p".to_string()]);
+    }
+
+    #[test]
+    fn free_variables_with_shadowing() {
+        // ∃x (r(x) ∧ ∃x s(x)) — outer x free nowhere.
+        let f = Formula::exists(
+            vec!["x".into()],
+            Formula::Atom(Atom::new("r", vec![v("x")])).and(Formula::exists(
+                vec!["x".into()],
+                Formula::Atom(Atom::new("s", vec![v("x")])),
+            )),
+        );
+        assert!(f.free_variables().is_empty());
+    }
+
+    #[test]
+    fn relations_and_atoms_are_collected() {
+        let f = q1_body();
+        let rels: Vec<String> = f.relations().into_iter().collect();
+        assert_eq!(rels, vec!["friend".to_string(), "person".to_string()]);
+        assert_eq!(f.atoms().len(), 2);
+    }
+
+    #[test]
+    fn substitute_respects_binding() {
+        let f = q1_body();
+        let g = f.substitute("p", &Value::int(42));
+        assert!(g.to_string().contains("friend(42, id)"));
+        // Substituting a bound variable is a no-op.
+        let h = f.substitute("id", &Value::int(1));
+        assert_eq!(f, h);
+    }
+
+    #[test]
+    fn smart_constructors_simplify() {
+        assert_eq!(Formula::True.and(Formula::False), Formula::False);
+        assert_eq!(Formula::False.or(Formula::True), Formula::True);
+        assert_eq!(
+            Formula::Not(Box::new(Formula::True)).negate(),
+            Formula::True
+        );
+        assert_eq!(Formula::True.negate(), Formula::False);
+        assert_eq!(Formula::exists(vec![], Formula::True), Formula::True);
+        assert_eq!(Formula::forall(vec![], Formula::False), Formula::False);
+    }
+
+    #[test]
+    fn formula_size_counts_nodes() {
+        let f = q1_body();
+        // exists + and + 2 atoms = 4
+        assert_eq!(f.size(), 4);
+        assert_eq!(Formula::True.size(), 1);
+        assert_eq!(
+            Formula::Implies(Box::new(Formula::True), Box::new(Formula::False)).size(),
+            3
+        );
+        assert_eq!(Formula::forall(vec!["x".into()], Formula::True).size(), 2);
+        assert_eq!(Formula::True.negate().size(), 1);
+    }
+
+    #[test]
+    fn fo_query_bind_fixes_parameters() {
+        let q = FoQuery::new("Q1", vec!["p".into(), "name".into()], q1_body());
+        assert_eq!(q.arity(), 2);
+        assert!(!q.is_boolean());
+        q.validate().unwrap();
+        let bound = q.bind(&[("p".into(), Value::int(7))]);
+        assert_eq!(bound.head, vec!["name".to_string()]);
+        assert!(bound.body.to_string().contains("friend(7, id)"));
+    }
+
+    #[test]
+    fn fo_query_validation_catches_unbound_head() {
+        let q = FoQuery::new(
+            "Q",
+            vec!["z".into()],
+            Formula::Atom(Atom::new("r", vec![v("x")])),
+        );
+        assert_eq!(
+            q.validate().unwrap_err(),
+            crate::error::QueryError::UnboundVariable("z".into())
+        );
+    }
+
+    #[test]
+    fn boolean_query_constructor() {
+        let q = FoQuery::boolean("B", Formula::True);
+        assert!(q.is_boolean());
+        assert_eq!(q.arity(), 0);
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let q = FoQuery::new("Q1", vec!["p".into(), "name".into()], q1_body());
+        let s = q.to_string();
+        assert!(s.contains("Q1(p, name)"));
+        assert!(s.contains("∃id"));
+        assert!(s.contains("person(id, name, \"NYC\")"));
+    }
+}

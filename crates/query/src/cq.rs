@@ -1,0 +1,365 @@
+//! Conjunctive queries (the SPJ fragment).
+//!
+//! A conjunctive query `Q(x̅) = ∃ȳ (R1(z̅1) ∧ … ∧ Rk(z̅k) ∧ φ)` is stored as a
+//! head variable list plus a list of relation atoms plus equality atoms.  The
+//! paper measures `‖Q‖` as the size of the tableau of `Q`
+//! ([`ConjunctiveQuery::tableau_size`]), which is what bounds the witness
+//! needed for a Boolean CQ (Corollary 3.2).
+
+use crate::ast::{Atom, Formula, FoQuery, Term, Var};
+use crate::error::QueryError;
+use serde::{Deserialize, Serialize};
+use si_data::{Database, DatabaseSchema, RelationSchema, Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A conjunctive query: head variables, relation atoms and equality atoms.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConjunctiveQuery {
+    /// Query name, for display.
+    pub name: String,
+    /// Ordered head (distinguished) variables.
+    pub head: Vec<Var>,
+    /// Relation atoms of the body.
+    pub atoms: Vec<Atom>,
+    /// Equality atoms of the body (between variables and/or constants).
+    pub equalities: Vec<(Term, Term)>,
+}
+
+impl ConjunctiveQuery {
+    /// Creates a conjunctive query without equality atoms.
+    pub fn new(name: impl Into<String>, head: Vec<Var>, atoms: Vec<Atom>) -> Self {
+        ConjunctiveQuery {
+            name: name.into(),
+            head,
+            atoms,
+            equalities: Vec::new(),
+        }
+    }
+
+    /// Adds an equality atom.
+    pub fn with_equality(mut self, left: Term, right: Term) -> Self {
+        self.equalities.push((left, right));
+        self
+    }
+
+    /// True iff the query has no head variables (a Boolean CQ).
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// The arity of the answers.
+    pub fn arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// `‖Q‖`: the number of atoms of the tableau of `Q`.  For a Boolean CQ
+    /// this bounds the number of tuples needed to witness `Q(D) = true`.
+    pub fn tableau_size(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// All variables occurring in the body, in first-occurrence order.
+    pub fn body_variables(&self) -> Vec<Var> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for a in &self.atoms {
+            for t in &a.terms {
+                if let Term::Var(v) = t {
+                    if seen.insert(v.clone()) {
+                        out.push(v.clone());
+                    }
+                }
+            }
+        }
+        for (l, r) in &self.equalities {
+            for t in [l, r] {
+                if let Term::Var(v) = t {
+                    if seen.insert(v.clone()) {
+                        out.push(v.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The existential (non-distinguished) variables.
+    pub fn existential_variables(&self) -> Vec<Var> {
+        let head: BTreeSet<&Var> = self.head.iter().collect();
+        self.body_variables()
+            .into_iter()
+            .filter(|v| !head.contains(v))
+            .collect()
+    }
+
+    /// Validates that every head variable occurs in the body (safety) and
+    /// that atom arities match `schema`.
+    pub fn validate(&self, schema: &DatabaseSchema) -> Result<(), QueryError> {
+        let body_vars: BTreeSet<Var> = self.body_variables().into_iter().collect();
+        for v in &self.head {
+            if !body_vars.contains(v) {
+                return Err(QueryError::UnboundVariable(v.clone()));
+            }
+        }
+        for a in &self.atoms {
+            let rel = schema.relation(&a.relation)?;
+            if rel.arity() != a.terms.len() {
+                return Err(QueryError::AtomArity {
+                    relation: a.relation.clone(),
+                    expected: rel.arity(),
+                    actual: a.terms.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Converts to the equivalent [`FoQuery`]
+    /// `Q(x̅) = ∃ȳ (∧ atoms ∧ ∧ equalities)`.
+    pub fn to_fo(&self) -> FoQuery {
+        let mut body = Formula::True;
+        for a in &self.atoms {
+            body = body.and(Formula::Atom(a.clone()));
+        }
+        for (l, r) in &self.equalities {
+            body = body.and(Formula::Eq(l.clone(), r.clone()));
+        }
+        let body = Formula::exists(self.existential_variables(), body);
+        FoQuery::new(self.name.clone(), self.head.clone(), body)
+    }
+
+    /// Fixes some head variables to constants, returning a new CQ whose head
+    /// consists of the remaining variables (the `Q(a̅, D)` notation of the
+    /// paper).
+    pub fn bind(&self, bindings: &[(Var, Value)]) -> ConjunctiveQuery {
+        let map: BTreeMap<&Var, &Value> = bindings.iter().map(|(v, c)| (v, c)).collect();
+        let sub_term = |t: &Term| match t {
+            Term::Var(v) => map
+                .get(v)
+                .map(|val| Term::Const((*val).clone()))
+                .unwrap_or_else(|| t.clone()),
+            Term::Const(_) => t.clone(),
+        };
+        ConjunctiveQuery {
+            name: format!("{}#bound", self.name),
+            head: self
+                .head
+                .iter()
+                .filter(|v| !map.contains_key(v))
+                .cloned()
+                .collect(),
+            atoms: self
+                .atoms
+                .iter()
+                .map(|a| Atom {
+                    relation: a.relation.clone(),
+                    terms: a.terms.iter().map(sub_term).collect(),
+                })
+                .collect(),
+            equalities: self
+                .equalities
+                .iter()
+                .map(|(l, r)| (sub_term(l), sub_term(r)))
+                .collect(),
+        }
+    }
+
+    /// Builds the canonical database (frozen tableau) of the query: every
+    /// variable becomes a fresh constant `"?v"`, every atom becomes a tuple.
+    /// Used for containment testing via the homomorphism theorem.
+    ///
+    /// Returns the database together with the frozen head tuple.
+    pub fn canonical_database(
+        &self,
+        schema: &DatabaseSchema,
+    ) -> Result<(Database, Tuple), QueryError> {
+        self.validate(schema)?;
+        // Canonical databases only need the relations mentioned by the query;
+        // restrict the schema so that extra relations do not get in the way.
+        let mut rel_schemas: Vec<RelationSchema> = Vec::new();
+        let mut seen = BTreeSet::new();
+        for a in &self.atoms {
+            if seen.insert(a.relation.clone()) {
+                rel_schemas.push(schema.relation(&a.relation)?.clone());
+            }
+        }
+        let canonical_schema = DatabaseSchema::from_relations(rel_schemas)?;
+        let mut db = Database::empty(canonical_schema);
+        let freeze = |t: &Term| match t {
+            Term::Var(v) => Value::str(format!("?{v}")),
+            Term::Const(c) => c.clone(),
+        };
+        for a in &self.atoms {
+            let tuple: Tuple = a.terms.iter().map(freeze).collect();
+            db.insert(&a.relation, tuple)?;
+        }
+        let head_tuple: Tuple = self.head.iter().map(|v| Value::str(format!("?{v}"))).collect();
+        Ok((db, head_tuple))
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}) :- ", self.name, self.head.join(", "))?;
+        let mut first = true;
+        for a in &self.atoms {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{a}")?;
+        }
+        for (l, r) in &self.equalities {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{l} = {r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{c, v};
+    use si_data::schema::social_schema;
+
+    /// The paper's Q1: friends of `p` who live in NYC.
+    pub fn q1() -> ConjunctiveQuery {
+        ConjunctiveQuery::new(
+            "Q1",
+            vec!["p".into(), "name".into()],
+            vec![
+                Atom::new("friend", vec![v("p"), v("id")]),
+                Atom::new("person", vec![v("id"), v("name"), c("NYC")]),
+            ],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let q = q1();
+        assert_eq!(q.arity(), 2);
+        assert!(!q.is_boolean());
+        assert_eq!(q.tableau_size(), 2);
+        assert_eq!(
+            q.body_variables(),
+            vec!["p".to_string(), "id".to_string(), "name".to_string()]
+        );
+        assert_eq!(q.existential_variables(), vec!["id".to_string()]);
+    }
+
+    #[test]
+    fn validation_checks_safety_and_arity() {
+        let schema = social_schema();
+        q1().validate(&schema).unwrap();
+
+        let unsafe_q = ConjunctiveQuery::new(
+            "bad",
+            vec!["z".into()],
+            vec![Atom::new("friend", vec![v("a"), v("b")])],
+        );
+        assert!(matches!(
+            unsafe_q.validate(&schema),
+            Err(QueryError::UnboundVariable(_))
+        ));
+
+        let bad_arity = ConjunctiveQuery::new(
+            "bad2",
+            vec!["a".into()],
+            vec![Atom::new("friend", vec![v("a")])],
+        );
+        assert!(matches!(
+            bad_arity.validate(&schema),
+            Err(QueryError::AtomArity { .. })
+        ));
+
+        let bad_rel = ConjunctiveQuery::new(
+            "bad3",
+            vec!["a".into()],
+            vec![Atom::new("enemy", vec![v("a")])],
+        );
+        assert!(matches!(bad_rel.validate(&schema), Err(QueryError::Data(_))));
+    }
+
+    #[test]
+    fn to_fo_produces_equivalent_structure() {
+        let q = q1().to_fo();
+        assert_eq!(q.head, vec!["p".to_string(), "name".to_string()]);
+        let free: Vec<String> = q.body.free_variables().into_iter().collect();
+        assert_eq!(free, vec!["name".to_string(), "p".to_string()]);
+        assert!(q.body.to_string().contains("∃id"));
+    }
+
+    #[test]
+    fn bind_replaces_head_variable() {
+        let q = q1().bind(&[("p".into(), Value::int(7))]);
+        assert_eq!(q.head, vec!["name".to_string()]);
+        assert_eq!(q.atoms[0].terms[0], c(7));
+        // Other atoms untouched.
+        assert_eq!(q.atoms[1].terms[1], v("name"));
+    }
+
+    #[test]
+    fn bind_also_substitutes_equalities() {
+        let q = ConjunctiveQuery::new(
+            "Q",
+            vec!["x".into(), "y".into()],
+            vec![Atom::new("friend", vec![v("x"), v("y")])],
+        )
+        .with_equality(v("x"), c(3));
+        let b = q.bind(&[("x".into(), Value::int(5))]);
+        assert_eq!(b.equalities[0], (c(5), c(3)));
+    }
+
+    #[test]
+    fn canonical_database_freezes_variables() {
+        let schema = social_schema();
+        let (db, head) = q1().canonical_database(&schema).unwrap();
+        assert_eq!(db.size(), 2);
+        assert!(db
+            .contains(
+                "friend",
+                &Tuple::new(vec![Value::str("?p"), Value::str("?id")])
+            )
+            .unwrap());
+        assert!(db
+            .contains(
+                "person",
+                &Tuple::new(vec![
+                    Value::str("?id"),
+                    Value::str("?name"),
+                    Value::str("NYC")
+                ])
+            )
+            .unwrap());
+        assert_eq!(
+            head,
+            Tuple::new(vec![Value::str("?p"), Value::str("?name")])
+        );
+    }
+
+    #[test]
+    fn display_uses_datalog_notation() {
+        let s = q1().to_string();
+        assert!(s.starts_with("Q1(p, name) :- "));
+        assert!(s.contains("friend(p, id)"));
+        let q = q1().with_equality(v("p"), c(1));
+        assert!(q.to_string().contains("p = 1"));
+    }
+
+    #[test]
+    fn boolean_cq_has_empty_head() {
+        let q = ConjunctiveQuery::new(
+            "B",
+            vec![],
+            vec![Atom::new("friend", vec![v("x"), v("y")])],
+        );
+        assert!(q.is_boolean());
+        assert_eq!(q.arity(), 0);
+        assert_eq!(q.existential_variables(), vec!["x".to_string(), "y".to_string()]);
+    }
+}

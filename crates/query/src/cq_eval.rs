@@ -1,0 +1,492 @@
+//! Evaluation of conjunctive queries by hash joins.
+//!
+//! [`evaluate_cq`] is the *unbounded* baseline used throughout the
+//! experiments: it touches every tuple of every relation mentioned by the
+//! query exactly once (plus the intermediate join results), which is what a
+//! conventional engine without access-schema knowledge would do.  The number
+//! of base tuples it reads therefore grows linearly with `|D|` — the
+//! behaviour that scale-independent plans avoid.
+
+use crate::ast::{Term, Var};
+use crate::cq::ConjunctiveQuery;
+use crate::error::QueryError;
+use crate::ucq::UnionQuery;
+use si_data::{AccessMeter, Database, Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A variable assignment produced during evaluation.
+pub type Assignment = BTreeMap<Var, Value>;
+
+/// Evaluates a conjunctive query over `db`, returning the set of answer
+/// tuples (projections of satisfying assignments onto the head).
+///
+/// Every base tuple examined is charged to `meter` (one full scan per atom).
+pub fn evaluate_cq(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    meter: Option<&AccessMeter>,
+) -> Result<Vec<Tuple>, QueryError> {
+    query.validate(db.schema())?;
+    let assignments = satisfying_assignments(query, db, meter)?;
+    let mut out: Vec<Tuple> = Vec::new();
+    let mut seen: BTreeSet<Tuple> = BTreeSet::new();
+    for assignment in &assignments {
+        let tuple: Option<Tuple> = query
+            .head
+            .iter()
+            .map(|v| assignment.get(v).cloned())
+            .collect();
+        let tuple = tuple.ok_or_else(|| {
+            QueryError::UnboundVariable("head variable not bound by body".into())
+        })?;
+        if seen.insert(tuple.clone()) {
+            out.push(tuple);
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluates a Boolean conjunctive query (`true` iff it has at least one
+/// satisfying assignment).
+pub fn evaluate_boolean_cq(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    meter: Option<&AccessMeter>,
+) -> Result<bool, QueryError> {
+    Ok(!satisfying_assignments(query, db, meter)?.is_empty())
+}
+
+/// Evaluates a union of conjunctive queries (set union of the disjuncts'
+/// answers).
+pub fn evaluate_ucq(
+    query: &UnionQuery,
+    db: &Database,
+    meter: Option<&AccessMeter>,
+) -> Result<Vec<Tuple>, QueryError> {
+    let mut seen: BTreeSet<Tuple> = BTreeSet::new();
+    let mut out = Vec::new();
+    for d in &query.disjuncts {
+        for t in evaluate_cq(d, db, meter)? {
+            if seen.insert(t.clone()) {
+                out.push(t);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Computes all satisfying assignments of the query body over `db`.
+///
+/// This is exposed (rather than only the projected answers) because the
+/// bounded-evaluation and incremental modules need the full assignments to
+/// reconstruct witness sets.
+pub fn satisfying_assignments(
+    query: &ConjunctiveQuery,
+    db: &Database,
+    meter: Option<&AccessMeter>,
+) -> Result<Vec<Assignment>, QueryError> {
+    // Seed with bindings forced by `x = c` equalities so that later atoms can
+    // use them as filters.
+    let mut seed: Assignment = BTreeMap::new();
+    for (l, r) in &query.equalities {
+        match (l, r) {
+            (Term::Var(v), Term::Const(c)) | (Term::Const(c), Term::Var(v)) => {
+                if let Some(existing) = seed.get(v) {
+                    if existing != c {
+                        return Ok(Vec::new());
+                    }
+                } else {
+                    seed.insert(v.clone(), c.clone());
+                }
+            }
+            (Term::Const(c1), Term::Const(c2)) => {
+                if c1 != c2 {
+                    return Ok(Vec::new());
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut assignments: Vec<Assignment> = vec![seed];
+    for atom in order_atoms(query) {
+        if assignments.is_empty() {
+            break;
+        }
+        let relation = db.relation(&atom.relation)?;
+        if let Some(m) = meter {
+            m.add_scan();
+            m.add_tuples(relation.len() as u64);
+        }
+
+        // Variables already bound in (all of) the current assignments.
+        let bound: BTreeSet<&Var> = assignments
+            .first()
+            .map(|a| a.keys().collect())
+            .unwrap_or_default();
+        // Positions of the atom joining with already-bound variables.
+        let join_vars: Vec<Var> = atom
+            .variables()
+            .into_iter()
+            .filter(|v| bound.contains(v))
+            .collect();
+
+        // Hash every tuple of the relation by its join key, keeping only the
+        // tuples compatible with the atom's constants and repeated variables.
+        let mut table: HashMap<Vec<Value>, Vec<Assignment>> = HashMap::new();
+        'tuples: for tuple in relation.iter() {
+            let mut local: Assignment = BTreeMap::new();
+            for (pos, term) in atom.terms.iter().enumerate() {
+                match term {
+                    Term::Const(c) => {
+                        if &tuple[pos] != c {
+                            continue 'tuples;
+                        }
+                    }
+                    Term::Var(v) => {
+                        if let Some(prev) = local.get(v) {
+                            if prev != &tuple[pos] {
+                                continue 'tuples;
+                            }
+                        } else {
+                            local.insert(v.clone(), tuple[pos].clone());
+                        }
+                    }
+                }
+            }
+            let key: Vec<Value> = join_vars
+                .iter()
+                .map(|v| local.get(v).cloned().unwrap_or(Value::Null))
+                .collect();
+            table.entry(key).or_default().push(local);
+        }
+
+        // Join with the current assignments.
+        let mut next: Vec<Assignment> = Vec::new();
+        for assignment in &assignments {
+            let key: Vec<Value> = join_vars
+                .iter()
+                .map(|v| assignment.get(v).cloned().unwrap_or(Value::Null))
+                .collect();
+            if let Some(matches) = table.get(&key) {
+                for local in matches {
+                    let mut merged = assignment.clone();
+                    let mut compatible = true;
+                    for (v, val) in local {
+                        match merged.get(v) {
+                            Some(existing) if existing != val => {
+                                compatible = false;
+                                break;
+                            }
+                            Some(_) => {}
+                            None => {
+                                merged.insert(v.clone(), val.clone());
+                            }
+                        }
+                    }
+                    if compatible {
+                        next.push(merged);
+                    }
+                }
+            }
+        }
+        assignments = next;
+    }
+
+    // Apply the remaining (variable/variable) equality atoms as filters.
+    assignments.retain(|assignment| {
+        query.equalities.iter().all(|(l, r)| {
+            let value_of = |t: &Term| match t {
+                Term::Var(v) => assignment.get(v).cloned(),
+                Term::Const(c) => Some(c.clone()),
+            };
+            match (value_of(l), value_of(r)) {
+                (Some(a), Some(b)) => a == b,
+                // Unbound variables in equalities make the query unsafe; the
+                // validation step rejects unsafe heads, and we conservatively
+                // drop such assignments here.
+                _ => false,
+            }
+        })
+    });
+
+    Ok(assignments)
+}
+
+/// Chooses an evaluation order for the atoms: greedily pick the atom sharing
+/// the most variables with what is already bound (constants count as bound),
+/// which keeps intermediate results small for the acyclic queries of the
+/// paper's examples.
+fn order_atoms(query: &ConjunctiveQuery) -> Vec<crate::ast::Atom> {
+    let mut remaining: Vec<crate::ast::Atom> = query.atoms.clone();
+    let mut bound: BTreeSet<Var> = query
+        .equalities
+        .iter()
+        .filter_map(|(l, r)| match (l, r) {
+            (Term::Var(v), Term::Const(_)) | (Term::Const(_), Term::Var(v)) => Some(v.clone()),
+            _ => None,
+        })
+        .collect();
+    let mut ordered = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, a)| {
+                let vars = a.variables();
+                let shared = vars.iter().filter(|v| bound.contains(*v)).count();
+                let constants = a.terms.iter().filter(|t| !t.is_var()).count();
+                // Prefer atoms with shared variables, then with constants,
+                // then smaller atoms; index keeps the choice deterministic.
+                (shared, constants, usize::MAX - vars.len())
+            })
+            .expect("remaining is non-empty");
+        let atom = remaining.remove(idx);
+        for v in atom.variables() {
+            bound.insert(v);
+        }
+        ordered.push(atom);
+    }
+    ordered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{c, v, Atom};
+    use si_data::schema::social_schema;
+    use si_data::tuple;
+
+    fn db() -> Database {
+        let mut db = Database::empty(social_schema());
+        db.insert_all(
+            "person",
+            vec![
+                tuple![1, "ann", "NYC"],
+                tuple![2, "bob", "NYC"],
+                tuple![3, "cat", "LA"],
+                tuple![4, "dan", "NYC"],
+            ],
+        )
+        .unwrap();
+        db.insert_all(
+            "friend",
+            vec![tuple![1, 2], tuple![1, 3], tuple![2, 4], tuple![4, 1]],
+        )
+        .unwrap();
+        db.insert_all(
+            "restr",
+            vec![
+                tuple![10, "sushi", "NYC", "A"],
+                tuple![11, "taco", "NYC", "B"],
+                tuple![12, "pasta", "LA", "A"],
+            ],
+        )
+        .unwrap();
+        db.insert_all(
+            "visit",
+            vec![tuple![2, 10], tuple![2, 11], tuple![3, 12], tuple![4, 10]],
+        )
+        .unwrap();
+        db
+    }
+
+    fn q1_bound(p: i64) -> ConjunctiveQuery {
+        ConjunctiveQuery::new(
+            "Q1",
+            vec!["p".into(), "name".into()],
+            vec![
+                Atom::new("friend", vec![v("p"), v("id")]),
+                Atom::new("person", vec![v("id"), v("name"), c("NYC")]),
+            ],
+        )
+        .bind(&[("p".into(), Value::int(p))])
+    }
+
+    #[test]
+    fn q1_finds_nyc_friends_of_person_1() {
+        let db = db();
+        let answers = evaluate_cq(&q1_bound(1), &db, None).unwrap();
+        assert_eq!(answers, vec![tuple!["bob"]]);
+    }
+
+    #[test]
+    fn q1_unbound_enumerates_all_pairs() {
+        let db = db();
+        let q = ConjunctiveQuery::new(
+            "Q1",
+            vec!["p".into(), "name".into()],
+            vec![
+                Atom::new("friend", vec![v("p"), v("id")]),
+                Atom::new("person", vec![v("id"), v("name"), c("NYC")]),
+            ],
+        );
+        let mut answers = evaluate_cq(&q, &db, None).unwrap();
+        answers.sort();
+        assert_eq!(
+            answers,
+            vec![
+                tuple![1, "bob"],
+                tuple![2, "dan"],
+                tuple![4, "ann"],
+            ]
+        );
+    }
+
+    #[test]
+    fn q2_joins_four_relations() {
+        // Q2(p, rn): restaurants rated A in NYC visited by p's NYC friends.
+        let db = db();
+        let q = ConjunctiveQuery::new(
+            "Q2",
+            vec!["rn".into()],
+            vec![
+                Atom::new("friend", vec![c(1), v("id")]),
+                Atom::new("visit", vec![v("id"), v("rid")]),
+                Atom::new("person", vec![v("id"), v("pn"), c("NYC")]),
+                Atom::new("restr", vec![v("rid"), v("rn"), c("NYC"), c("A")]),
+            ],
+        );
+        let answers = evaluate_cq(&q, &db, None).unwrap();
+        assert_eq!(answers, vec![tuple!["sushi"]]);
+    }
+
+    #[test]
+    fn meter_counts_one_scan_per_atom() {
+        let db = db();
+        let meter = AccessMeter::new();
+        evaluate_cq(&q1_bound(1), &db, Some(&meter)).unwrap();
+        assert_eq!(meter.full_scans(), 2);
+        assert_eq!(
+            meter.tuples_fetched(),
+            (db.relation("friend").unwrap().len() + db.relation("person").unwrap().len()) as u64
+        );
+    }
+
+    #[test]
+    fn boolean_cq_detects_emptiness() {
+        let db = db();
+        let yes = ConjunctiveQuery::new(
+            "B",
+            vec![],
+            vec![Atom::new("person", vec![v("x"), v("n"), c("LA")])],
+        );
+        let no = ConjunctiveQuery::new(
+            "B",
+            vec![],
+            vec![Atom::new("person", vec![v("x"), v("n"), c("Tokyo")])],
+        );
+        assert!(evaluate_boolean_cq(&yes, &db, None).unwrap());
+        assert!(!evaluate_boolean_cq(&no, &db, None).unwrap());
+    }
+
+    #[test]
+    fn repeated_variables_in_atom_enforce_equality() {
+        let db = db();
+        // Self-friendship: friend(x, x) — none in the data.
+        let q = ConjunctiveQuery::new(
+            "Self",
+            vec!["x".into()],
+            vec![Atom::new("friend", vec![v("x"), v("x")])],
+        );
+        assert!(evaluate_cq(&q, &db, None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn equality_atoms_filter_and_seed() {
+        let db = db();
+        let q = ConjunctiveQuery::new(
+            "Q",
+            vec!["n".into()],
+            vec![Atom::new("person", vec![v("x"), v("n"), v("city")])],
+        )
+        .with_equality(v("x"), c(3));
+        assert_eq!(evaluate_cq(&q, &db, None).unwrap(), vec![tuple!["cat"]]);
+
+        // Contradictory constant equality yields the empty answer.
+        let q = ConjunctiveQuery::new(
+            "Q",
+            vec!["n".into()],
+            vec![Atom::new("person", vec![v("x"), v("n"), v("city")])],
+        )
+        .with_equality(c(1), c(2));
+        assert!(evaluate_cq(&q, &db, None).unwrap().is_empty());
+
+        // Variable-variable equality as a join filter.
+        let q = ConjunctiveQuery::new(
+            "Q",
+            vec!["a".into(), "b".into()],
+            vec![
+                Atom::new("friend", vec![v("a"), v("b")]),
+                Atom::new("friend", vec![v("b"), v("c")]),
+            ],
+        )
+        .with_equality(v("a"), v("c"));
+        // No 2-cycle exists in this friend relation, so a = c filters
+        // everything out.
+        assert!(evaluate_cq(&q, &db, None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn contradictory_seed_bindings_yield_empty() {
+        let db = db();
+        let q = ConjunctiveQuery::new(
+            "Q",
+            vec!["n".into()],
+            vec![Atom::new("person", vec![v("x"), v("n"), v("city")])],
+        )
+        .with_equality(v("x"), c(1))
+        .with_equality(v("x"), c(2));
+        assert!(evaluate_cq(&q, &db, None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ucq_unions_disjunct_answers() {
+        let db = db();
+        let d1 = ConjunctiveQuery::new(
+            "nyc",
+            vec!["n".into()],
+            vec![Atom::new("person", vec![v("x"), v("n"), c("LA")])],
+        );
+        let d2 = ConjunctiveQuery::new(
+            "a_rated",
+            vec!["n".into()],
+            vec![Atom::new("restr", vec![v("r"), v("n"), v("ci"), c("A")])],
+        );
+        let q = UnionQuery::new("U", vec![d1, d2]).unwrap();
+        let mut answers = evaluate_ucq(&q, &db, None).unwrap();
+        answers.sort();
+        assert_eq!(answers, vec![tuple!["cat"], tuple!["pasta"], tuple!["sushi"]]);
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected() {
+        let db = db();
+        let q = ConjunctiveQuery::new(
+            "bad",
+            vec!["z".into()],
+            vec![Atom::new("friend", vec![v("a"), v("b")])],
+        );
+        assert!(evaluate_cq(&q, &db, None).is_err());
+    }
+
+    // When a 2-cycle does exist, the a = c equality keeps exactly it.
+    #[test]
+    fn two_cycle_equality_join() {
+        let mut db = Database::empty(social_schema());
+        db.insert_all("friend", vec![tuple![1, 2], tuple![2, 1], tuple![2, 3]])
+            .unwrap();
+        let q = ConjunctiveQuery::new(
+            "Q",
+            vec!["a".into(), "b".into()],
+            vec![
+                Atom::new("friend", vec![v("a"), v("b")]),
+                Atom::new("friend", vec![v("b"), v("c")]),
+            ],
+        )
+        .with_equality(v("a"), v("c"));
+        let mut answers = evaluate_cq(&q, &db, None).unwrap();
+        answers.sort();
+        assert_eq!(answers, vec![tuple![1, 2], tuple![2, 1]]);
+    }
+}

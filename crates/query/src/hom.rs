@@ -1,0 +1,298 @@
+//! Homomorphisms between conjunctive queries and CQ containment.
+//!
+//! The classical homomorphism theorem (Chandra–Merlin) states that
+//! `Q1 ⊆ Q2` iff there is a homomorphism from `Q2` to `Q1` mapping the head
+//! of `Q2` to the head of `Q1`.  The view-rewriting machinery of Section 6
+//! uses containment both ways to check that a candidate rewriting is
+//! equivalent to the original query.
+
+use crate::ast::{Atom, Term, Var};
+use crate::cq::ConjunctiveQuery;
+use si_data::Value;
+use std::collections::BTreeMap;
+
+/// A homomorphism: a mapping from variables of the source query to terms
+/// (variables or constants) of the target query.
+pub type Homomorphism = BTreeMap<Var, Term>;
+
+/// Searches for a homomorphism from `source` to `target` that maps the i-th
+/// head variable of `source` to the i-th head term of `target` (heads must
+/// have equal arity).  Constants must map to themselves.
+pub fn find_homomorphism(
+    source: &ConjunctiveQuery,
+    target: &ConjunctiveQuery,
+) -> Option<Homomorphism> {
+    if source.head.len() != target.head.len() {
+        return None;
+    }
+    let mut mapping: Homomorphism = BTreeMap::new();
+    // The head must be preserved: source head var i ↦ target head var i.
+    for (sv, tv) in source.head.iter().zip(target.head.iter()) {
+        if let Some(prev) = mapping.get(sv) {
+            if prev.as_var() != Some(tv.as_str()) {
+                return None;
+            }
+        } else {
+            mapping.insert(sv.clone(), Term::Var(tv.clone()));
+        }
+    }
+    // Propagate equalities of the source that involve constants: a source
+    // variable equated to a constant must map to that constant.
+    for (l, r) in &source.equalities {
+        match (l, r) {
+            (Term::Var(v), Term::Const(c)) | (Term::Const(c), Term::Var(v)) => {
+                match mapping.get(v) {
+                    Some(Term::Const(existing)) if existing != c => return None,
+                    Some(Term::Var(_)) => { /* checked at the end via apply */ }
+                    _ => {
+                        mapping.insert(v.clone(), Term::Const(c.clone()));
+                    }
+                }
+            }
+            (Term::Const(c1), Term::Const(c2)) if c1 != c2 => return None,
+            _ => {}
+        }
+    }
+    if map_atoms(&source.atoms, 0, source, target, &mut mapping) {
+        Some(mapping)
+    } else {
+        None
+    }
+}
+
+/// Checks that the source's equality atoms are respected by `mapping`:
+/// both sides must denote the same term after applying the homomorphism.
+fn equalities_respected(source: &ConjunctiveQuery, mapping: &Homomorphism) -> bool {
+    source.equalities.iter().all(|(l, r)| {
+        let lhs = apply_to_term(mapping, l);
+        let rhs = apply_to_term(mapping, r);
+        lhs == rhs
+    })
+}
+
+/// True iff `q1 ⊆ q2` (every answer of `q1` is an answer of `q2`, over all
+/// databases), by the homomorphism theorem.
+pub fn contained_in(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    find_homomorphism(q2, q1).is_some()
+}
+
+/// True iff the two queries are equivalent (mutual containment).
+pub fn equivalent(q1: &ConjunctiveQuery, q2: &ConjunctiveQuery) -> bool {
+    contained_in(q1, q2) && contained_in(q2, q1)
+}
+
+fn map_atoms(
+    atoms: &[Atom],
+    idx: usize,
+    source: &ConjunctiveQuery,
+    target: &ConjunctiveQuery,
+    mapping: &mut Homomorphism,
+) -> bool {
+    if idx == atoms.len() {
+        // All atoms mapped; the mapping must additionally respect the
+        // source's variable/variable equalities.
+        return equalities_respected(source, mapping);
+    }
+    let atom = &atoms[idx];
+    for candidate in target.atoms.iter().filter(|a| a.relation == atom.relation) {
+        if candidate.terms.len() != atom.terms.len() {
+            continue;
+        }
+        let mut added: Vec<Var> = Vec::new();
+        let mut ok = true;
+        for (s_term, t_term) in atom.terms.iter().zip(candidate.terms.iter()) {
+            match s_term {
+                Term::Const(c) => {
+                    // Constants must be matched exactly by the target term.
+                    if t_term != &Term::Const(c.clone()) {
+                        ok = false;
+                        break;
+                    }
+                }
+                Term::Var(v) => match mapping.get(v) {
+                    Some(existing) => {
+                        if existing != t_term {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        mapping.insert(v.clone(), t_term.clone());
+                        added.push(v.clone());
+                    }
+                },
+            }
+        }
+        if ok && map_atoms(atoms, idx + 1, source, target, mapping) {
+            return true;
+        }
+        for v in added {
+            mapping.remove(&v);
+        }
+    }
+    false
+}
+
+/// Applies a homomorphism to a term.
+pub fn apply_to_term(h: &Homomorphism, term: &Term) -> Term {
+    match term {
+        Term::Const(_) => term.clone(),
+        Term::Var(v) => h.get(v).cloned().unwrap_or_else(|| term.clone()),
+    }
+}
+
+/// Applies a homomorphism to an atom.
+pub fn apply_to_atom(h: &Homomorphism, atom: &Atom) -> Atom {
+    Atom {
+        relation: atom.relation.clone(),
+        terms: atom.terms.iter().map(|t| apply_to_term(h, t)).collect(),
+    }
+}
+
+/// Composes a variable-to-constant binding list into a homomorphism.
+pub fn bindings_to_hom(bindings: &[(Var, Value)]) -> Homomorphism {
+    bindings
+        .iter()
+        .map(|(v, c)| (v.clone(), Term::Const(c.clone())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{c, v};
+
+    fn path2(name: &str, x: &str, y: &str, z: &str) -> ConjunctiveQuery {
+        // name(x, z) :- friend(x, y), friend(y, z)
+        ConjunctiveQuery::new(
+            name,
+            vec![x.into(), z.into()],
+            vec![
+                Atom::new("friend", vec![v(x), v(y)]),
+                Atom::new("friend", vec![v(y), v(z)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn identical_queries_are_equivalent() {
+        let q = path2("P", "a", "b", "c");
+        assert!(equivalent(&q, &q));
+    }
+
+    #[test]
+    fn renamed_queries_are_equivalent() {
+        let q1 = path2("P", "a", "b", "c");
+        let q2 = path2("P'", "x", "y", "z");
+        assert!(equivalent(&q1, &q2));
+    }
+
+    #[test]
+    fn longer_path_is_contained_in_shorter_pattern_but_not_conversely() {
+        // Q3(x, w) :- friend(x,y), friend(y,z), friend(z,w)
+        let q3 = ConjunctiveQuery::new(
+            "Q3",
+            vec!["x".into(), "w".into()],
+            vec![
+                Atom::new("friend", vec![v("x"), v("y")]),
+                Atom::new("friend", vec![v("y"), v("z")]),
+                Atom::new("friend", vec![v("z"), v("w")]),
+            ],
+        );
+        // Q1(x, y) :- friend(x, y): every path-3 endpoint pair need not be an
+        // edge, and an edge need not extend to a path of length 3.
+        let q1 = ConjunctiveQuery::new(
+            "Q1",
+            vec!["x".into(), "y".into()],
+            vec![Atom::new("friend", vec![v("x"), v("y")])],
+        );
+        assert!(!contained_in(&q3, &q1));
+        assert!(!contained_in(&q1, &q3));
+
+        // A triangle-free check: path-2 with head (x, x) maps onto a self loop.
+        let selfloop = ConjunctiveQuery::new(
+            "L",
+            vec!["x".into(), "x".into()],
+            vec![Atom::new("friend", vec![v("x"), v("x")])],
+        );
+        let p2 = path2("P", "a", "b", "c");
+        // self loop ⊆ path2 (a self loop gives a path of length 2 onto itself)
+        assert!(contained_in(&selfloop, &p2));
+        assert!(!contained_in(&p2, &selfloop));
+    }
+
+    #[test]
+    fn constants_must_match_exactly() {
+        let nyc = ConjunctiveQuery::new(
+            "N",
+            vec!["id".into()],
+            vec![Atom::new("person", vec![v("id"), v("n"), c("NYC")])],
+        );
+        let la = ConjunctiveQuery::new(
+            "L",
+            vec!["id".into()],
+            vec![Atom::new("person", vec![v("id"), v("n"), c("LA")])],
+        );
+        let any = ConjunctiveQuery::new(
+            "A",
+            vec!["id".into()],
+            vec![Atom::new("person", vec![v("id"), v("n"), v("city")])],
+        );
+        assert!(!contained_in(&nyc, &la));
+        assert!(!contained_in(&la, &nyc));
+        assert!(contained_in(&nyc, &any));
+        assert!(!contained_in(&any, &nyc));
+    }
+
+    #[test]
+    fn head_arity_mismatch_is_not_contained() {
+        let unary = ConjunctiveQuery::new(
+            "U",
+            vec!["x".into()],
+            vec![Atom::new("friend", vec![v("x"), v("y")])],
+        );
+        let binary = ConjunctiveQuery::new(
+            "B",
+            vec!["x".into(), "y".into()],
+            vec![Atom::new("friend", vec![v("x"), v("y")])],
+        );
+        assert!(find_homomorphism(&unary, &binary).is_none());
+        assert!(!contained_in(&unary, &binary));
+    }
+
+    #[test]
+    fn equality_with_constant_propagates_into_hom() {
+        // source: Q(x) :- friend(x, y), y = 3    target: Q'(x) :- friend(x, 3)
+        let source = ConjunctiveQuery::new(
+            "Q",
+            vec!["x".into()],
+            vec![Atom::new("friend", vec![v("x"), v("y")])],
+        )
+        .with_equality(v("y"), c(3));
+        let target = ConjunctiveQuery::new(
+            "Q'",
+            vec!["x".into()],
+            vec![Atom::new("friend", vec![v("x"), c(3)])],
+        );
+        let h = find_homomorphism(&source, &target).expect("hom should exist");
+        assert_eq!(h.get("y"), Some(&c(3)));
+        // And the contradictory constant equality kills the mapping.
+        let bad = ConjunctiveQuery::new(
+            "Q",
+            vec!["x".into()],
+            vec![Atom::new("friend", vec![v("x"), v("y")])],
+        )
+        .with_equality(c(1), c(2));
+        assert!(find_homomorphism(&bad, &target).is_none());
+    }
+
+    #[test]
+    fn apply_helpers_substitute_terms() {
+        let h: Homomorphism = bindings_to_hom(&[("x".into(), Value::int(1))]);
+        assert_eq!(apply_to_term(&h, &v("x")), c(1));
+        assert_eq!(apply_to_term(&h, &v("y")), v("y"));
+        assert_eq!(apply_to_term(&h, &c(5)), c(5));
+        let a = apply_to_atom(&h, &Atom::new("friend", vec![v("x"), v("y")]));
+        assert_eq!(a.terms, vec![c(1), v("y")]);
+    }
+}

@@ -1,0 +1,47 @@
+//! # `si-query` — query-language substrate
+//!
+//! Query languages used by the reproduction of *"On Scale Independence for
+//! Querying Big Data"* (Fan, Geerts, Libkin, PODS 2014), Section 2:
+//!
+//! * [`ast`] — first-order logic (FO) formulas and named queries;
+//! * [`cq`] / [`ucq`] — conjunctive queries and unions thereof, with tableau
+//!   sizes `‖Q‖` and canonical databases;
+//! * [`parser`] — a small textual syntax for FO and CQ;
+//! * [`fo_eval`] — active-domain FO evaluation (used by the decision
+//!   procedures of Section 3);
+//! * [`cq_eval`] — hash-join CQ/UCQ evaluation (the unbounded baseline of all
+//!   experiments);
+//! * [`hom`] — homomorphisms and CQ containment (Section 6 rewritings);
+//! * [`algebra`] / [`algebra_eval`] — relational algebra with `∆R`/`∇R`
+//!   references (Section 5) and its evaluator;
+//! * [`translate`] — the SPJ translation from CQ to relational algebra.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod algebra_eval;
+pub mod ast;
+pub mod cq;
+pub mod cq_eval;
+pub mod error;
+pub mod fo_eval;
+pub mod hom;
+pub mod parser;
+pub mod translate;
+pub mod ucq;
+
+pub use algebra::{Condition, RaExpr};
+pub use algebra_eval::{evaluate_ra, NamedRelation, RaEvaluator};
+pub use ast::{Atom, Formula, FoQuery, Term, Var};
+pub use cq::ConjunctiveQuery;
+pub use cq_eval::{evaluate_boolean_cq, evaluate_cq, evaluate_ucq, satisfying_assignments};
+pub use error::QueryError;
+pub use fo_eval::{evaluate_fo, holds, FoEvaluator};
+pub use hom::{contained_in, equivalent, find_homomorphism, Homomorphism};
+pub use parser::{parse_cq, parse_fo_query, parse_formula};
+pub use translate::{atom_to_ra, cq_to_ra};
+pub use ucq::UnionQuery;
+
+/// Convenience result alias for fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, QueryError>;

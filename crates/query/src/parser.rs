@@ -1,0 +1,484 @@
+//! A small textual syntax for first-order and conjunctive queries.
+//!
+//! The syntax is used by examples and tests so that queries can be written
+//! the way the paper writes them, without constructing ASTs by hand:
+//!
+//! ```text
+//! Q1(p, name) := exists id. friend(p, id) & person(id, name, "NYC")
+//! Q (x)       := forall y. (S(x, y) -> T(x, y))
+//! Q3(rn)      :- friend(1, id), visit(id, rid), restr(rid, rn, "NYC", "A")
+//! ```
+//!
+//! * `:=` introduces a first-order body ([`parse_fo_query`]);
+//! * `:-` introduces a comma-separated conjunctive body ([`parse_cq`]);
+//! * identifiers starting with a lowercase letter are variables, quoted
+//!   strings and integers are constants, `&`, `|`, `!`, `->`, `exists`,
+//!   `forall`, `=` and parentheses have the obvious meaning.
+
+use crate::ast::{Atom, Formula, FoQuery, Term, Var};
+use crate::cq::ConjunctiveQuery;
+use crate::error::QueryError;
+use si_data::Value;
+
+/// Parses a named first-order query of the form `Name(x, y) := body`.
+pub fn parse_fo_query(input: &str) -> Result<FoQuery, QueryError> {
+    let mut parser = Parser::new(input);
+    let (name, head) = parser.parse_head()?;
+    parser.expect_symbol(":=")?;
+    let body = parser.parse_formula()?;
+    parser.expect_end()?;
+    let q = FoQuery::new(name, head, body);
+    q.validate()?;
+    Ok(q)
+}
+
+/// Parses a conjunctive query in Datalog-ish notation
+/// `Name(x, y) :- R(x, z), S(z, y), z = 3`.
+pub fn parse_cq(input: &str) -> Result<ConjunctiveQuery, QueryError> {
+    let mut parser = Parser::new(input);
+    let (name, head) = parser.parse_head()?;
+    parser.expect_symbol(":-")?;
+    let mut query = ConjunctiveQuery::new(name, head, Vec::new());
+    loop {
+        match parser.parse_literal()? {
+            CqLiteral::Atom(a) => query.atoms.push(a),
+            CqLiteral::Equality(l, r) => query.equalities.push((l, r)),
+        }
+        if parser.try_symbol(",") {
+            continue;
+        }
+        break;
+    }
+    parser.expect_end()?;
+    Ok(query)
+}
+
+/// Parses a bare first-order formula (no head).
+pub fn parse_formula(input: &str) -> Result<Formula, QueryError> {
+    let mut parser = Parser::new(input);
+    let f = parser.parse_formula()?;
+    parser.expect_end()?;
+    Ok(f)
+}
+
+enum CqLiteral {
+    Atom(Atom),
+    Equality(Term, Term),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Symbol(String),
+}
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Self {
+        let tokens = tokenize(input);
+        Parser {
+            tokens,
+            pos: 0,
+            len: input.len(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|(o, _)| *o)
+            .unwrap_or(self.len)
+    }
+
+    fn error(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse {
+            position: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), QueryError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.error("unexpected trailing input"))
+        }
+    }
+
+    fn try_symbol(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<(), QueryError> {
+        if self.try_symbol(sym) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{sym}`")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, QueryError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error("expected an identifier"))
+            }
+        }
+    }
+
+    /// Parses `Name(v1, …, vk)`.
+    fn parse_head(&mut self) -> Result<(String, Vec<Var>), QueryError> {
+        let name = self.expect_ident()?;
+        self.expect_symbol("(")?;
+        let mut head = Vec::new();
+        if !self.try_symbol(")") {
+            loop {
+                head.push(self.expect_ident()?);
+                if self.try_symbol(",") {
+                    continue;
+                }
+                self.expect_symbol(")")?;
+                break;
+            }
+        }
+        Ok((name, head))
+    }
+
+    /// Formula grammar (lowest to highest precedence):
+    /// implication ← disjunction ← conjunction ← unary.
+    fn parse_formula(&mut self) -> Result<Formula, QueryError> {
+        self.parse_implication()
+    }
+
+    fn parse_implication(&mut self) -> Result<Formula, QueryError> {
+        let left = self.parse_disjunction()?;
+        if self.try_symbol("->") {
+            let right = self.parse_implication()?;
+            Ok(Formula::Implies(Box::new(left), Box::new(right)))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn parse_disjunction(&mut self) -> Result<Formula, QueryError> {
+        let mut left = self.parse_conjunction()?;
+        while self.try_symbol("|") {
+            let right = self.parse_conjunction()?;
+            left = Formula::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_conjunction(&mut self) -> Result<Formula, QueryError> {
+        let mut left = self.parse_unary()?;
+        while self.try_symbol("&") {
+            let right = self.parse_unary()?;
+            left = Formula::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Formula, QueryError> {
+        if self.try_symbol("!") {
+            let inner = self.parse_unary()?;
+            return Ok(Formula::Not(Box::new(inner)));
+        }
+        match self.peek() {
+            Some(Token::Ident(kw)) if kw == "exists" || kw == "forall" => {
+                let kw = kw.clone();
+                self.pos += 1;
+                let mut vars = vec![self.expect_ident()?];
+                while self.try_symbol(",") {
+                    vars.push(self.expect_ident()?);
+                }
+                self.expect_symbol(".")?;
+                let body = self.parse_formula()?;
+                Ok(if kw == "exists" {
+                    Formula::Exists(vars, Box::new(body))
+                } else {
+                    Formula::Forall(vars, Box::new(body))
+                })
+            }
+            Some(Token::Ident(kw)) if kw == "true" => {
+                self.pos += 1;
+                Ok(Formula::True)
+            }
+            Some(Token::Ident(kw)) if kw == "false" => {
+                self.pos += 1;
+                Ok(Formula::False)
+            }
+            Some(Token::Symbol(s)) if s == "(" => {
+                self.pos += 1;
+                let inner = self.parse_formula()?;
+                self.expect_symbol(")")?;
+                Ok(inner)
+            }
+            _ => self.parse_atomic(),
+        }
+    }
+
+    /// Relation atom `R(t̅)` or equality `t1 = t2`.
+    fn parse_atomic(&mut self) -> Result<Formula, QueryError> {
+        // Try an atom first: ident followed by "(".
+        if let Some(Token::Ident(_)) = self.peek() {
+            if matches!(self.tokens.get(self.pos + 1), Some((_, Token::Symbol(s))) if s == "(") {
+                let atom = self.parse_atom()?;
+                return Ok(Formula::Atom(atom));
+            }
+        }
+        let left = self.parse_term()?;
+        self.expect_symbol("=")?;
+        let right = self.parse_term()?;
+        Ok(Formula::Eq(left, right))
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, QueryError> {
+        let relation = self.expect_ident()?;
+        self.expect_symbol("(")?;
+        let mut terms = Vec::new();
+        if !self.try_symbol(")") {
+            loop {
+                terms.push(self.parse_term()?);
+                if self.try_symbol(",") {
+                    continue;
+                }
+                self.expect_symbol(")")?;
+                break;
+            }
+        }
+        Ok(Atom::new(relation, terms))
+    }
+
+    fn parse_term(&mut self) -> Result<Term, QueryError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(Term::Var(s)),
+            Some(Token::Str(s)) => Ok(Term::Const(Value::Str(s))),
+            Some(Token::Int(i)) => Ok(Term::Const(Value::Int(i))),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error("expected a term"))
+            }
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<CqLiteral, QueryError> {
+        if let Some(Token::Ident(_)) = self.peek() {
+            if matches!(self.tokens.get(self.pos + 1), Some((_, Token::Symbol(s))) if s == "(") {
+                return Ok(CqLiteral::Atom(self.parse_atom()?));
+            }
+        }
+        let left = self.parse_term()?;
+        self.expect_symbol("=")?;
+        let right = self.parse_term()?;
+        Ok(CqLiteral::Equality(left, right))
+    }
+}
+
+fn tokenize(input: &str) -> Vec<(usize, Token)> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut j = i + 1;
+            while j < bytes.len()
+                && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+            {
+                j += 1;
+            }
+            tokens.push((start, Token::Ident(input[i..j].to_owned())));
+            i = j;
+        } else if c.is_ascii_digit() || (c == '-' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()) {
+            let mut j = i + 1;
+            while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                j += 1;
+            }
+            let value: i64 = input[i..j].parse().unwrap_or(0);
+            tokens.push((start, Token::Int(value)));
+            i = j;
+        } else if c == '"' {
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j] != b'"' {
+                j += 1;
+            }
+            tokens.push((start, Token::Str(input[i + 1..j].to_owned())));
+            i = (j + 1).min(bytes.len());
+        } else {
+            // Multi-character symbols first.
+            let two = input.get(i..i + 2).unwrap_or("");
+            if two == ":=" || two == ":-" || two == "->" {
+                tokens.push((start, Token::Symbol(two.to_owned())));
+                i += 2;
+            } else {
+                tokens.push((start, Token::Symbol(c.to_string())));
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{c, v};
+    use crate::cq_eval::evaluate_cq;
+    use crate::fo_eval::evaluate_fo;
+    use si_data::schema::social_schema;
+    use si_data::{tuple, Database};
+
+    fn db() -> Database {
+        let mut db = Database::empty(social_schema());
+        db.insert_all(
+            "person",
+            vec![tuple![1, "ann", "NYC"], tuple![2, "bob", "NYC"], tuple![3, "cat", "LA"]],
+        )
+        .unwrap();
+        db.insert_all("friend", vec![tuple![1, 2], tuple![1, 3]])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn parses_q1_as_fo() {
+        let q = parse_fo_query(
+            r#"Q1(p, name) := exists id. friend(p, id) & person(id, name, "NYC")"#,
+        )
+        .unwrap();
+        assert_eq!(q.name, "Q1");
+        assert_eq!(q.head, vec!["p".to_string(), "name".to_string()]);
+        let mut answers = evaluate_fo(&q, &db()).unwrap();
+        answers.sort();
+        assert_eq!(answers, vec![tuple![1, "bob"]]);
+    }
+
+    #[test]
+    fn parses_q1_as_cq() {
+        let q = parse_cq(r#"Q1(p, name) :- friend(p, id), person(id, name, "NYC")"#).unwrap();
+        assert_eq!(q.atoms.len(), 2);
+        assert_eq!(q.atoms[1].terms[2], c("NYC"));
+        let answers = evaluate_cq(&q, &db(), None).unwrap();
+        assert_eq!(answers, vec![tuple![1, "bob"]]);
+    }
+
+    #[test]
+    fn parses_equalities_and_integers() {
+        let q = parse_cq("Q(n) :- person(x, n, ci), x = 3, ci = ci").unwrap();
+        assert_eq!(q.equalities.len(), 2);
+        assert_eq!(q.equalities[0], (v("x"), c(3)));
+        let answers = evaluate_cq(&q, &db(), None).unwrap();
+        assert_eq!(answers, vec![tuple!["cat"]]);
+    }
+
+    #[test]
+    fn parses_negative_integers_and_empty_heads() {
+        let q = parse_cq("B() :- friend(x, y), y = -2").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.equalities[0].1, c(-2i64));
+    }
+
+    #[test]
+    fn parses_universal_quantification_and_implication() {
+        let q = parse_fo_query(
+            "Q(x) := friend(x, x) | forall y. (friend(x, y) -> person(y, y, y))",
+        )
+        .unwrap();
+        assert!(q.body.to_string().contains('∀'));
+        assert!(q.body.to_string().contains('→'));
+    }
+
+    #[test]
+    fn negation_binds_tighter_than_conjunction() {
+        let f = parse_formula("! friend(x, y) & person(x, n, ci)").unwrap();
+        match f {
+            Formula::And(l, _) => assert!(matches!(*l, Formula::Not(_))),
+            other => panic!("expected conjunction, got {other}"),
+        }
+    }
+
+    #[test]
+    fn precedence_implication_is_lowest() {
+        let f = parse_formula("friend(x, y) & friend(y, z) -> friend(x, z)").unwrap();
+        assert!(matches!(f, Formula::Implies(_, _)));
+    }
+
+    #[test]
+    fn parses_boolean_constants_and_parentheses() {
+        assert_eq!(parse_formula("true").unwrap(), Formula::True);
+        assert_eq!(parse_formula("( false )").unwrap(), Formula::False);
+    }
+
+    #[test]
+    fn quantifier_scope_extends_to_the_right() {
+        let f = parse_formula("exists x, y. friend(x, y) & person(x, n, ci)").unwrap();
+        match f {
+            Formula::Exists(vars, body) => {
+                assert_eq!(vars, vec!["x".to_string(), "y".to_string()]);
+                assert!(matches!(*body, Formula::And(_, _)));
+            }
+            other => panic!("expected exists, got {other}"),
+        }
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_fo_query("Q(x) := friend(x").unwrap_err();
+        match err {
+            QueryError::Parse { position, .. } => assert!(position >= 15),
+            other => panic!("expected parse error, got {other}"),
+        }
+        assert!(parse_fo_query("Q(x) :- friend(x, y)").is_err());
+        assert!(parse_cq("Q(x) := friend(x, y)").is_err());
+        assert!(parse_formula("friend(x, y) extra").is_err());
+        assert!(parse_formula("= 3").is_err());
+    }
+
+    #[test]
+    fn unsafe_fo_queries_are_rejected_by_validation() {
+        let err = parse_fo_query("Q(z) := friend(x, y)").unwrap_err();
+        assert!(matches!(err, QueryError::UnboundVariable(_)));
+    }
+
+    #[test]
+    fn nullary_atoms_parse() {
+        let f = parse_formula("marker()").unwrap();
+        match f {
+            Formula::Atom(a) => {
+                assert_eq!(a.relation, "marker");
+                assert!(a.terms.is_empty());
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Translation of conjunctive queries into relational algebra.
+//!
+//! Section 5 of the paper states its incremental results for relational
+//! algebra expressions.  [`cq_to_ra`] provides the standard SPJ translation
+//! used to move the paper's example queries (which are given as CQ) into the
+//! algebra so that the `RA_A` rules and the change-propagation machinery can
+//! be applied to them.  Output attributes are named after the query's
+//! variables, so natural joins realise exactly the variable co-occurrence
+//! joins of the CQ.
+
+use crate::algebra::{Condition, RaExpr};
+use crate::ast::{Atom, Term};
+use crate::cq::ConjunctiveQuery;
+use crate::error::QueryError;
+use si_data::DatabaseSchema;
+use std::collections::BTreeSet;
+
+/// Translates a single atom into an algebra expression whose attributes are
+/// the atom's distinct variable names.
+pub fn atom_to_ra(atom: &Atom, schema: &DatabaseSchema) -> Result<RaExpr, QueryError> {
+    let rel_schema = schema.relation(&atom.relation)?;
+    if rel_schema.arity() != atom.terms.len() {
+        return Err(QueryError::AtomArity {
+            relation: atom.relation.clone(),
+            expected: rel_schema.arity(),
+            actual: atom.terms.len(),
+        });
+    }
+    let attrs = rel_schema.attributes();
+
+    // Selection conditions induced by constants and repeated variables.
+    let mut conditions: Vec<Condition> = Vec::new();
+    for (i, term) in atom.terms.iter().enumerate() {
+        match term {
+            Term::Const(c) => conditions.push(Condition::EqConst(attrs[i].clone(), c.clone())),
+            Term::Var(v) => {
+                // A repeated variable forces equality with its first occurrence.
+                if let Some(first) = atom.terms[..i]
+                    .iter()
+                    .position(|t| t.as_var() == Some(v.as_str()))
+                {
+                    conditions.push(Condition::EqAttr(attrs[first].clone(), attrs[i].clone()));
+                }
+            }
+        }
+    }
+
+    let mut expr = RaExpr::relation(&atom.relation);
+    if !conditions.is_empty() {
+        expr = expr.select(conditions);
+    }
+
+    // Project onto the first occurrence of each variable and rename the
+    // surviving attributes to the variable names.
+    let mut keep_attrs: Vec<String> = Vec::new();
+    let mut renames: Vec<(String, String)> = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for (i, term) in atom.terms.iter().enumerate() {
+        if let Term::Var(v) = term {
+            if seen.insert(v.clone()) {
+                keep_attrs.push(attrs[i].clone());
+                if &attrs[i] != v {
+                    renames.push((attrs[i].clone(), v.clone()));
+                }
+            }
+        }
+    }
+    let keep_refs: Vec<&str> = keep_attrs.iter().map(String::as_str).collect();
+    expr = expr.project(&keep_refs);
+    if !renames.is_empty() {
+        let rename_refs: Vec<(&str, &str)> = renames
+            .iter()
+            .map(|(o, n)| (o.as_str(), n.as_str()))
+            .collect();
+        expr = expr.rename(&rename_refs);
+    }
+    Ok(expr)
+}
+
+/// Translates a conjunctive query into a relational algebra expression whose
+/// output attributes are the query's head variables, in head order.
+pub fn cq_to_ra(query: &ConjunctiveQuery, schema: &DatabaseSchema) -> Result<RaExpr, QueryError> {
+    query.validate(schema)?;
+    if query.atoms.is_empty() {
+        return Err(QueryError::UnsupportedFragment(
+            "cannot translate a conjunctive query without relation atoms".into(),
+        ));
+    }
+
+    let mut expr: Option<RaExpr> = None;
+    for atom in &query.atoms {
+        let piece = atom_to_ra(atom, schema)?;
+        expr = Some(match expr {
+            None => piece,
+            Some(acc) => acc.join(piece),
+        });
+    }
+    let mut expr = expr.expect("at least one atom");
+
+    // Equality atoms become selections over the variable-named attributes.
+    let mut conditions: Vec<Condition> = Vec::new();
+    let mut contradiction = false;
+    for (l, r) in &query.equalities {
+        match (l, r) {
+            (Term::Var(a), Term::Var(b)) => {
+                conditions.push(Condition::EqAttr(a.clone(), b.clone()))
+            }
+            (Term::Var(a), Term::Const(c)) | (Term::Const(c), Term::Var(a)) => {
+                conditions.push(Condition::EqConst(a.clone(), c.clone()))
+            }
+            (Term::Const(c1), Term::Const(c2)) => {
+                if c1 != c2 {
+                    contradiction = true;
+                }
+            }
+        }
+    }
+    if !conditions.is_empty() {
+        expr = expr.select(conditions);
+    }
+    if contradiction {
+        // A contradictory constant equality empties the query.
+        expr = expr.clone().diff(expr);
+    }
+
+    let head_refs: Vec<&str> = query.head.iter().map(String::as_str).collect();
+    Ok(expr.project(&head_refs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra_eval::evaluate_ra;
+    use crate::ast::{c, v};
+    use crate::cq_eval::evaluate_cq;
+    use si_data::schema::social_schema;
+    use si_data::{tuple, Database, Tuple};
+
+    fn db() -> Database {
+        let mut db = Database::empty(social_schema());
+        db.insert_all(
+            "person",
+            vec![
+                tuple![1, "ann", "NYC"],
+                tuple![2, "bob", "NYC"],
+                tuple![3, "cat", "LA"],
+            ],
+        )
+        .unwrap();
+        db.insert_all("friend", vec![tuple![1, 2], tuple![1, 3], tuple![2, 3], tuple![3, 3]])
+            .unwrap();
+        db.insert_all(
+            "restr",
+            vec![
+                tuple![10, "sushi", "NYC", "A"],
+                tuple![11, "taco", "LA", "B"],
+            ],
+        )
+        .unwrap();
+        db.insert_all("visit", vec![tuple![2, 10], tuple![3, 11], tuple![3, 10]])
+            .unwrap();
+        db
+    }
+
+    fn assert_same_answers(q: &ConjunctiveQuery, db: &Database) {
+        let schema = db.schema().clone();
+        let expr = cq_to_ra(q, &schema).unwrap();
+        let mut via_ra = evaluate_ra(&expr, db).unwrap().tuples;
+        let mut via_cq: Vec<Tuple> = evaluate_cq(q, db, None).unwrap();
+        via_ra.sort();
+        via_cq.sort();
+        assert_eq!(via_ra, via_cq, "RA and CQ evaluation disagree for {q}");
+    }
+
+    #[test]
+    fn q1_translation_matches_direct_evaluation() {
+        let q = ConjunctiveQuery::new(
+            "Q1",
+            vec!["p".into(), "name".into()],
+            vec![
+                Atom::new("friend", vec![v("p"), v("id")]),
+                Atom::new("person", vec![v("id"), v("name"), c("NYC")]),
+            ],
+        );
+        assert_same_answers(&q, &db());
+        assert_same_answers(&q.bind(&[("p".into(), si_data::Value::int(1))]), &db());
+    }
+
+    #[test]
+    fn q2_translation_matches_direct_evaluation() {
+        let q = ConjunctiveQuery::new(
+            "Q2",
+            vec!["p".into(), "rn".into()],
+            vec![
+                Atom::new("friend", vec![v("p"), v("id")]),
+                Atom::new("visit", vec![v("id"), v("rid")]),
+                Atom::new("person", vec![v("id"), v("pn"), c("NYC")]),
+                Atom::new("restr", vec![v("rid"), v("rn"), c("NYC"), c("A")]),
+            ],
+        );
+        assert_same_answers(&q, &db());
+    }
+
+    #[test]
+    fn repeated_variables_become_attribute_equalities() {
+        let q = ConjunctiveQuery::new(
+            "SelfLoop",
+            vec!["x".into()],
+            vec![Atom::new("friend", vec![v("x"), v("x")])],
+        );
+        let expr = cq_to_ra(&q, &social_schema()).unwrap();
+        assert!(expr.to_string().contains("id1 = id2"));
+        assert_same_answers(&q, &db());
+        let answers = evaluate_ra(&expr, &db()).unwrap();
+        assert_eq!(answers.tuples, vec![tuple![3]]);
+    }
+
+    #[test]
+    fn equality_atoms_translate_to_selections() {
+        let q = ConjunctiveQuery::new(
+            "Q",
+            vec!["n".into()],
+            vec![Atom::new("person", vec![v("x"), v("n"), v("ci")])],
+        )
+        .with_equality(v("x"), c(2))
+        .with_equality(v("ci"), v("ci"));
+        assert_same_answers(&q, &db());
+    }
+
+    #[test]
+    fn contradictory_constant_equality_empties_the_query() {
+        let q = ConjunctiveQuery::new(
+            "Q",
+            vec!["n".into()],
+            vec![Atom::new("person", vec![v("x"), v("n"), v("ci")])],
+        )
+        .with_equality(c(1), c(2));
+        let expr = cq_to_ra(&q, &social_schema()).unwrap();
+        assert!(evaluate_ra(&expr, &db()).unwrap().is_empty());
+        assert_same_answers(&q, &db());
+    }
+
+    #[test]
+    fn variable_named_after_other_attribute_is_handled() {
+        // Variable "id" is placed on the `rid` column of visit while another
+        // variable sits on `id`: the simultaneous rename must not collide.
+        let q = ConjunctiveQuery::new(
+            "Tricky",
+            vec!["id".into(), "who".into()],
+            vec![Atom::new("visit", vec![v("who"), v("id")])],
+        );
+        let expr = cq_to_ra(&q, &social_schema()).unwrap();
+        let out = evaluate_ra(&expr, &db()).unwrap();
+        assert_eq!(out.attributes, vec!["id", "who"]);
+        assert_same_answers(&q, &db());
+    }
+
+    #[test]
+    fn queries_without_atoms_are_rejected() {
+        let q = ConjunctiveQuery::new("E", vec![], vec![]);
+        assert!(matches!(
+            cq_to_ra(&q, &social_schema()),
+            Err(QueryError::UnsupportedFragment(_))
+        ));
+    }
+
+    #[test]
+    fn atom_translation_validates_arity() {
+        let bad = Atom::new("friend", vec![v("x")]);
+        assert!(matches!(
+            atom_to_ra(&bad, &social_schema()),
+            Err(QueryError::AtomArity { .. })
+        ));
+    }
+
+    #[test]
+    fn boolean_cq_translates_to_nullary_projection() {
+        let q = ConjunctiveQuery::new(
+            "B",
+            vec![],
+            vec![Atom::new("person", vec![v("x"), v("n"), c("LA")])],
+        );
+        let expr = cq_to_ra(&q, &social_schema()).unwrap();
+        let out = evaluate_ra(&expr, &db()).unwrap();
+        // Non-empty iff the Boolean query is true; tuples are 0-ary.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.tuples[0].arity(), 0);
+    }
+}

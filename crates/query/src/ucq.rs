@@ -1,0 +1,200 @@
+//! Unions of conjunctive queries (the SPJU fragment).
+
+use crate::ast::FoQuery;
+use crate::cq::ConjunctiveQuery;
+use crate::error::QueryError;
+use serde::{Deserialize, Serialize};
+use si_data::{DatabaseSchema, Value};
+use std::fmt;
+
+/// A union of conjunctive queries `Q = Q1 ∪ … ∪ Qk`.
+///
+/// All disjuncts must share the same head arity.  The paper defines
+/// `‖Q‖ = max_i ‖Qi‖` ([`UnionQuery::tableau_size`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnionQuery {
+    /// Query name, for display.
+    pub name: String,
+    /// The disjuncts.
+    pub disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl UnionQuery {
+    /// Creates a UCQ from its disjuncts.
+    ///
+    /// Returns an error when the disjunct list is empty or the disjuncts
+    /// disagree on arity.
+    pub fn new(
+        name: impl Into<String>,
+        disjuncts: Vec<ConjunctiveQuery>,
+    ) -> Result<Self, QueryError> {
+        if disjuncts.is_empty() {
+            return Err(QueryError::UnsupportedFragment(
+                "a union of conjunctive queries needs at least one disjunct".into(),
+            ));
+        }
+        let arity = disjuncts[0].arity();
+        if disjuncts.iter().any(|d| d.arity() != arity) {
+            return Err(QueryError::SchemaMismatch(
+                "all disjuncts of a UCQ must have the same arity".into(),
+            ));
+        }
+        Ok(UnionQuery {
+            name: name.into(),
+            disjuncts,
+        })
+    }
+
+    /// The arity of the answers.
+    pub fn arity(&self) -> usize {
+        self.disjuncts[0].arity()
+    }
+
+    /// True iff the query is Boolean.
+    pub fn is_boolean(&self) -> bool {
+        self.arity() == 0
+    }
+
+    /// `‖Q‖ = max_i ‖Qi‖` following the paper's definition for UCQ.
+    pub fn tableau_size(&self) -> usize {
+        self.disjuncts
+            .iter()
+            .map(ConjunctiveQuery::tableau_size)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Validates every disjunct against `schema`.
+    pub fn validate(&self, schema: &DatabaseSchema) -> Result<(), QueryError> {
+        for d in &self.disjuncts {
+            d.validate(schema)?;
+        }
+        Ok(())
+    }
+
+    /// Converts to an FO query `Q1 ∨ … ∨ Qk`.
+    ///
+    /// The head of the first disjunct is used as the output variable order;
+    /// disjuncts are renamed implicitly by position, so callers should use
+    /// the same head variable names across disjuncts (as the paper does).
+    pub fn to_fo(&self) -> FoQuery {
+        let head = self.disjuncts[0].head.clone();
+        let mut body = self.disjuncts[0].to_fo().body;
+        for d in &self.disjuncts[1..] {
+            body = body.or(d.to_fo().body);
+        }
+        FoQuery::new(self.name.clone(), head, body)
+    }
+
+    /// Fixes some head variables to constants in every disjunct.
+    pub fn bind(&self, bindings: &[(String, Value)]) -> UnionQuery {
+        UnionQuery {
+            name: format!("{}#bound", self.name),
+            disjuncts: self.disjuncts.iter().map(|d| d.bind(bindings)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for UnionQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{c, v, Atom};
+    use si_data::schema::social_schema;
+
+    fn nyc_or_la() -> UnionQuery {
+        let d1 = ConjunctiveQuery::new(
+            "Qnyc",
+            vec!["id".into(), "name".into()],
+            vec![Atom::new("person", vec![v("id"), v("name"), c("NYC")])],
+        );
+        let d2 = ConjunctiveQuery::new(
+            "Qla",
+            vec!["id".into(), "name".into()],
+            vec![Atom::new("person", vec![v("id"), v("name"), c("LA")])],
+        );
+        UnionQuery::new("Q", vec![d1, d2]).unwrap()
+    }
+
+    #[test]
+    fn construction_checks_arity_agreement() {
+        let q = nyc_or_la();
+        assert_eq!(q.arity(), 2);
+        assert!(!q.is_boolean());
+        assert_eq!(q.disjuncts.len(), 2);
+
+        let mismatched = UnionQuery::new(
+            "bad",
+            vec![
+                ConjunctiveQuery::new(
+                    "a",
+                    vec!["x".into()],
+                    vec![Atom::new("friend", vec![v("x"), v("y")])],
+                ),
+                ConjunctiveQuery::new(
+                    "b",
+                    vec![],
+                    vec![Atom::new("friend", vec![v("x"), v("y")])],
+                ),
+            ],
+        );
+        assert!(matches!(mismatched, Err(QueryError::SchemaMismatch(_))));
+        assert!(matches!(
+            UnionQuery::new("empty", vec![]),
+            Err(QueryError::UnsupportedFragment(_))
+        ));
+    }
+
+    #[test]
+    fn tableau_size_is_max_over_disjuncts() {
+        let mut q = nyc_or_la();
+        assert_eq!(q.tableau_size(), 1);
+        q.disjuncts[1].atoms.push(Atom::new("friend", vec![v("id"), v("id2")]));
+        q.disjuncts[1].head = vec!["id".into(), "name".into()];
+        assert_eq!(q.tableau_size(), 2);
+    }
+
+    #[test]
+    fn validate_delegates_to_disjuncts() {
+        let schema = social_schema();
+        nyc_or_la().validate(&schema).unwrap();
+        let mut q = nyc_or_la();
+        q.disjuncts[0].atoms[0] = Atom::new("person", vec![v("id")]);
+        assert!(q.validate(&schema).is_err());
+    }
+
+    #[test]
+    fn to_fo_is_a_disjunction() {
+        let fo = nyc_or_la().to_fo();
+        assert_eq!(fo.head, vec!["id".to_string(), "name".to_string()]);
+        assert!(fo.body.to_string().contains('∨'));
+    }
+
+    #[test]
+    fn bind_propagates_to_every_disjunct() {
+        let q = nyc_or_la().bind(&[("id".into(), Value::int(3))]);
+        for d in &q.disjuncts {
+            assert_eq!(d.head, vec!["name".to_string()]);
+            assert_eq!(d.atoms[0].terms[0], c(3));
+        }
+    }
+
+    #[test]
+    fn display_lists_disjuncts_line_by_line() {
+        let s = nyc_or_la().to_string();
+        assert!(s.contains("Qnyc"));
+        assert!(s.contains("Qla"));
+        assert!(s.contains('\n'));
+    }
+}

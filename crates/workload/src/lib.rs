@@ -1,0 +1,23 @@
+//! # `si-workload` — synthetic workloads for the scale-independence experiments
+//!
+//! The paper motivates scale independence with Facebook Graph-Search-style
+//! queries over a social schema (`person`, `friend`, `restr`, `visit`).  Real
+//! social-graph data is proprietary, so this crate generates synthetic
+//! instances that preserve exactly the properties the theory depends on:
+//! the schema, the key constraints, and the per-key fanout caps (e.g. the
+//! 5000-friends-per-person limit).  It also packages the paper's queries,
+//! their access schemas, scaling series and update streams so that the
+//! benchmark harness and the examples share one source of truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queries;
+pub mod scaling;
+pub mod social;
+pub mod updates;
+
+pub use queries::{example_46_access_schema, paper_views, q1, q2, q2_rewriting, q3};
+pub use scaling::{geometric_sizes, ScalePoint};
+pub use social::{SocialConfig, SocialGenerator};
+pub use updates::visit_insertions;

@@ -1,0 +1,101 @@
+//! The paper's example queries, views and access schemas, packaged for reuse
+//! by examples, integration tests and the benchmark harness.
+
+use si_access::{facebook_access_schema, AccessSchema, EmbeddedConstraint};
+use si_core::{ViewDef, ViewSet};
+use si_query::{parse_cq, ConjunctiveQuery};
+
+/// Q1 (Example 1.1(a)): friends of `p` who live in NYC.
+pub fn q1() -> ConjunctiveQuery {
+    parse_cq(r#"Q1(p, name) :- friend(p, id), person(id, name, "NYC")"#)
+        .expect("Q1 is well-formed")
+}
+
+/// Q2 (Example 1.1(b)): A-rated NYC restaurants visited by `p`'s NYC friends.
+pub fn q2() -> ConjunctiveQuery {
+    parse_cq(
+        r#"Q2(p, rn) :- friend(p, id), visit(id, rid), person(id, pn, "NYC"), restr(rid, rn, "NYC", "A")"#,
+    )
+    .expect("Q2 is well-formed")
+}
+
+/// Q3 (Example 4.1): like Q2 but restricted to visits in a given year `yy`
+/// over the dated `visit` relation.
+pub fn q3() -> ConjunctiveQuery {
+    parse_cq(
+        r#"Q3(rn, p, yy) :- friend(p, id), visit(id, rid, yy, mm, dd), person(id, pn, "NYC"), restr(rid, rn, "NYC", "A")"#,
+    )
+    .expect("Q3 is well-formed")
+}
+
+/// The views of Example 1.1(c): `V1` = NYC restaurants, `V2` = visits by NYC
+/// residents.
+pub fn paper_views() -> ViewSet {
+    ViewSet::new()
+        .with(ViewDef::new(
+            "v1",
+            parse_cq(r#"V1(rid, rn, rating) :- restr(rid, rn, "NYC", rating)"#)
+                .expect("V1 is well-formed"),
+        ))
+        .with(ViewDef::new(
+            "v2",
+            parse_cq(r#"V2(id, rid) :- visit(id, rid), person(id, pn, "NYC")"#)
+                .expect("V2 is well-formed"),
+        ))
+}
+
+/// The paper's rewriting Q'2 of Q2 using V1 and V2.
+pub fn q2_rewriting() -> ConjunctiveQuery {
+    parse_cq(r#"Q2p(p, rn) :- friend(p, id), v2(id, rid), v1(rid, rn, "A")"#)
+        .expect("Q'2 is well-formed")
+}
+
+/// The enriched access schema of Example 4.6: the plain Facebook constraints
+/// plus the 366-days-per-year embedded bound and the functional dependency
+/// `id, yy, mm, dd → rid` ("each person dines out at most once a day").
+pub fn example_46_access_schema(friend_cap: usize) -> AccessSchema {
+    facebook_access_schema(friend_cap)
+        .with_embedded(EmbeddedConstraint::new(
+            "visit",
+            &["yy"],
+            &["mm", "dd"],
+            366,
+            3,
+        ))
+        .with_embedded(EmbeddedConstraint::functional_dependency(
+            "visit",
+            &["id", "yy", "mm", "dd"],
+            &["rid"],
+            1,
+        ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_data::schema::{social_schema, social_schema_dated};
+
+    #[test]
+    fn paper_queries_validate_against_their_schemas() {
+        q1().validate(&social_schema()).unwrap();
+        q2().validate(&social_schema()).unwrap();
+        q3().validate(&social_schema_dated()).unwrap();
+        assert_eq!(q1().head, vec!["p".to_string(), "name".to_string()]);
+        assert_eq!(q3().tableau_size(), 4);
+    }
+
+    #[test]
+    fn rewriting_is_a_rewriting_of_q2() {
+        let views = paper_views();
+        assert!(si_core::is_rewriting(&q2(), &views, &q2_rewriting()).unwrap());
+    }
+
+    #[test]
+    fn example_46_schema_has_the_two_embedded_constraints() {
+        let access = example_46_access_schema(5000);
+        assert_eq!(access.embedded().len(), 2);
+        assert!(access.embedded().iter().any(|e| e.bound == 366));
+        assert!(access.embedded().iter().any(|e| e.is_functional()));
+        access.validate(&social_schema_dated()).unwrap();
+    }
+}

@@ -1,0 +1,60 @@
+//! Scaling series for the "cost stays flat as |D| grows" experiments.
+
+use crate::social::{SocialConfig, SocialGenerator};
+use si_data::Database;
+
+/// One point of a scaling series: a person count and the generated instance.
+#[derive(Debug)]
+pub struct ScalePoint {
+    /// Number of persons at this point.
+    pub persons: usize,
+    /// Total size `|D|` of the generated instance.
+    pub database_size: usize,
+    /// The instance itself.
+    pub database: Database,
+}
+
+/// Generates a geometric series of instances: `base, base·factor, …` with
+/// `steps` points, all sharing the default generator knobs (and seed, so the
+/// smaller instances are *not* prefixes of the larger ones but are drawn from
+/// the same distribution).
+pub fn geometric_sizes(base: usize, factor: usize, steps: usize) -> Vec<ScalePoint> {
+    let mut out = Vec::with_capacity(steps);
+    let mut persons = base;
+    for _ in 0..steps {
+        let config = SocialConfig::with_persons(persons);
+        let database = SocialGenerator::new(config).generate();
+        out.push(ScalePoint {
+            persons,
+            database_size: database.size(),
+            database,
+        });
+        persons = persons.saturating_mul(factor);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_series_grows() {
+        let series = geometric_sizes(20, 4, 3);
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0].persons, 20);
+        assert_eq!(series[1].persons, 80);
+        assert_eq!(series[2].persons, 320);
+        assert!(series[2].database_size > series[0].database_size);
+        for p in &series {
+            assert_eq!(p.database.size(), p.database_size);
+        }
+    }
+
+    #[test]
+    fn single_step_series() {
+        let series = geometric_sizes(10, 2, 1);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].persons, 10);
+    }
+}

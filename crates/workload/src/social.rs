@@ -1,0 +1,257 @@
+//! Synthetic social-graph generator.
+//!
+//! Generates instances of the paper's social schema with the invariants the
+//! access schemas promise:
+//!
+//! * `person(id, name, city)` — `id` is a key;
+//! * `friend(id1, id2)` — at most `friend_cap` friends per person;
+//! * `restr(rid, name, city, rating)` — `rid` is a key;
+//! * `visit(id, rid)` or `visit(id, rid, yy, mm, dd)` (dated variant) — at
+//!   most one restaurant per person per day in the dated variant (the FD of
+//!   Example 4.6).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use si_data::schema::{social_schema, social_schema_dated};
+use si_data::{Database, Tuple, Value};
+
+/// Configuration of the generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocialConfig {
+    /// Number of persons.
+    pub persons: usize,
+    /// Maximum number of friends per person (the Facebook cap).
+    pub friend_cap: usize,
+    /// Average number of friends per person (≤ `friend_cap`).
+    pub avg_friends: usize,
+    /// Number of restaurants.
+    pub restaurants: usize,
+    /// Average number of visits per person.
+    pub avg_visits: usize,
+    /// Fraction (0..=100) of persons living in NYC.
+    pub nyc_percent: u8,
+    /// Fraction (0..=100) of restaurants located in NYC.
+    pub nyc_restaurant_percent: u8,
+    /// Fraction (0..=100) of restaurants rated "A".
+    pub a_rating_percent: u8,
+    /// Whether `visit` carries a date (`yy, mm, dd`).
+    pub dated_visits: bool,
+    /// RNG seed (generation is fully deterministic given the config).
+    pub seed: u64,
+}
+
+impl Default for SocialConfig {
+    fn default() -> Self {
+        SocialConfig {
+            persons: 1_000,
+            friend_cap: 5_000,
+            avg_friends: 20,
+            restaurants: 200,
+            avg_visits: 5,
+            nyc_percent: 40,
+            nyc_restaurant_percent: 50,
+            a_rating_percent: 30,
+            dated_visits: false,
+            seed: 42,
+        }
+    }
+}
+
+impl SocialConfig {
+    /// A configuration scaled to roughly `persons` people, keeping the other
+    /// knobs at their defaults.
+    pub fn with_persons(persons: usize) -> Self {
+        SocialConfig {
+            persons,
+            ..SocialConfig::default()
+        }
+    }
+}
+
+/// Deterministic generator for social-graph instances.
+#[derive(Debug, Clone)]
+pub struct SocialGenerator {
+    config: SocialConfig,
+}
+
+impl SocialGenerator {
+    /// Creates a generator for the given configuration.
+    pub fn new(config: SocialConfig) -> Self {
+        SocialGenerator { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SocialConfig {
+        &self.config
+    }
+
+    /// Generates a database instance.
+    pub fn generate(&self) -> Database {
+        let c = &self.config;
+        let mut rng = StdRng::seed_from_u64(c.seed);
+        let schema = if c.dated_visits {
+            social_schema_dated()
+        } else {
+            social_schema()
+        };
+        let mut db = Database::empty(schema);
+
+        let cities = ["NYC", "LA", "SF", "CHI", "BOS"];
+        for id in 0..c.persons {
+            let city = if rng.gen_range(0..100u8) < c.nyc_percent {
+                "NYC"
+            } else {
+                cities[1 + rng.gen_range(0..cities.len() - 1)]
+            };
+            let t: Tuple = vec![
+                Value::from(id),
+                Value::str(format!("person-{id}")),
+                Value::str(city),
+            ]
+            .into();
+            db.insert("person", t).expect("person arity");
+        }
+
+        for rid in 0..c.restaurants {
+            let city = if rng.gen_range(0..100u8) < c.nyc_restaurant_percent {
+                "NYC"
+            } else {
+                cities[1 + rng.gen_range(0..cities.len() - 1)]
+            };
+            let rating = if rng.gen_range(0..100u8) < c.a_rating_percent {
+                "A"
+            } else {
+                "B"
+            };
+            let t: Tuple = vec![
+                Value::from(1_000_000 + rid),
+                Value::str(format!("restaurant-{rid}")),
+                Value::str(city),
+                Value::str(rating),
+            ]
+            .into();
+            db.insert("restr", t).expect("restr arity");
+        }
+
+        if c.persons > 1 {
+            for id in 0..c.persons {
+                let n_friends = rng.gen_range(0..=(2 * c.avg_friends)).min(c.friend_cap);
+                for _ in 0..n_friends {
+                    let other = rng.gen_range(0..c.persons);
+                    if other == id {
+                        continue;
+                    }
+                    let t: Tuple = vec![Value::from(id), Value::from(other)].into();
+                    db.insert("friend", t).expect("friend arity");
+                }
+            }
+        }
+
+        if c.restaurants > 0 {
+            for id in 0..c.persons {
+                let n_visits = rng.gen_range(0..=(2 * c.avg_visits));
+                for v in 0..n_visits {
+                    let rid = 1_000_000 + rng.gen_range(0..c.restaurants);
+                    let t: Tuple = if c.dated_visits {
+                        // One visit per day per person keeps the Example 4.6
+                        // FD (id, yy, mm, dd → rid) satisfied by construction.
+                        let yy = 2013 + (v % 3) as i64;
+                        let mm = 1 + (v % 12) as i64;
+                        let dd = 1 + ((id + v) % 28) as i64;
+                        vec![
+                            Value::from(id),
+                            Value::from(rid),
+                            Value::Int(yy),
+                            Value::Int(mm),
+                            Value::Int(dd),
+                        ]
+                        .into()
+                    } else {
+                        vec![Value::from(id), Value::from(rid)].into()
+                    };
+                    db.insert("visit", t).expect("visit arity");
+                }
+            }
+        }
+
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_access::{conforms, facebook_access_schema};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = SocialConfig {
+            persons: 50,
+            restaurants: 10,
+            ..SocialConfig::default()
+        };
+        let a = SocialGenerator::new(config.clone()).generate();
+        let b = SocialGenerator::new(config).generate();
+        assert_eq!(a.size(), b.size());
+        assert_eq!(a.all_facts(), b.all_facts());
+    }
+
+    #[test]
+    fn generated_instances_conform_to_the_access_schema() {
+        let config = SocialConfig {
+            persons: 200,
+            avg_friends: 10,
+            restaurants: 30,
+            ..SocialConfig::default()
+        };
+        let db = SocialGenerator::new(config.clone()).generate();
+        assert!(conforms(&db, &facebook_access_schema(config.friend_cap)));
+        assert_eq!(db.relation("person").unwrap().len(), 200);
+        assert_eq!(db.relation("restr").unwrap().len(), 30);
+        assert!(db.relation("friend").unwrap().len() > 0);
+        // Friend fanout respects the cap.
+        assert!(
+            db.relation("friend")
+                .unwrap()
+                .fanout_on(&["id1".into()])
+                .unwrap()
+                <= config.friend_cap
+        );
+    }
+
+    #[test]
+    fn dated_visits_satisfy_the_example_46_constraints() {
+        let config = SocialConfig {
+            persons: 100,
+            restaurants: 20,
+            dated_visits: true,
+            ..SocialConfig::default()
+        };
+        let db = SocialGenerator::new(config).generate();
+        assert_eq!(db.relation("visit").unwrap().schema().arity(), 5);
+        let access = crate::queries::example_46_access_schema(5000);
+        assert!(conforms(&db, &access));
+    }
+
+    #[test]
+    fn size_scales_with_person_count() {
+        let small = SocialGenerator::new(SocialConfig::with_persons(50)).generate();
+        let large = SocialGenerator::new(SocialConfig::with_persons(500)).generate();
+        assert!(large.size() > small.size() * 5);
+    }
+
+    #[test]
+    fn degenerate_configurations_still_generate() {
+        let db = SocialGenerator::new(SocialConfig {
+            persons: 1,
+            restaurants: 0,
+            avg_friends: 0,
+            avg_visits: 0,
+            ..SocialConfig::default()
+        })
+        .generate();
+        assert_eq!(db.relation("person").unwrap().len(), 1);
+        assert_eq!(db.relation("friend").unwrap().len(), 0);
+        assert_eq!(db.relation("visit").unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Update streams for the incremental experiments (Example 1.1(b)).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use si_data::{Database, Delta, Tuple, Value};
+
+/// Builds an insertion-only update of `count` fresh `visit(id, rid)` tuples,
+/// with person ids drawn uniformly from the persons of `db` and restaurant
+/// ids from its restaurants.  Tuples already present in `db` (or generated
+/// twice) are skipped, so the update is always well formed.
+pub fn visit_insertions(db: &Database, count: usize, seed: u64) -> Delta {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let persons = db
+        .relation("person")
+        .map(|r| r.len())
+        .unwrap_or(0)
+        .max(1);
+    let restaurants = db.relation("restr").map(|r| r.len()).unwrap_or(0).max(1);
+    let visit = db.relation("visit").ok();
+    let mut tuples: Vec<Tuple> = Vec::with_capacity(count);
+    let mut attempts = 0;
+    while tuples.len() < count && attempts < count * 20 {
+        attempts += 1;
+        let id = rng.gen_range(0..persons);
+        let rid = 1_000_000 + rng.gen_range(0..restaurants);
+        let t: Tuple = vec![Value::from(id), Value::from(rid)].into();
+        if visit.map(|v| v.contains(&t)).unwrap_or(false) || tuples.contains(&t) {
+            continue;
+        }
+        tuples.push(t);
+    }
+    Delta::insertions_into("visit", tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::social::{SocialConfig, SocialGenerator};
+
+    #[test]
+    fn insertions_are_fresh_and_well_formed() {
+        let db = SocialGenerator::new(SocialConfig {
+            persons: 100,
+            restaurants: 20,
+            ..SocialConfig::default()
+        })
+        .generate();
+        let delta = visit_insertions(&db, 50, 7);
+        assert_eq!(delta.size(), 50);
+        assert!(delta.is_insertion_only());
+        delta.validate(&db).unwrap();
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let db = SocialGenerator::new(SocialConfig::with_persons(50)).generate();
+        let a = visit_insertions(&db, 10, 3);
+        let b = visit_insertions(&db, 10, 3);
+        let c = visit_insertions(&db, 10, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

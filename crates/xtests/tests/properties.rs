@@ -1,0 +1,163 @@
+//! Property-based tests of the core invariants, spanning crates.
+//!
+//! The strategies generate small random social-graph instances, random
+//! parameter values and random updates; the properties assert the paper's
+//! defining equations:
+//!
+//! * bounded evaluation agrees with naive evaluation and its witness really
+//!   is a witness (`Q(D_Q) = Q(D)` with `|D_Q|` within the static bound);
+//! * change propagation satisfies `E(D ⊕ ∆D) = (E(D) − E∇) ∪ E∆` with
+//!   `E∇ ⊆ E(D)` and `E∆ ∩ E(D) = ∅`;
+//! * applying an update and its observed inverse round-trips the database;
+//! * CQ→RA translation preserves answers.
+
+use proptest::prelude::*;
+use si_access::{facebook_access_schema, AccessIndexedDatabase};
+use si_core::prelude::*;
+use si_core::check_witness;
+use si_data::schema::social_schema;
+use si_data::{tuple, Database, Delta, Value};
+use si_query::{cq_to_ra, evaluate_cq, evaluate_ra, RaExpr};
+use si_workload::q1;
+
+/// Builds a small social database from generated edge/visit lists.
+fn build_db(
+    people: usize,
+    friends: &[(usize, usize)],
+    visits: &[(usize, usize)],
+) -> Database {
+    let mut db = Database::empty(social_schema());
+    let cities = ["NYC", "LA", "SF"];
+    for id in 0..people {
+        db.insert(
+            "person",
+            tuple![id, format!("p{id}"), cities[id % cities.len()]],
+        )
+        .unwrap();
+    }
+    for rid in 0..4usize {
+        let city = if rid % 2 == 0 { "NYC" } else { "LA" };
+        let rating = if rid % 3 == 0 { "A" } else { "B" };
+        db.insert("restr", tuple![100 + rid, format!("r{rid}"), city, rating])
+            .unwrap();
+    }
+    for (a, b) in friends {
+        if a != b {
+            db.insert("friend", tuple![*a % people, *b % people]).unwrap();
+        }
+    }
+    for (p, r) in visits {
+        db.insert("visit", tuple![*p % people, 100 + (*r % 4)]).unwrap();
+    }
+    db
+}
+
+fn db_strategy() -> impl Strategy<Value = Database> {
+    (
+        3usize..8,
+        prop::collection::vec((0usize..8, 0usize..8), 0..20),
+        prop::collection::vec((0usize..8, 0usize..6), 0..15),
+    )
+        .prop_map(|(people, friends, visits)| build_db(people, &friends, &visits))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bounded_q1_agrees_with_naive_and_yields_a_witness(
+        db in db_strategy(),
+        p in 0i64..8,
+    ) {
+        let access = facebook_access_schema(5000);
+        let schema = db.schema().clone();
+        let plan = BoundedPlanner::new(&schema, &access).plan(&q1(), &["p".into()]).unwrap();
+        let adb = AccessIndexedDatabase::new(db, access).unwrap();
+        let bounded = execute_bounded(&plan, &[Value::int(p)], &adb).unwrap();
+        let naive = execute_naive(&q1(), &["p".into()], &[Value::int(p)], adb.database()).unwrap();
+        let mut a = bounded.answers.clone();
+        let mut b = naive.answers.clone();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+        prop_assert!(bounded.accesses.tuples_fetched <= plan.static_cost().max_tuples);
+        let bound_q: AnyQuery = q1().bind(&[("p".into(), Value::int(p))]).into();
+        prop_assert!(check_witness(&bound_q, adb.database(), &bounded.witness, bounded.witness.size()).unwrap());
+    }
+
+    #[test]
+    fn change_propagation_is_exact_for_q1_algebra(
+        db in db_strategy(),
+        inserts in prop::collection::vec((0usize..8, 0usize..8), 0..6),
+        delete_friend in prop::bool::ANY,
+    ) {
+        let schema = db.schema().clone();
+        let expr: RaExpr = cq_to_ra(&q1(), &schema).unwrap();
+
+        // Build a well-formed update: fresh friend insertions + possibly one
+        // existing friend deletion.
+        let mut delta = Delta::new();
+        for (a, b) in &inserts {
+            let t = tuple![*a, *b + 10];
+            if !db.contains("friend", &t).unwrap() {
+                delta.insert("friend", t);
+            }
+        }
+        if delete_friend {
+            if let Some(t) = db.relation("friend").unwrap().iter().next().cloned() {
+                delta.delete("friend", t);
+            }
+        }
+        prop_assume!(delta.validate(&db).is_ok());
+
+        let old = evaluate_ra(&expr, &db).unwrap();
+        let maintained = si_core::incremental::maintain(&expr, &old, &db, &delta).unwrap();
+        let updated = delta.apply(&db).unwrap();
+        let direct = evaluate_ra(&expr, &updated).unwrap();
+        let mut got = maintained.tuples;
+        let mut want = direct.align_to(&maintained.attributes).unwrap().tuples;
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn cq_to_ra_translation_preserves_answers(
+        db in db_strategy(),
+        p in 0i64..8,
+    ) {
+        let schema = db.schema().clone();
+        let bound = q1().bind(&[("p".into(), Value::int(p))]);
+        let expr = cq_to_ra(&bound, &schema).unwrap();
+        let mut via_ra = evaluate_ra(&expr, &db).unwrap().tuples;
+        let mut via_cq = evaluate_cq(&bound, &db, None).unwrap();
+        via_ra.sort();
+        via_cq.sort();
+        prop_assert_eq!(via_ra, via_cq);
+    }
+
+    #[test]
+    fn delta_apply_preserves_size_accounting(
+        db in db_strategy(),
+        inserts in prop::collection::vec((0usize..8, 0usize..8), 0..8),
+    ) {
+        let mut delta = Delta::new();
+        for (a, b) in &inserts {
+            let t = tuple![*a, *b + 20];
+            if !db.contains("friend", &t).unwrap() {
+                delta.insert("friend", t);
+            }
+        }
+        prop_assume!(delta.validate(&db).is_ok());
+        let distinct_inserts: std::collections::BTreeSet<_> = delta
+            .relation_delta("friend")
+            .map(|d| d.insertions.iter().cloned().collect())
+            .unwrap_or_default();
+        let updated = delta.apply(&db).unwrap();
+        prop_assert_eq!(updated.size(), db.size() + distinct_inserts.len());
+        // And every inserted tuple is present.
+        for t in &distinct_inserts {
+            prop_assert!(updated.contains("friend", t).unwrap());
+        }
+    }
+}

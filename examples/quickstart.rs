@@ -1,0 +1,73 @@
+//! Quickstart: the paper's Q1 ("friends of p who live in NYC") end to end.
+//!
+//! Run with `cargo run -p si-examples --bin quickstart`.
+//!
+//! The walk-through mirrors Example 1.1(a) and Example 4.1 of the paper:
+//! declare the access schema (5000-friend cap, person key), check that Q1 is
+//! p-controlled, build a bounded plan, and compare its access cost against
+//! naive evaluation as the database grows.
+
+use si_access::{facebook_access_schema, AccessIndexedDatabase};
+use si_core::prelude::*;
+use si_data::schema::social_schema;
+use si_data::Value;
+use si_examples::format_cost;
+use si_workload::{geometric_sizes, q1};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let schema = social_schema();
+    let access = facebook_access_schema(5000);
+    let query = q1();
+
+    println!("Query:         {query}");
+    println!("Access schema: {access}");
+
+    // 1. Controllability: Q1 is p-controlled, hence scale-independent once a
+    //    concrete person p0 is supplied (Theorem 4.2).
+    let analyzer = ControllabilityAnalyzer::new(&schema, &access);
+    let fo = query.to_fo();
+    println!(
+        "Q1 is p-controlled:        {}",
+        analyzer.is_controlled_by(&fo, &["p".into()])?
+    );
+    println!(
+        "Q1 is name-controlled:     {}",
+        analyzer.is_controlled_by(&fo, &["name".into()])?
+    );
+
+    // 2. A bounded plan with its data-independent worst-case cost.
+    let planner = BoundedPlanner::new(&schema, &access);
+    let plan = planner.plan(&query, &["p".into()])?;
+    println!("\n{plan}\n");
+
+    // 3. Scaling: the bounded plan's measured cost stays flat while naive
+    //    evaluation grows with |D|.
+    println!("{:<10} {:>10}  {}", "persons", "|D|", "access cost (bounded vs naive)");
+    for point in geometric_sizes(500, 4, 4) {
+        let adb = AccessIndexedDatabase::new(point.database, access.clone())?;
+        let p0 = Value::int(7);
+        let bounded = execute_bounded(&plan, &[p0.clone()], &adb)?;
+        let naive = execute_naive(&query, &["p".into()], &[p0], adb.database())?;
+        assert_eq!(
+            {
+                let mut a = bounded.answers.clone();
+                a.sort();
+                a
+            },
+            {
+                let mut a = naive.answers.clone();
+                a.sort();
+                a
+            },
+            "bounded and naive evaluation must agree"
+        );
+        println!(
+            "{:<10} {:>10}  {} | {}",
+            point.persons,
+            point.database_size,
+            format_cost("bounded", &bounded.accesses),
+            format_cost("naive", &naive.accesses),
+        );
+    }
+    Ok(())
+}

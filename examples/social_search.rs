@@ -1,0 +1,100 @@
+//! Personalised social search: Q2 and Q3 under plain and embedded access
+//! schemas (Examples 1.1(b), 4.1 and 4.6 of the paper).
+//!
+//! Run with `cargo run -p si-examples --bin social_search`.
+
+use si_access::{facebook_access_schema, AccessConstraint, AccessIndexedDatabase};
+use si_core::prelude::*;
+use si_core::{decide_qcntl, minimal_controlling_sets};
+use si_data::schema::{social_schema, social_schema_dated};
+use si_data::Value;
+use si_examples::format_cost;
+use si_workload::{example_46_access_schema, q2, q3, SocialConfig, SocialGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---------------------------------------------------------------- Q2 ---
+    let schema = social_schema();
+    let q2 = q2();
+    println!("Q2: {q2}");
+
+    // Under the plain Facebook access schema Q2 is NOT p-scale-independent:
+    // nothing bounds the visits of a person.
+    let plain = facebook_access_schema(5000);
+    let planner = BoundedPlanner::new(&schema, &plain);
+    match planner.plan(&q2, &["p".into()]) {
+        Ok(_) => println!("unexpected: Q2 plannable under the plain schema"),
+        Err(e) => println!("Q2 under plain access schema: {e}"),
+    }
+
+    // Adding an access constraint on visit(id) repairs this.
+    let with_visit_index =
+        facebook_access_schema(5000).with(AccessConstraint::new("visit", &["id"], 1_000, 1));
+    let plan = BoundedPlanner::new(&schema, &with_visit_index).plan(&q2, &["p".into()])?;
+    println!("\nWith (visit, {{id}}, 1000, 1) added:\n{plan}\n");
+
+    let db = SocialGenerator::new(SocialConfig {
+        persons: 20_000,
+        restaurants: 500,
+        ..SocialConfig::default()
+    })
+    .generate();
+    println!("generated |D| = {}", db.size());
+    let adb = AccessIndexedDatabase::new(db, with_visit_index)?;
+    let p0 = Value::int(11);
+    let bounded = execute_bounded(&plan, &[p0.clone()], &adb)?;
+    let naive = execute_naive(&q2, &["p".into()], &[p0], adb.database())?;
+    println!("answers: {:?}", bounded.answers.iter().map(|t| t.to_string()).collect::<Vec<_>>());
+    println!("{}", format_cost("bounded Q2", &bounded.accesses));
+    println!("{}", format_cost("naive   Q2", &naive.accesses));
+
+    // ---------------------------------------------------------------- Q3 ---
+    let dated_schema = social_schema_dated();
+    let q3 = q3();
+    println!("\nQ3: {q3}");
+
+    // Under the plain schema Q3 is not (p, yy)-controlled (Example 4.1) …
+    let plain_access = facebook_access_schema(5000);
+    let analyzer = EmbeddedControllability::new(&dated_schema, &plain_access);
+    println!(
+        "Q3 (p,yy)-controlled under plain schema:    {}",
+        analyzer.is_embedded_controlled(&q3, &["p".into(), "yy".into()])?
+    );
+    // … but becomes so with the Example 4.6 embedded constraints.
+    let enriched = example_46_access_schema(5000);
+    let analyzer = EmbeddedControllability::new(&dated_schema, &enriched);
+    println!(
+        "Q3 (p,yy)-controlled with 366-day bound+FD: {}",
+        analyzer.is_embedded_controlled(&q3, &["p".into(), "yy".into()])?
+    );
+
+    // What is the smallest controlling set of Q1 under the plain schema?
+    let q1_fo = si_workload::q1().to_fo();
+    let out = decide_qcntl(&q1_fo, &schema, &facebook_access_schema(5000), 1)?;
+    println!(
+        "\nQCntl(Q1, K=1): controllable = {}, smallest controlling set = {:?}",
+        out.controllable_within, out.smallest
+    );
+    println!(
+        "all minimal controlling sets of Q1: {:?}",
+        minimal_controlling_sets(&q1_fo, &schema, &facebook_access_schema(5000))?
+    );
+
+    // Execute Q3 boundedly on a dated instance.
+    let dated_db = SocialGenerator::new(SocialConfig {
+        persons: 10_000,
+        restaurants: 300,
+        dated_visits: true,
+        ..SocialConfig::default()
+    })
+    .generate();
+    let plan = BoundedPlanner::new(&dated_schema, &enriched)
+        .plan(&q3, &["p".into(), "yy".into()])?;
+    let adb = AccessIndexedDatabase::new(dated_db, enriched)?;
+    let result = execute_bounded(&plan, &[Value::int(11), Value::int(2013)], &adb)?;
+    println!(
+        "\nQ3(p=11, yy=2013): {} answers, {}",
+        result.answers.len(),
+        format_cost("bounded Q3", &result.accesses)
+    );
+    Ok(())
+}
