@@ -50,7 +50,7 @@ pub fn violations(db: &Database, access: &AccessSchema) -> Vec<Violation> {
         };
         let mut groups: BTreeMap<Vec<Value>, usize> = BTreeMap::new();
         for t in relation.iter() {
-            let key: Vec<Value> = positions.iter().map(|&p| t[p].clone()).collect();
+            let key: Vec<Value> = positions.iter().map(|&p| t[p]).collect();
             *groups.entry(key).or_insert(0) += 1;
         }
         for (key, count) in groups {
@@ -78,8 +78,8 @@ pub fn violations(db: &Database, access: &AccessSchema) -> Vec<Violation> {
         };
         let mut groups: BTreeMap<Vec<Value>, BTreeSet<Vec<Value>>> = BTreeMap::new();
         for t in relation.iter() {
-            let key: Vec<Value> = from_positions.iter().map(|&p| t[p].clone()).collect();
-            let proj: Vec<Value> = onto_positions.iter().map(|&p| t[p].clone()).collect();
+            let key: Vec<Value> = from_positions.iter().map(|&p| t[p]).collect();
+            let proj: Vec<Value> = onto_positions.iter().map(|&p| t[p]).collect();
             groups.entry(key).or_default().insert(proj);
         }
         for (key, projections) in groups {

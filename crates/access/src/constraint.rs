@@ -9,12 +9,11 @@
 //! The special case `X = ∅` states that the whole relation has at most `N`
 //! tuples.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// A single access constraint `(R, X, N, T)`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AccessConstraint {
     /// The relation `R` the constraint applies to.
     pub relation: String,
@@ -28,12 +27,7 @@ pub struct AccessConstraint {
 
 impl AccessConstraint {
     /// Creates a constraint `(relation, on, bound, time)`.
-    pub fn new(
-        relation: impl Into<String>,
-        on: &[&str],
-        bound: usize,
-        time: u64,
-    ) -> Self {
+    pub fn new(relation: impl Into<String>, on: &[&str], bound: usize, time: u64) -> Self {
         AccessConstraint {
             relation: relation.into(),
             on: on.iter().map(|a| (*a).to_owned()).collect(),

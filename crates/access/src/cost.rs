@@ -8,11 +8,10 @@
 //! `si-core` compute their worst-case budget with this type and experiments
 //! compare it against the measured [`si_data::MeterSnapshot`].
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A static (data-independent) bound on the work performed by a bounded plan.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StaticCost {
     /// Worst-case number of base tuples fetched.
     pub max_tuples: u64,

@@ -12,12 +12,11 @@
 //!   constraint `(R, X[X ∪ Y], 1, T)` ([`EmbeddedConstraint::functional_dependency`]).
 
 use crate::constraint::AccessConstraint;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// An embedded access constraint `(R, X[Y], N, T)` with `X ⊆ Y`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EmbeddedConstraint {
     /// The relation `R`.
     pub relation: String,

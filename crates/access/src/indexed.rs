@@ -12,7 +12,7 @@
 use crate::conformance::{violations, Violation};
 use crate::constraint::AccessConstraint;
 use crate::schema::AccessSchema;
-use si_data::{AccessMeter, Database, DataError, MeterSnapshot, Tuple, Value};
+use si_data::{AccessMeter, DataError, Database, MeterSnapshot, Tuple, Value};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -181,9 +181,9 @@ impl AccessIndexedDatabase {
         for (a, v) in attrs.iter().zip(key.iter()) {
             if constraint.on.contains(a) {
                 index_attrs.push(a.clone());
-                index_key.push(v.clone());
+                index_key.push(*v);
             } else {
-                filter.push((rel.schema().position_of(a)?, v.clone()));
+                filter.push((rel.schema().position_of(a)?, *v));
             }
         }
 
@@ -222,9 +222,7 @@ impl AccessIndexedDatabase {
             .embedded()
             .iter()
             .filter(|e| {
-                e.relation == relation
-                    && e.usable_with(&bound)
-                    && onto_set.is_subset(&e.onto_set())
+                e.relation == relation && e.usable_with(&bound) && onto_set.is_subset(&e.onto_set())
             })
             .min_by_key(|e| e.bound)
             .ok_or_else(|| AccessError::NoConstraint {
@@ -240,9 +238,9 @@ impl AccessIndexedDatabase {
         for (a, v) in attrs.iter().zip(key.iter()) {
             if constraint.from.contains(a) {
                 index_attrs.push(a.clone());
-                index_key.push(v.clone());
+                index_key.push(*v);
             } else {
-                filter.push((rel.schema().position_of(a)?, v.clone()));
+                filter.push((rel.schema().position_of(a)?, *v));
             }
         }
 
@@ -331,7 +329,10 @@ mod tests {
             .unwrap();
         db.insert_all(
             "restr",
-            vec![tuple![10, "sushi", "NYC", "A"], tuple![11, "taco", "LA", "B"]],
+            vec![
+                tuple![10, "sushi", "NYC", "A"],
+                tuple![11, "taco", "LA", "B"],
+            ],
         )
         .unwrap();
         db.insert_all("visit", vec![tuple![2, 10], tuple![3, 11]])
@@ -425,8 +426,7 @@ mod tests {
 
     #[test]
     fn empty_x_constraint_allows_bounded_whole_relation_fetch() {
-        let a = facebook_access_schema(5000)
-            .with(AccessConstraint::new("restr", &[], 100, 1));
+        let a = facebook_access_schema(5000).with(AccessConstraint::new("restr", &[], 100, 1));
         let adb = AccessIndexedDatabase::new(db(), a).unwrap();
         let all = adb.fetch("restr", &[], &[]).unwrap();
         assert_eq!(all.len(), 2);
@@ -518,9 +518,7 @@ mod tests {
     #[test]
     fn database_mut_allows_updates_and_keeps_indexes() {
         let mut adb = AccessIndexedDatabase::new(db(), facebook_access_schema(5000)).unwrap();
-        adb.database_mut()
-            .insert("friend", tuple![1, 4])
-            .unwrap();
+        adb.database_mut().insert("friend", tuple![1, 4]).unwrap();
         let friends = adb
             .fetch("friend", &["id1".into()], &[Value::int(1)])
             .unwrap();

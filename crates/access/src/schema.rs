@@ -2,7 +2,6 @@
 
 use crate::constraint::AccessConstraint;
 use crate::embedded::EmbeddedConstraint;
-use serde::{Deserialize, Serialize};
 use si_data::DatabaseSchema;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -12,7 +11,7 @@ use std::fmt;
 /// optional set of relations declared fully accessible (the `A(R)`
 /// augmentation of Proposition 5.5, which states that the entire relation
 /// `R` can be obtained in constant time).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AccessSchema {
     constraints: Vec<AccessConstraint>,
     embedded: Vec<EmbeddedConstraint>,
@@ -85,7 +84,9 @@ impl AccessSchema {
         &'a self,
         relation: &'a str,
     ) -> impl Iterator<Item = &'a AccessConstraint> {
-        self.constraints.iter().filter(move |c| c.relation == relation)
+        self.constraints
+            .iter()
+            .filter(move |c| c.relation == relation)
     }
 
     /// Embedded constraints on a given relation.
@@ -278,7 +279,13 @@ mod tests {
     fn required_indexes_deduplicate() {
         let a = facebook_access_schema(5000)
             .with(AccessConstraint::new("friend", &["id1"], 4000, 1))
-            .with_embedded(EmbeddedConstraint::new("friend", &["id1"], &["id2"], 4000, 1));
+            .with_embedded(EmbeddedConstraint::new(
+                "friend",
+                &["id1"],
+                &["id2"],
+                4000,
+                1,
+            ));
         let idx = a.required_indexes();
         assert_eq!(
             idx.iter()

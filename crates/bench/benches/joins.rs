@@ -1,0 +1,138 @@
+//! Micro-benchmarks of the copy-cheap data plane: assignment extension and
+//! hash-join throughput.
+//!
+//! These isolate the two inner loops every evaluator runs millions of times —
+//! extending a flat [`Binding`] by one variable (a `memcpy` since the
+//! interned-value refactor) and probing/joining hash tables keyed by interned
+//! values — so regressions in the data plane show up directly in the BENCH
+//! trajectory instead of being smeared across the end-to-end experiments.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use si_data::{tuple, Tuple, TupleSet, Value};
+use si_query::binding::{Binding, VarTable};
+use si_query::{evaluate_cq, parse_cq};
+use si_workload::{q1, SocialConfig, SocialGenerator};
+
+/// Extending a binding over `n` variables, one slot at a time — the hot loop
+/// of `execute_bounded` and `satisfying_bindings`.
+fn bench_binding_extension(c: &mut Criterion) {
+    let mut group = c.benchmark_group("joins/binding_extension");
+    group.sample_size(20);
+    for vars in [4usize, 16, 64] {
+        let names: Vec<String> = (0..vars).map(|i| format!("x{i}")).collect();
+        let table = VarTable::from_names(names.iter().cloned());
+        let values: Vec<Value> = (0..vars)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Value::int(i as i64)
+                } else {
+                    Value::str("NYC")
+                }
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("extend_copy", vars), &vars, |b, _| {
+            b.iter(|| {
+                // Simulates a join chain: each step clones the partial
+                // binding (copy-cheap) and binds one more variable.
+                let mut binding = Binding::for_table(&table);
+                for (i, v) in values.iter().enumerate() {
+                    let mut next = binding.clone();
+                    next.bind(i as u32, *v);
+                    binding = next;
+                }
+                black_box(binding)
+            })
+        });
+        // The seed representation, kept here as a measured baseline: a
+        // `BTreeMap<Var, Value>` assignment cloned at every extension step.
+        group.bench_with_input(BenchmarkId::new("extend_btreemap", vars), &vars, |b, _| {
+            b.iter(|| {
+                let mut assignment: std::collections::BTreeMap<String, Value> =
+                    std::collections::BTreeMap::new();
+                for (name, v) in names.iter().zip(values.iter()) {
+                    let mut next = assignment.clone();
+                    next.insert(name.clone(), *v);
+                    assignment = next;
+                }
+                black_box(assignment)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Deduplicating answer streams through the shared insertion-ordered set.
+fn bench_tuple_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("joins/tuple_set");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        let tuples: Vec<Tuple> = (0..n).map(|i| tuple![i % (n / 2), "NYC", i]).collect();
+        group.bench_with_input(BenchmarkId::new("insert_dedup", n), &tuples, |b, tuples| {
+            b.iter(|| {
+                let mut set = TupleSet::with_capacity(tuples.len());
+                for t in tuples {
+                    set.insert(t.clone());
+                }
+                black_box(set.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end hash-join throughput of the CQ evaluator on the social schema.
+fn bench_hash_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("joins/hash_join");
+    group.sample_size(10);
+    let q_join = parse_cq(r#"Q(p, name) :- friend(p, id), person(id, name, "NYC")"#).unwrap();
+    for persons in [1_000usize, 4_000] {
+        let db = SocialGenerator::new(SocialConfig {
+            persons,
+            restaurants: (persons / 20).max(10),
+            ..SocialConfig::default()
+        })
+        .generate();
+        group.bench_with_input(BenchmarkId::new("q1_unbound", persons), &db, |b, db| {
+            b.iter(|| evaluate_cq(&q_join, db, None).unwrap().len())
+        });
+        group.bench_with_input(BenchmarkId::new("q1_bound", persons), &db, |b, db| {
+            let bound = q1().bind(&[("p".into(), Value::int(7))]);
+            b.iter(|| evaluate_cq(&bound, db, None).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+/// Index probes on interned keys: the retrieval primitive under every fetch.
+fn bench_index_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("joins/index_probe");
+    group.sample_size(20);
+    let db = SocialGenerator::new(SocialConfig {
+        persons: 10_000,
+        restaurants: 500,
+        ..SocialConfig::default()
+    })
+    .generate();
+    let mut friend = db.relation("friend").unwrap().clone();
+    friend.ensure_index(&["id1".into()]).unwrap();
+    group.bench_function("select_eq_indexed", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for p in 0..64i64 {
+                let (rows, _) = friend.select_eq(&["id1".into()], &[Value::int(p)]).unwrap();
+                total += rows.len();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_binding_extension,
+    bench_tuple_set,
+    bench_hash_join,
+    bench_index_probe
+);
+criterion_main!(benches);

@@ -16,12 +16,21 @@ fn bench_qcntl(c: &mut Criterion) {
             DatabaseSchema::from_relations(vec![RelationSchema::new("r", &attr_refs)]).unwrap();
         let mut access = AccessSchema::new();
         for i in 0..k - 1 {
-            access.add(AccessConstraint::new("r", &[&attrs[i], &attrs[i + 1]], 10, 1));
+            access.add(AccessConstraint::new(
+                "r",
+                &[&attrs[i], &attrs[i + 1]],
+                10,
+                1,
+            ));
         }
         let head = attrs.join(", ");
         let q = parse_fo_query(&format!("Q({head}) := r({head})")).unwrap();
         group.bench_with_input(BenchmarkId::new("minimal_sets", k), &k, |b, _| {
-            b.iter(|| minimal_controlling_sets(&q, &schema, &access).unwrap().len())
+            b.iter(|| {
+                minimal_controlling_sets(&q, &schema, &access)
+                    .unwrap()
+                    .len()
+            })
         });
     }
     group.finish();

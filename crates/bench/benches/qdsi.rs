@@ -14,9 +14,11 @@ fn bench_qdsi(c: &mut Criterion) {
     for persons in [6usize, 10, 14] {
         let db = social_database(persons);
         let cq: AnyQuery = q1().bind(&[("p".into(), Value::int(0))]).into();
-        group.bench_with_input(BenchmarkId::new("cq_data_selecting", persons), &db, |b, db| {
-            b.iter(|| decide_qdsi(&cq, db, 4, &limits).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cq_data_selecting", persons),
+            &db,
+            |b, db| b.iter(|| decide_qdsi(&cq, db, 4, &limits).unwrap()),
+        );
         let boolean: AnyQuery = si_query::ConjunctiveQuery {
             name: "B".into(),
             head: vec![],
@@ -24,9 +26,11 @@ fn bench_qdsi(c: &mut Criterion) {
             equalities: vec![],
         }
         .into();
-        group.bench_with_input(BenchmarkId::new("cq_boolean_fast_path", persons), &db, |b, db| {
-            b.iter(|| decide_qdsi(&boolean, db, 2, &limits).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cq_boolean_fast_path", persons),
+            &db,
+            |b, db| b.iter(|| decide_qdsi(&boolean, db, 2, &limits).unwrap()),
+        );
     }
     // FO subset enumeration only on a very small instance.
     let db = social_database(5);

@@ -11,7 +11,9 @@
 //! `qcntl`, `ra`, `vqsi`, `ablation`.
 
 use si_access::{facebook_access_schema, AccessIndexedDatabase};
-use si_bench::{dated_social_database, q1_scaling_rows, q2_access_schema, q2_views_rows, social_database};
+use si_bench::{
+    dated_social_database, q1_scaling_rows, q2_access_schema, q2_views_rows, social_database,
+};
 use si_core::controllability::{AlgebraControllability, ExprForm};
 use si_core::prelude::*;
 use si_core::{decide_qcntl, decide_qdsi, DecisionMethod, SearchLimits};
@@ -107,7 +109,11 @@ fn exp_table1() {
             db.size(),
             2,
             out.explored,
-            format!("{}/{:?}", out.scale_independent, DecisionMethod::BooleanCqFastPath == out.method),
+            format!(
+                "{}/{:?}",
+                out.scale_independent,
+                DecisionMethod::BooleanCqFastPath == out.method
+            ),
             t.elapsed()
         );
         // FO subset enumeration — PSPACE/Σ-hard flavour: exponential blow-up.
@@ -154,7 +160,11 @@ fn exp_q1() {
     for row in q1_scaling_rows(&[1_000, 4_000, 16_000, 64_000]) {
         println!(
             "{:<10} {:>10} {:>16} {:>16} {:>10.1}",
-            row.label, row.database_size, row.bounded_tuples, row.naive_tuples, row.ratio()
+            row.label,
+            row.database_size,
+            row.bounded_tuples,
+            row.naive_tuples,
+            row.ratio()
         );
     }
 }
@@ -169,7 +179,9 @@ fn exp_q3() {
     let planner_rich = BoundedPlanner::new(&schema, &enriched);
     println!(
         "plannable(p,yy) under plain schema:    {}",
-        planner_plain.plan(&q3(), &["p".into(), "yy".into()]).is_ok()
+        planner_plain
+            .plan(&q3(), &["p".into(), "yy".into()])
+            .is_ok()
     );
     println!(
         "plannable(p,yy) under embedded schema: {}",
@@ -214,13 +226,9 @@ fn exp_q2_incremental() {
         let db = social_database(persons);
         let size = db.size();
         let mut adb = AccessIndexedDatabase::new(db, access.clone()).expect("adb");
-        let mut evaluator = IncrementalBoundedEvaluator::new(
-            q2(),
-            vec!["p".into()],
-            vec![Value::int(7)],
-            &adb,
-        )
-        .expect("evaluator");
+        let mut evaluator =
+            IncrementalBoundedEvaluator::new(q2(), vec!["p".into()], vec![Value::int(7)], &adb)
+                .expect("evaluator");
         let delta = visit_insertions(adb.database(), 100, 99);
         let cost = evaluator.apply_update(&mut adb, &delta).expect("update");
         let recompute =
@@ -247,7 +255,11 @@ fn exp_q2_views() {
     for row in q2_views_rows(&[1_000, 4_000, 16_000]) {
         println!(
             "{:<10} {:>10} {:>20} {:>16} {:>10.1}",
-            row.label, row.database_size, row.bounded_tuples, row.naive_tuples, row.ratio()
+            row.label,
+            row.database_size,
+            row.bounded_tuples,
+            row.naive_tuples,
+            row.ratio()
         );
     }
 }

@@ -6,17 +6,20 @@
 //! through the access-schema-mediated retrieval primitives of
 //! [`AccessIndexedDatabase`].  The result records the answers, the witness
 //! `D_Q` (the base facts actually used) and the exact access cost.
+//!
+//! Assignments are flat [`Binding`]s over a [`VarTable`] built once per
+//! execution: variables are numbered up front, atoms and equalities are
+//! compiled to slot ids, and every extension step clones a flat slab of
+//! `Copy` values instead of a `BTreeMap` — the copy-cheap data plane shared
+//! with the `si-query` evaluators.
 
 use crate::bounded::plan::{BoundedPlan, PlanStep};
 use crate::error::CoreError;
 use crate::si::Witness;
 use si_access::AccessIndexedDatabase;
-use si_data::{MeterSnapshot, Tuple, Value};
-use si_query::{Term, Var};
-use std::collections::{BTreeMap, BTreeSet};
-
-/// A variable assignment built during execution.
-type Assignment = BTreeMap<Var, Value>;
+use si_data::{MeterSnapshot, Tuple, TupleSet, Value};
+use si_query::binding::{Binding, VarId, VarTable};
+use si_query::Term;
 
 /// The result of executing a bounded plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +30,46 @@ pub struct BoundedAnswer {
     pub witness: Witness,
     /// The access cost of this execution (difference of meter snapshots).
     pub accesses: MeterSnapshot,
+}
+
+/// An atom term compiled to the plan's variable table.
+#[derive(Debug, Clone, Copy)]
+enum CTerm {
+    Slot(VarId),
+    Const(Value),
+}
+
+/// Where a probe-key component comes from.
+#[derive(Debug, Clone)]
+enum KeySrc {
+    Const(Value),
+    Slot(VarId),
+}
+
+/// Extends `binding` with the bindings induced by matching the compiled atom
+/// against `tuple`; returns `None` on any inconsistency (constant mismatch or
+/// conflicting variable binding).
+fn extend_binding(binding: &Binding, cterms: &[CTerm], tuple: &Tuple) -> Option<Binding> {
+    if tuple.arity() != cterms.len() {
+        return None;
+    }
+    let mut extended = binding.clone();
+    for (pos, ct) in cterms.iter().enumerate() {
+        let value = tuple[pos];
+        match ct {
+            CTerm::Const(c) => {
+                if *c != value {
+                    return None;
+                }
+            }
+            CTerm::Slot(id) => {
+                if !extended.bind(*id, value) {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(extended)
 }
 
 /// Executes `plan` with the given parameter values over `adb`.
@@ -47,54 +90,89 @@ pub fn execute_bounded(
     let before = adb.meter_snapshot();
     let schema = adb.database().schema();
 
-    // Seed assignment: parameters plus variables equated to constants.
-    let mut seed: Assignment = plan
-        .parameters
+    // --- compile: number the variables once, then translate atoms and
+    // equalities to slot ids.
+    let mut vars = VarTable::new();
+    for p in &plan.parameters {
+        vars.intern(p);
+    }
+    for v in plan.query.body_variables() {
+        vars.intern(&v);
+    }
+    let compiled: Vec<Vec<CTerm>> = plan
+        .query
+        .atoms
         .iter()
-        .cloned()
-        .zip(parameter_values.iter().cloned())
+        .map(|atom| {
+            atom.terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => CTerm::Slot(vars.intern(v)),
+                    Term::Const(c) => CTerm::Const(*c),
+                })
+                .collect()
+        })
         .collect();
+    let mut var_var_eqs: Vec<(VarId, VarId)> = Vec::new();
+    let mut var_const_eqs: Vec<(VarId, Value)> = Vec::new();
     let mut consistent = true;
     for (l, r) in &plan.query.equalities {
         match (l, r) {
+            (Term::Var(a), Term::Var(b)) => {
+                var_var_eqs.push((vars.intern(a), vars.intern(b)));
+            }
             (Term::Var(v), Term::Const(c)) | (Term::Const(c), Term::Var(v)) => {
-                match seed.get(v) {
-                    Some(existing) if existing != c => consistent = false,
-                    _ => {
-                        seed.insert(v.clone(), c.clone());
-                    }
+                var_const_eqs.push((vars.intern(v), *c));
+            }
+            (Term::Const(c1), Term::Const(c2)) => {
+                if c1 != c2 {
+                    consistent = false;
                 }
             }
-            (Term::Const(c1), Term::Const(c2)) if c1 != c2 => consistent = false,
-            _ => {}
         }
     }
 
-    let mut assignments: Vec<Assignment> = if consistent { vec![seed] } else { Vec::new() };
+    // Seed binding: parameters plus variables equated to constants.
+    let mut seed = Binding::for_table(&vars);
+    for (p, value) in plan.parameters.iter().zip(parameter_values.iter()) {
+        let id = vars.id_of(p).expect("parameter interned above");
+        if !seed.bind(id, *value) {
+            consistent = false;
+        }
+    }
+    for (id, c) in &var_const_eqs {
+        if !seed.bind(*id, *c) {
+            consistent = false;
+        }
+    }
+
+    // Boundness is uniform across the rows of a step, so it is tracked once.
+    let mut bound: Vec<bool> = (0..vars.len() as VarId)
+        .map(|id| seed.is_bound(id))
+        .collect();
+    let mut rows: Vec<Binding> = if consistent { vec![seed] } else { Vec::new() };
     let mut witness_facts: Vec<(String, Tuple)> = Vec::new();
 
     for step in &plan.steps {
-        if assignments.is_empty() {
+        if rows.is_empty() {
             break;
         }
-        // Propagate variable/variable equalities into each assignment where
-        // one side is known.
-        for assignment in assignments.iter_mut() {
+        // Propagate variable/variable equalities into each row where one side
+        // is known, and fold the resulting boundness into `bound`.
+        for row in rows.iter_mut() {
             loop {
                 let mut changed = false;
-                for (l, r) in &plan.query.equalities {
-                    if let (Term::Var(a), Term::Var(b)) = (l, r) {
-                        if let (Some(va), None) =
-                            (assignment.get(a).cloned(), assignment.get(b).cloned())
-                        {
-                            assignment.insert(b.clone(), va);
-                            changed = true;
-                        } else if let (None, Some(vb)) =
-                            (assignment.get(a).cloned(), assignment.get(b).cloned())
-                        {
-                            assignment.insert(a.clone(), vb);
+                for (a, b) in &var_var_eqs {
+                    match (row.get(*a), row.get(*b)) {
+                        (Some(va), None) => {
+                            row.set(*b, va);
                             changed = true;
                         }
+                        (None, Some(vb)) => {
+                            row.set(*a, vb);
+                            changed = true;
+                        }
+                        _ => {}
                     }
                 }
                 if !changed {
@@ -102,111 +180,134 @@ pub fn execute_bounded(
                 }
             }
         }
+        loop {
+            let mut changed = false;
+            for (a, b) in &var_var_eqs {
+                let (ba, bb) = (bound[*a as usize], bound[*b as usize]);
+                if ba != bb {
+                    bound[*a as usize] = true;
+                    bound[*b as usize] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
 
         let atom = &plan.query.atoms[step.atom_index()];
+        let cterms = &compiled[step.atom_index()];
         let rel_schema = schema.relation(&atom.relation)?;
-        let mut next: Vec<Assignment> = Vec::new();
+        let mut next: Vec<Binding> = Vec::new();
 
         match step {
             PlanStep::Fetch {
                 probe_attributes, ..
             } => {
-                for assignment in &assignments {
-                    // Build the probe key from the bound positions named in
-                    // the plan; positions that became bound later (not in the
-                    // recorded list) are checked after the fetch.
-                    let mut attrs: Vec<String> = Vec::new();
-                    let mut key: Vec<Value> = Vec::new();
-                    for a in probe_attributes {
-                        let pos = rel_schema.position_of(a)?;
-                        match &atom.terms[pos] {
-                            Term::Const(c) => {
-                                attrs.push(a.clone());
-                                key.push(c.clone());
-                            }
-                            Term::Var(v) => {
-                                if let Some(value) = assignment.get(v) {
-                                    attrs.push(a.clone());
-                                    key.push(value.clone());
-                                }
+                // Resolve the probe attributes once: constants and bound
+                // slots form the key; positions that became bound later (not
+                // in the recorded list) are checked after the fetch by
+                // `extend_binding`.
+                let mut fetch_attrs: Vec<String> = Vec::new();
+                let mut key_src: Vec<KeySrc> = Vec::new();
+                for a in probe_attributes {
+                    let pos = rel_schema.position_of(a)?;
+                    match cterms[pos] {
+                        CTerm::Const(c) => {
+                            fetch_attrs.push(a.clone());
+                            key_src.push(KeySrc::Const(c));
+                        }
+                        CTerm::Slot(id) => {
+                            if bound[id as usize] {
+                                fetch_attrs.push(a.clone());
+                                key_src.push(KeySrc::Slot(id));
                             }
                         }
                     }
-                    let fetched = adb.fetch(&atom.relation, &attrs, &key)?;
+                }
+                let mut key: Vec<Value> = Vec::with_capacity(key_src.len());
+                for row in &rows {
+                    key.clear();
+                    for src in &key_src {
+                        key.push(match src {
+                            KeySrc::Const(c) => *c,
+                            KeySrc::Slot(id) => row.get(*id).expect("bound slot carries a value"),
+                        });
+                    }
+                    let fetched = adb.fetch(&atom.relation, &fetch_attrs, &key)?;
                     for tuple in fetched {
-                        if let Some(extended) = extend_assignment(assignment, atom, &tuple) {
-                            witness_facts.push((atom.relation.clone(), tuple.clone()));
+                        if let Some(extended) = extend_binding(row, cterms, &tuple) {
+                            witness_facts.push((atom.relation.clone(), tuple));
                             next.push(extended);
                         }
+                    }
+                }
+                for ct in cterms {
+                    if let CTerm::Slot(id) = ct {
+                        bound[*id as usize] = true;
                     }
                 }
             }
             PlanStep::Enumerate { constraint, .. } => {
                 // Enumerate values for the constraint's output attributes that
                 // are not yet bound.
-                for assignment in &assignments {
-                    let mut from_attrs: Vec<String> = Vec::new();
-                    let mut from_key: Vec<Value> = Vec::new();
-                    for a in &constraint.from {
-                        let pos = rel_schema.position_of(a)?;
-                        match &atom.terms[pos] {
-                            Term::Const(c) => {
-                                from_attrs.push(a.clone());
-                                from_key.push(c.clone());
+                let mut from_attrs: Vec<String> = Vec::new();
+                let mut key_src: Vec<KeySrc> = Vec::new();
+                for a in &constraint.from {
+                    let pos = rel_schema.position_of(a)?;
+                    match cterms[pos] {
+                        CTerm::Const(c) => {
+                            from_attrs.push(a.clone());
+                            key_src.push(KeySrc::Const(c));
+                        }
+                        CTerm::Slot(id) => {
+                            if !bound[id as usize] {
+                                return Err(CoreError::Invariant(format!(
+                                    "enumerate step requires `{}` to be bound",
+                                    vars.name_of(id)
+                                )));
                             }
-                            Term::Var(v) => {
-                                let value = assignment.get(v).ok_or_else(|| {
-                                    CoreError::Invariant(format!(
-                                        "enumerate step requires `{v}` to be bound"
-                                    ))
-                                })?;
-                                from_attrs.push(a.clone());
-                                from_key.push(value.clone());
-                            }
+                            from_attrs.push(a.clone());
+                            key_src.push(KeySrc::Slot(id));
                         }
                     }
-                    let onto: Vec<String> = constraint.onto.clone();
+                }
+                let onto = &constraint.onto;
+                let onto_cterms: Vec<CTerm> = onto
+                    .iter()
+                    .map(|a| rel_schema.position_of(a).map(|pos| cterms[pos]))
+                    .collect::<Result<_, _>>()?;
+                let mut key: Vec<Value> = Vec::with_capacity(key_src.len());
+                for row in &rows {
+                    key.clear();
+                    for src in &key_src {
+                        key.push(match src {
+                            KeySrc::Const(c) => *c,
+                            KeySrc::Slot(id) => row.get(*id).expect("bound slot carries a value"),
+                        });
+                    }
                     let projections =
-                        adb.fetch_embedded(&atom.relation, &from_attrs, &from_key, &onto)?;
+                        adb.fetch_embedded(&atom.relation, &from_attrs, &key, onto)?;
                     for proj in projections {
                         // proj is a tuple over `onto` attribute order.
-                        let mut extended = assignment.clone();
-                        let mut ok = true;
-                        for (a, value) in onto.iter().zip(proj.iter()) {
-                            let pos = rel_schema.position_of(a)?;
-                            match &atom.terms[pos] {
-                                Term::Const(c) => {
-                                    if c != value {
-                                        ok = false;
-                                        break;
-                                    }
-                                }
-                                Term::Var(v) => match extended.get(v) {
-                                    Some(existing) if existing != value => {
-                                        ok = false;
-                                        break;
-                                    }
-                                    Some(_) => {}
-                                    None => {
-                                        extended.insert(v.clone(), value.clone());
-                                    }
-                                },
-                            }
-                        }
-                        if ok {
+                        if let Some(extended) = extend_binding(row, &onto_cterms, &proj) {
                             next.push(extended);
                         }
                     }
                 }
+                for ct in &onto_cterms {
+                    if let CTerm::Slot(id) = ct {
+                        bound[*id as usize] = true;
+                    }
+                }
             }
             PlanStep::Check { .. } => {
-                for assignment in &assignments {
-                    let tuple: Option<Tuple> = atom
-                        .terms
+                for row in &rows {
+                    let tuple: Option<Tuple> = cterms
                         .iter()
-                        .map(|t| match t {
-                            Term::Const(c) => Some(c.clone()),
-                            Term::Var(v) => assignment.get(v).cloned(),
+                        .map(|ct| match ct {
+                            CTerm::Const(c) => Some(*c),
+                            CTerm::Slot(id) => row.get(*id),
                         })
                         .collect();
                     let tuple = tuple.ok_or_else(|| {
@@ -216,74 +317,50 @@ pub fn execute_bounded(
                     })?;
                     if adb.contains(&atom.relation, &tuple)? {
                         witness_facts.push((atom.relation.clone(), tuple));
-                        next.push(assignment.clone());
+                        next.push(row.clone());
                     }
                 }
             }
         }
-        assignments = next;
+        rows = next;
     }
 
     // Final equality filter (covers equalities between variables bound by
     // different steps).
-    assignments.retain(|assignment| {
-        plan.query.equalities.iter().all(|(l, r)| {
-            let value_of = |t: &Term| match t {
-                Term::Var(v) => assignment.get(v).cloned(),
-                Term::Const(c) => Some(c.clone()),
-            };
-            match (value_of(l), value_of(r)) {
-                (Some(a), Some(b)) => a == b,
+    rows.retain(|row| {
+        var_var_eqs
+            .iter()
+            .all(|(a, b)| match (row.get(*a), row.get(*b)) {
+                (Some(va), Some(vb)) => va == vb,
                 _ => false,
-            }
-        })
+            })
+            && var_const_eqs.iter().all(|(id, c)| row.get(*id) == Some(*c))
     });
 
-    // Project onto the output variables.
+    // Project onto the output variables, deduplicating in derivation order.
     let outputs = plan.output_variables();
-    let mut seen: BTreeSet<Tuple> = BTreeSet::new();
-    let mut answers: Vec<Tuple> = Vec::new();
-    for assignment in &assignments {
-        let tuple: Option<Tuple> = outputs.iter().map(|v| assignment.get(v).cloned()).collect();
-        let tuple = tuple.ok_or_else(|| {
+    let output_ids: Vec<VarId> = outputs
+        .iter()
+        .map(|v| {
+            vars.id_of(v).ok_or_else(|| {
+                CoreError::Invariant(format!("output variable `{v}` missing from the plan"))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let mut answers = TupleSet::new();
+    for row in &rows {
+        let tuple = row.project(&output_ids).ok_or_else(|| {
             CoreError::Invariant("output variable not bound at the end of the plan".into())
         })?;
-        if seen.insert(tuple.clone()) {
-            answers.push(tuple);
-        }
+        answers.insert(tuple);
     }
 
     let after = adb.meter_snapshot();
     Ok(BoundedAnswer {
-        answers,
+        answers: answers.into_vec(),
         witness: Witness::from_facts(witness_facts),
         accesses: after.since(&before),
     })
-}
-
-/// Extends `assignment` with the bindings induced by matching `atom` against
-/// `tuple`; returns `None` on any inconsistency (constant mismatch or
-/// conflicting variable binding).
-fn extend_assignment(assignment: &Assignment, atom: &si_query::Atom, tuple: &Tuple) -> Option<Assignment> {
-    let mut extended = assignment.clone();
-    for (pos, term) in atom.terms.iter().enumerate() {
-        let value = tuple.get(pos)?;
-        match term {
-            Term::Const(c) => {
-                if c != value {
-                    return None;
-                }
-            }
-            Term::Var(v) => match extended.get(v) {
-                Some(existing) if existing != value => return None,
-                Some(_) => {}
-                None => {
-                    extended.insert(v.clone(), value.clone());
-                }
-            },
-        }
-    }
-    Some(extended)
 }
 
 #[cfg(test)]
@@ -309,7 +386,13 @@ mod tests {
         .unwrap();
         db.insert_all(
             "friend",
-            vec![tuple![1, 2], tuple![1, 3], tuple![1, 4], tuple![2, 4], tuple![3, 1]],
+            vec![
+                tuple![1, 2],
+                tuple![1, 3],
+                tuple![1, 4],
+                tuple![2, 4],
+                tuple![3, 1],
+            ],
         )
         .unwrap();
         db.insert_all(
@@ -384,8 +467,12 @@ mod tests {
         // Q2 for a fixed person: friend, visit, person, restr.  visit has no
         // constraint in the plain Facebook schema, so add one on id.
         let schema = social_schema();
-        let access = facebook_access_schema(5000)
-            .with(si_access::AccessConstraint::new("visit", &["id"], 1000, 1));
+        let access = facebook_access_schema(5000).with(si_access::AccessConstraint::new(
+            "visit",
+            &["id"],
+            1000,
+            1,
+        ));
         let planner = BoundedPlanner::new(&schema, &access);
         let q2 = parse_cq(
             r#"Q2(p, rn) :- friend(p, id), visit(id, rid), person(id, pn, "NYC"), restr(rid, rn, "NYC", "A")"#,
@@ -430,14 +517,21 @@ mod tests {
         let mut db = Database::empty(schema.clone());
         db.insert_all(
             "person",
-            vec![tuple![1, "ann", "NYC"], tuple![2, "bob", "NYC"], tuple![3, "cat", "LA"]],
+            vec![
+                tuple![1, "ann", "NYC"],
+                tuple![2, "bob", "NYC"],
+                tuple![3, "cat", "LA"],
+            ],
         )
         .unwrap();
         db.insert_all("friend", vec![tuple![1, 2], tuple![1, 3]])
             .unwrap();
         db.insert_all(
             "restr",
-            vec![tuple![10, "sushi", "NYC", "A"], tuple![11, "taco", "NYC", "B"]],
+            vec![
+                tuple![10, "sushi", "NYC", "A"],
+                tuple![11, "taco", "NYC", "B"],
+            ],
         )
         .unwrap();
         db.insert_all(
@@ -451,16 +545,12 @@ mod tests {
         )
         .unwrap();
         let adb = AccessIndexedDatabase::new(db, access).unwrap();
-        let result =
-            execute_bounded(&plan, &[Value::int(1), Value::int(2013)], &adb).unwrap();
+        let result = execute_bounded(&plan, &[Value::int(1), Value::int(2013)], &adb).unwrap();
         // Friend 2 (NYC) visited sushi (A-rated, NYC) in 2013; taco is
         // B-rated; friend 3 lives in LA.
         assert_eq!(result.answers, vec![tuple!["sushi"]]);
         // Cross-check with naive evaluation of the bound query.
-        let bound = q3.bind(&[
-            ("p".into(), Value::int(1)),
-            ("yy".into(), Value::int(2013)),
-        ]);
+        let bound = q3.bind(&[("p".into(), Value::int(1)), ("yy".into(), Value::int(2013))]);
         assert_eq!(
             result.answers,
             evaluate_cq(&bound, adb.database(), None).unwrap()

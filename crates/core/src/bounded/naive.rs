@@ -56,7 +56,11 @@ mod tests {
         let mut db = Database::empty(social_schema());
         db.insert_all(
             "person",
-            vec![tuple![1, "ann", "NYC"], tuple![2, "bob", "NYC"], tuple![3, "cat", "LA"]],
+            vec![
+                tuple![1, "ann", "NYC"],
+                tuple![2, "bob", "NYC"],
+                tuple![3, "cat", "LA"],
+            ],
         )
         .unwrap();
         db.insert_all("friend", vec![tuple![1, 2], tuple![1, 3], tuple![2, 3]])

@@ -466,8 +466,7 @@ mod tests {
         let q = parse_cq(r#"Q(name) :- friend(p, id), person(id, name, "NYC"), p = 1"#).unwrap();
         assert!(planner.is_plannable(&q, &[]));
         // And variable/variable equalities propagate bound-ness.
-        let q =
-            parse_cq(r#"Q(name) :- friend(q, id), person(id, name, "NYC"), q = p"#).unwrap();
+        let q = parse_cq(r#"Q(name) :- friend(q, id), person(id, name, "NYC"), q = p"#).unwrap();
         assert!(planner.is_plannable(&q, &["p".into()]));
         assert!(!planner.is_plannable(&q, &[]));
     }
@@ -476,8 +475,12 @@ mod tests {
     fn cheaper_constraints_are_preferred() {
         let schema = social_schema();
         // Two constraints on friend: a loose one on id1 and a key on both.
-        let access = facebook_access_schema(5000)
-            .with(si_access::AccessConstraint::new("friend", &["id1", "id2"], 1, 1));
+        let access = facebook_access_schema(5000).with(si_access::AccessConstraint::new(
+            "friend",
+            &["id1", "id2"],
+            1,
+            1,
+        ));
         let planner = BoundedPlanner::new(&schema, &access);
         // With both endpoints bound the planner picks the key (bound 1) — via
         // a membership check or the tight constraint, never the 5000 one.

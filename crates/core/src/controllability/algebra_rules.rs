@@ -111,11 +111,7 @@ impl<'a> AlgebraControllability<'a> {
 
     /// The minimal attribute sets `X` with `(E, X) ∈ RA_A` for the requested
     /// form of `E`.
-    pub fn controlling_sets(
-        &self,
-        expr: &RaExpr,
-        form: ExprForm,
-    ) -> Result<AttrFamily, CoreError> {
+    pub fn controlling_sets(&self, expr: &RaExpr, form: ExprForm) -> Result<AttrFamily, CoreError> {
         match form {
             ExprForm::Plain => self.plain(expr),
             ExprForm::Delta => self.delta(expr),
@@ -124,11 +120,7 @@ impl<'a> AlgebraControllability<'a> {
     }
 
     /// Theorem 5.4(1): is `σ_{X=a̅}(E)` scale-independent for `X = attrs`?
-    pub fn is_scale_independent(
-        &self,
-        expr: &RaExpr,
-        attrs: &[String],
-    ) -> Result<bool, CoreError> {
+    pub fn is_scale_independent(&self, expr: &RaExpr, attrs: &[String]) -> Result<bool, CoreError> {
         let set: AttrSet = attrs.iter().cloned().collect();
         let out_attrs: AttrSet = expr.attributes(self.schema)?.into_iter().collect();
         if !set.is_subset(&out_attrs) {
@@ -301,9 +293,7 @@ impl<'a> AlgebraControllability<'a> {
                 }
                 family
             }
-            RaExpr::Rename(input, mapping) => {
-                rename_family(self.nabla(input)?, mapping)
-            }
+            RaExpr::Rename(input, mapping) => rename_family(self.nabla(input)?, mapping),
             RaExpr::Union(l, r) => {
                 // Requires (Ei∇, Xi), (Ei, attr), (Ei∆, attr).
                 if self.plain(l)?.is_controlled()
@@ -498,8 +488,8 @@ mod tests {
     #[test]
     fn selection_discharges_fixed_attributes() {
         let schema = social_schema();
-        let access = AccessSchema::new()
-            .with(AccessConstraint::new("person", &["id", "city"], 1, 1));
+        let access =
+            AccessSchema::new().with(AccessConstraint::new("person", &["id", "city"], 1, 1));
         let analyzer = AlgebraControllability::new(&schema, &access);
         let expr = RaExpr::relation("person").select_eq("city", "NYC");
         let family = analyzer.controlling_sets(&expr, ExprForm::Plain).unwrap();
@@ -550,8 +540,8 @@ mod tests {
     #[test]
     fn union_and_difference_follow_the_paper_rules() {
         let schema = social_schema();
-        let access = facebook_access_schema(5000)
-            .with(AccessConstraint::new("visit", &["id"], 100, 1));
+        let access =
+            facebook_access_schema(5000).with(AccessConstraint::new("visit", &["id"], 100, 1));
         let analyzer = AlgebraControllability::new(&schema, &access);
         // visit ∪ visit: controlled by id (union of the two sides' sets).
         let u = RaExpr::relation("visit").union(RaExpr::relation("visit"));

@@ -62,10 +62,7 @@ pub fn decide_qcntl_min(
 ) -> Result<bool, CoreError> {
     let analyzer = ControllabilityAnalyzer::new(schema, access);
     let family = analyzer.query_controlling_sets(query)?;
-    Ok(family
-        .sets()
-        .iter()
-        .any(|s| s.contains(variable)))
+    Ok(family.sets().iter().any(|s| s.contains(variable)))
 }
 
 /// Returns every minimal controlling set of the query (the full family),
@@ -99,10 +96,9 @@ mod tests {
     fn q1_is_controllable_with_one_variable() {
         let schema = social_schema();
         let access = facebook_access_schema(5000);
-        let q1 = parse_fo_query(
-            r#"Q1(p, name) := exists id. friend(p, id) & person(id, name, "NYC")"#,
-        )
-        .unwrap();
+        let q1 =
+            parse_fo_query(r#"Q1(p, name) := exists id. friend(p, id) & person(id, name, "NYC")"#)
+                .unwrap();
         let out = decide_qcntl(&q1, &schema, &access, 1).unwrap();
         assert!(out.controllable_within);
         assert_eq!(out.smallest, Some(vec!["p".to_string()]));
@@ -114,10 +110,9 @@ mod tests {
     fn qcntl_min_detects_prime_variables() {
         let schema = social_schema();
         let access = facebook_access_schema(5000);
-        let q1 = parse_fo_query(
-            r#"Q1(p, name) := exists id. friend(p, id) & person(id, name, "NYC")"#,
-        )
-        .unwrap();
+        let q1 =
+            parse_fo_query(r#"Q1(p, name) := exists id. friend(p, id) & person(id, name, "NYC")"#)
+                .unwrap();
         // p occurs in the minimal controlling set {p}; name does not occur
         // in any minimal controlling set.
         assert!(decide_qcntl_min(&q1, &schema, &access, "p").unwrap());
@@ -151,10 +146,7 @@ mod tests {
             .with(AccessConstraint::new("r", &["b"], 10, 1));
         let q = parse_fo_query("Q(a, b) := exists c. r(a, b, c)").unwrap();
         let sets = minimal_controlling_sets(&q, &schema, &access).unwrap();
-        assert_eq!(
-            sets,
-            vec![vec!["a".to_string()], vec!["b".to_string()]]
-        );
+        assert_eq!(sets, vec![vec!["a".to_string()], vec!["b".to_string()]]);
         let out = decide_qcntl(&q, &schema, &access, 1).unwrap();
         assert!(out.controllable_within);
         assert_eq!(out.family_size, 2);

@@ -24,7 +24,7 @@
 
 use crate::error::CoreError;
 use si_access::AccessSchema;
-use si_query::{Atom, Formula, FoQuery, Term, Var};
+use si_query::{Atom, FoQuery, Formula, Term, Var};
 use std::collections::BTreeSet;
 
 /// A controlling set of variables.
@@ -515,10 +515,9 @@ mod tests {
         let schema = social_schema();
         let access = facebook_access_schema(5000);
         let analyzer = ControllabilityAnalyzer::new(&schema, &access);
-        let q1 = parse_fo_query(
-            r#"Q1(p, name) := exists id. friend(p, id) & person(id, name, "NYC")"#,
-        )
-        .unwrap();
+        let q1 =
+            parse_fo_query(r#"Q1(p, name) := exists id. friend(p, id) & person(id, name, "NYC")"#)
+                .unwrap();
         assert!(analyzer.is_controlled_by(&q1, &["p".into()]).unwrap());
         assert!(analyzer
             .is_controlled_by(&q1, &["p".into(), "name".into()])
@@ -536,10 +535,9 @@ mod tests {
         let schema = social_schema();
         let access = AccessSchema::new();
         let analyzer = ControllabilityAnalyzer::new(&schema, &access);
-        let q1 = parse_fo_query(
-            r#"Q1(p, name) := exists id. friend(p, id) & person(id, name, "NYC")"#,
-        )
-        .unwrap();
+        let q1 =
+            parse_fo_query(r#"Q1(p, name) := exists id. friend(p, id) & person(id, name, "NYC")"#)
+                .unwrap();
         assert!(!analyzer.is_controlled_by(&q1, &["p".into()]).unwrap());
         // Even all free variables do not control it: id is existentially
         // quantified and no constraint lets us enumerate it.
@@ -597,14 +595,16 @@ mod tests {
     #[test]
     fn disjunction_unions_controlling_sets() {
         let schema = social_schema();
-        let access = facebook_access_schema(5000)
-            .with(AccessConstraint::new("person", &["city"], 1_000_000, 5));
+        let access = facebook_access_schema(5000).with(AccessConstraint::new(
+            "person",
+            &["city"],
+            1_000_000,
+            5,
+        ));
         let analyzer = ControllabilityAnalyzer::new(&schema, &access);
         // Q(p, id, city) := friend(p, id) | exists n. person(id, n, city)
-        let q = parse_fo_query(
-            "Q(p, id, city) := friend(p, id) | (exists n. person(id, n, city))",
-        )
-        .unwrap();
+        let q = parse_fo_query("Q(p, id, city) := friend(p, id) | (exists n. person(id, n, city))")
+            .unwrap();
         // friend is p-controlled (id1 constraint); person is city-controlled
         // and id-controlled (key); union needs one set from each side.
         assert!(analyzer
@@ -659,10 +659,9 @@ mod tests {
             .with(AccessConstraint::new("r", &["a"], 100, 1))
             .with(AccessConstraint::new("s", &["a", "b"], 50, 1));
         let analyzer = ControllabilityAnalyzer::new(&schema, &access);
-        let q = parse_fo_query(
-            "Q(x, y) := r(x, y) & x = 1 & (forall z. (s(x, y, z) -> t(x, y, z)))",
-        )
-        .unwrap();
+        let q =
+            parse_fo_query("Q(x, y) := r(x, y) & x = 1 & (forall z. (s(x, y, z) -> t(x, y, z)))")
+                .unwrap();
         assert!(analyzer.is_controlled_by(&q, &["x".into()]).unwrap());
         // Without the constraint on S, the universally quantified z cannot be
         // enumerated boundedly: every controlling set of the premise mentions

@@ -107,6 +107,8 @@ mod tests {
         assert!(CoreError::Unsupported("aggregation".into())
             .to_string()
             .contains("aggregation"));
-        assert!(CoreError::Invariant("oops".into()).to_string().contains("oops"));
+        assert!(CoreError::Invariant("oops".into())
+            .to_string()
+            .contains("oops"));
     }
 }

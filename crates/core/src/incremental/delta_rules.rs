@@ -42,9 +42,7 @@ pub fn new_expr(expr: &RaExpr) -> RaExpr {
         RaExpr::Join(l, r) => RaExpr::Join(Box::new(new_expr(l)), Box::new(new_expr(r))),
         RaExpr::Union(l, r) => RaExpr::Union(Box::new(new_expr(l)), Box::new(new_expr(r))),
         RaExpr::Diff(l, r) => RaExpr::Diff(Box::new(new_expr(l)), Box::new(new_expr(r))),
-        RaExpr::Intersect(l, r) => {
-            RaExpr::Intersect(Box::new(new_expr(l)), Box::new(new_expr(r)))
-        }
+        RaExpr::Intersect(l, r) => RaExpr::Intersect(Box::new(new_expr(l)), Box::new(new_expr(r))),
     }
 }
 
@@ -94,7 +92,10 @@ pub fn propagate(expr: &RaExpr) -> Result<ChangeExprs, CoreError> {
                     .nabla
                     .union(cr.nabla)
                     .diff(new_expr(l).union(new_expr(r))),
-                delta: cl.delta.union(cr.delta).diff((**l).clone().union((**r).clone())),
+                delta: cl
+                    .delta
+                    .union(cr.delta)
+                    .diff((**l).clone().union((**r).clone())),
             }
         }
         RaExpr::Diff(l, r) => {
@@ -196,14 +197,21 @@ mod tests {
         let mut db = Database::empty(social_schema());
         db.insert_all(
             "person",
-            vec![tuple![1, "ann", "NYC"], tuple![2, "bob", "NYC"], tuple![3, "cat", "LA"]],
+            vec![
+                tuple![1, "ann", "NYC"],
+                tuple![2, "bob", "NYC"],
+                tuple![3, "cat", "LA"],
+            ],
         )
         .unwrap();
         db.insert_all("friend", vec![tuple![1, 2], tuple![1, 3], tuple![2, 3]])
             .unwrap();
         db.insert_all(
             "restr",
-            vec![tuple![10, "sushi", "NYC", "A"], tuple![11, "taco", "LA", "B"]],
+            vec![
+                tuple![10, "sushi", "NYC", "A"],
+                tuple![11, "taco", "LA", "B"],
+            ],
         )
         .unwrap();
         db.insert_all("visit", vec![tuple![2, 10], tuple![3, 11]])

@@ -21,8 +21,9 @@ use crate::qdsi::SearchLimits;
 use crate::si::AnyQuery;
 use si_access::AccessIndexedDatabase;
 use si_data::{Database, Delta, MeterSnapshot, Tuple, Value};
-use si_query::{ConjunctiveQuery, Term, Var};
-use std::collections::{BTreeMap, BTreeSet};
+use si_query::binding::{Binding, VarId, VarTable};
+use si_query::{Atom, ConjunctiveQuery, Term, Var};
+use std::collections::BTreeSet;
 
 /// Is the insertion/deletion maintenance work for `query` bounded under
 /// `access` when updates target `relation` and the parameters `params` are
@@ -76,6 +77,12 @@ pub struct IncrementalBoundedEvaluator {
     answers: BTreeSet<Tuple>,
     /// Access cost of the initial (offline) computation.
     initial_cost: MeterSnapshot,
+    /// The query's variables, numbered once at construction time.
+    vars: VarTable,
+    /// Slot ids of `parameters`, aligned with `parameter_values`.
+    param_ids: Vec<VarId>,
+    /// Slot ids of the output (head minus parameter) variables.
+    output_ids: Vec<VarId>,
 }
 
 impl IncrementalBoundedEvaluator {
@@ -109,12 +116,33 @@ impl IncrementalBoundedEvaluator {
             }
         };
         let initial_cost = adb.meter_snapshot().since(&before);
+        // Number the variables once: parameters first, then body variables.
+        let mut vars = VarTable::new();
+        for p in &parameters {
+            vars.intern(p);
+        }
+        for v in query.body_variables() {
+            vars.intern(&v);
+        }
+        let param_ids: Vec<VarId> = parameters
+            .iter()
+            .map(|p| vars.id_of(p).expect("parameter interned above"))
+            .collect();
+        let output_ids: Vec<VarId> = query
+            .head
+            .iter()
+            .filter(|v| !parameters.contains(v))
+            .map(|v| vars.intern(v))
+            .collect();
         Ok(IncrementalBoundedEvaluator {
             query,
             parameters,
             parameter_values,
             answers,
             initial_cost,
+            vars,
+            param_ids,
+            output_ids,
         })
     }
 
@@ -161,7 +189,7 @@ impl IncrementalBoundedEvaluator {
                 if &atom.relation != relation {
                     continue;
                 }
-                let Some(bindings) = unify_atom(atom, tuple, &self.seed_assignment()) else {
+                let Some(bindings) = self.unify_atom(atom, tuple, self.seed_binding()) else {
                     continue;
                 };
                 let mut rest = self.query.clone();
@@ -172,21 +200,21 @@ impl IncrementalBoundedEvaluator {
                     // projections of the bindings.
                     self.project_answer(&bindings).into_iter().collect()
                 } else {
-                    let (given, values) = split_bindings(&bindings);
+                    let (given, values) = self.split_bindings(&bindings);
                     let plan = planner.plan(&rest, &given)?;
                     let result = execute_bounded(&plan, &values, adb)?;
                     // Rebuild full answers from the rest's outputs plus the
                     // bindings from the deleted tuple.
-                    let outputs = plan.output_variables();
+                    let output_ids = self.ids_of_outputs(&plan.output_variables());
                     result
                         .answers
                         .iter()
                         .filter_map(|t| {
-                            let mut assignment = bindings.clone();
-                            for (v, val) in outputs.iter().zip(t.iter()) {
-                                assignment.insert(v.clone(), val.clone());
+                            let mut extended = bindings.clone();
+                            for (&id, val) in output_ids.iter().zip(t.iter()) {
+                                extended.set(id, *val);
                             }
-                            self.project_answer(&assignment)
+                            self.project_answer(&extended)
                         })
                         .collect()
                 };
@@ -205,7 +233,7 @@ impl IncrementalBoundedEvaluator {
             let mut values = self.parameter_values.clone();
             for (v, val) in self.output_variables().iter().zip(candidate.iter()) {
                 given.push(v.clone());
-                values.push(val.clone());
+                values.push(*val);
             }
             let plan = planner.plan(&self.query, &given)?;
             // With every head variable given, the plan's output is the empty
@@ -223,7 +251,7 @@ impl IncrementalBoundedEvaluator {
                 if &atom.relation != relation {
                     continue;
                 }
-                let Some(bindings) = unify_atom(atom, tuple, &self.seed_assignment()) else {
+                let Some(bindings) = self.unify_atom(atom, tuple, self.seed_binding()) else {
                     continue;
                 };
                 let mut rest = self.query.clone();
@@ -235,17 +263,17 @@ impl IncrementalBoundedEvaluator {
                     }
                     continue;
                 }
-                let (given, values) = split_bindings(&bindings);
+                let (given, values) = self.split_bindings(&bindings);
                 let plan = planner.plan(&rest, &given)?;
                 let result = execute_bounded(&plan, &values, adb)?;
-                let outputs = plan.output_variables();
+                let output_ids = self.ids_of_outputs(&plan.output_variables());
                 for t in &result.answers {
-                    let mut assignment = bindings.clone();
-                    for (v, val) in outputs.iter().zip(t.iter()) {
-                        assignment.insert(v.clone(), val.clone());
+                    let mut extended = bindings.clone();
+                    for (&id, val) in output_ids.iter().zip(t.iter()) {
+                        extended.set(id, *val);
                     }
-                    if self.satisfies_equalities(&assignment) {
-                        if let Some(answer) = self.project_answer(&assignment) {
+                    if self.satisfies_equalities(&extended) {
+                        if let Some(answer) = self.project_answer(&extended) {
                             self.answers.insert(answer);
                         }
                     }
@@ -265,32 +293,74 @@ impl IncrementalBoundedEvaluator {
             .collect()
     }
 
-    fn seed_assignment(&self) -> BTreeMap<Var, Value> {
-        self.parameters
+    fn seed_binding(&self) -> Binding {
+        let mut binding = Binding::for_table(&self.vars);
+        for (&id, value) in self.param_ids.iter().zip(self.parameter_values.iter()) {
+            binding.set(id, *value);
+        }
+        binding
+    }
+
+    /// Slot ids of the named plan outputs (always query variables).
+    fn ids_of_outputs(&self, outputs: &[Var]) -> Vec<VarId> {
+        outputs
             .iter()
-            .cloned()
-            .zip(self.parameter_values.iter().cloned())
+            .map(|v| self.vars.id_of(v).expect("plan output is a query variable"))
             .collect()
     }
 
-    fn project_answer(&self, assignment: &BTreeMap<Var, Value>) -> Option<Tuple> {
-        self.output_variables()
-            .iter()
-            .map(|v| assignment.get(v).cloned())
-            .collect()
+    /// Unifies an atom of the query with a concrete tuple under an existing
+    /// partial binding; returns the extended binding or `None` on mismatch.
+    fn unify_atom(&self, atom: &Atom, tuple: &Tuple, seed: Binding) -> Option<Binding> {
+        if atom.terms.len() != tuple.arity() {
+            return None;
+        }
+        let mut binding = seed;
+        for (term, value) in atom.terms.iter().zip(tuple.iter()) {
+            match term {
+                Term::Const(c) => {
+                    if c != value {
+                        return None;
+                    }
+                }
+                Term::Var(v) => {
+                    let id = self.vars.id_of(v)?;
+                    if !binding.bind(id, *value) {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(binding)
     }
 
-    fn satisfies_equalities(&self, assignment: &BTreeMap<Var, Value>) -> bool {
+    fn project_answer(&self, binding: &Binding) -> Option<Tuple> {
+        binding.project(&self.output_ids)
+    }
+
+    fn satisfies_equalities(&self, binding: &Binding) -> bool {
         self.query.equalities.iter().all(|(l, r)| {
             let value_of = |t: &Term| match t {
-                Term::Var(v) => assignment.get(v).cloned(),
-                Term::Const(c) => Some(c.clone()),
+                Term::Var(v) => self.vars.id_of(v).and_then(|id| binding.get(id)),
+                Term::Const(c) => Some(*c),
             };
             match (value_of(l), value_of(r)) {
                 (Some(a), Some(b)) => a == b,
                 _ => true,
             }
         })
+    }
+
+    /// Resolves the bound slots back to `(name, value)` lists for the planner
+    /// API, which works on variable names.
+    fn split_bindings(&self, binding: &Binding) -> (Vec<Var>, Vec<Value>) {
+        let mut names = Vec::with_capacity(binding.bound_count());
+        let mut values = Vec::with_capacity(binding.bound_count());
+        for (name, value) in binding.to_named(&self.vars) {
+            names.push(name);
+            values.push(value);
+        }
+        (names, values)
     }
 }
 
@@ -299,46 +369,6 @@ impl IncrementalBoundedEvaluator {
 fn restrict_head(query: &mut ConjunctiveQuery) {
     let body: BTreeSet<Var> = query.body_variables().into_iter().collect();
     query.head.retain(|v| body.contains(v));
-}
-
-/// Unifies an atom with a concrete tuple under an existing partial
-/// assignment; returns the extended assignment or `None` on mismatch.
-fn unify_atom(
-    atom: &si_query::Atom,
-    tuple: &Tuple,
-    seed: &BTreeMap<Var, Value>,
-) -> Option<BTreeMap<Var, Value>> {
-    if atom.terms.len() != tuple.arity() {
-        return None;
-    }
-    let mut assignment = seed.clone();
-    for (term, value) in atom.terms.iter().zip(tuple.iter()) {
-        match term {
-            Term::Const(c) => {
-                if c != value {
-                    return None;
-                }
-            }
-            Term::Var(v) => match assignment.get(v) {
-                Some(existing) if existing != value => return None,
-                Some(_) => {}
-                None => {
-                    assignment.insert(v.clone(), value.clone());
-                }
-            },
-        }
-    }
-    Some(assignment)
-}
-
-fn split_bindings(bindings: &BTreeMap<Var, Value>) -> (Vec<Var>, Vec<Value>) {
-    let mut vars = Vec::with_capacity(bindings.len());
-    let mut values = Vec::with_capacity(bindings.len());
-    for (v, val) in bindings {
-        vars.push(v.clone());
-        values.push(val.clone());
-    }
-    (vars, values)
 }
 
 /// Checks whether a *specific* update admits a witness of size ≤ `m`:
@@ -477,7 +507,16 @@ pub fn decide_delta_qsi(
     limits: &SearchLimits,
 ) -> Result<bool, CoreError> {
     let mut chosen: Vec<(String, Tuple)> = Vec::new();
-    enumerate_updates(query, db, candidate_insertions, m, k, 0, &mut chosen, limits)
+    enumerate_updates(
+        query,
+        db,
+        candidate_insertions,
+        m,
+        k,
+        0,
+        &mut chosen,
+        limits,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -567,23 +606,15 @@ mod tests {
         assert!(maintenance_is_bounded(&q2(), &schema, &access, "visit", &["p".into()]).unwrap());
         // Insertions into friend: the rest contains visit with only id bound
         // and no constraint on visit → not bounded.
-        assert!(
-            !maintenance_is_bounded(&q2(), &schema, &access, "friend", &["p".into()]).unwrap()
-        );
+        assert!(!maintenance_is_bounded(&q2(), &schema, &access, "friend", &["p".into()]).unwrap());
         // Adding a visit-by-id constraint makes friend insertions bounded too.
-        let better = facebook_access_schema(5000)
-            .with(AccessConstraint::new("visit", &["id"], 100, 1));
-        assert!(
-            maintenance_is_bounded(&q2(), &schema, &better, "friend", &["p".into()]).unwrap()
-        );
+        let better =
+            facebook_access_schema(5000).with(AccessConstraint::new("visit", &["id"], 100, 1));
+        assert!(maintenance_is_bounded(&q2(), &schema, &better, "friend", &["p".into()]).unwrap());
         // Updates to person behave like updates to friend: unbounded under
         // the plain schema, bounded once visit is indexed by id.
-        assert!(
-            !maintenance_is_bounded(&q2(), &schema, &access, "person", &["p".into()]).unwrap()
-        );
-        assert!(
-            maintenance_is_bounded(&q2(), &schema, &better, "person", &["p".into()]).unwrap()
-        );
+        assert!(!maintenance_is_bounded(&q2(), &schema, &access, "person", &["p".into()]).unwrap());
+        assert!(maintenance_is_bounded(&q2(), &schema, &better, "person", &["p".into()]).unwrap());
         // A relation the query never mentions is trivially fine.
         let q_no_restr = parse_cq(r#"Q(p, id) :- friend(p, id), person(id, pn, "NYC")"#).unwrap();
         assert!(
@@ -595,13 +626,9 @@ mod tests {
     fn incremental_evaluator_tracks_insertions_boundedly() {
         let access = facebook_access_schema(5000);
         let mut adb = AccessIndexedDatabase::new(social_db(), access).unwrap();
-        let mut evaluator = IncrementalBoundedEvaluator::new(
-            q2(),
-            vec!["p".into()],
-            vec![Value::int(1)],
-            &adb,
-        )
-        .unwrap();
+        let mut evaluator =
+            IncrementalBoundedEvaluator::new(q2(), vec!["p".into()], vec![Value::int(1)], &adb)
+                .unwrap();
         assert_eq!(evaluator.answers(), vec![tuple!["sushi"]]);
 
         // Friend 4 visits restaurant 12 (ramen, A) and 11 (taco, B);
@@ -638,13 +665,9 @@ mod tests {
             .with(AccessConstraint::new("visit", &["id"], 100, 1))
             .with(AccessConstraint::new("visit", &["rid"], 100, 1));
         let mut adb = AccessIndexedDatabase::new(social_db(), access).unwrap();
-        let mut evaluator = IncrementalBoundedEvaluator::new(
-            q2(),
-            vec!["p".into()],
-            vec![Value::int(1)],
-            &adb,
-        )
-        .unwrap();
+        let mut evaluator =
+            IncrementalBoundedEvaluator::new(q2(), vec!["p".into()], vec![Value::int(1)], &adb)
+                .unwrap();
         assert_eq!(evaluator.answers(), vec![tuple!["sushi"]]);
         // Remove the only visit supporting "sushi".
         let update = Delta::deletions_from("visit", vec![tuple![2, 10]]);
@@ -668,10 +691,12 @@ mod tests {
         let q: AnyQuery = q2().bind(&[("p".into(), Value::int(1))]).into();
         let update = Delta::insertions_into("visit", vec![tuple![2, 10]]);
         // The change needs the friend, person and restr facts: 3 tuples.
-        assert!(decide_delta_qsi_for_update(&q, &db, &update, 3, &SearchLimits::default())
-            .unwrap());
-        assert!(!decide_delta_qsi_for_update(&q, &db, &update, 2, &SearchLimits::default())
-            .unwrap());
+        assert!(
+            decide_delta_qsi_for_update(&q, &db, &update, 3, &SearchLimits::default()).unwrap()
+        );
+        assert!(
+            !decide_delta_qsi_for_update(&q, &db, &update, 2, &SearchLimits::default()).unwrap()
+        );
     }
 
     #[test]

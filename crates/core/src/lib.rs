@@ -25,6 +25,16 @@
 //! * [`views`] — scale independence using views: rewritings, constrained
 //!   variables, VQSI, and view-assisted bounded execution.
 //!
+//! ## Execution representation
+//!
+//! All executors in this crate run on the **copy-cheap data plane** shared
+//! with `si-query`: `si_data::Value` is a `Copy` enum with interned strings,
+//! and partial assignments are flat `si_query::binding::Binding` slabs over a
+//! per-execution `si_query::binding::VarTable` (variables numbered once,
+//! atoms compiled to slot ids).  Extending an assignment — the inner loop of
+//! the Theorem-4.2 executor and of incremental maintenance — clones a flat
+//! array of `Copy` values instead of a `BTreeMap<Var, Value>`.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -66,7 +76,9 @@ pub mod qsi;
 pub mod si;
 pub mod views;
 
-pub use bounded::{execute_bounded, execute_naive, BoundedAnswer, BoundedPlan, BoundedPlanner, PlanStep};
+pub use bounded::{
+    execute_bounded, execute_naive, BoundedAnswer, BoundedPlan, BoundedPlanner, PlanStep,
+};
 pub use controllability::{
     decide_qcntl, decide_qcntl_min, minimal_controlling_sets, AlgebraControllability,
     ControlFamily, ControllabilityAnalyzer, EmbeddedControllability, ExprForm, QcntlOutcome,
@@ -91,7 +103,7 @@ pub type Result<T> = std::result::Result<T, CoreError>;
 pub mod prelude {
     pub use crate::bounded::{execute_bounded, execute_naive, BoundedPlanner};
     pub use crate::controllability::{
-        ControllabilityAnalyzer, EmbeddedControllability, AlgebraControllability, ExprForm,
+        AlgebraControllability, ControllabilityAnalyzer, EmbeddedControllability, ExprForm,
     };
     pub use crate::incremental::IncrementalBoundedEvaluator;
     pub use crate::qdsi::{decide_qdsi, SearchLimits};

@@ -20,7 +20,7 @@
 use crate::error::CoreError;
 use crate::si::{AnyQuery, Witness};
 use si_data::{Database, Tuple};
-use si_query::cq_eval::satisfying_assignments;
+use si_query::cq_eval::satisfying_bindings;
 use si_query::{ConjunctiveQuery, Term};
 use std::collections::BTreeSet;
 
@@ -126,15 +126,16 @@ pub fn minimal_witness_monotone(
                     .zip(answer.iter().cloned())
                     .collect::<Vec<_>>(),
             );
-            for assignment in satisfying_assignments(&bound, db, None)? {
+            let bindings = satisfying_bindings(&bound, db, None)?;
+            for row in &bindings.rows {
                 let mut facts: BTreeSet<(String, Tuple)> = BTreeSet::new();
                 for atom in &bound.atoms {
                     let tuple: Option<Tuple> = atom
                         .terms
                         .iter()
                         .map(|t| match t {
-                            Term::Const(c) => Some(c.clone()),
-                            Term::Var(v) => assignment.get(v).cloned(),
+                            Term::Const(c) => Some(*c),
+                            Term::Var(v) => bindings.vars.id_of(v).and_then(|id| row.get(id)),
                         })
                         .collect();
                     if let Some(tuple) = tuple {
@@ -191,12 +192,19 @@ fn search_cover(
     explored: &mut u64,
 ) -> Result<(), CoreError> {
     // Prune on the budget and on the best solution found so far.
-    let bound = best.as_ref().map(|b| b.len().saturating_sub(1)).unwrap_or(m);
+    let bound = best
+        .as_ref()
+        .map(|b| b.len().saturating_sub(1))
+        .unwrap_or(m);
     if chosen.len() > bound {
         return Ok(());
     }
     if depth == order.len() {
-        if best.as_ref().map(|b| chosen.len() < b.len()).unwrap_or(true) {
+        if best
+            .as_ref()
+            .map(|b| chosen.len() < b.len())
+            .unwrap_or(true)
+        {
             *best = Some(chosen.clone());
         }
         return Ok(());
@@ -218,7 +226,16 @@ fn search_cover(
         for f in &added {
             chosen.insert(f.clone());
         }
-        search_cover(per_answer, order, depth + 1, chosen, best, m, limits, explored)?;
+        search_cover(
+            per_answer,
+            order,
+            depth + 1,
+            chosen,
+            best,
+            m,
+            limits,
+            explored,
+        )?;
         for f in &added {
             chosen.remove(f);
         }
@@ -292,7 +309,16 @@ fn decide_fo(
     let mut explored: u64 = 0;
     // Enumerate subsets of size ≤ m by recursive choice.
     let mut current: Vec<(String, Tuple)> = Vec::new();
-    let found = enumerate_subsets(query, db, &target, &facts, 0, m, &mut current, &mut explored)?;
+    let found = enumerate_subsets(
+        query,
+        db,
+        &target,
+        &facts,
+        0,
+        m,
+        &mut current,
+        &mut explored,
+    )?;
     Ok(QdsiOutcome {
         scale_independent: found.is_some(),
         witness: found,
@@ -346,7 +372,7 @@ mod tests {
     use si_data::schema::social_schema;
     use si_data::tuple;
     use si_query::ast::{c, v, Atom};
-    use si_query::{ConjunctiveQuery, Formula, FoQuery, UnionQuery};
+    use si_query::{ConjunctiveQuery, FoQuery, Formula, UnionQuery};
 
     fn db() -> Database {
         let mut db = Database::empty(social_schema());
@@ -463,11 +489,7 @@ mod tests {
 
     #[test]
     fn ucq_witness_covers_all_disjunct_answers() {
-        let u = UnionQuery::new(
-            "U",
-            vec![q1_bound(1), q1_bound(2)],
-        )
-        .unwrap();
+        let u = UnionQuery::new("U", vec![q1_bound(1), q1_bound(2)]).unwrap();
         let q: AnyQuery = u.into();
         let d = db();
         // Answers: from p=1: bob, cat; from p=2: cat. "cat" can be derived

@@ -151,7 +151,7 @@ pub fn disjoint_copies(
                 .terms
                 .iter()
                 .map(|t| match t {
-                    Term::Const(c) => c.clone(),
+                    Term::Const(c) => *c,
                     Term::Var(v) => Value::str(format!("{v}#{i}")),
                 })
                 .collect();
@@ -182,7 +182,7 @@ pub fn decide_qsi_fo_bounded(
         let arity = rel.arity();
         let mut tuple_indices = vec![0usize; arity];
         loop {
-            let tuple: Tuple = tuple_indices.iter().map(|&i| domain[i].clone()).collect();
+            let tuple: Tuple = tuple_indices.iter().map(|&i| domain[i]).collect();
             candidates.push((rel.name().to_owned(), tuple));
             // Advance the odometer.
             let mut pos = 0;
@@ -217,9 +217,8 @@ pub fn decide_qsi_fo_bounded(
 
     // Enumerate subsets of the candidate facts of size ≤ depth.
     let mut chosen: Vec<(String, Tuple)> = Vec::new();
-    let found = search_fo_counterexample(
-        query, schema, m, depth, &candidates, 0, &mut chosen, limits,
-    )?;
+    let found =
+        search_fo_counterexample(query, schema, m, depth, &candidates, 0, &mut chosen, limits)?;
     Ok(match found {
         Some(db) => QsiAnswer::NotScaleIndependent(Box::new(db)),
         None => QsiAnswer::Unknown,
@@ -280,7 +279,7 @@ mod tests {
     use si_data::schema::social_schema;
     use si_data::RelationSchema;
     use si_query::ast::{c, v, Atom};
-    use si_query::{Formula, FoQuery};
+    use si_query::{FoQuery, Formula};
 
     fn q1() -> ConjunctiveQuery {
         ConjunctiveQuery::new(
@@ -320,12 +319,16 @@ mod tests {
                 Atom::new("person", vec![v("y"), v("n"), c("NYC")]),
             ],
         );
-        assert!(decide_qsi_cq(&boolean, &schema, 2, &SearchLimits::default())
-            .unwrap()
-            .is_scale_independent());
-        assert!(!decide_qsi_cq(&boolean, &schema, 1, &SearchLimits::default())
-            .unwrap()
-            .is_scale_independent());
+        assert!(
+            decide_qsi_cq(&boolean, &schema, 2, &SearchLimits::default())
+                .unwrap()
+                .is_scale_independent()
+        );
+        assert!(
+            !decide_qsi_cq(&boolean, &schema, 1, &SearchLimits::default())
+                .unwrap()
+                .is_scale_independent()
+        );
     }
 
     #[test]
@@ -341,9 +344,11 @@ mod tests {
                 Atom::new("friend", vec![v("u"), v("w")]),
             ],
         );
-        assert!(decide_qsi_cq(&boolean, &schema, 1, &SearchLimits::default())
-            .unwrap()
-            .is_scale_independent());
+        assert!(
+            decide_qsi_cq(&boolean, &schema, 1, &SearchLimits::default())
+                .unwrap()
+                .is_scale_independent()
+        );
     }
 
     #[test]
@@ -390,8 +395,8 @@ mod tests {
         // With M = 1 it is not scale-independent: on an instance with two
         // R-facts the query is false, but any single-fact sub-instance makes
         // it true.
-        let schema = DatabaseSchema::from_relations(vec![RelationSchema::new("r", &["a"])])
-            .unwrap();
+        let schema =
+            DatabaseSchema::from_relations(vec![RelationSchema::new("r", &["a"])]).unwrap();
         let body = Formula::forall(
             vec!["x".into(), "y".into()],
             Formula::Implies(

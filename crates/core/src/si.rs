@@ -8,9 +8,7 @@
 
 use crate::error::CoreError;
 use si_data::{Database, Tuple};
-use si_query::{
-    evaluate_cq, evaluate_fo, evaluate_ucq, ConjunctiveQuery, FoQuery, UnionQuery,
-};
+use si_query::{evaluate_cq, evaluate_fo, evaluate_ucq, ConjunctiveQuery, FoQuery, UnionQuery};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -260,12 +258,9 @@ mod tests {
 
     #[test]
     fn boolean_cq_and_fo_answers_are_uniform() {
-        let boolean_cq: AnyQuery = ConjunctiveQuery::new(
-            "B",
-            vec![],
-            vec![Atom::new("friend", vec![v("x"), v("y")])],
-        )
-        .into();
+        let boolean_cq: AnyQuery =
+            ConjunctiveQuery::new("B", vec![], vec![Atom::new("friend", vec![v("x"), v("y")])])
+                .into();
         assert_eq!(boolean_cq.answers(&db()).unwrap(), vec![Tuple::empty()]);
 
         let boolean_fo: AnyQuery = FoQuery::boolean(

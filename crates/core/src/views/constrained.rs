@@ -122,8 +122,8 @@ mod tests {
 
     #[test]
     fn constants_constrain_variables() {
-        let q = parse_cq(r#"Q(p, rn) :- friend(p, id), v2(id, rid), v1(rid, rn, "A"), p = 1"#)
-            .unwrap();
+        let q =
+            parse_cq(r#"Q(p, rn) :- friend(p, id), v2(id, rid), v1(rid, rn, "A"), p = 1"#).unwrap();
         let vs = views();
         assert!(!is_unconstrained(&q, &vs, "p"));
         assert!(is_unconstrained(&q, &vs, "rn"));

@@ -13,6 +13,4 @@ pub use rewrite::{
     split_rewriting,
 };
 pub use view::{ViewDef, ViewSet};
-pub use vqsi::{
-    decide_vqsi_cq, execute_with_views, is_scale_independent_using_views, VqsiOutcome,
-};
+pub use vqsi::{decide_vqsi_cq, execute_with_views, is_scale_independent_using_views, VqsiOutcome};

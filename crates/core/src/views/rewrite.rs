@@ -262,7 +262,11 @@ mod tests {
     #[test]
     fn expansion_unfolds_view_definitions() {
         let expansion = expand_rewriting(&q2_prime(), &views()).unwrap();
-        let relations: Vec<&str> = expansion.atoms.iter().map(|a| a.relation.as_str()).collect();
+        let relations: Vec<&str> = expansion
+            .atoms
+            .iter()
+            .map(|a| a.relation.as_str())
+            .collect();
         assert!(relations.contains(&"friend"));
         assert!(relations.contains(&"visit"));
         assert!(relations.contains(&"person"));
@@ -276,8 +280,8 @@ mod tests {
     fn the_papers_rewriting_verifies() {
         assert!(is_rewriting(&q2(), &views(), &q2_prime()).unwrap());
         // Dropping the friend atom breaks equivalence.
-        let broken = parse_cq(r#"Qx(p, rn) :- v2(id, rid), v1(rid, rn, "A"), friend(p, q)"#)
-            .unwrap();
+        let broken =
+            parse_cq(r#"Qx(p, rn) :- v2(id, rid), v1(rid, rn, "A"), friend(p, q)"#).unwrap();
         assert!(!is_rewriting(&q2(), &views(), &broken).unwrap());
     }
 

@@ -100,8 +100,9 @@ impl ViewSet {
     /// Materialises only the view extents (no base relations), over a schema
     /// containing just the view relations.
     pub fn materialize_views_only(&self, db: &Database) -> Result<Database, CoreError> {
-        let schema =
-            DatabaseSchema::from_relations(self.views.iter().map(ViewDef::relation_schema).collect())?;
+        let schema = DatabaseSchema::from_relations(
+            self.views.iter().map(ViewDef::relation_schema).collect(),
+        )?;
         let mut out = Database::empty(schema);
         for v in &self.views {
             let extent = evaluate_cq(&v.query, db, None)?;
@@ -159,14 +160,21 @@ mod tests {
         let mut db = Database::empty(social_schema());
         db.insert_all(
             "person",
-            vec![tuple![1, "ann", "NYC"], tuple![2, "bob", "NYC"], tuple![3, "cat", "LA"]],
+            vec![
+                tuple![1, "ann", "NYC"],
+                tuple![2, "bob", "NYC"],
+                tuple![3, "cat", "LA"],
+            ],
         )
         .unwrap();
         db.insert_all("friend", vec![tuple![1, 2], tuple![1, 3]])
             .unwrap();
         db.insert_all(
             "restr",
-            vec![tuple![10, "sushi", "NYC", "A"], tuple![11, "pasta", "LA", "A"]],
+            vec![
+                tuple![10, "sushi", "NYC", "A"],
+                tuple![11, "pasta", "LA", "A"],
+            ],
         )
         .unwrap();
         db.insert_all("visit", vec![tuple![2, 10], tuple![3, 11], tuple![3, 10]])
@@ -200,9 +208,7 @@ mod tests {
         let full = views.materialize(&db()).unwrap();
         // V1: NYC restaurants → only sushi.
         assert_eq!(full.relation("v1").unwrap().len(), 1);
-        assert!(full
-            .contains("v1", &tuple![10, "sushi", "A"])
-            .unwrap());
+        assert!(full.contains("v1", &tuple![10, "sushi", "A"]).unwrap());
         // V2: visits by NYC residents → visit(2, 10) only.
         assert_eq!(full.relation("v2").unwrap().len(), 1);
         assert!(full.contains("v2", &tuple![2, 10]).unwrap());

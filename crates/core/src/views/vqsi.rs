@@ -109,7 +109,10 @@ pub fn is_scale_independent_using_views(
         // Restrict the given variables to those appearing in the base part —
         // planning only needs (and only accepts) variables of the query.
         let base_vars = base_query.body_variables();
-        let given: Vec<Var> = given.into_iter().filter(|v| base_vars.contains(v)).collect();
+        let given: Vec<Var> = given
+            .into_iter()
+            .filter(|v| base_vars.contains(v))
+            .collect();
         if planner.plan(&base_query, &given).is_ok() {
             return Ok(Some(rewriting));
         }
@@ -136,7 +139,11 @@ pub fn execute_with_views(
     // 1. Bounded evaluation of the base part, keeping *all* its variables as
     //    the output so the view part can be joined afterwards.
     let (base_witness, base_accesses, restricted_base) = if base_atoms.is_empty() {
-        (Witness::empty(), adb.meter_snapshot().since(&adb.meter_snapshot()), Database::empty(schema.clone()))
+        (
+            Witness::empty(),
+            adb.meter_snapshot().since(&adb.meter_snapshot()),
+            Database::empty(schema.clone()),
+        )
     } else {
         let base_query = ConjunctiveQuery {
             name: format!("{}#base", rewriting.name),
@@ -167,7 +174,7 @@ pub fn execute_with_views(
             .iter()
             .zip(values.iter())
             .filter(|(v, _)| base_vars.contains(*v))
-            .map(|(_, val)| val.clone())
+            .map(|(_, val)| *val)
             .collect();
         let plan = planner.plan(&base_query, &given)?;
         let result = execute_bounded(&plan, &given_values, adb)?;
@@ -196,11 +203,7 @@ pub fn execute_with_views(
             }
         }
     }
-    let bindings: Vec<(Var, Value)> = params
-        .iter()
-        .cloned()
-        .zip(values.iter().cloned())
-        .collect();
+    let bindings: Vec<(Var, Value)> = params.iter().cloned().zip(values.iter().cloned()).collect();
     let answers = evaluate_cq(&rewriting.bind(&bindings), &combined, None)?;
 
     Ok(BoundedAnswer {
@@ -250,8 +253,11 @@ mod tests {
             ],
         )
         .unwrap();
-        db.insert_all("friend", vec![tuple![1, 2], tuple![1, 3], tuple![1, 4], tuple![2, 4]])
-            .unwrap();
+        db.insert_all(
+            "friend",
+            vec![tuple![1, 2], tuple![1, 3], tuple![1, 4], tuple![2, 4]],
+        )
+        .unwrap();
         db.insert_all(
             "restr",
             vec![
@@ -322,9 +328,11 @@ mod tests {
         let planner = BoundedPlanner::new(&schema, &access);
         assert!(planner.plan(&q2(), &["p".into(), "rn".into()]).is_err());
         // And without any parameters the condition fails (p unconstrained).
-        assert!(is_scale_independent_using_views(&q2(), &views(), &schema, &access, &[], 64)
-            .unwrap()
-            .is_none());
+        assert!(
+            is_scale_independent_using_views(&q2(), &views(), &schema, &access, &[], 64)
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]
@@ -371,12 +379,10 @@ mod tests {
         let vs = views();
         let schema_db = db();
         let materialized = vs.materialize_views_only(&schema_db).unwrap();
-        let adb =
-            AccessIndexedDatabase::new(schema_db, facebook_access_schema(5000)).unwrap();
+        let adb = AccessIndexedDatabase::new(schema_db, facebook_access_schema(5000)).unwrap();
         let rewriting = parse_cq("Qc(id, rid) :- v2(id, rid)").unwrap();
         assert!(crate::views::rewrite::is_rewriting(&q, &vs, &rewriting).unwrap());
-        let result =
-            execute_with_views(&rewriting, &vs, &[], &[], &adb, &materialized).unwrap();
+        let result = execute_with_views(&rewriting, &vs, &[], &[], &adb, &materialized).unwrap();
         assert_eq!(result.accesses.tuples_fetched, 0);
         assert_eq!(result.answers.len(), 3);
         // Theorem 6.1: a complete rewriting means VQSI holds with M = 0 for

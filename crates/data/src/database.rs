@@ -35,6 +35,16 @@ impl Database {
         &self.schema
     }
 
+    /// The symbol interner resolving this instance's string values.
+    ///
+    /// Symbols are process-global (see [`crate::intern`]) so that values stay
+    /// comparable across databases, deltas and query constants; the accessor
+    /// is the database-side handle for display/serialisation code that needs
+    /// to resolve [`crate::Symbol`]s.
+    pub fn interner(&self) -> &'static crate::SymbolInterner {
+        crate::intern::interner()
+    }
+
     /// Total number of tuples, `|D|`.
     pub fn size(&self) -> usize {
         self.relations.values().map(Relation::len).sum()
@@ -182,7 +192,10 @@ mod tests {
             .unwrap();
         db.insert_all(
             "restr",
-            vec![tuple![10, "sushi", "NYC", "A"], tuple![11, "taco", "LA", "B"]],
+            vec![
+                tuple![10, "sushi", "NYC", "A"],
+                tuple![11, "taco", "LA", "B"],
+            ],
         )
         .unwrap();
         db.insert_all("visit", vec![tuple![2, 10], tuple![3, 10], tuple![3, 11]])
@@ -265,11 +278,9 @@ mod tests {
     #[test]
     fn contains_database_handles_schema_differences() {
         let db = small_social();
-        let other_schema = DatabaseSchema::from_relations(vec![RelationSchema::new(
-            "friend",
-            &["id1", "id2"],
-        )])
-        .unwrap();
+        let other_schema =
+            DatabaseSchema::from_relations(vec![RelationSchema::new("friend", &["id1", "id2"])])
+                .unwrap();
         let mut other = Database::empty(other_schema);
         other.insert("friend", tuple![1, 2]).unwrap();
         assert!(db.contains_database(&other));

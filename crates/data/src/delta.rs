@@ -314,7 +314,9 @@ mod tests {
     #[test]
     fn display_summarises_counts() {
         let mut delta = Delta::new();
-        delta.insert("visit", tuple![2, 10]).delete("friend", tuple![1, 2]);
+        delta
+            .insert("visit", tuple![2, 10])
+            .delete("friend", tuple![1, 2]);
         let s = delta.to_string();
         assert!(s.contains("visit: +1 −0"));
         assert!(s.contains("friend: +0 −1"));

@@ -86,10 +86,7 @@ impl HashIndex {
 
     /// Extracts the key of `tuple` for this index.
     fn key_of(&self, tuple: &Tuple) -> Vec<Value> {
-        self.key_positions
-            .iter()
-            .map(|&p| tuple[p].clone())
-            .collect()
+        self.key_positions.iter().map(|&p| tuple[p]).collect()
     }
 }
 

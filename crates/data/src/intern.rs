@@ -1,0 +1,265 @@
+//! String interning: the symbol side of the copy-cheap data plane.
+//!
+//! Every string constant entering the system is interned exactly once into a
+//! process-wide [`SymbolInterner`], and from then on travels as a [`Symbol`]
+//! — a `Copy` 4-byte handle.  Tuples, join keys, index buckets and variable
+//! bindings therefore never touch the heap when they are cloned, which is
+//! what makes assignment extension in the Theorem-4.2 executor and the
+//! hash-join evaluator a plain `memcpy`.
+//!
+//! Design notes:
+//!
+//! * The interner is **process-global** (one symbol space), so values are
+//!   comparable across databases, schemas, deltas and query constants without
+//!   threading an interner handle through every API.  [`Database`] and
+//!   [`DatabaseSchema`] expose it via [`crate::Database::interner`] as *the*
+//!   resolve path for display/serialisation.  There is deliberately no way
+//!   to construct a second interner: a `Symbol` is only meaningful in the
+//!   symbol space that minted it, so independent instances would make
+//!   resolution unsound.
+//! * Interned strings are leaked (`Box::leak`) into an append-only chunked
+//!   table, so resolution is **lock-free**: [`Symbol::as_str`] is two atomic
+//!   loads, never a lock.  Only interning new text takes the write lock.
+//!   The leak is bounded by the number of *distinct* strings, the same
+//!   trade-off made by `rustc`'s `Symbol` and the `lasso`/`internment`
+//!   crates.
+//! * `Symbol` equality/hashing is `u32` equality/hashing; ordering resolves
+//!   the text so that [`crate::Value`]'s lexicographic string order is
+//!   preserved.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// Symbols per storage chunk (chunks are allocated lazily).
+const CHUNK_SIZE: usize = 1 << 12;
+/// Maximum number of chunks, bounding the symbol space at ~16.7M strings.
+const MAX_CHUNKS: usize = 1 << 12;
+
+/// An interned string: a `Copy` handle into the global [`SymbolInterner`].
+///
+/// Two symbols are equal iff their texts are equal; comparison is
+/// lexicographic on the resolved text.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Interns `text` in the global interner and returns its symbol.
+    pub fn intern(text: &str) -> Symbol {
+        interner().intern(text)
+    }
+
+    /// Resolves the symbol to its text.  Lock-free (two atomic loads); never
+    /// fails, because symbols can only be created by interning.
+    pub fn as_str(self) -> &'static str {
+        interner().resolve(self)
+    }
+
+    /// The raw 32-bit id (stable within a process run only).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::intern(&s)
+    }
+}
+
+/// One lazily-allocated block of the id → text table.
+type Chunk = Box<[OnceLock<&'static str>]>;
+
+/// The process-global string → symbol table.
+///
+/// Not constructible outside this module — use [`interner`],
+/// [`Symbol::intern`] or [`crate::Database::interner`].  A single instance
+/// guarantees that every [`Symbol`] resolves in the symbol space that minted
+/// it.
+pub struct SymbolInterner {
+    /// Text → symbol id; also the only mutable state, guarded by the lock.
+    ids: RwLock<HashMap<&'static str, u32>>,
+    /// Symbol id → text, as an append-only chunked table.  Slots are written
+    /// exactly once (under the `ids` write lock) and read lock-free.
+    chunks: Box<[OnceLock<Chunk>]>,
+}
+
+impl SymbolInterner {
+    fn new() -> Self {
+        SymbolInterner {
+            ids: RwLock::new(HashMap::new()),
+            chunks: (0..MAX_CHUNKS).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Interns `text`, returning the existing symbol when the text was seen
+    /// before.
+    pub fn intern(&self, text: &str) -> Symbol {
+        if let Some(&id) = self.ids.read().expect("interner poisoned").get(text) {
+            return Symbol(id);
+        }
+        let mut ids = self.ids.write().expect("interner poisoned");
+        // Double-check: another thread may have interned between the locks.
+        if let Some(&id) = ids.get(text) {
+            return Symbol(id);
+        }
+        let id = ids.len();
+        assert!(id < CHUNK_SIZE * MAX_CHUNKS, "symbol space exhausted");
+        let leaked: &'static str = Box::leak(text.to_owned().into_boxed_str());
+        let chunk = self.chunks[id / CHUNK_SIZE]
+            .get_or_init(|| (0..CHUNK_SIZE).map(|_| OnceLock::new()).collect());
+        chunk[id % CHUNK_SIZE]
+            .set(leaked)
+            .expect("symbol slot written twice");
+        ids.insert(leaked, id as u32);
+        Symbol(id as u32)
+    }
+
+    /// Resolves a symbol to its text.  Lock-free: two `OnceLock` reads.
+    pub fn resolve(&self, symbol: Symbol) -> &'static str {
+        let id = symbol.0 as usize;
+        self.chunks[id / CHUNK_SIZE]
+            .get()
+            .and_then(|chunk| chunk[id % CHUNK_SIZE].get())
+            .expect("symbol was interned, so its slot is initialised")
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.ids.read().expect("interner poisoned").len()
+    }
+
+    /// True iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The process-global interner used by [`Symbol::intern`] and the `Value`
+/// constructors.
+pub fn interner() -> &'static SymbolInterner {
+    static GLOBAL: OnceLock<SymbolInterner> = OnceLock::new();
+    GLOBAL.get_or_init(SymbolInterner::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("hello");
+        let b = Symbol::intern("hello");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.as_str(), "hello");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = Symbol::intern("sym-a");
+        let b = Symbol::intern("sym-b");
+        assert_ne!(a, b);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_not_id_order() {
+        // Intern in reverse lexicographic order: ids go up, order must not.
+        let z = Symbol::intern("zz-order");
+        let a = Symbol::intern("aa-order");
+        assert!(a < z);
+        assert!(z > a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn the_global_handle_interns_and_resolves() {
+        let handle = interner();
+        let s = handle.intern("via-handle");
+        assert_eq!(handle.resolve(s), "via-handle");
+        assert!(!handle.is_empty());
+        // Re-interning yields the same symbol (other tests may intern
+        // concurrently, so only monotonicity of len() is observable here).
+        assert_eq!(handle.intern("via-handle"), s);
+        // The handle and Symbol::intern share one symbol space.
+        assert_eq!(Symbol::intern("via-handle"), s);
+    }
+
+    #[test]
+    fn conversions_intern() {
+        let a: Symbol = "conv".into();
+        let b: Symbol = String::from("conv").into();
+        assert_eq!(a, b);
+        assert_eq!(format!("{a}"), "conv");
+        assert!(format!("{a:?}").contains("conv"));
+    }
+
+    #[test]
+    fn interning_crosses_chunk_boundaries() {
+        // Force allocation past the first chunk and check resolution stays
+        // exact (ids are dense, so this exercises chunk 1+).
+        let mut last = None;
+        for i in 0..(CHUNK_SIZE + 10) {
+            last = Some(Symbol::intern(&format!("chunk-test-{i}")));
+        }
+        let last = last.unwrap();
+        assert_eq!(last.as_str(), format!("chunk-test-{}", CHUNK_SIZE + 9));
+        assert!(interner().len() > CHUNK_SIZE);
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..200)
+                        .map(|i| Symbol::intern(&format!("conc-{}", (i + t) % 50)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Equal strings got equal symbols across threads.
+        for row in &all {
+            for s in row {
+                assert!(s.as_str().starts_with("conc-"));
+            }
+        }
+        assert_eq!(Symbol::intern("conc-0"), all[0][0]);
+    }
+}

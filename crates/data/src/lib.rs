@@ -8,9 +8,25 @@
 //! countable domain `U` with every relation name, and the *size* `|D|` of an
 //! instance is the total number of tuples in its relations.
 //!
+//! ## The interned representation
+//!
+//! This crate is the bottom of the **copy-cheap data plane**: every string
+//! constant is interned exactly once into the process-global
+//! [`SymbolInterner`] and travels as a 4-byte [`Symbol`], making [`Value`] a
+//! 16-byte `Copy` enum (`Null | Bool | Int | Sym`).  Tuples, join keys,
+//! index buckets and the flat variable bindings of `si-query` therefore
+//! clone with a `memcpy` and zero allocation; [`Symbol::as_str`] is the
+//! resolve path for display and serialisation.  Relations store their tuples
+//! once, in an insertion-ordered [`TupleSet`] (iteration order and O(1)
+//! membership from a single structure), and [`HashIndex`] buckets are keyed
+//! by interned values.
+//!
 //! The crate contains no query-processing logic; it only offers:
 //!
-//! * [`Value`], [`Tuple`] — the element domain `U` and tuples over it,
+//! * [`Value`], [`Tuple`], [`Symbol`] — the element domain `U`, tuples over
+//!   it, and interned string handles,
+//! * [`TupleSet`] — the shared insertion-ordered set used for relation
+//!   storage and answer deduplication,
 //! * [`RelationSchema`], [`DatabaseSchema`] — named relation signatures,
 //! * [`Relation`], [`Database`] — set-semantics instances with size and
 //!   active-domain accessors,
@@ -27,7 +43,9 @@ pub mod database;
 pub mod delta;
 pub mod error;
 pub mod index;
+pub mod intern;
 pub mod meter;
+pub mod ordset;
 pub mod relation;
 pub mod schema;
 pub mod tuple;
@@ -37,7 +55,9 @@ pub use database::Database;
 pub use delta::{Delta, RelationDelta};
 pub use error::DataError;
 pub use index::HashIndex;
+pub use intern::{interner, Symbol, SymbolInterner};
 pub use meter::{AccessMeter, MeterSnapshot};
+pub use ordset::TupleSet;
 pub use relation::Relation;
 pub use schema::{DatabaseSchema, RelationSchema};
 pub use tuple::Tuple;

@@ -1,0 +1,268 @@
+//! An insertion-ordered set of tuples with single-copy storage.
+//!
+//! The seed representation stored every relation twice — a `Vec<Tuple>` for
+//! deterministic iteration plus a `HashSet<Tuple>` for membership — and every
+//! evaluator re-invented the same pair for answer deduplication.  [`TupleSet`]
+//! keeps one owned copy of each tuple (in insertion order) and maintains a
+//! side table from tuple *hash* to positions, so membership stays O(1)
+//! expected without duplicating tuple storage.  Hash collisions are resolved
+//! by comparing against the stored tuples.
+
+use crate::tuple::Tuple;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A deduplicated, insertion-ordered collection of [`Tuple`]s.
+///
+/// Used as the single storage of [`crate::Relation`] and as the answer-set
+/// accumulator of the evaluators in `si-query`/`si-core`.
+#[derive(Debug, Clone, Default)]
+pub struct TupleSet {
+    tuples: Vec<Tuple>,
+    /// tuple hash → positions in `tuples` carrying that hash.
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+fn hash_of(tuple: &Tuple) -> u64 {
+    let mut h = DefaultHasher::new();
+    tuple.hash(&mut h);
+    h.finish()
+}
+
+impl TupleSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        TupleSet::default()
+    }
+
+    /// Creates an empty set sized for `capacity` tuples.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TupleSet {
+            tuples: Vec::with_capacity(capacity),
+            buckets: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Number of (distinct) tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff the set holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples as a slice, in insertion order.
+    pub fn as_slice(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Iterates over the tuples in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.tuples.iter()
+    }
+
+    /// The tuple stored at `position`, if any.
+    pub fn get(&self, position: usize) -> Option<&Tuple> {
+        self.tuples.get(position)
+    }
+
+    /// Position of `tuple` in insertion order, if present.
+    pub fn position_of(&self, tuple: &Tuple) -> Option<usize> {
+        let hash = hash_of(tuple);
+        self.buckets.get(&hash).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|&&p| &self.tuples[p as usize] == tuple)
+                .map(|&p| p as usize)
+        })
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.position_of(tuple).is_some()
+    }
+
+    /// Inserts `tuple`, ignoring duplicates; returns `true` when it was new.
+    pub fn insert(&mut self, tuple: Tuple) -> bool {
+        let hash = hash_of(&tuple);
+        let bucket = self.buckets.entry(hash).or_default();
+        if bucket.iter().any(|&p| self.tuples[p as usize] == tuple) {
+            return false;
+        }
+        let position = u32::try_from(self.tuples.len()).expect("TupleSet exceeds u32 positions");
+        bucket.push(position);
+        self.tuples.push(tuple);
+        true
+    }
+
+    /// Removes `tuple` if present, preserving the insertion order of the
+    /// remaining tuples; returns `true` when something was removed.
+    ///
+    /// Removal is O(n) because all later positions shift; deletions are rare
+    /// in the paper's workloads (updates are mostly insertions).
+    pub fn remove(&mut self, tuple: &Tuple) -> bool {
+        let Some(position) = self.position_of(tuple) else {
+            return false;
+        };
+        self.tuples.remove(position);
+        self.rebuild_buckets();
+        true
+    }
+
+    /// Drops all tuples.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+        self.buckets.clear();
+    }
+
+    /// Consumes the set, returning the tuples in insertion order.
+    pub fn into_vec(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    fn rebuild_buckets(&mut self) {
+        self.buckets.clear();
+        for (position, tuple) in self.tuples.iter().enumerate() {
+            self.buckets
+                .entry(hash_of(tuple))
+                .or_default()
+                .push(position as u32);
+        }
+    }
+}
+
+impl PartialEq for TupleSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.tuples == other.tuples
+    }
+}
+
+impl Eq for TupleSet {}
+
+impl FromIterator<Tuple> for TupleSet {
+    fn from_iter<T: IntoIterator<Item = Tuple>>(iter: T) -> Self {
+        let mut set = TupleSet::new();
+        for t in iter {
+            set.insert(t);
+        }
+        set
+    }
+}
+
+impl Extend<Tuple> for TupleSet {
+    fn extend<T: IntoIterator<Item = Tuple>>(&mut self, iter: T) {
+        for t in iter {
+            self.insert(t);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a TupleSet {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+impl IntoIterator for TupleSet {
+    type Item = Tuple;
+    type IntoIter = std::vec::IntoIter<Tuple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.into_iter()
+    }
+}
+
+impl fmt::Display for TupleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn insert_deduplicates_and_preserves_order() {
+        let mut s = TupleSet::new();
+        assert!(s.insert(tuple![3]));
+        assert!(s.insert(tuple![1]));
+        assert!(!s.insert(tuple![3]));
+        assert!(s.insert(tuple![2]));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.as_slice(), &[tuple![3], tuple![1], tuple![2]]);
+        assert!(s.contains(&tuple![1]));
+        assert!(!s.contains(&tuple![9]));
+        assert_eq!(s.position_of(&tuple![2]), Some(2));
+    }
+
+    #[test]
+    fn remove_preserves_order_of_the_rest() {
+        let mut s: TupleSet = vec![tuple![1], tuple![2], tuple![3]].into_iter().collect();
+        assert!(s.remove(&tuple![2]));
+        assert!(!s.remove(&tuple![2]));
+        assert_eq!(s.as_slice(), &[tuple![1], tuple![3]]);
+        assert!(s.contains(&tuple![3]));
+        assert_eq!(s.position_of(&tuple![3]), Some(1));
+    }
+
+    #[test]
+    fn iteration_and_conversions() {
+        let s: TupleSet = vec![tuple![1, "a"], tuple![2, "b"], tuple![1, "a"]]
+            .into_iter()
+            .collect();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().count(), 2);
+        assert_eq!((&s).into_iter().count(), 2);
+        let v = s.clone().into_vec();
+        assert_eq!(v, vec![tuple![1, "a"], tuple![2, "b"]]);
+        assert_eq!(s.clone().into_iter().count(), 2);
+        assert!(s.to_string().contains("(1, \"a\")"));
+    }
+
+    #[test]
+    fn equality_is_order_sensitive_like_a_vec() {
+        let a: TupleSet = vec![tuple![1], tuple![2]].into_iter().collect();
+        let b: TupleSet = vec![tuple![1], tuple![2]].into_iter().collect();
+        let c: TupleSet = vec![tuple![2], tuple![1]].into_iter().collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s: TupleSet = vec![tuple![1]].into_iter().collect();
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(&tuple![1]));
+        assert!(s.insert(tuple![1]));
+    }
+
+    #[test]
+    fn survives_many_inserts_with_collisions_resolved_by_equality() {
+        let mut s = TupleSet::new();
+        for i in 0..1000 {
+            assert!(s.insert(tuple![i, i % 7]));
+        }
+        for i in 0..1000 {
+            assert!(!s.insert(tuple![i, i % 7]));
+            assert!(s.contains(&tuple![i, i % 7]));
+        }
+        assert_eq!(s.len(), 1000);
+    }
+}

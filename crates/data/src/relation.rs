@@ -2,6 +2,7 @@
 
 use crate::error::DataError;
 use crate::index::HashIndex;
+use crate::ordset::TupleSet;
 use crate::schema::RelationSchema;
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -18,9 +19,10 @@ use std::fmt;
 #[derive(Debug, Clone)]
 pub struct Relation {
     schema: RelationSchema,
-    tuples: Vec<Tuple>,
-    /// Set view of `tuples` used for O(1) membership checks.
-    members: HashSet<Tuple>,
+    /// Single-copy storage: an insertion-ordered set.  Iteration order and
+    /// O(1) membership come from the same structure, instead of the seed's
+    /// duplicated `Vec<Tuple>` + `HashSet<Tuple>` pair.
+    tuples: TupleSet,
     /// Indexes keyed by their (sorted) key positions.
     indexes: BTreeMap<Vec<usize>, HashIndex>,
 }
@@ -30,8 +32,7 @@ impl Relation {
     pub fn new(schema: RelationSchema) -> Self {
         Relation {
             schema,
-            tuples: Vec::new(),
-            members: HashSet::new(),
+            tuples: TupleSet::new(),
             indexes: BTreeMap::new(),
         }
     }
@@ -72,12 +73,12 @@ impl Relation {
 
     /// The tuples as a slice (insertion order).
     pub fn tuples(&self) -> &[Tuple] {
-        &self.tuples
+        self.tuples.as_slice()
     }
 
     /// Membership test.
     pub fn contains(&self, tuple: &Tuple) -> bool {
-        self.members.contains(tuple)
+        self.tuples.contains(tuple)
     }
 
     /// Inserts a tuple, ignoring exact duplicates (set semantics).
@@ -91,15 +92,14 @@ impl Relation {
                 actual: tuple.arity(),
             });
         }
-        if self.members.contains(&tuple) {
+        let position = self.tuples.len();
+        if !self.tuples.insert(tuple) {
             return Ok(false);
         }
-        let position = self.tuples.len();
+        let stored = &self.tuples.as_slice()[position];
         for index in self.indexes.values_mut() {
-            index.insert(position, &tuple);
+            index.insert(position, stored);
         }
-        self.members.insert(tuple.clone());
-        self.tuples.push(tuple);
         Ok(true)
     }
 
@@ -109,11 +109,8 @@ impl Relation {
     /// relation, which keeps the code simple; deletions are rare in the
     /// workloads of the paper (updates are mostly insertions).
     pub fn remove(&mut self, tuple: &Tuple) -> bool {
-        if !self.members.remove(tuple) {
+        if !self.tuples.remove(tuple) {
             return false;
-        }
-        if let Some(pos) = self.tuples.iter().position(|t| t == tuple) {
-            self.tuples.remove(pos);
         }
         self.rebuild_indexes();
         true
@@ -125,7 +122,7 @@ impl Relation {
         positions.sort_unstable();
         positions.dedup();
         if !self.indexes.contains_key(&positions) {
-            let index = HashIndex::build(positions.clone(), &self.tuples);
+            let index = HashIndex::build(positions.clone(), self.tuples.as_slice());
             self.indexes.insert(positions, index);
         }
         Ok(())
@@ -146,26 +143,23 @@ impl Relation {
     /// (σ_{X=a̅}(R)), using an index when one is available and a scan
     /// otherwise.  Returns the matching tuples and whether an index was used.
     pub fn select_eq(&self, attributes: &[String], key: &[Value]) -> Result<(Vec<Tuple>, bool)> {
-        let positions = self.schema.positions_of(
-            &attributes.iter().map(|a| a.to_owned()).collect::<Vec<_>>(),
-        )?;
+        let positions = self
+            .schema
+            .positions_of(&attributes.iter().map(|a| a.to_owned()).collect::<Vec<_>>())?;
         // An index stores its key positions sorted and deduplicated, so align
         // the probe key with that normalisation.
-        let mut pairs: Vec<(usize, Value)> = positions
-            .iter()
-            .cloned()
-            .zip(key.iter().cloned())
-            .collect();
+        let mut pairs: Vec<(usize, Value)> =
+            positions.iter().cloned().zip(key.iter().cloned()).collect();
         pairs.sort_by_key(|(p, _)| *p);
         pairs.dedup_by(|a, b| a.0 == b.0);
         let sorted_positions: Vec<usize> = pairs.iter().map(|(p, _)| *p).collect();
-        let sorted_key: Vec<Value> = pairs.iter().map(|(_, v)| v.clone()).collect();
+        let sorted_key: Vec<Value> = pairs.iter().map(|(_, v)| *v).collect();
 
         if let Some(index) = self.indexes.get(&sorted_positions) {
             let matches = index
                 .lookup(&sorted_key)
                 .iter()
-                .map(|&pos| self.tuples[pos].clone())
+                .map(|&pos| self.tuples.as_slice()[pos].clone())
                 // A probe key that repeats a position with conflicting values
                 // can over-approximate after dedup; re-check the original
                 // predicate to stay exact.
@@ -190,7 +184,7 @@ impl Relation {
         let positions = self.schema.positions_of(attributes)?;
         let mut counts: BTreeMap<Vec<Value>, usize> = BTreeMap::new();
         for t in &self.tuples {
-            let key: Vec<Value> = positions.iter().map(|&p| t[p].clone()).collect();
+            let key: Vec<Value> = positions.iter().map(|&p| t[p]).collect();
             *counts.entry(key).or_insert(0) += 1;
         }
         Ok(counts.values().copied().max().unwrap_or(0))
@@ -201,7 +195,7 @@ impl Relation {
     pub fn collect_adom(&self, into: &mut HashSet<Value>) {
         for t in &self.tuples {
             for v in t.iter() {
-                into.insert(v.clone());
+                into.insert(*v);
             }
         }
     }
@@ -210,7 +204,7 @@ impl Relation {
         let keys: Vec<Vec<usize>> = self.indexes.keys().cloned().collect();
         self.indexes.clear();
         for key in keys {
-            let index = HashIndex::build(key.clone(), &self.tuples);
+            let index = HashIndex::build(key.clone(), self.tuples.as_slice());
             self.indexes.insert(key, index);
         }
     }
@@ -256,7 +250,14 @@ mod tests {
         assert!(r.insert(tuple![4, "dan", "SF"]).unwrap());
         assert_eq!(r.len(), 4);
         let err = r.insert(tuple![5, "eve"]).unwrap_err();
-        assert!(matches!(err, DataError::ArityMismatch { expected: 3, actual: 2, .. }));
+        assert!(matches!(
+            err,
+            DataError::ArityMismatch {
+                expected: 3,
+                actual: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -272,9 +273,7 @@ mod tests {
     #[test]
     fn select_eq_without_index_scans() {
         let r = person();
-        let (rows, used_index) = r
-            .select_eq(&["city".into()], &[Value::str("NYC")])
-            .unwrap();
+        let (rows, used_index) = r.select_eq(&["city".into()], &[Value::str("NYC")]).unwrap();
         assert!(!used_index);
         assert_eq!(rows.len(), 2);
     }
@@ -283,9 +282,7 @@ mod tests {
     fn select_eq_with_index_probes() {
         let mut r = person();
         r.ensure_index(&["city".into()]).unwrap();
-        let (rows, used_index) = r
-            .select_eq(&["city".into()], &[Value::str("NYC")])
-            .unwrap();
+        let (rows, used_index) = r.select_eq(&["city".into()], &[Value::str("NYC")]).unwrap();
         assert!(used_index);
         assert_eq!(rows.len(), 2);
         let (rows, _) = r
@@ -299,15 +296,11 @@ mod tests {
         let mut r = person();
         r.ensure_index(&["city".into()]).unwrap();
         r.insert(tuple![4, "dan", "NYC"]).unwrap();
-        let (rows, used) = r
-            .select_eq(&["city".into()], &[Value::str("NYC")])
-            .unwrap();
+        let (rows, used) = r.select_eq(&["city".into()], &[Value::str("NYC")]).unwrap();
         assert!(used);
         assert_eq!(rows.len(), 3);
         r.remove(&tuple![1, "ann", "NYC"]);
-        let (rows, used) = r
-            .select_eq(&["city".into()], &[Value::str("NYC")])
-            .unwrap();
+        let (rows, used) = r.select_eq(&["city".into()], &[Value::str("NYC")]).unwrap();
         assert!(used);
         assert_eq!(rows.len(), 2);
     }

@@ -6,12 +6,11 @@
 
 use crate::error::DataError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// The signature of a single relation: a name plus an ordered attribute list.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RelationSchema {
     name: String,
     attributes: Vec<String>,
@@ -78,7 +77,7 @@ impl fmt::Display for RelationSchema {
 }
 
 /// A database schema: a collection of relation schemas keyed by name.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DatabaseSchema {
     relations: BTreeMap<String, RelationSchema>,
 }
@@ -205,7 +204,9 @@ mod tests {
     fn database_schema_rejects_duplicates() {
         let mut s = DatabaseSchema::new();
         s.add_relation(RelationSchema::new("r", &["a"])).unwrap();
-        let err = s.add_relation(RelationSchema::new("r", &["b"])).unwrap_err();
+        let err = s
+            .add_relation(RelationSchema::new("r", &["b"]))
+            .unwrap_err();
         assert_eq!(err, DataError::DuplicateRelation("r".into()));
     }
 

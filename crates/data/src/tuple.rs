@@ -6,12 +6,11 @@
 //! projections cheap.
 
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Index;
 
 /// An ordered sequence of [`Value`]s, i.e. an element of `U^m`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Tuple(Vec<Value>);
 
 impl Tuple {
@@ -60,7 +59,7 @@ impl Tuple {
     /// Positions may repeat; out-of-range positions are an invariant
     /// violation of the caller and yield a panic in debug builds only.
     pub fn project(&self, positions: &[usize]) -> Tuple {
-        Tuple(positions.iter().map(|&p| self.0[p].clone()).collect())
+        Tuple(positions.iter().map(|&p| self.0[p]).collect())
     }
 
     /// Like [`Tuple::project`] but returns `None` when any position is out of
@@ -68,7 +67,7 @@ impl Tuple {
     pub fn try_project(&self, positions: &[usize]) -> Option<Tuple> {
         let mut out = Vec::with_capacity(positions.len());
         for &p in positions {
-            out.push(self.0.get(p)?.clone());
+            out.push(*self.0.get(p)?);
         }
         Some(Tuple(out))
     }

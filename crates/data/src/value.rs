@@ -1,20 +1,29 @@
 //! The element domain `U` from which databases are populated.
 //!
 //! The paper assumes a countably infinite set `U`; we realise it as the
-//! disjoint union of 64-bit integers, strings and booleans, plus a `Null`
-//! marker used by some generators for "unknown".  Values are totally ordered
-//! and hashable so that they can be used as index keys and set elements.
+//! disjoint union of 64-bit integers, interned strings and booleans, plus a
+//! `Null` marker used by some generators for "unknown".  Values are totally
+//! ordered and hashable so that they can be used as index keys and set
+//! elements.
+//!
+//! Since the interned-data-plane refactor, `Value` is a 16-byte **`Copy`**
+//! enum: string constants are interned once into the process-global
+//! [`SymbolInterner`](crate::SymbolInterner) and carried as a 4-byte
+//! [`Symbol`].  Cloning a value — and therefore a tuple, a join key, an index
+//! bucket entry or a variable binding — never allocates.  Display and
+//! resolution go through [`Symbol::as_str`].
 
-use serde::{Deserialize, Serialize};
+use crate::intern::Symbol;
 use std::cmp::Ordering;
 use std::fmt;
 
 /// A single constant of the universe `U`.
 ///
-/// `Value` is intentionally small and cheap to clone; strings are the only
-/// heap-owning variant.  The derived equality is exact (no numeric coercion
-/// between variants).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// `Value` is `Copy`: equality and hashing on the string variant compare the
+/// interned symbol (a `u32`), which agrees with string equality because the
+/// interner is injective.  Ordering on strings resolves the symbol and is
+/// lexicographic, matching the pre-interning behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Value {
     /// Absent / unknown value.  Compares equal only to itself.
     Null,
@@ -22,14 +31,14 @@ pub enum Value {
     Bool(bool),
     /// A 64-bit integer constant.
     Int(i64),
-    /// A string constant.
-    Str(String),
+    /// An interned string constant.
+    Sym(Symbol),
 }
 
 impl Value {
-    /// Builds a string value from anything string-like.
-    pub fn str(s: impl Into<String>) -> Self {
-        Value::Str(s.into())
+    /// Builds a string value from anything string-like, interning it.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Sym(Symbol::intern(s.as_ref()))
     }
 
     /// Builds an integer value.
@@ -50,10 +59,18 @@ impl Value {
         }
     }
 
-    /// Returns the string payload if this is a [`Value::Str`].
-    pub fn as_str(&self) -> Option<&str> {
+    /// Returns the resolved string payload if this is a [`Value::Sym`].
+    pub fn as_str(&self) -> Option<&'static str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Sym(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Returns the interned symbol if this is a [`Value::Sym`].
+    pub fn as_symbol(&self) -> Option<Symbol> {
+        match self {
+            Value::Sym(s) => Some(*s),
             _ => None,
         }
     }
@@ -77,7 +94,7 @@ impl Value {
             Value::Null => 0,
             Value::Bool(_) => 1,
             Value::Int(_) => 2,
-            Value::Str(_) => 3,
+            Value::Sym(_) => 3,
         }
     }
 }
@@ -95,7 +112,7 @@ impl Ord for Value {
             (Null, Null) => Ordering::Equal,
             (Bool(a), Bool(b)) => a.cmp(b),
             (Int(a), Int(b)) => a.cmp(b),
-            (Str(a), Str(b)) => a.cmp(b),
+            (Sym(a), Sym(b)) => a.cmp(b),
             (a, b) => a.variant_rank().cmp(&b.variant_rank()),
         }
     }
@@ -107,7 +124,7 @@ impl fmt::Display for Value {
             Value::Null => write!(f, "NULL"),
             Value::Bool(b) => write!(f, "{b}"),
             Value::Int(i) => write!(f, "{i}"),
-            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Sym(s) => write!(f, "{:?}", s.as_str()),
         }
     }
 }
@@ -144,13 +161,19 @@ impl From<bool> for Value {
 
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value::Str(s.to_owned())
+        Value::str(s)
     }
 }
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
-        Value::Str(s)
+        Value::str(s)
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(s: Symbol) -> Self {
+        Value::Sym(s)
     }
 }
 
@@ -158,6 +181,16 @@ impl From<String> for Value {
 mod tests {
     use super::*;
     use std::collections::HashSet;
+
+    #[test]
+    fn value_is_small_and_copy() {
+        // The whole point of interning: a Value (and an Option<Value>) is a
+        // couple of machine words, and copying it is trivial.
+        assert!(std::mem::size_of::<Value>() <= 16);
+        let v = Value::str("copyable");
+        let w = v; // Copy, not move
+        assert_eq!(v, w);
+    }
 
     #[test]
     fn accessors_return_payloads() {
@@ -168,6 +201,8 @@ mod tests {
         assert_eq!(Value::str("x").as_int(), None);
         assert_eq!(Value::int(7).as_str(), None);
         assert_eq!(Value::int(7).as_bool(), None);
+        assert_eq!(Value::str("x").as_symbol(), Some(Symbol::intern("x")));
+        assert_eq!(Value::int(7).as_symbol(), None);
     }
 
     #[test]
@@ -177,8 +212,9 @@ mod tests {
         assert_eq!(Value::from(3u32), Value::Int(3));
         assert_eq!(Value::from(3usize), Value::Int(3));
         assert_eq!(Value::from(true), Value::Bool(true));
-        assert_eq!(Value::from("abc"), Value::Str("abc".into()));
-        assert_eq!(Value::from(String::from("abc")), Value::Str("abc".into()));
+        assert_eq!(Value::from("abc"), Value::str("abc"));
+        assert_eq!(Value::from(String::from("abc")), Value::str("abc"));
+        assert_eq!(Value::from(Symbol::intern("abc")), Value::str("abc"));
     }
 
     #[test]
@@ -209,7 +245,7 @@ mod tests {
 
     #[test]
     fn equality_is_not_coercing() {
-        assert_ne!(Value::Int(1), Value::Str("1".into()));
+        assert_ne!(Value::Int(1), Value::str("1"));
         assert_ne!(Value::Bool(true), Value::Int(1));
         assert_ne!(Value::Null, Value::Int(0));
     }
@@ -218,7 +254,7 @@ mod tests {
     fn hashing_distinguishes_variants() {
         let mut set = HashSet::new();
         set.insert(Value::Int(1));
-        set.insert(Value::Str("1".into()));
+        set.insert(Value::str("1"));
         set.insert(Value::Bool(true));
         set.insert(Value::Null);
         assert_eq!(set.len(), 4);
@@ -238,5 +274,15 @@ mod tests {
         assert!(Value::int(2) < Value::int(10));
         assert!(Value::str("abc") < Value::str("abd"));
         assert!(Value::bool(false) < Value::bool(true));
+        // Lexicographic even when interning order disagrees with id order.
+        assert!(Value::str("zz-late") > Value::str("aa-later-interned"));
+    }
+
+    #[test]
+    fn interning_makes_equal_strings_identical() {
+        let a = Value::str("same");
+        let b = Value::str(String::from("same"));
+        assert_eq!(a, b);
+        assert_eq!(a.as_symbol(), b.as_symbol());
     }
 }

@@ -34,12 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut adb = AccessIndexedDatabase::new(db, access)?;
 
     let p0 = Value::int(3);
-    let mut evaluator = IncrementalBoundedEvaluator::new(
-        query.clone(),
-        vec!["p".into()],
-        vec![p0.clone()],
-        &adb,
-    )?;
+    let mut evaluator =
+        IncrementalBoundedEvaluator::new(query.clone(), vec!["p".into()], vec![p0], &adb)?;
     println!(
         "initial answers for p = 3: {}  ({})",
         evaluator.answers().len(),
@@ -61,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             cost.tuples_fetched
         );
         // Sanity: the maintained answers equal recomputation from scratch.
-        let recomputed = execute_naive(&query, &["p".into()], &[p0.clone()], adb.database())?;
+        let recomputed = execute_naive(&query, &["p".into()], &[p0], adb.database())?;
         let mut a = evaluator.answers();
         let mut b = recomputed.answers;
         a.sort();

@@ -42,11 +42,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Scaling: the bounded plan's measured cost stays flat while naive
     //    evaluation grows with |D|.
-    println!("{:<10} {:>10}  {}", "persons", "|D|", "access cost (bounded vs naive)");
+    println!(
+        "{:<10} {:>10}  access cost (bounded vs naive)",
+        "persons", "|D|"
+    );
     for point in geometric_sizes(500, 4, 4) {
         let adb = AccessIndexedDatabase::new(point.database, access.clone())?;
         let p0 = Value::int(7);
-        let bounded = execute_bounded(&plan, &[p0.clone()], &adb)?;
+        let bounded = execute_bounded(&plan, &[p0], &adb)?;
         let naive = execute_naive(&query, &["p".into()], &[p0], adb.database())?;
         assert_eq!(
             {

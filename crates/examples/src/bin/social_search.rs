@@ -41,9 +41,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("generated |D| = {}", db.size());
     let adb = AccessIndexedDatabase::new(db, with_visit_index)?;
     let p0 = Value::int(11);
-    let bounded = execute_bounded(&plan, &[p0.clone()], &adb)?;
+    let bounded = execute_bounded(&plan, &[p0], &adb)?;
     let naive = execute_naive(&q2, &["p".into()], &[p0], adb.database())?;
-    println!("answers: {:?}", bounded.answers.iter().map(|t| t.to_string()).collect::<Vec<_>>());
+    println!(
+        "answers: {:?}",
+        bounded
+            .answers
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+    );
     println!("{}", format_cost("bounded Q2", &bounded.accesses));
     println!("{}", format_cost("naive   Q2", &naive.accesses));
 
@@ -87,8 +94,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..SocialConfig::default()
     })
     .generate();
-    let plan = BoundedPlanner::new(&dated_schema, &enriched)
-        .plan(&q3, &["p".into(), "yy".into()])?;
+    let plan =
+        BoundedPlanner::new(&dated_schema, &enriched).plan(&q3, &["p".into(), "yy".into()])?;
     let adb = AccessIndexedDatabase::new(dated_db, enriched)?;
     let result = execute_bounded(&plan, &[Value::int(11), Value::int(2013)], &adb)?;
     println!(

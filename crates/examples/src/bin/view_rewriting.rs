@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Rewriting search finds the paper's Q'2 (base part = friend only).
     let rewriting = find_rewriting(&query, &views)?.expect("Q2 is rewritable using V1, V2");
     println!("\nbest rewriting: {rewriting}");
-    println!("base-part size ‖Q'_b‖ = {}", base_part_size(&rewriting, &views));
+    println!(
+        "base-part size ‖Q'_b‖ = {}",
+        base_part_size(&rewriting, &views)
+    );
     println!(
         "unconstrained distinguished variables: {:?}",
         unconstrained_variables(&rewriting, &views)
@@ -74,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &rewriting,
         &views,
         &["p".into()],
-        &[p0.clone()],
+        &[p0],
         &adb,
         &materialized,
     )?;
@@ -83,10 +86,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut b = naive.answers.clone();
     a.sort();
     b.sort();
-    assert_eq!(a, b, "view-based evaluation must agree with direct evaluation");
+    assert_eq!(
+        a, b,
+        "view-based evaluation must agree with direct evaluation"
+    );
 
     println!("answers for p = 17: {}", with_views.answers.len());
-    println!("{}", format_cost("with views (base accesses)", &with_views.accesses));
+    println!(
+        "{}",
+        format_cost("with views (base accesses)", &with_views.accesses)
+    );
     println!("{}", format_cost("naive (no views)", &naive.accesses));
     Ok(())
 }

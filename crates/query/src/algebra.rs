@@ -11,12 +11,11 @@
 //! `attr(E)` is the output attribute set of an expression.
 
 use crate::error::QueryError;
-use serde::{Deserialize, Serialize};
 use si_data::{DatabaseSchema, Value};
 use std::fmt;
 
 /// An atomic selection condition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Condition {
     /// `attribute = constant`
     EqConst(String, Value),
@@ -60,7 +59,7 @@ impl fmt::Display for Condition {
 }
 
 /// A relational algebra expression with named attributes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RaExpr {
     /// A base relation `R`.
     Relation(String),
@@ -305,10 +304,7 @@ impl fmt::Display for RaExpr {
             }
             RaExpr::Project(e, attrs) => write!(f, "π[{}]({e})", attrs.join(", ")),
             RaExpr::Rename(e, mapping) => {
-                let pairs: Vec<String> = mapping
-                    .iter()
-                    .map(|(o, n)| format!("{o}→{n}"))
-                    .collect();
+                let pairs: Vec<String> = mapping.iter().map(|(o, n)| format!("{o}→{n}")).collect();
                 write!(f, "ρ[{}]({e})", pairs.join(", "))
             }
             RaExpr::Join(l, r) => write!(f, "({l} ⋈ {r})"),
@@ -378,8 +374,8 @@ mod tests {
     fn join_unions_attributes_without_duplicates() {
         let schema = social_schema();
         // friend ⋈ (person renamed so that id matches id2)
-        let e = RaExpr::relation("friend")
-            .join(RaExpr::relation("person").rename(&[("id", "id2")]));
+        let e =
+            RaExpr::relation("friend").join(RaExpr::relation("person").rename(&[("id", "id2")]));
         assert_eq!(
             e.attributes(&schema).unwrap(),
             vec!["id1", "id2", "name", "city"]
@@ -396,8 +392,7 @@ mod tests {
             bad.attributes(&schema),
             Err(QueryError::SchemaMismatch(_))
         ));
-        let ok = RaExpr::relation("friend")
-            .intersect(RaExpr::relation("friend"));
+        let ok = RaExpr::relation("friend").intersect(RaExpr::relation("friend"));
         assert_eq!(ok.attributes(&schema).unwrap(), vec!["id1", "id2"]);
     }
 
@@ -422,9 +417,7 @@ mod tests {
         assert!(s.contains("σ[city = \"NYC\"]"));
         assert!(RaExpr::delta("visit").to_string().contains("∆visit"));
         assert!(RaExpr::nabla("visit").to_string().contains("∇visit"));
-        let s = RaExpr::relation("a")
-            .rename(&[("x", "y")])
-            .to_string();
+        let s = RaExpr::relation("a").rename(&[("x", "y")]).to_string();
         assert!(s.contains("ρ[x→y]"));
     }
 

@@ -8,8 +8,8 @@
 
 use crate::algebra::{Condition, RaExpr};
 use crate::error::QueryError;
-use si_data::{AccessMeter, Database, Delta, Tuple, Value};
-use std::collections::{BTreeSet, HashMap};
+use si_data::{AccessMeter, Database, Delta, Tuple, TupleSet, Value};
+use std::collections::{HashMap, HashSet};
 
 /// An evaluation result: attribute names plus a set of tuples.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,10 +59,16 @@ impl NamedRelation {
     }
 
     /// Deduplicates tuples preserving first occurrences.
-    fn dedup(mut self) -> Self {
-        let mut seen = BTreeSet::new();
-        self.tuples.retain(|t| seen.insert(t.clone()));
-        self
+    ///
+    /// Goes through the shared insertion-ordered [`TupleSet`], which hashes
+    /// interned values instead of deep-comparing them in a `BTreeSet` and
+    /// moves (rather than clones) every tuple.
+    fn dedup(self) -> Self {
+        let set: TupleSet = self.tuples.into_iter().collect();
+        NamedRelation {
+            attributes: self.attributes,
+            tuples: set.into_vec(),
+        }
     }
 }
 
@@ -174,7 +180,7 @@ impl<'a> RaEvaluator<'a> {
             RaExpr::Diff(left, right) => {
                 let l = self.evaluate(left)?;
                 let r = self.evaluate(right)?.align_to(&l.attributes)?;
-                let exclude: BTreeSet<Tuple> = r.tuples.into_iter().collect();
+                let exclude: HashSet<Tuple> = r.tuples.into_iter().collect();
                 NamedRelation {
                     attributes: l.attributes,
                     tuples: l
@@ -187,14 +193,10 @@ impl<'a> RaEvaluator<'a> {
             RaExpr::Intersect(left, right) => {
                 let l = self.evaluate(left)?;
                 let r = self.evaluate(right)?.align_to(&l.attributes)?;
-                let keep: BTreeSet<Tuple> = r.tuples.into_iter().collect();
+                let keep: HashSet<Tuple> = r.tuples.into_iter().collect();
                 NamedRelation {
                     attributes: l.attributes,
-                    tuples: l
-                        .tuples
-                        .into_iter()
-                        .filter(|t| keep.contains(t))
-                        .collect(),
+                    tuples: l.tuples.into_iter().filter(|t| keep.contains(t)).collect(),
                 }
             }
         };
@@ -206,9 +208,8 @@ impl<'a> RaEvaluator<'a> {
         rel: &NamedRelation,
         tuple: &Tuple,
     ) -> Result<bool, QueryError> {
-        let value_of = |attr: &str| -> Result<Value, QueryError> {
-            Ok(tuple[rel.position_of(attr)?].clone())
-        };
+        let value_of =
+            |attr: &str| -> Result<Value, QueryError> { Ok(tuple[rel.position_of(attr)?]) };
         Ok(match condition {
             Condition::EqConst(a, v) => &value_of(a)? == v,
             Condition::NeqConst(a, v) => &value_of(a)? != v,
@@ -247,16 +248,16 @@ impl<'a> RaEvaluator<'a> {
 
         let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
         for t in &right.tuples {
-            let key: Vec<Value> = shared_right.iter().map(|&p| t[p].clone()).collect();
+            let key: Vec<Value> = shared_right.iter().map(|&p| t[p]).collect();
             table.entry(key).or_default().push(t);
         }
 
         let mut out = NamedRelation::empty(output_attributes.to_vec());
         for lt in &left.tuples {
-            let key: Vec<Value> = shared_left.iter().map(|&p| lt[p].clone()).collect();
+            let key: Vec<Value> = shared_left.iter().map(|&p| lt[p]).collect();
             if let Some(matches) = table.get(&key) {
                 for rt in matches {
-                    let extra: Tuple = right_only.iter().map(|&p| rt[p].clone()).collect();
+                    let extra: Tuple = right_only.iter().map(|&p| rt[p]).collect();
                     out.tuples.push(lt.concat(&extra));
                 }
             }
@@ -317,15 +318,10 @@ mod tests {
     #[test]
     fn selection_filters_by_constant_and_attribute() {
         let db = db();
-        let nyc = evaluate_ra(
-            &RaExpr::relation("person").select_eq("city", "NYC"),
-            &db,
-        )
-        .unwrap();
+        let nyc = evaluate_ra(&RaExpr::relation("person").select_eq("city", "NYC"), &db).unwrap();
         assert_eq!(nyc.len(), 2);
         let self_friend = evaluate_ra(
-            &RaExpr::relation("friend")
-                .select(vec![Condition::EqAttr("id1".into(), "id2".into())]),
+            &RaExpr::relation("friend").select(vec![Condition::EqAttr("id1".into(), "id2".into())]),
             &db,
         )
         .unwrap();

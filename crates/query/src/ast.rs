@@ -6,7 +6,6 @@
 //! representations live in [`crate::cq`] and [`crate::ucq`] and convert into
 //! [`Formula`] when FO machinery is needed.
 
-use serde::{Deserialize, Serialize};
 use si_data::Value;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -15,7 +14,7 @@ use std::fmt;
 pub type Var = String;
 
 /// A term: either a variable or a constant of the universe.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Term {
     /// A variable occurrence.
     Var(Var),
@@ -66,7 +65,7 @@ impl fmt::Display for Term {
 }
 
 /// A relation atom `R(t̅)`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Atom {
     /// Relation name.
     pub relation: String,
@@ -105,7 +104,7 @@ impl Atom {
                 .terms
                 .iter()
                 .map(|t| match t {
-                    Term::Var(v) if v == var => Term::Const(value.clone()),
+                    Term::Var(v) if v == var => Term::Const(*value),
                     other => other.clone(),
                 })
                 .collect(),
@@ -132,7 +131,7 @@ impl fmt::Display for Atom {
 /// atoms and equality atoms closed under `¬`, `∧`, `∨`, `→`, `∃` and `∀`.
 /// `True`/`False` are included for convenience (they are definable but keep
 /// derived formulas small).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Formula {
     /// The true constant.
     True,
@@ -303,7 +302,7 @@ impl Formula {
             Formula::Atom(a) => Formula::Atom(a.substitute(var, value)),
             Formula::Eq(l, r) => {
                 let sub = |t: &Term| match t {
-                    Term::Var(v) if v == var => Term::Const(value.clone()),
+                    Term::Var(v) if v == var => Term::Const(*value),
                     other => other.clone(),
                 };
                 Formula::Eq(sub(l), sub(r))
@@ -371,7 +370,7 @@ impl fmt::Display for Formula {
 
 /// A named first-order query: a formula together with an ordered tuple of
 /// output (free) variables `x̅`, written `Q(x̅)` in the paper.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FoQuery {
     /// Query name (used for display only).
     pub name: String,
@@ -442,7 +441,13 @@ impl FoQuery {
 
 impl fmt::Display for FoQuery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}({}) := {}", self.name, self.head.join(", "), self.body)
+        write!(
+            f,
+            "{}({}) := {}",
+            self.name,
+            self.head.join(", "),
+            self.body
+        )
     }
 }
 

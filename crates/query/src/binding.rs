@@ -1,0 +1,274 @@
+//! Flat variable bindings: the query-side half of the copy-cheap data plane.
+//!
+//! The seed evaluators each carried partial assignments as
+//! `BTreeMap<Var, Value>` — a pointer-chasing tree that was *cloned at every
+//! extension step* of every join and of the Theorem-4.2 executor.  This
+//! module replaces that with:
+//!
+//! * [`VarTable`] — variables of a query numbered **once**, at plan/validate
+//!   time, mapping names to dense [`VarId`]s;
+//! * [`Binding`] — a flat `Vec<Option<Value>>` slab indexed by [`VarId`].
+//!   `Value` is `Copy`, so cloning a binding to extend it is a single
+//!   `memcpy` with no per-entry allocation, and reads are array indexing
+//!   instead of tree walks.
+//!
+//! All evaluators (`cq_eval`, `fo_eval`, the bounded executor, incremental
+//! maintenance and view-based execution) share this representation; names
+//! only reappear at the edges, via [`VarTable::name_of`] /
+//! [`Binding::to_named`].
+
+use crate::ast::Var;
+use si_data::{Tuple, Value};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Dense index of a variable within a [`VarTable`].
+pub type VarId = u32;
+
+/// A query's variables, numbered once in first-occurrence order.
+#[derive(Debug, Clone, Default)]
+pub struct VarTable {
+    names: Vec<Var>,
+    ids: HashMap<Var, VarId>,
+}
+
+impl VarTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        VarTable::default()
+    }
+
+    /// Builds a table from an ordered list of names (duplicates collapse to
+    /// their first occurrence).
+    pub fn from_names<I: IntoIterator<Item = Var>>(names: I) -> Self {
+        let mut table = VarTable::new();
+        for name in names {
+            table.intern(&name);
+        }
+        table
+    }
+
+    /// Numbers `name`, returning its existing id when already present.
+    pub fn intern(&mut self, name: &str) -> VarId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("too many variables");
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// The id of `name`, if it was numbered.
+    pub fn id_of(&self, name: &str) -> Option<VarId> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name carried by `id`.
+    pub fn name_of(&self, id: VarId) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Ids for a slice of names, failing on the first unknown one.
+    pub fn ids_of(&self, names: &[Var]) -> Option<Vec<VarId>> {
+        names.iter().map(|n| self.id_of(n)).collect()
+    }
+
+    /// Number of variables in the table.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True iff no variable has been numbered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The names in id order.
+    pub fn names(&self) -> &[Var] {
+        &self.names
+    }
+}
+
+/// A partial assignment of a query's variables: one slot per [`VarId`].
+///
+/// Cloning is a flat copy (no allocation per entry), which is what makes
+/// "extend by copy" cheap in the join loops.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Binding {
+    slots: Vec<Option<Value>>,
+}
+
+impl Binding {
+    /// An all-unbound binding with one slot per variable of `table`.
+    pub fn for_table(table: &VarTable) -> Self {
+        Binding {
+            slots: vec![None; table.len()],
+        }
+    }
+
+    /// An all-unbound binding with `n` slots.
+    pub fn with_slots(n: usize) -> Self {
+        Binding {
+            slots: vec![None; n],
+        }
+    }
+
+    /// Number of slots (bound or not).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True iff the binding has no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The value bound at `id`, if any.
+    #[inline]
+    pub fn get(&self, id: VarId) -> Option<Value> {
+        self.slots[id as usize]
+    }
+
+    /// True iff `id` carries a value.
+    #[inline]
+    pub fn is_bound(&self, id: VarId) -> bool {
+        self.slots[id as usize].is_some()
+    }
+
+    /// Binds `id` to `value`; returns `false` when `id` is already bound to a
+    /// *different* value (the caller's join/unification failed).
+    #[inline]
+    pub fn bind(&mut self, id: VarId, value: Value) -> bool {
+        match &self.slots[id as usize] {
+            Some(existing) => *existing == value,
+            None => {
+                self.slots[id as usize] = Some(value);
+                true
+            }
+        }
+    }
+
+    /// Unconditionally overwrites the slot for `id`.
+    #[inline]
+    pub fn set(&mut self, id: VarId, value: Value) {
+        self.slots[id as usize] = Some(value);
+    }
+
+    /// Clears the slot for `id`, returning the previous value.
+    #[inline]
+    pub fn unset(&mut self, id: VarId) -> Option<Value> {
+        self.slots[id as usize].take()
+    }
+
+    /// Projects the binding onto `ids`, in order; `None` when any is unbound.
+    pub fn project(&self, ids: &[VarId]) -> Option<Tuple> {
+        ids.iter().map(|&id| self.get(id)).collect()
+    }
+
+    /// Number of bound slots.
+    pub fn bound_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Resolves the binding back to `(name, value)` pairs, in id order.
+    /// For witnesses, error messages and planner APIs — not for hot loops.
+    pub fn to_named(&self, table: &VarTable) -> Vec<(Var, Value)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(id, slot)| slot.map(|v| (table.name_of(id as VarId).to_owned(), v)))
+            .collect()
+    }
+}
+
+impl fmt::Debug for Binding {
+    /// Renders bound slots as `#id=value` (names live in the [`VarTable`]).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Binding{{")?;
+        let mut first = true;
+        for (id, slot) in self.slots.iter().enumerate() {
+            if let Some(v) = slot {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                write!(f, "#{id}={v}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_table_numbers_in_first_occurrence_order() {
+        let mut t = VarTable::new();
+        assert_eq!(t.intern("p"), 0);
+        assert_eq!(t.intern("id"), 1);
+        assert_eq!(t.intern("p"), 0);
+        assert_eq!(t.intern("name"), 2);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.id_of("id"), Some(1));
+        assert_eq!(t.id_of("zzz"), None);
+        assert_eq!(t.name_of(2), "name");
+        assert_eq!(t.names(), &["p", "id", "name"]);
+        assert_eq!(t.ids_of(&["name".into(), "p".into()]), Some(vec![2, 0]));
+        assert_eq!(t.ids_of(&["nope".into()]), None);
+    }
+
+    #[test]
+    fn from_names_collapses_duplicates() {
+        let t = VarTable::from_names(["x".to_string(), "y".into(), "x".into()]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert!(VarTable::new().is_empty());
+    }
+
+    #[test]
+    fn binding_bind_detects_conflicts() {
+        let t = VarTable::from_names(["x".to_string(), "y".into()]);
+        let mut b = Binding::for_table(&t);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_bound(0));
+        assert!(b.bind(0, Value::int(1)));
+        assert!(b.bind(0, Value::int(1)), "re-binding same value is fine");
+        assert!(!b.bind(0, Value::int(2)), "conflicting value must fail");
+        assert_eq!(b.get(0), Some(Value::int(1)));
+        assert_eq!(b.get(1), None);
+        assert_eq!(b.bound_count(), 1);
+    }
+
+    #[test]
+    fn binding_clone_is_independent() {
+        let mut a = Binding::with_slots(3);
+        a.set(0, Value::str("NYC"));
+        let mut b = a.clone();
+        b.set(1, Value::int(7));
+        assert_eq!(a.get(1), None);
+        assert_eq!(b.get(0), Some(Value::str("NYC")));
+        assert_eq!(b.unset(1), Some(Value::int(7)));
+        assert_eq!(b.get(1), None);
+    }
+
+    #[test]
+    fn projection_and_naming() {
+        let t = VarTable::from_names(["p".to_string(), "name".into()]);
+        let mut b = Binding::for_table(&t);
+        b.set(0, Value::int(1));
+        assert_eq!(b.project(&[0, 1]), None, "unbound slot aborts projection");
+        b.set(1, Value::str("ann"));
+        assert_eq!(b.project(&[1, 0]).unwrap(), si_data::tuple!["ann", 1]);
+        assert_eq!(
+            b.to_named(&t),
+            vec![
+                ("p".to_string(), Value::int(1)),
+                ("name".to_string(), Value::str("ann"))
+            ]
+        );
+        assert!(format!("{b:?}").contains("#0=1"));
+    }
+}

@@ -6,15 +6,14 @@
 //! ([`ConjunctiveQuery::tableau_size`]), which is what bounds the witness
 //! needed for a Boolean CQ (Corollary 3.2).
 
-use crate::ast::{Atom, Formula, FoQuery, Term, Var};
+use crate::ast::{Atom, FoQuery, Formula, Term, Var};
 use crate::error::QueryError;
-use serde::{Deserialize, Serialize};
 use si_data::{Database, DatabaseSchema, RelationSchema, Tuple, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A conjunctive query: head variables, relation atoms and equality atoms.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConjunctiveQuery {
     /// Query name, for display.
     pub name: String,
@@ -137,7 +136,7 @@ impl ConjunctiveQuery {
         let sub_term = |t: &Term| match t {
             Term::Var(v) => map
                 .get(v)
-                .map(|val| Term::Const((*val).clone()))
+                .map(|val| Term::Const(*(*val)))
                 .unwrap_or_else(|| t.clone()),
             Term::Const(_) => t.clone(),
         };
@@ -188,13 +187,17 @@ impl ConjunctiveQuery {
         let mut db = Database::empty(canonical_schema);
         let freeze = |t: &Term| match t {
             Term::Var(v) => Value::str(format!("?{v}")),
-            Term::Const(c) => c.clone(),
+            Term::Const(c) => *c,
         };
         for a in &self.atoms {
             let tuple: Tuple = a.terms.iter().map(freeze).collect();
             db.insert(&a.relation, tuple)?;
         }
-        let head_tuple: Tuple = self.head.iter().map(|v| Value::str(format!("?{v}"))).collect();
+        let head_tuple: Tuple = self
+            .head
+            .iter()
+            .map(|v| Value::str(format!("?{v}")))
+            .collect();
         Ok((db, head_tuple))
     }
 }
@@ -282,7 +285,10 @@ mod tests {
             vec!["a".into()],
             vec![Atom::new("enemy", vec![v("a")])],
         );
-        assert!(matches!(bad_rel.validate(&schema), Err(QueryError::Data(_))));
+        assert!(matches!(
+            bad_rel.validate(&schema),
+            Err(QueryError::Data(_))
+        ));
     }
 
     #[test]
@@ -353,13 +359,12 @@ mod tests {
 
     #[test]
     fn boolean_cq_has_empty_head() {
-        let q = ConjunctiveQuery::new(
-            "B",
-            vec![],
-            vec![Atom::new("friend", vec![v("x"), v("y")])],
-        );
+        let q = ConjunctiveQuery::new("B", vec![], vec![Atom::new("friend", vec![v("x"), v("y")])]);
         assert!(q.is_boolean());
         assert_eq!(q.arity(), 0);
-        assert_eq!(q.existential_variables(), vec!["x".to_string(), "y".to_string()]);
+        assert_eq!(
+            q.existential_variables(),
+            vec!["x".to_string(), "y".to_string()]
+        );
     }
 }

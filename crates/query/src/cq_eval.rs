@@ -1,4 +1,4 @@
-//! Evaluation of conjunctive queries by hash joins.
+//! Evaluation of conjunctive queries by hash joins over flat bindings.
 //!
 //! [`evaluate_cq`] is the *unbounded* baseline used throughout the
 //! experiments: it touches every tuple of every relation mentioned by the
@@ -6,19 +6,66 @@
 //! conventional engine without access-schema knowledge would do.  The number
 //! of base tuples it reads therefore grows linearly with `|D|` — the
 //! behaviour that scale-independent plans avoid.
+//!
+//! Since the interned-data-plane refactor the evaluator numbers the query's
+//! variables once into a [`VarTable`], compiles every atom's terms to slot
+//! ids, and carries partial assignments as flat [`Binding`]s that extend by
+//! copy.  Answers are deduplicated in a single insertion-ordered
+//! [`TupleSet`] (the seed kept a `BTreeSet` *and* a `Vec` with an extra
+//! clone per answer).
 
-use crate::ast::{Term, Var};
+use crate::ast::{Atom, Term, Var};
+use crate::binding::{Binding, VarId, VarTable};
 use crate::cq::ConjunctiveQuery;
 use crate::error::QueryError;
 use crate::ucq::UnionQuery;
-use si_data::{AccessMeter, Database, Tuple, Value};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use si_data::{AccessMeter, Database, Tuple, TupleSet, Value};
+use std::collections::{BTreeSet, HashMap};
 
-/// A variable assignment produced during evaluation.
-pub type Assignment = BTreeMap<Var, Value>;
+/// All satisfying assignments of a query body, over the query's [`VarTable`].
+#[derive(Debug, Clone)]
+pub struct BindingSet {
+    /// The query's variables, numbered in first-occurrence order.
+    pub vars: VarTable,
+    /// One flat binding per satisfying assignment.
+    pub rows: Vec<Binding>,
+}
+
+impl BindingSet {
+    /// Projects every row onto the named variables, dropping rows that leave
+    /// one unbound.
+    pub fn project_named(&self, names: &[Var]) -> Option<Vec<Tuple>> {
+        let ids = self.vars.ids_of(names)?;
+        Some(
+            self.rows
+                .iter()
+                .filter_map(|row| row.project(&ids))
+                .collect(),
+        )
+    }
+}
+
+/// A term compiled against a [`VarTable`]: a slot id or an interned constant.
+#[derive(Debug, Clone, Copy)]
+enum CTerm {
+    Slot(VarId),
+    Const(Value),
+}
+
+/// Compiles an atom's terms against `vars`, interning new variables.
+fn compile_terms(atom: &Atom, vars: &mut VarTable) -> Vec<CTerm> {
+    atom.terms
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => CTerm::Slot(vars.intern(v)),
+            Term::Const(c) => CTerm::Const(*c),
+        })
+        .collect()
+}
 
 /// Evaluates a conjunctive query over `db`, returning the set of answer
-/// tuples (projections of satisfying assignments onto the head).
+/// tuples (projections of satisfying assignments onto the head) in
+/// first-derivation order, without duplicates.
 ///
 /// Every base tuple examined is charged to `meter` (one full scan per atom).
 pub fn evaluate_cq(
@@ -27,23 +74,19 @@ pub fn evaluate_cq(
     meter: Option<&AccessMeter>,
 ) -> Result<Vec<Tuple>, QueryError> {
     query.validate(db.schema())?;
-    let assignments = satisfying_assignments(query, db, meter)?;
-    let mut out: Vec<Tuple> = Vec::new();
-    let mut seen: BTreeSet<Tuple> = BTreeSet::new();
-    for assignment in &assignments {
-        let tuple: Option<Tuple> = query
-            .head
-            .iter()
-            .map(|v| assignment.get(v).cloned())
-            .collect();
-        let tuple = tuple.ok_or_else(|| {
-            QueryError::UnboundVariable("head variable not bound by body".into())
-        })?;
-        if seen.insert(tuple.clone()) {
-            out.push(tuple);
-        }
+    let bindings = satisfying_bindings(query, db, meter)?;
+    let head_ids = bindings
+        .vars
+        .ids_of(&query.head)
+        .ok_or_else(|| QueryError::UnboundVariable("head variable not bound by body".into()))?;
+    let mut out = TupleSet::new();
+    for row in &bindings.rows {
+        let tuple = row
+            .project(&head_ids)
+            .ok_or_else(|| QueryError::UnboundVariable("head variable not bound by body".into()))?;
+        out.insert(tuple);
     }
-    Ok(out)
+    Ok(out.into_vec())
 }
 
 /// Evaluates a Boolean conjunctive query (`true` iff it has at least one
@@ -53,7 +96,7 @@ pub fn evaluate_boolean_cq(
     db: &Database,
     meter: Option<&AccessMeter>,
 ) -> Result<bool, QueryError> {
-    Ok(!satisfying_assignments(query, db, meter)?.is_empty())
+    Ok(!satisfying_bindings(query, db, meter)?.rows.is_empty())
 }
 
 /// Evaluates a union of conjunctive queries (set union of the disjuncts'
@@ -63,54 +106,74 @@ pub fn evaluate_ucq(
     db: &Database,
     meter: Option<&AccessMeter>,
 ) -> Result<Vec<Tuple>, QueryError> {
-    let mut seen: BTreeSet<Tuple> = BTreeSet::new();
-    let mut out = Vec::new();
+    let mut out = TupleSet::new();
     for d in &query.disjuncts {
-        for t in evaluate_cq(d, db, meter)? {
-            if seen.insert(t.clone()) {
-                out.push(t);
-            }
-        }
+        out.extend(evaluate_cq(d, db, meter)?);
     }
-    Ok(out)
+    Ok(out.into_vec())
 }
 
-/// Computes all satisfying assignments of the query body over `db`.
+/// Computes all satisfying assignments of the query body over `db`, as flat
+/// bindings over the query's [`VarTable`].
 ///
 /// This is exposed (rather than only the projected answers) because the
 /// bounded-evaluation and incremental modules need the full assignments to
 /// reconstruct witness sets.
-pub fn satisfying_assignments(
+pub fn satisfying_bindings(
     query: &ConjunctiveQuery,
     db: &Database,
     meter: Option<&AccessMeter>,
-) -> Result<Vec<Assignment>, QueryError> {
+) -> Result<BindingSet, QueryError> {
+    // Number every body variable once, in first-occurrence order.
+    let mut vars = VarTable::from_names(query.body_variables());
+    let ordered = order_atoms(query);
+    let compiled: Vec<Vec<CTerm>> = ordered
+        .iter()
+        .map(|atom| compile_terms(atom, &mut vars))
+        .collect();
+    let equalities: Vec<(CTerm, CTerm)> = query
+        .equalities
+        .iter()
+        .map(|(l, r)| {
+            let mut compile = |t: &Term| match t {
+                Term::Var(v) => CTerm::Slot(vars.intern(v)),
+                Term::Const(c) => CTerm::Const(*c),
+            };
+            (compile(l), compile(r))
+        })
+        .collect();
+
     // Seed with bindings forced by `x = c` equalities so that later atoms can
     // use them as filters.
-    let mut seed: Assignment = BTreeMap::new();
-    for (l, r) in &query.equalities {
+    let mut seed = Binding::for_table(&vars);
+    for (l, r) in &equalities {
         match (l, r) {
-            (Term::Var(v), Term::Const(c)) | (Term::Const(c), Term::Var(v)) => {
-                if let Some(existing) = seed.get(v) {
-                    if existing != c {
-                        return Ok(Vec::new());
-                    }
-                } else {
-                    seed.insert(v.clone(), c.clone());
-                }
+            (CTerm::Slot(id), CTerm::Const(c)) | (CTerm::Const(c), CTerm::Slot(id))
+                if !seed.bind(*id, *c) =>
+            {
+                return Ok(BindingSet {
+                    vars,
+                    rows: Vec::new(),
+                });
             }
-            (Term::Const(c1), Term::Const(c2)) => {
-                if c1 != c2 {
-                    return Ok(Vec::new());
-                }
+            (CTerm::Const(c1), CTerm::Const(c2)) if c1 != c2 => {
+                return Ok(BindingSet {
+                    vars,
+                    rows: Vec::new(),
+                });
             }
             _ => {}
         }
     }
 
-    let mut assignments: Vec<Assignment> = vec![seed];
-    for atom in order_atoms(query) {
-        if assignments.is_empty() {
+    // Which slots are bound is uniform across all current rows; track it once.
+    let mut bound: Vec<bool> = (0..vars.len() as VarId)
+        .map(|id| seed.is_bound(id))
+        .collect();
+
+    let mut rows: Vec<Binding> = vec![seed];
+    for (cterms, atom) in compiled.iter().zip(ordered.iter()) {
+        if rows.is_empty() {
             break;
         }
         let relation = db.relation(&atom.relation)?;
@@ -119,86 +182,103 @@ pub fn satisfying_assignments(
             m.add_tuples(relation.len() as u64);
         }
 
-        // Variables already bound in (all of) the current assignments.
-        let bound: BTreeSet<&Var> = assignments
-            .first()
-            .map(|a| a.keys().collect())
-            .unwrap_or_default();
-        // Positions of the atom joining with already-bound variables.
-        let join_vars: Vec<Var> = atom
-            .variables()
-            .into_iter()
-            .filter(|v| bound.contains(v))
-            .collect();
+        // Slots of this atom that join with already-bound variables, and the
+        // distinct new slots it binds (in term order).
+        let mut join_slots: Vec<VarId> = Vec::new();
+        let mut new_slots: Vec<VarId> = Vec::new();
+        for ct in cterms {
+            if let CTerm::Slot(id) = ct {
+                if bound[*id as usize] {
+                    if !join_slots.contains(id) {
+                        join_slots.push(*id);
+                    }
+                } else if !new_slots.contains(id) {
+                    new_slots.push(*id);
+                }
+            }
+        }
 
         // Hash every tuple of the relation by its join key, keeping only the
         // tuples compatible with the atom's constants and repeated variables.
-        let mut table: HashMap<Vec<Value>, Vec<Assignment>> = HashMap::new();
+        // Each table row stores the values of `new_slots` in order — a flat,
+        // copy-cheap record.
+        let slot_count = vars.len();
+        let mut table: HashMap<Vec<Value>, Vec<Vec<Value>>> = HashMap::new();
+        let mut scratch = Binding::with_slots(slot_count);
         'tuples: for tuple in relation.iter() {
-            let mut local: Assignment = BTreeMap::new();
-            for (pos, term) in atom.terms.iter().enumerate() {
-                match term {
-                    Term::Const(c) => {
-                        if &tuple[pos] != c {
+            // Local unification of the tuple against the atom.
+            let mut touched: Vec<VarId> = Vec::new();
+            for (pos, ct) in cterms.iter().enumerate() {
+                let value = tuple[pos];
+                match ct {
+                    CTerm::Const(c) => {
+                        if *c != value {
+                            for id in touched.drain(..) {
+                                scratch.unset(id);
+                            }
                             continue 'tuples;
                         }
                     }
-                    Term::Var(v) => {
-                        if let Some(prev) = local.get(v) {
-                            if prev != &tuple[pos] {
-                                continue 'tuples;
+                    CTerm::Slot(id) => {
+                        if scratch.get(*id).is_none() {
+                            touched.push(*id);
+                        }
+                        if !scratch.bind(*id, value) {
+                            for id in touched.drain(..) {
+                                scratch.unset(id);
                             }
-                        } else {
-                            local.insert(v.clone(), tuple[pos].clone());
+                            continue 'tuples;
                         }
                     }
                 }
             }
-            let key: Vec<Value> = join_vars
+            let key: Vec<Value> = join_slots
                 .iter()
-                .map(|v| local.get(v).cloned().unwrap_or(Value::Null))
+                .map(|&id| scratch.get(id).unwrap_or(Value::Null))
                 .collect();
-            table.entry(key).or_default().push(local);
+            let record: Vec<Value> = new_slots
+                .iter()
+                .map(|&id| scratch.get(id).expect("new slot bound by unification"))
+                .collect();
+            for id in touched.drain(..) {
+                scratch.unset(id);
+            }
+            table.entry(key).or_default().push(record);
         }
 
-        // Join with the current assignments.
-        let mut next: Vec<Assignment> = Vec::new();
-        for assignment in &assignments {
-            let key: Vec<Value> = join_vars
-                .iter()
-                .map(|v| assignment.get(v).cloned().unwrap_or(Value::Null))
-                .collect();
+        // Join with the current rows: probe by join key, then extend each
+        // match by copying the binding and filling the new slots.
+        let mut next: Vec<Binding> = Vec::new();
+        let mut key: Vec<Value> = Vec::with_capacity(join_slots.len());
+        for row in &rows {
+            key.clear();
+            key.extend(
+                join_slots
+                    .iter()
+                    .map(|&id| row.get(id).unwrap_or(Value::Null)),
+            );
             if let Some(matches) = table.get(&key) {
-                for local in matches {
-                    let mut merged = assignment.clone();
-                    let mut compatible = true;
-                    for (v, val) in local {
-                        match merged.get(v) {
-                            Some(existing) if existing != val => {
-                                compatible = false;
-                                break;
-                            }
-                            Some(_) => {}
-                            None => {
-                                merged.insert(v.clone(), val.clone());
-                            }
-                        }
+                for record in matches {
+                    let mut extended = row.clone();
+                    for (&id, &value) in new_slots.iter().zip(record.iter()) {
+                        extended.set(id, value);
                     }
-                    if compatible {
-                        next.push(merged);
-                    }
+                    next.push(extended);
                 }
             }
         }
-        assignments = next;
+        for &id in &new_slots {
+            bound[id as usize] = true;
+        }
+        rows = next;
     }
 
     // Apply the remaining (variable/variable) equality atoms as filters.
-    assignments.retain(|assignment| {
-        query.equalities.iter().all(|(l, r)| {
-            let value_of = |t: &Term| match t {
-                Term::Var(v) => assignment.get(v).cloned(),
-                Term::Const(c) => Some(c.clone()),
+    rows.retain(|row| {
+        equalities.iter().all(|(l, r)| {
+            let value_of = |t: &CTerm| match t {
+                CTerm::Slot(id) => row.get(*id),
+                CTerm::Const(c) => Some(*c),
             };
             match (value_of(l), value_of(r)) {
                 (Some(a), Some(b)) => a == b,
@@ -210,15 +290,15 @@ pub fn satisfying_assignments(
         })
     });
 
-    Ok(assignments)
+    Ok(BindingSet { vars, rows })
 }
 
 /// Chooses an evaluation order for the atoms: greedily pick the atom sharing
 /// the most variables with what is already bound (constants count as bound),
 /// which keeps intermediate results small for the acyclic queries of the
 /// paper's examples.
-fn order_atoms(query: &ConjunctiveQuery) -> Vec<crate::ast::Atom> {
-    let mut remaining: Vec<crate::ast::Atom> = query.atoms.clone();
+fn order_atoms(query: &ConjunctiveQuery) -> Vec<Atom> {
+    let mut remaining: Vec<Atom> = query.atoms.clone();
     let mut bound: BTreeSet<Var> = query
         .equalities
         .iter()
@@ -325,11 +405,7 @@ mod tests {
         answers.sort();
         assert_eq!(
             answers,
-            vec![
-                tuple![1, "bob"],
-                tuple![2, "dan"],
-                tuple![4, "ann"],
-            ]
+            vec![tuple![1, "bob"], tuple![2, "dan"], tuple![4, "ann"],]
         );
     }
 
@@ -456,7 +532,10 @@ mod tests {
         let q = UnionQuery::new("U", vec![d1, d2]).unwrap();
         let mut answers = evaluate_ucq(&q, &db, None).unwrap();
         answers.sort();
-        assert_eq!(answers, vec![tuple!["cat"], tuple!["pasta"], tuple!["sushi"]]);
+        assert_eq!(
+            answers,
+            vec![tuple!["cat"], tuple!["pasta"], tuple!["sushi"]]
+        );
     }
 
     #[test]
@@ -488,5 +567,27 @@ mod tests {
         let mut answers = evaluate_cq(&q, &db, None).unwrap();
         answers.sort();
         assert_eq!(answers, vec![tuple![1, 2], tuple![2, 1]]);
+    }
+
+    #[test]
+    fn binding_set_projects_named_variables() {
+        let db = db();
+        let q = ConjunctiveQuery::new(
+            "Q",
+            vec!["p".into(), "name".into()],
+            vec![
+                Atom::new("friend", vec![v("p"), v("id")]),
+                Atom::new("person", vec![v("id"), v("name"), c("NYC")]),
+            ],
+        );
+        let bindings = satisfying_bindings(&q, &db, None).unwrap();
+        assert_eq!(bindings.rows.len(), 3);
+        let projected = bindings.project_named(&["name".into()]).unwrap();
+        assert_eq!(projected.len(), 3);
+        assert!(bindings.project_named(&["nope".into()]).is_none());
+        // Every row binds every body variable of this query.
+        for row in &bindings.rows {
+            assert_eq!(row.bound_count(), bindings.vars.len());
+        }
     }
 }

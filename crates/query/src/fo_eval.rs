@@ -8,17 +8,56 @@
 //! intended for the *decision procedures* of Section 3 (which operate on
 //! small instances) and for cross-checking the optimised evaluators on small
 //! inputs — not for the large-scale experiments, which use CQ/RA evaluation.
+//!
+//! Environments are flat [`Binding`]s over a per-formula [`VarTable`]
+//! (quantifier shadowing is save/restore on a slot), so the quantifier loops
+//! never allocate or clone a tree — the same copy-cheap data plane as the
+//! hash-join evaluator.
 
-use crate::ast::{Atom, Formula, FoQuery, Term, Var};
+use crate::ast::{Atom, FoQuery, Formula, Term, Var};
+use crate::binding::{Binding, VarId, VarTable};
 use crate::error::QueryError;
 use si_data::{AccessMeter, Database, Tuple, Value};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// Evaluates FO formulas and queries over a fixed database.
 pub struct FoEvaluator<'a> {
     db: &'a Database,
     adom: Vec<Value>,
     meter: Option<&'a AccessMeter>,
+}
+
+/// Collects every variable name occurring in `formula` (free or bound) into
+/// `vars`, so one table covers every slot the evaluation can touch.
+fn collect_all_vars(formula: &Formula, vars: &mut VarTable) {
+    match formula {
+        Formula::True | Formula::False => {}
+        Formula::Atom(a) => {
+            for t in &a.terms {
+                if let Term::Var(v) = t {
+                    vars.intern(v);
+                }
+            }
+        }
+        Formula::Eq(l, r) => {
+            for t in [l, r] {
+                if let Term::Var(v) = t {
+                    vars.intern(v);
+                }
+            }
+        }
+        Formula::Not(f) => collect_all_vars(f, vars),
+        Formula::And(f, g) | Formula::Or(f, g) | Formula::Implies(f, g) => {
+            collect_all_vars(f, vars);
+            collect_all_vars(g, vars);
+        }
+        Formula::Exists(qs, f) | Formula::Forall(qs, f) => {
+            for v in qs {
+                vars.intern(v);
+            }
+            collect_all_vars(f, vars);
+        }
+    }
 }
 
 impl<'a> FoEvaluator<'a> {
@@ -53,17 +92,30 @@ impl<'a> FoEvaluator<'a> {
                 free.into_iter().collect::<Vec<_>>().join(", "),
             ));
         }
-        self.eval(formula, &BTreeMap::new())
+        let mut vars = VarTable::new();
+        collect_all_vars(formula, &mut vars);
+        let mut env = Binding::for_table(&vars);
+        self.eval(formula, &mut env, &vars)
     }
 
     /// Evaluates a formula under a (total-enough) assignment of its free
-    /// variables.
+    /// variables, given as `(name, value)` pairs.
     pub fn holds_under(
         &self,
         formula: &Formula,
-        assignment: &BTreeMap<Var, Value>,
+        assignment: &[(Var, Value)],
     ) -> Result<bool, QueryError> {
-        self.eval(formula, assignment)
+        let mut vars = VarTable::new();
+        collect_all_vars(formula, &mut vars);
+        for (name, _) in assignment {
+            vars.intern(name);
+        }
+        let mut env = Binding::for_table(&vars);
+        for (name, value) in assignment {
+            let id = vars.id_of(name).expect("just interned");
+            env.set(id, *value);
+        }
+        self.eval(formula, &mut env, &vars)
     }
 
     /// Computes the answer `Q(D)` of a data-selecting query: all tuples
@@ -80,9 +132,19 @@ impl<'a> FoEvaluator<'a> {
                 vec![]
             });
         }
+        let mut vars = VarTable::new();
+        for v in &query.head {
+            vars.intern(v);
+        }
+        collect_all_vars(&query.body, &mut vars);
+        let head_ids: Vec<VarId> = query
+            .head
+            .iter()
+            .map(|v| vars.id_of(v).expect("head interned above"))
+            .collect();
+        let mut env = Binding::for_table(&vars);
         let mut out = Vec::new();
-        let mut assignment: BTreeMap<Var, Value> = BTreeMap::new();
-        self.enumerate(query, 0, &mut assignment, &mut out)?;
+        self.enumerate(query, &head_ids, 0, &mut env, &vars, &mut out)?;
         Ok(out)
     }
 
@@ -97,90 +159,97 @@ impl<'a> FoEvaluator<'a> {
                 values.arity()
             )));
         }
-        let assignment: BTreeMap<Var, Value> = query
-            .head
-            .iter()
-            .cloned()
-            .zip(values.iter().cloned())
-            .collect();
-        self.eval(&query.body, &assignment)
+        let mut vars = VarTable::new();
+        for v in &query.head {
+            vars.intern(v);
+        }
+        collect_all_vars(&query.body, &mut vars);
+        let mut env = Binding::for_table(&vars);
+        for (v, value) in query.head.iter().zip(values.iter()) {
+            env.set(vars.id_of(v).expect("head interned above"), *value);
+        }
+        self.eval(&query.body, &mut env, &vars)
     }
 
     fn enumerate(
         &self,
         query: &FoQuery,
+        head_ids: &[VarId],
         depth: usize,
-        assignment: &mut BTreeMap<Var, Value>,
+        env: &mut Binding,
+        vars: &VarTable,
         out: &mut Vec<Tuple>,
     ) -> Result<(), QueryError> {
-        if depth == query.head.len() {
-            if self.eval(&query.body, assignment)? {
-                let tuple: Tuple = query
-                    .head
-                    .iter()
-                    .map(|v| assignment[v].clone())
-                    .collect();
+        if depth == head_ids.len() {
+            if self.eval(&query.body, env, vars)? {
+                let tuple = env
+                    .project(head_ids)
+                    .expect("all head slots bound during enumeration");
                 out.push(tuple);
             }
             return Ok(());
         }
-        let var = query.head[depth].clone();
+        let id = head_ids[depth];
         for value in &self.adom {
-            assignment.insert(var.clone(), value.clone());
-            self.enumerate(query, depth + 1, assignment, out)?;
+            env.set(id, *value);
+            self.enumerate(query, head_ids, depth + 1, env, vars, out)?;
         }
-        assignment.remove(&var);
+        env.unset(id);
         Ok(())
     }
 
-    fn eval(&self, formula: &Formula, env: &BTreeMap<Var, Value>) -> Result<bool, QueryError> {
+    fn eval(
+        &self,
+        formula: &Formula,
+        env: &mut Binding,
+        vars: &VarTable,
+    ) -> Result<bool, QueryError> {
         match formula {
             Formula::True => Ok(true),
             Formula::False => Ok(false),
-            Formula::Atom(atom) => self.eval_atom(atom, env),
+            Formula::Atom(atom) => self.eval_atom(atom, env, vars),
             Formula::Eq(l, r) => {
-                let lv = self.term_value(l, env)?;
-                let rv = self.term_value(r, env)?;
+                let lv = self.term_value(l, env, vars)?;
+                let rv = self.term_value(r, env, vars)?;
                 Ok(lv == rv)
             }
-            Formula::Not(f) => Ok(!self.eval(f, env)?),
-            Formula::And(f, g) => Ok(self.eval(f, env)? && self.eval(g, env)?),
-            Formula::Or(f, g) => Ok(self.eval(f, env)? || self.eval(g, env)?),
-            Formula::Implies(f, g) => Ok(!self.eval(f, env)? || self.eval(g, env)?),
-            Formula::Exists(vars, f) => self.eval_quantifier(vars, f, env, true),
-            Formula::Forall(vars, f) => self.eval_quantifier(vars, f, env, false),
+            Formula::Not(f) => Ok(!self.eval(f, env, vars)?),
+            Formula::And(f, g) => Ok(self.eval(f, env, vars)? && self.eval(g, env, vars)?),
+            Formula::Or(f, g) => Ok(self.eval(f, env, vars)? || self.eval(g, env, vars)?),
+            Formula::Implies(f, g) => Ok(!self.eval(f, env, vars)? || self.eval(g, env, vars)?),
+            Formula::Exists(qs, f) => self.eval_quantifier(qs, f, env, vars, true),
+            Formula::Forall(qs, f) => self.eval_quantifier(qs, f, env, vars, false),
         }
     }
 
     fn eval_quantifier(
         &self,
-        vars: &[Var],
+        quantified: &[Var],
         body: &Formula,
-        env: &BTreeMap<Var, Value>,
+        env: &mut Binding,
+        vars: &VarTable,
         existential: bool,
     ) -> Result<bool, QueryError> {
-        // Recursive enumeration over adom^|vars|.
+        // Recursive enumeration over adom^|quantified|, shadowing each slot by
+        // save/restore — no environment cloning.
         fn go(
             ev: &FoEvaluator<'_>,
-            vars: &[Var],
+            ids: &[VarId],
             body: &Formula,
-            env: &mut BTreeMap<Var, Value>,
+            env: &mut Binding,
+            vars: &VarTable,
             existential: bool,
         ) -> Result<bool, QueryError> {
-            match vars.split_first() {
-                None => ev.eval(body, env),
-                Some((first, rest)) => {
-                    let shadowed = env.get(first).cloned();
+            match ids.split_first() {
+                None => ev.eval(body, env, vars),
+                Some((&first, rest)) => {
+                    let shadowed = env.get(first);
                     for value in &ev.adom {
-                        env.insert(first.clone(), value.clone());
-                        let holds = go(ev, rest, body, env, existential)?;
-                        if existential && holds {
+                        env.set(first, *value);
+                        let holds = go(ev, rest, body, env, vars, existential)?;
+                        if existential == holds {
                             restore(env, first, shadowed);
-                            return Ok(true);
-                        }
-                        if !existential && !holds {
-                            restore(env, first, shadowed);
-                            return Ok(false);
+                            return Ok(holds);
                         }
                     }
                     restore(env, first, shadowed);
@@ -190,21 +259,27 @@ impl<'a> FoEvaluator<'a> {
                 }
             }
         }
-        fn restore(env: &mut BTreeMap<Var, Value>, var: &str, shadowed: Option<Value>) {
+        fn restore(env: &mut Binding, id: VarId, shadowed: Option<Value>) {
             match shadowed {
-                Some(v) => {
-                    env.insert(var.to_owned(), v);
-                }
+                Some(v) => env.set(id, v),
                 None => {
-                    env.remove(var);
+                    env.unset(id);
                 }
             }
         }
-        let mut env = env.clone();
-        go(self, vars, body, &mut env, existential)
+        let ids: Vec<VarId> = quantified
+            .iter()
+            .map(|v| vars.id_of(v).expect("quantified variable in table"))
+            .collect();
+        go(self, &ids, body, env, vars, existential)
     }
 
-    fn eval_atom(&self, atom: &Atom, env: &BTreeMap<Var, Value>) -> Result<bool, QueryError> {
+    fn eval_atom(
+        &self,
+        atom: &Atom,
+        env: &mut Binding,
+        vars: &VarTable,
+    ) -> Result<bool, QueryError> {
         let relation = self.db.relation(&atom.relation)?;
         if relation.schema().arity() != atom.terms.len() {
             return Err(QueryError::AtomArity {
@@ -216,7 +291,7 @@ impl<'a> FoEvaluator<'a> {
         let tuple: Result<Tuple, QueryError> = atom
             .terms
             .iter()
-            .map(|t| self.term_value(t, env))
+            .map(|t| self.term_value(t, env, vars))
             .collect();
         let tuple = tuple?;
         if let Some(m) = self.meter {
@@ -225,16 +300,12 @@ impl<'a> FoEvaluator<'a> {
         Ok(relation.contains(&tuple))
     }
 
-    fn term_value(
-        &self,
-        term: &Term,
-        env: &BTreeMap<Var, Value>,
-    ) -> Result<Value, QueryError> {
+    fn term_value(&self, term: &Term, env: &Binding, vars: &VarTable) -> Result<Value, QueryError> {
         match term {
-            Term::Const(c) => Ok(c.clone()),
-            Term::Var(v) => env
-                .get(v)
-                .cloned()
+            Term::Const(c) => Ok(*c),
+            Term::Var(v) => vars
+                .id_of(v)
+                .and_then(|id| env.get(id))
                 .ok_or_else(|| QueryError::UnboundVariable(v.clone())),
         }
     }
@@ -300,10 +371,7 @@ mod tests {
         let db = db();
         let mut answers = evaluate_fo(&q1(), &db).unwrap();
         answers.sort();
-        assert_eq!(
-            answers,
-            vec![tuple![1, "bob"], tuple![2, "ann"]]
-        );
+        assert_eq!(answers, vec![tuple![1, "bob"], tuple![2, "ann"]]);
     }
 
     #[test]
@@ -385,6 +453,23 @@ mod tests {
     }
 
     #[test]
+    fn quantifier_shadowing_uses_inner_binding() {
+        let db = db();
+        // ∃x (person(x, "ann", "NYC") ∧ ∃x person(x, "cat", "LA")) — the
+        // inner x shadows the outer one; both witnesses exist.
+        let f = Formula::exists(
+            vec!["x".into()],
+            Formula::Atom(Atom::new("person", vec![v("x"), c("ann"), c("NYC")])).and(
+                Formula::exists(
+                    vec!["x".into()],
+                    Formula::Atom(Atom::new("person", vec![v("x"), c("cat"), c("LA")])),
+                ),
+            ),
+        );
+        assert!(holds(&f, &db).unwrap());
+    }
+
+    #[test]
     fn free_variables_in_sentences_are_rejected() {
         let db = db();
         let f = Formula::Atom(Atom::new("friend", vec![v("x"), c(1)]));
@@ -394,10 +479,7 @@ mod tests {
         ));
         let ev = FoEvaluator::new(&db);
         assert!(ev
-            .holds_under(
-                &f,
-                &BTreeMap::from([("x".to_string(), Value::int(2))])
-            )
+            .holds_under(&f, &[("x".to_string(), Value::int(2))])
             .unwrap());
     }
 
@@ -408,10 +490,7 @@ mod tests {
             vec!["x".into()],
             Formula::Atom(Atom::new("friend", vec![v("x")])),
         );
-        assert!(matches!(
-            holds(&f, &db),
-            Err(QueryError::AtomArity { .. })
-        ));
+        assert!(matches!(holds(&f, &db), Err(QueryError::AtomArity { .. })));
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub fn find_homomorphism(
                     Some(Term::Const(existing)) if existing != c => return None,
                     Some(Term::Var(_)) => { /* checked at the end via apply */ }
                     _ => {
-                        mapping.insert(v.clone(), Term::Const(c.clone()));
+                        mapping.insert(v.clone(), Term::Const(*c));
                     }
                 }
             }
@@ -104,7 +104,7 @@ fn map_atoms(
             match s_term {
                 Term::Const(c) => {
                     // Constants must be matched exactly by the target term.
-                    if t_term != &Term::Const(c.clone()) {
+                    if t_term != &Term::Const(*c) {
                         ok = false;
                         break;
                     }
@@ -153,7 +153,7 @@ pub fn apply_to_atom(h: &Homomorphism, atom: &Atom) -> Atom {
 pub fn bindings_to_hom(bindings: &[(Var, Value)]) -> Homomorphism {
     bindings
         .iter()
-        .map(|(v, c)| (v.clone(), Term::Const(c.clone())))
+        .map(|(v, c)| (v.clone(), Term::Const(*c)))
         .collect()
 }
 

@@ -9,6 +9,8 @@
 //! * [`parser`] — a small textual syntax for FO and CQ;
 //! * [`fo_eval`] — active-domain FO evaluation (used by the decision
 //!   procedures of Section 3);
+//! * [`binding`] — the flat-binding data plane: per-query [`VarTable`]s and
+//!   copy-cheap [`Binding`] slabs shared by every evaluator;
 //! * [`cq_eval`] — hash-join CQ/UCQ evaluation (the unbounded baseline of all
 //!   experiments);
 //! * [`hom`] — homomorphisms and CQ containment (Section 6 rewritings);
@@ -22,6 +24,7 @@
 pub mod algebra;
 pub mod algebra_eval;
 pub mod ast;
+pub mod binding;
 pub mod cq;
 pub mod cq_eval;
 pub mod error;
@@ -33,9 +36,12 @@ pub mod ucq;
 
 pub use algebra::{Condition, RaExpr};
 pub use algebra_eval::{evaluate_ra, NamedRelation, RaEvaluator};
-pub use ast::{Atom, Formula, FoQuery, Term, Var};
+pub use ast::{Atom, FoQuery, Formula, Term, Var};
+pub use binding::{Binding, VarId, VarTable};
 pub use cq::ConjunctiveQuery;
-pub use cq_eval::{evaluate_boolean_cq, evaluate_cq, evaluate_ucq, satisfying_assignments};
+pub use cq_eval::{
+    evaluate_boolean_cq, evaluate_cq, evaluate_ucq, satisfying_bindings, BindingSet,
+};
 pub use error::QueryError;
 pub use fo_eval::{evaluate_fo, holds, FoEvaluator};
 pub use hom::{contained_in, equivalent, find_homomorphism, Homomorphism};

@@ -15,7 +15,7 @@
 //!   strings and integers are constants, `&`, `|`, `!`, `->`, `exists`,
 //!   `forall`, `=` and parentheses have the obvious meaning.
 
-use crate::ast::{Atom, Formula, FoQuery, Term, Var};
+use crate::ast::{Atom, FoQuery, Formula, Term, Var};
 use crate::cq::ConjunctiveQuery;
 use crate::error::QueryError;
 use si_data::Value;
@@ -277,7 +277,7 @@ impl Parser {
     fn parse_term(&mut self) -> Result<Term, QueryError> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(Term::Var(s)),
-            Some(Token::Str(s)) => Ok(Term::Const(Value::Str(s))),
+            Some(Token::Str(s)) => Ok(Term::Const(Value::str(s))),
             Some(Token::Int(i)) => Ok(Term::Const(Value::Int(i))),
             _ => {
                 self.pos = self.pos.saturating_sub(1);
@@ -319,7 +319,9 @@ fn tokenize(input: &str) -> Vec<(usize, Token)> {
             }
             tokens.push((start, Token::Ident(input[i..j].to_owned())));
             i = j;
-        } else if c.is_ascii_digit() || (c == '-' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()) {
+        } else if c.is_ascii_digit()
+            || (c == '-' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit())
+        {
             let mut j = i + 1;
             while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
                 j += 1;
@@ -362,7 +364,11 @@ mod tests {
         let mut db = Database::empty(social_schema());
         db.insert_all(
             "person",
-            vec![tuple![1, "ann", "NYC"], tuple![2, "bob", "NYC"], tuple![3, "cat", "LA"]],
+            vec![
+                tuple![1, "ann", "NYC"],
+                tuple![2, "bob", "NYC"],
+                tuple![3, "cat", "LA"],
+            ],
         )
         .unwrap();
         db.insert_all("friend", vec![tuple![1, 2], tuple![1, 3]])
@@ -372,10 +378,9 @@ mod tests {
 
     #[test]
     fn parses_q1_as_fo() {
-        let q = parse_fo_query(
-            r#"Q1(p, name) := exists id. friend(p, id) & person(id, name, "NYC")"#,
-        )
-        .unwrap();
+        let q =
+            parse_fo_query(r#"Q1(p, name) := exists id. friend(p, id) & person(id, name, "NYC")"#)
+                .unwrap();
         assert_eq!(q.name, "Q1");
         assert_eq!(q.head, vec!["p".to_string(), "name".to_string()]);
         let mut answers = evaluate_fo(&q, &db()).unwrap();
@@ -410,10 +415,9 @@ mod tests {
 
     #[test]
     fn parses_universal_quantification_and_implication() {
-        let q = parse_fo_query(
-            "Q(x) := friend(x, x) | forall y. (friend(x, y) -> person(y, y, y))",
-        )
-        .unwrap();
+        let q =
+            parse_fo_query("Q(x) := friend(x, x) | forall y. (friend(x, y) -> person(y, y, y))")
+                .unwrap();
         assert!(q.body.to_string().contains('∀'));
         assert!(q.body.to_string().contains('→'));
     }

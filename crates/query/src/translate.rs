@@ -32,7 +32,7 @@ pub fn atom_to_ra(atom: &Atom, schema: &DatabaseSchema) -> Result<RaExpr, QueryE
     let mut conditions: Vec<Condition> = Vec::new();
     for (i, term) in atom.terms.iter().enumerate() {
         match term {
-            Term::Const(c) => conditions.push(Condition::EqConst(attrs[i].clone(), c.clone())),
+            Term::Const(c) => conditions.push(Condition::EqConst(attrs[i].clone(), *c)),
             Term::Var(v) => {
                 // A repeated variable forces equality with its first occurrence.
                 if let Some(first) = atom.terms[..i]
@@ -106,7 +106,7 @@ pub fn cq_to_ra(query: &ConjunctiveQuery, schema: &DatabaseSchema) -> Result<RaE
                 conditions.push(Condition::EqAttr(a.clone(), b.clone()))
             }
             (Term::Var(a), Term::Const(c)) | (Term::Const(c), Term::Var(a)) => {
-                conditions.push(Condition::EqConst(a.clone(), c.clone()))
+                conditions.push(Condition::EqConst(a.clone(), *c))
             }
             (Term::Const(c1), Term::Const(c2)) => {
                 if c1 != c2 {
@@ -147,8 +147,11 @@ mod tests {
             ],
         )
         .unwrap();
-        db.insert_all("friend", vec![tuple![1, 2], tuple![1, 3], tuple![2, 3], tuple![3, 3]])
-            .unwrap();
+        db.insert_all(
+            "friend",
+            vec![tuple![1, 2], tuple![1, 3], tuple![2, 3], tuple![3, 3]],
+        )
+        .unwrap();
         db.insert_all(
             "restr",
             vec![

@@ -3,7 +3,6 @@
 use crate::ast::FoQuery;
 use crate::cq::ConjunctiveQuery;
 use crate::error::QueryError;
-use serde::{Deserialize, Serialize};
 use si_data::{DatabaseSchema, Value};
 use std::fmt;
 
@@ -11,7 +10,7 @@ use std::fmt;
 ///
 /// All disjuncts must share the same head arity.  The paper defines
 /// `‖Q‖ = max_i ‖Qi‖` ([`UnionQuery::tableau_size`]).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UnionQuery {
     /// Query name, for display.
     pub name: String,
@@ -142,11 +141,7 @@ mod tests {
                     vec!["x".into()],
                     vec![Atom::new("friend", vec![v("x"), v("y")])],
                 ),
-                ConjunctiveQuery::new(
-                    "b",
-                    vec![],
-                    vec![Atom::new("friend", vec![v("x"), v("y")])],
-                ),
+                ConjunctiveQuery::new("b", vec![], vec![Atom::new("friend", vec![v("x"), v("y")])]),
             ],
         );
         assert!(matches!(mismatched, Err(QueryError::SchemaMismatch(_))));
@@ -160,7 +155,9 @@ mod tests {
     fn tableau_size_is_max_over_disjuncts() {
         let mut q = nyc_or_la();
         assert_eq!(q.tableau_size(), 1);
-        q.disjuncts[1].atoms.push(Atom::new("friend", vec![v("id"), v("id2")]));
+        q.disjuncts[1]
+            .atoms
+            .push(Atom::new("friend", vec![v("id"), v("id2")]));
         q.disjuncts[1].head = vec!["id".into(), "name".into()];
         assert_eq!(q.tableau_size(), 2);
     }

@@ -1,0 +1,266 @@
+//! Offline drop-in replacement for the subset of the `criterion` API used by
+//! this workspace's benches.
+//!
+//! The container this repository builds in has no network access and no
+//! vendored registry, so the real `criterion` crate cannot be compiled.  This
+//! shim keeps the bench sources unchanged (`criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_with_input`,
+//! `Bencher::iter`, …) and implements a small but honest measurement loop:
+//! each benchmark is warmed up, then timed over enough iterations to fill a
+//! fixed measurement window, and the mean wall-clock time per iteration is
+//! printed in a `name ... time: X` line that downstream tooling can grep.
+
+pub use std::hint::black_box;
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Minimum wall-clock time spent measuring one benchmark (after warm-up).
+const MEASURE_WINDOW: Duration = Duration::from_millis(300);
+/// Warm-up budget before measurement starts.
+const WARMUP_WINDOW: Duration = Duration::from_millis(100);
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Creates a driver with default settings.
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            name,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes its sample by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput lines are not printed.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Ends the group (no-op beyond a trailing newline).
+    pub fn finish(self) {
+        eprintln!();
+    }
+}
+
+/// Identifies a benchmark by function name and parameter, like criterion's.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Creates an id carrying only a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Throughput hints, accepted for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs the closure handed to `b.iter(..)` and records timing.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring until the window is
+    /// filled.  The routine's return value is passed through `black_box` so
+    /// the optimiser cannot delete the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_WINDOW {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        // Batch size aiming at ~10 batches per window, at least 1.
+        let batch = (MEASURE_WINDOW.as_nanos() / 10 / per_iter.max(1)).clamp(1, 1 << 24) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < MEASURE_WINDOW {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.total = total;
+        self.iters = iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        eprintln!("{label:<48} time: (no iterations recorded)");
+        return;
+    }
+    let ns = bencher.total.as_nanos() as f64 / bencher.iters as f64;
+    eprintln!(
+        "{label:<48} time: {}   ({} iters)",
+        format_ns(ns),
+        bencher.iters
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:8.3}  s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a named group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher::default();
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert!(b.iters > 0);
+        assert!(b.total >= MEASURE_WINDOW);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(
+            BenchmarkId::new("bounded", 1000).to_string(),
+            "bounded/1000"
+        );
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_000.0).contains("µs"));
+        assert!(format_ns(12_000_000.0).contains("ms"));
+    }
+}

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod queries;
+pub mod rng;
 pub mod scaling;
 pub mod social;
 pub mod updates;

@@ -7,8 +7,7 @@ use si_query::{parse_cq, ConjunctiveQuery};
 
 /// Q1 (Example 1.1(a)): friends of `p` who live in NYC.
 pub fn q1() -> ConjunctiveQuery {
-    parse_cq(r#"Q1(p, name) :- friend(p, id), person(id, name, "NYC")"#)
-        .expect("Q1 is well-formed")
+    parse_cq(r#"Q1(p, name) :- friend(p, id), person(id, name, "NYC")"#).expect("Q1 is well-formed")
 }
 
 /// Q2 (Example 1.1(b)): A-rated NYC restaurants visited by `p`'s NYC friends.

@@ -1,0 +1,122 @@
+//! A tiny deterministic PRNG used by the generators.
+//!
+//! The build environment has no network access, so this crate cannot depend
+//! on `rand`.  The generators only need reproducible, reasonably-distributed
+//! draws, which SplitMix64 (Steele, Lea & Flood, OOPSLA 2014) provides in a
+//! dozen lines.  The API mirrors the small slice of `rand` the generators
+//! use: seeding from a `u64` and uniform draws from half-open / inclusive
+//! ranges.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A SplitMix64 generator: full 64-bit state, period 2^64, passes BigCrush
+/// for the uses here (uniform small-range draws).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator; equal seeds give equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from a range, mirroring `rand::Rng::gen_range`.
+    pub fn gen_range<T, R: UniformRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Uniform draw from `0..bound` (`bound = 0` yields 0).
+    fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift bounded draw (Lemire); bias is < 2^-32 for the small
+        // bounds used by the generators, and determinism is what matters.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Range types [`SplitMix64::gen_range`] can sample from.
+pub trait UniformRange<T> {
+    /// Draws a uniform value from `self`.
+    fn sample(self, rng: &mut SplitMix64) -> T;
+}
+
+impl UniformRange<usize> for Range<usize> {
+    fn sample(self, rng: &mut SplitMix64) -> usize {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl UniformRange<usize> for RangeInclusive<usize> {
+    fn sample(self, rng: &mut SplitMix64) -> usize {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range");
+        start + rng.below((end - start) as u64 + 1) as usize
+    }
+}
+
+impl UniformRange<u8> for Range<u8> {
+    fn sample(self, rng: &mut SplitMix64) -> u8 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.below(u64::from(self.end - self.start)) as u8
+    }
+}
+
+impl UniformRange<i64> for Range<i64> {
+    fn sample(self, rng: &mut SplitMix64) -> i64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.below((self.end - self.start) as u64) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&x));
+            let y = rng.gen_range(0usize..=5);
+            assert!(y <= 5);
+            let z = rng.gen_range(0..100u8);
+            assert!(z < 100);
+        }
+    }
+
+    #[test]
+    fn draws_cover_the_range() {
+        let mut rng = SplitMix64::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

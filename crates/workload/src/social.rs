@@ -10,8 +10,7 @@
 //!   most one restaurant per person per day in the dated variant (the FD of
 //!   Example 4.6).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use si_data::schema::{social_schema, social_schema_dated};
 use si_data::{Database, Tuple, Value};
 
@@ -88,7 +87,7 @@ impl SocialGenerator {
     /// Generates a database instance.
     pub fn generate(&self) -> Database {
         let c = &self.config;
-        let mut rng = StdRng::seed_from_u64(c.seed);
+        let mut rng = SplitMix64::seed_from_u64(c.seed);
         let schema = if c.dated_visits {
             social_schema_dated()
         } else {
@@ -208,7 +207,7 @@ mod tests {
         assert!(conforms(&db, &facebook_access_schema(config.friend_cap)));
         assert_eq!(db.relation("person").unwrap().len(), 200);
         assert_eq!(db.relation("restr").unwrap().len(), 30);
-        assert!(db.relation("friend").unwrap().len() > 0);
+        assert!(!db.relation("friend").unwrap().is_empty());
         // Friend fanout respects the cap.
         assert!(
             db.relation("friend")

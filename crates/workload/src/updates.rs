@@ -1,7 +1,6 @@
 //! Update streams for the incremental experiments (Example 1.1(b)).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use si_data::{Database, Delta, Tuple, Value};
 
 /// Builds an insertion-only update of `count` fresh `visit(id, rid)` tuples,
@@ -9,12 +8,8 @@ use si_data::{Database, Delta, Tuple, Value};
 /// ids from its restaurants.  Tuples already present in `db` (or generated
 /// twice) are skipped, so the update is always well formed.
 pub fn visit_insertions(db: &Database, count: usize, seed: u64) -> Delta {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let persons = db
-        .relation("person")
-        .map(|r| r.len())
-        .unwrap_or(0)
-        .max(1);
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let persons = db.relation("person").map(|r| r.len()).unwrap_or(0).max(1);
     let restaurants = db.relation("restr").map(|r| r.len()).unwrap_or(0).max(1);
     let visit = db.relation("visit").ok();
     let mut tuples: Vec<Tuple> = Vec::with_capacity(count);

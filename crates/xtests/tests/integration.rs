@@ -28,7 +28,9 @@ fn example_11a_q1_end_to_end() {
 
     // Controllability (Example 4.1) and planning (Theorem 4.2).
     let analyzer = ControllabilityAnalyzer::new(&schema, &access);
-    assert!(analyzer.is_controlled_by(&q1().to_fo(), &["p".into()]).unwrap());
+    assert!(analyzer
+        .is_controlled_by(&q1().to_fo(), &["p".into()])
+        .unwrap());
     let plan = BoundedPlanner::new(&schema, &access)
         .plan(&q1(), &["p".into()])
         .unwrap();
@@ -72,7 +74,10 @@ fn qdsi_and_qsi_agree_with_the_paper_s_classification() {
     assert!(all.scale_independent);
     let tight = decide_qdsi(&bound, &db, 0, &limits).unwrap();
     // With zero budget the query is scale-independent iff it has no answers.
-    assert_eq!(tight.scale_independent, bound.answers(&db).unwrap().is_empty());
+    assert_eq!(
+        tight.scale_independent,
+        bound.answers(&db).unwrap().is_empty()
+    );
 }
 
 #[test]
@@ -115,17 +120,13 @@ fn example_46_q3_embedded_pipeline() {
 
 #[test]
 fn example_11b_incremental_maintenance() {
-    let access = facebook_access_schema(5000)
-        .with(AccessConstraint::new("visit", &["id"], 1_000, 1));
+    let access =
+        facebook_access_schema(5000).with(AccessConstraint::new("visit", &["id"], 1_000, 1));
     let db = workload_db(800);
     let mut adb = AccessIndexedDatabase::new(db, access).unwrap();
-    let mut evaluator = IncrementalBoundedEvaluator::new(
-        q2(),
-        vec!["p".into()],
-        vec![Value::int(5)],
-        &adb,
-    )
-    .unwrap();
+    let mut evaluator =
+        IncrementalBoundedEvaluator::new(q2(), vec!["p".into()], vec![Value::int(5)], &adb)
+            .unwrap();
 
     for seed in 0..3u64 {
         let delta = visit_insertions(adb.database(), 40, seed);
@@ -134,10 +135,9 @@ fn example_11b_incremental_maintenance() {
         // Bounded maintenance: a small constant number of probes per ∆-tuple.
         assert!(cost.index_probes <= 6 * delta.size() as u64);
         let mut maintained = evaluator.answers();
-        let mut recomputed =
-            execute_naive(&q2(), &["p".into()], &[Value::int(5)], adb.database())
-                .unwrap()
-                .answers;
+        let mut recomputed = execute_naive(&q2(), &["p".into()], &[Value::int(5)], adb.database())
+            .unwrap()
+            .answers;
         maintained.sort();
         recomputed.sort();
         assert_eq!(maintained, recomputed);
