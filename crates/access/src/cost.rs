@@ -1,4 +1,4 @@
-//! Static cost bounds derived from an access schema.
+//! The two-sided cost model: worst-case bounds and statistical estimates.
 //!
 //! Theorem 4.2 of the paper guarantees that a controlled query can be
 //! answered in time that depends only on the access schema and the query.
@@ -7,7 +7,46 @@
 //! `N` and time bounds `T`, *independent of `|D|`*.  Bounded plans in
 //! `si-core` compute their worst-case budget with this type and experiments
 //! compare it against the measured [`si_data::MeterSnapshot`].
+//!
+//! [`CostModel`] is the *expected*-case counterpart, driven by the
+//! per-relation statistics of [`si_data::stats`] (row counts, per-column
+//! distinct counts).  The cost-based planner enumerates atom orderings with
+//! the estimates and certifies the winner with the static bounds, so the two
+//! sides of the model obey strict roles:
+//!
+//! * **Static bounds gate admissibility.**  A plan is bounded iff every step
+//!   is covered by a constraint, and its fetch budget is the [`StaticCost`]
+//!   accumulated from the constraints' `N`/`T` — never from estimates.
+//! * **Estimates only rank admissible plans.**  They may be stale or wrong
+//!   by any factor; the chosen plan still answers the query exactly and
+//!   still fetches at most its static budget on conforming data.
+//! * **Estimates never exceed declared bounds.**  A fetch through
+//!   `(R, X, N, T)` touches at most `N` tuples per probe on conforming data,
+//!   so [`CostModel::estimated_fetch_via`] clamps the statistical estimate
+//!   at `N` (see `fetch`'s metering in [`crate::indexed`] for what exactly is
+//!   charged).
+//!
+//! ```
+//! use si_access::{AccessConstraint, CostModel};
+//! use si_data::schema::social_schema;
+//! use si_data::stats::DatabaseStats;
+//! use si_data::{tuple, Database};
+//!
+//! let mut db = Database::empty(social_schema());
+//! db.insert_all("friend", vec![tuple![1, 2], tuple![1, 3], tuple![2, 3]]).unwrap();
+//! let stats = DatabaseStats::collect(&db);
+//! let model = CostModel::new(&stats);
+//!
+//! // The constraint promises ≤ 5000 friends per person; the statistics say
+//! // a random person has 1.5 on average — that is what the planner ranks by.
+//! let c = AccessConstraint::new("friend", &["id1"], 5000, 2);
+//! assert_eq!(model.estimated_fetch_via(&c), 1.5);
+//! // The declared bound still caps the estimate when statistics are stale.
+//! let tight = AccessConstraint::new("friend", &["id1"], 1, 1);
+//! assert_eq!(model.estimated_fetch_via(&tight), 1.0);
+//! ```
 
+use si_data::stats::DatabaseStats;
 use std::fmt;
 
 /// A static (data-independent) bound on the work performed by a bounded plan.
@@ -74,6 +113,58 @@ impl StaticCost {
     }
 }
 
+/// A statistics-driven estimator of fetch costs, used by the cost-based
+/// planner to *rank* bounded plans (never to admit them — see the module
+/// docs for the invariants).
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel<'a> {
+    stats: &'a DatabaseStats,
+}
+
+impl<'a> CostModel<'a> {
+    /// Creates a cost model over a statistics snapshot.
+    pub fn new(stats: &'a DatabaseStats) -> Self {
+        CostModel { stats }
+    }
+
+    /// The statistics snapshot backing the model.
+    pub fn stats(&self) -> &'a DatabaseStats {
+        self.stats
+    }
+
+    /// Expected number of tuples matching an equality selection on
+    /// `attributes` of `relation` for a random key.  Unknown relations
+    /// estimate to `0` (an empty relation matches nothing).
+    pub fn estimated_matches(&self, relation: &str, attributes: &[String]) -> f64 {
+        self.stats
+            .relation(relation)
+            .map(|s| s.estimated_matches(attributes))
+            .unwrap_or(0.0)
+    }
+
+    /// Expected number of tuples *fetched* by one probe through `constraint`:
+    /// the statistical estimate on the constraint's `X`, clamped by the
+    /// declared bound `N` (on conforming data no probe can return more).
+    pub fn estimated_fetch_via(&self, constraint: &crate::AccessConstraint) -> f64 {
+        self.estimated_matches(&constraint.relation, &constraint.on)
+            .min(constraint.bound as f64)
+    }
+
+    /// Expected number of tuples a full scan of `relation` touches.
+    pub fn estimated_scan(&self, relation: &str) -> f64 {
+        self.stats
+            .relation(relation)
+            .map(|s| s.rows as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Expected number of rows that survive a membership probe: the chance a
+    /// random fully-bound tuple is present, at most `1`.
+    pub fn estimated_check(&self, relation: &str, attributes: &[String]) -> f64 {
+        self.estimated_matches(relation, attributes).min(1.0)
+    }
+}
+
 impl fmt::Display for StaticCost {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -135,5 +226,38 @@ mod tests {
         let s = StaticCost::single_fetch(5, 1).to_string();
         assert!(s.contains("≤5 tuples"));
         assert!(s.contains("≤1 probes"));
+    }
+
+    #[test]
+    fn cost_model_estimates_and_clamps() {
+        use crate::AccessConstraint;
+        use si_data::schema::social_schema;
+        use si_data::{tuple, Database};
+
+        let mut db = Database::empty(social_schema());
+        db.insert_all(
+            "friend",
+            vec![tuple![1, 2], tuple![1, 3], tuple![1, 4], tuple![2, 3]],
+        )
+        .unwrap();
+        let stats = db.statistics();
+        let model = CostModel::new(&stats);
+        assert_eq!(model.estimated_matches("friend", &["id1".into()]), 2.0);
+        assert_eq!(model.estimated_scan("friend"), 4.0);
+        // Declared bound caps the estimate; the estimate caps nothing.
+        let loose = AccessConstraint::new("friend", &["id1"], 5000, 2);
+        assert_eq!(model.estimated_fetch_via(&loose), 2.0);
+        let tight = AccessConstraint::new("friend", &["id1"], 1, 1);
+        assert_eq!(model.estimated_fetch_via(&tight), 1.0);
+        // Membership probes return at most one expected row.
+        assert_eq!(
+            model.estimated_check("friend", &["id1".into(), "id2".into()]),
+            4.0f64 / (2.0 * 3.0)
+        );
+        assert_eq!(model.estimated_check("friend", &[]), 1.0);
+        // Unknown relations estimate to zero rather than failing.
+        assert_eq!(model.estimated_matches("enemy", &[]), 0.0);
+        assert_eq!(model.estimated_scan("enemy"), 0.0);
+        assert!(model.stats().relation("friend").is_some());
     }
 }

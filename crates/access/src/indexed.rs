@@ -1,13 +1,34 @@
 //! Access-schema-aware retrieval.
 //!
 //! [`AccessIndexedDatabase`] wraps a [`Database`] together with an
-//! [`AccessSchema`] and builds the indexes promised by the schema.  Its
+//! [`AccessSchema`] and *declares* the indexes promised by the schema; each
+//! index is materialised lazily by its first probe (see
+//! [`si_data::IndexPool`]) and maintained incrementally from then on.  The
 //! `fetch*` methods are the *only* retrieval primitives the bounded
-//! (scale-independent) executors in `si-core` are allowed to use: each fetch
-//! must be covered by an access constraint, is charged to the built-in
-//! [`AccessMeter`], and bills the constraint's time bound `T` to the cost
-//! model.  Full scans are permitted only for relations the schema declares
-//! fully accessible (the `A(R)` augmentation of Proposition 5.5).
+//! (scale-independent) executors in `si-core` are allowed to use.
+//!
+//! ## Fetch-bound semantics
+//!
+//! Every fetch is authorised by an access constraint `(R, X, N, T)` and is
+//! charged to the built-in [`AccessMeter`] as follows:
+//!
+//! * what the index returns for the `X`-part of the probe — i.e.
+//!   `σ_{X=a̅}(R)`, at most `N` tuples on conforming data — is charged as
+//!   `tuples_fetched`, *before* any residual equalities on
+//!   `attrs ∖ X` are applied as a post-filter (the paper's accounting:
+//!   the post-filter runs on already-fetched tuples);
+//! * one `index_probe` and `T` `time_units` are charged per probe,
+//!   regardless of how many tuples come back;
+//! * membership probes ([`AccessIndexedDatabase::contains`]) charge one
+//!   probe and at most one tuple;
+//! * full scans are permitted only for relations the schema declares fully
+//!   accessible (the `A(R)` augmentation of Proposition 5.5) and charge
+//!   every tuple of the relation.
+//!
+//! Consequently a plan's measured `tuples_fetched` is bounded by the
+//! [`crate::StaticCost`] accumulated from its constraints — the invariant
+//! the experiments check — while the *expected* charge is what
+//! [`crate::CostModel`] estimates from statistics.
 
 use crate::conformance::{violations, Violation};
 use crate::constraint::AccessConstraint;
@@ -79,7 +100,11 @@ pub struct AccessIndexedDatabase {
 }
 
 impl AccessIndexedDatabase {
-    /// Builds the indexes required by `access` over `db`.
+    /// Declares the indexes required by `access` over `db`.
+    ///
+    /// Declaration is O(1) per index: the physical structures are built by
+    /// their first probe and maintained incrementally afterwards, so wrapping
+    /// a large instance costs nothing for constraints that are never probed.
     ///
     /// This does *not* require `db` to conform to `access`; use
     /// [`AccessIndexedDatabase::checked`] for the conforming variant.
@@ -87,7 +112,7 @@ impl AccessIndexedDatabase {
         access.validate(db.schema()).map_err(AccessError::Data)?;
         for (relation, attrs) in access.required_indexes() {
             if !attrs.is_empty() {
-                db.ensure_index(&relation, &attrs)?;
+                db.declare_index(&relation, &attrs)?;
             }
         }
         Ok(AccessIndexedDatabase {
@@ -126,6 +151,13 @@ impl AccessIndexedDatabase {
     /// The access meter charged by every fetch.
     pub fn meter(&self) -> &AccessMeter {
         &self.meter
+    }
+
+    /// Collects a fresh statistics snapshot of the wrapped database, ready
+    /// for [`crate::CostModel`] / the cost-based planner.  Statistics reads
+    /// are not metered: they are planning-time work, not data access.
+    pub fn statistics(&self) -> si_data::stats::DatabaseStats {
+        self.db.statistics()
     }
 
     /// Snapshot of the meter (convenience).
@@ -341,20 +373,32 @@ mod tests {
     }
 
     #[test]
-    fn construction_builds_required_indexes() {
+    fn construction_declares_indexes_and_first_probe_builds_them() {
         let adb = AccessIndexedDatabase::new(db(), facebook_access_schema(5000)).unwrap();
-        assert!(adb
-            .database()
-            .relation("friend")
-            .unwrap()
-            .index_on(&["id1".into()])
-            .is_some());
+        let friend = adb.database().relation("friend").unwrap();
+        assert!(friend.has_index(&["id1".into()]));
+        assert!(!friend.has_built_index(&["id1".into()]));
         assert!(adb
             .database()
             .relation("person")
             .unwrap()
-            .index_on(&["id".into()])
-            .is_some());
+            .has_index(&["id".into()]));
+        adb.fetch("friend", &["id1".into()], &[Value::int(1)])
+            .unwrap();
+        assert!(adb
+            .database()
+            .relation("friend")
+            .unwrap()
+            .has_built_index(&["id1".into()]));
+    }
+
+    #[test]
+    fn statistics_snapshot_is_unmetered() {
+        let adb = AccessIndexedDatabase::new(db(), facebook_access_schema(5000)).unwrap();
+        let stats = adb.statistics();
+        assert_eq!(stats.relation("friend").unwrap().rows, 3);
+        assert_eq!(adb.meter_snapshot().tuples_fetched, 0);
+        assert_eq!(adb.meter_snapshot().index_probes, 0);
     }
 
     #[test]

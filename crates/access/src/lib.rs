@@ -9,9 +9,11 @@
 //! * [`schema`] — the access schema `A` itself, including the `A(R)`
 //!   full-access augmentation of Proposition 5.5;
 //! * [`conformance`] — checking that a database conforms to `A`;
-//! * [`indexed`] — [`AccessIndexedDatabase`], the retrieval layer that builds
-//!   the promised indexes and meters every fetch;
-//! * [`cost`] — static, data-independent cost bounds used by bounded plans.
+//! * [`indexed`] — [`AccessIndexedDatabase`], the retrieval layer that
+//!   lazily materialises the promised indexes and meters every fetch;
+//! * [`cost`] — the two-sided cost model: static, data-independent bounds
+//!   ([`StaticCost`]) that *admit* bounded plans, and statistics-driven
+//!   estimates ([`CostModel`]) that *rank* them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,7 +27,7 @@ pub mod schema;
 
 pub use conformance::{conforms, violations, Violation};
 pub use constraint::AccessConstraint;
-pub use cost::StaticCost;
+pub use cost::{CostModel, StaticCost};
 pub use embedded::EmbeddedConstraint;
 pub use indexed::{AccessError, AccessIndexedDatabase};
 pub use schema::{facebook_access_schema, AccessSchema};

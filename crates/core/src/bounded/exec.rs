@@ -202,7 +202,9 @@ pub fn execute_bounded(
 
         match step {
             PlanStep::Fetch {
-                probe_attributes, ..
+                probe_attributes,
+                constraint,
+                ..
             } => {
                 // Resolve the probe attributes once: constants and bound
                 // slots form the key; positions that became bound later (not
@@ -234,7 +236,11 @@ pub fn execute_bounded(
                             KeySrc::Slot(id) => row.get(*id).expect("bound slot carries a value"),
                         });
                     }
-                    let fetched = adb.fetch(&atom.relation, &fetch_attrs, &key)?;
+                    // Fetch through the constraint the *planner* chose: the
+                    // plan is the authority on the access path, so a tied or
+                    // looser constraint in the schema cannot silently turn an
+                    // index-backed step into a bounded scan.
+                    let fetched = adb.fetch_via(constraint, &atom.relation, &fetch_attrs, &key)?;
                     for tuple in fetched {
                         if let Some(extended) = extend_binding(row, cterms, &tuple) {
                             witness_facts.push((atom.relation.clone(), tuple));

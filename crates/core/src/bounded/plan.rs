@@ -122,6 +122,22 @@ pub struct BoundedPlan {
 }
 
 impl BoundedPlan {
+    /// Assembles a plan from its parts (crate-internal: planners are the only
+    /// producers of well-formed step sequences).
+    pub(crate) fn from_parts(
+        query: ConjunctiveQuery,
+        parameters: Vec<Var>,
+        steps: Vec<PlanStep>,
+        cost: StaticCost,
+    ) -> Self {
+        BoundedPlan {
+            query,
+            parameters,
+            steps,
+            cost,
+        }
+    }
+
     /// The data-independent worst-case cost of executing the plan once.
     pub fn static_cost(&self) -> StaticCost {
         self.cost

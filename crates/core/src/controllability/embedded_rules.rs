@@ -1,4 +1,4 @@
-//! Embedded controllability: x̄[ȳ]-controlled queries (Section 4).
+//! Embedded controllability: x̄\[ȳ\]-controlled queries (Section 4).
 //!
 //! Embedded access constraints `(R, X[Y], N, T)` let a bounded plan
 //! *enumerate* values of the `Y` attributes from values of the `X`

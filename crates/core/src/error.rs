@@ -21,6 +21,14 @@ pub enum CoreError {
         /// Human-readable rendering of the atoms that blocked planning.
         blocked_atoms: Vec<String>,
     },
+    /// Bounded plans exist, but every one of them has a worst-case fetch
+    /// count above the requested budget.
+    FetchBudgetExceeded {
+        /// The requested maximum worst-case tuples fetched.
+        budget: u64,
+        /// The smallest worst-case fetch count among the plans found.
+        cheapest: u64,
+    },
     /// The requested analysis is only exact on small inputs and the input
     /// exceeded the configured limit.
     SearchSpaceTooLarge(String),
@@ -40,6 +48,10 @@ impl fmt::Display for CoreError {
                 f,
                 "no bounded plan exists; blocked atoms: {}",
                 blocked_atoms.join(", ")
+            ),
+            CoreError::FetchBudgetExceeded { budget, cheapest } => write!(
+                f,
+                "every bounded plan exceeds the fetch budget: cheapest fetches ≤{cheapest} tuples, budget is {budget}"
             ),
             CoreError::SearchSpaceTooLarge(msg) => {
                 write!(f, "exact search space too large: {msg}")

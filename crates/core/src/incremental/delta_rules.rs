@@ -8,7 +8,7 @@
 //! ```
 //!
 //! with the invariants `E∇ ⊆ E` and `E∆ ∩ E = ∅` required by the paper
-//! (which follows Griffin–Libkin–Trickey [14]).  [`propagate`] derives the
+//! (which follows Griffin–Libkin–Trickey \[14\]).  [`propagate`] derives the
 //! two expressions structurally; the per-operator shapes for difference are
 //! exactly the ones quoted in the paper
 //! (`(E1 − E2)∇ = (E1∇ − E2) ∪ (E2∆ ∩ E1)`).

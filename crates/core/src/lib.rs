@@ -77,7 +77,8 @@ pub mod si;
 pub mod views;
 
 pub use bounded::{
-    execute_bounded, execute_naive, BoundedAnswer, BoundedPlan, BoundedPlanner, PlanStep,
+    execute_bounded, execute_naive, BoundedAnswer, BoundedPlan, BoundedPlanner, CostBasedPlanner,
+    CostedPlan, PlanStep,
 };
 pub use controllability::{
     decide_qcntl, decide_qcntl_min, minimal_controlling_sets, AlgebraControllability,
@@ -88,11 +89,11 @@ pub use incremental::{
     decide_delta_qsi, decide_delta_qsi_for_update, maintenance_is_bounded,
     IncrementalBoundedEvaluator,
 };
-pub use qdsi::{decide_qdsi, DecisionMethod, QdsiOutcome, SearchLimits};
+pub use qdsi::{decide_qdsi, decide_qdsi_with_access, DecisionMethod, QdsiOutcome, SearchLimits};
 pub use qsi::{decide_qsi, QsiAnswer};
 pub use si::{check_witness, is_witness, AnyQuery, Witness};
 pub use views::{
-    decide_vqsi_cq, execute_with_views, find_rewriting, is_rewriting,
+    decide_vqsi_cq, execute_with_views, find_cheapest_rewriting, find_rewriting, is_rewriting,
     is_scale_independent_using_views, ViewDef, ViewSet, VqsiOutcome,
 };
 
@@ -101,7 +102,7 @@ pub type Result<T> = std::result::Result<T, CoreError>;
 
 /// A convenient glob-import surface for examples and downstream users.
 pub mod prelude {
-    pub use crate::bounded::{execute_bounded, execute_naive, BoundedPlanner};
+    pub use crate::bounded::{execute_bounded, execute_naive, BoundedPlanner, CostBasedPlanner};
     pub use crate::controllability::{
         AlgebraControllability, ControllabilityAnalyzer, EmbeddedControllability, ExprForm,
     };

@@ -17,8 +17,11 @@
 //! (and the complexity benchmarks of experiment E1) control the blow-up
 //! explicitly.
 
+use crate::bounded::{execute_bounded, CostBasedPlanner};
 use crate::error::CoreError;
-use crate::si::{AnyQuery, Witness};
+use crate::si::{check_witness, AnyQuery, Witness};
+use si_access::AccessIndexedDatabase;
+use si_data::stats::DatabaseStats;
 use si_data::{Database, Tuple};
 use si_query::cq_eval::satisfying_bindings;
 use si_query::{ConjunctiveQuery, Term};
@@ -54,6 +57,9 @@ pub enum DecisionMethod {
     ProvenanceCover,
     /// Exhaustive sub-instance enumeration (FO).
     SubsetEnumeration,
+    /// A bounded plan under the access schema produced the witness directly
+    /// (see [`decide_qdsi_with_access`]): no exponential search ran.
+    BoundedPlanFastPath,
 }
 
 /// Outcome of a QDSI decision.
@@ -91,6 +97,43 @@ pub fn decide_qdsi(
         AnyQuery::Ucq(q) => decide_monotone(query, &q.disjuncts, db, m, limits),
         AnyQuery::Fo(_) => decide_fo(query, db, m, limits),
     }
+}
+
+/// Decides QDSI with the help of an access schema, reusing the cost-based
+/// planner's estimates before falling back to the exact searches.
+///
+/// When the cost-based planner finds a bounded plan for a closed CQ (no
+/// execution-time parameters), executing the plan fetches a witness `D_Q`
+/// directly: the facts the plan touches support every answer, so
+/// `Q(D_Q) = Q(D)` by monotonicity.  If that witness fits the budget `m`
+/// (verified by [`check_witness`]), the answer is "yes" without any
+/// exponential search — the same statistics and cost estimates that drive
+/// bounded execution thereby answer the controllability check.  In every
+/// other case the decision falls through to [`decide_qdsi`].
+pub fn decide_qdsi_with_access(
+    query: &AnyQuery,
+    adb: &AccessIndexedDatabase,
+    m: usize,
+    limits: &SearchLimits,
+    stats: &DatabaseStats,
+) -> Result<QdsiOutcome, CoreError> {
+    if let AnyQuery::Cq(q) = query {
+        let planner = CostBasedPlanner::new(adb.database().schema(), adb.access_schema(), stats);
+        if let Ok(plan) = planner.plan(q, &[]) {
+            let result = execute_bounded(&plan, &[], adb)?;
+            if result.witness.size() <= m
+                && check_witness(query, adb.database(), &result.witness, m)?
+            {
+                return Ok(QdsiOutcome {
+                    scale_independent: true,
+                    witness: Some(result.witness),
+                    method: DecisionMethod::BoundedPlanFastPath,
+                    explored: 0,
+                });
+            }
+        }
+    }
+    decide_qdsi(query, adb.database(), m, limits)
 }
 
 /// Computes a minimum-size witness for a monotone query, or `None` when every
@@ -561,6 +604,45 @@ mod tests {
         };
         let err = decide_qdsi(&q, &d, 2, &limits).unwrap_err();
         assert!(matches!(err, CoreError::SearchSpaceTooLarge(_)));
+    }
+
+    #[test]
+    fn access_fast_path_answers_via_bounded_plan() {
+        use si_access::{facebook_access_schema, AccessIndexedDatabase};
+
+        let q: AnyQuery = q1_bound(1).into();
+        let adb = AccessIndexedDatabase::new(db(), facebook_access_schema(5000)).unwrap();
+        let stats = adb.statistics();
+        // Person 1 has NYC friends 2 and 3: the plan fetches 3 friend edges
+        // and 3 person tuples (one LA) — a 6-fact witness, within m = 6.
+        let out = decide_qdsi_with_access(&q, &adb, 6, &SearchLimits::default(), &stats).unwrap();
+        assert!(out.scale_independent);
+        assert_eq!(out.method, DecisionMethod::BoundedPlanFastPath);
+        assert_eq!(out.explored, 0);
+        let w = out.witness.unwrap();
+        assert!(w.size() <= 6);
+        assert!(crate::si::check_witness(&q, adb.database(), &w, 6).unwrap());
+
+        // A tighter budget defeats the plan witness and falls back to the
+        // exact provenance search (minimum witness is 4).
+        let out = decide_qdsi_with_access(&q, &adb, 4, &SearchLimits::default(), &stats).unwrap();
+        assert!(out.scale_independent);
+        assert_eq!(out.method, DecisionMethod::ProvenanceCover);
+
+        // Open queries (free variables, no parameters supplied) cannot take
+        // the fast path and fall back too.
+        let open: AnyQuery = ConjunctiveQuery::new(
+            "Q1",
+            vec!["name".into()],
+            vec![
+                Atom::new("friend", vec![v("p"), v("id")]),
+                Atom::new("person", vec![v("id"), v("name"), c("NYC")]),
+            ],
+        )
+        .into();
+        let out =
+            decide_qdsi_with_access(&open, &adb, 4, &SearchLimits::default(), &stats).unwrap();
+        assert_ne!(out.method, DecisionMethod::BoundedPlanFastPath);
     }
 
     #[test]

@@ -9,8 +9,8 @@ pub mod vqsi;
 
 pub use constrained::{constrained_variables, is_unconstrained, unconstrained_variables};
 pub use rewrite::{
-    base_part_size, expand_rewriting, find_rewriting, find_rewritings, is_rewriting,
-    split_rewriting,
+    base_part_size, expand_rewriting, find_cheapest_rewriting, find_rewriting, find_rewritings,
+    is_rewriting, split_rewriting,
 };
 pub use view::{ViewDef, ViewSet};
 pub use vqsi::{decide_vqsi_cq, execute_with_views, is_scale_independent_using_views, VqsiOutcome};

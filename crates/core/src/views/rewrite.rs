@@ -9,10 +9,14 @@
 //! rewritings with as few base atoms as possible (those are the ones that can
 //! be scale-independent with a small budget `M`).
 
+use crate::bounded::CostBasedPlanner;
 use crate::error::CoreError;
 use crate::views::view::ViewSet;
+use si_access::AccessSchema;
+use si_data::stats::DatabaseStats;
+use si_data::DatabaseSchema;
 use si_query::hom::{apply_to_term, find_homomorphism, Homomorphism};
-use si_query::{equivalent, Atom, ConjunctiveQuery, Term};
+use si_query::{equivalent, Atom, ConjunctiveQuery, Term, Var};
 use std::collections::BTreeSet;
 
 /// Splits a rewriting into its base part `Q'_b` and view part `Q'_v`
@@ -156,6 +160,81 @@ pub fn find_rewriting(
     views: &ViewSet,
 ) -> Result<Option<ConjunctiveQuery>, CoreError> {
     Ok(find_rewritings(query, views, 64)?.into_iter().next())
+}
+
+/// Finds the verified rewriting whose *base part* is cheapest to fetch,
+/// using the same cost estimates as the bounded planner.
+///
+/// Counting base atoms (as [`find_rewriting`] does) treats every atom as
+/// equally expensive; this variant instead plans each rewriting's base part
+/// with the statistics-driven [`CostBasedPlanner`] — view atoms are answered
+/// from materialised views and cost nothing, exactly as in
+/// [`crate::views::vqsi::execute_with_views`] — and returns the rewriting
+/// with the smallest expected number of base tuples fetched, together with
+/// that estimate.  Rewritings whose base part is not bounded-plannable once
+/// `params` and the view-provided variables are given are skipped; `None`
+/// means no candidate was plannable at all.
+pub fn find_cheapest_rewriting(
+    query: &ConjunctiveQuery,
+    views: &ViewSet,
+    schema: &DatabaseSchema,
+    access: &AccessSchema,
+    stats: &DatabaseStats,
+    params: &[Var],
+    max_candidates: usize,
+) -> Result<Option<(ConjunctiveQuery, f64)>, CoreError> {
+    let planner = CostBasedPlanner::new(schema, access, stats);
+    let mut best: Option<(ConjunctiveQuery, f64)> = None;
+    for rewriting in find_rewritings(query, views, max_candidates)? {
+        let (base_atoms, view_atoms) = split_rewriting(&rewriting, views);
+        let cost = if base_atoms.is_empty() {
+            0.0
+        } else {
+            // The base part is planned with the parameters plus every
+            // variable the (cached) view part can supply, keeping the
+            // equalities whose terms live in the base part — they seed bound
+            // variables for the planner (e.g. `p = 1`).
+            let in_base = |t: &Term| match t {
+                Term::Var(v) => base_atoms
+                    .iter()
+                    .any(|a| a.variables().iter().any(|x| x == v)),
+                Term::Const(_) => true,
+            };
+            let base_query = ConjunctiveQuery {
+                name: format!("{}#base", rewriting.name),
+                head: Vec::new(),
+                atoms: base_atoms.iter().map(|a| (*a).clone()).collect(),
+                equalities: rewriting
+                    .equalities
+                    .iter()
+                    .filter(|(l, r)| in_base(l) && in_base(r))
+                    .cloned()
+                    .collect(),
+            };
+            let base_vars = base_query.body_variables();
+            let mut given: Vec<Var> = params.to_vec();
+            for atom in &view_atoms {
+                for v in atom.variables() {
+                    if !given.contains(&v) {
+                        given.push(v);
+                    }
+                }
+            }
+            let given: Vec<Var> = given
+                .into_iter()
+                .filter(|v| base_vars.contains(v))
+                .collect();
+            match planner.plan_costed(&base_query, &given, None) {
+                Ok(costed) => costed.estimated_tuples,
+                Err(CoreError::NotBoundedPlannable { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        if best.as_ref().map(|(_, c)| cost < *c).unwrap_or(true) {
+            best = Some((rewriting, cost));
+        }
+    }
+    Ok(best)
 }
 
 /// All ways of replacing a sub-pattern of `query` by one atom of `view`:
@@ -307,6 +386,54 @@ mod tests {
         let all = find_rewritings(&q2(), &views(), 64).unwrap();
         assert!(all.iter().any(|c| base_part_size(c, &views()) == 4));
         assert!(all.len() >= 2);
+    }
+
+    #[test]
+    fn cheapest_rewriting_is_ranked_by_planner_estimates() {
+        use si_access::facebook_access_schema;
+        use si_data::schema::social_schema;
+        use si_data::{tuple, Database};
+
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let mut db = Database::empty(schema.clone());
+        db.insert_all(
+            "person",
+            vec![tuple![1, "ann", "NYC"], tuple![2, "bob", "NYC"]],
+        )
+        .unwrap();
+        db.insert_all("friend", vec![tuple![1, 2], tuple![2, 1]])
+            .unwrap();
+        db.insert_all("restr", vec![tuple![10, "sushi", "NYC", "A"]])
+            .unwrap();
+        db.insert_all("visit", vec![tuple![2, 10]]).unwrap();
+        let stats = db.statistics();
+
+        // Q2's original form has an unconstrained visit atom, so only the
+        // view-based rewriting has a plannable base part — and its cost is
+        // the expected friend fanout, not the atom count.
+        let best =
+            find_cheapest_rewriting(&q2(), &views(), &schema, &access, &stats, &["p".into()], 64)
+                .unwrap()
+                .expect("a plannable rewriting exists");
+        assert_eq!(base_part_size(&best.0, &views()), 1);
+        assert!(best.1 <= 2.0);
+        assert!(is_rewriting(&q2(), &views(), &best.0).unwrap());
+
+        // Without parameters nothing is plannable: no rewriting is returned.
+        let none =
+            find_cheapest_rewriting(&q2(), &views(), &schema, &access, &stats, &[], 64).unwrap();
+        assert!(none.is_none());
+
+        // An equality to a constant seeds the base part instead of a
+        // parameter: the (here trivial) rewriting must keep its equalities
+        // when its base part is planned, or it is wrongly deemed unplannable.
+        let fixed =
+            parse_cq(r#"Q1f(name) :- friend(p, id), person(id, name, "NYC"), p = 1"#).unwrap();
+        let best = find_cheapest_rewriting(&fixed, &views(), &schema, &access, &stats, &[], 64)
+            .unwrap()
+            .expect("the constant equality makes the base part plannable");
+        assert_eq!(base_part_size(&best.0, &views()), 2);
     }
 
     #[test]

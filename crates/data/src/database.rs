@@ -155,9 +155,23 @@ impl Database {
         })
     }
 
-    /// Ensures an index exists on `attributes` of `relation`.
+    /// Ensures an index exists on `attributes` of `relation`, building it
+    /// immediately.
     pub fn ensure_index(&mut self, relation: &str, attributes: &[String]) -> Result<()> {
         self.relation_mut(relation)?.ensure_index(attributes)
+    }
+
+    /// Declares an index on `attributes` of `relation` without building it;
+    /// the index materialises on its first probe (see
+    /// [`Relation::select_eq`]).
+    pub fn declare_index(&mut self, relation: &str, attributes: &[String]) -> Result<()> {
+        self.relation_mut(relation)?.declare_index(attributes)
+    }
+
+    /// Collects fresh per-relation statistics (row counts, per-column
+    /// distinct counts) for the whole instance.
+    pub fn statistics(&self) -> crate::stats::DatabaseStats {
+        crate::stats::DatabaseStats::collect(self)
     }
 }
 
@@ -295,9 +309,21 @@ mod tests {
         assert!(db
             .relation("person")
             .unwrap()
-            .index_on(&["id".into()])
-            .is_some());
+            .has_built_index(&["id".into()]));
         assert!(db.ensure_index("enemy", &["id".into()]).is_err());
+        db.declare_index("friend", &["id1".into()]).unwrap();
+        let friend = db.relation("friend").unwrap();
+        assert!(friend.has_index(&["id1".into()]));
+        assert!(!friend.has_built_index(&["id1".into()]));
+        assert!(db.declare_index("enemy", &["id".into()]).is_err());
+    }
+
+    #[test]
+    fn statistics_snapshot_matches_contents() {
+        let db = small_social();
+        let stats = db.statistics();
+        assert_eq!(stats.total_rows(), db.size());
+        assert_eq!(stats.relation("friend").unwrap().distinct("id1"), Some(2));
     }
 
     #[test]

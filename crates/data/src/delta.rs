@@ -264,6 +264,24 @@ mod tests {
     }
 
     #[test]
+    fn apply_maintains_secondary_indexes() {
+        let mut base = db();
+        base.insert("friend", tuple![1, 3]).unwrap();
+        base.ensure_index("friend", &["id1".into()]).unwrap();
+        let mut delta = Delta::new();
+        delta
+            .insert("friend", tuple![1, 4])
+            .delete("friend", tuple![1, 2]);
+        delta.apply_in_place(&mut base).unwrap();
+        let friend = base.relation("friend").unwrap();
+        let (rows, used_index) = friend
+            .select_eq(&["id1".into()], &[crate::Value::int(1)])
+            .unwrap();
+        assert!(used_index);
+        assert_eq!(rows, vec![tuple![1, 3], tuple![1, 4]]);
+    }
+
+    #[test]
     fn validation_rejects_non_disjoint_insertions() {
         let base = db();
         let delta = Delta::insertions_into("visit", vec![tuple![1, 10]]);

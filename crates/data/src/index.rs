@@ -1,14 +1,43 @@
-//! Equality hash indexes on attribute subsets.
+//! The secondary-index subsystem: equality hash indexes on attribute
+//! subsets, with lazy construction and incremental maintenance.
 //!
 //! An access constraint `(R, X, N, T)` of the paper promises that
 //! `σ_{X=a̅}(R)` can be retrieved via an index in at most `T` time and has at
-//! most `N` tuples.  [`HashIndex`] is the physical structure that realises
-//! the retrieval: it maps the projection of each tuple onto the key
-//! positions `X` to the list of tuple positions carrying that key.
+//! most `N` tuples.  Two types realise that promise physically:
+//!
+//! * [`HashIndex`] — a single hash index over a fixed list of key positions,
+//!   mapping the projection of each tuple onto those positions to the list
+//!   of tuple positions carrying that key;
+//! * [`IndexPool`] — the per-relation collection of indexes.  Indexes are
+//!   *declared* cheaply (an access schema can demand dozens of them) and
+//!   **built lazily on first probe**; once built they are maintained
+//!   incrementally through every insertion and deletion, including the
+//!   deletions arriving via [`crate::Delta`] updates.
+//!
+//! The pool also serves *subset probes*: a probe on positions `P` that has no
+//! exact index can still run through any declared index on `P' ⊆ P`, with the
+//! residual `P ∖ P'` equalities applied as a post-filter by the caller — this
+//! is what keeps access paths index-backed instead of scan-backed when the
+//! planner binds more attributes than the access constraint requires.
+//!
+//! ```
+//! use si_data::index::IndexPool;
+//! use si_data::{tuple, Value};
+//!
+//! let tuples = vec![tuple![1, "a"], tuple![1, "b"], tuple![2, "c"]];
+//! let mut pool = IndexPool::new();
+//! pool.declare(vec![0]);                       // cheap: nothing is built yet
+//! assert!(!pool.is_built(&[0]));
+//! // First probe builds the index, later probes reuse it.
+//! let hits = pool.lookup(&[0], &[Value::int(1)], &tuples).unwrap();
+//! assert_eq!(hits, vec![0, 1]);
+//! assert!(pool.is_built(&[0]));
+//! ```
 
 use crate::tuple::Tuple;
 use crate::value::Value;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::RwLock;
 
 /// A hash index over a fixed list of key positions of a relation.
 ///
@@ -57,6 +86,24 @@ impl HashIndex {
         }
     }
 
+    /// Removes the entry for `tuple` at `position` and shifts every stored
+    /// position greater than `position` down by one.
+    ///
+    /// This is the incremental-maintenance hook for order-preserving storage
+    /// ([`crate::TupleSet`]), where deleting a tuple shifts all later tuples
+    /// one slot to the left.  It touches every entry once but never re-hashes
+    /// a key or re-projects a tuple, unlike a full rebuild.
+    pub fn remove_shifted(&mut self, position: usize, tuple: &Tuple) {
+        self.remove(position, tuple);
+        for bucket in self.buckets.values_mut() {
+            for p in bucket.iter_mut() {
+                if *p > position {
+                    *p -= 1;
+                }
+            }
+        }
+    }
+
     /// Returns the positions of all tuples whose key equals `key`.
     pub fn lookup(&self, key: &[Value]) -> &[usize] {
         self.buckets.get(key).map(Vec::as_slice).unwrap_or(&[])
@@ -88,6 +135,174 @@ impl HashIndex {
     fn key_of(&self, tuple: &Tuple) -> Vec<Value> {
         self.key_positions.iter().map(|&p| tuple[p]).collect()
     }
+}
+
+/// A relation's collection of secondary indexes, keyed by their (sorted,
+/// deduplicated) key positions.
+///
+/// The pool distinguishes **declared** from **built** indexes.  Declaring is
+/// O(1) and records intent — typically every `(R, X)` an access schema
+/// promises.  The physical [`HashIndex`] is built the first time a probe
+/// actually needs it (paying one pass over the relation) and from then on is
+/// maintained incrementally by [`IndexPool::tuple_inserted`] /
+/// [`IndexPool::tuple_removed`] as the owning relation changes — including
+/// changes applied through [`crate::Delta`] updates, which reach the pool via
+/// the relation's insert/remove paths.
+///
+/// Lazy construction happens behind a shared reference (probes take `&self`),
+/// so the built map sits behind an [`RwLock`]; steady-state probes only take
+/// the read lock.
+#[derive(Debug, Default)]
+pub struct IndexPool {
+    declared: BTreeSet<Vec<usize>>,
+    built: RwLock<BTreeMap<Vec<usize>, HashIndex>>,
+}
+
+impl Clone for IndexPool {
+    fn clone(&self) -> Self {
+        IndexPool {
+            declared: self.declared.clone(),
+            built: RwLock::new(self.read_built().clone()),
+        }
+    }
+}
+
+impl IndexPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        IndexPool::default()
+    }
+
+    fn read_built(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<Vec<usize>, HashIndex>> {
+        self.built.read().expect("index pool lock poisoned")
+    }
+
+    /// Declares an index on `positions` without building it.  The positions
+    /// are normalised (sorted, deduplicated).  Returns `true` when the
+    /// declaration was new.
+    pub fn declare(&mut self, mut positions: Vec<usize>) -> bool {
+        positions.sort_unstable();
+        positions.dedup();
+        if self.read_built().contains_key(&positions) {
+            return false;
+        }
+        self.declared.insert(positions)
+    }
+
+    /// True iff an index on exactly `positions` was declared or built.
+    pub fn is_declared(&self, positions: &[usize]) -> bool {
+        let key = normalise(positions);
+        self.declared.contains(&key) || self.read_built().contains_key(&key)
+    }
+
+    /// True iff the index on exactly `positions` has been materialised.
+    pub fn is_built(&self, positions: &[usize]) -> bool {
+        self.read_built().contains_key(&normalise(positions))
+    }
+
+    /// Builds the index on `positions` now (declaring it if necessary).
+    pub fn build_now(&mut self, positions: Vec<usize>, tuples: &[Tuple]) {
+        let key = normalise(&positions);
+        self.declared.remove(&key);
+        let built = self.built.get_mut().expect("index pool lock poisoned");
+        built
+            .entry(key.clone())
+            .or_insert_with(|| HashIndex::build(key, tuples));
+    }
+
+    /// Probes the index on exactly `positions` with `key`, building it first
+    /// if it is declared but not yet materialised.  `key` must be aligned
+    /// with the *normalised* (sorted, deduplicated) positions.  Returns the
+    /// matching tuple positions, or `None` when no index on `positions` is
+    /// declared.
+    pub fn lookup(
+        &self,
+        positions: &[usize],
+        key: &[Value],
+        tuples: &[Tuple],
+    ) -> Option<Vec<usize>> {
+        let norm = normalise(positions);
+        if let Some(index) = self.read_built().get(&norm) {
+            return Some(index.lookup(key).to_vec());
+        }
+        if !self.declared.contains(&norm) {
+            return None;
+        }
+        // First probe of a declared index: materialise it under the write
+        // lock, then answer from it.
+        let mut built = self.built.write().expect("index pool lock poisoned");
+        let index = built
+            .entry(norm.clone())
+            .or_insert_with(|| HashIndex::build(norm, tuples));
+        Some(index.lookup(key).to_vec())
+    }
+
+    /// The best declared-or-built index usable for a probe on `positions`:
+    /// the one covering the most probe positions (ties broken towards
+    /// already-built indexes, then deterministically by key).  Returns the
+    /// index's normalised key positions; the caller supplies the residual
+    /// `positions ∖ result` equalities as a post-filter.
+    pub fn best_subset(&self, positions: &[usize]) -> Option<Vec<usize>> {
+        let target: BTreeSet<usize> = positions.iter().copied().collect();
+        let built = self.read_built();
+        let candidates = self
+            .declared
+            .iter()
+            .map(|k| (k, false))
+            .chain(built.keys().map(|k| (k, true)));
+        candidates
+            .filter(|(k, _)| !k.is_empty() && k.iter().all(|p| target.contains(p)))
+            .max_by(|(a, a_built), (b, b_built)| {
+                (a.len(), *a_built)
+                    .cmp(&(b.len(), *b_built))
+                    // On ties, prefer the lexicographically smaller key (the
+                    // smaller key must compare greater to win `max_by`).
+                    .then_with(|| b.cmp(a))
+            })
+            .map(|(k, _)| k.clone())
+    }
+
+    /// Maintains every built index after `tuple` was appended at `position`.
+    pub fn tuple_inserted(&mut self, position: usize, tuple: &Tuple) {
+        let built = self.built.get_mut().expect("index pool lock poisoned");
+        for index in built.values_mut() {
+            index.insert(position, tuple);
+        }
+    }
+
+    /// Maintains every built index after `tuple` was removed from `position`
+    /// of an order-preserving store (later positions shift down by one).
+    pub fn tuple_removed(&mut self, position: usize, tuple: &Tuple) {
+        let built = self.built.get_mut().expect("index pool lock poisoned");
+        for index in built.values_mut() {
+            index.remove_shifted(position, tuple);
+        }
+    }
+
+    /// Runs `f` over the built index on `positions`, if there is one.
+    ///
+    /// The closure indirection keeps the [`RwLock`] read guard from escaping;
+    /// use [`IndexPool::lookup`] for plain probes.
+    pub fn with_built<R>(&self, positions: &[usize], f: impl FnOnce(&HashIndex) -> R) -> Option<R> {
+        self.read_built().get(&normalise(positions)).map(f)
+    }
+
+    /// Number of declared-but-unbuilt plus built indexes.
+    pub fn len(&self) -> usize {
+        self.declared.len() + self.read_built().len()
+    }
+
+    /// True iff nothing is declared or built.
+    pub fn is_empty(&self) -> bool {
+        self.declared.is_empty() && self.read_built().is_empty()
+    }
+}
+
+fn normalise(positions: &[usize]) -> Vec<usize> {
+    let mut key = positions.to_vec();
+    key.sort_unstable();
+    key.dedup();
+    key
 }
 
 #[cfg(test)]
@@ -154,10 +369,91 @@ mod tests {
     }
 
     #[test]
+    fn remove_shifted_mirrors_vec_removal() {
+        let mut tuples = friend_tuples();
+        let mut idx = HashIndex::build(vec![0], &tuples);
+        // Remove the tuple at position 1 the way an ordered store would.
+        let removed = tuples.remove(1);
+        idx.remove_shifted(1, &removed);
+        // Every remaining entry must point at the tuple it indexed.
+        for (key, positions) in idx.iter() {
+            for &p in positions {
+                assert_eq!(&vec![tuples[p][0]], key);
+            }
+        }
+        assert_eq!(idx.lookup(&[Value::int(1)]), &[0, 3]);
+    }
+
+    #[test]
     fn iter_exposes_all_buckets() {
         let tuples = friend_tuples();
         let idx = HashIndex::build(vec![0], &tuples);
         let total: usize = idx.iter().map(|(_, v)| v.len()).sum();
         assert_eq!(total, tuples.len());
+    }
+
+    #[test]
+    fn pool_builds_lazily_on_first_probe() {
+        let tuples = friend_tuples();
+        let mut pool = IndexPool::new();
+        assert!(pool.declare(vec![0]));
+        assert!(!pool.declare(vec![0]));
+        assert!(pool.is_declared(&[0]));
+        assert!(!pool.is_built(&[0]));
+        assert_eq!(pool.len(), 1);
+        let hits = pool.lookup(&[0], &[Value::int(1)], &tuples).unwrap();
+        assert_eq!(hits, vec![0, 1, 4]);
+        assert!(pool.is_built(&[0]));
+        // Undeclared probes return None rather than scanning.
+        assert!(pool.lookup(&[1], &[Value::int(3)], &tuples).is_none());
+    }
+
+    #[test]
+    fn pool_maintains_built_indexes_incrementally() {
+        let mut tuples = friend_tuples();
+        let mut pool = IndexPool::new();
+        pool.build_now(vec![0], &tuples);
+        tuples.push(tuple![1, 9]);
+        pool.tuple_inserted(5, &tuple![1, 9]);
+        assert_eq!(
+            pool.lookup(&[0], &[Value::int(1)], &tuples).unwrap(),
+            vec![0, 1, 4, 5]
+        );
+        let removed = tuples.remove(0);
+        pool.tuple_removed(0, &removed);
+        assert_eq!(
+            pool.lookup(&[0], &[Value::int(1)], &tuples).unwrap(),
+            vec![0, 3, 4]
+        );
+        for p in pool.lookup(&[0], &[Value::int(2)], &tuples).unwrap() {
+            assert_eq!(tuples[p][0], Value::int(2));
+        }
+    }
+
+    #[test]
+    fn pool_best_subset_prefers_widest_cover() {
+        let mut pool = IndexPool::new();
+        pool.declare(vec![0]);
+        pool.declare(vec![0, 1]);
+        assert_eq!(pool.best_subset(&[0, 1, 2]), Some(vec![0, 1]));
+        assert_eq!(pool.best_subset(&[0, 2]), Some(vec![0]));
+        assert_eq!(pool.best_subset(&[2]), None);
+        // The empty-key index never serves subset probes.
+        pool.declare(vec![]);
+        assert_eq!(pool.best_subset(&[2]), None);
+    }
+
+    #[test]
+    fn pool_clone_carries_declarations_and_builds() {
+        let tuples = friend_tuples();
+        let mut pool = IndexPool::new();
+        pool.declare(vec![0]);
+        pool.build_now(vec![1], &tuples);
+        let clone = pool.clone();
+        assert!(clone.is_declared(&[0]));
+        assert!(clone.is_built(&[1]));
+        assert!(!clone.is_empty());
+        assert_eq!(clone.with_built(&[1], |idx| idx.distinct_keys()), Some(4));
+        assert_eq!(clone.with_built(&[0], |idx| idx.distinct_keys()), None);
     }
 }

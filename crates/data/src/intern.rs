@@ -11,8 +11,8 @@
 //!
 //! * The interner is **process-global** (one symbol space), so values are
 //!   comparable across databases, schemas, deltas and query constants without
-//!   threading an interner handle through every API.  [`Database`] and
-//!   [`DatabaseSchema`] expose it via [`crate::Database::interner`] as *the*
+//!   threading an interner handle through every API.  [`crate::Database`] and
+//!   [`crate::DatabaseSchema`] expose it via [`crate::Database::interner`] as *the*
 //!   resolve path for display/serialisation.  There is deliberately no way
 //!   to construct a second interner: a `Symbol` is only meaningful in the
 //!   symbol space that minted it, so independent instances would make

@@ -30,8 +30,12 @@
 //! * [`RelationSchema`], [`DatabaseSchema`] — named relation signatures,
 //! * [`Relation`], [`Database`] — set-semantics instances with size and
 //!   active-domain accessors,
-//! * [`HashIndex`] — equality indexes on attribute subsets (the physical
-//!   realisation of the paper's access constraints),
+//! * [`HashIndex`] / [`IndexPool`] — the secondary-index subsystem: equality
+//!   indexes on attribute subsets (the physical realisation of the paper's
+//!   access constraints), declared cheaply, built lazily on first probe and
+//!   maintained incrementally under updates,
+//! * [`stats`] — per-relation row counts and per-column distinct counts, the
+//!   statistics that drive the cost-based planner in `si-core`,
 //! * [`Delta`] — insert/delete updates `∆D = (∆D, ∇D)` as used in Section 5,
 //! * [`AccessMeter`] — a deterministic counter of tuples fetched, used by all
 //!   experiments to measure the quantity that scale independence bounds.
@@ -48,18 +52,20 @@ pub mod meter;
 pub mod ordset;
 pub mod relation;
 pub mod schema;
+pub mod stats;
 pub mod tuple;
 pub mod value;
 
 pub use database::Database;
 pub use delta::{Delta, RelationDelta};
 pub use error::DataError;
-pub use index::HashIndex;
+pub use index::{HashIndex, IndexPool};
 pub use intern::{interner, Symbol, SymbolInterner};
 pub use meter::{AccessMeter, MeterSnapshot};
 pub use ordset::TupleSet;
 pub use relation::Relation;
 pub use schema::{DatabaseSchema, RelationSchema};
+pub use stats::{DatabaseStats, RelationStats};
 pub use tuple::Tuple;
 pub use value::Value;
 

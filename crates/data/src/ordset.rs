@@ -101,16 +101,35 @@ impl TupleSet {
 
     /// Removes `tuple` if present, preserving the insertion order of the
     /// remaining tuples; returns `true` when something was removed.
-    ///
-    /// Removal is O(n) because all later positions shift; deletions are rare
-    /// in the paper's workloads (updates are mostly insertions).
     pub fn remove(&mut self, tuple: &Tuple) -> bool {
-        let Some(position) = self.position_of(tuple) else {
-            return false;
-        };
+        self.remove_returning_position(tuple).is_some()
+    }
+
+    /// Removes `tuple` if present, returning the position it occupied so
+    /// that callers maintaining side structures (e.g. secondary indexes) can
+    /// shift their own entries without a second lookup.
+    ///
+    /// Removal is O(n) because all later positions shift, but the side table
+    /// is adjusted in place — no key is re-hashed and no bucket is rebuilt.
+    pub fn remove_returning_position(&mut self, tuple: &Tuple) -> Option<usize> {
+        let hash = hash_of(tuple);
+        let bucket = self.buckets.get_mut(&hash)?;
+        let position = *bucket
+            .iter()
+            .find(|&&p| &self.tuples[p as usize] == tuple)? as usize;
+        bucket.retain(|&p| p as usize != position);
+        if bucket.is_empty() {
+            self.buckets.remove(&hash);
+        }
         self.tuples.remove(position);
-        self.rebuild_buckets();
-        true
+        for bucket in self.buckets.values_mut() {
+            for p in bucket.iter_mut() {
+                if *p as usize > position {
+                    *p -= 1;
+                }
+            }
+        }
+        Some(position)
     }
 
     /// Drops all tuples.
@@ -122,16 +141,6 @@ impl TupleSet {
     /// Consumes the set, returning the tuples in insertion order.
     pub fn into_vec(self) -> Vec<Tuple> {
         self.tuples
-    }
-
-    fn rebuild_buckets(&mut self) {
-        self.buckets.clear();
-        for (position, tuple) in self.tuples.iter().enumerate() {
-            self.buckets
-                .entry(hash_of(tuple))
-                .or_default()
-                .push(position as u32);
-        }
     }
 }
 

@@ -1,7 +1,7 @@
-//! Set-semantics relations with attached hash indexes.
+//! Set-semantics relations with attached secondary indexes.
 
 use crate::error::DataError;
-use crate::index::HashIndex;
+use crate::index::IndexPool;
 use crate::ordset::TupleSet;
 use crate::schema::RelationSchema;
 use crate::tuple::Tuple;
@@ -10,12 +10,15 @@ use crate::Result;
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 
-/// A finite relation: a set of tuples of a fixed arity, plus any number of
-/// hash indexes on attribute subsets.
+/// A finite relation: a set of tuples of a fixed arity, plus an [`IndexPool`]
+/// of secondary hash indexes on attribute subsets.
 ///
 /// Tuples are stored in insertion order (deduplicated) so that iteration is
 /// deterministic; the paper's set semantics is preserved because duplicate
-/// insertions are ignored.
+/// insertions are ignored.  Indexes are declared cheaply (see
+/// [`Relation::declare_index`]), built lazily on first probe, and maintained
+/// incrementally through [`Relation::insert`] / [`Relation::remove`] — which
+/// is also the path [`crate::Delta`] updates take.
 #[derive(Debug, Clone)]
 pub struct Relation {
     schema: RelationSchema,
@@ -23,8 +26,8 @@ pub struct Relation {
     /// O(1) membership come from the same structure, instead of the seed's
     /// duplicated `Vec<Tuple>` + `HashSet<Tuple>` pair.
     tuples: TupleSet,
-    /// Indexes keyed by their (sorted) key positions.
-    indexes: BTreeMap<Vec<usize>, HashIndex>,
+    /// Declared and built indexes, keyed by their (sorted) key positions.
+    indexes: IndexPool,
 }
 
 impl Relation {
@@ -33,7 +36,7 @@ impl Relation {
         Relation {
             schema,
             tuples: TupleSet::new(),
-            indexes: BTreeMap::new(),
+            indexes: IndexPool::new(),
         }
     }
 
@@ -83,7 +86,8 @@ impl Relation {
 
     /// Inserts a tuple, ignoring exact duplicates (set semantics).
     ///
-    /// Returns `true` when the tuple was new.
+    /// Returns `true` when the tuple was new.  Every *built* index is
+    /// maintained incrementally; declared-but-unbuilt indexes cost nothing.
     pub fn insert(&mut self, tuple: Tuple) -> Result<bool> {
         if tuple.arity() != self.schema.arity() {
             return Err(DataError::ArityMismatch {
@@ -97,51 +101,74 @@ impl Relation {
             return Ok(false);
         }
         let stored = &self.tuples.as_slice()[position];
-        for index in self.indexes.values_mut() {
-            index.insert(position, stored);
-        }
+        self.indexes.tuple_inserted(position, stored);
         Ok(true)
     }
 
     /// Removes a tuple if present; returns `true` when something was removed.
     ///
-    /// Removal rebuilds the affected index buckets lazily by re-indexing the
-    /// relation, which keeps the code simple; deletions are rare in the
-    /// workloads of the paper (updates are mostly insertions).
+    /// Built indexes are maintained incrementally (entries after the removed
+    /// position shift down by one, mirroring the ordered storage) instead of
+    /// being rebuilt from scratch.
     pub fn remove(&mut self, tuple: &Tuple) -> bool {
-        if !self.tuples.remove(tuple) {
+        let Some(position) = self.tuples.remove_returning_position(tuple) else {
             return false;
-        }
-        self.rebuild_indexes();
+        };
+        self.indexes.tuple_removed(position, tuple);
         true
     }
 
-    /// Ensures a hash index exists on the given attribute names.
-    pub fn ensure_index(&mut self, attributes: &[String]) -> Result<()> {
-        let mut positions = self.schema.positions_of(attributes)?;
-        positions.sort_unstable();
-        positions.dedup();
-        if !self.indexes.contains_key(&positions) {
-            let index = HashIndex::build(positions.clone(), self.tuples.as_slice());
-            self.indexes.insert(positions, index);
-        }
+    /// Declares an index on the given attribute names without building it.
+    ///
+    /// The physical index is materialised by the first probe that needs it
+    /// (see [`Relation::select_eq`]); until then the declaration costs O(1).
+    pub fn declare_index(&mut self, attributes: &[String]) -> Result<()> {
+        let positions = self.schema.positions_of(attributes)?;
+        self.indexes.declare(positions);
         Ok(())
     }
 
-    /// Returns the index on the given attribute names, if one was built.
-    pub fn index_on(&self, attributes: &[String]) -> Option<&HashIndex> {
-        let mut positions: Vec<usize> = attributes
-            .iter()
-            .map(|a| self.schema.position_of(a).ok())
-            .collect::<Option<Vec<_>>>()?;
-        positions.sort_unstable();
-        positions.dedup();
-        self.indexes.get(&positions)
+    /// Ensures a hash index exists on the given attribute names, building it
+    /// immediately.  Prefer [`Relation::declare_index`] unless the probe
+    /// pattern is known to be hot from the start.
+    pub fn ensure_index(&mut self, attributes: &[String]) -> Result<()> {
+        let positions = self.schema.positions_of(attributes)?;
+        self.indexes.build_now(positions, self.tuples.as_slice());
+        Ok(())
+    }
+
+    /// True iff an index on exactly these attributes is declared or built.
+    pub fn has_index(&self, attributes: &[String]) -> bool {
+        match self.schema.positions_of(attributes) {
+            Ok(positions) => self.indexes.is_declared(&positions),
+            Err(_) => false,
+        }
+    }
+
+    /// True iff the index on exactly these attributes has been materialised.
+    pub fn has_built_index(&self, attributes: &[String]) -> bool {
+        match self.schema.positions_of(attributes) {
+            Ok(positions) => self.indexes.is_built(&positions),
+            Err(_) => false,
+        }
+    }
+
+    /// The relation's index pool (read only).
+    pub fn indexes(&self) -> &IndexPool {
+        &self.indexes
     }
 
     /// Selects the tuples whose attributes `attributes` equal `key`
-    /// (σ_{X=a̅}(R)), using an index when one is available and a scan
-    /// otherwise.  Returns the matching tuples and whether an index was used.
+    /// (σ_{X=a̅}(R)), and reports whether an index served the probe.
+    ///
+    /// Resolution order:
+    /// 1. an index on exactly the probed positions (built lazily on this
+    ///    first probe if it was only declared);
+    /// 2. the widest declared-or-built index on a *subset* of the probed
+    ///    positions, with the residual equalities applied as a post-filter —
+    ///    the probe stays index-backed even when the caller binds more
+    ///    attributes than any single index covers;
+    /// 3. a full scan, only when no index can serve any part of the probe.
     pub fn select_eq(&self, attributes: &[String], key: &[Value]) -> Result<(Vec<Tuple>, bool)> {
         let positions = self
             .schema
@@ -155,26 +182,52 @@ impl Relation {
         let sorted_positions: Vec<usize> = pairs.iter().map(|(p, _)| *p).collect();
         let sorted_key: Vec<Value> = pairs.iter().map(|(_, v)| *v).collect();
 
-        if let Some(index) = self.indexes.get(&sorted_positions) {
-            let matches = index
-                .lookup(&sorted_key)
-                .iter()
-                .map(|&pos| self.tuples.as_slice()[pos].clone())
+        if let Some(hits) =
+            self.indexes
+                .lookup(&sorted_positions, &sorted_key, self.tuples.as_slice())
+        {
+            let matches = hits
+                .into_iter()
+                .map(|pos| self.tuples.as_slice()[pos].clone())
                 // A probe key that repeats a position with conflicting values
                 // can over-approximate after dedup; re-check the original
                 // predicate to stay exact.
                 .filter(|t| t.matches_on(&positions, key))
                 .collect();
-            Ok((matches, true))
-        } else {
-            let matches = self
-                .tuples
-                .iter()
-                .filter(|t| t.matches_on(&positions, key))
-                .cloned()
-                .collect();
-            Ok((matches, false))
+            return Ok((matches, true));
         }
+
+        // No exact index: probe the widest subset index and post-filter.
+        if let Some(sub) = self.indexes.best_subset(&sorted_positions) {
+            let sub_key: Vec<Value> = sub
+                .iter()
+                .map(|p| {
+                    pairs
+                        .iter()
+                        .find(|(q, _)| q == p)
+                        .map(|(_, v)| *v)
+                        .expect("subset positions come from the probe")
+                })
+                .collect();
+            let hits = self
+                .indexes
+                .lookup(&sub, &sub_key, self.tuples.as_slice())
+                .expect("best_subset returned a declared index");
+            let matches = hits
+                .into_iter()
+                .map(|pos| self.tuples.as_slice()[pos].clone())
+                .filter(|t| t.matches_on(&positions, key))
+                .collect();
+            return Ok((matches, true));
+        }
+
+        let matches = self
+            .tuples
+            .iter()
+            .filter(|t| t.matches_on(&positions, key))
+            .cloned()
+            .collect();
+        Ok((matches, false))
     }
 
     /// The maximum number of tuples sharing any single value combination on
@@ -190,6 +243,19 @@ impl Relation {
         Ok(counts.values().copied().max().unwrap_or(0))
     }
 
+    /// Number of distinct values in each column, in schema order — the raw
+    /// material of the planner's per-relation statistics.
+    pub fn column_distincts(&self) -> Vec<usize> {
+        let arity = self.schema.arity();
+        let mut seen: Vec<HashSet<Value>> = (0..arity).map(|_| HashSet::new()).collect();
+        for t in &self.tuples {
+            for (pos, set) in seen.iter_mut().enumerate() {
+                set.insert(t[pos]);
+            }
+        }
+        seen.into_iter().map(|s| s.len()).collect()
+    }
+
     /// Collects every value appearing in any tuple (contribution to the
     /// active domain).
     pub fn collect_adom(&self, into: &mut HashSet<Value>) {
@@ -197,15 +263,6 @@ impl Relation {
             for v in t.iter() {
                 into.insert(*v);
             }
-        }
-    }
-
-    fn rebuild_indexes(&mut self) {
-        let keys: Vec<Vec<usize>> = self.indexes.keys().cloned().collect();
-        self.indexes.clear();
-        for key in keys {
-            let index = HashIndex::build(key.clone(), self.tuples.as_slice());
-            self.indexes.insert(key, index);
         }
     }
 }
@@ -292,6 +349,33 @@ mod tests {
     }
 
     #[test]
+    fn declared_index_builds_on_first_probe() {
+        let mut r = person();
+        r.declare_index(&["city".into()]).unwrap();
+        assert!(r.has_index(&["city".into()]));
+        assert!(!r.has_built_index(&["city".into()]));
+        let (rows, used_index) = r.select_eq(&["city".into()], &[Value::str("NYC")]).unwrap();
+        assert!(used_index);
+        assert_eq!(rows.len(), 2);
+        assert!(r.has_built_index(&["city".into()]));
+    }
+
+    #[test]
+    fn subset_index_serves_wider_probes() {
+        let mut r = person();
+        r.declare_index(&["city".into()]).unwrap();
+        // No index on {id, city}, but the city index covers part of the probe.
+        let (rows, used_index) = r
+            .select_eq(
+                &["id".into(), "city".into()],
+                &[Value::int(3), Value::str("NYC")],
+            )
+            .unwrap();
+        assert!(used_index);
+        assert_eq!(rows, vec![tuple![3, "cat", "NYC"]]);
+    }
+
+    #[test]
     fn index_is_maintained_under_insert_and_remove() {
         let mut r = person();
         r.ensure_index(&["city".into()]).unwrap();
@@ -330,6 +414,14 @@ mod tests {
     }
 
     #[test]
+    fn column_distincts_count_per_column() {
+        let r = person();
+        assert_eq!(r.column_distincts(), vec![3, 3, 2]);
+        let empty = Relation::new(RelationSchema::new("e", &["a"]));
+        assert_eq!(empty.column_distincts(), vec![0]);
+    }
+
+    #[test]
     fn collect_adom_gathers_all_values() {
         let r = person();
         let mut adom = HashSet::new();
@@ -340,19 +432,22 @@ mod tests {
     }
 
     #[test]
-    fn index_on_returns_built_indexes_only() {
+    fn has_index_reports_declared_and_built() {
         let mut r = person();
-        assert!(r.index_on(&["id".into()]).is_none());
+        assert!(!r.has_index(&["id".into()]));
         r.ensure_index(&["id".into()]).unwrap();
-        assert!(r.index_on(&["id".into()]).is_some());
-        assert!(r.index_on(&["nope".into()]).is_none());
+        assert!(r.has_index(&["id".into()]));
+        assert!(r.has_built_index(&["id".into()]));
+        assert!(!r.has_index(&["nope".into()]));
+        assert!(!r.indexes().is_empty());
     }
 
     #[test]
     fn unknown_attribute_errors_propagate() {
-        let r = person();
+        let mut r = person();
         assert!(r.select_eq(&["zip".into()], &[Value::int(0)]).is_err());
         assert!(r.fanout_on(&["zip".into()]).is_err());
+        assert!(r.declare_index(&["zip".into()]).is_err());
     }
 
     #[test]

@@ -1,9 +1,8 @@
 //! Flat variable bindings: the query-side half of the copy-cheap data plane.
 //!
-//! The seed evaluators each carried partial assignments as
-//! `BTreeMap<Var, Value>` — a pointer-chasing tree that was *cloned at every
-//! extension step* of every join and of the Theorem-4.2 executor.  This
-//! module replaces that with:
+//! Partial assignments are the structure every join and the Theorem-4.2
+//! executor clone at *every extension step*, so they must be flat and
+//! allocation-free rather than pointer-chasing tree maps:
 //!
 //! * [`VarTable`] — variables of a query numbered **once**, at plan/validate
 //!   time, mapping names to dense [`VarId`]s;

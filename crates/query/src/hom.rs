@@ -18,6 +18,12 @@ pub type Homomorphism = BTreeMap<Var, Term>;
 /// Searches for a homomorphism from `source` to `target` that maps the i-th
 /// head variable of `source` to the i-th head term of `target` (heads must
 /// have equal arity).  Constants must map to themselves.
+///
+/// The target plays the role of its frozen canonical database, so its
+/// variable-to-constant equalities are substituted into its atoms first —
+/// without this, a query carrying `p = 1` would not even be contained in
+/// itself (its own `p` is forced to `1` on the source side but the frozen
+/// atom would still carry the variable).
 pub fn find_homomorphism(
     source: &ConjunctiveQuery,
     target: &ConjunctiveQuery,
@@ -25,6 +31,7 @@ pub fn find_homomorphism(
     if source.head.len() != target.head.len() {
         return None;
     }
+    let target = &freeze_constant_equalities(target);
     let mut mapping: Homomorphism = BTreeMap::new();
     // The head must be preserved: source head var i ↦ target head var i.
     for (sv, tv) in source.head.iter().zip(target.head.iter()) {
@@ -58,6 +65,32 @@ pub fn find_homomorphism(
     } else {
         None
     }
+}
+
+/// Substitutes the target's `Var = Const` equalities into its atoms, the way
+/// freezing the canonical database would.  Variable/variable equalities are
+/// left to [`equalities_respected`], as before.
+fn freeze_constant_equalities(target: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut subst: BTreeMap<&Var, Value> = BTreeMap::new();
+    for (l, r) in &target.equalities {
+        if let (Term::Var(v), Term::Const(c)) | (Term::Const(c), Term::Var(v)) = (l, r) {
+            subst.entry(v).or_insert(*c);
+        }
+    }
+    if subst.is_empty() {
+        return target.clone();
+    }
+    let mut frozen = target.clone();
+    for atom in &mut frozen.atoms {
+        for term in &mut atom.terms {
+            if let Term::Var(v) = term {
+                if let Some(c) = subst.get(v) {
+                    *term = Term::Const(*c);
+                }
+            }
+        }
+    }
+    frozen
 }
 
 /// Checks that the source's equality atoms are respected by `mapping`:
@@ -284,6 +317,24 @@ mod tests {
         )
         .with_equality(c(1), c(2));
         assert!(find_homomorphism(&bad, &target).is_none());
+    }
+
+    #[test]
+    fn constant_equalities_do_not_break_reflexivity() {
+        // The target is frozen with its constant equalities substituted, so
+        // a query carrying `p = 1` is contained in (and equivalent to)
+        // itself and to its inlined form.
+        let q =
+            crate::parse_cq(r#"Q(name) :- friend(p, id), person(id, name, "NYC"), p = 1"#).unwrap();
+        assert!(contained_in(&q, &q));
+        assert!(equivalent(&q, &q));
+        let inlined =
+            crate::parse_cq(r#"Q(name) :- friend(1, id), person(id, name, "NYC")"#).unwrap();
+        assert!(equivalent(&q, &inlined));
+        // A different constant is still distinguished.
+        let other =
+            crate::parse_cq(r#"Q(name) :- friend(2, id), person(id, name, "NYC")"#).unwrap();
+        assert!(!equivalent(&q, &other));
     }
 
     #[test]
