@@ -33,8 +33,11 @@
 use crate::conformance::{violations, Violation};
 use crate::constraint::AccessConstraint;
 use crate::schema::AccessSchema;
-use si_data::{AccessMeter, DataError, Database, MeterSnapshot, Tuple, Value};
-use std::collections::BTreeSet;
+use crate::source::AccessSource;
+use si_data::{
+    AccessMeter, DataError, Database, DatabaseSchema, MeterSink, MeterSnapshot, Relation, Tuple,
+    Value,
+};
 use std::fmt;
 
 /// Errors raised by access-schema-mediated retrieval.
@@ -183,15 +186,7 @@ impl AccessIndexedDatabase {
         attrs: &[String],
         key: &[Value],
     ) -> Result<Vec<Tuple>, AccessError> {
-        let bound: BTreeSet<&str> = attrs.iter().map(String::as_str).collect();
-        let constraint = self
-            .access
-            .best_constraint(relation, &bound)
-            .ok_or_else(|| AccessError::NoConstraint {
-                relation: relation.to_owned(),
-                bound_attributes: attrs.to_vec(),
-            })?;
-        self.fetch_via(constraint, relation, attrs, key)
+        AccessSource::fetch(self, relation, attrs, key)
     }
 
     /// Fetches through a specific constraint (used by planners that have
@@ -203,38 +198,7 @@ impl AccessIndexedDatabase {
         attrs: &[String],
         key: &[Value],
     ) -> Result<Vec<Tuple>, AccessError> {
-        debug_assert_eq!(constraint.relation, relation);
-        let rel = self.db.relation(relation)?;
-        // Split the probe into the indexed part (the constraint's X) and the
-        // residual filter.
-        let mut index_attrs: Vec<String> = Vec::new();
-        let mut index_key: Vec<Value> = Vec::new();
-        let mut filter: Vec<(usize, Value)> = Vec::new();
-        for (a, v) in attrs.iter().zip(key.iter()) {
-            if constraint.on.contains(a) {
-                index_attrs.push(a.clone());
-                index_key.push(*v);
-            } else {
-                filter.push((rel.schema().position_of(a)?, *v));
-            }
-        }
-
-        self.meter.add_probe();
-        self.meter.add_time(constraint.time);
-
-        let (fetched, _used_index) = if index_attrs.is_empty() {
-            // X = ∅: the constraint bounds the whole relation; fetching it is
-            // a (bounded) scan.
-            (rel.iter().cloned().collect::<Vec<_>>(), false)
-        } else {
-            rel.select_eq(&index_attrs, &index_key)?
-        };
-        self.meter.add_tuples(fetched.len() as u64);
-
-        Ok(fetched
-            .into_iter()
-            .filter(|t| filter.iter().all(|(p, v)| t.get(*p) == Some(v)))
-            .collect())
+        AccessSource::fetch_via(self, constraint, relation, attrs, key)
     }
 
     /// Fetches the projection `π_onto(σ_{attrs = key}(relation))` through an
@@ -247,56 +211,7 @@ impl AccessIndexedDatabase {
         key: &[Value],
         onto: &[String],
     ) -> Result<Vec<Tuple>, AccessError> {
-        let bound: BTreeSet<&str> = attrs.iter().map(String::as_str).collect();
-        let onto_set: BTreeSet<&str> = onto.iter().map(String::as_str).collect();
-        let constraint = self
-            .access
-            .embedded()
-            .iter()
-            .filter(|e| {
-                e.relation == relation && e.usable_with(&bound) && onto_set.is_subset(&e.onto_set())
-            })
-            .min_by_key(|e| e.bound)
-            .ok_or_else(|| AccessError::NoConstraint {
-                relation: relation.to_owned(),
-                bound_attributes: attrs.to_vec(),
-            })?;
-
-        let rel = self.db.relation(relation)?;
-        let positions = rel.schema().positions_of(onto)?;
-        let mut index_attrs: Vec<String> = Vec::new();
-        let mut index_key: Vec<Value> = Vec::new();
-        let mut filter: Vec<(usize, Value)> = Vec::new();
-        for (a, v) in attrs.iter().zip(key.iter()) {
-            if constraint.from.contains(a) {
-                index_attrs.push(a.clone());
-                index_key.push(*v);
-            } else {
-                filter.push((rel.schema().position_of(a)?, *v));
-            }
-        }
-
-        self.meter.add_probe();
-        self.meter.add_time(constraint.time);
-
-        let (fetched, _) = if index_attrs.is_empty() {
-            (rel.iter().cloned().collect::<Vec<_>>(), false)
-        } else {
-            rel.select_eq(&index_attrs, &index_key)?
-        };
-        let mut seen: BTreeSet<Tuple> = BTreeSet::new();
-        let mut out = Vec::new();
-        for t in fetched
-            .into_iter()
-            .filter(|t| filter.iter().all(|(p, v)| t.get(*p) == Some(v)))
-        {
-            let proj = t.project(&positions);
-            if seen.insert(proj.clone()) {
-                out.push(proj);
-            }
-        }
-        self.meter.add_tuples(out.len() as u64);
-        Ok(out)
+        AccessSource::fetch_embedded(self, relation, attrs, key, onto)
     }
 
     /// Membership probe: is `tuple` in `relation`?
@@ -307,33 +222,37 @@ impl AccessIndexedDatabase {
     /// reading used in Example 4.1 of the paper).  It is charged as one probe
     /// fetching at most one tuple.
     pub fn contains(&self, relation: &str, tuple: &Tuple) -> Result<bool, AccessError> {
-        let rel = self.db.relation(relation)?;
-        self.meter.add_probe();
-        self.meter.add_time(1);
-        let found = rel.contains(tuple);
-        if found {
-            self.meter.add_tuples(1);
-        }
-        Ok(found)
+        AccessSource::contains(self, relation, tuple)
     }
 
     /// Retrieves the entire relation.  Only allowed when the access schema
     /// grants full access to it (Proposition 5.5's `A(R)`).
     pub fn full_scan(&self, relation: &str) -> Result<Vec<Tuple>, AccessError> {
-        if !self.access.has_full_access(relation) {
-            return Err(AccessError::FullScanNotAllowed(relation.to_owned()));
-        }
-        let rel = self.db.relation(relation)?;
-        self.meter.add_scan();
-        self.meter.add_tuples(rel.len() as u64);
-        Ok(rel.iter().cloned().collect())
+        AccessSource::full_scan(self, relation)
     }
 
     /// Does any constraint authorise probing `relation` when `attrs` can be
     /// bound?
     pub fn can_fetch(&self, relation: &str, attrs: &[String]) -> bool {
-        let bound: BTreeSet<&str> = attrs.iter().map(String::as_str).collect();
-        self.access.best_constraint(relation, &bound).is_some()
+        AccessSource::can_fetch(self, relation, attrs)
+    }
+}
+
+impl AccessSource for AccessIndexedDatabase {
+    fn db_schema(&self) -> &DatabaseSchema {
+        self.db.schema()
+    }
+
+    fn access_schema(&self) -> &AccessSchema {
+        &self.access
+    }
+
+    fn source_relation(&self, name: &str) -> Result<&Relation, AccessError> {
+        self.db.relation(name).map_err(AccessError::Data)
+    }
+
+    fn meter_sink(&self) -> &dyn MeterSink {
+        &self.meter
     }
 }
 

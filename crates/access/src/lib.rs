@@ -11,6 +11,10 @@
 //! * [`conformance`] — checking that a database conforms to `A`;
 //! * [`indexed`] — [`AccessIndexedDatabase`], the retrieval layer that
 //!   lazily materialises the promised indexes and meters every fetch;
+//! * [`source`] — [`AccessSource`], the storage-agnostic retrieval trait the
+//!   bounded executors evaluate against, and [`SnapshotAccess`], its
+//!   implementation over pinned [`si_data::DatabaseSnapshot`] versions (the
+//!   concurrent serving surface used by `si-engine`);
 //! * [`cost`] — the two-sided cost model: static, data-independent bounds
 //!   ([`StaticCost`]) that *admit* bounded plans, and statistics-driven
 //!   estimates ([`CostModel`]) that *rank* them.
@@ -24,6 +28,7 @@ pub mod cost;
 pub mod embedded;
 pub mod indexed;
 pub mod schema;
+pub mod source;
 
 pub use conformance::{conforms, violations, Violation};
 pub use constraint::AccessConstraint;
@@ -31,6 +36,7 @@ pub use cost::{CostModel, StaticCost};
 pub use embedded::EmbeddedConstraint;
 pub use indexed::{AccessError, AccessIndexedDatabase};
 pub use schema::{facebook_access_schema, AccessSchema};
+pub use source::{AccessSource, SnapshotAccess};
 
 /// Convenience result alias for fallible operations in this crate.
 pub type Result<T> = std::result::Result<T, AccessError>;

@@ -1,0 +1,409 @@
+//! The access-mediated retrieval surface, abstracted over storage.
+//!
+//! [`AccessSource`] is the interface the bounded executors in `si-core`
+//! evaluate against.  It captures exactly what Theorem 4.2's evaluation
+//! strategy needs — constraint-authorised fetches, embedded enumerations,
+//! membership probes, and a [`MeterSink`] every access is charged to — while
+//! leaving the storage behind it open:
+//!
+//! * [`crate::AccessIndexedDatabase`] — an owned, mutable [`si_data::Database`]
+//!   (the original single-threaded experiment surface);
+//! * [`SnapshotAccess`] — a pinned, immutable
+//!   [`DatabaseSnapshot`] version shared between
+//!   worker threads by `Arc`, with a *per-worker* meter (the `si-engine`
+//!   serving surface).
+//!
+//! The fetch-bound semantics (what is charged per probe, the role of the
+//! residual post-filter) are identical for every implementation and are
+//! documented once, on [`crate::AccessIndexedDatabase`]; the shared logic
+//! lives in this trait's provided methods, so an implementor only supplies
+//! the four accessors.
+
+use crate::constraint::AccessConstraint;
+use crate::indexed::AccessError;
+use crate::schema::AccessSchema;
+use si_data::{
+    AccessMeter, DatabaseSchema, DatabaseSnapshot, MeterSink, MeterSnapshot, Relation, Tuple, Value,
+};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Storage-agnostic access-schema-mediated retrieval.
+///
+/// Implementors provide relation lookup, the access schema and a meter; the
+/// provided methods implement the paper's fetch semantics on top (and are
+/// the *only* retrieval primitives bounded executors may use).
+pub trait AccessSource {
+    /// The database schema of the underlying instance.
+    fn db_schema(&self) -> &DatabaseSchema;
+
+    /// The access schema authorising fetches.
+    fn access_schema(&self) -> &AccessSchema;
+
+    /// Looks up a relation of the underlying instance.
+    fn source_relation(&self, name: &str) -> Result<&Relation, AccessError>;
+
+    /// The sink every access is charged to.
+    fn meter_sink(&self) -> &dyn MeterSink;
+
+    /// Snapshot of the meter (convenience).
+    fn meter_snapshot(&self) -> MeterSnapshot {
+        self.meter_sink().snapshot()
+    }
+
+    /// Fetches `σ_{attrs = key}(relation)` through the tightest usable
+    /// access constraint.  See [`crate::AccessIndexedDatabase::fetch`].
+    fn fetch(
+        &self,
+        relation: &str,
+        attrs: &[String],
+        key: &[Value],
+    ) -> Result<Vec<Tuple>, AccessError> {
+        let bound: BTreeSet<&str> = attrs.iter().map(String::as_str).collect();
+        let constraint = self
+            .access_schema()
+            .best_constraint(relation, &bound)
+            .ok_or_else(|| AccessError::NoConstraint {
+                relation: relation.to_owned(),
+                bound_attributes: attrs.to_vec(),
+            })?;
+        self.fetch_via(constraint, relation, attrs, key)
+    }
+
+    /// Fetches through a specific constraint (used by planners that have
+    /// already chosen their access path).
+    /// See [`crate::AccessIndexedDatabase::fetch_via`].
+    fn fetch_via(
+        &self,
+        constraint: &AccessConstraint,
+        relation: &str,
+        attrs: &[String],
+        key: &[Value],
+    ) -> Result<Vec<Tuple>, AccessError> {
+        debug_assert_eq!(constraint.relation, relation);
+        let rel = self.source_relation(relation)?;
+        let meter = self.meter_sink();
+        // Split the probe into the indexed part (the constraint's X) and the
+        // residual filter.
+        let mut index_attrs: Vec<String> = Vec::new();
+        let mut index_key: Vec<Value> = Vec::new();
+        let mut filter: Vec<(usize, Value)> = Vec::new();
+        for (a, v) in attrs.iter().zip(key.iter()) {
+            if constraint.on.contains(a) {
+                index_attrs.push(a.clone());
+                index_key.push(*v);
+            } else {
+                filter.push((rel.schema().position_of(a)?, *v));
+            }
+        }
+
+        meter.add_probe();
+        meter.add_time(constraint.time);
+
+        let (fetched, _used_index) = if index_attrs.is_empty() {
+            // X = ∅: the constraint bounds the whole relation; fetching it is
+            // a (bounded) scan.
+            (rel.iter().cloned().collect::<Vec<_>>(), false)
+        } else {
+            rel.select_eq(&index_attrs, &index_key)?
+        };
+        meter.add_tuples(fetched.len() as u64);
+
+        Ok(fetched
+            .into_iter()
+            .filter(|t| filter.iter().all(|(p, v)| t.get(*p) == Some(v)))
+            .collect())
+    }
+
+    /// Fetches the projection `π_onto(σ_{attrs = key}(relation))` through an
+    /// embedded constraint.  See
+    /// [`crate::AccessIndexedDatabase::fetch_embedded`].
+    fn fetch_embedded(
+        &self,
+        relation: &str,
+        attrs: &[String],
+        key: &[Value],
+        onto: &[String],
+    ) -> Result<Vec<Tuple>, AccessError> {
+        let bound: BTreeSet<&str> = attrs.iter().map(String::as_str).collect();
+        let onto_set: BTreeSet<&str> = onto.iter().map(String::as_str).collect();
+        let constraint = self
+            .access_schema()
+            .embedded()
+            .iter()
+            .filter(|e| {
+                e.relation == relation && e.usable_with(&bound) && onto_set.is_subset(&e.onto_set())
+            })
+            .min_by_key(|e| e.bound)
+            .ok_or_else(|| AccessError::NoConstraint {
+                relation: relation.to_owned(),
+                bound_attributes: attrs.to_vec(),
+            })?;
+
+        let rel = self.source_relation(relation)?;
+        let meter = self.meter_sink();
+        let positions = rel.schema().positions_of(onto)?;
+        let mut index_attrs: Vec<String> = Vec::new();
+        let mut index_key: Vec<Value> = Vec::new();
+        let mut filter: Vec<(usize, Value)> = Vec::new();
+        for (a, v) in attrs.iter().zip(key.iter()) {
+            if constraint.from.contains(a) {
+                index_attrs.push(a.clone());
+                index_key.push(*v);
+            } else {
+                filter.push((rel.schema().position_of(a)?, *v));
+            }
+        }
+
+        meter.add_probe();
+        meter.add_time(constraint.time);
+
+        let (fetched, _) = if index_attrs.is_empty() {
+            (rel.iter().cloned().collect::<Vec<_>>(), false)
+        } else {
+            rel.select_eq(&index_attrs, &index_key)?
+        };
+        let mut seen: BTreeSet<Tuple> = BTreeSet::new();
+        let mut out = Vec::new();
+        for t in fetched
+            .into_iter()
+            .filter(|t| filter.iter().all(|(p, v)| t.get(*p) == Some(v)))
+        {
+            let proj = t.project(&positions);
+            if seen.insert(proj.clone()) {
+                out.push(proj);
+            }
+        }
+        meter.add_tuples(out.len() as u64);
+        Ok(out)
+    }
+
+    /// Membership probe: is `tuple` in `relation`?  Always permitted; charged
+    /// as one probe fetching at most one tuple.
+    /// See [`crate::AccessIndexedDatabase::contains`].
+    fn contains(&self, relation: &str, tuple: &Tuple) -> Result<bool, AccessError> {
+        let rel = self.source_relation(relation)?;
+        let meter = self.meter_sink();
+        meter.add_probe();
+        meter.add_time(1);
+        let found = rel.contains(tuple);
+        if found {
+            meter.add_tuples(1);
+        }
+        Ok(found)
+    }
+
+    /// Retrieves the entire relation; only allowed under a full-access grant.
+    /// See [`crate::AccessIndexedDatabase::full_scan`].
+    fn full_scan(&self, relation: &str) -> Result<Vec<Tuple>, AccessError> {
+        if !self.access_schema().has_full_access(relation) {
+            return Err(AccessError::FullScanNotAllowed(relation.to_owned()));
+        }
+        let rel = self.source_relation(relation)?;
+        let meter = self.meter_sink();
+        meter.add_scan();
+        meter.add_tuples(rel.len() as u64);
+        Ok(rel.iter().cloned().collect())
+    }
+
+    /// Does any constraint authorise probing `relation` when `attrs` can be
+    /// bound?
+    fn can_fetch(&self, relation: &str, attrs: &[String]) -> bool {
+        let bound: BTreeSet<&str> = attrs.iter().map(String::as_str).collect();
+        self.access_schema()
+            .best_constraint(relation, &bound)
+            .is_some()
+    }
+}
+
+/// A pinned snapshot version wrapped with an access schema and a per-worker
+/// meter: the [`AccessSource`] of the concurrent serving layer.
+///
+/// Both the snapshot and the access schema are held by `Arc`, so a
+/// `SnapshotAccess` is cheap to create — one per worker, per request — and
+/// [`SnapshotAccess::fork`] hands each worker thread its own meter over the
+/// same pinned version.  Charging stays on a thread-local sink (no atomics
+/// on the fetch path); callers aggregate the per-worker
+/// [`MeterSnapshot`]s afterwards, e.g. into a
+/// [`SharedMeter`](si_data::SharedMeter).
+///
+/// Constructing a `SnapshotAccess` does *not* declare the access schema's
+/// indexes: declarations live inside the relations, so declare them on the
+/// [`si_data::Database`] (see [`AccessSchema::required_indexes`]) before the
+/// snapshot store is created — `si-engine` does exactly that.
+#[derive(Debug)]
+pub struct SnapshotAccess<M: MeterSink = AccessMeter> {
+    snapshot: Arc<DatabaseSnapshot>,
+    access: Arc<AccessSchema>,
+    meter: M,
+}
+
+impl<M: MeterSink + Default> SnapshotAccess<M> {
+    /// Wraps a pinned snapshot with an access schema and a fresh meter.
+    pub fn new(snapshot: Arc<DatabaseSnapshot>, access: Arc<AccessSchema>) -> Self {
+        SnapshotAccess {
+            snapshot,
+            access,
+            meter: M::default(),
+        }
+    }
+
+    /// A sibling view over the same pinned snapshot with a fresh meter —
+    /// what each worker thread of a partitioned execution gets.
+    pub fn fork(&self) -> Self {
+        SnapshotAccess {
+            snapshot: self.snapshot.clone(),
+            access: self.access.clone(),
+            meter: M::default(),
+        }
+    }
+}
+
+impl<M: MeterSink> SnapshotAccess<M> {
+    /// Wraps a pinned snapshot with an explicit meter.
+    pub fn with_meter(
+        snapshot: Arc<DatabaseSnapshot>,
+        access: Arc<AccessSchema>,
+        meter: M,
+    ) -> Self {
+        SnapshotAccess {
+            snapshot,
+            access,
+            meter,
+        }
+    }
+
+    /// The pinned snapshot version.
+    pub fn snapshot(&self) -> &Arc<DatabaseSnapshot> {
+        &self.snapshot
+    }
+
+    /// The meter charged by this view's fetches.
+    pub fn meter(&self) -> &M {
+        &self.meter
+    }
+}
+
+impl<M: MeterSink> AccessSource for SnapshotAccess<M> {
+    fn db_schema(&self) -> &DatabaseSchema {
+        self.snapshot.schema()
+    }
+
+    fn access_schema(&self) -> &AccessSchema {
+        &self.access
+    }
+
+    fn source_relation(&self, name: &str) -> Result<&Relation, AccessError> {
+        self.snapshot.relation(name).map_err(AccessError::Data)
+    }
+
+    fn meter_sink(&self) -> &dyn MeterSink {
+        &self.meter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::facebook_access_schema;
+    use si_data::schema::social_schema;
+    use si_data::{tuple, Database, SharedMeter, SnapshotStore};
+
+    fn store_with_indexes() -> (SnapshotStore, Arc<AccessSchema>) {
+        let access = facebook_access_schema(5000);
+        let mut db = Database::empty(social_schema());
+        db.insert_all(
+            "person",
+            vec![
+                tuple![1, "ann", "NYC"],
+                tuple![2, "bob", "NYC"],
+                tuple![3, "cat", "LA"],
+            ],
+        )
+        .unwrap();
+        db.insert_all("friend", vec![tuple![1, 2], tuple![1, 3], tuple![2, 3]])
+            .unwrap();
+        for (relation, attrs) in access.required_indexes() {
+            if !attrs.is_empty() {
+                db.declare_index(&relation, &attrs).unwrap();
+            }
+        }
+        (SnapshotStore::new(db), Arc::new(access))
+    }
+
+    #[test]
+    fn snapshot_access_fetches_like_the_owned_surface() {
+        let (store, access) = store_with_indexes();
+        let view: SnapshotAccess = SnapshotAccess::new(store.pin(), access);
+        let friends = view
+            .fetch("friend", &["id1".into()], &[Value::int(1)])
+            .unwrap();
+        assert_eq!(friends.len(), 2);
+        let snap = view.meter_snapshot();
+        assert_eq!(snap.index_probes, 1);
+        assert_eq!(snap.tuples_fetched, 2);
+        // Membership probes are always allowed.
+        assert!(view.contains("friend", &tuple![2, 3]).unwrap());
+        assert!(!view.contains("friend", &tuple![9, 9]).unwrap());
+        // Unauthorised probes are rejected.
+        assert!(matches!(
+            view.fetch("visit", &["id".into()], &[Value::int(1)]),
+            Err(AccessError::NoConstraint { .. })
+        ));
+        assert!(view.can_fetch("person", &["id".into()]));
+        assert!(!view.can_fetch("visit", &["id".into()]));
+        assert!(matches!(
+            view.full_scan("friend"),
+            Err(AccessError::FullScanNotAllowed(_))
+        ));
+    }
+
+    #[test]
+    fn forked_views_share_the_version_but_not_the_meter() {
+        let (store, access) = store_with_indexes();
+        let view: SnapshotAccess = SnapshotAccess::new(store.pin(), access);
+        let forked = view.fork();
+        forked
+            .fetch("friend", &["id1".into()], &[Value::int(1)])
+            .unwrap();
+        assert_eq!(forked.meter_snapshot().index_probes, 1);
+        assert_eq!(view.meter_snapshot().index_probes, 0);
+        assert!(Arc::ptr_eq(view.snapshot(), forked.snapshot()));
+    }
+
+    #[test]
+    fn pinned_views_ignore_later_commits() {
+        let (store, access) = store_with_indexes();
+        let pinned: SnapshotAccess = SnapshotAccess::new(store.pin(), access.clone());
+        store
+            .commit(si_data::Delta::new().insert("friend", tuple![1, 4]))
+            .unwrap();
+        let fresh: SnapshotAccess = SnapshotAccess::new(store.pin(), access);
+        let old = pinned
+            .fetch("friend", &["id1".into()], &[Value::int(1)])
+            .unwrap();
+        let new = fresh
+            .fetch("friend", &["id1".into()], &[Value::int(1)])
+            .unwrap();
+        assert_eq!(old.len(), 2);
+        assert_eq!(new.len(), 3);
+    }
+
+    #[test]
+    fn shared_meter_backed_view_aggregates_across_threads() {
+        let (store, access) = store_with_indexes();
+        let view: SnapshotAccess<SharedMeter> =
+            SnapshotAccess::with_meter(store.pin(), access, SharedMeter::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let view = &view;
+                s.spawn(move || {
+                    view.fetch("friend", &["id1".into()], &[Value::int(1)])
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(view.meter_snapshot().index_probes, 4);
+        assert_eq!(view.meter_snapshot().tuples_fetched, 8);
+    }
+}

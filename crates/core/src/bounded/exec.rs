@@ -1,22 +1,33 @@
-//! Execution of bounded plans against an access-indexed database.
+//! Execution of bounded plans against any [`AccessSource`].
 //!
 //! The executor realises the evaluation strategy from the proof of
 //! Theorem 4.2: it maintains a set of partial assignments for the query's
 //! variables and extends them step by step, touching the base data only
 //! through the access-schema-mediated retrieval primitives of
-//! [`AccessIndexedDatabase`].  The result records the answers, the witness
-//! `D_Q` (the base facts actually used) and the exact access cost.
+//! [`AccessSource`] (an owned [`si_access::AccessIndexedDatabase`], a pinned
+//! [`si_access::SnapshotAccess`] version, …).  The result records the
+//! answers, the witness `D_Q` (the base facts actually used) and the exact
+//! access cost.
 //!
 //! Assignments are flat [`Binding`]s over a [`VarTable`] built once per
 //! execution: variables are numbered up front, atoms and equalities are
 //! compiled to slot ids, and every extension step clones a flat slab of
 //! `Copy` values instead of a `BTreeMap` — the copy-cheap data plane shared
 //! with the `si-query` evaluators.
+//!
+//! Execution is split into three phases — [`compile`](self) the plan to slot
+//! ids, run the steps, finalise (equality filter, projection, dedup) — so
+//! that [`execute_bounded_partitioned`] can run the *first* fetch once and
+//! fan the surviving rows out morsel-style across worker threads, each
+//! worker running the remaining steps over its contiguous chunk with its own
+//! meter.  Rows never interact across steps, so the partitioned result
+//! (answers, witness, access counts) is identical to the sequential one —
+//! the property the `si-engine` correctness tests pin down.
 
 use crate::bounded::plan::{BoundedPlan, PlanStep};
 use crate::error::CoreError;
 use crate::si::Witness;
-use si_access::AccessIndexedDatabase;
+use si_access::AccessSource;
 use si_data::{MeterSnapshot, Tuple, TupleSet, Value};
 use si_query::binding::{Binding, VarId, VarTable};
 use si_query::Term;
@@ -72,14 +83,23 @@ fn extend_binding(binding: &Binding, cterms: &[CTerm], tuple: &Tuple) -> Option<
     Some(extended)
 }
 
-/// Executes `plan` with the given parameter values over `adb`.
-///
-/// `parameter_values` must supply one value per plan parameter, in order.
-pub fn execute_bounded(
-    plan: &BoundedPlan,
-    parameter_values: &[Value],
-    adb: &AccessIndexedDatabase,
-) -> Result<BoundedAnswer, CoreError> {
+/// A plan compiled to slot ids, ready to run (phase 1 of execution).
+struct CompiledPlan {
+    vars: VarTable,
+    /// Per-atom compiled terms, indexed like `plan.query.atoms`.
+    cterms: Vec<Vec<CTerm>>,
+    var_var_eqs: Vec<(VarId, VarId)>,
+    var_const_eqs: Vec<(VarId, Value)>,
+    /// The seed row (parameters + constant equalities), or none when the
+    /// equalities are contradictory.
+    seed_rows: Vec<Binding>,
+    /// Which slots the seed binds (boundness is uniform across rows).
+    seed_bound: Vec<bool>,
+}
+
+/// Numbers the variables once and translates atoms and equalities to slot
+/// ids; builds the seed binding from the parameter values.
+fn compile(plan: &BoundedPlan, parameter_values: &[Value]) -> Result<CompiledPlan, CoreError> {
     if parameter_values.len() != plan.parameters.len() {
         return Err(CoreError::Invariant(format!(
             "plan expects {} parameter values, got {}",
@@ -87,11 +107,6 @@ pub fn execute_bounded(
             parameter_values.len()
         )));
     }
-    let before = adb.meter_snapshot();
-    let schema = adb.database().schema();
-
-    // --- compile: number the variables once, then translate atoms and
-    // equalities to slot ids.
     let mut vars = VarTable::new();
     for p in &plan.parameters {
         vars.intern(p);
@@ -147,13 +162,42 @@ pub fn execute_bounded(
     }
 
     // Boundness is uniform across the rows of a step, so it is tracked once.
-    let mut bound: Vec<bool> = (0..vars.len() as VarId)
+    let seed_bound: Vec<bool> = (0..vars.len() as VarId)
         .map(|id| seed.is_bound(id))
         .collect();
-    let mut rows: Vec<Binding> = if consistent { vec![seed] } else { Vec::new() };
-    let mut witness_facts: Vec<(String, Tuple)> = Vec::new();
+    let seed_rows: Vec<Binding> = if consistent { vec![seed] } else { Vec::new() };
+    Ok(CompiledPlan {
+        vars,
+        cterms: compiled,
+        var_var_eqs,
+        var_const_eqs,
+        seed_rows,
+        seed_bound,
+    })
+}
 
-    for step in &plan.steps {
+/// Runs a slice of plan steps over `rows` (phase 2), extending `bound` and
+/// appending the base facts used to `witness_facts`.
+///
+/// This is the morsel body: the sequential executor calls it once with every
+/// step, the partitioned executor calls it per worker with the tail of the
+/// step list and a chunk of the first step's output rows.  Rows never
+/// interact, so running chunks on separate workers and concatenating
+/// preserves the sequential row order exactly.
+fn run_steps<A: AccessSource>(
+    plan: &BoundedPlan,
+    compiled: &CompiledPlan,
+    steps: &[PlanStep],
+    mut rows: Vec<Binding>,
+    bound: &mut [bool],
+    adb: &A,
+    witness_facts: &mut Vec<(String, Tuple)>,
+) -> Result<Vec<Binding>, CoreError> {
+    let schema = adb.db_schema();
+    let vars = &compiled.vars;
+    let var_var_eqs = &compiled.var_var_eqs;
+
+    for step in steps {
         if rows.is_empty() {
             break;
         }
@@ -162,7 +206,7 @@ pub fn execute_bounded(
         for row in rows.iter_mut() {
             loop {
                 let mut changed = false;
-                for (a, b) in &var_var_eqs {
+                for (a, b) in var_var_eqs {
                     match (row.get(*a), row.get(*b)) {
                         (Some(va), None) => {
                             row.set(*b, va);
@@ -182,7 +226,7 @@ pub fn execute_bounded(
         }
         loop {
             let mut changed = false;
-            for (a, b) in &var_var_eqs {
+            for (a, b) in var_var_eqs {
                 let (ba, bb) = (bound[*a as usize], bound[*b as usize]);
                 if ba != bb {
                     bound[*a as usize] = true;
@@ -196,7 +240,7 @@ pub fn execute_bounded(
         }
 
         let atom = &plan.query.atoms[step.atom_index()];
-        let cterms = &compiled[step.atom_index()];
+        let cterms = &compiled.cterms[step.atom_index()];
         let rel_schema = schema.relation(&atom.relation)?;
         let mut next: Vec<Binding> = Vec::new();
 
@@ -330,17 +374,32 @@ pub fn execute_bounded(
         }
         rows = next;
     }
+    Ok(rows)
+}
 
+/// Applies the final equality filter and output projection (phase 3) and
+/// assembles the [`BoundedAnswer`].
+fn finalize(
+    plan: &BoundedPlan,
+    compiled: &CompiledPlan,
+    mut rows: Vec<Binding>,
+    witness_facts: Vec<(String, Tuple)>,
+    accesses: MeterSnapshot,
+) -> Result<BoundedAnswer, CoreError> {
     // Final equality filter (covers equalities between variables bound by
     // different steps).
     rows.retain(|row| {
-        var_var_eqs
+        compiled
+            .var_var_eqs
             .iter()
             .all(|(a, b)| match (row.get(*a), row.get(*b)) {
                 (Some(va), Some(vb)) => va == vb,
                 _ => false,
             })
-            && var_const_eqs.iter().all(|(id, c)| row.get(*id) == Some(*c))
+            && compiled
+                .var_const_eqs
+                .iter()
+                .all(|(id, c)| row.get(*id) == Some(*c))
     });
 
     // Project onto the output variables, deduplicating in derivation order.
@@ -348,7 +407,7 @@ pub fn execute_bounded(
     let output_ids: Vec<VarId> = outputs
         .iter()
         .map(|v| {
-            vars.id_of(v).ok_or_else(|| {
+            compiled.vars.id_of(v).ok_or_else(|| {
                 CoreError::Invariant(format!("output variable `{v}` missing from the plan"))
             })
         })
@@ -361,19 +420,170 @@ pub fn execute_bounded(
         answers.insert(tuple);
     }
 
-    let after = adb.meter_snapshot();
     Ok(BoundedAnswer {
         answers: answers.into_vec(),
         witness: Witness::from_facts(witness_facts),
-        accesses: after.since(&before),
+        accesses,
     })
+}
+
+/// Executes `plan` with the given parameter values over `adb`.
+///
+/// `parameter_values` must supply one value per plan parameter, in order.
+pub fn execute_bounded<A: AccessSource>(
+    plan: &BoundedPlan,
+    parameter_values: &[Value],
+    adb: &A,
+) -> Result<BoundedAnswer, CoreError> {
+    let before = adb.meter_snapshot();
+    let compiled = compile(plan, parameter_values)?;
+    let mut bound = compiled.seed_bound.clone();
+    let mut witness_facts: Vec<(String, Tuple)> = Vec::new();
+    let rows = run_steps(
+        plan,
+        &compiled,
+        &plan.steps,
+        compiled.seed_rows.clone(),
+        &mut bound,
+        adb,
+        &mut witness_facts,
+    )?;
+    let accesses = adb.meter_snapshot().since(&before);
+    finalize(plan, &compiled, rows, witness_facts, accesses)
+}
+
+/// Executes `plan` morsel-style across `workers` threads.
+///
+/// The first step runs once (its probe key is the seed binding — the
+/// parameters); the surviving partial bindings are split into `workers`
+/// contiguous chunks, and each worker runs the remaining steps over its
+/// chunk against its own [`AccessSource`] obtained from `source` — in the
+/// serving layer that is a [`si_access::SnapshotAccess::fork`] over the same
+/// pinned snapshot with a fresh per-worker meter.
+///
+/// Chunking preserves row order and rows never interact across steps, so
+/// the merged answers, witness and access counts are **identical** to
+/// [`execute_bounded`] — parallelism changes wall-clock time only.  With
+/// `workers <= 1`, fewer than two plan steps, or fewer than two surviving
+/// rows, execution stays on the calling thread.
+pub fn execute_bounded_partitioned<A, F>(
+    plan: &BoundedPlan,
+    parameter_values: &[Value],
+    source: F,
+    workers: usize,
+) -> Result<BoundedAnswer, CoreError>
+where
+    A: AccessSource,
+    F: Fn() -> A + Sync,
+{
+    let main = source();
+    if workers <= 1 || plan.steps.len() < 2 {
+        return execute_bounded(plan, parameter_values, &main);
+    }
+    let before = main.meter_snapshot();
+    let compiled = compile(plan, parameter_values)?;
+    let mut bound = compiled.seed_bound.clone();
+    let mut witness_facts: Vec<(String, Tuple)> = Vec::new();
+    let (first, rest) = plan.steps.split_first().expect("checked: >= 2 steps");
+    let rows = run_steps(
+        plan,
+        &compiled,
+        std::slice::from_ref(first),
+        compiled.seed_rows.clone(),
+        &mut bound,
+        &main,
+        &mut witness_facts,
+    )?;
+
+    if rows.len() < 2 {
+        let rows = run_steps(
+            plan,
+            &compiled,
+            rest,
+            rows,
+            &mut bound,
+            &main,
+            &mut witness_facts,
+        )?;
+        let accesses = main.meter_snapshot().since(&before);
+        return finalize(plan, &compiled, rows, witness_facts, accesses);
+    }
+    let mut accesses = main.meter_snapshot().since(&before);
+
+    // Contiguous chunks keep the sequential row order when concatenated.
+    // Workers record witness facts *per step* so the merge can interleave
+    // them step-major (all workers' step-2 facts, then step-3, …) — the
+    // order the sequential executor produces.
+    type WorkerResult = Result<(Vec<Binding>, Vec<Vec<(String, Tuple)>>, MeterSnapshot), CoreError>;
+    let chunk_size = rows.len().div_ceil(workers);
+    let worker_results: Vec<WorkerResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = rows
+            .chunks(chunk_size)
+            .map(|chunk| {
+                let compiled = &compiled;
+                let source = &source;
+                let bound_after_first = bound.clone();
+                scope.spawn(move || {
+                    let src = source();
+                    let before = src.meter_snapshot();
+                    let mut bound = bound_after_first;
+                    let mut chunk_rows = chunk.to_vec();
+                    let mut witness_per_step: Vec<Vec<(String, Tuple)>> =
+                        Vec::with_capacity(rest.len());
+                    // One run_steps call per step: identical semantics to one
+                    // call with the whole slice (rows and boundness thread
+                    // through), but the witness stays step-separable.
+                    for step in rest {
+                        let mut witness: Vec<(String, Tuple)> = Vec::new();
+                        chunk_rows = run_steps(
+                            plan,
+                            compiled,
+                            std::slice::from_ref(step),
+                            chunk_rows,
+                            &mut bound,
+                            &src,
+                            &mut witness,
+                        )?;
+                        witness_per_step.push(witness);
+                    }
+                    Ok((
+                        chunk_rows,
+                        witness_per_step,
+                        src.meter_snapshot().since(&before),
+                    ))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partitioned worker panicked"))
+            .collect()
+    });
+
+    let mut all_rows: Vec<Binding> = Vec::new();
+    let mut witness_by_step: Vec<Vec<Vec<(String, Tuple)>>> = Vec::new();
+    for result in worker_results {
+        let (rows_i, witness_i, accesses_i) = result?;
+        all_rows.extend(rows_i);
+        witness_by_step.push(witness_i);
+        accesses = accesses.plus(&accesses_i);
+    }
+    // Step-major, worker-minor: exactly the sequential append order.
+    for step_index in 0..rest.len() {
+        for worker_witness in &mut witness_by_step {
+            if step_index < worker_witness.len() {
+                witness_facts.append(&mut worker_witness[step_index]);
+            }
+        }
+    }
+    finalize(plan, &compiled, all_rows, witness_facts, accesses)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::bounded::plan::BoundedPlanner;
-    use si_access::{facebook_access_schema, EmbeddedConstraint};
+    use si_access::{facebook_access_schema, AccessIndexedDatabase, EmbeddedConstraint};
     use si_data::schema::{social_schema, social_schema_dated};
     use si_data::{tuple, Database};
     use si_query::{evaluate_cq, parse_cq};
@@ -589,6 +799,135 @@ mod tests {
         let result = execute_bounded(&plan, &[], &adb).unwrap();
         assert!(result.answers.is_empty());
         assert_eq!(result.accesses.tuples_fetched, 0);
+    }
+
+    #[test]
+    fn partitioned_execution_is_bit_identical_to_sequential() {
+        use si_data::SnapshotStore;
+        use std::sync::Arc;
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let planner = BoundedPlanner::new(&schema, &access);
+        let q1 = parse_cq(r#"Q1(p, name) :- friend(p, id), person(id, name, "NYC")"#).unwrap();
+        let plan = planner.plan(&q1, &["p".into()]).unwrap();
+
+        // A database where person 1 has many friends, so the first fetch
+        // yields enough rows for every worker to get a non-trivial chunk.
+        let mut db = Database::empty(schema);
+        for i in 2..200i64 {
+            db.insert("friend", tuple![1, i]).unwrap();
+            let city = if i % 3 == 0 { "NYC" } else { "LA" };
+            db.insert("person", tuple![i, format!("p{i}"), city])
+                .unwrap();
+        }
+        for (relation, attrs) in access.required_indexes() {
+            if !attrs.is_empty() {
+                db.declare_index(&relation, &attrs).unwrap();
+            }
+        }
+        let sequential = {
+            let adb = AccessIndexedDatabase::new(db.clone(), access.clone()).unwrap();
+            execute_bounded(&plan, &[Value::int(1)], &adb).unwrap()
+        };
+
+        let store = SnapshotStore::new(db);
+        let access = Arc::new(access);
+        for workers in [1usize, 2, 3, 4, 8, 64] {
+            let snap = store.pin();
+            let make = || {
+                si_access::SnapshotAccess::<si_data::AccessMeter>::new(snap.clone(), access.clone())
+            };
+            let parallel =
+                execute_bounded_partitioned(&plan, &[Value::int(1)], make, workers).unwrap();
+            // Identical answers *in the same order*, identical witness,
+            // identical access accounting.
+            assert_eq!(parallel.answers, sequential.answers, "workers={workers}");
+            assert_eq!(parallel.witness, sequential.witness, "workers={workers}");
+            assert_eq!(parallel.accesses, sequential.accesses, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn partitioned_three_step_plan_keeps_the_sequential_witness_order() {
+        // Witness facts are appended step-major in sequential execution; a
+        // chunk-major merge would reorder them on plans with 3+ steps (this
+        // is a regression test for exactly that bug).
+        use si_data::SnapshotStore;
+        use std::sync::Arc;
+        let schema = social_schema();
+        let access = facebook_access_schema(5000).with(si_access::AccessConstraint::new(
+            "visit",
+            &["id"],
+            1000,
+            1,
+        ));
+        let planner = BoundedPlanner::new(&schema, &access);
+        let q2 = parse_cq(
+            r#"Q2(p, rn) :- friend(p, id), visit(id, rid), person(id, pn, "NYC"), restr(rid, rn, "NYC", "A")"#,
+        )
+        .unwrap();
+        let plan = planner.plan(&q2, &["p".into()]).unwrap();
+        assert!(plan.steps.len() >= 3, "Q2 must exercise a multi-step tail");
+
+        let mut db = Database::empty(schema);
+        for i in 2..120i64 {
+            db.insert("friend", tuple![1, i]).unwrap();
+            let city = if i % 2 == 0 { "NYC" } else { "LA" };
+            db.insert("person", tuple![i, format!("p{i}"), city])
+                .unwrap();
+            db.insert("visit", tuple![i, 1000 + i % 7]).unwrap();
+        }
+        for r in 0..7i64 {
+            let rating = if r % 2 == 0 { "A" } else { "B" };
+            db.insert("restr", tuple![1000 + r, format!("r{r}"), "NYC", rating])
+                .unwrap();
+        }
+        for (relation, attrs) in access.required_indexes() {
+            if !attrs.is_empty() {
+                db.declare_index(&relation, &attrs).unwrap();
+            }
+        }
+        let sequential = {
+            let adb = AccessIndexedDatabase::new(db.clone(), access.clone()).unwrap();
+            execute_bounded(&plan, &[Value::int(1)], &adb).unwrap()
+        };
+        assert!(!sequential.answers.is_empty());
+
+        let store = SnapshotStore::new(db);
+        let access = Arc::new(access);
+        let snap = store.pin();
+        for workers in [2usize, 3, 4, 8] {
+            let make = || {
+                si_access::SnapshotAccess::<si_data::AccessMeter>::new(snap.clone(), access.clone())
+            };
+            let parallel =
+                execute_bounded_partitioned(&plan, &[Value::int(1)], make, workers).unwrap();
+            assert_eq!(parallel.answers, sequential.answers, "workers={workers}");
+            assert_eq!(parallel.witness, sequential.witness, "workers={workers}");
+            assert_eq!(parallel.accesses, sequential.accesses, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn partitioned_execution_handles_empty_and_tiny_row_sets() {
+        use si_data::SnapshotStore;
+        use std::sync::Arc;
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let planner = BoundedPlanner::new(&schema, &access);
+        let q1 = parse_cq(r#"Q1(p, name) :- friend(p, id), person(id, name, "NYC")"#).unwrap();
+        let plan = planner.plan(&q1, &["p".into()]).unwrap();
+        let store = SnapshotStore::new(social_db());
+        let access = Arc::new(access);
+        let snap = store.pin();
+        let make =
+            || si_access::SnapshotAccess::<si_data::AccessMeter>::new(snap.clone(), access.clone());
+        // Person 4 has no outgoing friends: first fetch yields zero rows.
+        let empty = execute_bounded_partitioned(&plan, &[Value::int(4)], make, 4).unwrap();
+        assert!(empty.answers.is_empty());
+        // Person 2 has exactly one friend: single-row fast path.
+        let one = execute_bounded_partitioned(&plan, &[Value::int(2)], make, 4).unwrap();
+        assert_eq!(one.answers, vec![tuple!["dan"]]);
     }
 
     #[test]

@@ -9,6 +9,6 @@ pub mod naive;
 pub mod plan;
 
 pub use costplan::{CostBasedPlanner, CostedPlan};
-pub use exec::{execute_bounded, BoundedAnswer};
+pub use exec::{execute_bounded, execute_bounded_partitioned, BoundedAnswer};
 pub use naive::execute_naive;
 pub use plan::{BoundedPlan, BoundedPlanner, PlanStep};

@@ -173,6 +173,22 @@ impl Database {
     pub fn statistics(&self) -> crate::stats::DatabaseStats {
         crate::stats::DatabaseStats::collect(self)
     }
+
+    /// Decomposes the instance into its schema and relation map (used by
+    /// [`crate::snapshot::DatabaseSnapshot`] to take ownership of the
+    /// relations without cloning them).
+    pub(crate) fn into_parts(self) -> (DatabaseSchema, BTreeMap<String, Relation>) {
+        (self.schema, self.relations)
+    }
+
+    /// Reassembles an instance from parts produced by [`Database::into_parts`]
+    /// (or rebuilt relation-wise, as a snapshot materialisation does).
+    pub(crate) fn from_parts(
+        schema: DatabaseSchema,
+        relations: BTreeMap<String, Relation>,
+    ) -> Self {
+        Database { schema, relations }
+    }
 }
 
 impl fmt::Display for Database {

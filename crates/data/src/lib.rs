@@ -37,8 +37,13 @@
 //! * [`stats`] — per-relation row counts and per-column distinct counts, the
 //!   statistics that drive the cost-based planner in `si-core`,
 //! * [`Delta`] — insert/delete updates `∆D = (∆D, ∇D)` as used in Section 5,
-//! * [`AccessMeter`] — a deterministic counter of tuples fetched, used by all
-//!   experiments to measure the quantity that scale independence bounds.
+//! * [`snapshot`] — epoch-versioned, copy-on-write [`DatabaseSnapshot`]s and
+//!   the [`SnapshotStore`] (pinning readers, one committing writer), the
+//!   storage contract of the `si-engine` concurrent serving layer,
+//! * [`meter`] — deterministic counters of tuples fetched ([`MeterSink`],
+//!   with the single-threaded [`AccessMeter`] and the atomic
+//!   [`SharedMeter`]), used by all experiments to measure the quantity that
+//!   scale independence bounds.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,6 +57,7 @@ pub mod meter;
 pub mod ordset;
 pub mod relation;
 pub mod schema;
+pub mod snapshot;
 pub mod stats;
 pub mod tuple;
 pub mod value;
@@ -61,13 +67,44 @@ pub use delta::{Delta, RelationDelta};
 pub use error::DataError;
 pub use index::{HashIndex, IndexPool};
 pub use intern::{interner, Symbol, SymbolInterner};
-pub use meter::{AccessMeter, MeterSnapshot};
+pub use meter::{AccessMeter, MeterSink, MeterSnapshot, SharedMeter};
 pub use ordset::TupleSet;
 pub use relation::Relation;
 pub use schema::{DatabaseSchema, RelationSchema};
+pub use snapshot::{DatabaseSnapshot, SnapshotStore};
 pub use stats::{DatabaseStats, RelationStats};
 pub use tuple::Tuple;
 pub use value::Value;
 
 /// Convenience result alias for fallible operations in this crate.
 pub type Result<T> = std::result::Result<T, DataError>;
+
+/// Compile-time thread-safety audit.
+///
+/// The concurrent serving layer shares these types across worker threads
+/// (snapshots by `Arc`, relations inside them, values and tuples by copy).
+/// A future regression that sneaks an `Rc`/`Cell` into any of them must fail
+/// to *compile*, not surface as a distant trait-bound error in `si-engine` —
+/// hence these static assertions live next to the type definitions.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<Value>();
+    assert_send_sync::<Symbol>();
+    assert_send_sync::<Tuple>();
+    assert_send_sync::<TupleSet>();
+    assert_send_sync::<HashIndex>();
+    assert_send_sync::<IndexPool>();
+    assert_send_sync::<Relation>();
+    assert_send_sync::<Database>();
+    assert_send_sync::<DatabaseSchema>();
+    assert_send_sync::<Delta>();
+    assert_send_sync::<DatabaseStats>();
+    assert_send_sync::<DatabaseSnapshot>();
+    assert_send_sync::<SnapshotStore>();
+    assert_send_sync::<SharedMeter>();
+    assert_send_sync::<MeterSnapshot>();
+    // AccessMeter is deliberately *not* Sync (Cell-based fast path); it only
+    // needs to move with its worker thread.
+    const fn assert_send<T: Send>() {}
+    assert_send::<AccessMeter>();
+};

@@ -2,13 +2,46 @@
 //!
 //! Scale independence is defined in terms of *how many tuples of the base
 //! data are accessed*, not wall-clock time.  Every retrieval path in the
-//! workspace (indexed fetches, full scans, naive evaluation) reports to an
-//! [`AccessMeter`], so that experiments can verify claims such as
+//! workspace (indexed fetches, full scans, naive evaluation) reports to a
+//! [`MeterSink`], so that experiments can verify claims such as
 //! "`Q(D)` was computed by fetching at most `M` tuples of `D`" exactly,
 //! independent of machine speed.
+//!
+//! Two sinks are provided:
+//!
+//! * [`AccessMeter`] — `Cell`-based, the cheapest possible counters for
+//!   single-threaded evaluation (deliberately `!Sync`);
+//! * [`SharedMeter`] — `AtomicU64`-based and `Sync`, for aggregating counts
+//!   across the worker threads of the `si-engine` serving layer.  Workers
+//!   keep charging a thread-local [`AccessMeter`] on the hot path and fold
+//!   the result into a `SharedMeter` once per request
+//!   ([`SharedMeter::merge`]), so the atomics never sit on a fetch loop.
 
 use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The interface every retrieval path charges its access counts to.
+///
+/// All methods take `&self`: sinks use interior mutability (`Cell` for the
+/// single-threaded [`AccessMeter`], atomics for the thread-safe
+/// [`SharedMeter`]) so that a sink can be shared immutably between an
+/// executor and the storage layer it drives.  The trait is object safe —
+/// generic retrieval code can hold a `&dyn MeterSink`.
+pub trait MeterSink {
+    /// Records that `n` base tuples were fetched.
+    fn add_tuples(&self, n: u64);
+    /// Records one index probe.
+    fn add_probe(&self);
+    /// Records one full relation scan.
+    fn add_scan(&self);
+    /// Charges `t` abstract time units.
+    fn add_time(&self, t: u64);
+    /// Takes an immutable snapshot of the counters.
+    fn snapshot(&self) -> MeterSnapshot;
+    /// Resets every counter to zero.
+    fn reset(&self);
+}
 
 /// Counters describing how much of the base data an evaluation touched.
 ///
@@ -101,6 +134,112 @@ impl AccessMeter {
     }
 }
 
+impl MeterSink for AccessMeter {
+    fn add_tuples(&self, n: u64) {
+        AccessMeter::add_tuples(self, n)
+    }
+    fn add_probe(&self) {
+        AccessMeter::add_probe(self)
+    }
+    fn add_scan(&self) {
+        AccessMeter::add_scan(self)
+    }
+    fn add_time(&self, t: u64) {
+        AccessMeter::add_time(self, t)
+    }
+    fn snapshot(&self) -> MeterSnapshot {
+        AccessMeter::snapshot(self)
+    }
+    fn reset(&self) {
+        AccessMeter::reset(self)
+    }
+}
+
+/// A thread-safe meter: the same counters as [`AccessMeter`], kept in
+/// `AtomicU64`s so that per-worker counts aggregate without locks.
+///
+/// Per-counter increments are lock-free `fetch_add`s with relaxed ordering —
+/// the counters are statistics, not synchronisation points.  The intended
+/// pattern for hot loops is still a thread-local [`AccessMeter`] per worker,
+/// folded in once per unit of work via [`SharedMeter::merge`].
+#[derive(Debug, Default)]
+pub struct SharedMeter {
+    tuples_fetched: AtomicU64,
+    index_probes: AtomicU64,
+    full_scans: AtomicU64,
+    time_units: AtomicU64,
+}
+
+impl SharedMeter {
+    /// Creates a shared meter with all counters at zero.
+    pub fn new() -> Self {
+        SharedMeter::default()
+    }
+
+    /// Adds an already-aggregated snapshot (e.g. a worker's per-request
+    /// [`AccessMeter`] delta) into the shared counters: four atomic adds
+    /// instead of one per fetch.
+    pub fn merge(&self, delta: &MeterSnapshot) {
+        self.tuples_fetched
+            .fetch_add(delta.tuples_fetched, Ordering::Relaxed);
+        self.index_probes
+            .fetch_add(delta.index_probes, Ordering::Relaxed);
+        self.full_scans
+            .fetch_add(delta.full_scans, Ordering::Relaxed);
+        self.time_units
+            .fetch_add(delta.time_units, Ordering::Relaxed);
+    }
+
+    /// Number of base tuples fetched so far.
+    pub fn tuples_fetched(&self) -> u64 {
+        self.tuples_fetched.load(Ordering::Relaxed)
+    }
+
+    /// Number of index probes so far.
+    pub fn index_probes(&self) -> u64 {
+        self.index_probes.load(Ordering::Relaxed)
+    }
+
+    /// Number of full scans so far.
+    pub fn full_scans(&self) -> u64 {
+        self.full_scans.load(Ordering::Relaxed)
+    }
+
+    /// Abstract time units charged so far.
+    pub fn time_units(&self) -> u64 {
+        self.time_units.load(Ordering::Relaxed)
+    }
+}
+
+impl MeterSink for SharedMeter {
+    fn add_tuples(&self, n: u64) {
+        self.tuples_fetched.fetch_add(n, Ordering::Relaxed);
+    }
+    fn add_probe(&self) {
+        self.index_probes.fetch_add(1, Ordering::Relaxed);
+    }
+    fn add_scan(&self) {
+        self.full_scans.fetch_add(1, Ordering::Relaxed);
+    }
+    fn add_time(&self, t: u64) {
+        self.time_units.fetch_add(t, Ordering::Relaxed);
+    }
+    fn snapshot(&self) -> MeterSnapshot {
+        MeterSnapshot {
+            tuples_fetched: self.tuples_fetched(),
+            index_probes: self.index_probes(),
+            full_scans: self.full_scans(),
+            time_units: self.time_units(),
+        }
+    }
+    fn reset(&self) {
+        self.tuples_fetched.store(0, Ordering::Relaxed);
+        self.index_probes.store(0, Ordering::Relaxed);
+        self.full_scans.store(0, Ordering::Relaxed);
+        self.time_units.store(0, Ordering::Relaxed);
+    }
+}
+
 impl fmt::Display for MeterSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -120,6 +259,17 @@ impl MeterSnapshot {
             index_probes: self.index_probes - earlier.index_probes,
             full_scans: self.full_scans - earlier.full_scans,
             time_units: self.time_units - earlier.time_units,
+        }
+    }
+
+    /// Component-wise sum, used to aggregate the per-worker deltas of a
+    /// partitioned execution into one access-cost report.
+    pub fn plus(&self, other: &MeterSnapshot) -> MeterSnapshot {
+        MeterSnapshot {
+            tuples_fetched: self.tuples_fetched + other.tuples_fetched,
+            index_probes: self.index_probes + other.index_probes,
+            full_scans: self.full_scans + other.full_scans,
+            time_units: self.time_units + other.time_units,
         }
     }
 }
@@ -176,6 +326,57 @@ mod tests {
         r1.add_tuples(1);
         r2.add_tuples(1);
         assert_eq!(m.tuples_fetched(), 2);
+    }
+
+    #[test]
+    fn shared_meter_aggregates_across_threads() {
+        let shared = SharedMeter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    // Hot path: a thread-local Cell meter…
+                    let local = AccessMeter::new();
+                    for _ in 0..100 {
+                        local.add_tuples(2);
+                        local.add_probe();
+                    }
+                    local.add_time(5);
+                    // …folded into the shared sink once.
+                    shared.merge(&MeterSink::snapshot(&local));
+                });
+            }
+        });
+        assert_eq!(shared.tuples_fetched(), 800);
+        assert_eq!(shared.index_probes(), 400);
+        assert_eq!(shared.time_units(), 20);
+        assert_eq!(shared.full_scans(), 0);
+    }
+
+    #[test]
+    fn shared_meter_implements_the_sink_directly() {
+        let shared = SharedMeter::new();
+        let sink: &dyn MeterSink = &shared;
+        sink.add_tuples(3);
+        sink.add_probe();
+        sink.add_scan();
+        sink.add_time(2);
+        let snap = sink.snapshot();
+        assert_eq!(snap.tuples_fetched, 3);
+        assert_eq!(snap.index_probes, 1);
+        assert_eq!(snap.full_scans, 1);
+        assert_eq!(snap.time_units, 2);
+        sink.reset();
+        assert_eq!(sink.snapshot(), MeterSnapshot::default());
+    }
+
+    #[test]
+    fn access_meter_serves_as_a_dyn_sink() {
+        let m = AccessMeter::new();
+        let sink: &dyn MeterSink = &m;
+        sink.add_tuples(4);
+        sink.add_time(1);
+        assert_eq!(m.tuples_fetched(), 4);
+        assert_eq!(sink.snapshot().time_units, 1);
     }
 
     #[test]

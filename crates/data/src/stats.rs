@@ -104,8 +104,14 @@ pub struct DatabaseStats {
 impl DatabaseStats {
     /// Collects statistics for every relation of `db` in one pass each.
     pub fn collect(db: &Database) -> Self {
-        let relations = db
-            .relations()
+        Self::collect_relations(db.relations())
+    }
+
+    /// Collects statistics from an iterator of relations — the entry point
+    /// shared by [`Database::statistics`] and the versioned
+    /// [`crate::snapshot::DatabaseSnapshot::statistics`].
+    pub fn collect_relations<'a>(relations: impl Iterator<Item = &'a Relation>) -> Self {
+        let relations = relations
             .map(|r| (r.name().to_owned(), RelationStats::collect(r)))
             .collect();
         DatabaseStats { relations }
@@ -124,6 +130,23 @@ impl DatabaseStats {
     /// Total number of tuples across relations (`|D|` as sampled).
     pub fn total_rows(&self) -> usize {
         self.relations.values().map(|s| s.rows).sum()
+    }
+
+    /// How far the live row counts have drifted from this snapshot: the
+    /// maximum over relations of `|len − rows| / max(rows, 1)`.
+    ///
+    /// This is the cheap staleness signal the `si-engine` plan cache uses to
+    /// decide when to re-collect statistics and invalidate prepared plans —
+    /// it reads only relation lengths, never scans tuples.  Relations absent
+    /// from the snapshot count with `rows = 0`.
+    pub fn max_relative_row_drift<'a>(&self, relations: impl Iterator<Item = &'a Relation>) -> f64 {
+        let mut drift = 0.0f64;
+        for r in relations {
+            let sampled = self.relation(r.name()).map(|s| s.rows).unwrap_or(0);
+            let delta = r.len().abs_diff(sampled) as f64;
+            drift = drift.max(delta / sampled.max(1) as f64);
+        }
+        drift
     }
 }
 

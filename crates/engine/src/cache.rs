@@ -1,0 +1,193 @@
+//! The prepared-plan cache: one [`CostBasedPlanner`](si_core::CostBasedPlanner)
+//! output per (query shape, statistics epoch).
+//!
+//! Planning a conjunctive query is a subset-DP over its atoms — cheap in
+//! absolute terms but easily dominating a bounded execution that fetches a
+//! handful of tuples.  The cache keys plans by the canonical
+//! [`ShapeKey`] so alpha-equivalent requests share
+//! one plan, and stamps every entry with the **statistics epoch** it was
+//! planned under.  When the engine decides its statistics have drifted too
+//! far (see [`EngineConfig::stats_drift_threshold`](crate::EngineConfig)),
+//! it bumps the epoch; stale entries then miss and are re-planned lazily
+//! against the fresh statistics — plan *choice* refreshes, while answer
+//! correctness never depended on the statistics in the first place.
+//!
+//! Eviction is FIFO at a fixed capacity: shape populations are small and
+//! stable in a serving workload, so recency tracking would buy nothing over
+//! the simpler order queue.
+
+use crate::shape::ShapeKey;
+use si_core::BoundedPlan;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One cached prepared plan.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// The plan, shared with every request executing it.
+    pub plan: Arc<BoundedPlan>,
+    /// The statistics epoch the plan was ranked under.
+    pub stats_epoch: u64,
+    /// The planner's expected tuples fetched per execution (evidence, not a
+    /// bound).
+    pub estimated_tuples: f64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<ShapeKey, CachedPlan>,
+    /// Insertion order, for FIFO eviction.
+    order: VecDeque<ShapeKey>,
+}
+
+/// A concurrent shape → plan cache with epoch invalidation.
+#[derive(Debug)]
+pub struct PlanCache {
+    inner: RwLock<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            inner: RwLock::new(CacheInner::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up the plan for `key`, provided it was planned under
+    /// `stats_epoch`.  A stale entry counts as a miss (the caller re-plans
+    /// and overwrites it).
+    pub fn get(&self, key: &str, stats_epoch: u64) -> Option<CachedPlan> {
+        let inner = self.inner.read().expect("plan cache poisoned");
+        match inner.map.get(key) {
+            Some(cached) if cached.stats_epoch == stats_epoch => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(cached.clone())
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) the plan for `key`, evicting the oldest shape
+    /// when the cache is full.
+    pub fn insert(&self, key: ShapeKey, plan: CachedPlan) {
+        let mut inner = self.inner.write().expect("plan cache poisoned");
+        if inner.map.insert(key.clone(), plan).is_none() {
+            inner.order.push_back(key);
+            while inner.map.len() > self.capacity {
+                if let Some(oldest) = inner.order.pop_front() {
+                    inner.map.remove(&oldest);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Number of cached shapes.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("plan cache poisoned").map.len()
+    }
+
+    /// True iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that required (re-)planning so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_access::facebook_access_schema;
+    use si_core::BoundedPlanner;
+    use si_data::schema::social_schema;
+    use si_query::parse_cq;
+
+    fn some_plan() -> Arc<BoundedPlan> {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let q = parse_cq(r#"Q1(p, name) :- friend(p, id), person(id, name, "NYC")"#).unwrap();
+        Arc::new(
+            BoundedPlanner::new(&schema, &access)
+                .plan(&q, &["p".into()])
+                .unwrap(),
+        )
+    }
+
+    fn entry(epoch: u64) -> CachedPlan {
+        CachedPlan {
+            plan: some_plan(),
+            stats_epoch: epoch,
+            estimated_tuples: 1.0,
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_epoch_invalidation() {
+        let cache = PlanCache::new(8);
+        assert!(cache.get("k", 0).is_none());
+        cache.insert("k".into(), entry(0));
+        assert!(cache.get("k", 0).is_some());
+        // Epoch bump invalidates.
+        assert!(cache.get("k", 1).is_none());
+        // Re-planning under the new epoch overwrites in place.
+        cache.insert("k".into(), entry(1));
+        assert!(cache.get("k", 1).is_some());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let cache = PlanCache::new(2);
+        cache.insert("a".into(), entry(0));
+        cache.insert("b".into(), entry(0));
+        cache.insert("c".into(), entry(0));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a", 0).is_none(), "oldest shape evicted");
+        assert!(cache.get("b", 0).is_some());
+        assert!(cache.get("c", 0).is_some());
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let cache = PlanCache::new(64);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let key = format!("shape-{}", (t + i) % 8);
+                        if cache.get(&key, 0).is_none() {
+                            cache.insert(key, entry(0));
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 8);
+        assert!(cache.hits() + cache.misses() == 200);
+    }
+}

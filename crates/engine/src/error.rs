@@ -1,0 +1,118 @@
+//! Error type of the serving layer.
+
+use si_core::CoreError;
+use si_data::DataError;
+use std::fmt;
+
+/// Errors raised by the query-serving engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Propagated planner/executor error.
+    Core(CoreError),
+    /// Propagated storage error (snapshot commits, bad deltas, …).
+    Data(DataError),
+    /// Admission control rejected the request: every bounded plan's
+    /// worst-case fetch count exceeds the engine's fetch budget.  This is the
+    /// paper's boundedness guarantee used as a *load-shedding* signal — an
+    /// unbounded (or too-expensive) query is turned away before it touches
+    /// the data.
+    RejectedByBudget {
+        /// The engine's per-request worst-case fetch budget.
+        budget: u64,
+        /// The cheapest worst case among the plans found.
+        cheapest: u64,
+    },
+    /// Load shed: the submission queue is at capacity.
+    Overloaded {
+        /// Requests pending when the submission was refused.
+        queued: usize,
+        /// The configured queue capacity.
+        max_queue: usize,
+    },
+    /// The request supplies the wrong number of parameter values.
+    ParameterArity {
+        /// Parameters the query declares.
+        expected: usize,
+        /// Values the request supplied.
+        actual: usize,
+    },
+    /// The engine's worker pool has shut down.
+    ShuttingDown,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Core(e) => write!(f, "{e}"),
+            EngineError::Data(e) => write!(f, "{e}"),
+            EngineError::RejectedByBudget { budget, cheapest } => write!(
+                f,
+                "admission control rejected the request: cheapest plan fetches ≤{cheapest} tuples, budget is {budget}"
+            ),
+            EngineError::Overloaded { queued, max_queue } => write!(
+                f,
+                "engine overloaded: {queued} requests queued (capacity {max_queue})"
+            ),
+            EngineError::ParameterArity { expected, actual } => write!(
+                f,
+                "request supplies {actual} parameter values, query declares {expected}"
+            ),
+            EngineError::ShuttingDown => write!(f, "engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Core(e) => Some(e),
+            EngineError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for EngineError {
+    fn from(e: CoreError) -> Self {
+        EngineError::Core(e)
+    }
+}
+
+impl From<DataError> for EngineError {
+    fn from(e: DataError) -> Self {
+        EngineError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: EngineError = CoreError::Unsupported("agg".into()).into();
+        assert!(e.to_string().contains("agg"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: EngineError = DataError::UnknownRelation("r".into()).into();
+        assert!(e.to_string().contains("unknown relation"));
+        let e = EngineError::RejectedByBudget {
+            budget: 10,
+            cheapest: 20,
+        };
+        assert!(e.to_string().contains("budget is 10"));
+        assert!(std::error::Error::source(&e).is_none());
+        assert!(EngineError::Overloaded {
+            queued: 5,
+            max_queue: 4
+        }
+        .to_string()
+        .contains("capacity 4"));
+        assert!(EngineError::ParameterArity {
+            expected: 2,
+            actual: 1
+        }
+        .to_string()
+        .contains("declares 2"));
+        assert!(EngineError::ShuttingDown.to_string().contains("shutting"));
+    }
+}

@@ -1,0 +1,697 @@
+//! # `si-engine` — concurrent query serving over bounded plans
+//!
+//! The paper's bounded-evaluation guarantee (*"On Scale Independence for
+//! Querying Big Data"*, Fan, Geerts, Libkin, PODS 2014) says a controlled
+//! query answers by fetching a small, data-independent fraction of `D`.
+//! This crate turns that guarantee into *throughput*: if each request
+//! touches a bounded handful of tuples, many requests can be served
+//! concurrently from shared, immutable snapshots — and requests whose bound
+//! is too large can be refused up front.
+//!
+//! A request travels **admit → plan-cache → snapshot → execute → merge**:
+//!
+//! 1. **Admission control** — the query is canonicalized
+//!    ([`shape`]) and planned (or fetched from the plan cache); a plan whose
+//!    worst-case fetch count exceeds [`EngineConfig::fetch_budget`] is
+//!    rejected ([`EngineError::RejectedByBudget`]) before touching data, and
+//!    submissions beyond [`EngineConfig::max_queue`] are shed
+//!    ([`EngineError::Overloaded`]).
+//! 2. **Prepared plans** — [`cache::PlanCache`] keys
+//!    [`CostBasedPlanner`](si_core::CostBasedPlanner) output by
+//!    (query shape, statistics epoch); commits that drift the statistics
+//!    past [`EngineConfig::stats_drift_threshold`] bump the epoch and plans
+//!    re-rank lazily.
+//! 3. **Snapshot isolation** — every execution pins an epoch-versioned
+//!    [`DatabaseSnapshot`]; a single writer
+//!    commits [`Delta`]s copy-on-write at relation granularity
+//!    ([`si_data::SnapshotStore`]), so readers never block and never see a
+//!    torn instance.
+//! 4. **Parallel bounded execution** — a fixed worker pool (hand-rolled
+//!    on `std::thread` + mpsc) serves requests concurrently;
+//!    within a request, [`execute_bounded_partitioned`](si_core) can fan the
+//!    first fetch's surviving rows out morsel-style
+//!    ([`EngineConfig::shards_per_query`]) with per-worker
+//!    [`AccessMeter`]s aggregated into the engine's
+//!    [`SharedMeter`].
+//!
+//! ```
+//! use si_engine::{Engine, EngineConfig, Request};
+//! use si_workload::{SocialConfig, SocialGenerator};
+//! use si_data::Value;
+//!
+//! let db = SocialGenerator::new(SocialConfig::with_persons(200)).generate();
+//! let access = si_workload::serving_access_schema(5000);
+//! let engine = Engine::new(db, access, EngineConfig::default()).unwrap();
+//!
+//! let request = Request::new(si_workload::q1(), vec!["p".into()], vec![Value::int(7)]);
+//! let first = engine.execute(&request).unwrap();
+//! let second = engine.execute(&request).unwrap();
+//! assert!(!first.cache_hit && second.cache_hit);
+//! assert_eq!(first.answers, second.answers);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod error;
+mod pool;
+pub mod shape;
+
+pub use cache::{CachedPlan, PlanCache};
+pub use error::EngineError;
+pub use shape::{canonicalize, CanonicalQuery, ShapeKey};
+
+use si_access::{AccessSchema, SnapshotAccess};
+use si_core::bounded::{execute_bounded, execute_bounded_partitioned};
+use si_core::CoreError;
+use si_data::{
+    AccessMeter, Database, DatabaseSnapshot, Delta, MeterSink, MeterSnapshot, SharedMeter,
+    SnapshotStore, Tuple, Value,
+};
+use si_query::{ConjunctiveQuery, Var};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, RwLock};
+use std::time::{Duration, Instant};
+
+/// Convenience result alias for fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Tuning knobs of the serving engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Worker threads in the serving pool (≥ 1); requests submitted through
+    /// [`Engine::submit`] are executed by these threads.
+    pub workers: usize,
+    /// Morsel width *within* one execution: the first fetch's surviving rows
+    /// are split across this many threads (1 = stay on the serving thread,
+    /// which is right for short bounded plans).
+    pub shards_per_query: usize,
+    /// Admission budget: reject any request whose cheapest bounded plan has
+    /// a worst-case fetch count above this (`None` = admit everything
+    /// plannable).
+    pub fetch_budget: Option<u64>,
+    /// Load-shedding bound on requests queued in the pool (0 = unbounded).
+    pub max_queue: usize,
+    /// Re-collect statistics (and invalidate cached plans) when some
+    /// relation's row count drifts by more than this fraction since the last
+    /// collection.
+    pub stats_drift_threshold: f64,
+    /// Maximum number of cached plan shapes.
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 4,
+            shards_per_query: 1,
+            fetch_budget: None,
+            max_queue: 1024,
+            stats_drift_threshold: 0.2,
+            plan_cache_capacity: 256,
+        }
+    }
+}
+
+/// One prepared-query request: the query template, its parameter variables,
+/// and this invocation's parameter values (one per parameter, in order).
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The conjunctive query template.
+    pub query: ConjunctiveQuery,
+    /// The parameter variables bound at execution time (the paper's `x̄`).
+    pub parameters: Vec<Var>,
+    /// The values for `parameters`, in order.
+    pub values: Vec<Value>,
+}
+
+impl Request {
+    /// Bundles a request.
+    pub fn new(query: ConjunctiveQuery, parameters: Vec<Var>, values: Vec<Value>) -> Self {
+        Request {
+            query,
+            parameters,
+            values,
+        }
+    }
+}
+
+/// The answer to a served request, with its provenance.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The answer tuples (identical to single-threaded evaluation of the
+    /// query on the pinned snapshot version).
+    pub answers: Vec<Tuple>,
+    /// Exact access cost of this execution (summed across shards).
+    pub accesses: MeterSnapshot,
+    /// The snapshot epoch the request executed against.
+    pub epoch: u64,
+    /// True when the plan came from the prepared-plan cache.
+    pub cache_hit: bool,
+    /// The plan's data-independent worst-case cost (what admission checked).
+    pub static_cost: si_access::StaticCost,
+    /// Wall-clock service time (planning + execution, excluding queueing).
+    pub service: Duration,
+}
+
+/// A point-in-time view of the engine's counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineMetrics {
+    /// Requests that entered `serve` (admitted or rejected there).
+    pub requests: u64,
+    /// Plan-cache hits.
+    pub cache_hits: u64,
+    /// Plan-cache misses (including stats-epoch invalidations).
+    pub cache_misses: u64,
+    /// Requests rejected by the fetch-budget admission check.
+    pub rejected_by_budget: u64,
+    /// Submissions shed because the queue was full.
+    pub shed_overload: u64,
+    /// Deltas committed.
+    pub commits: u64,
+    /// Statistics re-collections triggered by drift.
+    pub stats_refreshes: u64,
+    /// Current statistics epoch.
+    pub stats_epoch: u64,
+    /// Current snapshot epoch.
+    pub snapshot_epoch: u64,
+    /// Total access counts merged from every served request.
+    pub accesses: MeterSnapshot,
+}
+
+/// Statistics snapshot + the epoch the plan cache keys against.
+#[derive(Debug)]
+struct StatsEpoch {
+    stats: Arc<si_data::DatabaseStats>,
+    epoch: u64,
+}
+
+/// Engine state shared between the public handle and the pool workers.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    config: EngineConfig,
+    access: Arc<AccessSchema>,
+    store: SnapshotStore,
+    cache: PlanCache,
+    stats: RwLock<StatsEpoch>,
+    meter: SharedMeter,
+    requests: AtomicU64,
+    rejected_by_budget: AtomicU64,
+    shed_overload: AtomicU64,
+    commits: AtomicU64,
+    stats_refreshes: AtomicU64,
+    pub(crate) queued: AtomicUsize,
+}
+
+impl Shared {
+    /// Serves one request against the *current* snapshot.
+    pub(crate) fn serve(&self, request: &Request) -> Result<QueryResponse> {
+        let snapshot = self.store.pin();
+        self.serve_at(&snapshot, request)
+    }
+
+    /// Serves one request against a caller-pinned snapshot version.
+    fn serve_at(
+        &self,
+        snapshot: &Arc<DatabaseSnapshot>,
+        request: &Request,
+    ) -> Result<QueryResponse> {
+        let start = Instant::now();
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if request.values.len() != request.parameters.len() {
+            return Err(EngineError::ParameterArity {
+                expected: request.parameters.len(),
+                actual: request.values.len(),
+            });
+        }
+
+        // Admit + plan (possibly from cache).
+        let (cached, cache_hit) = self.plan_for(snapshot, request)?;
+
+        // Execute on the pinned version, morsel-parallel when configured.
+        let result = if self.config.shards_per_query > 1 {
+            let make = || {
+                SnapshotAccess::<AccessMeter>::new(Arc::clone(snapshot), Arc::clone(&self.access))
+            };
+            execute_bounded_partitioned(
+                &cached.plan,
+                &request.values,
+                make,
+                self.config.shards_per_query,
+            )?
+        } else {
+            let view =
+                SnapshotAccess::<AccessMeter>::new(Arc::clone(snapshot), Arc::clone(&self.access));
+            execute_bounded(&cached.plan, &request.values, &view)?
+        };
+
+        // Merge this request's access counts into the engine meter (four
+        // atomic adds — the fetch loops themselves charged Cell meters).
+        self.meter.merge(&result.accesses);
+
+        Ok(QueryResponse {
+            answers: result.answers,
+            accesses: result.accesses,
+            epoch: snapshot.epoch(),
+            cache_hit,
+            static_cost: cached.plan.static_cost(),
+            service: start.elapsed(),
+        })
+    }
+
+    /// Plan-cache lookup with admission control; plans on miss.
+    fn plan_for(
+        &self,
+        snapshot: &DatabaseSnapshot,
+        request: &Request,
+    ) -> Result<(CachedPlan, bool)> {
+        let canonical = canonicalize(&request.query, &request.parameters);
+        let (stats, stats_epoch) = {
+            let guard = self.stats.read().expect("stats lock poisoned");
+            (Arc::clone(&guard.stats), guard.epoch)
+        };
+
+        if let Some(hit) = self.cache.get(&canonical.key, stats_epoch) {
+            // Defensive re-check: every cached plan was admitted when it was
+            // planned, but the check is two integer compares.
+            if let Some(budget) = self.config.fetch_budget {
+                let cheapest = hit.plan.static_cost().max_tuples;
+                if cheapest > budget {
+                    self.rejected_by_budget.fetch_add(1, Ordering::Relaxed);
+                    return Err(EngineError::RejectedByBudget { budget, cheapest });
+                }
+            }
+            return Ok((hit, true));
+        }
+
+        let planner = si_core::CostBasedPlanner::new(snapshot.schema(), &self.access, &stats);
+        let costed = planner
+            .plan_costed(
+                &canonical.query,
+                &canonical.parameters,
+                self.config.fetch_budget,
+            )
+            .map_err(|e| match e {
+                CoreError::FetchBudgetExceeded { budget, cheapest } => {
+                    self.rejected_by_budget.fetch_add(1, Ordering::Relaxed);
+                    EngineError::RejectedByBudget { budget, cheapest }
+                }
+                other => EngineError::Core(other),
+            })?;
+        let cached = CachedPlan {
+            plan: Arc::new(costed.plan),
+            stats_epoch,
+            estimated_tuples: costed.estimated_tuples,
+        };
+        self.cache.insert(canonical.key, cached.clone());
+        Ok((cached, false))
+    }
+
+    /// Commits a delta; re-collects statistics when row counts drifted.
+    fn commit(&self, delta: &Delta) -> Result<u64> {
+        let snapshot = self.store.commit(delta)?;
+        self.commits.fetch_add(1, Ordering::Relaxed);
+
+        // Cheap drift probe: row counts only, no tuple scan.
+        let drifted = {
+            let guard = self.stats.read().expect("stats lock poisoned");
+            guard.stats.max_relative_row_drift(snapshot.relations())
+                > self.config.stats_drift_threshold
+        };
+        if drifted {
+            // Full re-collection outside any lock; concurrent committers may
+            // both re-collect (each bumps the epoch — harmless, plans just
+            // refresh lazily against whichever snapshot won).
+            let fresh = Arc::new(snapshot.statistics());
+            let mut guard = self.stats.write().expect("stats lock poisoned");
+            guard.stats = fresh;
+            guard.epoch += 1;
+            self.stats_refreshes.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(snapshot.epoch())
+    }
+
+    fn metrics(&self) -> EngineMetrics {
+        let (stats_epoch, snapshot_epoch) = (
+            self.stats.read().expect("stats lock poisoned").epoch,
+            self.store.epoch(),
+        );
+        EngineMetrics {
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            rejected_by_budget: self.rejected_by_budget.load(Ordering::Relaxed),
+            shed_overload: self.shed_overload.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            stats_refreshes: self.stats_refreshes.load(Ordering::Relaxed),
+            stats_epoch,
+            snapshot_epoch,
+            accesses: self.meter.snapshot(),
+        }
+    }
+}
+
+/// A response that has been submitted to the worker pool but may not have
+/// completed yet.
+#[derive(Debug)]
+pub struct PendingResponse {
+    receiver: mpsc::Receiver<Result<QueryResponse>>,
+}
+
+impl PendingResponse {
+    /// Blocks until the response is ready.
+    pub fn wait(self) -> Result<QueryResponse> {
+        self.receiver
+            .recv()
+            .map_err(|_| EngineError::ShuttingDown)?
+    }
+
+    /// Returns the response if it is already ready.
+    pub fn try_wait(&self) -> Option<Result<QueryResponse>> {
+        self.receiver.try_recv().ok()
+    }
+}
+
+/// The concurrent query-serving engine.  See the crate docs for the request
+/// lifecycle.
+///
+/// `Engine` is `Sync`: clients may call [`Engine::execute`] from any number
+/// of threads (closed-loop serving), or [`Engine::submit`] to hand requests
+/// to the fixed worker pool (open-loop serving).  Exactly one logical writer
+/// should call [`Engine::commit`]; concurrent commits are safe but
+/// serialise.
+#[derive(Debug)]
+pub struct Engine {
+    shared: Arc<Shared>,
+    pool: pool::WorkerPool,
+}
+
+impl Engine {
+    /// Builds an engine over an initial instance and an access schema.
+    ///
+    /// Declares every index the access schema promises (lazily — each
+    /// materialises on first probe, inside whichever snapshot version first
+    /// needs it) and collects the statistics epoch 0.
+    pub fn new(mut db: Database, access: AccessSchema, config: EngineConfig) -> Result<Engine> {
+        access.validate(db.schema())?;
+        for (relation, attrs) in access.required_indexes() {
+            if !attrs.is_empty() {
+                db.declare_index(&relation, &attrs)?;
+            }
+        }
+        let stats = Arc::new(db.statistics());
+        let shared = Arc::new(Shared {
+            access: Arc::new(access),
+            store: SnapshotStore::new(db),
+            cache: PlanCache::new(config.plan_cache_capacity),
+            stats: RwLock::new(StatsEpoch { stats, epoch: 0 }),
+            meter: SharedMeter::new(),
+            requests: AtomicU64::new(0),
+            rejected_by_budget: AtomicU64::new(0),
+            shed_overload: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            stats_refreshes: AtomicU64::new(0),
+            queued: AtomicUsize::new(0),
+            config: config.clone(),
+        });
+        let pool = pool::WorkerPool::start(Arc::clone(&shared), config.workers);
+        Ok(Engine { shared, pool })
+    }
+
+    /// Serves a request synchronously on the calling thread (admit →
+    /// plan-cache → pin snapshot → execute → merge).
+    pub fn execute(&self, request: &Request) -> Result<QueryResponse> {
+        self.shared.serve(request)
+    }
+
+    /// Serves a request against a caller-pinned snapshot version instead of
+    /// the current one — the reader side of snapshot isolation: hold the
+    /// `Arc` from [`Engine::snapshot`] and every execution sees exactly that
+    /// version, no matter how many commits happen meanwhile.
+    pub fn execute_at(
+        &self,
+        snapshot: &Arc<DatabaseSnapshot>,
+        request: &Request,
+    ) -> Result<QueryResponse> {
+        self.shared.serve_at(snapshot, request)
+    }
+
+    /// Queues a request on the worker pool, shedding load when the queue is
+    /// at capacity.
+    pub fn submit(&self, request: Request) -> Result<PendingResponse> {
+        let max = self.shared.config.max_queue;
+        let queued = self.shared.queued.fetch_add(1, Ordering::Relaxed);
+        if max > 0 && queued >= max {
+            self.shared.queued.fetch_sub(1, Ordering::Relaxed);
+            self.shared.shed_overload.fetch_add(1, Ordering::Relaxed);
+            return Err(EngineError::Overloaded {
+                queued,
+                max_queue: max,
+            });
+        }
+        let (reply, receiver) = mpsc::channel();
+        match self.pool.submit(pool::Job { request, reply }) {
+            Ok(()) => Ok(PendingResponse { receiver }),
+            Err(e) => {
+                self.shared.queued.fetch_sub(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Applies an update to the current version, returning the new snapshot
+    /// epoch.  Statistics re-collect (and cached plans invalidate) when the
+    /// committed row counts drift past the configured threshold.
+    pub fn commit(&self, delta: &Delta) -> Result<u64> {
+        self.shared.commit(delta)
+    }
+
+    /// Pins the current snapshot version.
+    pub fn snapshot(&self) -> Arc<DatabaseSnapshot> {
+        self.shared.store.pin()
+    }
+
+    /// The current snapshot epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.store.epoch()
+    }
+
+    /// The access schema the engine serves under.
+    pub fn access_schema(&self) -> &AccessSchema {
+        &self.shared.access
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.shared.config
+    }
+
+    /// A snapshot of the engine counters.
+    pub fn metrics(&self) -> EngineMetrics {
+        self.shared.metrics()
+    }
+}
+
+// Compile-time thread-safety audit of the serving layer (see the matching
+// block in `si-data`): the engine handle is shared by reference across
+// client threads, responses and requests cross thread boundaries.
+const fn assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    assert_send_sync::<Engine>();
+    assert_send_sync::<EngineConfig>();
+    assert_send_sync::<Request>();
+    assert_send_sync::<QueryResponse>();
+    assert_send_sync::<EngineMetrics>();
+    assert_send_sync::<PlanCache>();
+    assert_send_sync::<CachedPlan>();
+    assert_send_sync::<Shared>();
+    const fn assert_send<T: Send>() {}
+    assert_send::<PendingResponse>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_data::schema::social_schema;
+    use si_data::tuple;
+    use si_query::parse_cq;
+
+    fn q1() -> ConjunctiveQuery {
+        parse_cq(r#"Q1(p, name) :- friend(p, id), person(id, name, "NYC")"#).unwrap()
+    }
+
+    fn small_db() -> Database {
+        let mut db = Database::empty(social_schema());
+        db.insert_all(
+            "person",
+            vec![
+                tuple![1, "ann", "NYC"],
+                tuple![2, "bob", "NYC"],
+                tuple![3, "cat", "LA"],
+                tuple![4, "dan", "NYC"],
+            ],
+        )
+        .unwrap();
+        db.insert_all(
+            "friend",
+            vec![tuple![1, 2], tuple![1, 3], tuple![1, 4], tuple![2, 4]],
+        )
+        .unwrap();
+        db
+    }
+
+    fn engine(config: EngineConfig) -> Engine {
+        Engine::new(small_db(), si_access::facebook_access_schema(5000), config).unwrap()
+    }
+
+    fn req(p: i64) -> Request {
+        Request::new(q1(), vec!["p".into()], vec![Value::int(p)])
+    }
+
+    #[test]
+    fn execute_answers_and_caches() {
+        let engine = engine(EngineConfig::default());
+        let first = engine.execute(&req(1)).unwrap();
+        let mut answers = first.answers.clone();
+        answers.sort();
+        assert_eq!(answers, vec![tuple!["bob"], tuple!["dan"]]);
+        assert!(!first.cache_hit);
+        assert_eq!(first.epoch, 0);
+        assert_eq!(first.static_cost.max_tuples, 10_000);
+        // Same shape, different value: plan-cache hit.
+        let second = engine.execute(&req(2)).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.answers, vec![tuple!["dan"]]);
+        // Alpha-renamed query: still a hit.
+        let renamed = parse_cq(r#"Zed(x, n) :- friend(x, i), person(i, n, "NYC")"#).unwrap();
+        let third = engine
+            .execute(&Request::new(
+                renamed,
+                vec!["x".into()],
+                vec![Value::int(1)],
+            ))
+            .unwrap();
+        assert!(third.cache_hit);
+        let m = engine.metrics();
+        assert_eq!(m.requests, 3);
+        assert_eq!(m.cache_hits, 2);
+        assert_eq!(m.cache_misses, 1);
+        assert!(m.accesses.tuples_fetched > 0);
+    }
+
+    #[test]
+    fn admission_rejects_over_budget_requests() {
+        let engine = engine(EngineConfig {
+            fetch_budget: Some(9_999),
+            ..EngineConfig::default()
+        });
+        let err = engine.execute(&req(1)).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::RejectedByBudget {
+                budget: 9_999,
+                cheapest: 10_000
+            }
+        );
+        assert_eq!(engine.metrics().rejected_by_budget, 1);
+        // A generous budget admits.
+        let engine = engine_with_budget(Some(10_000));
+        assert!(engine.execute(&req(1)).is_ok());
+    }
+
+    fn engine_with_budget(fetch_budget: Option<u64>) -> Engine {
+        engine(EngineConfig {
+            fetch_budget,
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn parameter_arity_is_checked() {
+        let engine = engine(EngineConfig::default());
+        let bad = Request::new(q1(), vec!["p".into()], vec![]);
+        assert_eq!(
+            engine.execute(&bad).unwrap_err(),
+            EngineError::ParameterArity {
+                expected: 1,
+                actual: 0
+            }
+        );
+    }
+
+    #[test]
+    fn commit_advances_epochs_and_refreshes_stats_on_drift() {
+        let engine = engine(EngineConfig {
+            stats_drift_threshold: 0.0, // every commit drifts
+            ..EngineConfig::default()
+        });
+        assert_eq!(engine.epoch(), 0);
+        let answers_before = engine.execute(&req(2)).unwrap();
+        let epoch = engine
+            .commit(Delta::new().insert("friend", tuple![2, 1]))
+            .unwrap();
+        assert_eq!(epoch, 1);
+        let m = engine.metrics();
+        assert_eq!(m.commits, 1);
+        assert_eq!(m.stats_refreshes, 1);
+        assert_eq!(m.stats_epoch, 1);
+        // The cached plan was invalidated (stats epoch moved): next request
+        // re-plans, and sees the new data.
+        let after = engine.execute(&req(2)).unwrap();
+        assert!(!after.cache_hit);
+        assert_eq!(after.epoch, 1);
+        let mut answers = after.answers.clone();
+        answers.sort();
+        assert_eq!(answers, vec![tuple!["ann"], tuple!["dan"]]);
+        assert_eq!(answers_before.answers, vec![tuple!["dan"]]);
+    }
+
+    #[test]
+    fn pinned_snapshots_serve_old_versions() {
+        let engine = engine(EngineConfig::default());
+        let pinned = engine.snapshot();
+        engine
+            .commit(Delta::new().delete("friend", tuple![1, 2]))
+            .unwrap();
+        let old = engine.execute_at(&pinned, &req(1)).unwrap();
+        let new = engine.execute(&req(1)).unwrap();
+        assert_eq!(old.epoch, 0);
+        assert_eq!(new.epoch, 1);
+        let mut old_answers = old.answers;
+        old_answers.sort();
+        assert_eq!(old_answers, vec![tuple!["bob"], tuple!["dan"]]);
+        assert_eq!(new.answers, vec![tuple!["dan"]]);
+    }
+
+    #[test]
+    fn submit_serves_through_the_pool() {
+        let engine = engine(EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        });
+        let pending: Vec<PendingResponse> =
+            (1..=4).map(|p| engine.submit(req(p)).unwrap()).collect();
+        let responses: Vec<QueryResponse> =
+            pending.into_iter().map(|p| p.wait().unwrap()).collect();
+        assert_eq!(responses.len(), 4);
+        let mut a0 = responses[0].answers.clone();
+        a0.sort();
+        assert_eq!(a0, vec![tuple!["bob"], tuple!["dan"]]);
+        assert!(responses[3].answers.is_empty());
+        assert_eq!(engine.metrics().requests, 4);
+    }
+
+    #[test]
+    fn sharded_execution_matches_unsharded() {
+        let sharded = engine(EngineConfig {
+            shards_per_query: 4,
+            ..EngineConfig::default()
+        });
+        let plain = engine(EngineConfig::default());
+        let a = sharded.execute(&req(1)).unwrap();
+        let b = plain.execute(&req(1)).unwrap();
+        assert_eq!(a.answers, b.answers);
+        assert_eq!(a.accesses, b.accesses);
+    }
+}

@@ -1,0 +1,87 @@
+//! A hand-rolled fixed worker pool (std-only: threads, channels, mutexes).
+//!
+//! The environment is offline, so there is no `rayon`/`crossbeam` to lean
+//! on.  The pool is the classic shared-receiver design: one unbounded mpsc
+//! channel of jobs, `workers` threads competing on an `Arc<Mutex<Receiver>>`
+//! to pull the next one.  The mutex is taken once per *request* — requests
+//! do real work (plan-cache lookup, snapshot pin, bounded fetches) — so the
+//! shared receiver is nowhere near the critical path.  Back-pressure is the
+//! engine's job: it counts queued requests and sheds load *before*
+//! submitting (see [`EngineConfig::max_queue`](crate::EngineConfig)).
+//!
+//! Shutdown is by hang-up: dropping the pool drops the sender, every worker
+//! drains what is left and exits on the channel's disconnect, and `Drop`
+//! joins them.
+
+use crate::error::EngineError;
+use crate::{QueryResponse, Request, Shared};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One queued request plus the channel its result goes back on.
+pub(crate) struct Job {
+    pub request: Request,
+    pub reply: mpsc::Sender<Result<QueryResponse, EngineError>>,
+}
+
+/// The fixed pool of serving threads.
+#[derive(Debug)]
+pub(crate) struct WorkerPool {
+    sender: Option<mpsc::Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads serving requests against `shared`.
+    pub fn start(shared: Arc<Shared>, workers: usize) -> Self {
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("si-engine-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only while dequeuing.
+                        let job = match receiver.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => break,
+                        };
+                        let Ok(job) = job else { break };
+                        shared.queued.fetch_sub(1, Ordering::Relaxed);
+                        let result = shared.serve(&job.request);
+                        // A dropped reply receiver just means the client gave
+                        // up waiting; the work is already merged into the
+                        // engine's metrics.
+                        let _ = job.reply.send(result);
+                    })
+                    .expect("failed to spawn engine worker thread")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            handles,
+        }
+    }
+
+    /// Hands a job to the pool.
+    pub fn submit(&self, job: Job) -> Result<(), EngineError> {
+        self.sender
+            .as_ref()
+            .ok_or(EngineError::ShuttingDown)?
+            .send(job)
+            .map_err(|_| EngineError::ShuttingDown)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Hang up, then join: workers drain the queue and exit.
+        self.sender.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Query-shape canonicalization: the prepared-statement key.
+//!
+//! Two requests should share one cached plan exactly when they are the same
+//! query *up to variable renaming and query name* with the same parameter
+//! positions — the varying part of a prepared query travels in the parameter
+//! *values*, which never enter the plan.  [`canonicalize`] rewrites a
+//! conjunctive query into that canonical shape (variables renamed `v0, v1, …`
+//! in first-occurrence order over head → atoms → equalities → parameters)
+//! and renders a deterministic [`ShapeKey`] string from it.
+//!
+//! Constants are part of the shape: `person(id, n, "NYC")` and
+//! `person(id, n, "LA")` plan differently (the constant is baked into the
+//! plan's probe), so they must not collide.  Callers that want one plan for
+//! both write the city as a parameter instead — that is the whole point of
+//! prepared queries.
+
+use si_data::Value;
+use si_query::{ConjunctiveQuery, Term, Var};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// The cache key of a query shape (a deterministic rendering of the
+/// canonical query plus the canonical parameter list).
+pub type ShapeKey = String;
+
+/// The canonical form of a request's query: alpha-renamed query, renamed
+/// parameters (order preserved), and the cache key.
+#[derive(Debug, Clone)]
+pub struct CanonicalQuery {
+    /// The cache key.
+    pub key: ShapeKey,
+    /// The alpha-renamed query (name `q`, variables `v0, v1, …`).
+    pub query: ConjunctiveQuery,
+    /// The renamed parameters, in the request's parameter order.
+    pub parameters: Vec<Var>,
+}
+
+fn render_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "b:{b}");
+        }
+        Value::Int(i) => {
+            let _ = write!(out, "i:{i}");
+        }
+        // Debug-quote the resolved text so symbols can never collide with
+        // the other tags or with each other.
+        Value::Sym(s) => {
+            let _ = write!(out, "s:{:?}", s.as_str());
+        }
+    }
+}
+
+/// Canonicalizes `(query, parameters)` into a [`CanonicalQuery`].
+///
+/// Alpha-equivalent inputs (same atoms/equalities/head/parameter structure,
+/// any variable names, any query name) produce byte-identical keys; anything
+/// that changes plan choice — constants, atom order, head order, parameter
+/// order — changes the key.
+pub fn canonicalize(query: &ConjunctiveQuery, parameters: &[Var]) -> CanonicalQuery {
+    let mut names: HashMap<String, Var> = HashMap::new();
+    let rename = |v: &str, names: &mut HashMap<String, Var>| -> Var {
+        if let Some(n) = names.get(v) {
+            return n.clone();
+        }
+        let fresh = format!("v{}", names.len());
+        names.insert(v.to_owned(), fresh.clone());
+        fresh
+    };
+    // First-occurrence order: head, then atom terms, then equalities, then
+    // parameters (parameters usually occur in the body already).
+    let mut head: Vec<Var> = Vec::with_capacity(query.head.len());
+    for v in &query.head {
+        head.push(rename(v, &mut names));
+    }
+    let mut atoms = Vec::with_capacity(query.atoms.len());
+    for atom in &query.atoms {
+        let terms: Vec<Term> = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => Term::Var(rename(v, &mut names)),
+                Term::Const(c) => Term::Const(*c),
+            })
+            .collect();
+        atoms.push(si_query::Atom {
+            relation: atom.relation.clone(),
+            terms,
+        });
+    }
+    let equalities: Vec<(Term, Term)> = query
+        .equalities
+        .iter()
+        .map(|(l, r)| {
+            let mut m = |t: &Term| match t {
+                Term::Var(v) => Term::Var(rename(v, &mut names)),
+                Term::Const(c) => Term::Const(*c),
+            };
+            (m(l), m(r))
+        })
+        .collect();
+    let canonical_parameters: Vec<Var> = parameters.iter().map(|p| rename(p, &mut names)).collect();
+
+    let canonical = ConjunctiveQuery {
+        name: "q".to_string(),
+        head,
+        atoms,
+        equalities,
+    };
+
+    // Render the key.
+    let mut key = String::new();
+    key.push_str("h(");
+    key.push_str(&canonical.head.join(","));
+    key.push(')');
+    for atom in &canonical.atoms {
+        key.push('|');
+        key.push_str(&atom.relation);
+        key.push('(');
+        for (i, t) in atom.terms.iter().enumerate() {
+            if i > 0 {
+                key.push(',');
+            }
+            match t {
+                Term::Var(v) => key.push_str(v),
+                Term::Const(c) => render_value(&mut key, c),
+            }
+        }
+        key.push(')');
+    }
+    for (l, r) in &canonical.equalities {
+        key.push_str("|eq:");
+        for t in [l, r] {
+            match t {
+                Term::Var(v) => key.push_str(v),
+                Term::Const(c) => render_value(&mut key, c),
+            }
+            key.push('=');
+        }
+    }
+    key.push_str("|params(");
+    key.push_str(&canonical_parameters.join(","));
+    key.push(')');
+
+    CanonicalQuery {
+        key,
+        query: canonical,
+        parameters: canonical_parameters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_query::parse_cq;
+
+    #[test]
+    fn alpha_equivalent_queries_share_a_key() {
+        let a = parse_cq(r#"Q1(p, name) :- friend(p, id), person(id, name, "NYC")"#).unwrap();
+        let b = parse_cq(r#"Zed(x, y) :- friend(x, z), person(z, y, "NYC")"#).unwrap();
+        let ca = canonicalize(&a, &["p".into()]);
+        let cb = canonicalize(&b, &["x".into()]);
+        assert_eq!(ca.key, cb.key);
+        assert_eq!(ca.parameters, cb.parameters);
+        assert_eq!(ca.query, cb.query);
+    }
+
+    #[test]
+    fn constants_and_structure_distinguish_keys() {
+        let q = |s: &str| parse_cq(s).unwrap();
+        let base = canonicalize(
+            &q(r#"Q(p, n) :- friend(p, i), person(i, n, "NYC")"#),
+            &["p".into()],
+        );
+        // Different constant.
+        let la = canonicalize(
+            &q(r#"Q(p, n) :- friend(p, i), person(i, n, "LA")"#),
+            &["p".into()],
+        );
+        assert_ne!(base.key, la.key);
+        // Integer vs string constant of the same rendering.
+        let int1 = canonicalize(&q("Q(a) :- friend(a, 1)"), &["a".into()]);
+        let str1 = canonicalize(&q(r#"Q(a) :- friend(a, "1")"#), &["a".into()]);
+        assert_ne!(int1.key, str1.key);
+        // Different parameter choice.
+        let other_param = canonicalize(
+            &q(r#"Q(p, n) :- friend(p, i), person(i, n, "NYC")"#),
+            &["n".into()],
+        );
+        assert_ne!(base.key, other_param.key);
+        // Atom order matters (it is part of the planner's input).
+        let swapped = canonicalize(
+            &q(r#"Q(p, n) :- person(i, n, "NYC"), friend(p, i)"#),
+            &["p".into()],
+        );
+        assert_ne!(base.key, swapped.key);
+    }
+
+    #[test]
+    fn equalities_and_boolean_heads_render() {
+        let q = parse_cq("Q() :- friend(a, b), a = b").unwrap();
+        let c = canonicalize(&q, &["a".into()]);
+        assert!(c.key.contains("eq:"));
+        assert!(c.key.starts_with("h()"));
+        assert_eq!(c.parameters, vec!["v0".to_string()]);
+        // The canonical query still validates and means the same thing.
+        assert_eq!(c.query.atoms.len(), 1);
+        assert_eq!(c.query.equalities.len(), 1);
+    }
+
+    #[test]
+    fn canonical_query_evaluates_identically() {
+        use si_data::schema::social_schema;
+        use si_data::{tuple, Database};
+        let mut db = Database::empty(social_schema());
+        db.insert_all(
+            "person",
+            vec![tuple![1, "ann", "NYC"], tuple![2, "bob", "NYC"]],
+        )
+        .unwrap();
+        db.insert_all("friend", vec![tuple![1, 2]]).unwrap();
+        let q = parse_cq(r#"Q1(p, name) :- friend(p, id), person(id, name, "NYC")"#).unwrap();
+        let c = canonicalize(&q, &[]);
+        let orig = si_query::evaluate_cq(&q, &db, None).unwrap();
+        let canon = si_query::evaluate_cq(&c.query, &db, None).unwrap();
+        assert_eq!(orig, canon);
+    }
+}

@@ -1,0 +1,248 @@
+//! Snapshot-isolation property tests: N reader threads answering queries
+//! against pinned snapshot versions while a writer commits seeded delta
+//! batches.  Every reader's answers must equal the single-threaded
+//! evaluation of its pinned version, and plan-cache hits must produce the
+//! same answers as cold planning.
+
+use si_data::{tuple, Delta, Tuple, Value};
+use si_engine::{Engine, EngineConfig, EngineError, Request};
+use si_query::evaluate_cq;
+use si_workload::{serving_access_schema, social_requests, SocialConfig, SocialGenerator};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const PERSONS: usize = 300;
+
+fn engine(config: EngineConfig) -> Engine {
+    let db = SocialGenerator::new(SocialConfig {
+        persons: PERSONS,
+        restaurants: 40,
+        avg_friends: 12,
+        avg_visits: 4,
+        ..SocialConfig::default()
+    })
+    .generate();
+    Engine::new(db, serving_access_schema(5000), config).unwrap()
+}
+
+/// A delta whose tuples are fresh by construction: batch `i` inserts visit
+/// facts with an rid range no other batch (and no generated visit) uses.
+fn fresh_visit_batch(batch: usize) -> Delta {
+    let mut delta = Delta::new();
+    for j in 0..25i64 {
+        let person = (batch as i64 * 7 + j) % PERSONS as i64;
+        let rid = 2_000_000 + batch as i64 * 1_000 + j;
+        delta.insert("visit", tuple![person, rid]);
+    }
+    delta
+}
+
+/// The single-threaded ground truth: bind the parameters and evaluate the CQ
+/// naively over a deep copy of the pinned version.
+fn naive_answers(request: &Request, snapshot: &si_data::DatabaseSnapshot) -> Vec<Tuple> {
+    let bindings: Vec<(String, Value)> = request
+        .parameters
+        .iter()
+        .cloned()
+        .zip(request.values.iter().copied())
+        .collect();
+    let bound = request.query.bind(&bindings);
+    let mut answers = evaluate_cq(&bound, &snapshot.to_database(), None).unwrap();
+    answers.sort();
+    answers
+}
+
+#[test]
+fn readers_on_pinned_snapshots_agree_with_single_threaded_evaluation() {
+    let engine = engine(EngineConfig {
+        workers: 2,
+        stats_drift_threshold: 0.05, // let the writer invalidate plans mid-run
+        ..EngineConfig::default()
+    });
+    let readers = 4usize;
+    let rounds = 24usize;
+    let batches = 30usize;
+    let checked = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        // Writer: commits fresh batches, then deletes every other batch.
+        let writer_engine = &engine;
+        scope.spawn(move || {
+            for b in 0..batches {
+                writer_engine.commit(&fresh_visit_batch(b)).unwrap();
+                if b >= 2 && b % 2 == 0 {
+                    // Delete a slice of batch b-2 (still present: only even
+                    // batches delete, and they target even-older batches).
+                    let mut delta = Delta::new();
+                    for j in 0..5i64 {
+                        let person = ((b as i64 - 2) * 7 + j) % PERSONS as i64;
+                        let rid = 2_000_000 + (b as i64 - 2) * 1_000 + j;
+                        delta.delete("visit", tuple![person, rid]);
+                    }
+                    writer_engine.commit(&delta).unwrap();
+                }
+            }
+        });
+
+        for reader in 0..readers {
+            let engine = &engine;
+            let checked = &checked;
+            scope.spawn(move || {
+                let stream = social_requests(PERSONS, rounds, 1000 + reader as u64);
+                for generated in stream {
+                    let request =
+                        Request::new(generated.query, generated.parameters, generated.values);
+                    // Pin a version; the writer keeps committing meanwhile.
+                    let pinned = engine.snapshot();
+                    let response = engine.execute_at(&pinned, &request).unwrap();
+                    assert_eq!(
+                        response.epoch,
+                        pinned.epoch(),
+                        "response must report the pinned version"
+                    );
+                    let mut served = response.answers.clone();
+                    served.sort();
+                    assert_eq!(
+                        served,
+                        naive_answers(&request, &pinned),
+                        "pinned answers diverged from single-threaded evaluation \
+                         (epoch {})",
+                        pinned.epoch()
+                    );
+                    checked.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    assert_eq!(checked.load(Ordering::Relaxed), (readers * rounds) as u64);
+    let metrics = engine.metrics();
+    // The writer really ran (30 insert batches + 14 delete batches)…
+    assert_eq!(metrics.commits, 44);
+    assert_eq!(metrics.snapshot_epoch, 44);
+    // …the cache served most requests, and drift invalidated it at least once.
+    assert!(metrics.cache_hits > 0, "plan cache never hit");
+    assert!(
+        metrics.stats_refreshes > 0,
+        "stats drift never triggered a refresh"
+    );
+}
+
+#[test]
+fn plan_cache_hits_equal_cold_planned_answers() {
+    // A warmed engine (every shape cached) and a cold engine must serve
+    // identical answers for an identical request stream.
+    let warmed = engine(EngineConfig::default());
+    let stream = social_requests(PERSONS, 60, 7);
+    // Warm-up pass: plans every shape.
+    for g in &stream {
+        let req = Request::new(g.query.clone(), g.parameters.clone(), g.values.clone());
+        warmed.execute(&req).unwrap();
+    }
+    let cold = engine(EngineConfig::default());
+    let mut hits = 0u64;
+    for g in &stream {
+        let req = Request::new(g.query.clone(), g.parameters.clone(), g.values.clone());
+        let warm_response = warmed.execute(&req).unwrap();
+        let cold_response = cold.execute(&req).unwrap();
+        if warm_response.cache_hit {
+            hits += 1;
+        }
+        assert_eq!(
+            warm_response.answers, cold_response.answers,
+            "cache hit must not change answers"
+        );
+        assert_eq!(warm_response.accesses, cold_response.accesses);
+    }
+    assert_eq!(hits, 60, "second pass must be all cache hits");
+}
+
+#[test]
+fn sharded_serving_stays_equivalent_under_concurrent_commits() {
+    let sharded = engine(EngineConfig {
+        shards_per_query: 4,
+        ..EngineConfig::default()
+    });
+    let stream = social_requests(PERSONS, 40, 99);
+    std::thread::scope(|scope| {
+        let writer = &sharded;
+        scope.spawn(move || {
+            for b in 0..10 {
+                writer.commit(&fresh_visit_batch(100 + b)).unwrap();
+            }
+        });
+        let engine = &sharded;
+        scope.spawn(move || {
+            for g in &stream {
+                let req = Request::new(g.query.clone(), g.parameters.clone(), g.values.clone());
+                let pinned = engine.snapshot();
+                let response = engine.execute_at(&pinned, &req).unwrap();
+                let mut served = response.answers.clone();
+                served.sort();
+                assert_eq!(served, naive_answers(&req, &pinned));
+            }
+        });
+    });
+}
+
+#[test]
+fn pool_serving_matches_naive_evaluation_on_a_quiescent_engine() {
+    let engine = engine(EngineConfig {
+        workers: 4,
+        ..EngineConfig::default()
+    });
+    let stream = social_requests(PERSONS, 50, 3);
+    let snapshot = engine.snapshot(); // no writer: current version is stable
+    let pending: Vec<_> = stream
+        .iter()
+        .map(|g| {
+            engine
+                .submit(Request::new(
+                    g.query.clone(),
+                    g.parameters.clone(),
+                    g.values.clone(),
+                ))
+                .unwrap()
+        })
+        .collect();
+    for (g, pending) in stream.iter().zip(pending) {
+        let req = Request::new(g.query.clone(), g.parameters.clone(), g.values.clone());
+        let response = pending.wait().unwrap();
+        let mut served = response.answers;
+        served.sort();
+        assert_eq!(served, naive_answers(&req, &snapshot));
+    }
+}
+
+#[test]
+fn overload_shedding_reports_queue_pressure() {
+    // One worker, a queue of 1, and requests that keep the worker busy long
+    // enough for the submitter to outrun it.
+    let engine = engine(EngineConfig {
+        workers: 1,
+        max_queue: 1,
+        ..EngineConfig::default()
+    });
+    let mut shed = 0;
+    let mut pending = Vec::new();
+    for i in 0..50 {
+        match engine.submit(Request::new(
+            si_workload::q1(),
+            vec!["p".into()],
+            vec![Value::int(i % PERSONS as i64)],
+        )) {
+            Ok(p) => pending.push(p),
+            Err(EngineError::Overloaded { max_queue, .. }) => {
+                assert_eq!(max_queue, 1);
+                shed += 1;
+            }
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+    for p in pending {
+        p.wait().unwrap();
+    }
+    // With a queue bound of 1 and 50 rapid-fire submissions, at least one
+    // must have been shed; the metric agrees.
+    assert!(shed > 0, "no submission was shed");
+    assert_eq!(engine.metrics().shed_overload, shed);
+}

@@ -1,0 +1,129 @@
+//! Concurrent serving workload: deterministic, skewed request streams and
+//! the writer's update batches.
+//!
+//! The throughput experiments of `si-engine` need traffic that looks like a
+//! social search box: many readers asking the paper's parameterised queries
+//! with a *skewed* choice of person (hot profiles are asked about far more
+//! often than cold ones), while a writer keeps inserting fresh `visit`
+//! facts.  Everything here is seed-deterministic, so a bench run and its
+//! single-threaded cross-check see byte-identical request streams.
+
+use crate::queries::{q1, q2};
+use crate::rng::SplitMix64;
+use si_access::{facebook_access_schema, AccessConstraint, AccessSchema};
+use si_data::Value;
+use si_query::{ConjunctiveQuery, Var};
+
+/// One generated request: a query template, its parameter variables and this
+/// invocation's values — the exact shape `si_engine::Request` is built from
+/// (this crate cannot name that type without a dependency cycle).
+#[derive(Debug, Clone)]
+pub struct GeneratedRequest {
+    /// The query template (alternates over the paper's Q1/Q2).
+    pub query: ConjunctiveQuery,
+    /// Parameter variables (always `["p"]` for the social templates).
+    pub parameters: Vec<Var>,
+    /// The parameter values for this invocation.
+    pub values: Vec<Value>,
+}
+
+/// The access schema the serving experiments run under: the Facebook
+/// constraints plus a `visit(id → rid)` bound, which is what makes Q2
+/// boundedly plannable with only `p` as parameter (the exec tests of
+/// `si-core` use the same augmentation).
+pub fn serving_access_schema(friend_cap: usize) -> AccessSchema {
+    facebook_access_schema(friend_cap).with(AccessConstraint::new("visit", &["id"], 1000, 1))
+}
+
+/// Draws a person id with quadratic skew towards 0: squaring a uniform
+/// draw concentrates ~½ of the traffic on the lowest quarter of the id
+/// space — hot ids 0, 1, 2 … soak up disproportionate load, which is what
+/// stresses a plan cache (few shapes, many values) and a snapshot store
+/// (readers pile onto the same relations).
+fn skewed_person(rng: &mut SplitMix64, persons: usize) -> usize {
+    let u = rng.next_u64() as f64 / u64::MAX as f64;
+    let skewed = u * u;
+    ((skewed * persons as f64) as usize).min(persons.saturating_sub(1))
+}
+
+/// Generates a deterministic stream of `count` requests over a social
+/// instance with `persons` people: 80% Q1 (friends in NYC), 20% Q2
+/// (A-rated NYC restaurants visited by NYC friends), person parameter drawn
+/// with quadratic skew.
+pub fn social_requests(persons: usize, count: usize, seed: u64) -> Vec<GeneratedRequest> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let q1 = q1();
+    let q2 = q2();
+    (0..count)
+        .map(|_| {
+            let p = skewed_person(&mut rng, persons) as i64;
+            let query = if rng.gen_range(0..100u8) < 80 {
+                q1.clone()
+            } else {
+                q2.clone()
+            };
+            GeneratedRequest {
+                query,
+                parameters: vec!["p".into()],
+                values: vec![Value::int(p)],
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::social::{SocialConfig, SocialGenerator};
+    use si_access::conforms;
+    use si_data::schema::social_schema;
+
+    #[test]
+    fn streams_are_deterministic_and_well_formed() {
+        let a = social_requests(1000, 64, 7);
+        let b = social_requests(1000, 64, 7);
+        let c = social_requests(1000, 64, 8);
+        assert_eq!(a.len(), 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.values, y.values);
+            assert_eq!(x.query.name, y.query.name);
+        }
+        assert!(a.iter().zip(&c).any(|(x, y)| x.values != y.values));
+        let schema = social_schema();
+        for r in &a {
+            r.query.validate(&schema).unwrap();
+            assert_eq!(r.parameters, vec!["p".to_string()]);
+            assert_eq!(r.values.len(), 1);
+        }
+        // Both templates appear.
+        assert!(a.iter().any(|r| r.query.name == "Q1"));
+        assert!(a.iter().any(|r| r.query.name == "Q2"));
+    }
+
+    #[test]
+    fn person_draws_are_skewed_towards_low_ids() {
+        let reqs = social_requests(1000, 2000, 42);
+        let low = reqs
+            .iter()
+            .filter(|r| matches!(r.values[0], Value::Int(p) if p < 250))
+            .count();
+        // A uniform draw would put ~25% below 250; the quadratic skew puts
+        // half there.
+        assert!(low as f64 / reqs.len() as f64 > 0.4, "low share {low}");
+    }
+
+    #[test]
+    fn serving_schema_admits_generated_instances_and_plans_q2() {
+        let db = SocialGenerator::new(SocialConfig {
+            persons: 200,
+            restaurants: 30,
+            ..SocialConfig::default()
+        })
+        .generate();
+        let access = serving_access_schema(5000);
+        assert!(conforms(&db, &access));
+        let schema = social_schema();
+        let planner = si_core::BoundedPlanner::new(&schema, &access);
+        assert!(planner.is_plannable(&q2(), &["p".into()]));
+    }
+}

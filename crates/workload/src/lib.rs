@@ -12,12 +12,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod queries;
 pub mod rng;
 pub mod scaling;
 pub mod social;
 pub mod updates;
 
+pub use concurrent::{serving_access_schema, social_requests, GeneratedRequest};
 pub use queries::{example_46_access_schema, paper_views, q1, q2, q2_rewriting, q3};
 pub use scaling::{geometric_sizes, ScalePoint};
 pub use social::{SocialConfig, SocialGenerator};
