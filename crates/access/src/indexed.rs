@@ -254,6 +254,10 @@ impl AccessSource for AccessIndexedDatabase {
     fn meter_sink(&self) -> &dyn MeterSink {
         &self.meter
     }
+
+    fn full_instance(&self) -> Option<&Database> {
+        Some(&self.db)
+    }
 }
 
 #[cfg(test)]

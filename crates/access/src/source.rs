@@ -23,7 +23,8 @@ use crate::constraint::AccessConstraint;
 use crate::indexed::AccessError;
 use crate::schema::AccessSchema;
 use si_data::{
-    AccessMeter, DatabaseSchema, DatabaseSnapshot, MeterSink, MeterSnapshot, Relation, Tuple, Value,
+    AccessMeter, Database, DatabaseSchema, DatabaseSnapshot, MeterSink, MeterSnapshot, Relation,
+    Tuple, Value,
 };
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -49,6 +50,18 @@ pub trait AccessSource {
     /// Snapshot of the meter (convenience).
     fn meter_snapshot(&self) -> MeterSnapshot {
         self.meter_sink().snapshot()
+    }
+
+    /// The full underlying instance, when this source can expose one.
+    ///
+    /// Bounded evaluation never needs this — it is the escape hatch for the
+    /// paper's *offline precomputation* setting (Section 5), where `Q(D)` is
+    /// computed once by unrestricted evaluation before bounded maintenance
+    /// takes over.  Owned surfaces ([`crate::AccessIndexedDatabase`]) return
+    /// their database; shared snapshot views return `None`, which forces
+    /// callers onto the metered, access-mediated path.
+    fn full_instance(&self) -> Option<&Database> {
+        None
     }
 
     /// Fetches `σ_{attrs = key}(relation)` through the tightest usable

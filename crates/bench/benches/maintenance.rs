@@ -1,0 +1,247 @@
+//! Maintain-vs-reexecute: what the materialized answer cache saves on an
+//! update-heavy workload.
+//!
+//! Two engines serve the same hot Q1/Q2 requests across the same stream of
+//! small `visit` insert/delete commits: one maintains materialized answers
+//! by bounded delta propagation (`materialize_capacity > 0`), the other
+//! re-executes its bounded plan on every request.  This bench uses a custom
+//! harness (`harness = false`) because the number that matters is not mean
+//! time per iteration but **tuples fetched per commit+query cycle** — the
+//! paper's access-cost currency — plus the serve latency split.
+//!
+//! Every cycle cross-checks the two engines against each other, and every
+//! 20th cycle against naive single-threaded evaluation of the evolved
+//! instance; any divergence fails the bench.  The acceptance bar asserted at
+//! the end: maintaining a cached answer across a small commit fetches ≥5×
+//! fewer tuples than re-executing its bounded plan.
+
+use si_data::{Database, Tuple, Value};
+use si_engine::{Engine, EngineConfig, Request};
+use si_query::evaluate_cq;
+use si_workload::{
+    serving_access_schema, update_heavy_scenario, visit_update_stream, ScenarioOp, SocialConfig,
+    SocialGenerator,
+};
+use std::time::Instant;
+
+const PERSONS: usize = 2_000;
+const ROUNDS: usize = 200;
+
+fn social_db() -> Database {
+    SocialGenerator::new(SocialConfig {
+        persons: PERSONS,
+        restaurants: 200,
+        ..SocialConfig::default()
+    })
+    .generate()
+}
+
+/// The person with the most outgoing friend edges: the hottest profile.
+fn hottest_person(db: &Database) -> i64 {
+    let mut counts: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
+    for t in db.relation("friend").unwrap().iter() {
+        if let Some(Value::Int(p)) = t.get(0) {
+            *counts.entry(*p).or_default() += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .max_by_key(|(p, n)| (*n, -*p))
+        .map(|(p, _)| p)
+        .unwrap_or(0)
+}
+
+fn make_engine(materialize: bool) -> Engine {
+    Engine::new(
+        social_db(),
+        serving_access_schema(5000),
+        EngineConfig {
+            workers: 1,
+            materialize_capacity: if materialize { 64 } else { 0 },
+            materialize_after: 1,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("engine construction")
+}
+
+fn naive_answers(request: &Request, db: &Database) -> Vec<Tuple> {
+    let bindings: Vec<(String, Value)> = request
+        .parameters
+        .iter()
+        .cloned()
+        .zip(request.values.iter().copied())
+        .collect();
+    let mut answers = evaluate_cq(&request.query.bind(&bindings), db, None).unwrap();
+    answers.sort();
+    answers
+}
+
+fn percentile_us(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let db = social_db();
+    let hot = hottest_person(&db);
+    let requests = [
+        Request::new(si_workload::q1(), vec!["p".into()], vec![Value::int(hot)]),
+        Request::new(si_workload::q2(), vec!["p".into()], vec![Value::int(hot)]),
+    ];
+    let commits = visit_update_stream(&db, ROUNDS, 2, 1, 4242);
+
+    let maintained = make_engine(true);
+    let reexecuting = make_engine(false);
+    // Warm both engines: plans cached everywhere, answers admitted on the
+    // maintaining engine (threshold 1).
+    for request in &requests {
+        maintained.execute(request).unwrap();
+        reexecuting.execute(request).unwrap();
+    }
+
+    let mut oracle = db;
+    let mut maintain_tuples = 0u64;
+    let mut reexec_tuples = 0u64;
+    let mut materialized_hits = 0usize;
+    let mut maintained_latency_us: Vec<f64> = Vec::new();
+    let mut reexec_latency_us: Vec<f64> = Vec::new();
+    let mut divergent = 0usize;
+
+    for (round, delta) in commits.iter().enumerate() {
+        let before = maintained.metrics().maintenance_accesses;
+        maintained.commit(delta).unwrap();
+        reexecuting.commit(delta).unwrap();
+        delta.apply_in_place(&mut oracle).unwrap();
+        maintain_tuples += maintained
+            .metrics()
+            .maintenance_accesses
+            .since(&before)
+            .tuples_fetched;
+
+        for request in &requests {
+            let warm = maintained.execute(request).unwrap();
+            let cold = reexecuting.execute(request).unwrap();
+            maintain_tuples += warm.accesses.tuples_fetched;
+            reexec_tuples += cold.accesses.tuples_fetched;
+            if warm.materialized {
+                materialized_hits += 1;
+            }
+            maintained_latency_us.push(warm.service.as_secs_f64() * 1e6);
+            reexec_latency_us.push(cold.service.as_secs_f64() * 1e6);
+
+            let mut a = warm.answers.clone();
+            a.sort();
+            let mut b = cold.answers.clone();
+            b.sort();
+            if a != b {
+                divergent += 1;
+            }
+            if round % 20 == 0 && a != naive_answers(request, &oracle) {
+                divergent += 1;
+            }
+        }
+    }
+
+    maintained_latency_us.sort_by(f64::total_cmp);
+    reexec_latency_us.sort_by(f64::total_cmp);
+    let cycles = ROUNDS * requests.len();
+    let metrics = maintained.metrics();
+    println!(
+        "update-heavy maintenance: {ROUNDS} commits (2 ins + 1 del visit tuples each) × \
+         {} hot requests over {PERSONS} persons (hot person {hot})\n",
+        requests.len()
+    );
+    println!(
+        "{:>14}  {:>16}  {:>16}  {:>9}  {:>9}",
+        "path", "tuples/cycle", "tuples total", "p50(us)", "p95(us)"
+    );
+    println!(
+        "{:>14}  {:>16.1}  {:>16}  {:>9.2}  {:>9.2}",
+        "maintain",
+        maintain_tuples as f64 / cycles as f64,
+        maintain_tuples,
+        percentile_us(&maintained_latency_us, 0.50),
+        percentile_us(&maintained_latency_us, 0.95),
+    );
+    println!(
+        "{:>14}  {:>16.1}  {:>16}  {:>9.2}  {:>9.2}",
+        "re-execute",
+        reexec_tuples as f64 / cycles as f64,
+        reexec_tuples,
+        percentile_us(&reexec_latency_us, 0.50),
+        percentile_us(&reexec_latency_us, 0.95),
+    );
+    println!(
+        "\nfetch ratio: {:.1}× fewer tuples on the maintenance path \
+         ({materialized_hits}/{cycles} served from maintained answers, \
+         {} maintenance runs, {} fallbacks, {} evictions)",
+        reexec_tuples as f64 / maintain_tuples.max(1) as f64,
+        metrics.maintenance_runs,
+        metrics.maintenance_fallbacks,
+        metrics.materialized_evictions,
+    );
+    println!("correctness: {divergent} divergent answer sets");
+
+    assert_eq!(divergent, 0, "maintained answers diverged");
+    assert!(
+        materialized_hits * 2 > cycles,
+        "materialized cache barely hit: {materialized_hits}/{cycles}"
+    );
+    assert!(
+        reexec_tuples >= 5 * maintain_tuples,
+        "maintenance must fetch ≥5× fewer tuples: {maintain_tuples} vs {reexec_tuples}"
+    );
+
+    mixed_schedule();
+}
+
+/// Second phase: the packaged update-heavy schedule (random interleaving of
+/// commits and repeated hot queries rather than strict alternation), driven
+/// through both engines with per-query cross-checks.
+fn mixed_schedule() {
+    let db = social_db();
+    let schedule = update_heavy_scenario(&db, 2_000, 20, 8, 2, 1, 77);
+    let maintained = make_engine(true);
+    let reexecuting = make_engine(false);
+    let start = Instant::now();
+    let (mut queries, mut commits, mut hits, mut divergent) = (0usize, 0usize, 0usize, 0usize);
+    for op in &schedule {
+        match op {
+            ScenarioOp::Commit(delta) => {
+                maintained.commit(delta).unwrap();
+                reexecuting.commit(delta).unwrap();
+                commits += 1;
+            }
+            ScenarioOp::Query(g) => {
+                let request = Request::new(g.query.clone(), g.parameters.clone(), g.values.clone());
+                let warm = maintained.execute(&request).unwrap();
+                let cold = reexecuting.execute(&request).unwrap();
+                let mut a = warm.answers;
+                a.sort();
+                let mut b = cold.answers;
+                b.sort();
+                if a != b {
+                    divergent += 1;
+                }
+                if warm.materialized {
+                    hits += 1;
+                }
+                queries += 1;
+            }
+        }
+    }
+    println!(
+        "\nmixed schedule (update_heavy_scenario, 2000 ops): {queries} queries / {commits} \
+         commits in {:.1}ms — {hits}/{queries} materialized hits, {divergent} divergent",
+        start.elapsed().as_secs_f64() * 1e3,
+    );
+    assert_eq!(divergent, 0, "mixed schedule diverged");
+    assert!(
+        hits * 2 > queries,
+        "materialized cache barely hit on the mixed schedule: {hits}/{queries}"
+    );
+}

@@ -7,6 +7,7 @@
 
 use crate::database::Database;
 use crate::error::DataError;
+use crate::relation::Relation;
 use crate::tuple::Tuple;
 use crate::Result;
 use std::collections::BTreeMap;
@@ -124,8 +125,19 @@ impl Delta {
     /// deletions must already be present, insertions must be absent, and no
     /// tuple may be both inserted and deleted.
     pub fn validate(&self, db: &Database) -> Result<()> {
+        self.validate_relations(|name| db.relation(name))
+    }
+
+    /// [`Delta::validate`] generalised over the storage surface: `lookup`
+    /// resolves a relation name to the relation of whatever instance the
+    /// update targets (an owned [`Database`], a pinned
+    /// [`crate::DatabaseSnapshot`] version, …).
+    pub fn validate_relations<'a, F>(&self, lookup: F) -> Result<()>
+    where
+        F: Fn(&str) -> Result<&'a Relation>,
+    {
         for (relation, delta) in &self.relations {
-            let rel = db.relation(relation)?;
+            let rel = lookup(relation)?;
             for t in &delta.insertions {
                 if t.arity() != rel.schema().arity() {
                     return Err(DataError::ArityMismatch {

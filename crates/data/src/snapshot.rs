@@ -134,35 +134,7 @@ impl DatabaseSnapshot {
     pub fn apply(&self, delta: &Delta) -> Result<DatabaseSnapshot> {
         // Validate against the current version first so that a bad delta
         // leaves nothing half-cloned.
-        for (name, rd) in delta.iter() {
-            let rel = self.relation(name)?;
-            for t in &rd.insertions {
-                if t.arity() != rel.schema().arity() {
-                    return Err(DataError::ArityMismatch {
-                        relation: name.clone(),
-                        expected: rel.schema().arity(),
-                        actual: t.arity(),
-                    });
-                }
-                if rel.contains(t) {
-                    return Err(DataError::InvalidUpdate(format!(
-                        "insertion {t} into `{name}` is not disjoint from D"
-                    )));
-                }
-            }
-            for t in &rd.deletions {
-                if !rel.contains(t) {
-                    return Err(DataError::InvalidUpdate(format!(
-                        "deletion {t} from `{name}` is not contained in D"
-                    )));
-                }
-                if rd.insertions.contains(t) {
-                    return Err(DataError::InvalidUpdate(format!(
-                        "tuple {t} of `{name}` appears in both ∆D and ∇D"
-                    )));
-                }
-            }
-        }
+        delta.validate_relations(|name| self.relation(name))?;
 
         let mut relations = self.relations.clone();
         for (name, rd) in delta.iter() {

@@ -172,6 +172,46 @@ mod tests {
     }
 
     #[test]
+    fn counters_distinguish_cold_warm_and_invalidated_lookups() {
+        let cache = PlanCache::new(8);
+        // Cold: nothing cached yet.
+        assert!(cache.get("k", 0).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        cache.insert("k".into(), entry(0));
+        // Warm: two hits at the planning epoch.
+        assert!(cache.get("k", 0).is_some());
+        assert!(cache.get("k", 0).is_some());
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
+        // Invalidated: the entry exists but its stats epoch is stale — a
+        // miss, not a hit, and the stale entry stays until overwritten.
+        assert!(cache.get("k", 1).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+        assert_eq!(cache.len(), 1);
+        cache.insert("k".into(), entry(1));
+        assert!(cache.get("k", 1).is_some());
+        assert_eq!((cache.hits(), cache.misses()), (3, 2));
+        assert_eq!(cache.len(), 1, "re-planning overwrites in place");
+    }
+
+    #[test]
+    fn refreshing_an_existing_shape_keeps_the_fifo_order() {
+        let cache = PlanCache::new(2);
+        cache.insert("a".into(), entry(0));
+        cache.insert("b".into(), entry(0));
+        // Refreshing `a` (e.g. after an epoch bump) must not re-enqueue it…
+        cache.insert("a".into(), entry(1));
+        assert_eq!(cache.len(), 2);
+        // …so `a` is still the oldest and is evicted first.
+        cache.insert("c".into(), entry(1));
+        assert!(
+            cache.get("a", 1).is_none(),
+            "refresh must not reset FIFO age"
+        );
+        assert!(cache.get("b", 0).is_some());
+        assert!(cache.get("c", 1).is_some());
+    }
+
+    #[test]
     fn concurrent_readers_and_writers() {
         let cache = PlanCache::new(64);
         std::thread::scope(|s| {

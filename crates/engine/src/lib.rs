@@ -20,7 +20,12 @@
 //!    [`CostBasedPlanner`](si_core::CostBasedPlanner) output by
 //!    (query shape, statistics epoch); commits that drift the statistics
 //!    past [`EngineConfig::stats_drift_threshold`] bump the epoch and plans
-//!    re-rank lazily.
+//!    re-rank lazily.  On top of it, [`materialize::MaterializedSet`] keeps
+//!    the *answers* of hot (shape, parameter values) pairs and
+//!    [`Engine::commit`] **maintains** them by bounded delta propagation
+//!    instead of invalidating them — a repeated hot request after a small
+//!    commit is served with zero base-data accesses
+//!    (enable via [`EngineConfig::materialize_capacity`]).
 //! 3. **Snapshot isolation** — every execution pins an epoch-versioned
 //!    [`DatabaseSnapshot`]; a single writer
 //!    commits [`Delta`]s copy-on-write at relation granularity
@@ -55,23 +60,25 @@
 
 pub mod cache;
 pub mod error;
+pub mod materialize;
 mod pool;
 pub mod shape;
 
 pub use cache::{CachedPlan, PlanCache};
 pub use error::EngineError;
+pub use materialize::{MaintenanceSummary, MaterializedAnswer, MaterializedKey, MaterializedSet};
 pub use shape::{canonicalize, CanonicalQuery, ShapeKey};
 
 use si_access::{AccessSchema, SnapshotAccess};
 use si_core::bounded::{execute_bounded, execute_bounded_partitioned};
-use si_core::CoreError;
+use si_core::{maintenance_is_bounded, CoreError};
 use si_data::{
     AccessMeter, Database, DatabaseSnapshot, Delta, MeterSink, MeterSnapshot, SharedMeter,
     SnapshotStore, Tuple, Value,
 };
 use si_query::{ConjunctiveQuery, Var};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, RwLock};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Convenience result alias for fallible operations in this crate.
@@ -99,6 +106,17 @@ pub struct EngineConfig {
     pub stats_drift_threshold: f64,
     /// Maximum number of cached plan shapes.
     pub plan_cache_capacity: usize,
+    /// Maximum number of materialized (shape, parameter values) answers that
+    /// are *maintained* across commits instead of re-executed
+    /// (see [`materialize::MaterializedSet`]).  `0` disables the layer — the
+    /// default, because materialization trades write-path maintenance work
+    /// for read-path savings, which only pays on workloads with repeated hot
+    /// requests.
+    pub materialize_capacity: usize,
+    /// Admission threshold of the materialized layer: a (shape, values) pair
+    /// is materialized once it has been executed this many times (`1` =
+    /// every executed request is materialized).
+    pub materialize_after: u64,
 }
 
 impl Default for EngineConfig {
@@ -110,6 +128,8 @@ impl Default for EngineConfig {
             max_queue: 1024,
             stats_drift_threshold: 0.2,
             plan_cache_capacity: 256,
+            materialize_capacity: 0,
+            materialize_after: 2,
         }
     }
 }
@@ -149,6 +169,9 @@ pub struct QueryResponse {
     pub epoch: u64,
     /// True when the plan came from the prepared-plan cache.
     pub cache_hit: bool,
+    /// True when the answer was served from the materialized answer cache —
+    /// zero base-data accesses, no plan consulted.
+    pub materialized: bool,
     /// The plan's data-independent worst-case cost (what admission checked).
     pub static_cost: si_access::StaticCost,
     /// Wall-clock service time (planning + execution, excluding queueing).
@@ -178,6 +201,20 @@ pub struct EngineMetrics {
     pub snapshot_epoch: u64,
     /// Total access counts merged from every served request.
     pub accesses: MeterSnapshot,
+    /// Requests served from the materialized answer cache (zero accesses).
+    pub materialized_hits: u64,
+    /// Materialized answers currently admitted.
+    pub materialized_entries: u64,
+    /// Materialized answers maintained across commits by delta propagation.
+    pub maintenance_runs: u64,
+    /// Materialized answers dropped to the bounded-plan fallback (stale at
+    /// the commit, gate-rejected, or maintenance errored).
+    pub maintenance_fallbacks: u64,
+    /// Materialized answers evicted (FIFO capacity + cost-based).
+    pub materialized_evictions: u64,
+    /// Total base-data accesses of the write-path maintenance work (kept
+    /// separate from `accesses`, which counts the read path).
+    pub maintenance_accesses: MeterSnapshot,
 }
 
 /// Statistics snapshot + the epoch the plan cache keys against.
@@ -194,13 +231,22 @@ pub(crate) struct Shared {
     access: Arc<AccessSchema>,
     store: SnapshotStore,
     cache: PlanCache,
+    materialized: MaterializedSet,
+    /// Serialises [`Shared::commit`]s so that the base version pinned for
+    /// answer maintenance is always the true predecessor of the committed
+    /// version (the snapshot store's own writer mutex orders the swap, this
+    /// mutex orders the maintenance around it).
+    commit_lock: Mutex<()>,
     stats: RwLock<StatsEpoch>,
     meter: SharedMeter,
+    maintenance_meter: SharedMeter,
     requests: AtomicU64,
     rejected_by_budget: AtomicU64,
     shed_overload: AtomicU64,
     commits: AtomicU64,
     stats_refreshes: AtomicU64,
+    maintenance_runs: AtomicU64,
+    maintenance_fallbacks: AtomicU64,
     pub(crate) queued: AtomicUsize,
 }
 
@@ -225,9 +271,40 @@ impl Shared {
                 actual: request.values.len(),
             });
         }
+        let canonical = canonicalize(&request.query, &request.parameters);
+
+        // Materialized fast path: maintained answers exact for the pinned
+        // version are served with zero base-data accesses.  The key is built
+        // once and reused by the post-execution `record` below.
+        let mut materialized_key = (!self.materialized.is_disabled())
+            .then(|| (canonical.key.clone(), request.values.clone()));
+        if let Some(key) = &materialized_key {
+            if let Some(hit) = self.materialized.get(key, snapshot.epoch()) {
+                // Same defensive admission re-check as the plan cache: the
+                // answers were admitted when their plan was, but the check is
+                // two integer compares.
+                if let Some(budget) = self.config.fetch_budget {
+                    let cheapest = hit.static_cost.max_tuples;
+                    if cheapest > budget {
+                        self.rejected_by_budget.fetch_add(1, Ordering::Relaxed);
+                        return Err(EngineError::RejectedByBudget { budget, cheapest });
+                    }
+                }
+                let static_cost = hit.static_cost;
+                return Ok(QueryResponse {
+                    answers: hit.into_answers(),
+                    accesses: MeterSnapshot::default(),
+                    epoch: snapshot.epoch(),
+                    cache_hit: false,
+                    materialized: true,
+                    static_cost,
+                    service: start.elapsed(),
+                });
+            }
+        }
 
         // Admit + plan (possibly from cache).
-        let (cached, cache_hit) = self.plan_for(snapshot, request)?;
+        let (cached, cache_hit) = self.plan_for(snapshot, &canonical)?;
 
         // Execute on the pinned version, morsel-parallel when configured.
         let result = if self.config.shards_per_query > 1 {
@@ -250,11 +327,33 @@ impl Shared {
         // atomic adds — the fetch loops themselves charged Cell meters).
         self.meter.merge(&result.accesses);
 
+        // Offer the executed answers to the materialized layer: counted
+        // towards hotness, admitted at the threshold, maintained from the
+        // next commit on.  Reads of explicitly pinned *old* versions are not
+        // offered — materialization tracks the current version (if a commit
+        // races this check, the stale-entry drop at the next maintenance
+        // pass cleans up).
+        if let Some(key) = materialized_key.take() {
+            if snapshot.epoch() == self.store.epoch() {
+                self.materialized.record(
+                    key,
+                    &canonical.query,
+                    &canonical.parameters,
+                    &result.answers,
+                    snapshot.epoch(),
+                    cached.stats_epoch,
+                    cached.plan.static_cost(),
+                    result.accesses,
+                );
+            }
+        }
+
         Ok(QueryResponse {
             answers: result.answers,
             accesses: result.accesses,
             epoch: snapshot.epoch(),
             cache_hit,
+            materialized: false,
             static_cost: cached.plan.static_cost(),
             service: start.elapsed(),
         })
@@ -264,9 +363,8 @@ impl Shared {
     fn plan_for(
         &self,
         snapshot: &DatabaseSnapshot,
-        request: &Request,
+        canonical: &CanonicalQuery,
     ) -> Result<(CachedPlan, bool)> {
-        let canonical = canonicalize(&request.query, &request.parameters);
         let (stats, stats_epoch) = {
             let guard = self.stats.read().expect("stats lock poisoned");
             (Arc::clone(&guard.stats), guard.epoch)
@@ -304,14 +402,76 @@ impl Shared {
             stats_epoch,
             estimated_tuples: costed.estimated_tuples,
         };
-        self.cache.insert(canonical.key, cached.clone());
+        self.cache.insert(canonical.key.clone(), cached.clone());
         Ok((cached, false))
     }
 
-    /// Commits a delta; re-collects statistics when row counts drifted.
+    /// Commits a delta, maintaining materialized answers across it;
+    /// re-collects statistics when row counts drifted.
     fn commit(&self, delta: &Delta) -> Result<u64> {
+        // All engine commits serialise here, so `base` below really is the
+        // predecessor of the committed version — the pair of pinned versions
+        // bounded answer maintenance runs between.
+        let _writer = self.commit_lock.lock().expect("commit lock poisoned");
+        let base = self.store.pin();
         let snapshot = self.store.commit(delta)?;
         self.commits.fetch_add(1, Ordering::Relaxed);
+
+        // Maintenance path: propagate the delta into every admitted answer
+        // (commit → propagate → merge), falling back — dropping the entry —
+        // where the Corollary-5.3 gate or the maintenance work itself says
+        // no.  Readers keep serving throughout: they either pinned `base`
+        // (entries still answer for it until maintained) or pin `snapshot`
+        // after maintenance publishes the new epoch.
+        if !self.materialized.is_disabled() {
+            let touched = delta.touched_relations();
+            let summary = self.materialized.maintain_with(
+                base.epoch(),
+                snapshot.epoch(),
+                &touched,
+                |query, parameters, relation| {
+                    maintenance_is_bounded(
+                        query,
+                        snapshot.schema(),
+                        &self.access,
+                        relation,
+                        parameters,
+                    )
+                    .unwrap_or(false)
+                },
+                |evaluator| {
+                    let old_view = SnapshotAccess::<AccessMeter>::new(
+                        Arc::clone(&base),
+                        Arc::clone(&self.access),
+                    );
+                    let new_view = SnapshotAccess::<AccessMeter>::new(
+                        Arc::clone(&snapshot),
+                        Arc::clone(&self.access),
+                    );
+                    // The store's commit already validated `delta` against
+                    // `base`; no need to re-validate it per answer.
+                    let result = evaluator.maintain_across_unchecked(&old_view, &new_view, delta);
+                    if result.is_err() {
+                        // The fetches before the failure still happened; the
+                        // summary only carries successful runs, so account
+                        // the partial work here (the views' meters are fresh,
+                        // their totals are exactly this run's cost).
+                        self.maintenance_meter.merge(
+                            &old_view
+                                .meter()
+                                .snapshot()
+                                .plus(&new_view.meter().snapshot()),
+                        );
+                    }
+                    result
+                },
+            );
+            self.maintenance_runs
+                .fetch_add(summary.maintained, Ordering::Relaxed);
+            self.maintenance_fallbacks
+                .fetch_add(summary.fallbacks, Ordering::Relaxed);
+            self.maintenance_meter.merge(&summary.accesses);
+        }
 
         // Cheap drift probe: row counts only, no tuple scan.
         let drifted = {
@@ -348,6 +508,12 @@ impl Shared {
             stats_epoch,
             snapshot_epoch,
             accesses: self.meter.snapshot(),
+            materialized_hits: self.materialized.hits(),
+            materialized_entries: self.materialized.len() as u64,
+            maintenance_runs: self.maintenance_runs.load(Ordering::Relaxed),
+            maintenance_fallbacks: self.maintenance_fallbacks.load(Ordering::Relaxed),
+            materialized_evictions: self.materialized.evictions(),
+            maintenance_accesses: self.maintenance_meter.snapshot(),
         }
     }
 }
@@ -405,13 +571,21 @@ impl Engine {
             access: Arc::new(access),
             store: SnapshotStore::new(db),
             cache: PlanCache::new(config.plan_cache_capacity),
+            materialized: MaterializedSet::new(
+                config.materialize_capacity,
+                config.materialize_after,
+            ),
+            commit_lock: Mutex::new(()),
             stats: RwLock::new(StatsEpoch { stats, epoch: 0 }),
             meter: SharedMeter::new(),
+            maintenance_meter: SharedMeter::new(),
             requests: AtomicU64::new(0),
             rejected_by_budget: AtomicU64::new(0),
             shed_overload: AtomicU64::new(0),
             commits: AtomicU64::new(0),
             stats_refreshes: AtomicU64::new(0),
+            maintenance_runs: AtomicU64::new(0),
+            maintenance_fallbacks: AtomicU64::new(0),
             queued: AtomicUsize::new(0),
             config: config.clone(),
         });
@@ -505,6 +679,8 @@ const _: () = {
     assert_send_sync::<EngineMetrics>();
     assert_send_sync::<PlanCache>();
     assert_send_sync::<CachedPlan>();
+    assert_send_sync::<MaterializedSet>();
+    assert_send_sync::<MaterializedAnswer>();
     assert_send_sync::<Shared>();
     const fn assert_send<T: Send>() {}
     assert_send::<PendingResponse>();
@@ -648,6 +824,25 @@ mod tests {
     }
 
     #[test]
+    fn plan_cache_metrics_track_cold_warm_and_invalidated_requests() {
+        let engine = engine(EngineConfig {
+            stats_drift_threshold: 0.0, // every commit bumps the stats epoch
+            ..EngineConfig::default()
+        });
+        engine.execute(&req(1)).unwrap(); // cold → miss
+        engine.execute(&req(2)).unwrap(); // warm (same shape) → hit
+        engine
+            .commit(Delta::new().insert("friend", tuple![3, 4]))
+            .unwrap();
+        engine.execute(&req(1)).unwrap(); // invalidated by the epoch bump → miss
+        engine.execute(&req(2)).unwrap(); // warm again → hit
+        let m = engine.metrics();
+        assert_eq!(m.cache_hits, 2);
+        assert_eq!(m.cache_misses, 2);
+        assert_eq!(m.stats_epoch, 1);
+    }
+
+    #[test]
     fn pinned_snapshots_serve_old_versions() {
         let engine = engine(EngineConfig::default());
         let pinned = engine.snapshot();
@@ -680,6 +875,120 @@ mod tests {
         assert_eq!(a0, vec![tuple!["bob"], tuple!["dan"]]);
         assert!(responses[3].answers.is_empty());
         assert_eq!(engine.metrics().requests, 4);
+    }
+
+    #[test]
+    fn materialized_answers_serve_with_zero_accesses_and_survive_commits() {
+        let engine = engine(EngineConfig {
+            materialize_capacity: 16,
+            materialize_after: 1,
+            ..EngineConfig::default()
+        });
+        let first = engine.execute(&req(1)).unwrap();
+        assert!(!first.materialized);
+        assert!(first.accesses.tuples_fetched > 0);
+        // Admitted on the first execution (threshold 1): the repeat is
+        // served from maintained answers without touching data.
+        let second = engine.execute(&req(1)).unwrap();
+        assert!(second.materialized);
+        assert!(!second.cache_hit);
+        assert_eq!(second.accesses, MeterSnapshot::default());
+        assert_eq!(second.answers, first.answers);
+        assert_eq!(second.static_cost, first.static_cost);
+
+        // A commit touching `friend` is *maintained* into the entry: the
+        // next request is still a materialized hit and sees the new answer.
+        engine
+            .commit(Delta::new().insert("friend", tuple![1, 1]))
+            .unwrap();
+        let third = engine.execute(&req(1)).unwrap();
+        assert!(third.materialized, "maintenance must keep the entry warm");
+        assert_eq!(third.epoch, 1);
+        let mut answers = third.answers.clone();
+        answers.sort();
+        assert_eq!(answers, vec![tuple!["ann"], tuple!["bob"], tuple!["dan"]]);
+
+        let m = engine.metrics();
+        assert_eq!(m.materialized_hits, 2);
+        assert_eq!(m.materialized_entries, 1);
+        assert_eq!(m.maintenance_runs, 1);
+        assert_eq!(m.maintenance_fallbacks, 0);
+        // The maintenance work was bounded (a point probe, not a re-run) and
+        // is accounted on the write path, not in the serve meter.
+        assert!(m.maintenance_accesses.tuples_fetched >= 1);
+        assert!(m.maintenance_accesses.tuples_fetched <= 4);
+        assert_eq!(m.maintenance_accesses.full_scans, 0);
+    }
+
+    #[test]
+    fn materialization_threshold_counts_executions() {
+        let engine = engine(EngineConfig {
+            materialize_capacity: 16,
+            materialize_after: 3,
+            ..EngineConfig::default()
+        });
+        assert!(!engine.execute(&req(1)).unwrap().materialized);
+        assert!(!engine.execute(&req(1)).unwrap().materialized);
+        // Third execution admits; the fourth is the first materialized hit.
+        assert!(!engine.execute(&req(1)).unwrap().materialized);
+        assert!(engine.execute(&req(1)).unwrap().materialized);
+        // A different parameter value is a separate hotness counter.
+        assert!(!engine.execute(&req(2)).unwrap().materialized);
+    }
+
+    #[test]
+    fn uneconomical_entries_are_evicted_back_to_the_plan_path() {
+        let engine = engine(EngineConfig {
+            materialize_capacity: 16,
+            materialize_after: 1,
+            ..EngineConfig::default()
+        });
+        // Person 5 has no friends: re-execution fetches 0 tuples, so *any*
+        // maintenance work is costlier than recomputing on demand.
+        let zero = engine.execute(&req(5)).unwrap();
+        assert_eq!(zero.accesses.tuples_fetched, 0);
+        assert!(engine.execute(&req(5)).unwrap().materialized);
+        // The commit gives person 5 a friend; maintenance fetches ≥ 1 tuple
+        // and the cost comparison evicts the entry.
+        engine
+            .commit(Delta::new().insert("friend", tuple![5, 2]))
+            .unwrap();
+        let m = engine.metrics();
+        assert_eq!(m.maintenance_runs, 1);
+        assert_eq!(m.materialized_evictions, 1);
+        assert_eq!(m.materialized_entries, 0);
+        // The next request falls back to the bounded-plan path — with the
+        // maintained-then-evicted answer still correct via re-execution.
+        let after = engine.execute(&req(5)).unwrap();
+        assert!(!after.materialized);
+        assert_eq!(after.answers, vec![tuple!["bob"]]);
+    }
+
+    #[test]
+    fn execute_at_old_versions_bypasses_materialized_answers() {
+        let engine = engine(EngineConfig {
+            materialize_capacity: 16,
+            materialize_after: 1,
+            ..EngineConfig::default()
+        });
+        engine.execute(&req(1)).unwrap();
+        let pinned = engine.snapshot();
+        engine
+            .commit(Delta::new().insert("friend", tuple![1, 1]))
+            .unwrap();
+        // The entry was maintained to epoch 1; the pinned epoch-0 read must
+        // not be served from it.
+        let old = engine.execute_at(&pinned, &req(1)).unwrap();
+        assert!(!old.materialized);
+        let mut answers = old.answers;
+        answers.sort();
+        assert_eq!(answers, vec![tuple!["bob"], tuple!["dan"]]);
+        // The current version is served from the maintained entry.
+        let new = engine.execute(&req(1)).unwrap();
+        assert!(new.materialized);
+        let mut answers = new.answers;
+        answers.sort();
+        assert_eq!(answers, vec![tuple!["ann"], tuple!["bob"], tuple!["dan"]]);
     }
 
     #[test]

@@ -1,0 +1,725 @@
+//! The materialized answer cache: incrementally maintained answers for hot
+//! (query shape, parameter values) pairs.
+//!
+//! The plan cache ([`crate::cache::PlanCache`]) removes *planning* from the
+//! hot path; this layer removes *execution*.  A pair that has been requested
+//! often enough (the threshold of [`MaterializedSet::new`]) is admitted: its
+//! answer tuples are kept alongside per-shape maintenance state, and every
+//! later request
+//! whose pinned snapshot epoch matches the entry's `valid_epoch` is served
+//! with **zero base-data accesses**.
+//!
+//! On [`Engine::commit`](crate::Engine::commit) the engine *maintains*
+//! admitted answers instead of invalidating them: the paper's delta-rule
+//! machinery, specialised to bounded CQ maintenance
+//! ([`IncrementalBoundedEvaluator::maintain_across`]), runs against the two
+//! pinned snapshot versions around the commit and touches `O(|∆D|)` base
+//! tuples.  The engine falls back to the bounded-plan path — the entry is
+//! dropped and the next request re-executes and re-records — whenever
+//!
+//! * the entry is **stale** (its `valid_epoch` is not the commit's base
+//!   version: a concurrent commit raced the recording request),
+//! * [`maintenance_is_bounded`](si_core::maintenance_is_bounded) rejects the
+//!   update for some touched relation (Corollary 5.3 — for shapes admitted
+//!   through the bounded planner the check passes by plan monotonicity, but
+//!   it is the contract, so it is enforced, cached per *shape*),
+//! * maintenance itself errors (the evaluator's answers may then be
+//!   partially maintained and are unusable), or
+//! * maintenance has become **uneconomical**: once the tuples fetched by
+//!   maintenance since the entry's last hit exceed the tuples its last full
+//!   execution fetched, keeping the answer warm costs more base-data access
+//!   than recomputing it on demand, and the entry is evicted
+//!   (cost-based eviction; the [`MeterSnapshot`]s make both sides exact).
+//!
+//! Statistics epochs never invalidate materialized answers — answers are
+//! exact, only plan *choice* depends on statistics — but each entry records
+//! the stats epoch of the execution that populated it, so a re-recording
+//! after a stats refresh also refreshes the re-execution cost that the
+//! eviction economics compare against.
+//!
+//! Capacity eviction is FIFO in admission order, matching the plan cache.
+
+use crate::shape::ShapeKey;
+use si_access::StaticCost;
+use si_core::{CoreError, IncrementalBoundedEvaluator};
+use si_data::{MeterSnapshot, Tuple, Value};
+use si_query::{ConjunctiveQuery, Var};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Key of a materialized answer: the canonical query shape plus the
+/// invocation's parameter values (the values are what the shape key
+/// deliberately excludes).
+pub type MaterializedKey = (ShapeKey, Vec<Value>);
+
+/// A materialized-cache hit, ready to be returned without touching data.
+#[derive(Debug, Clone)]
+pub struct MaterializedAnswer {
+    /// The maintained answer tuples for the pinned epoch, shared with the
+    /// entry (a hit is an `Arc` clone; materialise with
+    /// [`MaterializedAnswer::into_answers`]).
+    pub answers: Arc<Vec<Tuple>>,
+    /// The static cost of the plan that originally produced the answers
+    /// (what admission control re-checks).
+    pub static_cost: StaticCost,
+}
+
+impl MaterializedAnswer {
+    /// The answer tuples as an owned vector — one clone per hit, taken
+    /// outside any cache lock (the entry keeps sharing the original).
+    pub fn into_answers(self) -> Vec<Tuple> {
+        (*self.answers).clone()
+    }
+}
+
+/// One admitted answer with its maintenance state.
+#[derive(Debug)]
+struct Entry {
+    /// The maintained answers.  `None` while maintenance runs outside the
+    /// lock ([`MaterializedSet::maintain_with`] phase 2): readers treat an
+    /// absent evaluator as a miss and fall back to the plan path, so the
+    /// write-path data accesses never stall the read path.
+    evaluator: Option<IncrementalBoundedEvaluator>,
+    /// The evaluator's answers rendered once per change, so a hit shares
+    /// them by `Arc` instead of rebuilding the vector under the read lock.
+    answers: Arc<Vec<Tuple>>,
+    /// The snapshot epoch the answers are exact for.
+    valid_epoch: u64,
+    /// The statistics epoch of the execution that (re-)populated the entry.
+    stats_epoch: u64,
+    /// Static cost of the producing plan (served back on hits).
+    static_cost: StaticCost,
+    /// Measured cost of the last full execution — the re-execution side of
+    /// the eviction economics.
+    reexec_cost: MeterSnapshot,
+    /// Cumulative maintenance cost over the entry's lifetime (observability).
+    maintain_cost: MeterSnapshot,
+    /// Commits this entry survived through maintenance.
+    maintained_commits: u64,
+    /// Tuples fetched by maintenance since the entry was last *hit* — the
+    /// keep-warm side of the eviction economics (atomic so hits can reset it
+    /// under the read lock).
+    maintain_tuples_since_hit: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<MaterializedKey, Entry>,
+    /// Admission order, for FIFO eviction.
+    order: VecDeque<MaterializedKey>,
+    /// Requests seen per key before admission — atomic so the common case
+    /// (bumping an already-tracked key) happens under the *read* lock.
+    seen: HashMap<MaterializedKey, AtomicU64>,
+    /// Per-*shape* maintenance-boundedness decisions, keyed by touched
+    /// relation: every entry of a shape shares one set of Corollary-5.3
+    /// verdicts.
+    boundedness: HashMap<ShapeKey, HashMap<String, bool>>,
+}
+
+/// What a maintenance pass did, for the engine's metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MaintenanceSummary {
+    /// Entries maintained to the new epoch.
+    pub maintained: u64,
+    /// Entries dropped (stale, gate-rejected, or errored) — the next request
+    /// falls back to the bounded-plan path.
+    pub fallbacks: u64,
+    /// Entries evicted because maintenance became costlier than
+    /// re-execution.
+    pub cost_evictions: u64,
+    /// Total base-data accesses of every *completed* maintenance run,
+    /// whether or not its result could be published.  An errored run's
+    /// partial fetches are not in here — its cost never reaches this layer
+    /// (the engine accounts them on its own write-path meter inside the
+    /// `run` closure).
+    pub accesses: MeterSnapshot,
+}
+
+/// The concurrent (shape, values) → maintained answers cache.
+///
+/// `capacity == 0` disables the layer: every call is a cheap no-op and the
+/// engine behaves exactly as the pure plan-cache path.
+#[derive(Debug)]
+pub struct MaterializedSet {
+    inner: RwLock<Inner>,
+    capacity: usize,
+    threshold: u64,
+    hits: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl MaterializedSet {
+    /// Creates a set holding at most `capacity` answers; a key is admitted
+    /// once it has been requested `threshold` times (`threshold <= 1` admits
+    /// on first execution).
+    pub fn new(capacity: usize, threshold: u64) -> Self {
+        MaterializedSet {
+            inner: RwLock::new(Inner::default()),
+            capacity,
+            threshold: threshold.max(1),
+            hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// True iff the layer is disabled (capacity 0).
+    pub fn is_disabled(&self) -> bool {
+        self.capacity == 0
+    }
+
+    /// Looks up maintained answers for `key`, provided they are exact for
+    /// `epoch`.  A hit resets the entry's keep-warm cost counter.
+    pub fn get(&self, key: &MaterializedKey, epoch: u64) -> Option<MaterializedAnswer> {
+        if self.is_disabled() {
+            return None;
+        }
+        let inner = self.inner.read().expect("materialized set poisoned");
+        let entry = inner.map.get(key)?;
+        // An entry whose evaluator is out for maintenance is a miss.
+        entry.evaluator.as_ref()?;
+        if entry.valid_epoch != epoch {
+            return None;
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        entry.maintain_tuples_since_hit.store(0, Ordering::Relaxed);
+        Some(MaterializedAnswer {
+            answers: Arc::clone(&entry.answers),
+            static_cost: entry.static_cost,
+        })
+    }
+
+    /// Records a plan-path execution: refreshes an existing (stale) entry in
+    /// place, or counts the key towards admission and admits it at the
+    /// threshold (evicting the oldest admitted key beyond capacity).
+    ///
+    /// `answers` must be exact for snapshot `epoch`; `reexec_cost` is the
+    /// measured cost of the execution that produced them.
+    ///
+    /// The common cold-key case — bumping the hotness counter of a key that
+    /// is tracked but below the threshold — runs under the *read* lock
+    /// (atomic counters); the write lock is taken only at a key's first
+    /// sighting, at admission, and for stale-entry refreshes, so hotness
+    /// bookkeeping does not serialize concurrent serve threads.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &self,
+        key: MaterializedKey,
+        query: &ConjunctiveQuery,
+        parameters: &[Var],
+        answers: &[Tuple],
+        epoch: u64,
+        stats_epoch: u64,
+        static_cost: StaticCost,
+        reexec_cost: MeterSnapshot,
+    ) {
+        if self.is_disabled() {
+            return;
+        }
+        // Read-lock fast path.
+        let mut counted = false;
+        {
+            let inner = self.inner.read().expect("materialized set poisoned");
+            if let Some(entry) = inner.map.get(&key) {
+                // Never refresh an entry backwards: a read on an *older*
+                // pinned version must not clobber answers maintained past it
+                // (re-checked under the write lock below).
+                if entry.valid_epoch > epoch {
+                    return;
+                }
+            } else if let Some(counter) = inner.seen.get(&key) {
+                counted = true;
+                if counter.fetch_add(1, Ordering::Relaxed) + 1 < self.threshold {
+                    return;
+                }
+            }
+        }
+        let mut inner = self.inner.write().expect("materialized set poisoned");
+        let admitted = inner.map.contains_key(&key);
+        if admitted {
+            if inner.map[&key].valid_epoch > epoch {
+                return;
+            }
+        } else if counted {
+            // Counted to the threshold on the fast path: admit.
+            inner.seen.remove(&key);
+        } else {
+            // First sighting of the key (or its counter was reset while the
+            // lock was dropped).  Bound the hotness tracker: counters are
+            // advisory, so when a long tail of distinct cold keys outgrows
+            // the budget the map is simply reset — a cold key then needs its
+            // request streak again, as on a fresh engine.
+            if inner.seen.len() >= self.seen_budget() && !inner.seen.contains_key(&key) {
+                inner.seen.clear();
+            }
+            let counter = inner
+                .seen
+                .entry(key.clone())
+                .or_insert_with(|| AtomicU64::new(0));
+            if counter.fetch_add(1, Ordering::Relaxed) + 1 < self.threshold {
+                return;
+            }
+            inner.seen.remove(&key);
+        }
+        let evaluator = IncrementalBoundedEvaluator::from_materialized(
+            query.clone(),
+            parameters.to_vec(),
+            key.1.clone(),
+            answers.iter().cloned(),
+            reexec_cost,
+        );
+        let entry = Entry {
+            evaluator: Some(evaluator),
+            answers: Arc::new(answers.to_vec()),
+            valid_epoch: epoch,
+            stats_epoch,
+            static_cost,
+            reexec_cost,
+            maintain_cost: MeterSnapshot::default(),
+            maintained_commits: 0,
+            maintain_tuples_since_hit: AtomicU64::new(0),
+        };
+        if inner.map.insert(key.clone(), entry).is_none() {
+            inner.order.push_back(key);
+            while inner.map.len() > self.capacity {
+                let Some(oldest) = inner.order.pop_front() else {
+                    break;
+                };
+                Self::purge(&mut inner, &oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Maintains every admitted entry across a commit from `base_epoch` to
+    /// `next_epoch`.
+    ///
+    /// `gate` answers "is maintenance of this shape bounded when `relation`
+    /// is updated?" (consulted once per shape per relation, cached); `run`
+    /// performs the actual bounded maintenance of one entry's evaluator and
+    /// returns its measured cost.  Entries that are stale, gate-rejected or
+    /// whose maintenance errors are dropped; entries whose keep-warm cost
+    /// has overtaken their re-execution cost are evicted.
+    ///
+    /// The base-data accesses of `run` happen **outside** the set's lock:
+    /// phase 1 triages entries and takes the maintainable evaluators out
+    /// under a brief write lock, phase 2 runs maintenance lock-free (readers
+    /// miss on the in-flight entries and fall back to the plan path instead
+    /// of waiting), phase 3 publishes the results.  Callers are expected to
+    /// serialise maintenance passes themselves (the engine's commit lock
+    /// does); a racing [`MaterializedSet::record`] that re-populates an
+    /// in-flight entry against the committed version wins over the
+    /// maintained result.
+    pub fn maintain_with<G, R>(
+        &self,
+        base_epoch: u64,
+        next_epoch: u64,
+        touched: &[String],
+        mut gate: G,
+        mut run: R,
+    ) -> MaintenanceSummary
+    where
+        G: FnMut(&ConjunctiveQuery, &[Var], &str) -> bool,
+        R: FnMut(&mut IncrementalBoundedEvaluator) -> Result<MeterSnapshot, CoreError>,
+    {
+        let mut summary = MaintenanceSummary::default();
+        if self.is_disabled() {
+            return summary;
+        }
+
+        // Phase 1 — triage under the write lock, no data access: drop stale
+        // and gate-rejected entries, take the evaluators of the rest.
+        let mut work: Vec<(MaterializedKey, IncrementalBoundedEvaluator)> = Vec::new();
+        {
+            let mut inner = self.inner.write().expect("materialized set poisoned");
+            let inner = &mut *inner;
+            let keys: Vec<MaterializedKey> = inner.order.iter().cloned().collect();
+            let mut dropped: Vec<MaterializedKey> = Vec::new();
+            for key in keys {
+                let Some(entry) = inner.map.get_mut(&key) else {
+                    continue;
+                };
+                let Some(evaluator) = entry.evaluator.as_ref() else {
+                    continue;
+                };
+                if entry.valid_epoch == next_epoch {
+                    // A racing reader already re-recorded the entry against
+                    // the committed version: current, nothing to maintain.
+                    continue;
+                }
+                if entry.valid_epoch != base_epoch {
+                    // A commit raced the recording request: the answers are
+                    // for some other version and cannot be maintained here.
+                    summary.fallbacks += 1;
+                    dropped.push(key);
+                    continue;
+                }
+                // Corollary 5.3 gate, cached per shape and touched relation.
+                let verdicts = inner.boundedness.entry(key.0.clone()).or_default();
+                let bounded = touched.iter().all(|relation| {
+                    *verdicts.entry(relation.clone()).or_insert_with(|| {
+                        gate(evaluator.query(), evaluator.parameters(), relation)
+                    })
+                });
+                if !bounded {
+                    summary.fallbacks += 1;
+                    dropped.push(key);
+                    continue;
+                }
+                let evaluator = entry.evaluator.take().expect("checked Some above");
+                work.push((key, evaluator));
+            }
+            for key in dropped {
+                Self::purge(inner, &key);
+            }
+        }
+
+        // Phase 2 — bounded maintenance against the two pinned versions,
+        // without holding the lock.
+        let results: Vec<(
+            MaterializedKey,
+            IncrementalBoundedEvaluator,
+            Result<MeterSnapshot, CoreError>,
+        )> = work
+            .into_iter()
+            .map(|(key, mut evaluator)| {
+                let result = run(&mut evaluator);
+                (key, evaluator, result)
+            })
+            .collect();
+
+        // Phase 3 — publish under the write lock.
+        {
+            let mut inner = self.inner.write().expect("materialized set poisoned");
+            let inner = &mut *inner;
+            let mut dropped: Vec<MaterializedKey> = Vec::new();
+            for (key, evaluator, result) in results {
+                // The base-data work of phase 2 happened whether or not the
+                // result can be published below; account for it first so
+                // `accesses` never undercounts the write path.
+                if let Ok(cost) = &result {
+                    summary.accesses = summary.accesses.plus(cost);
+                }
+                let Some(entry) = inner.map.get_mut(&key) else {
+                    // Evicted (capacity) while in flight: nothing to publish.
+                    continue;
+                };
+                if entry.evaluator.is_some() && entry.valid_epoch >= next_epoch {
+                    // A racing reader re-recorded the entry against the
+                    // committed version; its answers are at least as fresh.
+                    continue;
+                }
+                match result {
+                    Ok(cost) => {
+                        entry.answers = Arc::new(evaluator.answers());
+                        entry.evaluator = Some(evaluator);
+                        entry.valid_epoch = next_epoch;
+                        entry.maintained_commits += 1;
+                        entry.maintain_cost = entry.maintain_cost.plus(&cost);
+                        let since_hit = entry
+                            .maintain_tuples_since_hit
+                            .fetch_add(cost.tuples_fetched, Ordering::Relaxed)
+                            + cost.tuples_fetched;
+                        summary.maintained += 1;
+                        if since_hit > entry.reexec_cost.tuples_fetched {
+                            summary.cost_evictions += 1;
+                            dropped.push(key);
+                        }
+                    }
+                    Err(_) => {
+                        // The evaluator may be partially maintained: unusable.
+                        summary.fallbacks += 1;
+                        dropped.push(key);
+                    }
+                }
+            }
+            for key in dropped {
+                Self::purge(inner, &key);
+            }
+        }
+        self.evictions
+            .fetch_add(summary.cost_evictions, Ordering::Relaxed);
+        summary
+    }
+
+    /// The bound on the pre-admission hotness tracker (see
+    /// [`MaterializedSet::record`]).
+    fn seen_budget(&self) -> usize {
+        self.capacity.saturating_mul(16).max(1024)
+    }
+
+    /// Removes `key` and, when it was the shape's last entry, the shape's
+    /// cached boundedness verdicts.
+    fn purge(inner: &mut Inner, key: &MaterializedKey) {
+        inner.map.remove(key);
+        inner.order.retain(|k| k != key);
+        if !inner.map.keys().any(|(shape, _)| *shape == key.0) {
+            inner.boundedness.remove(&key.0);
+        }
+    }
+
+    /// The statistics epoch of the execution that (re-)populated `key`'s
+    /// entry — observability for the eviction economics: answers are exact
+    /// regardless, but the re-execution cost they are compared against was
+    /// measured under this epoch's plan ranking.
+    pub fn stats_epoch_of(&self, key: &MaterializedKey) -> Option<u64> {
+        self.inner
+            .read()
+            .expect("materialized set poisoned")
+            .map
+            .get(key)
+            .map(|e| e.stats_epoch)
+    }
+
+    /// Number of admitted answers.
+    pub fn len(&self) -> usize {
+        self.inner
+            .read()
+            .expect("materialized set poisoned")
+            .map
+            .len()
+    }
+
+    /// True iff nothing is admitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Requests served from maintained answers so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted so far (FIFO capacity + cost-based).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_data::tuple;
+    use si_query::parse_cq;
+
+    fn q() -> ConjunctiveQuery {
+        parse_cq(r#"Q1(p, name) :- friend(p, id), person(id, name, "NYC")"#).unwrap()
+    }
+
+    fn key(shape: &str, p: i64) -> MaterializedKey {
+        (shape.to_string(), vec![Value::int(p)])
+    }
+
+    fn fetch_cost(tuples: u64) -> MeterSnapshot {
+        MeterSnapshot {
+            tuples_fetched: tuples,
+            index_probes: 1,
+            full_scans: 0,
+            time_units: tuples,
+        }
+    }
+
+    fn record(set: &MaterializedSet, k: MaterializedKey, epoch: u64, reexec_tuples: u64) {
+        set.record(
+            k,
+            &q(),
+            &["p".into()],
+            &[tuple!["ann"]],
+            epoch,
+            0,
+            StaticCost::default(),
+            fetch_cost(reexec_tuples),
+        );
+    }
+
+    #[test]
+    fn threshold_gates_admission_and_epoch_gates_hits() {
+        let set = MaterializedSet::new(8, 2);
+        assert!(set.get(&key("s", 1), 0).is_none());
+        // First execution: counted, not admitted.
+        record(&set, key("s", 1), 0, 10);
+        assert!(set.get(&key("s", 1), 0).is_none());
+        assert!(set.is_empty());
+        // Second execution: admitted.
+        record(&set, key("s", 1), 0, 10);
+        let hit = set.get(&key("s", 1), 0).expect("admitted at threshold");
+        assert_eq!(hit.into_answers(), vec![tuple!["ann"]]);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.hits(), 1);
+        // Same key, different values: separate hotness counter.
+        assert!(set.get(&key("s", 2), 0).is_none());
+        // A different epoch is never served.
+        assert!(set.get(&key("s", 1), 1).is_none());
+    }
+
+    #[test]
+    fn disabled_set_is_a_no_op() {
+        let set = MaterializedSet::new(0, 1);
+        assert!(set.is_disabled());
+        record(&set, key("s", 1), 0, 10);
+        record(&set, key("s", 1), 0, 10);
+        assert!(set.get(&key("s", 1), 0).is_none());
+        let summary = set.maintain_with(0, 1, &[], |_, _, _| true, |_| Ok(fetch_cost(0)));
+        assert_eq!(summary, MaintenanceSummary::default());
+    }
+
+    #[test]
+    fn the_hotness_tracker_is_bounded() {
+        let set = MaterializedSet::new(4, 2);
+        record(&set, key("hot", 1), 0, 10);
+        // A long tail of distinct cold keys overflows the tracker's budget
+        // (max(1024, 16 × capacity)) and resets it instead of growing it…
+        for i in 0..1100 {
+            record(&set, key(&format!("cold-{i}"), 1), 0, 10);
+        }
+        assert!(
+            set.is_empty(),
+            "single executions admit nothing at threshold 2"
+        );
+        // …so the hot key needs its full request streak again.
+        record(&set, key("hot", 1), 0, 10);
+        assert!(set.get(&key("hot", 1), 0).is_none());
+        record(&set, key("hot", 1), 0, 10);
+        assert!(set.get(&key("hot", 1), 0).is_some());
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let set = MaterializedSet::new(2, 1);
+        record(&set, key("a", 1), 0, 10);
+        record(&set, key("b", 1), 0, 10);
+        record(&set, key("c", 1), 0, 10);
+        assert_eq!(set.len(), 2);
+        assert!(set.get(&key("a", 1), 0).is_none(), "oldest key evicted");
+        assert!(set.get(&key("b", 1), 0).is_some());
+        assert!(set.get(&key("c", 1), 0).is_some());
+        assert_eq!(set.evictions(), 1);
+    }
+
+    #[test]
+    fn maintenance_advances_epochs_and_applies_the_gate() {
+        let set = MaterializedSet::new(8, 1);
+        record(&set, key("s", 1), 0, 10);
+        // Maintained: entry now valid at epoch 1.
+        let touched = vec!["visit".to_string()];
+        let summary = set.maintain_with(0, 1, &touched, |_, _, _| true, |_| Ok(fetch_cost(2)));
+        assert_eq!(summary.maintained, 1);
+        assert_eq!(summary.accesses.tuples_fetched, 2);
+        assert!(set.get(&key("s", 1), 0).is_none());
+        assert!(set.get(&key("s", 1), 1).is_some());
+        // Gate rejection (for a relation with no cached verdict yet) drops
+        // the entry.
+        let other = vec!["person".to_string()];
+        let summary = set.maintain_with(1, 2, &other, |_, _, _| false, |_| Ok(fetch_cost(0)));
+        assert_eq!(summary.fallbacks, 1);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn gate_verdicts_are_cached_per_shape() {
+        let set = MaterializedSet::new(8, 1);
+        record(&set, key("s", 1), 0, 10);
+        record(&set, key("s", 2), 0, 10);
+        record(&set, key("t", 1), 0, 10);
+        let touched = vec!["visit".to_string()];
+        let mut calls = 0u32;
+        set.maintain_with(
+            0,
+            1,
+            &touched,
+            |_, _, _| {
+                calls += 1;
+                true
+            },
+            |_| Ok(fetch_cost(0)),
+        );
+        // Three entries, two shapes: one verdict per shape.
+        assert_eq!(calls, 2);
+        // The cached verdict is reused on the next commit.
+        set.maintain_with(
+            1,
+            2,
+            &touched,
+            |_, _, _| panic!("gate re-consulted"),
+            |_| Ok(fetch_cost(0)),
+        );
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn stale_entries_and_erroring_maintenance_fall_back() {
+        let set = MaterializedSet::new(8, 1);
+        record(&set, key("s", 1), 0, 10);
+        // Entry valid at 0, but the commit bases at 3: stale, dropped.
+        let summary = set.maintain_with(3, 4, &[], |_, _, _| true, |_| Ok(fetch_cost(0)));
+        assert_eq!(summary.fallbacks, 1);
+        assert!(set.is_empty());
+        // Maintenance error drops too.
+        record(&set, key("s", 1), 4, 10);
+        let summary = set.maintain_with(
+            4,
+            5,
+            &[],
+            |_, _, _| true,
+            |_| Err(CoreError::Invariant("boom".into())),
+        );
+        assert_eq!(summary.fallbacks, 1);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn cost_based_eviction_compares_keep_warm_against_reexecution() {
+        let set = MaterializedSet::new(8, 1);
+        // Re-execution fetched 6 tuples; each maintenance fetches 4.
+        record(&set, key("s", 1), 0, 6);
+        let s1 = set.maintain_with(0, 1, &[], |_, _, _| true, |_| Ok(fetch_cost(4)));
+        assert_eq!(s1.cost_evictions, 0);
+        assert!(set.get(&key("s", 1), 1).is_some()); // hit resets the counter
+        let s2 = set.maintain_with(1, 2, &[], |_, _, _| true, |_| Ok(fetch_cost(4)));
+        assert_eq!(
+            s2.cost_evictions, 0,
+            "one maintenance since the hit: 4 <= 6"
+        );
+        // No hit in between: 4 + 4 > 6 → evicted.
+        let s3 = set.maintain_with(2, 3, &[], |_, _, _| true, |_| Ok(fetch_cost(4)));
+        assert_eq!(s3.cost_evictions, 1);
+        assert!(set.is_empty());
+        assert_eq!(set.evictions(), 1);
+    }
+
+    #[test]
+    fn re_recording_refreshes_the_stats_epoch_and_reexecution_cost() {
+        let set = MaterializedSet::new(4, 1);
+        record(&set, key("s", 1), 0, 10);
+        assert_eq!(set.stats_epoch_of(&key("s", 1)), Some(0));
+        // A later execution under a refreshed statistics epoch re-records
+        // the entry: the cost basis (and its epoch) move with it.
+        set.record(
+            key("s", 1),
+            &q(),
+            &["p".into()],
+            &[tuple!["ann"]],
+            3,
+            7,
+            StaticCost::default(),
+            fetch_cost(25),
+        );
+        assert_eq!(set.stats_epoch_of(&key("s", 1)), Some(7));
+        assert_eq!(set.stats_epoch_of(&key("s", 2)), None);
+    }
+
+    #[test]
+    fn refreshing_a_stale_entry_keeps_the_admission_order() {
+        let set = MaterializedSet::new(2, 1);
+        record(&set, key("a", 1), 0, 10);
+        record(&set, key("b", 1), 0, 10);
+        // `a` re-recorded at a later epoch: refresh in place, no re-admission.
+        record(&set, key("a", 1), 5, 10);
+        assert!(set.get(&key("a", 1), 5).is_some());
+        // A third key still evicts `a` first (FIFO by admission).
+        record(&set, key("c", 1), 5, 10);
+        assert!(set.get(&key("a", 1), 5).is_none());
+        assert!(set.get(&key("b", 1), 0).is_some());
+        assert!(set.get(&key("c", 1), 5).is_some());
+    }
+}

@@ -128,6 +128,93 @@ fn readers_on_pinned_snapshots_agree_with_single_threaded_evaluation() {
 }
 
 #[test]
+fn materialized_serving_agrees_with_single_threaded_evaluation_under_commits() {
+    // Readers hammer a small hot set of (shape, value) pairs through the
+    // materialized answer cache while the writer keeps committing visit
+    // insert/delete batches; whenever no commit raced the execution, the
+    // served answers must equal naive single-threaded evaluation of the
+    // version the response reports.
+    let engine = engine(EngineConfig {
+        workers: 2,
+        materialize_capacity: 64,
+        materialize_after: 1,
+        stats_drift_threshold: 0.05,
+        ..EngineConfig::default()
+    });
+    let readers = 3usize;
+    let rounds = 40usize;
+    let batches = 20usize;
+    let verified = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        let writer_engine = &engine;
+        scope.spawn(move || {
+            for b in 0..batches {
+                writer_engine.commit(&fresh_visit_batch(b)).unwrap();
+                if b >= 2 && b % 2 == 0 {
+                    let mut delta = Delta::new();
+                    for j in 0..5i64 {
+                        let person = ((b as i64 - 2) * 7 + j) % PERSONS as i64;
+                        let rid = 2_000_000 + (b as i64 - 2) * 1_000 + j;
+                        delta.delete("visit", tuple![person, rid]);
+                    }
+                    writer_engine.commit(&delta).unwrap();
+                }
+            }
+        });
+
+        for reader in 0..readers {
+            let engine = &engine;
+            let verified = &verified;
+            scope.spawn(move || {
+                // A hot set of 4 persons: every pair repeats ~10 times, so
+                // answers are admitted, maintained and re-served many times.
+                let stream = social_requests(4, rounds, 500 + reader as u64);
+                for generated in stream {
+                    let request =
+                        Request::new(generated.query, generated.parameters, generated.values);
+                    let pinned = engine.snapshot();
+                    let response = engine.execute(&request).unwrap();
+                    if response.epoch == pinned.epoch() {
+                        // No commit raced the execution: the response is for
+                        // the pinned version and can be cross-checked.
+                        let mut served = response.answers.clone();
+                        served.sort();
+                        assert_eq!(
+                            served,
+                            naive_answers(&request, &pinned),
+                            "answers diverged at epoch {} (materialized: {})",
+                            response.epoch,
+                            response.materialized
+                        );
+                        verified.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    // The vast majority of executions are commit-free and were verified.
+    assert!(
+        verified.load(Ordering::Relaxed) > (readers * rounds / 2) as u64,
+        "too few verifiable executions: {}",
+        verified.load(Ordering::Relaxed)
+    );
+    let metrics = engine.metrics();
+    assert_eq!(metrics.commits, 29);
+    assert!(
+        metrics.materialized_hits > 0,
+        "hot repeats never hit the materialized cache"
+    );
+    assert!(
+        metrics.maintenance_runs > 0,
+        "commits never maintained an admitted answer"
+    );
+    // Write-path maintenance is bounded work: no full scans ever.
+    assert_eq!(metrics.maintenance_accesses.full_scans, 0);
+}
+
+#[test]
 fn plan_cache_hits_equal_cold_planned_answers() {
     // A warmed engine (every shape cached) and a cold engine must serve
     // identical answers for an identical request stream.

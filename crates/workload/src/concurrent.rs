@@ -10,8 +10,9 @@
 
 use crate::queries::{q1, q2};
 use crate::rng::SplitMix64;
+use crate::updates::visit_update_stream;
 use si_access::{facebook_access_schema, AccessConstraint, AccessSchema};
-use si_data::Value;
+use si_data::{Database, Delta, Value};
 use si_query::{ConjunctiveQuery, Var};
 
 /// One generated request: a query template, its parameter variables and this
@@ -71,6 +72,66 @@ pub fn social_requests(persons: usize, count: usize, seed: u64) -> Vec<Generated
         .collect()
 }
 
+/// One step of an update-heavy serving schedule.
+#[derive(Debug, Clone)]
+pub enum ScenarioOp {
+    /// Serve a query (repeatedly drawn from a small hot set, so answer
+    /// caches are exercised).
+    Query(GeneratedRequest),
+    /// Commit an update batch (well formed against the instance as evolved
+    /// by every earlier `Commit` of the schedule).
+    Commit(Delta),
+}
+
+/// Generates an update-heavy schedule over `db`: `ops` steps of which
+/// roughly `commit_percent`% are `visit` insert/delete batches
+/// (`batch_inserts`/`batch_deletes` tuples each, valid against the evolving
+/// instance) and the rest are Q1/Q2 requests whose person parameter is
+/// drawn from the `hot_persons` lowest ids — the repeated-hot-query,
+/// frequent-small-commit traffic that an incrementally maintained answer
+/// cache is built for.  Deterministic per seed.
+pub fn update_heavy_scenario(
+    db: &Database,
+    ops: usize,
+    commit_percent: u8,
+    hot_persons: usize,
+    batch_inserts: usize,
+    batch_deletes: usize,
+    seed: u64,
+) -> Vec<ScenarioOp> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    // Draw the commit batches up front (they form one evolving-state-valid
+    // stream, and any prefix of it is valid), then deal them into the
+    // schedule.  Sized to the expected commit count plus slack for the
+    // binomial tail; if the draw runs past the slack, the remaining commit
+    // slots simply become queries.
+    let planned = ops * (commit_percent.min(100) as usize) / 100 + ops / 8 + 4;
+    let mut commits =
+        visit_update_stream(db, planned, batch_inserts, batch_deletes, seed ^ 0x5eed).into_iter();
+    let q1 = q1();
+    let q2 = q2();
+    (0..ops)
+        .map(|_| {
+            if rng.gen_range(0..100u8) < commit_percent {
+                if let Some(delta) = commits.next() {
+                    return ScenarioOp::Commit(delta);
+                }
+            }
+            let p = rng.gen_range(0..hot_persons.max(1)) as i64;
+            let query = if rng.gen_range(0..100u8) < 60 {
+                q1.clone()
+            } else {
+                q2.clone()
+            };
+            ScenarioOp::Query(GeneratedRequest {
+                query,
+                parameters: vec!["p".into()],
+                values: vec![Value::int(p)],
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +171,58 @@ mod tests {
         // A uniform draw would put ~25% below 250; the quadratic skew puts
         // half there.
         assert!(low as f64 / reqs.len() as f64 > 0.4, "low share {low}");
+    }
+
+    #[test]
+    fn update_heavy_schedules_are_valid_against_the_evolving_instance() {
+        let db = SocialGenerator::new(SocialConfig {
+            persons: 100,
+            restaurants: 20,
+            ..SocialConfig::default()
+        })
+        .generate();
+        let a = update_heavy_scenario(&db, 80, 30, 8, 3, 2, 11);
+        let b = update_heavy_scenario(&db, 80, 30, 8, 3, 2, 11);
+        assert_eq!(a.len(), 80);
+        // Deterministic per seed.
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (ScenarioOp::Commit(dx), ScenarioOp::Commit(dy)) => assert_eq!(dx, dy),
+                (ScenarioOp::Query(qx), ScenarioOp::Query(qy)) => {
+                    assert_eq!(qx.values, qy.values);
+                    assert_eq!(qx.query.name, qy.query.name);
+                }
+                _ => panic!("schedules diverged in op kind"),
+            }
+        }
+        // Both op kinds appear, commits interleave with queries, every
+        // commit validates against the instance evolved so far, and hot
+        // queries repeat.
+        let mut evolving = db.clone();
+        let mut commits = 0;
+        let mut queries = 0;
+        let mut seen_values: Vec<Value> = Vec::new();
+        for op in &a {
+            match op {
+                ScenarioOp::Commit(delta) => {
+                    delta.apply_in_place(&mut evolving).unwrap();
+                    commits += 1;
+                    assert!(!delta.is_insertion_only() || delta.size() > 0);
+                }
+                ScenarioOp::Query(g) => {
+                    queries += 1;
+                    seen_values.push(g.values[0]);
+                }
+            }
+        }
+        assert!(commits >= 10, "only {commits} commits");
+        assert!(queries >= 30, "only {queries} queries");
+        let distinct: std::collections::BTreeSet<_> =
+            seen_values.iter().map(|v| format!("{v:?}")).collect();
+        assert!(
+            distinct.len() < queries,
+            "hot persons must repeat across queries"
+        );
     }
 
     #[test]

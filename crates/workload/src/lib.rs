@@ -19,8 +19,10 @@ pub mod scaling;
 pub mod social;
 pub mod updates;
 
-pub use concurrent::{serving_access_schema, social_requests, GeneratedRequest};
+pub use concurrent::{
+    serving_access_schema, social_requests, update_heavy_scenario, GeneratedRequest, ScenarioOp,
+};
 pub use queries::{example_46_access_schema, paper_views, q1, q2, q2_rewriting, q3};
 pub use scaling::{geometric_sizes, ScalePoint};
 pub use social::{SocialConfig, SocialGenerator};
-pub use updates::visit_insertions;
+pub use updates::{visit_insertions, visit_update_stream};

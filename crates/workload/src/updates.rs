@@ -2,6 +2,7 @@
 
 use crate::rng::SplitMix64;
 use si_data::{Database, Delta, Tuple, Value};
+use std::collections::BTreeSet;
 
 /// Builds an insertion-only update of `count` fresh `visit(id, rid)` tuples,
 /// with person ids drawn uniformly from the persons of `db` and restaurant
@@ -27,6 +28,77 @@ pub fn visit_insertions(db: &Database, count: usize, seed: u64) -> Delta {
     Delta::insertions_into("visit", tuples)
 }
 
+/// Builds a stream of `batches` mixed insert/delete `visit` batches that are
+/// each well formed **against the evolving instance** (batch `i` is valid
+/// after batches `0..i` have been applied) — the writer side of the
+/// update-heavy serving scenario.
+///
+/// Every batch deletes up to `deletes_per_batch` tuples currently present
+/// and inserts `inserts_per_batch` fresh ones; about half of the insertions
+/// target *existing* restaurants (so they can change query answers), the
+/// rest use fresh synthetic rids (pure growth).  Fully deterministic per
+/// seed.
+pub fn visit_update_stream(
+    db: &Database,
+    batches: usize,
+    inserts_per_batch: usize,
+    deletes_per_batch: usize,
+    seed: u64,
+) -> Vec<Delta> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let persons = db.relation("person").map(|r| r.len()).unwrap_or(0).max(1);
+    let restaurant_ids: Vec<Value> = db
+        .relation("restr")
+        .map(|r| r.iter().filter_map(|t| t.get(0).copied()).collect())
+        .unwrap_or_default();
+    let mut current: Vec<Tuple> = db
+        .relation("visit")
+        .map(|r| r.iter().cloned().collect())
+        .unwrap_or_default();
+    let mut current_set: BTreeSet<Tuple> = current.iter().cloned().collect();
+    let mut fresh_rid = 3_000_000usize; // disjoint from generated and `visit_insertions` rids
+
+    let mut deltas = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let mut delta = Delta::new();
+        let mut batch_deleted: BTreeSet<Tuple> = BTreeSet::new();
+        for _ in 0..deletes_per_batch {
+            if current.is_empty() {
+                break;
+            }
+            let i = rng.gen_range(0..current.len());
+            let t = current.swap_remove(i);
+            current_set.remove(&t);
+            batch_deleted.insert(t.clone());
+            delta.delete("visit", t);
+        }
+        let mut inserted = 0;
+        let mut attempts = 0;
+        while inserted < inserts_per_batch && attempts < inserts_per_batch * 20 {
+            attempts += 1;
+            let id = Value::from(rng.gen_range(0..persons));
+            let rid = if !restaurant_ids.is_empty() && rng.gen_range(0..2usize) == 0 {
+                restaurant_ids[rng.gen_range(0..restaurant_ids.len())]
+            } else {
+                fresh_rid += 1;
+                Value::from(fresh_rid)
+            };
+            let t: Tuple = vec![id, rid].into();
+            // A tuple deleted by this same batch must not also be inserted
+            // by it (∆D ∩ ∇D = ∅); re-insertion in a *later* batch is fine
+            // (and a deliberately covered edge case).
+            if batch_deleted.contains(&t) || !current_set.insert(t.clone()) {
+                continue;
+            }
+            current.push(t.clone());
+            delta.insert("visit", t);
+            inserted += 1;
+        }
+        deltas.push(delta);
+    }
+    deltas
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,6 +116,34 @@ mod tests {
         assert_eq!(delta.size(), 50);
         assert!(delta.is_insertion_only());
         delta.validate(&db).unwrap();
+    }
+
+    #[test]
+    fn update_streams_are_valid_against_the_evolving_instance() {
+        let db = SocialGenerator::new(SocialConfig {
+            persons: 60,
+            restaurants: 12,
+            ..SocialConfig::default()
+        })
+        .generate();
+        let stream = visit_update_stream(&db, 30, 3, 2, 9);
+        assert_eq!(stream.len(), 30);
+        assert_eq!(stream, visit_update_stream(&db, 30, 3, 2, 9));
+        let mut evolving = db.clone();
+        let mut deletions = 0;
+        let mut insertions = 0;
+        for delta in &stream {
+            // Valid exactly when applied in order.
+            delta.apply_in_place(&mut evolving).unwrap();
+            for (_, rd) in delta.iter() {
+                deletions += rd.deletions.len();
+                insertions += rd.insertions.len();
+            }
+        }
+        assert_eq!(insertions, 30 * 3);
+        assert!(deletions > 0);
+        // Batches really mix polarities.
+        assert!(stream.iter().any(|d| !d.is_insertion_only()));
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Property tests for the Section-5 change-propagation rules
+//! (`si_core::incremental::delta_rules`): on randomly generated relational
+//! algebra expressions and random mixed insert/delete updates,
+//!
+//! * `propagate`-then-`maintain` must equal full recomputation
+//!   (`E(D ⊕ ∆D) = (E(D) − E∇) ∪ E∆`),
+//! * the paper's invariants must hold: `E∇ ⊆ E(D)` and `E∆ ∩ E(D) = ∅`,
+//! * and the empty update and delete-then-reinsert sequences must be fixed
+//!   points (answers return to where they started).
+//!
+//! The expression generator covers every operator — selections,
+//! projections, renames, natural joins, and the set operations (whose right
+//! operands are derived from the left so attribute signatures always
+//! align) — to depth 3; updates mix polarities over all four social
+//! relations.  Deterministic seeded loops stand in for proptest (offline
+//! build).
+
+use si_core::incremental::{maintain, propagate};
+use si_data::schema::social_schema;
+use si_data::{Database, Delta, Tuple, Value};
+use si_query::algebra_eval::{evaluate_ra, RaEvaluator};
+use si_query::{Condition, RaExpr};
+use si_workload::rng::SplitMix64;
+use si_workload::{SocialConfig, SocialGenerator};
+use std::collections::BTreeSet;
+
+fn small_db(seed: u64) -> Database {
+    SocialGenerator::new(SocialConfig {
+        persons: 10 + (seed as usize % 4) * 3,
+        restaurants: 4 + (seed as usize % 3),
+        avg_friends: 3,
+        avg_visits: 2,
+        seed,
+        ..SocialConfig::default()
+    })
+    .generate()
+}
+
+fn leaf(rng: &mut SplitMix64) -> RaExpr {
+    let name = ["person", "friend", "restr", "visit"][rng.gen_range(0..4usize)];
+    RaExpr::relation(name)
+}
+
+/// A type-plausible constant for an attribute (mismatches would only make
+/// selections trivially empty, which tests nothing).
+fn const_for(rng: &mut SplitMix64, attribute: &str) -> Value {
+    match attribute {
+        a if a.contains("city") => Value::str(["NYC", "LA"][rng.gen_range(0..2usize)]),
+        a if a.contains("rating") => Value::str(["A", "B"][rng.gen_range(0..2usize)]),
+        a if a.contains("name") => Value::str(["p1", "p2", "r1"][rng.gen_range(0..3usize)]),
+        _ => Value::int(rng.gen_range(0..8usize) as i64),
+    }
+}
+
+/// Generates a random expression of the given depth; every operator can
+/// appear, and attribute choices are driven by the (schema-checked)
+/// attribute list of the subexpression, so generated expressions are always
+/// well formed.
+fn gen_expr(rng: &mut SplitMix64, depth: usize) -> RaExpr {
+    let schema = social_schema();
+    if depth == 0 {
+        return leaf(rng);
+    }
+    let inner = gen_expr(rng, depth - 1);
+    let attrs = inner
+        .attributes(&schema)
+        .expect("generated exprs are valid");
+    match rng.gen_range(0..8u8) {
+        0 => leaf(rng),
+        1 => {
+            let a = attrs[rng.gen_range(0..attrs.len())].clone();
+            let v = const_for(rng, &a);
+            inner.select(vec![Condition::EqConst(a, v)])
+        }
+        2 => {
+            // Non-empty random subset, order preserved.
+            let keep: Vec<&str> = attrs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (rng.next_u64() >> i) & 1 == 1)
+                .map(|(_, a)| a.as_str())
+                .collect();
+            if keep.is_empty() {
+                inner.project(&[attrs[0].as_str()])
+            } else {
+                inner.project(&keep)
+            }
+        }
+        3 => {
+            let a = attrs[rng.gen_range(0..attrs.len())].clone();
+            let fresh = format!("{a}_r");
+            if attrs.contains(&fresh) {
+                inner
+            } else {
+                inner.rename(&[(a.as_str(), fresh.as_str())])
+            }
+        }
+        4 => inner.join(gen_expr(rng, depth - 1)),
+        op => {
+            // Set operations: derive the right operand from the left so the
+            // attribute signatures agree by construction.
+            let right = if rng.gen_range(0..2usize) == 0 {
+                inner.clone()
+            } else {
+                let a = attrs[rng.gen_range(0..attrs.len())].clone();
+                let v = const_for(rng, &a);
+                inner.clone().select(vec![Condition::EqConst(a, v)])
+            };
+            match op {
+                5 => inner.union(right),
+                6 => inner.diff(right),
+                _ => inner.intersect(right),
+            }
+        }
+    }
+}
+
+/// A random mixed update, valid against `db`: fresh insertions and existing
+/// deletions over all four relations.
+fn gen_delta(rng: &mut SplitMix64, db: &Database, fresh: &mut usize) -> Delta {
+    let mut delta = Delta::new();
+    let mut planned: BTreeSet<(String, Tuple)> = BTreeSet::new();
+    let tuples = 1 + rng.gen_range(0..4usize);
+    for _ in 0..tuples {
+        let relation = ["person", "friend", "restr", "visit"][rng.gen_range(0..4usize)];
+        if rng.gen_range(0..2usize) == 0 {
+            // Deletion of an existing tuple.
+            let rel = db.relation(relation).unwrap();
+            if rel.is_empty() {
+                continue;
+            }
+            let i = rng.gen_range(0..rel.len());
+            let Some(t) = rel.iter().nth(i).cloned() else {
+                continue;
+            };
+            if planned.insert((relation.to_string(), t.clone())) {
+                delta.delete(relation, t);
+            }
+        } else {
+            // Insertion of a fresh tuple (fresh ids guarantee disjointness
+            // from D; the planned-set guards within the delta).
+            *fresh += 1;
+            let t: Tuple = match relation {
+                "person" => vec![
+                    Value::from(*fresh),
+                    Value::str(format!("n{fresh}")),
+                    Value::str(["NYC", "LA"][rng.gen_range(0..2usize)]),
+                ],
+                "friend" => vec![Value::from(rng.gen_range(0..12usize)), Value::from(*fresh)],
+                "restr" => vec![
+                    Value::from(*fresh),
+                    Value::str(format!("r{fresh}")),
+                    Value::str(["NYC", "LA"][rng.gen_range(0..2usize)]),
+                    Value::str(["A", "B"][rng.gen_range(0..2usize)]),
+                ],
+                _ => vec![Value::from(rng.gen_range(0..12usize)), Value::from(*fresh)],
+            }
+            .into();
+            if planned.insert((relation.to_string(), t.clone())) {
+                delta.insert(relation, t);
+            }
+        }
+    }
+    delta
+}
+
+/// The fundamental check: propagation invariants plus maintain ≡ recompute.
+fn check_propagation(expr: &RaExpr, db: &Database, delta: &Delta, context: &str) {
+    let old = evaluate_ra(expr, db).unwrap();
+    let updated = delta.apply(db).unwrap();
+    let expected = evaluate_ra(expr, &updated).unwrap();
+
+    let changes = propagate(expr).unwrap();
+    let evaluator = RaEvaluator::new(db).with_delta(delta);
+    let removed = evaluator.evaluate(&changes.nabla).unwrap();
+    let added = evaluator.evaluate(&changes.delta).unwrap();
+    let old_set: BTreeSet<Tuple> = old.tuples.iter().cloned().collect();
+    for t in &removed.align_to(&old.attributes).unwrap().tuples {
+        assert!(
+            old_set.contains(t),
+            "{context}: E∇ ⊄ E(D) at {t} for {expr}"
+        );
+    }
+    for t in &added.align_to(&old.attributes).unwrap().tuples {
+        assert!(
+            !old_set.contains(t),
+            "{context}: E∆ ∩ E(D) ∋ {t} for {expr}"
+        );
+    }
+
+    let maintained = maintain(expr, &old, db, delta).unwrap();
+    let mut got = maintained.tuples;
+    let mut want = expected.align_to(&maintained.attributes).unwrap().tuples;
+    got.sort();
+    want.sort();
+    assert_eq!(got, want, "{context}: maintenance ≠ recompute for {expr}");
+}
+
+#[test]
+fn maintain_equals_recompute_on_random_expressions_and_updates() {
+    for seed in 0..60u64 {
+        let db = small_db(seed);
+        let mut rng = SplitMix64::seed_from_u64(0xA1_5E_ED ^ seed);
+        let mut fresh = 900_000usize;
+        for case in 0..3 {
+            let expr = gen_expr(&mut rng, 1 + (case + seed as usize) % 3);
+            let delta = gen_delta(&mut rng, &db, &mut fresh);
+            if delta.is_empty() {
+                continue;
+            }
+            check_propagation(&expr, &db, &delta, &format!("seed {seed} case {case}"));
+        }
+    }
+}
+
+#[test]
+fn empty_updates_are_a_fixed_point() {
+    for seed in 0..12u64 {
+        let db = small_db(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let expr = gen_expr(&mut rng, 2);
+        let empty = Delta::new();
+        check_propagation(&expr, &db, &empty, &format!("seed {seed}"));
+        // And explicitly: maintenance of the empty update changes nothing.
+        let old = evaluate_ra(&expr, &db).unwrap();
+        let maintained = maintain(&expr, &old, &db, &empty).unwrap();
+        assert_eq!(maintained.tuples, old.tuples);
+    }
+}
+
+#[test]
+fn delete_then_reinsert_round_trips() {
+    for seed in 0..20u64 {
+        let db = small_db(seed);
+        let mut rng = SplitMix64::seed_from_u64(0xDE1E7E ^ seed);
+        let expr = gen_expr(&mut rng, 1 + seed as usize % 3);
+        // Pick an existing tuple from a base relation the expression uses.
+        let relations = expr.base_relations();
+        let relation = relations[rng.gen_range(0..relations.len())].clone();
+        let rel = db.relation(&relation).unwrap();
+        if rel.is_empty() {
+            continue;
+        }
+        let t = rel
+            .iter()
+            .nth(rng.gen_range(0..rel.len()))
+            .cloned()
+            .unwrap();
+
+        let original = evaluate_ra(&expr, &db).unwrap();
+        // Step 1: delete; maintenance must match the shrunken instance.
+        let deletion = Delta::deletions_from(&relation, vec![t.clone()]);
+        check_propagation(&expr, &db, &deletion, &format!("seed {seed} delete"));
+        let after_delete = maintain(&expr, &original, &db, &deletion).unwrap();
+        let shrunk = deletion.apply(&db).unwrap();
+        // Step 2: reinsert the same tuple; the maintained answers must
+        // return to the original answers (as a set).
+        let reinsertion = Delta::insertions_into(&relation, vec![t]);
+        check_propagation(
+            &expr,
+            &shrunk,
+            &reinsertion,
+            &format!("seed {seed} reinsert"),
+        );
+        let restored = maintain(&expr, &after_delete, &shrunk, &reinsertion).unwrap();
+        let mut got: Vec<Tuple> = restored.tuples;
+        let mut want: Vec<Tuple> = original.align_to(&restored.attributes).unwrap().tuples;
+        got.sort();
+        want.sort();
+        assert_eq!(
+            got, want,
+            "seed {seed}: delete-then-reinsert must round-trip for {expr}"
+        );
+    }
+}

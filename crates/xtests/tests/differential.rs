@@ -1,0 +1,293 @@
+//! Differential suite for the serving engine's maintenance path: an engine
+//! **with** the materialized answer cache, an engine **without** it, and a
+//! naive single-threaded oracle database must produce identical answers for
+//! every query at every epoch of every seeded schedule.
+//!
+//! Each seed deterministically generates the whole scenario — the instance
+//! (a seeded social database of varying size/fanout), the access
+//! constraints (plain Facebook, serving, or serving plus an extra `visit`
+//! rid-constraint — plan spaces differ across variants), the CQ shape pool
+//! (Q1, an alpha/constant variant, Q2, and a two-atom visit query; only
+//! shapes plannable under the variant), and the commit batches (mixed
+//! insert/delete `visit`/`friend`/`person` deltas valid against the
+//! evolving instance).  The schedule interleaves commits with repeated hot
+//! queries, so materialized answers are admitted, *maintained* across both
+//! update polarities (including delete-then-reinsert sequences), evicted
+//! and re-admitted — while the plan-only engine and the oracle advance
+//! through exactly the same epochs.
+//!
+//! CI runs this suite in `--release` as well (like the snapshot-isolation
+//! suite): the maintenance path is lock-heavy and release mode is where
+//! ordering bugs surface.
+
+use si_access::{AccessConstraint, AccessSchema};
+use si_data::{Database, Delta, Tuple, Value};
+use si_engine::{Engine, EngineConfig, Request};
+use si_query::{evaluate_cq, parse_cq, ConjunctiveQuery};
+use si_workload::rng::SplitMix64;
+use si_workload::{serving_access_schema, SocialConfig, SocialGenerator};
+use std::collections::BTreeSet;
+
+const SEEDS: u64 = 120;
+const OPS_PER_SEED: usize = 32;
+
+fn q1() -> ConjunctiveQuery {
+    si_workload::q1()
+}
+
+fn q1_la() -> ConjunctiveQuery {
+    parse_cq(r#"Z(a, b) :- friend(a, i), person(i, b, "LA")"#).unwrap()
+}
+
+fn q2() -> ConjunctiveQuery {
+    si_workload::q2()
+}
+
+fn qv() -> ConjunctiveQuery {
+    parse_cq("Qv(p, rid) :- friend(p, id), visit(id, rid)").unwrap()
+}
+
+/// The per-seed scenario: instance, access constraints, plannable shapes.
+fn scenario(seed: u64) -> (Database, AccessSchema, Vec<(ConjunctiveQuery, String)>) {
+    let db = SocialGenerator::new(SocialConfig {
+        persons: 24 + (seed as usize % 5) * 8,
+        restaurants: 6 + (seed as usize % 3) * 4,
+        avg_friends: 4 + (seed as usize % 4),
+        avg_visits: 2 + (seed as usize % 3),
+        seed,
+        ..SocialConfig::default()
+    })
+    .generate();
+    let full = vec![
+        (q1(), "p".to_string()),
+        (q1_la(), "a".to_string()),
+        (q2(), "p".to_string()),
+        (qv(), "p".to_string()),
+    ];
+    let (access, shapes) = match seed % 4 {
+        // Plain Facebook constraints: Q2/Qv are not plannable (no visit
+        // constraint), so the pool shrinks to the person-joining shapes.
+        0 => (
+            si_access::facebook_access_schema(5_000),
+            vec![(q1(), "p".to_string()), (q1_la(), "a".to_string())],
+        ),
+        // Serving constraints plus an extra rid-keyed visit constraint: the
+        // planner has more access paths to choose from.
+        1 => (
+            serving_access_schema(5_000).with(AccessConstraint::new("visit", &["rid"], 200, 1)),
+            full,
+        ),
+        // Serving constraints with varying caps (static bounds differ).
+        _ => (serving_access_schema(200 + (seed as usize % 7) * 100), full),
+    };
+    (db, access, shapes)
+}
+
+/// One valid update batch against the current oracle state: 1–3 tuples of
+/// mixed polarity over `visit`, `friend` and (insert-only) `person`.
+/// `restaurant_ids` are the *actual* ids from the `restr` relation's first
+/// column, so insertions onto existing restaurants really join `restr` (and
+/// can grow Q2 answers through the insertion-maintenance path).
+fn gen_delta(
+    rng: &mut SplitMix64,
+    oracle: &Database,
+    restaurant_ids: &[Value],
+    fresh: &mut usize,
+) -> Delta {
+    let mut delta = Delta::new();
+    let mut planned: BTreeSet<(String, Tuple)> = BTreeSet::new();
+    let persons = oracle
+        .relation("person")
+        .map(|r| r.len())
+        .unwrap_or(1)
+        .max(1);
+    let tuples = 1 + rng.gen_range(0..3usize);
+    for _ in 0..tuples {
+        let kind = rng.gen_range(0..100u8);
+        if kind < 30 {
+            // visit insertion (half onto existing restaurants).
+            let id = Value::from(rng.gen_range(0..persons));
+            let rid = if !restaurant_ids.is_empty() && rng.gen_range(0..2usize) == 0 {
+                restaurant_ids[rng.gen_range(0..restaurant_ids.len())]
+            } else {
+                *fresh += 1;
+                Value::from(*fresh)
+            };
+            let t: Tuple = vec![id, rid].into();
+            if !oracle.contains("visit", &t).unwrap()
+                && planned.insert(("visit".to_string(), t.clone()))
+            {
+                delta.insert("visit", t);
+            }
+        } else if kind < 50 {
+            // visit deletion.
+            let rel = oracle.relation("visit").unwrap();
+            if !rel.is_empty() {
+                let i = rng.gen_range(0..rel.len());
+                if let Some(t) = rel.iter().nth(i).cloned() {
+                    if planned.insert(("visit".to_string(), t.clone())) {
+                        delta.delete("visit", t);
+                    }
+                }
+            }
+        } else if kind < 75 {
+            // friend insertion.
+            let a = Value::from(rng.gen_range(0..persons));
+            let b = Value::from(rng.gen_range(0..persons));
+            let t: Tuple = vec![a, b].into();
+            if !oracle.contains("friend", &t).unwrap()
+                && planned.insert(("friend".to_string(), t.clone()))
+            {
+                delta.insert("friend", t);
+            }
+        } else if kind < 90 {
+            // friend deletion.
+            let rel = oracle.relation("friend").unwrap();
+            if !rel.is_empty() {
+                let i = rng.gen_range(0..rel.len());
+                if let Some(t) = rel.iter().nth(i).cloned() {
+                    if planned.insert(("friend".to_string(), t.clone())) {
+                        delta.delete("friend", t);
+                    }
+                }
+            }
+        } else {
+            // person insertion with a fresh id.
+            *fresh += 1;
+            let city = if rng.gen_range(0..2usize) == 0 {
+                "NYC"
+            } else {
+                "LA"
+            };
+            let t: Tuple = vec![
+                Value::from(*fresh),
+                Value::str(format!("p{fresh}")),
+                Value::str(city),
+            ]
+            .into();
+            delta.insert("person", t);
+        }
+    }
+    delta
+}
+
+fn naive_answers(query: &ConjunctiveQuery, parameter: &str, p: i64, db: &Database) -> Vec<Tuple> {
+    let bound = query.bind(&[(parameter.to_string(), Value::int(p))]);
+    let mut answers = evaluate_cq(&bound, db, None).unwrap();
+    answers.sort();
+    answers
+}
+
+#[test]
+fn engines_with_and_without_materialization_agree_with_the_oracle() {
+    let mut queries_checked = 0u64;
+    let mut materialized_hits = 0u64;
+    let mut maintenance_runs = 0u64;
+    let mut maintenance_fallbacks = 0u64;
+    let mut evictions = 0u64;
+
+    for seed in 0..SEEDS {
+        let (db, access, shapes) = scenario(seed);
+        let with = Engine::new(
+            db.clone(),
+            access.clone(),
+            EngineConfig {
+                workers: 1,
+                materialize_capacity: 32,
+                materialize_after: 1 + seed % 2,
+                stats_drift_threshold: 0.1,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let without = Engine::new(
+            db.clone(),
+            access,
+            EngineConfig {
+                workers: 1,
+                stats_drift_threshold: 0.1,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let mut oracle = db;
+        let mut rng = SplitMix64::seed_from_u64(0xD1FF_E4E0 ^ seed);
+        let mut fresh = 5_000_000usize;
+        let hot = 4i64;
+        // The actual restaurant ids (column 0 of `restr` — the generator
+        // offsets them, so row indices would never join).
+        let restaurant_ids: Vec<Value> = oracle
+            .relation("restr")
+            .map(|r| r.iter().filter_map(|t| t.get(0).copied()).collect())
+            .unwrap_or_default();
+
+        for op in 0..OPS_PER_SEED {
+            if rng.gen_range(0..100u8) < 35 {
+                let delta = gen_delta(&mut rng, &oracle, &restaurant_ids, &mut fresh);
+                if delta.is_empty() {
+                    continue;
+                }
+                let epoch_with = with.commit(&delta).unwrap();
+                let epoch_without = without.commit(&delta).unwrap();
+                assert_eq!(epoch_with, epoch_without, "seed {seed} op {op}");
+                delta.apply_in_place(&mut oracle).unwrap();
+            } else {
+                let (query, parameter) = &shapes[rng.gen_range(0..shapes.len())];
+                let p = rng.gen_range(0..hot as usize) as i64;
+                let request =
+                    Request::new(query.clone(), vec![parameter.clone()], vec![Value::int(p)]);
+                let a = with.execute(&request).unwrap();
+                let b = without.execute(&request).unwrap();
+                let expected = naive_answers(query, parameter, p, &oracle);
+                let mut got_a = a.answers.clone();
+                got_a.sort();
+                let mut got_b = b.answers.clone();
+                got_b.sort();
+                assert_eq!(
+                    got_a, expected,
+                    "materializing engine diverged: seed {seed} op {op} \
+                     query {} p {p} epoch {} (materialized: {})",
+                    query.name, a.epoch, a.materialized
+                );
+                assert_eq!(
+                    got_b, expected,
+                    "plan-path engine diverged: seed {seed} op {op} query {} p {p} epoch {}",
+                    query.name, b.epoch
+                );
+                assert_eq!(a.epoch, b.epoch, "seed {seed} op {op}");
+                queries_checked += 1;
+                if a.materialized {
+                    materialized_hits += 1;
+                }
+            }
+        }
+        let m = with.metrics();
+        maintenance_runs += m.maintenance_runs;
+        maintenance_fallbacks += m.maintenance_fallbacks;
+        evictions += m.materialized_evictions;
+        assert_eq!(
+            without.metrics().materialized_hits,
+            0,
+            "the control engine must never materialize"
+        );
+    }
+
+    // The suite only means something if the interesting paths actually ran.
+    assert!(
+        queries_checked > 1_500,
+        "only {queries_checked} queries checked"
+    );
+    assert!(
+        materialized_hits > 200,
+        "only {materialized_hits} materialized hits across the suite"
+    );
+    assert!(
+        maintenance_runs > 500,
+        "only {maintenance_runs} maintenance runs across the suite"
+    );
+    println!(
+        "differential: {queries_checked} queries checked, 0 divergent \
+         ({materialized_hits} materialized hits, {maintenance_runs} maintenance runs, \
+         {maintenance_fallbacks} fallbacks, {evictions} evictions)"
+    );
+}
