@@ -56,6 +56,10 @@ pub enum AccessError {
     FullScanNotAllowed(String),
     /// The database does not conform to the access schema.
     NotConforming(Vec<Violation>),
+    /// The relation is hash-partitioned across shards: no single-relation
+    /// surface exists (raised by [`crate::ShardedAccess::source_relation`];
+    /// every retrieval primitive routes or fans out instead).
+    ShardedRelation(String),
 }
 
 impl fmt::Display for AccessError {
@@ -74,6 +78,13 @@ impl fmt::Display for AccessError {
             }
             AccessError::NotConforming(vs) => {
                 write!(f, "database does not conform to the access schema ({} violations)", vs.len())
+            }
+            AccessError::ShardedRelation(r) => {
+                write!(
+                    f,
+                    "relation `{r}` is hash-partitioned across shards; use the fetch primitives, \
+                     not the single-relation surface"
+                )
             }
         }
     }

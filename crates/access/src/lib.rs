@@ -15,6 +15,10 @@
 //!   bounded executors evaluate against, and [`SnapshotAccess`], its
 //!   implementation over pinned [`si_data::DatabaseSnapshot`] versions (the
 //!   concurrent serving surface used by `si-engine`);
+//! * [`sharded`] — [`ShardedAccess`], the same trait over a pinned
+//!   hash-partitioned [`si_data::ShardedSnapshotView`]: exact-match probes
+//!   on the partition column route to a single shard, everything else
+//!   scatter-gathers in shard order with unsharded-identical accounting;
 //! * [`cost`] — the two-sided cost model: static, data-independent bounds
 //!   ([`StaticCost`]) that *admit* bounded plans, and statistics-driven
 //!   estimates ([`CostModel`]) that *rank* them.
@@ -28,6 +32,7 @@ pub mod cost;
 pub mod embedded;
 pub mod indexed;
 pub mod schema;
+pub mod sharded;
 pub mod source;
 
 pub use conformance::{conforms, violations, Violation};
@@ -36,6 +41,7 @@ pub use cost::{CostModel, StaticCost};
 pub use embedded::EmbeddedConstraint;
 pub use indexed::{AccessError, AccessIndexedDatabase};
 pub use schema::{facebook_access_schema, AccessSchema};
+pub use sharded::ShardedAccess;
 pub use source::{AccessSource, SnapshotAccess};
 
 /// Convenience result alias for fallible operations in this crate.

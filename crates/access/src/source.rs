@@ -20,14 +20,112 @@
 //! the four accessors.
 
 use crate::constraint::AccessConstraint;
+use crate::embedded::EmbeddedConstraint;
 use crate::indexed::AccessError;
 use crate::schema::AccessSchema;
 use si_data::{
     AccessMeter, Database, DatabaseSchema, DatabaseSnapshot, MeterSink, MeterSnapshot, Relation,
-    Tuple, Value,
+    RelationSchema, Tuple, Value,
 };
 use std::collections::BTreeSet;
 use std::sync::Arc;
+
+/// A probe split into its pushed-down index part and residual filter — the
+/// decomposition every [`AccessSource`] surface shares.
+///
+/// The constraint's attribute set forms the index key; bound attributes
+/// outside it become positional post-filter equalities.  Charging (and, for
+/// the sharded surface, routing) is defined on this one split, which is what
+/// keeps `ShardedAccess`'s *mirror accounting* exactly equal to the
+/// unsharded surfaces: both run the same split, the same per-relation probe
+/// and the same charge points.
+pub(crate) struct ProbeSplit {
+    pub(crate) index_attrs: Vec<String>,
+    pub(crate) index_key: Vec<Value>,
+    pub(crate) filter: Vec<(usize, Value)>,
+}
+
+/// Splits `(attrs, key)` against the pushed-down attribute set `pushed`
+/// (a plain constraint's `X`, or an embedded constraint's `from`).
+pub(crate) fn split_probe(
+    pushed: &[String],
+    rel_schema: &RelationSchema,
+    attrs: &[String],
+    key: &[Value],
+) -> Result<ProbeSplit, AccessError> {
+    let mut split = ProbeSplit {
+        index_attrs: Vec::new(),
+        index_key: Vec::new(),
+        filter: Vec::new(),
+    };
+    for (a, v) in attrs.iter().zip(key.iter()) {
+        if pushed.contains(a) {
+            split.index_attrs.push(a.clone());
+            split.index_key.push(*v);
+        } else {
+            split.filter.push((rel_schema.position_of(a)?, *v));
+        }
+    }
+    Ok(split)
+}
+
+impl ProbeSplit {
+    /// Runs the index part against one relation: `select_eq` on the pushed
+    /// attributes, or — for `X = ∅`, where the constraint bounds the whole
+    /// relation — a (bounded) scan.
+    pub(crate) fn probe(&self, rel: &Relation) -> Result<Vec<Tuple>, AccessError> {
+        if self.index_attrs.is_empty() {
+            Ok(rel.iter().cloned().collect())
+        } else {
+            Ok(rel.select_eq(&self.index_attrs, &self.index_key)?.0)
+        }
+    }
+
+    /// Applies the residual filter.
+    pub(crate) fn residual_keeps(&self, tuple: &Tuple) -> bool {
+        self.filter.iter().all(|(p, v)| tuple.get(*p) == Some(v))
+    }
+
+    /// Residual-filters `fetched`, projects onto `positions` and
+    /// deduplicates in arrival order — the tail of every embedded fetch
+    /// (the returned length is what the meter charges).
+    pub(crate) fn project_dedup(&self, fetched: Vec<Tuple>, positions: &[usize]) -> Vec<Tuple> {
+        let mut seen: BTreeSet<Tuple> = BTreeSet::new();
+        let mut out = Vec::new();
+        for t in fetched.into_iter().filter(|t| self.residual_keeps(t)) {
+            let proj = t.project(positions);
+            if seen.insert(proj.clone()) {
+                out.push(proj);
+            }
+        }
+        out
+    }
+}
+
+/// The embedded constraint every surface selects for
+/// [`AccessSource::fetch_embedded`]: usable with the bound attributes,
+/// covering the requested projection, minimal `N` (ties broken by
+/// declaration order via `min_by_key`).
+pub(crate) fn best_embedded<'a>(
+    access: &'a AccessSchema,
+    relation: &str,
+    attrs: &[String],
+    onto: &[String],
+) -> Result<&'a EmbeddedConstraint, AccessError> {
+    let bound: BTreeSet<&str> = attrs.iter().map(String::as_str).collect();
+    let onto_set: BTreeSet<&str> = onto.iter().map(String::as_str).collect();
+    access
+        .embedded()
+        .iter()
+        .filter(|e| {
+            e.relation == relation && e.usable_with(&bound) && onto_set.is_subset(&e.onto_set())
+        })
+        .min_by_key(|e| e.bound)
+        .ok_or_else(|| AccessError::NoConstraint {
+            relation: relation.to_owned(),
+            bound_attributes: attrs.to_vec(),
+        })
+}
 
 /// Storage-agnostic access-schema-mediated retrieval.
 ///
@@ -98,33 +196,17 @@ pub trait AccessSource {
         let meter = self.meter_sink();
         // Split the probe into the indexed part (the constraint's X) and the
         // residual filter.
-        let mut index_attrs: Vec<String> = Vec::new();
-        let mut index_key: Vec<Value> = Vec::new();
-        let mut filter: Vec<(usize, Value)> = Vec::new();
-        for (a, v) in attrs.iter().zip(key.iter()) {
-            if constraint.on.contains(a) {
-                index_attrs.push(a.clone());
-                index_key.push(*v);
-            } else {
-                filter.push((rel.schema().position_of(a)?, *v));
-            }
-        }
+        let split = split_probe(&constraint.on, rel.schema(), attrs, key)?;
 
         meter.add_probe();
         meter.add_time(constraint.time);
 
-        let (fetched, _used_index) = if index_attrs.is_empty() {
-            // X = ∅: the constraint bounds the whole relation; fetching it is
-            // a (bounded) scan.
-            (rel.iter().cloned().collect::<Vec<_>>(), false)
-        } else {
-            rel.select_eq(&index_attrs, &index_key)?
-        };
+        let fetched = split.probe(rel)?;
         meter.add_tuples(fetched.len() as u64);
 
         Ok(fetched
             .into_iter()
-            .filter(|t| filter.iter().all(|(p, v)| t.get(*p) == Some(v)))
+            .filter(|t| split.residual_keeps(t))
             .collect())
     }
 
@@ -138,55 +220,17 @@ pub trait AccessSource {
         key: &[Value],
         onto: &[String],
     ) -> Result<Vec<Tuple>, AccessError> {
-        let bound: BTreeSet<&str> = attrs.iter().map(String::as_str).collect();
-        let onto_set: BTreeSet<&str> = onto.iter().map(String::as_str).collect();
-        let constraint = self
-            .access_schema()
-            .embedded()
-            .iter()
-            .filter(|e| {
-                e.relation == relation && e.usable_with(&bound) && onto_set.is_subset(&e.onto_set())
-            })
-            .min_by_key(|e| e.bound)
-            .ok_or_else(|| AccessError::NoConstraint {
-                relation: relation.to_owned(),
-                bound_attributes: attrs.to_vec(),
-            })?;
-
+        let constraint = best_embedded(self.access_schema(), relation, attrs, onto)?;
         let rel = self.source_relation(relation)?;
         let meter = self.meter_sink();
         let positions = rel.schema().positions_of(onto)?;
-        let mut index_attrs: Vec<String> = Vec::new();
-        let mut index_key: Vec<Value> = Vec::new();
-        let mut filter: Vec<(usize, Value)> = Vec::new();
-        for (a, v) in attrs.iter().zip(key.iter()) {
-            if constraint.from.contains(a) {
-                index_attrs.push(a.clone());
-                index_key.push(*v);
-            } else {
-                filter.push((rel.schema().position_of(a)?, *v));
-            }
-        }
+        let split = split_probe(&constraint.from, rel.schema(), attrs, key)?;
 
         meter.add_probe();
         meter.add_time(constraint.time);
 
-        let (fetched, _) = if index_attrs.is_empty() {
-            (rel.iter().cloned().collect::<Vec<_>>(), false)
-        } else {
-            rel.select_eq(&index_attrs, &index_key)?
-        };
-        let mut seen: BTreeSet<Tuple> = BTreeSet::new();
-        let mut out = Vec::new();
-        for t in fetched
-            .into_iter()
-            .filter(|t| filter.iter().all(|(p, v)| t.get(*p) == Some(v)))
-        {
-            let proj = t.project(&positions);
-            if seen.insert(proj.clone()) {
-                out.push(proj);
-            }
-        }
+        let fetched = split.probe(rel)?;
+        let out = split.project_dedup(fetched, &positions);
         meter.add_tuples(out.len() as u64);
         Ok(out)
     }

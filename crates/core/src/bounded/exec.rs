@@ -931,6 +931,97 @@ mod tests {
     }
 
     #[test]
+    fn partitioned_execution_over_a_sharded_source_matches_sequential_unsharded() {
+        // Data sharding (ShardedAccess over a hash-partitioned store) and
+        // morsel sharding (execute_bounded_partitioned) compose: each worker
+        // forks a sharded source over the same pinned shard vector, and the
+        // merged result keeps the answer *set*, witness *set* and meter
+        // identical to sequential execution over the unsharded store.
+        use si_data::{PartitionMap, ShardedSnapshotStore, SnapshotStore};
+        use std::collections::BTreeSet;
+        use std::sync::Arc;
+        let schema = social_schema();
+        let access = facebook_access_schema(5000).with(si_access::AccessConstraint::new(
+            "visit",
+            &["id"],
+            1000,
+            1,
+        ));
+        let planner = BoundedPlanner::new(&schema, &access);
+        let q2 = parse_cq(
+            r#"Q2(p, rn) :- friend(p, id), visit(id, rid), person(id, pn, "NYC"), restr(rid, rn, "NYC", "A")"#,
+        )
+        .unwrap();
+        let plan = planner.plan(&q2, &["p".into()]).unwrap();
+
+        let mut db = Database::empty(schema);
+        for i in 2..150i64 {
+            db.insert("friend", tuple![1, i]).unwrap();
+            let city = if i % 2 == 0 { "NYC" } else { "LA" };
+            db.insert("person", tuple![i, format!("p{i}"), city])
+                .unwrap();
+            db.insert("visit", tuple![i, 1000 + i % 5]).unwrap();
+        }
+        for r in 0..5i64 {
+            let rating = if r % 2 == 0 { "A" } else { "B" };
+            db.insert("restr", tuple![1000 + r, format!("r{r}"), "NYC", rating])
+                .unwrap();
+        }
+        for (relation, attrs) in access.required_indexes() {
+            if !attrs.is_empty() {
+                db.declare_index(&relation, &attrs).unwrap();
+            }
+        }
+        let sequential = {
+            let store = SnapshotStore::new(db.clone());
+            let view = si_access::SnapshotAccess::<si_data::AccessMeter>::new(
+                store.pin(),
+                Arc::new(access.clone()),
+            );
+            execute_bounded(&plan, &[Value::int(1)], &view).unwrap()
+        };
+        assert!(!sequential.answers.is_empty());
+        let partition = PartitionMap::new()
+            .with("person", "id")
+            .with("friend", "id1")
+            .with("visit", "id")
+            .with("restr", "rid");
+
+        let canon = |answer: &BoundedAnswer| {
+            let mut answers = answer.answers.clone();
+            answers.sort();
+            let facts: BTreeSet<(String, Tuple)> = answer.witness.facts.iter().cloned().collect();
+            (answers, facts)
+        };
+        let expected = canon(&sequential);
+        for data_shards in [1usize, 3, 8] {
+            let store =
+                ShardedSnapshotStore::new(db.clone(), partition.clone(), data_shards).unwrap();
+            let view = store.pin();
+            let access = Arc::new(access.clone());
+            for workers in [1usize, 2, 4, 8] {
+                let make = || {
+                    si_access::ShardedAccess::<si_data::AccessMeter>::new(
+                        view.clone(),
+                        access.clone(),
+                    )
+                };
+                let parallel =
+                    execute_bounded_partitioned(&plan, &[Value::int(1)], make, workers).unwrap();
+                assert_eq!(
+                    canon(&parallel),
+                    expected,
+                    "data_shards={data_shards} workers={workers}"
+                );
+                assert_eq!(
+                    parallel.accesses, sequential.accesses,
+                    "data_shards={data_shards} workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn static_cost_upper_bounds_measured_cost() {
         let schema = social_schema();
         let access = facebook_access_schema(5000);

@@ -200,6 +200,21 @@ impl IndexPool {
         self.read_built().contains_key(&normalise(positions))
     }
 
+    /// The normalised key positions of every declared-or-built index — what
+    /// a hash-partition split re-declares on each shard so access-schema
+    /// promises keep holding shard-locally.
+    pub fn declared_positions(&self) -> Vec<Vec<usize>> {
+        let mut keys: Vec<Vec<usize>> = self
+            .declared
+            .iter()
+            .cloned()
+            .chain(self.read_built().keys().cloned())
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
     /// Builds the index on `positions` now (declaring it if necessary).
     pub fn build_now(&mut self, positions: Vec<usize>, tuples: &[Tuple]) {
         let key = normalise(&positions);

@@ -40,6 +40,11 @@
 //! * [`snapshot`] — epoch-versioned, copy-on-write [`DatabaseSnapshot`]s and
 //!   the [`SnapshotStore`] (pinning readers, one committing writer), the
 //!   storage contract of the `si-engine` concurrent serving layer,
+//! * [`shard`] — hash-partitioned sharded storage: [`PartitionMap`] routing
+//!   over a declared partition column per relation, the
+//!   [`ShardedSnapshotStore`] (N per-shard stores committing under one
+//!   coherent global epoch) and pinned [`ShardedSnapshotView`]s with exact
+//!   cross-shard merged statistics,
 //! * [`meter`] — deterministic counters of tuples fetched ([`MeterSink`],
 //!   with the single-threaded [`AccessMeter`] and the atomic
 //!   [`SharedMeter`]), used by all experiments to measure the quantity that
@@ -57,6 +62,7 @@ pub mod meter;
 pub mod ordset;
 pub mod relation;
 pub mod schema;
+pub mod shard;
 pub mod snapshot;
 pub mod stats;
 pub mod tuple;
@@ -71,6 +77,10 @@ pub use meter::{AccessMeter, MeterSink, MeterSnapshot, SharedMeter};
 pub use ordset::TupleSet;
 pub use relation::Relation;
 pub use schema::{DatabaseSchema, RelationSchema};
+pub use shard::{
+    shard_of_tuple, shard_of_value, PartitionMap, ShardStats, ShardedSnapshotStore,
+    ShardedSnapshotView,
+};
 pub use snapshot::{DatabaseSnapshot, SnapshotStore};
 pub use stats::{DatabaseStats, RelationStats};
 pub use tuple::Tuple;
@@ -101,6 +111,9 @@ const _: () = {
     assert_send_sync::<DatabaseStats>();
     assert_send_sync::<DatabaseSnapshot>();
     assert_send_sync::<SnapshotStore>();
+    assert_send_sync::<PartitionMap>();
+    assert_send_sync::<ShardedSnapshotView>();
+    assert_send_sync::<ShardedSnapshotStore>();
     assert_send_sync::<SharedMeter>();
     assert_send_sync::<MeterSnapshot>();
     // AccessMeter is deliberately *not* Sync (Cell-based fast path); it only

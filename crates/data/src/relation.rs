@@ -158,6 +158,22 @@ impl Relation {
         &self.indexes
     }
 
+    /// The attribute lists of every declared-or-built index, resolved back
+    /// to names (normalised position order).  A hash-partition split uses
+    /// this to re-declare the same indexes on every shard.
+    pub fn declared_indexes(&self) -> Vec<Vec<String>> {
+        self.indexes
+            .declared_positions()
+            .into_iter()
+            .map(|positions| {
+                positions
+                    .into_iter()
+                    .map(|p| self.schema.attributes()[p].clone())
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Selects the tuples whose attributes `attributes` equal `key`
     /// (σ_{X=a̅}(R)), and reports whether an index served the probe.
     ///

@@ -117,6 +117,13 @@ impl DatabaseStats {
         DatabaseStats { relations }
     }
 
+    /// Builds statistics from per-relation entries computed elsewhere — the
+    /// entry point of the sharded store's exact cross-shard merge
+    /// ([`crate::ShardedSnapshotView::statistics`]).
+    pub fn from_relation_stats(relations: BTreeMap<String, RelationStats>) -> Self {
+        DatabaseStats { relations }
+    }
+
     /// Statistics of a single relation, if present.
     pub fn relation(&self, name: &str) -> Option<&RelationStats> {
         self.relations.get(name)
@@ -140,10 +147,20 @@ impl DatabaseStats {
     /// it reads only relation lengths, never scans tuples.  Relations absent
     /// from the snapshot count with `rows = 0`.
     pub fn max_relative_row_drift<'a>(&self, relations: impl Iterator<Item = &'a Relation>) -> f64 {
+        self.max_relative_row_drift_counts(relations.map(|r| (r.name().to_owned(), r.len())))
+    }
+
+    /// [`DatabaseStats::max_relative_row_drift`] over pre-summed
+    /// `(relation, rows)` pairs — the form a sharded view reports, where a
+    /// relation's live row count is the sum across shards.
+    pub fn max_relative_row_drift_counts(
+        &self,
+        counts: impl IntoIterator<Item = (String, usize)>,
+    ) -> f64 {
         let mut drift = 0.0f64;
-        for r in relations {
-            let sampled = self.relation(r.name()).map(|s| s.rows).unwrap_or(0);
-            let delta = r.len().abs_diff(sampled) as f64;
+        for (name, len) in counts {
+            let sampled = self.relation(&name).map(|s| s.rows).unwrap_or(0);
+            let delta = len.abs_diff(sampled) as f64;
             drift = drift.max(delta / sampled.max(1) as f64);
         }
         drift

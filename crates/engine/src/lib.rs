@@ -30,7 +30,13 @@
 //!    [`DatabaseSnapshot`]; a single writer
 //!    commits [`Delta`]s copy-on-write at relation granularity
 //!    ([`si_data::SnapshotStore`]), so readers never block and never see a
-//!    torn instance.
+//!    torn instance.  With [`Engine::new_sharded`] the store is
+//!    **hash-partitioned** ([`si_data::ShardedSnapshotStore`]): commits
+//!    split by route under one coherent global epoch, executions plan once
+//!    against exact global statistics and scatter-gather through
+//!    [`si_access::ShardedAccess`] (partition-column probes route to a
+//!    single shard, everything else fans out in shard order), and answers,
+//!    epochs and access accounting stay identical to the unsharded engine.
 //! 4. **Parallel bounded execution** — a fixed worker pool (hand-rolled
 //!    on `std::thread` + mpsc) serves requests concurrently;
 //!    within a request, [`execute_bounded_partitioned`](si_core) can fan the
@@ -69,12 +75,13 @@ pub use error::EngineError;
 pub use materialize::{MaintenanceSummary, MaterializedAnswer, MaterializedKey, MaterializedSet};
 pub use shape::{canonicalize, CanonicalQuery, ShapeKey};
 
-use si_access::{AccessSchema, SnapshotAccess};
+use si_access::{AccessSchema, ShardedAccess, SnapshotAccess};
 use si_core::bounded::{execute_bounded, execute_bounded_partitioned};
-use si_core::{maintenance_is_bounded, CoreError};
+use si_core::{maintenance_is_bounded, CoreError, IncrementalBoundedEvaluator};
 use si_data::{
-    AccessMeter, Database, DatabaseSnapshot, Delta, MeterSink, MeterSnapshot, SharedMeter,
-    SnapshotStore, Tuple, Value,
+    AccessMeter, Database, DatabaseSchema, DatabaseSnapshot, DatabaseStats, Delta, MeterSink,
+    MeterSnapshot, PartitionMap, ShardStats, ShardedSnapshotStore, ShardedSnapshotView,
+    SharedMeter, SnapshotStore, Tuple, Value,
 };
 use si_query::{ConjunctiveQuery, Var};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -157,6 +164,108 @@ impl Request {
     }
 }
 
+/// The storage behind an engine: one snapshot store, or `N` hash-partitioned
+/// ones behind a routing function (see [`Engine::new_sharded`]).
+#[derive(Debug)]
+enum Backend {
+    Single(SnapshotStore),
+    Sharded(ShardedSnapshotStore),
+}
+
+impl Backend {
+    fn pin(&self) -> EngineSnapshot {
+        match self {
+            Backend::Single(store) => EngineSnapshot::Single(store.pin()),
+            Backend::Sharded(store) => EngineSnapshot::Sharded(store.pin()),
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        match self {
+            Backend::Single(store) => store.epoch(),
+            Backend::Sharded(store) => store.epoch(),
+        }
+    }
+
+    fn commit(&self, delta: &Delta) -> si_data::Result<EngineSnapshot> {
+        match self {
+            Backend::Single(store) => store.commit(delta).map(EngineSnapshot::Single),
+            Backend::Sharded(store) => store.commit(delta).map(EngineSnapshot::Sharded),
+        }
+    }
+}
+
+/// A pinned engine version: the reader side of snapshot isolation, uniform
+/// over single-store and sharded engines.
+///
+/// Obtained from [`Engine::snapshot`]; hold it and every
+/// [`Engine::execute_at`] sees exactly this version, no matter how many
+/// commits happen meanwhile.  Cloning is an `Arc` bump.
+#[derive(Debug, Clone)]
+pub enum EngineSnapshot {
+    /// A pinned version of a single snapshot store.
+    Single(Arc<DatabaseSnapshot>),
+    /// A coherent pinned view across every shard of a sharded store.
+    Sharded(Arc<ShardedSnapshotView>),
+}
+
+impl EngineSnapshot {
+    /// The snapshot epoch (for sharded engines, the common global epoch).
+    pub fn epoch(&self) -> u64 {
+        match self {
+            EngineSnapshot::Single(snap) => snap.epoch(),
+            EngineSnapshot::Sharded(view) => view.epoch(),
+        }
+    }
+
+    /// The database schema.
+    pub fn schema(&self) -> &DatabaseSchema {
+        match self {
+            EngineSnapshot::Single(snap) => snap.schema(),
+            EngineSnapshot::Sharded(view) => view.schema(),
+        }
+    }
+
+    /// Total number of tuples, `|D|` of this version.
+    pub fn size(&self) -> usize {
+        match self {
+            EngineSnapshot::Single(snap) => snap.size(),
+            EngineSnapshot::Sharded(view) => view.size(),
+        }
+    }
+
+    /// Collects statistics for this version.  For sharded engines these are
+    /// the exact *global* statistics (identical to unsharded collection), so
+    /// plans ranked against them are shard-count-independent.
+    pub fn statistics(&self) -> DatabaseStats {
+        match self {
+            EngineSnapshot::Single(snap) => snap.statistics(),
+            EngineSnapshot::Sharded(view) => view.statistics(),
+        }
+    }
+
+    /// Materialises the version as one owned [`Database`] (for sharded
+    /// engines, a shard-order merge).  Single-threaded cross-checks and
+    /// tests only.
+    pub fn to_database(&self) -> Database {
+        match self {
+            EngineSnapshot::Single(snap) => snap.to_database(),
+            EngineSnapshot::Sharded(view) => view.to_database(),
+        }
+    }
+
+    /// Live `(relation, row count)` pairs — the cheap drift signal.
+    fn row_counts(&self) -> Vec<(String, usize)> {
+        match self {
+            EngineSnapshot::Single(snap) => snap
+                .relations()
+                .map(|r| (r.name().to_owned(), r.len()))
+                .collect(),
+            EngineSnapshot::Sharded(view) => view.row_counts(),
+        }
+    }
+}
+
 /// The answer to a served request, with its provenance.
 #[derive(Debug, Clone)]
 pub struct QueryResponse {
@@ -229,7 +338,7 @@ struct StatsEpoch {
 pub(crate) struct Shared {
     config: EngineConfig,
     access: Arc<AccessSchema>,
-    store: SnapshotStore,
+    store: Backend,
     cache: PlanCache,
     materialized: MaterializedSet,
     /// Serialises [`Shared::commit`]s so that the base version pinned for
@@ -258,11 +367,7 @@ impl Shared {
     }
 
     /// Serves one request against a caller-pinned snapshot version.
-    fn serve_at(
-        &self,
-        snapshot: &Arc<DatabaseSnapshot>,
-        request: &Request,
-    ) -> Result<QueryResponse> {
+    fn serve_at(&self, snapshot: &EngineSnapshot, request: &Request) -> Result<QueryResponse> {
         let start = Instant::now();
         self.requests.fetch_add(1, Ordering::Relaxed);
         if request.values.len() != request.parameters.len() {
@@ -306,21 +411,55 @@ impl Shared {
         // Admit + plan (possibly from cache).
         let (cached, cache_hit) = self.plan_for(snapshot, &canonical)?;
 
-        // Execute on the pinned version, morsel-parallel when configured.
-        let result = if self.config.shards_per_query > 1 {
-            let make = || {
-                SnapshotAccess::<AccessMeter>::new(Arc::clone(snapshot), Arc::clone(&self.access))
-            };
-            execute_bounded_partitioned(
-                &cached.plan,
-                &request.values,
-                make,
-                self.config.shards_per_query,
-            )?
-        } else {
-            let view =
-                SnapshotAccess::<AccessMeter>::new(Arc::clone(snapshot), Arc::clone(&self.access));
-            execute_bounded(&cached.plan, &request.values, &view)?
+        // Execute on the pinned version — scatter-gather across data shards
+        // through `ShardedAccess` on sharded backends, morsel-parallel when
+        // configured (both compose: each morsel worker forks a sharded
+        // source over the same pinned shard vector).
+        let result = match snapshot {
+            EngineSnapshot::Single(snap) => {
+                if self.config.shards_per_query > 1 {
+                    let make = || {
+                        SnapshotAccess::<AccessMeter>::new(
+                            Arc::clone(snap),
+                            Arc::clone(&self.access),
+                        )
+                    };
+                    execute_bounded_partitioned(
+                        &cached.plan,
+                        &request.values,
+                        make,
+                        self.config.shards_per_query,
+                    )?
+                } else {
+                    let view = SnapshotAccess::<AccessMeter>::new(
+                        Arc::clone(snap),
+                        Arc::clone(&self.access),
+                    );
+                    execute_bounded(&cached.plan, &request.values, &view)?
+                }
+            }
+            EngineSnapshot::Sharded(view) => {
+                if self.config.shards_per_query > 1 {
+                    let make = || {
+                        ShardedAccess::<AccessMeter>::new(
+                            Arc::clone(view),
+                            Arc::clone(&self.access),
+                        )
+                    };
+                    execute_bounded_partitioned(
+                        &cached.plan,
+                        &request.values,
+                        make,
+                        self.config.shards_per_query,
+                    )?
+                } else {
+                    let source = ShardedAccess::<AccessMeter>::new(
+                        Arc::clone(view),
+                        Arc::clone(&self.access),
+                    );
+                    execute_bounded(&cached.plan, &request.values, &source)?
+                }
+            }
         };
 
         // Merge this request's access counts into the engine meter (four
@@ -362,7 +501,7 @@ impl Shared {
     /// Plan-cache lookup with admission control; plans on miss.
     fn plan_for(
         &self,
-        snapshot: &DatabaseSnapshot,
+        snapshot: &EngineSnapshot,
         canonical: &CanonicalQuery,
     ) -> Result<(CachedPlan, bool)> {
         let (stats, stats_epoch) = {
@@ -425,6 +564,13 @@ impl Shared {
         // after maintenance publishes the new epoch.
         if !self.materialized.is_disabled() {
             let touched = delta.touched_relations();
+            // On a sharded backend the delta is split by route ONCE per
+            // commit; every admitted entry's maintenance then iterates the
+            // same shard-local sub-deltas.
+            let parts: Option<Vec<Delta>> = match &base {
+                EngineSnapshot::Single(_) => None,
+                EngineSnapshot::Sharded(view) => Some(view.split(delta)),
+            };
             let summary = self.materialized.maintain_with(
                 base.epoch(),
                 snapshot.epoch(),
@@ -439,32 +585,7 @@ impl Shared {
                     )
                     .unwrap_or(false)
                 },
-                |evaluator| {
-                    let old_view = SnapshotAccess::<AccessMeter>::new(
-                        Arc::clone(&base),
-                        Arc::clone(&self.access),
-                    );
-                    let new_view = SnapshotAccess::<AccessMeter>::new(
-                        Arc::clone(&snapshot),
-                        Arc::clone(&self.access),
-                    );
-                    // The store's commit already validated `delta` against
-                    // `base`; no need to re-validate it per answer.
-                    let result = evaluator.maintain_across_unchecked(&old_view, &new_view, delta);
-                    if result.is_err() {
-                        // The fetches before the failure still happened; the
-                        // summary only carries successful runs, so account
-                        // the partial work here (the views' meters are fresh,
-                        // their totals are exactly this run's cost).
-                        self.maintenance_meter.merge(
-                            &old_view
-                                .meter()
-                                .snapshot()
-                                .plus(&new_view.meter().snapshot()),
-                        );
-                    }
-                    result
-                },
+                |evaluator| self.maintain_one(evaluator, &base, &snapshot, delta, parts.as_deref()),
             );
             self.maintenance_runs
                 .fetch_add(summary.maintained, Ordering::Relaxed);
@@ -476,7 +597,9 @@ impl Shared {
         // Cheap drift probe: row counts only, no tuple scan.
         let drifted = {
             let guard = self.stats.read().expect("stats lock poisoned");
-            guard.stats.max_relative_row_drift(snapshot.relations())
+            guard
+                .stats
+                .max_relative_row_drift_counts(snapshot.row_counts())
                 > self.config.stats_drift_threshold
         };
         if drifted {
@@ -490,6 +613,95 @@ impl Shared {
             self.stats_refreshes.fetch_add(1, Ordering::Relaxed);
         }
         Ok(snapshot.epoch())
+    }
+
+    /// Bounded maintenance of one materialized answer across the commit
+    /// `base → snapshot` of `delta` (phase 2 of
+    /// [`MaterializedSet::maintain_with`], running outside its lock).
+    ///
+    /// On a sharded backend Section-5 maintenance runs **per shard on the
+    /// shard-local delta** (`parts`, split by route once per commit) — each
+    /// run's fetches route through the sharded views, so per-shard deltas
+    /// touch per-shard data plus whatever cross-shard completions the
+    /// rest-queries need.  The composition is exact because every deletion
+    /// re-check and insertion completion evaluates against the full
+    /// committed version.
+    fn maintain_one(
+        &self,
+        evaluator: &mut IncrementalBoundedEvaluator,
+        base: &EngineSnapshot,
+        snapshot: &EngineSnapshot,
+        delta: &Delta,
+        parts: Option<&[Delta]>,
+    ) -> std::result::Result<MeterSnapshot, CoreError> {
+        match (base, snapshot) {
+            (EngineSnapshot::Single(base), EngineSnapshot::Single(snapshot)) => {
+                let old_view =
+                    SnapshotAccess::<AccessMeter>::new(Arc::clone(base), Arc::clone(&self.access));
+                let new_view = SnapshotAccess::<AccessMeter>::new(
+                    Arc::clone(snapshot),
+                    Arc::clone(&self.access),
+                );
+                // The store's commit already validated `delta` against
+                // `base`; no need to re-validate it per answer.
+                let result = evaluator.maintain_across_unchecked(&old_view, &new_view, delta);
+                if result.is_err() {
+                    // The fetches before the failure still happened; the
+                    // summary only carries successful runs, so account the
+                    // partial work here (the views' meters are fresh, their
+                    // totals are exactly this run's cost).
+                    self.maintenance_meter.merge(
+                        &old_view
+                            .meter()
+                            .snapshot()
+                            .plus(&new_view.meter().snapshot()),
+                    );
+                }
+                result
+            }
+            (EngineSnapshot::Sharded(base), EngineSnapshot::Sharded(snapshot)) => {
+                let old_view =
+                    ShardedAccess::<AccessMeter>::new(Arc::clone(base), Arc::clone(&self.access));
+                let new_view = ShardedAccess::<AccessMeter>::new(
+                    Arc::clone(snapshot),
+                    Arc::clone(&self.access),
+                );
+                let split;
+                let parts = match parts {
+                    Some(parts) => parts,
+                    None => {
+                        split = base.split(delta);
+                        &split
+                    }
+                };
+                let mut cost = MeterSnapshot::default();
+                for part in parts {
+                    if part.is_empty() {
+                        continue;
+                    }
+                    match evaluator.maintain_across_unchecked(&old_view, &new_view, part) {
+                        Ok(c) => cost = cost.plus(&c),
+                        Err(e) => {
+                            // Account everything this evaluator fetched so
+                            // far — earlier sub-deltas included — exactly
+                            // once: the views' cumulative meters are the
+                            // whole run's cost, and `cost` is discarded.
+                            self.maintenance_meter.merge(
+                                &old_view
+                                    .meter()
+                                    .snapshot()
+                                    .plus(&new_view.meter().snapshot()),
+                            );
+                            return Err(e);
+                        }
+                    }
+                }
+                Ok(cost)
+            }
+            _ => Err(CoreError::Invariant(
+                "engine snapshot variants diverged across one commit".into(),
+            )),
+        }
     }
 
     fn metrics(&self) -> EngineMetrics {
@@ -567,9 +779,54 @@ impl Engine {
             }
         }
         let stats = Arc::new(db.statistics());
+        Ok(Self::build(
+            Backend::Single(SnapshotStore::new(db)),
+            access,
+            stats,
+            config,
+        ))
+    }
+
+    /// Builds an engine over a **hash-partitioned** store: `shards`
+    /// partitions of the initial instance, routed by `partition` (the
+    /// declared partition column per relation — see
+    /// [`si_data::PartitionMap`]).
+    ///
+    /// Requests plan once against exact global statistics and execute
+    /// scatter-gather: probes that bind a relation's partition column route
+    /// to a single shard, everything else fans across shards merging in
+    /// shard order — answers, epochs and access accounting are identical to
+    /// the unsharded engine (the shard-equivalence suite pins this).
+    /// Commits split the delta by route and commit shard-locally under one
+    /// coherent global epoch; materialized answers are maintained per shard
+    /// on the shard-local delta.
+    pub fn new_sharded(
+        mut db: Database,
+        access: AccessSchema,
+        partition: PartitionMap,
+        shards: usize,
+        config: EngineConfig,
+    ) -> Result<Engine> {
+        access.validate(db.schema())?;
+        for (relation, attrs) in access.required_indexes() {
+            if !attrs.is_empty() {
+                db.declare_index(&relation, &attrs)?;
+            }
+        }
+        let stats = Arc::new(db.statistics());
+        let store = ShardedSnapshotStore::new(db, partition, shards)?;
+        Ok(Self::build(Backend::Sharded(store), access, stats, config))
+    }
+
+    fn build(
+        store: Backend,
+        access: AccessSchema,
+        stats: Arc<DatabaseStats>,
+        config: EngineConfig,
+    ) -> Engine {
         let shared = Arc::new(Shared {
             access: Arc::new(access),
-            store: SnapshotStore::new(db),
+            store,
             cache: PlanCache::new(config.plan_cache_capacity),
             materialized: MaterializedSet::new(
                 config.materialize_capacity,
@@ -590,7 +847,7 @@ impl Engine {
             config: config.clone(),
         });
         let pool = pool::WorkerPool::start(Arc::clone(&shared), config.workers);
-        Ok(Engine { shared, pool })
+        Engine { shared, pool }
     }
 
     /// Serves a request synchronously on the calling thread (admit →
@@ -605,7 +862,7 @@ impl Engine {
     /// version, no matter how many commits happen meanwhile.
     pub fn execute_at(
         &self,
-        snapshot: &Arc<DatabaseSnapshot>,
+        snapshot: &EngineSnapshot,
         request: &Request,
     ) -> Result<QueryResponse> {
         self.shared.serve_at(snapshot, request)
@@ -641,9 +898,26 @@ impl Engine {
         self.shared.commit(delta)
     }
 
-    /// Pins the current snapshot version.
-    pub fn snapshot(&self) -> Arc<DatabaseSnapshot> {
+    /// Pins the current snapshot version (uniform over single-store and
+    /// sharded engines).
+    pub fn snapshot(&self) -> EngineSnapshot {
         self.shared.store.pin()
+    }
+
+    /// Number of data shards (1 for single-store engines).
+    pub fn data_shards(&self) -> usize {
+        match &self.shared.store {
+            Backend::Single(_) => 1,
+            Backend::Sharded(store) => store.shard_count(),
+        }
+    }
+
+    /// Per-shard balance numbers (empty for single-store engines).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        match &self.shared.store {
+            Backend::Single(_) => Vec::new(),
+            Backend::Sharded(store) => store.shard_stats(),
+        }
     }
 
     /// The current snapshot epoch.
@@ -674,6 +948,7 @@ const fn assert_send_sync<T: Send + Sync>() {}
 const _: () = {
     assert_send_sync::<Engine>();
     assert_send_sync::<EngineConfig>();
+    assert_send_sync::<EngineSnapshot>();
     assert_send_sync::<Request>();
     assert_send_sync::<QueryResponse>();
     assert_send_sync::<EngineMetrics>();
@@ -1001,6 +1276,143 @@ mod tests {
         let a = sharded.execute(&req(1)).unwrap();
         let b = plain.execute(&req(1)).unwrap();
         assert_eq!(a.answers, b.answers);
+        assert_eq!(a.accesses, b.accesses);
+    }
+
+    fn social_partition() -> PartitionMap {
+        PartitionMap::new()
+            .with("person", "id")
+            .with("friend", "id1")
+            .with("visit", "id")
+            .with("restr", "rid")
+    }
+
+    fn sharded_engine(shards: usize, config: EngineConfig) -> Engine {
+        Engine::new_sharded(
+            small_db(),
+            si_access::facebook_access_schema(5000),
+            social_partition(),
+            shards,
+            config,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn data_sharded_engine_is_answer_epoch_and_meter_identical() {
+        let plain = engine(EngineConfig::default());
+        for shards in [1usize, 2, 3, 8] {
+            let sharded = sharded_engine(shards, EngineConfig::default());
+            assert_eq!(sharded.data_shards(), shards);
+            for p in 1..=4 {
+                let a = sharded.execute(&req(p)).unwrap();
+                let b = plain.execute(&req(p)).unwrap();
+                let mut sa = a.answers.clone();
+                let mut sb = b.answers.clone();
+                sa.sort();
+                sb.sort();
+                assert_eq!(sa, sb, "shards={shards} p={p}");
+                assert_eq!(a.accesses, b.accesses, "shards={shards} p={p}");
+                assert_eq!(a.epoch, b.epoch);
+                assert_eq!(a.static_cost, b.static_cost);
+            }
+            // Same commit, same epochs, same post-commit answers.
+            let delta = Delta::new().insert("friend", tuple![2, 1]).clone();
+            let es = sharded.commit(&delta).unwrap();
+            assert_eq!(es, 1);
+            let after = sharded.execute(&req(2)).unwrap();
+            let mut answers = after.answers.clone();
+            answers.sort();
+            assert_eq!(answers, vec![tuple!["ann"], tuple!["dan"]]);
+            assert_eq!(after.epoch, 1);
+        }
+        assert_eq!(plain.data_shards(), 1);
+        assert!(plain.shard_stats().is_empty());
+    }
+
+    #[test]
+    fn sharded_engine_reports_shard_balance_and_merged_snapshots() {
+        let engine = sharded_engine(3, EngineConfig::default());
+        let stats = engine.shard_stats();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(
+            stats.iter().map(|s| s.rows).sum::<usize>(),
+            small_db().size()
+        );
+        let snapshot = engine.snapshot();
+        assert_eq!(snapshot.size(), small_db().size());
+        // Merged statistics equal unsharded collection exactly.
+        assert_eq!(snapshot.statistics(), small_db().statistics());
+        let merged = snapshot.to_database();
+        assert!(merged.contains_database(&small_db()));
+        assert_eq!(merged.size(), small_db().size());
+    }
+
+    #[test]
+    fn sharded_engine_serves_pinned_old_versions() {
+        let engine = sharded_engine(3, EngineConfig::default());
+        let pinned = engine.snapshot();
+        engine
+            .commit(Delta::new().delete("friend", tuple![1, 2]))
+            .unwrap();
+        let old = engine.execute_at(&pinned, &req(1)).unwrap();
+        let new = engine.execute(&req(1)).unwrap();
+        assert_eq!(old.epoch, 0);
+        assert_eq!(new.epoch, 1);
+        let mut old_answers = old.answers;
+        old_answers.sort();
+        assert_eq!(old_answers, vec![tuple!["bob"], tuple!["dan"]]);
+        assert_eq!(new.answers, vec![tuple!["dan"]]);
+    }
+
+    #[test]
+    fn sharded_engine_maintains_materialized_answers_per_shard_delta() {
+        let engine = sharded_engine(
+            3,
+            EngineConfig {
+                materialize_capacity: 16,
+                materialize_after: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let first = engine.execute(&req(1)).unwrap();
+        assert!(!first.materialized);
+        assert!(engine.execute(&req(1)).unwrap().materialized);
+        // A multi-tuple commit that splits across shards is maintained into
+        // the entry; the next request is still a zero-access hit.
+        let mut delta = Delta::new();
+        delta.insert("friend", tuple![1, 1]);
+        delta.insert("visit", tuple![2, 10]);
+        engine.commit(&delta).unwrap();
+        let third = engine.execute(&req(1)).unwrap();
+        assert!(third.materialized, "maintenance must keep the entry warm");
+        assert_eq!(third.epoch, 1);
+        let mut answers = third.answers.clone();
+        answers.sort();
+        assert_eq!(answers, vec![tuple!["ann"], tuple!["bob"], tuple!["dan"]]);
+        let m = engine.metrics();
+        assert_eq!(m.maintenance_runs, 1);
+        assert_eq!(m.maintenance_fallbacks, 0);
+        assert_eq!(m.maintenance_accesses.full_scans, 0);
+    }
+
+    #[test]
+    fn sharded_engine_composes_with_morsel_parallelism() {
+        let engine = sharded_engine(
+            3,
+            EngineConfig {
+                shards_per_query: 4,
+                ..EngineConfig::default()
+            },
+        );
+        let plain = engine_with_budget(None);
+        let a = engine.execute(&req(1)).unwrap();
+        let b = plain.execute(&req(1)).unwrap();
+        let mut sa = a.answers.clone();
+        let mut sb = b.answers.clone();
+        sa.sort();
+        sb.sort();
+        assert_eq!(sa, sb);
         assert_eq!(a.accesses, b.accesses);
     }
 }

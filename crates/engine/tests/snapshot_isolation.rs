@@ -7,21 +7,37 @@
 use si_data::{tuple, Delta, Tuple, Value};
 use si_engine::{Engine, EngineConfig, EngineError, Request};
 use si_query::evaluate_cq;
-use si_workload::{serving_access_schema, social_requests, SocialConfig, SocialGenerator};
+use si_workload::{
+    serving_access_schema, social_partition_map, social_requests, SocialConfig, SocialGenerator,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const PERSONS: usize = 300;
 
-fn engine(config: EngineConfig) -> Engine {
-    let db = SocialGenerator::new(SocialConfig {
+fn generated_db() -> si_data::Database {
+    SocialGenerator::new(SocialConfig {
         persons: PERSONS,
         restaurants: 40,
         avg_friends: 12,
         avg_visits: 4,
         ..SocialConfig::default()
     })
-    .generate();
-    Engine::new(db, serving_access_schema(5000), config).unwrap()
+    .generate()
+}
+
+fn engine(config: EngineConfig) -> Engine {
+    Engine::new(generated_db(), serving_access_schema(5000), config).unwrap()
+}
+
+fn sharded_engine(shards: usize, config: EngineConfig) -> Engine {
+    Engine::new_sharded(
+        generated_db(),
+        serving_access_schema(5000),
+        social_partition_map(),
+        shards,
+        config,
+    )
+    .unwrap()
 }
 
 /// A delta whose tuples are fresh by construction: batch `i` inserts visit
@@ -38,7 +54,7 @@ fn fresh_visit_batch(batch: usize) -> Delta {
 
 /// The single-threaded ground truth: bind the parameters and evaluate the CQ
 /// naively over a deep copy of the pinned version.
-fn naive_answers(request: &Request, snapshot: &si_data::DatabaseSnapshot) -> Vec<Tuple> {
+fn naive_answers(request: &Request, snapshot: &si_engine::EngineSnapshot) -> Vec<Tuple> {
     let bindings: Vec<(String, Value)> = request
         .parameters
         .iter()
@@ -298,6 +314,182 @@ fn pool_serving_matches_naive_evaluation_on_a_quiescent_engine() {
         served.sort();
         assert_eq!(served, naive_answers(&req, &snapshot));
     }
+}
+
+#[test]
+fn sharded_readers_pinned_across_sharded_commits_agree_with_naive_evaluation() {
+    // Concurrent chaos over a hash-partitioned store: readers pin coherent
+    // cross-shard views while a writer streams commits whose deltas split
+    // across shards — including delete-then-reinsert interleavings where a
+    // slice of an old batch is deleted in one commit and the *same tuples*
+    // (routing to several different shards) come back in the next.  Every
+    // reader's answers must equal single-threaded evaluation of its pinned
+    // global epoch, and the response must report that epoch.
+    let engine = sharded_engine(
+        3,
+        EngineConfig {
+            workers: 2,
+            stats_drift_threshold: 0.05,
+            ..EngineConfig::default()
+        },
+    );
+    let readers = 4usize;
+    let rounds = 24usize;
+    let batches = 24usize;
+    let checked = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        let writer_engine = &engine;
+        scope.spawn(move || {
+            for b in 0..batches {
+                writer_engine.commit(&fresh_visit_batch(b)).unwrap();
+                if b >= 2 && b % 2 == 0 {
+                    // Delete a slice of batch b-2…
+                    let mut delete = Delta::new();
+                    let mut restore = Delta::new();
+                    for j in 0..5i64 {
+                        let person = ((b as i64 - 2) * 7 + j) % PERSONS as i64;
+                        let rid = 2_000_000 + (b as i64 - 2) * 1_000 + j;
+                        delete.delete("visit", tuple![person, rid]);
+                        restore.insert("visit", tuple![person, rid]);
+                    }
+                    writer_engine.commit(&delete).unwrap();
+                    // …and re-insert exactly those tuples one epoch later:
+                    // the five persons hash to different shards, so the
+                    // delete/re-insert pair splits across shards both times.
+                    writer_engine.commit(&restore).unwrap();
+                }
+            }
+        });
+
+        for reader in 0..readers {
+            let engine = &engine;
+            let checked = &checked;
+            scope.spawn(move || {
+                let stream = social_requests(PERSONS, rounds, 2000 + reader as u64);
+                for generated in stream {
+                    let request =
+                        Request::new(generated.query, generated.parameters, generated.values);
+                    let pinned = engine.snapshot();
+                    let response = engine.execute_at(&pinned, &request).unwrap();
+                    assert_eq!(
+                        response.epoch,
+                        pinned.epoch(),
+                        "response must report the pinned global epoch"
+                    );
+                    let mut served = response.answers.clone();
+                    served.sort();
+                    assert_eq!(
+                        served,
+                        naive_answers(&request, &pinned),
+                        "pinned sharded answers diverged from single-threaded \
+                         evaluation (epoch {})",
+                        pinned.epoch()
+                    );
+                    checked.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    assert_eq!(checked.load(Ordering::Relaxed), (readers * rounds) as u64);
+    let metrics = engine.metrics();
+    // 24 insert batches + 11 delete/re-insert pairs.
+    assert_eq!(metrics.commits, 46);
+    assert_eq!(metrics.snapshot_epoch, 46);
+    assert!(metrics.cache_hits > 0, "plan cache never hit");
+    // The store really is partitioned: several shards received commits.
+    let stats = engine.shard_stats();
+    assert_eq!(stats.len(), 3);
+    assert!(stats.iter().all(|s| s.routed_tuples > 0));
+    assert!(stats.iter().all(|s| s.epoch == 46));
+}
+
+#[test]
+fn sharded_materialized_serving_survives_delete_then_reinsert_across_shards() {
+    // Materialized answers maintained per shard-local delta: a hot request
+    // set is admitted, then the writer deletes and re-inserts visit facts
+    // of the hot persons across shards; whenever no commit raced the
+    // execution, the served answers must equal naive evaluation, and the
+    // delete-then-reinsert round trips must land back on the same answers.
+    let engine = sharded_engine(
+        3,
+        EngineConfig {
+            workers: 2,
+            materialize_capacity: 64,
+            materialize_after: 1,
+            stats_drift_threshold: 0.05,
+            ..EngineConfig::default()
+        },
+    );
+    let readers = 3usize;
+    let rounds = 30usize;
+    let batches = 12usize;
+    let verified = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        let writer_engine = &engine;
+        scope.spawn(move || {
+            for b in 0..batches {
+                writer_engine.commit(&fresh_visit_batch(b)).unwrap();
+                if b >= 2 && b % 2 == 0 {
+                    let mut delete = Delta::new();
+                    let mut restore = Delta::new();
+                    for j in 0..5i64 {
+                        let person = ((b as i64 - 2) * 7 + j) % PERSONS as i64;
+                        let rid = 2_000_000 + (b as i64 - 2) * 1_000 + j;
+                        delete.delete("visit", tuple![person, rid]);
+                        restore.insert("visit", tuple![person, rid]);
+                    }
+                    writer_engine.commit(&delete).unwrap();
+                    writer_engine.commit(&restore).unwrap();
+                }
+            }
+        });
+
+        for reader in 0..readers {
+            let engine = &engine;
+            let verified = &verified;
+            scope.spawn(move || {
+                let stream = social_requests(4, rounds, 700 + reader as u64);
+                for generated in stream {
+                    let request =
+                        Request::new(generated.query, generated.parameters, generated.values);
+                    let pinned = engine.snapshot();
+                    let response = engine.execute(&request).unwrap();
+                    if response.epoch == pinned.epoch() {
+                        let mut served = response.answers.clone();
+                        served.sort();
+                        assert_eq!(
+                            served,
+                            naive_answers(&request, &pinned),
+                            "sharded answers diverged at epoch {} (materialized: {})",
+                            response.epoch,
+                            response.materialized
+                        );
+                        verified.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    assert!(
+        verified.load(Ordering::Relaxed) > (readers * rounds / 2) as u64,
+        "too few verifiable executions: {}",
+        verified.load(Ordering::Relaxed)
+    );
+    let metrics = engine.metrics();
+    assert_eq!(metrics.commits, 22);
+    assert!(
+        metrics.materialized_hits > 0,
+        "hot repeats never hit the materialized cache"
+    );
+    assert!(
+        metrics.maintenance_runs > 0,
+        "sharded commits never maintained an admitted answer"
+    );
+    assert_eq!(metrics.maintenance_accesses.full_scans, 0);
 }
 
 #[test]

@@ -12,7 +12,7 @@ use crate::queries::{q1, q2};
 use crate::rng::SplitMix64;
 use crate::updates::visit_update_stream;
 use si_access::{facebook_access_schema, AccessConstraint, AccessSchema};
-use si_data::{Database, Delta, Value};
+use si_data::{Database, Delta, PartitionMap, Value};
 use si_query::{ConjunctiveQuery, Var};
 
 /// One generated request: a query template, its parameter variables and this
@@ -34,6 +34,20 @@ pub struct GeneratedRequest {
 /// `si-core` use the same augmentation).
 pub fn serving_access_schema(friend_cap: usize) -> AccessSchema {
     facebook_access_schema(friend_cap).with(AccessConstraint::new("visit", &["id"], 1000, 1))
+}
+
+/// The canonical partition declaration of the social schema for sharded
+/// serving: every relation partitions on the column its hot probes bind —
+/// `person.id`, `friend.id1` and `visit.id` (Q1/Q2's per-person probes
+/// route to one shard), `restr.rid` (Q2's restaurant completion routes
+/// too).  Fan-out then only happens for probes that genuinely cannot pin a
+/// shard, e.g. a visit fetch by `rid`.
+pub fn social_partition_map() -> PartitionMap {
+    PartitionMap::new()
+        .with("person", "id")
+        .with("friend", "id1")
+        .with("visit", "id")
+        .with("restr", "rid")
 }
 
 /// Draws a person id with quadratic skew towards 0: squaring a uniform
@@ -223,6 +237,34 @@ mod tests {
             distinct.len() < queries,
             "hot persons must repeat across queries"
         );
+    }
+
+    #[test]
+    fn social_partition_map_resolves_and_balances_generated_instances() {
+        let db = SocialGenerator::new(SocialConfig {
+            persons: 400,
+            restaurants: 40,
+            ..SocialConfig::default()
+        })
+        .generate();
+        let positions = social_partition_map().resolve(db.schema()).unwrap();
+        assert_eq!(positions.len(), 4);
+        assert_eq!(positions["friend"], 0);
+        // Hash-partitioning a generated instance is roughly balanced: no
+        // shard holds more than twice its fair share.
+        let store =
+            si_data::ShardedSnapshotStore::new(db.clone(), social_partition_map(), 4).unwrap();
+        let fair = db.size() / 4;
+        for stats in store.shard_stats() {
+            assert!(
+                stats.rows < 2 * fair,
+                "shard {} holds {} of {} tuples",
+                stats.shard,
+                stats.rows,
+                db.size()
+            );
+            assert!(stats.rows > fair / 2, "shard {} starved", stats.shard);
+        }
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Differential suite for the serving engine's maintenance path: an engine
-//! **with** the materialized answer cache, an engine **without** it, and a
-//! naive single-threaded oracle database must produce identical answers for
-//! every query at every epoch of every seeded schedule.
+//! **with** the materialized answer cache, an engine **without** it, an
+//! engine over a **3-shard hash-partitioned store** (materialization on, so
+//! its maintenance runs per shard-local delta), and a naive single-threaded
+//! oracle database must produce identical answers for every query at every
+//! epoch of every seeded schedule.
 //!
 //! Each seed deterministically generates the whole scenario — the instance
 //! (a seeded social database of varying size/fanout), the access
@@ -25,7 +27,7 @@ use si_data::{Database, Delta, Tuple, Value};
 use si_engine::{Engine, EngineConfig, Request};
 use si_query::{evaluate_cq, parse_cq, ConjunctiveQuery};
 use si_workload::rng::SplitMix64;
-use si_workload::{serving_access_schema, SocialConfig, SocialGenerator};
+use si_workload::{serving_access_schema, social_partition_map, SocialConfig, SocialGenerator};
 use std::collections::BTreeSet;
 
 const SEEDS: u64 = 120;
@@ -182,6 +184,8 @@ fn naive_answers(query: &ConjunctiveQuery, parameter: &str, p: i64, db: &Databas
 fn engines_with_and_without_materialization_agree_with_the_oracle() {
     let mut queries_checked = 0u64;
     let mut materialized_hits = 0u64;
+    let mut sharded_materialized_hits = 0u64;
+    let mut sharded_maintenance_runs = 0u64;
     let mut maintenance_runs = 0u64;
     let mut maintenance_fallbacks = 0u64;
     let mut evictions = 0u64;
@@ -202,9 +206,26 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
         .unwrap();
         let without = Engine::new(
             db.clone(),
-            access,
+            access.clone(),
             EngineConfig {
                 workers: 1,
+                stats_drift_threshold: 0.1,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        // Fourth arm: the same schedule over a 3-shard hash-partitioned
+        // store, with materialization on — every commit splits by route and
+        // maintained answers propagate per shard-local delta.
+        let sharded = Engine::new_sharded(
+            db.clone(),
+            access,
+            social_partition_map(),
+            3,
+            EngineConfig {
+                workers: 1,
+                materialize_capacity: 32,
+                materialize_after: 1 + seed % 2,
                 stats_drift_threshold: 0.1,
                 ..EngineConfig::default()
             },
@@ -229,7 +250,9 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
                 }
                 let epoch_with = with.commit(&delta).unwrap();
                 let epoch_without = without.commit(&delta).unwrap();
+                let epoch_sharded = sharded.commit(&delta).unwrap();
                 assert_eq!(epoch_with, epoch_without, "seed {seed} op {op}");
+                assert_eq!(epoch_with, epoch_sharded, "seed {seed} op {op}");
                 delta.apply_in_place(&mut oracle).unwrap();
             } else {
                 let (query, parameter) = &shapes[rng.gen_range(0..shapes.len())];
@@ -238,11 +261,14 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
                     Request::new(query.clone(), vec![parameter.clone()], vec![Value::int(p)]);
                 let a = with.execute(&request).unwrap();
                 let b = without.execute(&request).unwrap();
+                let c = sharded.execute(&request).unwrap();
                 let expected = naive_answers(query, parameter, p, &oracle);
                 let mut got_a = a.answers.clone();
                 got_a.sort();
                 let mut got_b = b.answers.clone();
                 got_b.sort();
+                let mut got_c = c.answers.clone();
+                got_c.sort();
                 assert_eq!(
                     got_a, expected,
                     "materializing engine diverged: seed {seed} op {op} \
@@ -254,10 +280,29 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
                     "plan-path engine diverged: seed {seed} op {op} query {} p {p} epoch {}",
                     query.name, b.epoch
                 );
+                assert_eq!(
+                    got_c, expected,
+                    "3-shard engine diverged: seed {seed} op {op} query {} p {p} epoch {} \
+                     (materialized: {})",
+                    query.name, c.epoch, c.materialized
+                );
                 assert_eq!(a.epoch, b.epoch, "seed {seed} op {op}");
+                assert_eq!(a.epoch, c.epoch, "seed {seed} op {op}");
+                // The sharded arm's access accounting mirrors the plan-path
+                // engine whenever neither was served from maintained answers
+                // (materialized hits touch zero base data by design).
+                if !c.materialized {
+                    assert_eq!(
+                        c.accesses, b.accesses,
+                        "sharded accounting diverged: seed {seed} op {op}"
+                    );
+                }
                 queries_checked += 1;
                 if a.materialized {
                     materialized_hits += 1;
+                }
+                if c.materialized {
+                    sharded_materialized_hits += 1;
                 }
             }
         }
@@ -265,10 +310,16 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
         maintenance_runs += m.maintenance_runs;
         maintenance_fallbacks += m.maintenance_fallbacks;
         evictions += m.materialized_evictions;
+        sharded_maintenance_runs += sharded.metrics().maintenance_runs;
         assert_eq!(
             without.metrics().materialized_hits,
             0,
             "the control engine must never materialize"
+        );
+        assert_eq!(
+            sharded.metrics().maintenance_accesses.full_scans,
+            0,
+            "sharded maintenance must stay bounded"
         );
     }
 
@@ -285,9 +336,21 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
         maintenance_runs > 500,
         "only {maintenance_runs} maintenance runs across the suite"
     );
+    // The sharded arm's maintenance path really ran: materialized hits were
+    // served after shard-split deltas propagated into admitted answers.
+    assert!(
+        sharded_materialized_hits > 200,
+        "only {sharded_materialized_hits} sharded materialized hits across the suite"
+    );
+    assert!(
+        sharded_maintenance_runs > 500,
+        "only {sharded_maintenance_runs} sharded maintenance runs across the suite"
+    );
     println!(
         "differential: {queries_checked} queries checked, 0 divergent \
          ({materialized_hits} materialized hits, {maintenance_runs} maintenance runs, \
-         {maintenance_fallbacks} fallbacks, {evictions} evictions)"
+         {maintenance_fallbacks} fallbacks, {evictions} evictions; 3-shard arm: \
+         {sharded_materialized_hits} materialized hits, {sharded_maintenance_runs} \
+         maintenance runs)"
     );
 }
