@@ -15,11 +15,20 @@
 //! cache + snapshot pin + bounded execution, measured inside the worker) —
 //! queueing delay in an open-loop drain is an artefact of submitting
 //! everything up front, not of the engine.
+//!
+//! A final arm compares **batched** against **unbatched** serving on a
+//! bursty workload (waves of identical hot requests).  It deliberately
+//! reports *work*, not wall-clock: tuples fetched and snapshot pins (each
+//! pin is one lock-guarded version acquisition) per 1 000 requests — the
+//! axes shared-fetch grouping actually moves, and ones a laptop-noise
+//! timing run cannot blur.
 
 use si_data::Tuple;
 use si_engine::{Engine, EngineConfig, Request};
 use si_query::evaluate_cq;
-use si_workload::{serving_access_schema, social_requests, SocialConfig, SocialGenerator};
+use si_workload::{
+    burst_requests, serving_access_schema, social_requests, SocialConfig, SocialGenerator,
+};
 use std::time::Instant;
 
 const PERSONS: usize = 2_000;
@@ -98,8 +107,69 @@ fn percentile_us(sorted: &[f64], p: f64) -> f64 {
     sorted[idx]
 }
 
+/// Batched vs unbatched serving on a bursty stream: identical answers,
+/// work (tuples fetched, snapshot pins) reported per 1 000 requests.
+fn batched_vs_unbatched() {
+    const BURSTS: usize = 125;
+    const BURST_SIZE: usize = 8;
+    let total = (BURSTS * BURST_SIZE) as f64;
+    let stream = burst_requests(PERSONS, BURSTS, BURST_SIZE, 99);
+    let requests: Vec<Request> = stream
+        .into_iter()
+        .map(|g| Request::new(g.query, g.parameters, g.values))
+        .collect();
+    let batched = make_engine(1, 1);
+    let unbatched = make_engine(1, 1);
+
+    let mut divergent = 0usize;
+    for wave in requests.chunks(BURST_SIZE) {
+        let grouped = batched.execute_batch(wave);
+        for (request, response) in wave.iter().zip(grouped) {
+            let single = unbatched.execute(request).expect("unbatched serve");
+            let response = response.expect("batched serve");
+            if response.answers != single.answers {
+                divergent += 1;
+            }
+        }
+    }
+    assert_eq!(divergent, 0, "batched serving diverged from unbatched");
+
+    println!(
+        "\nbatched vs unbatched serving: {BURSTS} bursts x {BURST_SIZE} identical requests \
+         (60% Q1 / 40% Q2, quadratic person skew); work per 1k requests, not wall-clock\n"
+    );
+    println!(
+        "{:>9}  {:>12}  {:>10}  {:>14}",
+        "arm", "tuples/1k", "pins/1k", "shared_fetches"
+    );
+    let mb = batched.metrics();
+    let mu = unbatched.metrics();
+    for (arm, m) in [("unbatched", &mu), ("batched", &mb)] {
+        println!(
+            "{:>9}  {:>12.1}  {:>10.1}  {:>14}",
+            arm,
+            m.accesses.tuples_fetched as f64 * 1_000.0 / total,
+            m.snapshot_pins as f64 * 1_000.0 / total,
+            m.shared_fetches,
+        );
+    }
+    println!(
+        "\nbatching: {:.1}x fewer tuples fetched, {:.1}x fewer snapshot pins \
+         ({} fetch executions served {} requests)",
+        mu.accesses.tuples_fetched as f64 / mb.accesses.tuples_fetched.max(1) as f64,
+        mu.snapshot_pins as f64 / mb.snapshot_pins.max(1) as f64,
+        mb.shared_fetches,
+        mb.batched_requests,
+    );
+    assert!(
+        4 * mb.accesses.tuples_fetched <= mu.accesses.tuples_fetched,
+        "shared-fetch batching must cut tuple accesses at least 4x on bursts"
+    );
+}
+
 fn main() {
     correctness_prepass();
+    batched_vs_unbatched();
 
     println!(
         "\nserving {REQUESTS} requests (80% Q1 / 20% Q2, quadratic person skew) over \

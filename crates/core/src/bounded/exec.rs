@@ -427,14 +427,76 @@ fn finalize(
     })
 }
 
-/// Executes `plan` with the given parameter values over `adb`.
+/// The completed fetch phase of a bounded execution, before any request
+/// finalised an answer from it.
+///
+/// Everything up to and including the plan steps depends only on
+/// `(plan, parameter values, snapshot)` — not on *which* of several
+/// concurrent requests asked — so N requests with an identical canonical
+/// shape, identical parameter values and the same pinned snapshot epoch can
+/// run the fetch **once** and each finalise its own [`BoundedAnswer`] from
+/// the shared surviving rows.  [`SharedFetch::finalize_one`] touches no base
+/// data: the per-request phase is the equality filter, output projection and
+/// dedup of the finalisation pass, so its marginal data-access cost is zero and the
+/// fetch cost ([`SharedFetch::accesses`]) is charged once for the group.
+///
+/// Every finalisation is bit-identical to what [`execute_bounded`] would
+/// have produced for the same `(plan, values, snapshot)` — same answer
+/// order, same witness, same access snapshot.
+pub struct SharedFetch {
+    compiled: CompiledPlan,
+    rows: Vec<Binding>,
+    witness_facts: Vec<(String, Tuple)>,
+    accesses: MeterSnapshot,
+}
+
+impl SharedFetch {
+    /// The access cost of the fetch phase — charged once per shared fetch,
+    /// however many requests finalise from it.
+    pub fn accesses(&self) -> MeterSnapshot {
+        self.accesses
+    }
+
+    /// Number of partial assignments that survived the plan steps.
+    pub fn surviving_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Finalises one request's answer from the shared fetched slice —
+    /// equality filter, projection, dedup; zero base-data accesses.  `plan`
+    /// must be the plan this fetch ran (same `Arc` in the serving layer).
+    pub fn finalize_one(&self, plan: &BoundedPlan) -> Result<BoundedAnswer, CoreError> {
+        finalize(
+            plan,
+            &self.compiled,
+            self.rows.clone(),
+            self.witness_facts.clone(),
+            self.accesses,
+        )
+    }
+
+    /// Finalises the last answer, consuming the fetch (the single-request
+    /// path: no clone of rows or witness).
+    pub fn into_answer(self, plan: &BoundedPlan) -> Result<BoundedAnswer, CoreError> {
+        finalize(
+            plan,
+            &self.compiled,
+            self.rows,
+            self.witness_facts,
+            self.accesses,
+        )
+    }
+}
+
+/// Runs the fetch phase of `plan` — compile, seed, every plan step — over
+/// `adb` and returns the [`SharedFetch`] requests finalise answers from.
 ///
 /// `parameter_values` must supply one value per plan parameter, in order.
-pub fn execute_bounded<A: AccessSource>(
+pub fn fetch_bounded<A: AccessSource>(
     plan: &BoundedPlan,
     parameter_values: &[Value],
     adb: &A,
-) -> Result<BoundedAnswer, CoreError> {
+) -> Result<SharedFetch, CoreError> {
     let before = adb.meter_snapshot();
     let compiled = compile(plan, parameter_values)?;
     let mut bound = compiled.seed_bound.clone();
@@ -449,7 +511,23 @@ pub fn execute_bounded<A: AccessSource>(
         &mut witness_facts,
     )?;
     let accesses = adb.meter_snapshot().since(&before);
-    finalize(plan, &compiled, rows, witness_facts, accesses)
+    Ok(SharedFetch {
+        compiled,
+        rows,
+        witness_facts,
+        accesses,
+    })
+}
+
+/// Executes `plan` with the given parameter values over `adb`.
+///
+/// `parameter_values` must supply one value per plan parameter, in order.
+pub fn execute_bounded<A: AccessSource>(
+    plan: &BoundedPlan,
+    parameter_values: &[Value],
+    adb: &A,
+) -> Result<BoundedAnswer, CoreError> {
+    fetch_bounded(plan, parameter_values, adb)?.into_answer(plan)
 }
 
 /// Executes `plan` morsel-style across `workers` threads.
@@ -1019,6 +1097,67 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn shared_fetch_finalisations_are_bit_identical_to_execute_bounded() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let planner = BoundedPlanner::new(&schema, &access);
+        let q1 = parse_cq(r#"Q1(p, name) :- friend(p, id), person(id, name, "NYC")"#).unwrap();
+        let plan = planner.plan(&q1, &["p".into()]).unwrap();
+        let adb = AccessIndexedDatabase::new(social_db(), access).unwrap();
+
+        let reference = execute_bounded(&plan, &[Value::int(1)], &adb).unwrap();
+        let fetch = fetch_bounded(&plan, &[Value::int(1)], &adb).unwrap();
+        assert_eq!(fetch.accesses(), reference.accesses);
+        // Every finalisation from the shared slice equals the reference —
+        // same answer order, same witness, same access snapshot.
+        for _ in 0..3 {
+            let one = fetch.finalize_one(&plan).unwrap();
+            assert_eq!(one.answers, reference.answers);
+            assert_eq!(one.witness, reference.witness);
+            assert_eq!(one.accesses, reference.accesses);
+        }
+        let last = fetch.into_answer(&plan).unwrap();
+        assert_eq!(last.answers, reference.answers);
+        assert_eq!(last.witness, reference.witness);
+        assert_eq!(last.accesses, reference.accesses);
+    }
+
+    #[test]
+    fn finalize_one_touches_no_base_data() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let planner = BoundedPlanner::new(&schema, &access);
+        let q1 = parse_cq(r#"Q1(p, name) :- friend(p, id), person(id, name, "NYC")"#).unwrap();
+        let plan = planner.plan(&q1, &["p".into()]).unwrap();
+        let adb = AccessIndexedDatabase::new(social_db(), access).unwrap();
+
+        let fetch = fetch_bounded(&plan, &[Value::int(1)], &adb).unwrap();
+        assert!(fetch.surviving_rows() > 0);
+        let after_fetch = adb.meter_snapshot();
+        for _ in 0..5 {
+            fetch.finalize_one(&plan).unwrap();
+        }
+        // The per-request phase is filter + projection + dedup over the
+        // already-fetched slice: the meter must not have moved at all.
+        assert_eq!(adb.meter_snapshot(), after_fetch);
+    }
+
+    #[test]
+    fn shared_fetch_of_empty_result_finalises_empty() {
+        let schema = social_schema();
+        let access = facebook_access_schema(5000);
+        let planner = BoundedPlanner::new(&schema, &access);
+        let q1 = parse_cq(r#"Q1(p, name) :- friend(p, id), person(id, name, "NYC")"#).unwrap();
+        let plan = planner.plan(&q1, &["p".into()]).unwrap();
+        let adb = AccessIndexedDatabase::new(social_db(), access).unwrap();
+        // Person 4 has no outgoing friend edges.
+        let fetch = fetch_bounded(&plan, &[Value::int(4)], &adb).unwrap();
+        let one = fetch.finalize_one(&plan).unwrap();
+        assert!(one.answers.is_empty());
+        assert_eq!(one.witness.size(), 0);
     }
 
     #[test]

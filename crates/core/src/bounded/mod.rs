@@ -9,6 +9,8 @@ pub mod naive;
 pub mod plan;
 
 pub use costplan::{CostBasedPlanner, CostedPlan};
-pub use exec::{execute_bounded, execute_bounded_partitioned, BoundedAnswer};
+pub use exec::{
+    execute_bounded, execute_bounded_partitioned, fetch_bounded, BoundedAnswer, SharedFetch,
+};
 pub use naive::execute_naive;
 pub use plan::{BoundedPlan, BoundedPlanner, PlanStep};

@@ -77,8 +77,8 @@ pub mod si;
 pub mod views;
 
 pub use bounded::{
-    execute_bounded, execute_bounded_partitioned, execute_naive, BoundedAnswer, BoundedPlan,
-    BoundedPlanner, CostBasedPlanner, CostedPlan, PlanStep,
+    execute_bounded, execute_bounded_partitioned, execute_naive, fetch_bounded, BoundedAnswer,
+    BoundedPlan, BoundedPlanner, CostBasedPlanner, CostedPlan, PlanStep, SharedFetch,
 };
 pub use controllability::{
     decide_qcntl, decide_qcntl_min, minimal_controlling_sets, AlgebraControllability,

@@ -69,7 +69,7 @@ pub mod tuple;
 pub mod value;
 
 pub use database::Database;
-pub use delta::{Delta, RelationDelta};
+pub use delta::{Delta, DeltaBase, DeltaBatch, RelationDelta};
 pub use error::DataError;
 pub use index::{HashIndex, IndexPool};
 pub use intern::{interner, Symbol, SymbolInterner};

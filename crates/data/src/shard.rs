@@ -378,6 +378,7 @@ pub struct ShardedSnapshotStore {
     current: RwLock<Arc<ShardedSnapshotView>>,
     writer: Mutex<()>,
     routed: Vec<AtomicU64>,
+    pins: AtomicU64,
 }
 
 impl ShardedSnapshotStore {
@@ -432,6 +433,7 @@ impl ShardedSnapshotStore {
             current: RwLock::new(view),
             writer: Mutex::new(()),
             routed: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            pins: AtomicU64::new(0),
         })
     }
 
@@ -447,7 +449,15 @@ impl ShardedSnapshotStore {
 
     /// Pins the current coherent view: a cheap `Arc` clone.
     pub fn pin(&self) -> Arc<ShardedSnapshotView> {
+        self.pins.fetch_add(1, Ordering::Relaxed);
         self.current.read().expect("sharded store poisoned").clone()
+    }
+
+    /// Number of [`ShardedSnapshotStore::pin`] calls over the store's
+    /// lifetime — one read-lock acquisition each, pinning the whole
+    /// coherent shard vector (see [`SnapshotStore::pins`]).
+    pub fn pins(&self) -> u64 {
+        self.pins.load(Ordering::Relaxed)
     }
 
     /// The current global epoch.

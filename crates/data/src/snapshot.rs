@@ -38,6 +38,7 @@ use crate::stats::DatabaseStats;
 use crate::Result;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// One immutable, epoch-stamped version of a database instance.
@@ -183,6 +184,7 @@ impl fmt::Display for DatabaseSnapshot {
 pub struct SnapshotStore {
     current: RwLock<Arc<DatabaseSnapshot>>,
     writer: Mutex<()>,
+    pins: AtomicU64,
 }
 
 impl SnapshotStore {
@@ -191,16 +193,26 @@ impl SnapshotStore {
         SnapshotStore {
             current: RwLock::new(Arc::new(DatabaseSnapshot::from_database(db))),
             writer: Mutex::new(()),
+            pins: AtomicU64::new(0),
         }
     }
 
     /// Pins the current version: a cheap `Arc` clone the caller can hold for
     /// as long as it likes.
     pub fn pin(&self) -> Arc<DatabaseSnapshot> {
+        self.pins.fetch_add(1, Ordering::Relaxed);
         self.current
             .read()
             .expect("snapshot store poisoned")
             .clone()
+    }
+
+    /// Number of [`SnapshotStore::pin`] calls over the store's lifetime —
+    /// each is one read-lock acquisition on the serving path, the
+    /// contention signal the batching experiments report (a shared-fetch
+    /// group pins once for the whole group).
+    pub fn pins(&self) -> u64 {
+        self.pins.load(Ordering::Relaxed)
     }
 
     /// The current epoch (equals `self.pin().epoch()`).

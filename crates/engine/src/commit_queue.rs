@@ -1,0 +1,183 @@
+//! The group committer: one background thread coalescing queued deltas
+//! into single commit passes.
+//!
+//! Writers hand deltas to [`Engine::commit_async`](crate::Engine) and get a
+//! [`CommitTicket`] back immediately.  The committer thread gathers what is
+//! queued — up to [`EngineConfig::commit_batch_max`](crate::EngineConfig),
+//! waiting at most [`EngineConfig::commit_linger`](crate::EngineConfig) for
+//! stragglers after the first delta arrives — and commits each gathered
+//! batch through [`Shared::commit_group`]: the deltas are folded into their
+//! net effect and share **one** epoch bump, one maintenance pass and one
+//! statistics drift probe.  Each ticket resolves to its own delta's
+//! outcome, so a delta that fails validation mid-batch reports its own
+//! error while the rest commit.
+//!
+//! A [`flush`](CommitQueue::flush) is a barrier message on the same FIFO
+//! channel: it cuts the gather short, and its acknowledgement is sent only
+//! after every delta enqueued before it has been committed or rejected.
+//! Shutdown is by hang-up, like the worker pool: dropping the queue drops
+//! the sender, the committer drains what is left and exits, and `Drop`
+//! joins it.
+
+use crate::error::EngineError;
+use crate::Shared;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// What writers enqueue: a delta awaiting commit, or a flush barrier.
+enum CommitMsg {
+    Delta {
+        delta: si_data::Delta,
+        reply: mpsc::Sender<crate::Result<u64>>,
+    },
+    Flush {
+        reply: mpsc::Sender<()>,
+    },
+}
+
+/// A commit that has been enqueued on the group committer but may not have
+/// been applied yet (the write-side analogue of
+/// [`PendingResponse`](crate::PendingResponse)).
+#[derive(Debug)]
+pub struct CommitTicket {
+    receiver: mpsc::Receiver<crate::Result<u64>>,
+}
+
+impl CommitTicket {
+    /// Blocks until this delta's commit outcome is known: `Ok(epoch)` of
+    /// the (possibly shared) commit that applied it, or its own validation
+    /// error.
+    pub fn wait(self) -> crate::Result<u64> {
+        self.receiver
+            .recv()
+            .map_err(|_| EngineError::ShuttingDown)?
+    }
+
+    /// Returns the outcome if it is already known.
+    pub fn try_wait(&self) -> Option<crate::Result<u64>> {
+        self.receiver.try_recv().ok()
+    }
+}
+
+/// The background committer thread plus the channel into it.
+#[derive(Debug)]
+pub(crate) struct CommitQueue {
+    // `mpsc::Sender` is `Send` but not `Sync`; the engine handle must be
+    // `Sync`, so the sender sits behind a mutex (taken only for the send —
+    // the gather and the commit run on the committer thread).
+    sender: Mutex<Option<mpsc::Sender<CommitMsg>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl CommitQueue {
+    /// Spawns the committer thread for `shared`.
+    pub fn start(shared: Arc<Shared>) -> Self {
+        let (sender, receiver) = mpsc::channel::<CommitMsg>();
+        let handle = std::thread::Builder::new()
+            .name("si-engine-committer".into())
+            .spawn(move || run(&shared, &receiver))
+            .expect("failed to spawn engine committer thread");
+        CommitQueue {
+            sender: Mutex::new(Some(sender)),
+            handle: Some(handle),
+        }
+    }
+
+    /// Enqueues one delta; its ticket resolves to that delta's outcome.
+    pub fn enqueue(&self, delta: si_data::Delta) -> crate::Result<CommitTicket> {
+        let (reply, receiver) = mpsc::channel();
+        self.send(CommitMsg::Delta { delta, reply })?;
+        Ok(CommitTicket { receiver })
+    }
+
+    /// Barrier: returns once every delta enqueued before it is decided.
+    pub fn flush(&self) -> crate::Result<()> {
+        let (reply, receiver) = mpsc::channel();
+        self.send(CommitMsg::Flush { reply })?;
+        receiver.recv().map_err(|_| EngineError::ShuttingDown)
+    }
+
+    fn send(&self, msg: CommitMsg) -> crate::Result<()> {
+        self.sender
+            .lock()
+            .expect("commit queue sender poisoned")
+            .as_ref()
+            .ok_or(EngineError::ShuttingDown)?
+            .send(msg)
+            .map_err(|_| EngineError::ShuttingDown)
+    }
+}
+
+impl Drop for CommitQueue {
+    fn drop(&mut self) {
+        // Hang up, then join: the committer drains the queue and exits.
+        if let Ok(mut guard) = self.sender.lock() {
+            guard.take();
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The committer loop: block for the first message, gather a batch, commit
+/// it as one group, repeat until the channel hangs up.
+fn run(shared: &Shared, receiver: &mpsc::Receiver<CommitMsg>) {
+    let batch_max = shared.config.commit_batch_max.max(1);
+    let linger = shared.config.commit_linger;
+    loop {
+        let first = match receiver.recv() {
+            Ok(msg) => msg,
+            Err(_) => break,
+        };
+        let mut deltas = Vec::new();
+        let mut replies = Vec::new();
+        let mut flushes: Vec<mpsc::Sender<()>> = Vec::new();
+        let mut pending = Some(first);
+        let deadline = Instant::now() + linger;
+        loop {
+            let msg = match pending.take() {
+                Some(msg) => msg,
+                None if deltas.len() >= batch_max => break,
+                None => {
+                    let now = Instant::now();
+                    let received = if now >= deadline {
+                        // Linger spent: take only what is already queued.
+                        receiver.try_recv().map_err(|_| ())
+                    } else {
+                        receiver.recv_timeout(deadline - now).map_err(|_| ())
+                    };
+                    match received {
+                        Ok(msg) => msg,
+                        Err(()) => break,
+                    }
+                }
+            };
+            match msg {
+                CommitMsg::Delta { delta, reply } => {
+                    deltas.push(delta);
+                    replies.push(reply);
+                }
+                CommitMsg::Flush { reply } => {
+                    // The barrier cuts the gather short; everything queued
+                    // before it has been gathered (FIFO channel) or was
+                    // committed by an earlier pass.
+                    flushes.push(reply);
+                    break;
+                }
+            }
+        }
+        if !deltas.is_empty() {
+            let results = shared.commit_group(&deltas);
+            for (reply, result) in replies.into_iter().zip(results) {
+                // A dropped ticket just means the writer stopped waiting;
+                // the commit already happened.
+                let _ = reply.send(result);
+            }
+        }
+        for flush in flushes {
+            let _ = flush.send(());
+        }
+    }
+}

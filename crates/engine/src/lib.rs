@@ -65,25 +65,28 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+mod commit_queue;
 pub mod error;
 pub mod materialize;
 mod pool;
 pub mod shape;
 
 pub use cache::{CachedPlan, PlanCache};
+pub use commit_queue::CommitTicket;
 pub use error::EngineError;
 pub use materialize::{MaintenanceSummary, MaterializedAnswer, MaterializedKey, MaterializedSet};
 pub use shape::{canonicalize, CanonicalQuery, ShapeKey};
 
 use si_access::{AccessSchema, ShardedAccess, SnapshotAccess};
-use si_core::bounded::{execute_bounded, execute_bounded_partitioned};
-use si_core::{maintenance_is_bounded, CoreError, IncrementalBoundedEvaluator};
+use si_core::bounded::{execute_bounded, execute_bounded_partitioned, fetch_bounded, SharedFetch};
+use si_core::{maintenance_is_bounded, BoundedPlan, CoreError, IncrementalBoundedEvaluator};
 use si_data::{
-    AccessMeter, Database, DatabaseSchema, DatabaseSnapshot, DatabaseStats, Delta, MeterSink,
-    MeterSnapshot, PartitionMap, ShardStats, ShardedSnapshotStore, ShardedSnapshotView,
-    SharedMeter, SnapshotStore, Tuple, Value,
+    AccessMeter, Database, DatabaseSchema, DatabaseSnapshot, DatabaseStats, Delta, DeltaBase,
+    DeltaBatch, MeterSink, MeterSnapshot, PartitionMap, ShardStats, ShardedSnapshotStore,
+    ShardedSnapshotView, SharedMeter, SnapshotStore, Tuple, Value,
 };
 use si_query::{ConjunctiveQuery, Var};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -124,6 +127,20 @@ pub struct EngineConfig {
     /// is materialized once it has been executed this many times (`1` =
     /// every executed request is materialized).
     pub materialize_after: u64,
+    /// Most deltas the group committer coalesces into one commit pass (≥ 1).
+    /// Only [`Engine::commit_async`] goes through the committer;
+    /// [`Engine::commit`] stays a synchronous group of one.
+    pub commit_batch_max: usize,
+    /// How long the group committer waits for more queued deltas after the
+    /// first one arrives, before it commits what it has gathered
+    /// (`Duration::ZERO` = coalesce only what is already queued).
+    pub commit_linger: Duration,
+    /// Serve pool submissions through [`Engine::execute_batch`]: each worker
+    /// drains the requests already queued behind the one it dequeued and
+    /// groups identical (shape, parameter values) pairs onto one shared
+    /// fetch.  Off by default — answers are identical either way, this knob
+    /// only changes how the fetch cost is spent.
+    pub batch_requests: bool,
 }
 
 impl Default for EngineConfig {
@@ -137,6 +154,9 @@ impl Default for EngineConfig {
             plan_cache_capacity: 256,
             materialize_capacity: 0,
             materialize_after: 2,
+            commit_batch_max: 64,
+            commit_linger: Duration::ZERO,
+            batch_requests: false,
         }
     }
 }
@@ -184,6 +204,13 @@ impl Backend {
         match self {
             Backend::Single(store) => store.epoch(),
             Backend::Sharded(store) => store.epoch(),
+        }
+    }
+
+    fn pins(&self) -> u64 {
+        match self {
+            Backend::Single(store) => store.pins(),
+            Backend::Sharded(store) => store.pins(),
         }
     }
 
@@ -324,6 +351,25 @@ pub struct EngineMetrics {
     /// Total base-data accesses of the write-path maintenance work (kept
     /// separate from `accesses`, which counts the read path).
     pub maintenance_accesses: MeterSnapshot,
+    /// Commit passes: each applied one (possibly merged) delta with one
+    /// epoch bump, one maintenance pass and one drift probe.  A synchronous
+    /// [`Engine::commit`] is a pass of one, so on an unbatched engine this
+    /// equals `commits`.
+    pub group_commits: u64,
+    /// Deltas that shared a commit pass with at least one other delta (a
+    /// pass merging `n ≥ 2` deltas adds `n`; passes of one add nothing).
+    pub deltas_coalesced: u64,
+    /// Requests served through a shared-fetch group of size ≥ 2 (every
+    /// member counts, including those the materialized layer answered).
+    pub batched_requests: u64,
+    /// Fetch phases executed on behalf of a request group and shared by its
+    /// members (charged once in `accesses`, attributed as per-response
+    /// shares).
+    pub shared_fetches: u64,
+    /// Snapshot pins taken on the store so far — every pin is one
+    /// lock-guarded version acquisition, so this counts the engine's
+    /// lock-acquisition traffic on the storage layer.
+    pub snapshot_pins: u64,
 }
 
 /// Statistics snapshot + the epoch the plan cache keys against.
@@ -356,6 +402,10 @@ pub(crate) struct Shared {
     stats_refreshes: AtomicU64,
     maintenance_runs: AtomicU64,
     maintenance_fallbacks: AtomicU64,
+    group_commits: AtomicU64,
+    deltas_coalesced: AtomicU64,
+    batched_requests: AtomicU64,
+    shared_fetches: AtomicU64,
     pub(crate) queued: AtomicUsize,
 }
 
@@ -545,31 +595,316 @@ impl Shared {
         Ok((cached, false))
     }
 
-    /// Commits a delta, maintaining materialized answers across it;
-    /// re-collects statistics when row counts drifted.
+    /// Runs the fetch phase of `plan` once against the pinned version (the
+    /// shared half of a request group's execution; see
+    /// [`fetch_bounded`]).
+    fn fetch_for(
+        &self,
+        snapshot: &EngineSnapshot,
+        plan: &BoundedPlan,
+        values: &[Value],
+    ) -> std::result::Result<SharedFetch, CoreError> {
+        match snapshot {
+            EngineSnapshot::Single(snap) => {
+                let view =
+                    SnapshotAccess::<AccessMeter>::new(Arc::clone(snap), Arc::clone(&self.access));
+                fetch_bounded(plan, values, &view)
+            }
+            EngineSnapshot::Sharded(view) => {
+                let source =
+                    ShardedAccess::<AccessMeter>::new(Arc::clone(view), Arc::clone(&self.access));
+                fetch_bounded(plan, values, &source)
+            }
+        }
+    }
+
+    /// Serves a slice of requests against one pinned current version,
+    /// sharing the fetch phase among requests with identical canonical shape
+    /// and parameter values (see [`Engine::execute_batch`]).
+    pub(crate) fn serve_batch(&self, requests: &[Request]) -> Vec<Result<QueryResponse>> {
+        let snapshot = self.store.pin();
+        self.serve_batch_at(&snapshot, requests)
+    }
+
+    /// [`Shared::serve_batch`] against a caller-pinned version.
+    fn serve_batch_at(
+        &self,
+        snapshot: &EngineSnapshot,
+        requests: &[Request],
+    ) -> Vec<Result<QueryResponse>> {
+        // Group by (canonical shape, parameter values) in first-appearance
+        // order.  Only the shape key and the values matter: alpha-renamed
+        // requests canonicalize identically, so they share a fetch too.
+        let mut out: Vec<Option<Result<QueryResponse>>> = requests.iter().map(|_| None).collect();
+        let mut groups: Vec<(CanonicalQuery, Vec<usize>)> = Vec::new();
+        let mut by_key: HashMap<(ShapeKey, Vec<Value>), usize> = HashMap::new();
+        for (i, request) in requests.iter().enumerate() {
+            if request.values.len() != request.parameters.len() {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                out[i] = Some(Err(EngineError::ParameterArity {
+                    expected: request.parameters.len(),
+                    actual: request.values.len(),
+                }));
+                continue;
+            }
+            let canonical = canonicalize(&request.query, &request.parameters);
+            let key = (canonical.key.clone(), request.values.clone());
+            match by_key.get(&key) {
+                Some(&g) => groups[g].1.push(i),
+                None => {
+                    by_key.insert(key, groups.len());
+                    groups.push((canonical, vec![i]));
+                }
+            }
+        }
+        for (canonical, members) in &groups {
+            if let [lone] = members.as_slice() {
+                // A group of one is exactly an unbatched request; the plain
+                // path keeps its accounting (and morsel parallelism).
+                out[*lone] = Some(self.serve_at(snapshot, &requests[*lone]));
+                continue;
+            }
+            let values = &requests[members[0]].values;
+            let responses = self.serve_group(snapshot, canonical, values, members.len());
+            for (member, response) in members.iter().zip(responses) {
+                out[*member] = Some(response);
+            }
+        }
+        out.into_iter()
+            .map(|response| response.expect("every grouped request was answered"))
+            .collect()
+    }
+
+    /// Serves `count` requests that share one (canonical shape, values) pair
+    /// against one pinned version, executing the fetch phase at most once.
+    ///
+    /// Members are processed **sequentially**, each taking the same
+    /// materialized-fast-path / plan-cache / record steps as
+    /// [`Shared::serve_at`] — so hotness counters, admissions, cache-hit
+    /// flags and materialized-hit counts are exactly what an unbatched
+    /// engine serving the same sequence would produce.  The only difference
+    /// is *where* the fetch cost goes: the first member that needs base data
+    /// runs [`fetch_bounded`] once, later members finalise from the shared
+    /// slice with zero marginal accesses.  The engine meter is charged the
+    /// fetch cost once; each sharing response reports an attributed share
+    /// `C/k` (remainder on the first), so response shares still sum to the
+    /// true global cost.
+    fn serve_group(
+        &self,
+        snapshot: &EngineSnapshot,
+        canonical: &CanonicalQuery,
+        values: &[Value],
+        count: usize,
+    ) -> Vec<Result<QueryResponse>> {
+        self.batched_requests
+            .fetch_add(count as u64, Ordering::Relaxed);
+        let mut out: Vec<Result<QueryResponse>> = Vec::with_capacity(count);
+        let mut fetch: Option<(SharedFetch, Arc<BoundedPlan>)> = None;
+        // One entry per executed fetch: its cost and the response positions
+        // that shared it.  (More than one generation only happens when a
+        // racing stats refresh swaps the cached plan mid-group.)
+        let mut generations: Vec<(MeterSnapshot, Vec<usize>)> = Vec::new();
+        for _ in 0..count {
+            let start = Instant::now();
+            self.requests.fetch_add(1, Ordering::Relaxed);
+
+            // Materialized fast path, identical to `serve_at`.
+            let mut materialized_key = (!self.materialized.is_disabled())
+                .then(|| (canonical.key.clone(), values.to_vec()));
+            if let Some(key) = &materialized_key {
+                if let Some(hit) = self.materialized.get(key, snapshot.epoch()) {
+                    if let Some(budget) = self.config.fetch_budget {
+                        let cheapest = hit.static_cost.max_tuples;
+                        if cheapest > budget {
+                            self.rejected_by_budget.fetch_add(1, Ordering::Relaxed);
+                            out.push(Err(EngineError::RejectedByBudget { budget, cheapest }));
+                            continue;
+                        }
+                    }
+                    let static_cost = hit.static_cost;
+                    out.push(Ok(QueryResponse {
+                        answers: hit.into_answers(),
+                        accesses: MeterSnapshot::default(),
+                        epoch: snapshot.epoch(),
+                        cache_hit: false,
+                        materialized: true,
+                        static_cost,
+                        service: start.elapsed(),
+                    }));
+                    continue;
+                }
+            }
+
+            let (cached, cache_hit) = match self.plan_for(snapshot, canonical) {
+                Ok(planned) => planned,
+                Err(e) => {
+                    out.push(Err(e));
+                    continue;
+                }
+            };
+            let reusable = fetch
+                .as_ref()
+                .is_some_and(|(_, plan)| Arc::ptr_eq(plan, &cached.plan));
+            if !reusable {
+                match self.fetch_for(snapshot, &cached.plan, values) {
+                    Ok(shared) => {
+                        self.meter.merge(&shared.accesses());
+                        self.shared_fetches.fetch_add(1, Ordering::Relaxed);
+                        generations.push((shared.accesses(), Vec::new()));
+                        fetch = Some((shared, Arc::clone(&cached.plan)));
+                    }
+                    Err(e) => {
+                        out.push(Err(e.into()));
+                        continue;
+                    }
+                }
+            }
+            let (shared, _) = fetch.as_ref().expect("shared fetch installed above");
+            let result = match shared.finalize_one(&cached.plan) {
+                Ok(answer) => answer,
+                Err(e) => {
+                    out.push(Err(e.into()));
+                    continue;
+                }
+            };
+
+            // Offer to the materialized layer with the *full* fetch cost as
+            // the re-execution cost — what a lone execution would measure.
+            if let Some(key) = materialized_key.take() {
+                if snapshot.epoch() == self.store.epoch() {
+                    self.materialized.record(
+                        key,
+                        &canonical.query,
+                        &canonical.parameters,
+                        &result.answers,
+                        snapshot.epoch(),
+                        cached.stats_epoch,
+                        cached.plan.static_cost(),
+                        shared.accesses(),
+                    );
+                }
+            }
+
+            generations
+                .last_mut()
+                .expect("a generation exists once a fetch ran")
+                .1
+                .push(out.len());
+            out.push(Ok(QueryResponse {
+                answers: result.answers,
+                accesses: MeterSnapshot::default(), // attributed below
+                epoch: snapshot.epoch(),
+                cache_hit,
+                materialized: false,
+                static_cost: cached.plan.static_cost(),
+                service: start.elapsed(),
+            }));
+        }
+
+        // Exact attribution: each fetch was charged to the engine meter
+        // once; its sharers report `C/k` each with the remainder on the
+        // first, so per-response shares sum to exactly `C`.
+        for (cost, sharers) in &generations {
+            let k = sharers.len() as u64;
+            for (rank, &position) in sharers.iter().enumerate() {
+                if let Ok(response) = &mut out[position] {
+                    response.accesses = share_of(cost, k, rank == 0);
+                }
+            }
+        }
+        out
+    }
+
+    /// Commits one delta synchronously: a group commit of one, so the
+    /// validation, maintenance and drift behaviour (and every error kind) is
+    /// exactly the committer path's.
     fn commit(&self, delta: &Delta) -> Result<u64> {
+        self.commit_group(std::slice::from_ref(delta))
+            .pop()
+            .expect("a group of one yields exactly one outcome")
+    }
+
+    /// Commits a batch of deltas as **one** storage commit, maintaining
+    /// materialized answers across it and re-collecting statistics when row
+    /// counts drifted.
+    ///
+    /// Each delta is validated *atomically* against the evolved state
+    /// `base ⊕ (accepted deltas so far)` — exactly what a sequential chain
+    /// of individual commits would check — and folded into one net-effect
+    /// [`Delta`] ([`DeltaBatch`]): a tuple deleted by one delta and
+    /// reinserted by a later one cancels out entirely.  A delta that fails
+    /// validation folds nothing and gets its own `Err`; later deltas see
+    /// the state as if it never existed, mirroring a failed individual
+    /// commit.  The accepted deltas then share ONE epoch bump, ONE
+    /// maintenance pass over the merged delta (per shard on sharded
+    /// backends) and ONE statistics drift probe, and every accepted delta's
+    /// outcome is `Ok(new epoch)`.
+    pub(crate) fn commit_group(&self, deltas: &[Delta]) -> Vec<Result<u64>> {
+        if deltas.is_empty() {
+            return Vec::new();
+        }
         // All engine commits serialise here, so `base` below really is the
         // predecessor of the committed version — the pair of pinned versions
         // bounded answer maintenance runs between.
         let _writer = self.commit_lock.lock().expect("commit lock poisoned");
         let base = self.store.pin();
-        let snapshot = self.store.commit(delta)?;
-        self.commits.fetch_add(1, Ordering::Relaxed);
 
-        // Maintenance path: propagate the delta into every admitted answer
-        // (commit → propagate → merge), falling back — dropping the entry —
-        // where the Corollary-5.3 gate or the maintenance work itself says
-        // no.  Readers keep serving throughout: they either pinned `base`
-        // (entries still answer for it until maintained) or pin `snapshot`
-        // after maintenance publishes the new epoch.
+        fn fold_all<B: DeltaBase>(base: &B, deltas: &[Delta]) -> (Delta, Vec<Option<EngineError>>) {
+            let mut batch = DeltaBatch::new(base);
+            let outcomes = deltas
+                .iter()
+                .map(|delta| batch.fold(delta).err().map(EngineError::Data))
+                .collect();
+            (batch.merged(), outcomes)
+        }
+        let (merged, outcomes) = match &base {
+            EngineSnapshot::Single(snap) => fold_all(snap.as_ref(), deltas),
+            EngineSnapshot::Sharded(view) => fold_all(view.as_ref(), deltas),
+        };
+        let accepted = outcomes.iter().filter(|o| o.is_none()).count() as u64;
+        if accepted == 0 {
+            return outcomes
+                .into_iter()
+                .map(|o| Err(o.expect("every delta was rejected")))
+                .collect();
+        }
+
+        let snapshot = match self.store.commit(&merged) {
+            Ok(snapshot) => snapshot,
+            Err(e) => {
+                // The merged delta validated against `base` above, so the
+                // store refusing it is an invariant breach; surface the
+                // storage error on every accepted delta.
+                let err = EngineError::Data(e);
+                return outcomes
+                    .into_iter()
+                    .map(|o| Err(o.unwrap_or_else(|| err.clone())))
+                    .collect();
+            }
+        };
+        self.commits.fetch_add(accepted, Ordering::Relaxed);
+        self.group_commits.fetch_add(1, Ordering::Relaxed);
+        if accepted >= 2 {
+            self.deltas_coalesced.fetch_add(accepted, Ordering::Relaxed);
+        }
+
+        // Maintenance path: propagate the merged delta into every admitted
+        // answer (commit → propagate → merge), falling back — dropping the
+        // entry — where the Corollary-5.3 gate or the maintenance work
+        // itself says no.  Readers keep serving throughout: they either
+        // pinned `base` (entries still answer for it until maintained) or
+        // pin `snapshot` after maintenance publishes the new epoch.  This
+        // single pass over the net effect is where group commit wins: n
+        // coalesced deltas pay one pass over their (often much smaller)
+        // merged delta instead of n passes.
         if !self.materialized.is_disabled() {
-            let touched = delta.touched_relations();
+            let touched = merged.touched_relations();
             // On a sharded backend the delta is split by route ONCE per
             // commit; every admitted entry's maintenance then iterates the
             // same shard-local sub-deltas.
             let parts: Option<Vec<Delta>> = match &base {
                 EngineSnapshot::Single(_) => None,
-                EngineSnapshot::Sharded(view) => Some(view.split(delta)),
+                EngineSnapshot::Sharded(view) => Some(view.split(&merged)),
             };
             let summary = self.materialized.maintain_with(
                 base.epoch(),
@@ -585,7 +920,9 @@ impl Shared {
                     )
                     .unwrap_or(false)
                 },
-                |evaluator| self.maintain_one(evaluator, &base, &snapshot, delta, parts.as_deref()),
+                |evaluator| {
+                    self.maintain_one(evaluator, &base, &snapshot, &merged, parts.as_deref())
+                },
             );
             self.maintenance_runs
                 .fetch_add(summary.maintained, Ordering::Relaxed);
@@ -612,7 +949,14 @@ impl Shared {
             guard.epoch += 1;
             self.stats_refreshes.fetch_add(1, Ordering::Relaxed);
         }
-        Ok(snapshot.epoch())
+        let epoch = snapshot.epoch();
+        outcomes
+            .into_iter()
+            .map(|o| match o {
+                Some(e) => Err(e),
+                None => Ok(epoch),
+            })
+            .collect()
     }
 
     /// Bounded maintenance of one materialized answer across the commit
@@ -726,7 +1070,24 @@ impl Shared {
             maintenance_fallbacks: self.maintenance_fallbacks.load(Ordering::Relaxed),
             materialized_evictions: self.materialized.evictions(),
             maintenance_accesses: self.maintenance_meter.snapshot(),
+            group_commits: self.group_commits.load(Ordering::Relaxed),
+            deltas_coalesced: self.deltas_coalesced.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            shared_fetches: self.shared_fetches.load(Ordering::Relaxed),
+            snapshot_pins: self.store.pins(),
         }
+    }
+}
+
+/// One response's attributed share of a fetch cost `total` split `k` ways:
+/// `total/k` per sharer, remainder on the first, so shares sum to `total`.
+fn share_of(total: &MeterSnapshot, k: u64, first: bool) -> MeterSnapshot {
+    let part = |c: u64| if first { c / k + c % k } else { c / k };
+    MeterSnapshot {
+        tuples_fetched: part(total.tuples_fetched),
+        index_probes: part(total.index_probes),
+        full_scans: part(total.full_scans),
+        time_units: part(total.time_units),
     }
 }
 
@@ -763,6 +1124,7 @@ impl PendingResponse {
 pub struct Engine {
     shared: Arc<Shared>,
     pool: pool::WorkerPool,
+    committer: commit_queue::CommitQueue,
 }
 
 impl Engine {
@@ -843,11 +1205,20 @@ impl Engine {
             stats_refreshes: AtomicU64::new(0),
             maintenance_runs: AtomicU64::new(0),
             maintenance_fallbacks: AtomicU64::new(0),
+            group_commits: AtomicU64::new(0),
+            deltas_coalesced: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            shared_fetches: AtomicU64::new(0),
             queued: AtomicUsize::new(0),
             config: config.clone(),
         });
         let pool = pool::WorkerPool::start(Arc::clone(&shared), config.workers);
-        Engine { shared, pool }
+        let committer = commit_queue::CommitQueue::start(Arc::clone(&shared));
+        Engine {
+            shared,
+            pool,
+            committer,
+        }
     }
 
     /// Serves a request synchronously on the calling thread (admit →
@@ -891,11 +1262,59 @@ impl Engine {
         }
     }
 
+    /// Serves a slice of requests against **one** pinned current version,
+    /// sharing the fetch phase among requests with identical canonical
+    /// shape and parameter values.
+    ///
+    /// Responses come back in request order and each is exactly what
+    /// [`Engine::execute`] would have produced for that request at that
+    /// version (same answers, same cache-hit and materialized flags).  The
+    /// difference is cost: a group of `k` identical requests runs the fetch
+    /// phase **once**, the engine meter is charged once, and each sharing
+    /// response reports an attributed share `C/k` (remainder on the first)
+    /// so that response shares still sum to the true global cost.  Requests
+    /// the materialized layer answers report zero, as always.
+    pub fn execute_batch(&self, requests: &[Request]) -> Vec<Result<QueryResponse>> {
+        self.shared.serve_batch(requests)
+    }
+
     /// Applies an update to the current version, returning the new snapshot
     /// epoch.  Statistics re-collect (and cached plans invalidate) when the
     /// committed row counts drift past the configured threshold.
+    ///
+    /// This is a synchronous **group commit of one**: one epoch bump, one
+    /// maintenance pass, no queueing.  To coalesce many small commits into
+    /// one pass, use [`Engine::commit_async`] / [`Engine::commit_group`].
     pub fn commit(&self, delta: &Delta) -> Result<u64> {
         self.shared.commit(delta)
+    }
+
+    /// Commits a batch of deltas as **one** storage commit: each delta is
+    /// validated atomically against the evolved state (exactly as a
+    /// sequential chain of [`Engine::commit`]s would) and folded into one
+    /// net-effect delta — delete-then-reinsert across the batch cancels —
+    /// then the accepted deltas share one epoch bump, one maintenance pass
+    /// and one statistics drift probe.  Returns one outcome per delta, in
+    /// order: `Ok(new epoch)` for each accepted delta, its own validation
+    /// error for each rejected one (rejected deltas fold nothing).
+    pub fn commit_group(&self, deltas: &[Delta]) -> Vec<Result<u64>> {
+        self.shared.commit_group(deltas)
+    }
+
+    /// Enqueues a delta on the group committer and returns immediately; the
+    /// committer gathers queued deltas — up to
+    /// [`EngineConfig::commit_batch_max`], waiting at most
+    /// [`EngineConfig::commit_linger`] for stragglers — and commits each
+    /// gathered batch through [`Engine::commit_group`].  The returned
+    /// ticket resolves to this delta's own outcome.
+    pub fn commit_async(&self, delta: Delta) -> Result<CommitTicket> {
+        self.committer.enqueue(delta)
+    }
+
+    /// Blocks until every delta enqueued via [`Engine::commit_async`]
+    /// *before this call* has been committed (or rejected).
+    pub fn flush_commits(&self) -> Result<()> {
+        self.committer.flush()
     }
 
     /// Pins the current snapshot version (uniform over single-store and
@@ -959,6 +1378,7 @@ const _: () = {
     assert_send_sync::<Shared>();
     const fn assert_send<T: Send>() {}
     assert_send::<PendingResponse>();
+    assert_send::<CommitTicket>();
 };
 
 #[cfg(test)]
@@ -1394,6 +1814,258 @@ mod tests {
         assert_eq!(m.maintenance_runs, 1);
         assert_eq!(m.maintenance_fallbacks, 0);
         assert_eq!(m.maintenance_accesses.full_scans, 0);
+    }
+
+    #[test]
+    fn group_commit_coalesces_into_one_epoch_bump() {
+        let engine = engine(EngineConfig::default());
+        let deltas = vec![
+            Delta::new().insert("friend", tuple![3, 1]).clone(),
+            Delta::new().delete("friend", tuple![3, 1]).clone(),
+            Delta::new().insert("friend", tuple![3, 1]).clone(),
+            Delta::new().insert("friend", tuple![4, 1]).clone(),
+        ];
+        let outcomes = engine.commit_group(&deltas);
+        assert_eq!(outcomes.len(), 4);
+        for outcome in &outcomes {
+            assert_eq!(outcome.as_ref().copied(), Ok(1), "one shared epoch");
+        }
+        assert_eq!(engine.epoch(), 1);
+        let m = engine.metrics();
+        assert_eq!(m.commits, 4);
+        assert_eq!(m.group_commits, 1);
+        assert_eq!(m.deltas_coalesced, 4);
+        // The final state is what four sequential commits would have left.
+        let answers = engine.execute(&req(3)).unwrap().answers;
+        let mut answers = answers;
+        answers.sort();
+        assert_eq!(answers, vec![tuple!["ann"]]);
+        assert_eq!(
+            engine.execute(&req(4)).unwrap().answers,
+            vec![tuple!["ann"]]
+        );
+    }
+
+    #[test]
+    fn group_commit_rejects_bad_deltas_individually() {
+        let engine = engine(EngineConfig::default());
+        let deltas = vec![
+            // Valid: new edge.
+            Delta::new().insert("friend", tuple![3, 1]).clone(),
+            // Invalid: deletes a tuple that does not exist (not even after
+            // the first delta).
+            Delta::new().delete("friend", tuple![9, 9]).clone(),
+            // Valid, and depends on the first delta's insertion.
+            Delta::new().delete("friend", tuple![3, 1]).clone(),
+        ];
+        let outcomes = engine.commit_group(&deltas);
+        assert_eq!(outcomes[0].as_ref().copied(), Ok(1));
+        assert!(matches!(outcomes[1], Err(EngineError::Data(_))));
+        assert_eq!(outcomes[2].as_ref().copied(), Ok(1));
+        let m = engine.metrics();
+        assert_eq!(m.commits, 2);
+        assert_eq!(m.group_commits, 1);
+        assert_eq!(m.deltas_coalesced, 2);
+        // Net effect of the accepted pair is empty: state unchanged.
+        assert!(engine.execute(&req(3)).unwrap().answers.is_empty());
+    }
+
+    #[test]
+    fn sync_commit_is_a_group_of_one() {
+        let engine = engine(EngineConfig::default());
+        engine
+            .commit(Delta::new().insert("friend", tuple![2, 1]))
+            .unwrap();
+        let m = engine.metrics();
+        assert_eq!(m.commits, 1);
+        assert_eq!(m.group_commits, 1);
+        assert_eq!(m.deltas_coalesced, 0, "a pass of one coalesces nothing");
+        // Error kinds match the sequential path.
+        let err = engine
+            .commit(Delta::new().delete("friend", tuple![9, 9]))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Data(_)));
+        assert_eq!(engine.epoch(), 1);
+    }
+
+    #[test]
+    fn commit_async_coalesces_queued_deltas() {
+        let engine = engine(EngineConfig {
+            commit_linger: Duration::from_millis(500),
+            commit_batch_max: 64,
+            ..EngineConfig::default()
+        });
+        let tickets: Vec<CommitTicket> = (0..8)
+            .map(|i| {
+                engine
+                    .commit_async(Delta::new().insert("friend", tuple![4, i]).clone())
+                    .unwrap()
+            })
+            .collect();
+        engine.flush_commits().unwrap();
+        for ticket in tickets {
+            assert_eq!(ticket.wait().unwrap(), 1, "all eight share one epoch");
+        }
+        let m = engine.metrics();
+        assert_eq!(m.snapshot_epoch, 1);
+        assert_eq!(m.commits, 8);
+        assert_eq!(m.group_commits, 1);
+        assert_eq!(m.deltas_coalesced, 8);
+    }
+
+    #[test]
+    fn flush_commits_on_an_idle_queue_returns_immediately() {
+        let engine = engine(EngineConfig::default());
+        engine.flush_commits().unwrap();
+        assert_eq!(engine.metrics().group_commits, 0);
+    }
+
+    #[test]
+    fn execute_batch_shares_the_fetch_and_attributes_exact_shares() {
+        let engine = engine(EngineConfig::default());
+        let baseline = engine.execute(&req(1)).unwrap();
+        let fetch_cost = baseline.accesses;
+        assert!(fetch_cost.tuples_fetched > 0);
+        let before = engine.metrics().accesses;
+
+        let batch: Vec<Request> = (0..5).map(|_| req(1)).collect();
+        let responses = engine.execute_batch(&batch);
+        let responses: Vec<QueryResponse> = responses.into_iter().map(|r| r.unwrap()).collect();
+        for response in &responses {
+            assert_eq!(response.answers, baseline.answers);
+            assert!(!response.materialized);
+        }
+        // The engine meter was charged the fetch cost ONCE for the group.
+        let after = engine.metrics().accesses;
+        assert_eq!(
+            after.tuples_fetched - before.tuples_fetched,
+            fetch_cost.tuples_fetched
+        );
+        // Per-response attributed shares sum to exactly the fetch cost.
+        let summed: u64 = responses.iter().map(|r| r.accesses.tuples_fetched).sum();
+        assert_eq!(summed, fetch_cost.tuples_fetched);
+        // The first sharer carries the remainder; later ones report C/5.
+        assert_eq!(
+            responses[1].accesses.tuples_fetched,
+            fetch_cost.tuples_fetched / 5
+        );
+        let m = engine.metrics();
+        assert_eq!(m.shared_fetches, 1);
+        assert_eq!(m.batched_requests, 5);
+        assert_eq!(m.requests, 6);
+    }
+
+    #[test]
+    fn execute_batch_mixes_groups_and_singletons_in_request_order() {
+        let engine = engine(EngineConfig::default());
+        let batch = vec![req(1), req(2), req(1), req(3), req(1)];
+        let responses = engine.execute_batch(&batch);
+        assert_eq!(responses.len(), 5);
+        for (i, p) in [(0usize, 1i64), (1, 2), (2, 1), (3, 3), (4, 1)] {
+            let lone = engine.execute(&req(p)).unwrap();
+            assert_eq!(
+                responses[i].as_ref().unwrap().answers,
+                lone.answers,
+                "i={i}"
+            );
+        }
+        let m = engine.metrics();
+        // One group of three plus two singletons.
+        assert_eq!(m.shared_fetches, 1);
+        assert_eq!(m.batched_requests, 3);
+    }
+
+    #[test]
+    fn execute_batch_matches_unbatched_materialization_exactly() {
+        let config = EngineConfig {
+            materialize_capacity: 16,
+            materialize_after: 2,
+            ..EngineConfig::default()
+        };
+        let batched = engine(config.clone());
+        let unbatched = engine(config);
+        let batch: Vec<Request> = (0..4).map(|_| req(1)).collect();
+        let batched_responses: Vec<QueryResponse> = batched
+            .execute_batch(&batch)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        let unbatched_responses: Vec<QueryResponse> = batch
+            .iter()
+            .map(|r| unbatched.execute(r).unwrap())
+            .collect();
+        for (b, u) in batched_responses.iter().zip(&unbatched_responses) {
+            assert_eq!(b.answers, u.answers);
+            assert_eq!(b.materialized, u.materialized);
+            assert_eq!(b.cache_hit, u.cache_hit);
+        }
+        // Members 1–2 execute (hotness below threshold, then admission),
+        // members 3–4 are materialized hits — in both engines.
+        assert_eq!(
+            batched.metrics().materialized_hits,
+            unbatched.metrics().materialized_hits
+        );
+        assert_eq!(batched.metrics().materialized_hits, 2);
+        // The two executing members shared one fetch.
+        assert_eq!(batched.metrics().shared_fetches, 1);
+    }
+
+    #[test]
+    fn batched_pool_submissions_answer_identically_and_release_queue_slots() {
+        let engine = engine(EngineConfig {
+            workers: 2,
+            batch_requests: true,
+            ..EngineConfig::default()
+        });
+        let pending: Vec<PendingResponse> = (0..12)
+            .map(|i| engine.submit(req(1 + (i % 2))).unwrap())
+            .collect();
+        let responses: Vec<QueryResponse> =
+            pending.into_iter().map(|p| p.wait().unwrap()).collect();
+        for (i, response) in responses.iter().enumerate() {
+            let lone = engine.execute(&req(1 + (i as i64 % 2))).unwrap();
+            assert_eq!(response.answers, lone.answers, "i={i}");
+        }
+        // Every reply was delivered, so every queue slot comes back.  The
+        // worker releases the slot just *after* sending the reply, so give
+        // the last decrement a moment to land.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while engine.shared.queued.load(Ordering::Relaxed) != 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "queue slots leaked: {} still held",
+                engine.shared.queued.load(Ordering::Relaxed)
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn sharded_engine_group_commit_and_batched_serving_match_unsharded() {
+        let sharded = sharded_engine(3, EngineConfig::default());
+        let plain = engine(EngineConfig::default());
+        let deltas = vec![
+            Delta::new().insert("friend", tuple![3, 1]).clone(),
+            Delta::new().delete("friend", tuple![3, 1]).clone(),
+            Delta::new().insert("visit", tuple![2, 10]).clone(),
+        ];
+        let a = sharded.commit_group(&deltas);
+        let b = plain.commit_group(&deltas);
+        assert!(a.iter().all(|r| r.as_ref().copied() == Ok(1)));
+        assert!(b.iter().all(|r| r.as_ref().copied() == Ok(1)));
+        let batch: Vec<Request> = (0..3).map(|_| req(1)).collect();
+        for (s, p) in sharded
+            .execute_batch(&batch)
+            .into_iter()
+            .zip(plain.execute_batch(&batch))
+        {
+            let mut sa = s.unwrap().answers;
+            let mut pa = p.unwrap().answers;
+            sa.sort();
+            pa.sort();
+            assert_eq!(sa, pa);
+        }
+        assert_eq!(sharded.metrics().shared_fetches, 1);
     }
 
     #[test]

@@ -33,10 +33,16 @@ pub(crate) struct WorkerPool {
 }
 
 impl WorkerPool {
+    /// Most additional queued jobs one worker drains behind the job it
+    /// dequeued when request batching is on — bounds both the extra time
+    /// under the receiver lock and the latency of the drained requests.
+    const DRAIN_MAX: usize = 32;
+
     /// Spawns `workers` threads serving requests against `shared`.
     pub fn start(shared: Arc<Shared>, workers: usize) -> Self {
         let (sender, receiver) = mpsc::channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
+        let batching = shared.config.batch_requests;
         let handles = (0..workers.max(1))
             .map(|i| {
                 let receiver = Arc::clone(&receiver);
@@ -44,18 +50,47 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("si-engine-worker-{i}"))
                     .spawn(move || loop {
-                        // Hold the receiver lock only while dequeuing.
-                        let job = match receiver.lock() {
-                            Ok(guard) => guard.recv(),
+                        // Hold the receiver lock only while dequeuing.  With
+                        // batching on, also drain whatever queued up behind
+                        // the job — those requests are about to be grouped
+                        // onto shared fetches, so taking them now is what
+                        // creates the groups.
+                        let jobs = match receiver.lock() {
+                            Ok(guard) => match guard.recv() {
+                                Ok(first) => {
+                                    let mut jobs = vec![first];
+                                    while batching && jobs.len() < Self::DRAIN_MAX {
+                                        match guard.try_recv() {
+                                            Ok(job) => jobs.push(job),
+                                            Err(_) => break,
+                                        }
+                                    }
+                                    jobs
+                                }
+                                Err(_) => break,
+                            },
                             Err(_) => break,
                         };
-                        let Ok(job) = job else { break };
-                        shared.queued.fetch_sub(1, Ordering::Relaxed);
-                        let result = shared.serve(&job.request);
-                        // A dropped reply receiver just means the client gave
-                        // up waiting; the work is already merged into the
-                        // engine's metrics.
-                        let _ = job.reply.send(result);
+                        if let [_] = jobs.as_slice() {
+                            let job = jobs.into_iter().next().expect("one job");
+                            let result = shared.serve(&job.request);
+                            // A dropped reply receiver just means the client
+                            // gave up waiting; the work is already merged
+                            // into the engine's metrics.
+                            let _ = job.reply.send(result);
+                            // The queue slot frees only once the reply is
+                            // delivered: `queued` counts admitted requests
+                            // the engine still owes work on.
+                            shared.queued.fetch_sub(1, Ordering::Relaxed);
+                        } else {
+                            let (requests, replies): (Vec<_>, Vec<_>) =
+                                jobs.into_iter().map(|j| (j.request, j.reply)).unzip();
+                            let results = shared.serve_batch(&requests);
+                            for (reply, result) in replies.iter().zip(results) {
+                                let _ = reply.send(result);
+                                shared.queued.fetch_sub(1, Ordering::Relaxed);
+                            }
+                        }
                     })
                     .expect("failed to spawn engine worker thread")
             })

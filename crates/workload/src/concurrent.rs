@@ -86,6 +86,98 @@ pub fn social_requests(persons: usize, count: usize, seed: u64) -> Vec<Generated
         .collect()
 }
 
+/// Generates a deterministic **bursty** request stream: `bursts` waves of
+/// `burst_size` *identical* requests each (same template, same person
+/// parameter), person drawn with quadratic skew and template split 60/40
+/// over Q1/Q2.
+///
+/// This is the traffic shape shared-fetch request batching is built for —
+/// a hot profile page being hammered — where an engine that groups
+/// identical (shape, values) pairs onto one fetch pays the fetch cost once
+/// per wave instead of once per request.
+pub fn burst_requests(
+    persons: usize,
+    bursts: usize,
+    burst_size: usize,
+    seed: u64,
+) -> Vec<GeneratedRequest> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let q1 = q1();
+    let q2 = q2();
+    let mut requests = Vec::with_capacity(bursts * burst_size);
+    for _ in 0..bursts {
+        let p = skewed_person(&mut rng, persons) as i64;
+        let query = if rng.gen_range(0..100u8) < 60 {
+            q1.clone()
+        } else {
+            q2.clone()
+        };
+        for _ in 0..burst_size {
+            requests.push(GeneratedRequest {
+                query: query.clone(),
+                parameters: vec!["p".into()],
+                values: vec![Value::int(p)],
+            });
+        }
+    }
+    requests
+}
+
+/// Generates a deterministic storm of `commits` **single-tuple** `visit`
+/// deltas that toggle a hot set of `hot_tuples` facts round-robin: each
+/// commit inserts its fact if the previous toggle deleted it (or it never
+/// existed) and deletes it otherwise.
+///
+/// Every delta is valid against the instance as evolved by its
+/// predecessors, and — this is the point — the **net effect of the whole
+/// storm is at most `hot_tuples` tuples**, however long it runs: a fact
+/// deleted and reinserted (or inserted and re-deleted) cancels out.  A
+/// group committer that folds the storm into one merged delta therefore
+/// pays one maintenance pass over ≤ `hot_tuples` tuples where individual
+/// commits pay `commits` passes over one tuple each.
+///
+/// The toggled facts use fresh restaurant ids (from 900 000 up, adjusted
+/// past any collision with `db`), so the storm composes with any social
+/// instance without disturbing its existing `visit` facts.
+pub fn small_commit_storm(
+    db: &Database,
+    commits: usize,
+    hot_tuples: usize,
+    seed: u64,
+) -> Vec<Delta> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let hot = hot_tuples.max(1);
+    let visit = db
+        .relation("visit")
+        .expect("social instances declare `visit`");
+    let mut facts = Vec::with_capacity(hot);
+    let mut rid = 900_000i64;
+    for _ in 0..hot {
+        let person = rng.gen_range(0..64u8) as i64;
+        let mut tuple = si_data::tuple![person, rid];
+        while visit.contains(&tuple) {
+            rid += 1;
+            tuple = si_data::tuple![person, rid];
+        }
+        facts.push(tuple);
+        rid += 1;
+    }
+    let mut present = vec![false; hot];
+    (0..commits)
+        .map(|i| {
+            let k = i % hot;
+            let mut delta = Delta::new();
+            if present[k] {
+                delta.delete("visit", facts[k].clone());
+            } else {
+                delta.insert("visit", facts[k].clone());
+            }
+            present[k] = !present[k];
+            delta
+        })
+        .collect()
+}
+
 /// One step of an update-heavy serving schedule.
 #[derive(Debug, Clone)]
 pub enum ScenarioOp {
@@ -237,6 +329,61 @@ mod tests {
             distinct.len() < queries,
             "hot persons must repeat across queries"
         );
+    }
+
+    #[test]
+    fn burst_requests_repeat_identical_requests_within_each_wave() {
+        let a = burst_requests(1000, 6, 8, 21);
+        let b = burst_requests(1000, 6, 8, 21);
+        assert_eq!(a.len(), 48);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.values, y.values);
+            assert_eq!(x.query.name, y.query.name);
+        }
+        let schema = social_schema();
+        for wave in a.chunks(8) {
+            for r in wave {
+                r.query.validate(&schema).unwrap();
+                // Every request in a wave is identical to the wave's first.
+                assert_eq!(r.values, wave[0].values);
+                assert_eq!(r.query.name, wave[0].query.name);
+            }
+        }
+        // Across enough waves both templates appear.
+        let many = burst_requests(1000, 40, 2, 21);
+        assert!(many.iter().any(|r| r.query.name == "Q1"));
+        assert!(many.iter().any(|r| r.query.name == "Q2"));
+    }
+
+    #[test]
+    fn small_commit_storms_are_valid_and_cancel_down_to_the_hot_set() {
+        let db = SocialGenerator::new(SocialConfig {
+            persons: 100,
+            restaurants: 20,
+            ..SocialConfig::default()
+        })
+        .generate();
+        let storm = small_commit_storm(&db, 64, 4, 9);
+        assert_eq!(storm.len(), 64);
+        assert_eq!(storm, small_commit_storm(&db, 64, 4, 9));
+        // Every delta is one tuple and valid against the evolving instance.
+        let mut evolving = db.clone();
+        for delta in &storm {
+            assert_eq!(delta.size(), 1);
+            delta.apply_in_place(&mut evolving).unwrap();
+        }
+        // The merged net effect collapses: 64 toggles of 4 hot facts (16
+        // each, an even count) cancel to nothing — and sequential
+        // application agrees.
+        let merged = Delta::merge(&db, &storm).unwrap();
+        assert!(merged.is_empty(), "merged storm must cancel, got {merged}");
+        assert_eq!(evolving.size(), db.size());
+        assert!(evolving.contains_database(&db));
+        // An odd storm leaves at most the hot set.
+        let odd = small_commit_storm(&db, 63, 4, 9);
+        let merged = Delta::merge(&db, &odd).unwrap();
+        assert!(merged.size() <= 4, "net effect {} > hot set", merged.size());
+        assert!(!merged.is_empty());
     }
 
     #[test]

@@ -20,8 +20,8 @@ pub mod social;
 pub mod updates;
 
 pub use concurrent::{
-    serving_access_schema, social_partition_map, social_requests, update_heavy_scenario,
-    GeneratedRequest, ScenarioOp,
+    burst_requests, serving_access_schema, small_commit_storm, social_partition_map,
+    social_requests, update_heavy_scenario, GeneratedRequest, ScenarioOp,
 };
 pub use queries::{example_46_access_schema, paper_views, q1, q2, q2_rewriting, q3};
 pub use scaling::{geometric_sizes, ScalePoint};

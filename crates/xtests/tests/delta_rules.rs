@@ -17,7 +17,7 @@
 
 use si_core::incremental::{maintain, propagate};
 use si_data::schema::social_schema;
-use si_data::{Database, Delta, Tuple, Value};
+use si_data::{Database, Delta, ShardedSnapshotStore, SnapshotStore, Tuple, Value};
 use si_query::algebra_eval::{evaluate_ra, RaEvaluator};
 use si_query::{Condition, RaExpr};
 use si_workload::rng::SplitMix64;
@@ -225,6 +225,100 @@ fn empty_updates_are_a_fixed_point() {
         let old = evaluate_ra(&expr, &db).unwrap();
         let maintained = maintain(&expr, &old, &db, &empty).unwrap();
         assert_eq!(maintained.tuples, old.tuples);
+    }
+}
+
+/// A random batch of deltas, each valid against the instance as evolved by
+/// its predecessors — with an extra tail delta that *reinserts* tuples
+/// deleted earlier in the batch (the cross-delta cancellation case) —
+/// together with the sequential final state.
+fn gen_batch(rng: &mut SplitMix64, db: &Database, len: usize) -> (Vec<Delta>, Database) {
+    let mut fresh = 900_000usize;
+    let mut evolving = db.clone();
+    let mut batch: Vec<Delta> = Vec::with_capacity(len + 1);
+    for _ in 0..len {
+        let delta = gen_delta(rng, &evolving, &mut fresh);
+        if delta.is_empty() {
+            continue;
+        }
+        delta.apply_in_place(&mut evolving).unwrap();
+        batch.push(delta);
+    }
+    // Delete-then-reinsert across the batch: bring back some tuples an
+    // earlier delta removed (they are absent from `evolving`, so the
+    // reinsertion is valid — and must cancel against the earlier deletion
+    // when the batch folds to its net effect).
+    let mut reinsert = Delta::new();
+    let mut planned: BTreeSet<(String, Tuple)> = BTreeSet::new();
+    for delta in &batch {
+        for (relation, rd) in delta.iter() {
+            for t in &rd.deletions {
+                if !evolving.relation(relation).unwrap().contains(t)
+                    && planned.insert((relation.clone(), t.clone()))
+                    && rng.gen_range(0..2usize) == 0
+                {
+                    reinsert.insert(relation.clone(), t.clone());
+                }
+            }
+        }
+    }
+    if !reinsert.is_empty() {
+        reinsert.apply_in_place(&mut evolving).unwrap();
+        batch.push(reinsert);
+    }
+    (batch, evolving)
+}
+
+#[test]
+fn merged_batch_applied_once_equals_batch_applied_delta_by_delta() {
+    for seed in 0..25u64 {
+        let db = small_db(seed);
+        let mut rng = SplitMix64::seed_from_u64(0xBA7C4 ^ seed);
+        let (batch, sequential) = gen_batch(&mut rng, &db, 2 + seed as usize % 5);
+        if batch.is_empty() {
+            continue;
+        }
+
+        // The merged delta applied ONCE equals the sequential chain.
+        let merged = Delta::merge(&db, &batch).unwrap();
+        let at_once = merged.apply(&db).unwrap();
+        assert_eq!(at_once.size(), sequential.size(), "seed {seed}");
+        assert!(at_once.contains_database(&sequential), "seed {seed}");
+
+        // Same through an epoch-versioned snapshot store: one commit of the
+        // merged delta lands on the same final state as N commits.
+        let one_by_one = SnapshotStore::new(db.clone());
+        for delta in &batch {
+            one_by_one.commit(delta).unwrap();
+        }
+        let grouped = SnapshotStore::new(db.clone());
+        grouped.commit(&merged).unwrap();
+        assert_eq!(grouped.epoch(), 1);
+        assert_eq!(one_by_one.epoch(), batch.len() as u64);
+        let a = one_by_one.pin().to_database();
+        let b = grouped.pin().to_database();
+        assert_eq!(a.size(), b.size(), "seed {seed}");
+        assert!(a.contains_database(&b), "seed {seed}");
+
+        // And on a hash-partitioned sharded store, where the merged delta
+        // additionally validates against the pinned sharded view itself.
+        for shards in [2usize, 3] {
+            let partition = si_workload::social_partition_map();
+            let one_by_one =
+                ShardedSnapshotStore::new(db.clone(), partition.clone(), shards).unwrap();
+            for delta in &batch {
+                one_by_one.commit(delta).unwrap();
+            }
+            let grouped = ShardedSnapshotStore::new(db.clone(), partition, shards).unwrap();
+            let remerged = Delta::merge(&*grouped.pin(), &batch).unwrap();
+            assert_eq!(remerged, merged, "seed {seed} shards {shards}");
+            grouped.commit(&remerged).unwrap();
+            let a = one_by_one.pin().to_database();
+            let b = grouped.pin().to_database();
+            assert_eq!(a.size(), b.size(), "seed {seed} shards {shards}");
+            assert!(a.contains_database(&b), "seed {seed} shards {shards}");
+            assert_eq!(b.size(), sequential.size());
+        }
     }
 }
 

@@ -1,9 +1,14 @@
 //! Differential suite for the serving engine's maintenance path: an engine
 //! **with** the materialized answer cache, an engine **without** it, an
 //! engine over a **3-shard hash-partitioned store** (materialization on, so
-//! its maintenance runs per shard-local delta), and a naive single-threaded
-//! oracle database must produce identical answers for every query at every
-//! epoch of every seeded schedule.
+//! its maintenance runs per shard-local delta), a **batched** engine
+//! (group-commit path plus shared-fetch request batching: queries between
+//! commits are served through `execute_batch`, so identical hot requests
+//! group onto one shared fetch), and a naive single-threaded oracle
+//! database must produce identical answers for every query at every epoch
+//! of every seeded schedule — and the batched arm's epochs, materialized
+//! flags and materialized-hit counts must match the unbatched materializing
+//! arm exactly.
 //!
 //! Each seed deterministically generates the whole scenario — the instance
 //! (a seeded social database of varying size/fanout), the access
@@ -180,6 +185,48 @@ fn naive_answers(query: &ConjunctiveQuery, parameter: &str, p: i64, db: &Databas
     answers
 }
 
+/// One query the batched arm still owes: the request plus everything the
+/// unbatched materializing arm observed when it served the same op (expected
+/// answers, epoch, materialized flag).
+struct PendingBatched {
+    op: usize,
+    request: Request,
+    expected: Vec<Tuple>,
+    epoch: u64,
+    materialized: bool,
+}
+
+/// Serve every buffered query through one `execute_batch` call (identical
+/// requests in the run group onto a shared fetch) and check each response
+/// against what the unbatched arm produced for the same op.
+fn drain_batched(engine: &Engine, pending: &mut Vec<PendingBatched>, seed: u64) {
+    if pending.is_empty() {
+        return;
+    }
+    let requests: Vec<Request> = pending.iter().map(|p| p.request.clone()).collect();
+    let responses = engine.execute_batch(&requests);
+    for (check, response) in pending.drain(..).zip(responses) {
+        let op = check.op;
+        let response = response.unwrap_or_else(|e| {
+            panic!("batched engine errored: seed {seed} op {op}: {e:?}");
+        });
+        let mut got = response.answers.clone();
+        got.sort();
+        assert_eq!(
+            got, check.expected,
+            "batched engine diverged: seed {seed} op {op}"
+        );
+        assert_eq!(
+            response.epoch, check.epoch,
+            "batched epoch diverged: seed {seed} op {op}"
+        );
+        assert_eq!(
+            response.materialized, check.materialized,
+            "batched materialized flag diverged: seed {seed} op {op}"
+        );
+    }
+}
+
 #[test]
 fn engines_with_and_without_materialization_agree_with_the_oracle() {
     let mut queries_checked = 0u64;
@@ -189,6 +236,8 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
     let mut maintenance_runs = 0u64;
     let mut maintenance_fallbacks = 0u64;
     let mut evictions = 0u64;
+    let mut batched_group_members = 0u64;
+    let mut batched_shared_fetches = 0u64;
 
     for seed in 0..SEEDS {
         let (db, access, shapes) = scenario(seed);
@@ -209,6 +258,22 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
             access.clone(),
             EngineConfig {
                 workers: 1,
+                stats_drift_threshold: 0.1,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        // Fifth arm: the same schedule and materialization config as `with`,
+        // but runs of consecutive queries are buffered and served through
+        // `execute_batch` (shared-fetch grouping), and commits go through
+        // the group-commit path as batches of one — epochs stay aligned.
+        let batched = Engine::new(
+            db.clone(),
+            access.clone(),
+            EngineConfig {
+                workers: 1,
+                materialize_capacity: 32,
+                materialize_after: 1 + seed % 2,
                 stats_drift_threshold: 0.1,
                 ..EngineConfig::default()
             },
@@ -242,17 +307,24 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
             .map(|r| r.iter().filter_map(|t| t.get(0).copied()).collect())
             .unwrap_or_default();
 
+        let mut pending: Vec<PendingBatched> = Vec::new();
+
         for op in 0..OPS_PER_SEED {
             if rng.gen_range(0..100u8) < 35 {
                 let delta = gen_delta(&mut rng, &oracle, &restaurant_ids, &mut fresh);
                 if delta.is_empty() {
                     continue;
                 }
+                // The batched arm must serve its buffered queries against the
+                // pre-commit snapshot, or its epochs drift from the others.
+                drain_batched(&batched, &mut pending, seed);
                 let epoch_with = with.commit(&delta).unwrap();
                 let epoch_without = without.commit(&delta).unwrap();
                 let epoch_sharded = sharded.commit(&delta).unwrap();
+                let epoch_batched = batched.commit(&delta).unwrap();
                 assert_eq!(epoch_with, epoch_without, "seed {seed} op {op}");
                 assert_eq!(epoch_with, epoch_sharded, "seed {seed} op {op}");
+                assert_eq!(epoch_with, epoch_batched, "seed {seed} op {op}");
                 delta.apply_in_place(&mut oracle).unwrap();
             } else {
                 let (query, parameter) = &shapes[rng.gen_range(0..shapes.len())];
@@ -304,8 +376,24 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
                 if c.materialized {
                     sharded_materialized_hits += 1;
                 }
+                pending.push(PendingBatched {
+                    op,
+                    request,
+                    expected,
+                    epoch: a.epoch,
+                    materialized: a.materialized,
+                });
             }
         }
+        drain_batched(&batched, &mut pending, seed);
+        let mb = batched.metrics();
+        assert_eq!(
+            mb.materialized_hits,
+            with.metrics().materialized_hits,
+            "batched materialized-hit count diverged: seed {seed}"
+        );
+        batched_group_members += mb.batched_requests;
+        batched_shared_fetches += mb.shared_fetches;
         let m = with.metrics();
         maintenance_runs += m.maintenance_runs;
         maintenance_fallbacks += m.maintenance_fallbacks;
@@ -346,11 +434,22 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
         sharded_maintenance_runs > 500,
         "only {sharded_maintenance_runs} sharded maintenance runs across the suite"
     );
+    // The batched arm really grouped requests: hot parameters repeat within
+    // runs of consecutive queries, so shared fetches must have happened.
+    assert!(
+        batched_group_members > 100,
+        "only {batched_group_members} batched group members across the suite"
+    );
+    assert!(
+        batched_shared_fetches > 20,
+        "only {batched_shared_fetches} shared fetches across the suite"
+    );
     println!(
         "differential: {queries_checked} queries checked, 0 divergent \
          ({materialized_hits} materialized hits, {maintenance_runs} maintenance runs, \
          {maintenance_fallbacks} fallbacks, {evictions} evictions; 3-shard arm: \
          {sharded_materialized_hits} materialized hits, {sharded_maintenance_runs} \
-         maintenance runs)"
+         maintenance runs; batched arm: {batched_group_members} grouped requests, \
+         {batched_shared_fetches} shared fetches)"
     );
 }
