@@ -1,0 +1,146 @@
+//! Durability-plane bench: fsync amortization under group commit.
+//!
+//! A WAL that syncs on every commit pays one fsync per writer; the group
+//! commit path gathers a storm of concurrent writers into one merged
+//! delta, one WAL record and **one** fsync.  This bench drives the same
+//! 64-commit storm through both paths on the simulated disk (which counts
+//! `sync` calls exactly) and reports the amortization factor — the
+//! headline bar is **≥ 4× fewer fsyncs** for the group path, and in
+//! practice a quiet machine gathers the whole storm into one pass.
+//!
+//! Like the other custom-harness benches this is a plain `main`: the
+//! measured quantity is a *count* (fsyncs), not wall-clock, so it is
+//! immune to laptop noise — and a correctness pre-pass proves both paths
+//! end at identical durable state by crash-recovering each disk and
+//! comparing the recovered databases both ways.
+
+use si_data::{Database, Delta, Value};
+use si_durability::{DurabilityConfig, SimDisk, Wal};
+use si_engine::{Engine, EngineConfig};
+use si_workload::{SocialConfig, SocialGenerator};
+use std::time::{Duration, Instant};
+
+const STORM: usize = 64;
+
+fn social_db() -> Database {
+    SocialGenerator::new(SocialConfig {
+        persons: 200,
+        restaurants: 20,
+        ..SocialConfig::default()
+    })
+    .generate()
+}
+
+/// 64 disjoint singleton deltas: each inserts one fresh `visit` tuple, so
+/// any gathering of them merges cleanly into one batch.
+fn storm_deltas() -> Vec<Delta> {
+    (0..STORM)
+        .map(|i| {
+            let mut delta = Delta::new();
+            delta.insert(
+                "visit",
+                vec![Value::from(i % 200), Value::from(5_000_000 + i)].into(),
+            );
+            delta
+        })
+        .collect()
+}
+
+fn durable_engine(db: Database, disk: &SimDisk, linger: Duration) -> Engine {
+    Engine::new_durable(
+        db,
+        si_access::facebook_access_schema(5_000),
+        Box::new(disk.clone()),
+        EngineConfig {
+            workers: 1,
+            commit_batch_max: STORM,
+            commit_linger: linger,
+            durability: Some(DurabilityConfig {
+                checkpoint_every: 0, // isolate commit fsyncs from checkpoint ones
+                keep_checkpoints: 2,
+            }),
+            ..EngineConfig::default()
+        },
+    )
+    .expect("engine construction")
+}
+
+fn main() {
+    let db = social_db();
+    let mut expected = db.clone();
+    for delta in storm_deltas() {
+        delta.apply_in_place(&mut expected).unwrap();
+    }
+
+    // -- Per-commit path: every commit is its own WAL record + fsync. --
+    let per_disk = SimDisk::new();
+    let per_engine = durable_engine(db.clone(), &per_disk, Duration::ZERO);
+    let base_syncs = per_engine.metrics().wal_syncs; // WAL creation cost
+    let start = Instant::now();
+    for delta in storm_deltas() {
+        per_engine.commit(&delta).unwrap();
+    }
+    let per_elapsed = start.elapsed();
+    let per_metrics = per_engine.metrics();
+    let per_syncs = per_metrics.wal_syncs - base_syncs;
+    drop(per_engine);
+
+    // -- Group path: the committer thread gathers the async storm. --
+    let group_disk = SimDisk::new();
+    let group_engine = durable_engine(db.clone(), &group_disk, Duration::from_millis(400));
+    let group_base_syncs = group_engine.metrics().wal_syncs;
+    let start = Instant::now();
+    let tickets: Vec<_> = storm_deltas()
+        .into_iter()
+        .map(|delta| group_engine.commit_async(delta).unwrap())
+        .collect();
+    for ticket in tickets {
+        ticket.wait().unwrap();
+    }
+    let group_elapsed = start.elapsed();
+    let group_metrics = group_engine.metrics();
+    let group_syncs = group_metrics.wal_syncs - group_base_syncs;
+    drop(group_engine);
+
+    // -- Correctness: both disks crash-recover to the same final state. --
+    for (name, disk, epoch) in [
+        ("per-commit", &per_disk, per_metrics.snapshot_epoch),
+        ("group", &group_disk, group_metrics.snapshot_epoch),
+    ] {
+        let (rec, _) = Wal::recover(Box::new(disk.clone())).expect("recovery");
+        assert_eq!(rec.epoch, epoch, "{name}: recovered epoch");
+        let got = &rec.databases[0];
+        assert!(
+            got.contains_database(&expected) && expected.contains_database(got),
+            "{name}: recovered state diverged from the applied storm"
+        );
+    }
+
+    assert_eq!(per_metrics.commits, STORM as u64);
+    assert_eq!(group_metrics.commits, STORM as u64);
+    let amortization = per_syncs as f64 / group_syncs.max(1) as f64;
+
+    println!("durability: {STORM}-commit storm, both paths recover identically");
+    println!(
+        "  per-commit : {:>3} fsyncs, {:>3} wal records, {:>4} epochs, {:>8.2?}",
+        per_syncs, per_metrics.wal_records, per_metrics.snapshot_epoch, per_elapsed
+    );
+    println!(
+        "  group      : {:>3} fsyncs, {:>3} wal records, {:>4} epochs, {:>8.2?} ({} passes)",
+        group_syncs,
+        group_metrics.wal_records,
+        group_metrics.snapshot_epoch,
+        group_elapsed,
+        group_metrics.group_commits
+    );
+    println!("  amortization: {amortization:.1}x fewer fsyncs under group commit");
+
+    assert_eq!(
+        per_syncs, STORM as u64,
+        "per-commit path must fsync per commit"
+    );
+    assert!(
+        per_syncs >= 4 * group_syncs,
+        "group commit must amortize fsyncs at least 4x ({per_syncs} vs {group_syncs})"
+    );
+}

@@ -1,0 +1,645 @@
+//! Compact, hand-rolled binary codec for the data plane.
+//!
+//! The durability layer (`si-durability`) and the planned replication
+//! transport both need a stable byte representation of [`Value`]s,
+//! [`Tuple`]s, [`Delta`]s and whole relation pages.  The environment is
+//! offline — no serde — so this module hand-rolls a small length-prefixed
+//! format with two deliberate properties:
+//!
+//! * **Interning-order independence.**  Symbols are serialised as their
+//!   *resolved strings*, never as interner ids.  A log written by one
+//!   process replays identically in a process that interned strings in a
+//!   different order (decode re-interns), exactly like the routing hash in
+//!   [`crate::shard`].
+//! * **Torn/corrupt-tail detection.**  Every durable record is framed as
+//!   `len ‖ crc32 ‖ payload` (both `u32` little-endian).  A record cut
+//!   short by a crash decodes as [`CodecError::Truncated`]; a record whose
+//!   bytes were damaged decodes as [`CodecError::Corrupt`].  Recovery
+//!   treats either as "the log ends here".
+//!
+//! All integers are little-endian.  Strings are `u32` byte length followed
+//! by UTF-8 bytes.  Values are a tag byte (`0` Null, `1` Bool, `2` Int,
+//! `3` Sym) followed by the tag-specific body.  Composite encodings prefix
+//! element counts, so decoding never scans for terminators.
+
+use crate::relation::Relation;
+use crate::schema::RelationSchema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::{Delta, Result};
+use std::fmt;
+
+/// Errors surfaced while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the encoding was complete — the signature of
+    /// a torn (partially written) record.
+    Truncated,
+    /// A frame's payload does not match its CRC-32 — the signature of
+    /// bit-level damage.
+    Corrupt {
+        /// The checksum stored in the frame header.
+        expected: u32,
+        /// The checksum of the payload as read.
+        found: u32,
+    },
+    /// The bytes are structurally complete but semantically invalid (bad
+    /// tag, non-UTF-8 string, ...).
+    Invalid(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated encoding (torn record)"),
+            CodecError::Corrupt { expected, found } => write!(
+                f,
+                "corrupt frame: stored crc32 {expected:#010x}, payload crc32 {found:#010x}"
+            ),
+            CodecError::Invalid(msg) => write!(f, "invalid encoding: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Result alias for decoding operations.
+pub type CodecResult<T> = std::result::Result<T, CodecError>;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3 polynomial, table-driven)
+// ---------------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — the per-frame checksum.  Detects every
+/// single-bit flip and all burst errors up to 32 bits.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Primitive writers / Reader
+// ---------------------------------------------------------------------------
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked cursor over an encoded byte slice.
+///
+/// Every read returns [`CodecError::Truncated`] when the slice ends early,
+/// which is what lets recovery distinguish a torn tail from corruption.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps `bytes` with the cursor at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// True once every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Fails unless the whole input was consumed — encodings are exact, so
+    /// trailing garbage means the bytes are not what they claim to be.
+    pub fn expect_end(&self) -> CodecResult<()> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::Invalid(format!(
+                "{} trailing bytes after a complete encoding",
+                self.remaining()
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> CodecResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> CodecResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> CodecResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> CodecResult<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> CodecResult<i64> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> CodecResult<&'a str> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map_err(|e| CodecError::Invalid(format!("non-UTF-8 string: {e}")))
+    }
+
+    /// Reads an element count and sanity-checks it against the remaining
+    /// bytes (every element costs at least one byte), so a damaged count
+    /// cannot drive an absurd allocation.
+    pub fn count(&mut self) -> CodecResult<usize> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        Ok(n)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value / Tuple / Delta
+// ---------------------------------------------------------------------------
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_SYM: u8 = 3;
+
+/// Appends the encoding of one [`Value`].
+pub fn encode_value(out: &mut Vec<u8>, value: Value) {
+    match value {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(u8::from(b));
+        }
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Sym(s) => {
+            out.push(TAG_SYM);
+            put_str(out, s.as_str());
+        }
+    }
+}
+
+/// Decodes one [`Value`] (re-interning symbol strings).
+pub fn decode_value(r: &mut Reader<'_>) -> CodecResult<Value> {
+    match r.u8()? {
+        TAG_NULL => Ok(Value::Null),
+        TAG_BOOL => match r.u8()? {
+            0 => Ok(Value::Bool(false)),
+            1 => Ok(Value::Bool(true)),
+            b => Err(CodecError::Invalid(format!("bad bool byte {b}"))),
+        },
+        TAG_INT => Ok(Value::Int(r.i64()?)),
+        TAG_SYM => Ok(Value::str(r.str()?)),
+        t => Err(CodecError::Invalid(format!("bad value tag {t}"))),
+    }
+}
+
+/// Appends the encoding of a [`Tuple`] (arity-prefixed).
+pub fn encode_tuple(out: &mut Vec<u8>, tuple: &Tuple) {
+    put_u32(out, tuple.arity() as u32);
+    for v in tuple.iter() {
+        encode_value(out, *v);
+    }
+}
+
+/// Decodes an arity-prefixed [`Tuple`].
+pub fn decode_tuple(r: &mut Reader<'_>) -> CodecResult<Tuple> {
+    let arity = r.count()?;
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        values.push(decode_value(r)?);
+    }
+    Ok(Tuple::new(values))
+}
+
+fn encode_tuple_list(out: &mut Vec<u8>, tuples: &[Tuple]) {
+    put_u32(out, tuples.len() as u32);
+    for t in tuples {
+        encode_tuple(out, t);
+    }
+}
+
+fn decode_tuple_list(r: &mut Reader<'_>) -> CodecResult<Vec<Tuple>> {
+    let n = r.count()?;
+    let mut tuples = Vec::with_capacity(n);
+    for _ in 0..n {
+        tuples.push(decode_tuple(r)?);
+    }
+    Ok(tuples)
+}
+
+/// Appends the encoding of a [`Delta`]: relation count, then per relation
+/// its name, insertion list and deletion list.  Relations iterate in name
+/// order ([`Delta`] is a `BTreeMap`), so equal deltas encode identically.
+pub fn encode_delta(out: &mut Vec<u8>, delta: &Delta) {
+    put_u32(out, delta.iter().count() as u32);
+    for (relation, rd) in delta.iter() {
+        put_str(out, relation);
+        encode_tuple_list(out, &rd.insertions);
+        encode_tuple_list(out, &rd.deletions);
+    }
+}
+
+/// Decodes a [`Delta`].
+pub fn decode_delta(r: &mut Reader<'_>) -> CodecResult<Delta> {
+    let relations = r.count()?;
+    let mut delta = Delta::new();
+    for _ in 0..relations {
+        let name = r.str()?.to_owned();
+        for t in decode_tuple_list(r)? {
+            delta.insert(name.clone(), t);
+        }
+        for t in decode_tuple_list(r)? {
+            delta.delete(name.clone(), t);
+        }
+    }
+    Ok(delta)
+}
+
+// ---------------------------------------------------------------------------
+// Relation pages
+// ---------------------------------------------------------------------------
+
+/// A self-describing serialised relation: schema, declared (lazy) secondary
+/// indexes, and every stored tuple.  Checkpoints are lists of pages — no
+/// separate schema record is needed to rebuild a [`crate::Database`].
+///
+/// Page tuples are encoded *without* per-tuple arity (the relation's arity
+/// is fixed by its attribute list), which is what makes the page format the
+/// compact one for bulk state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationPage {
+    /// Relation name.
+    pub name: String,
+    /// Attribute names, in schema order.
+    pub attributes: Vec<String>,
+    /// Declared secondary indexes (attribute subsets).  Re-declared on
+    /// decode; still built lazily on first probe.
+    pub declared: Vec<Vec<String>>,
+    /// The stored tuples, in insertion order.
+    pub tuples: Vec<Tuple>,
+}
+
+impl RelationPage {
+    /// Snapshots `relation` as a page.
+    pub fn from_relation(relation: &Relation) -> Self {
+        RelationPage {
+            name: relation.name().to_owned(),
+            attributes: relation.schema().attributes().to_vec(),
+            declared: relation.declared_indexes(),
+            tuples: relation.tuples().to_vec(),
+        }
+    }
+
+    /// Rebuilds the [`Relation`]: schema from the attribute list, declared
+    /// indexes re-declared (built lazily later), tuples inserted in page
+    /// order.  Derived state (built indexes) is *not* serialised — it is
+    /// rebuilt on demand, which keeps pages minimal.
+    pub fn to_relation(&self) -> Result<Relation> {
+        let attrs: Vec<&str> = self.attributes.iter().map(String::as_str).collect();
+        let schema = RelationSchema::new(&self.name, &attrs);
+        let mut rel = Relation::with_tuples(schema, self.tuples.clone())?;
+        for attrs in &self.declared {
+            rel.declare_index(attrs)?;
+        }
+        Ok(rel)
+    }
+
+    /// Appends the page encoding.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        put_str(out, &self.name);
+        put_u32(out, self.attributes.len() as u32);
+        for a in &self.attributes {
+            put_str(out, a);
+        }
+        put_u32(out, self.declared.len() as u32);
+        for attrs in &self.declared {
+            put_u32(out, attrs.len() as u32);
+            for a in attrs {
+                put_str(out, a);
+            }
+        }
+        put_u32(out, self.tuples.len() as u32);
+        for t in &self.tuples {
+            for v in t.iter() {
+                encode_value(out, *v);
+            }
+        }
+    }
+
+    /// Decodes one page.
+    pub fn decode(r: &mut Reader<'_>) -> CodecResult<RelationPage> {
+        let name = r.str()?.to_owned();
+        let arity = r.count()?;
+        let mut attributes = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            attributes.push(r.str()?.to_owned());
+        }
+        let declared_count = r.count()?;
+        let mut declared = Vec::with_capacity(declared_count);
+        for _ in 0..declared_count {
+            let k = r.count()?;
+            let mut attrs = Vec::with_capacity(k);
+            for _ in 0..k {
+                attrs.push(r.str()?.to_owned());
+            }
+            declared.push(attrs);
+        }
+        let rows = r.count()?;
+        let mut tuples = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let mut values = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                values.push(decode_value(r)?);
+            }
+            tuples.push(Tuple::new(values));
+        }
+        Ok(RelationPage {
+            name,
+            attributes,
+            declared,
+            tuples,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frames: len ‖ crc32 ‖ payload
+// ---------------------------------------------------------------------------
+
+/// Byte overhead of a frame header (`len: u32` + `crc32: u32`).
+pub const FRAME_HEADER: usize = 8;
+
+/// Appends one frame: `len ‖ crc32(payload) ‖ payload`.
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    put_u32(out, payload.len() as u32);
+    put_u32(out, crc32(payload));
+    out.extend_from_slice(payload);
+}
+
+/// A `payload` wrapped in a fresh frame.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    write_frame(&mut out, payload);
+    out
+}
+
+/// Reads the frame starting at `*pos`, advancing `*pos` past it.
+///
+/// Returns [`CodecError::Truncated`] when the remaining bytes cannot hold
+/// the header or the declared payload (a torn tail — including the case
+/// where the *length field itself* was damaged upward), and
+/// [`CodecError::Corrupt`] when the payload fails its checksum.
+pub fn read_frame<'a>(bytes: &'a [u8], pos: &mut usize) -> CodecResult<&'a [u8]> {
+    let mut r = Reader::new(&bytes[*pos..]);
+    let len = r.u32()? as usize;
+    let expected = r.u32()?;
+    if r.remaining() < len {
+        return Err(CodecError::Truncated);
+    }
+    let start = *pos + FRAME_HEADER;
+    let payload = &bytes[start..start + len];
+    let found = crc32(payload);
+    if found != expected {
+        return Err(CodecError::Corrupt { expected, found });
+    }
+    *pos = start + len;
+    Ok(payload)
+}
+
+/// FNV-1a 64-bit hash — the content-derived id for checkpoint payloads.
+/// The id is part of the checkpoint's file name, so recovery can reject a
+/// checkpoint whose content no longer matches the name it was written
+/// under, independently of the frame CRC.
+pub fn content_id(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip convenience for whole encodings
+// ---------------------------------------------------------------------------
+
+/// Encodes a delta as a standalone byte vector.
+pub fn delta_bytes(delta: &Delta) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_delta(&mut out, delta);
+    out
+}
+
+/// Decodes a standalone delta encoding, requiring full consumption.
+pub fn delta_from_bytes(bytes: &[u8]) -> CodecResult<Delta> {
+    let mut r = Reader::new(bytes);
+    let delta = decode_delta(&mut r)?;
+    r.expect_end()?;
+    Ok(delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::social_schema;
+    use crate::{tuple, Database};
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn values_round_trip_including_non_ascii_symbols() {
+        let values = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::str(""),
+            Value::str("plain"),
+            Value::str("naïve — 東京 🚀"),
+        ];
+        for v in values {
+            let mut out = Vec::new();
+            encode_value(&mut out, v);
+            let mut r = Reader::new(&out);
+            assert_eq!(decode_value(&mut r).unwrap(), v);
+            assert!(r.is_empty());
+        }
+    }
+
+    #[test]
+    fn tuples_and_deltas_round_trip() {
+        let t = tuple![1, "ann", "NYC"];
+        let mut out = Vec::new();
+        encode_tuple(&mut out, &t);
+        assert_eq!(decode_tuple(&mut Reader::new(&out)).unwrap(), t);
+
+        let mut delta = Delta::new();
+        delta.insert("person", tuple![7, "gil", "Łódź"]);
+        delta.delete("friend", tuple![1, 2]);
+        delta.insert("friend", tuple![2, 3]);
+        let bytes = delta_bytes(&delta);
+        assert_eq!(delta_from_bytes(&bytes).unwrap(), delta);
+        // Trailing garbage is rejected.
+        let mut noisy = bytes.clone();
+        noisy.push(0xAB);
+        assert!(matches!(
+            delta_from_bytes(&noisy),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn relation_pages_rebuild_relations_with_declared_indexes() {
+        let mut db = Database::empty(social_schema());
+        db.insert_all(
+            "person",
+            vec![tuple![1, "ann", "NYC"], tuple![2, "bob", "LA"]],
+        )
+        .unwrap();
+        db.declare_index("person", &["city".into()]).unwrap();
+        let page = RelationPage::from_relation(db.relation("person").unwrap());
+
+        let mut out = Vec::new();
+        page.encode(&mut out);
+        let decoded = RelationPage::decode(&mut Reader::new(&out)).unwrap();
+        assert_eq!(decoded, page);
+
+        let rel = decoded.to_relation().unwrap();
+        assert_eq!(rel.len(), 2);
+        assert!(rel.has_index(&["city".into()]));
+        assert!(!rel.has_built_index(&["city".into()]));
+        assert!(rel.contains(&tuple![2, "bob", "LA"]));
+    }
+
+    #[test]
+    fn frames_detect_torn_and_corrupt_tails() {
+        let payload = b"the quick brown fox".to_vec();
+        let framed = frame(&payload);
+        let mut pos = 0;
+        assert_eq!(read_frame(&framed, &mut pos).unwrap(), &payload[..]);
+        assert_eq!(pos, framed.len());
+
+        // Torn anywhere short of the full frame.
+        for cut in 0..framed.len() {
+            let mut pos = 0;
+            assert_eq!(
+                read_frame(&framed[..cut], &mut pos),
+                Err(CodecError::Truncated),
+                "cut at {cut}"
+            );
+        }
+        // Any single bit flip in the payload is caught by the CRC.
+        for byte in FRAME_HEADER..framed.len() {
+            let mut damaged = framed.clone();
+            damaged[byte] ^= 0x10;
+            let mut pos = 0;
+            assert!(matches!(
+                read_frame(&damaged, &mut pos),
+                Err(CodecError::Corrupt { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn bad_tags_and_bogus_counts_are_rejected_not_trusted() {
+        assert!(matches!(
+            decode_value(&mut Reader::new(&[9])),
+            Err(CodecError::Invalid(_))
+        ));
+        assert!(matches!(
+            decode_value(&mut Reader::new(&[TAG_BOOL, 7])),
+            Err(CodecError::Invalid(_))
+        ));
+        // A count field claiming more elements than bytes remain.
+        let mut out = Vec::new();
+        put_u32(&mut out, u32::MAX);
+        assert!(matches!(
+            decode_tuple(&mut Reader::new(&out)),
+            Err(CodecError::Truncated)
+        ));
+        // Non-UTF-8 symbol bytes.
+        let mut out = vec![TAG_SYM];
+        put_u32(&mut out, 2);
+        out.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            decode_value(&mut Reader::new(&out)),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn content_id_is_stable_and_content_sensitive() {
+        let a = content_id(b"checkpoint-a");
+        assert_eq!(a, content_id(b"checkpoint-a"));
+        assert_ne!(a, content_id(b"checkpoint-b"));
+    }
+}

@@ -37,6 +37,10 @@
 //! * [`stats`] — per-relation row counts and per-column distinct counts, the
 //!   statistics that drive the cost-based planner in `si-core`,
 //! * [`Delta`] — insert/delete updates `∆D = (∆D, ∇D)` as used in Section 5,
+//! * [`codec`] — the compact hand-rolled binary codec (`len ‖ crc32 ‖
+//!   payload` frames, symbols serialised as resolved strings) used by
+//!   `si-durability` for WAL records and checkpoints and reusable as the
+//!   replication wire codec,
 //! * [`snapshot`] — epoch-versioned, copy-on-write [`DatabaseSnapshot`]s and
 //!   the [`SnapshotStore`] (pinning readers, one committing writer), the
 //!   storage contract of the `si-engine` concurrent serving layer,
@@ -53,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod database;
 pub mod delta;
 pub mod error;
@@ -68,6 +73,7 @@ pub mod stats;
 pub mod tuple;
 pub mod value;
 
+pub use codec::{CodecError, RelationPage};
 pub use database::Database;
 pub use delta::{Delta, DeltaBase, DeltaBatch, RelationDelta};
 pub use error::DataError;
@@ -78,8 +84,8 @@ pub use ordset::TupleSet;
 pub use relation::Relation;
 pub use schema::{DatabaseSchema, RelationSchema};
 pub use shard::{
-    shard_of_tuple, shard_of_value, PartitionMap, ShardStats, ShardedSnapshotStore,
-    ShardedSnapshotView,
+    shard_of_tuple, shard_of_value, PartitionMap, PartitionRouter, ShardStats,
+    ShardedSnapshotStore, ShardedSnapshotView,
 };
 pub use snapshot::{DatabaseSnapshot, SnapshotStore};
 pub use stats::{DatabaseStats, RelationStats};
@@ -108,6 +114,7 @@ const _: () = {
     assert_send_sync::<Database>();
     assert_send_sync::<DatabaseSchema>();
     assert_send_sync::<Delta>();
+    assert_send_sync::<RelationPage>();
     assert_send_sync::<DatabaseStats>();
     assert_send_sync::<DatabaseSnapshot>();
     assert_send_sync::<SnapshotStore>();

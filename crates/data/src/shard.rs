@@ -153,6 +153,62 @@ impl PartitionMap {
             })
             .collect()
     }
+
+    /// Builds a standalone [`PartitionRouter`] for this map, resolved
+    /// against `schema`, routing across `shards` shards.  The router shares
+    /// the exact routing code a [`ShardedSnapshotStore`] uses, so consumers
+    /// that replay deltas outside a live store (WAL recovery) cannot drift
+    /// from the store's placement.
+    pub fn router(&self, schema: &DatabaseSchema, shards: usize) -> Result<PartitionRouter> {
+        if shards == 0 {
+            return Err(DataError::InvalidUpdate(
+                "a partition router needs at least one shard".into(),
+            ));
+        }
+        let positions = self.resolve(schema)?;
+        Ok(PartitionRouter {
+            state: PartitionState {
+                map: self.clone(),
+                positions,
+                shards,
+            },
+        })
+    }
+}
+
+/// The routing function of a sharded store, detached from any store: maps
+/// `(relation, tuple)` to a shard index and splits [`Delta`]s accordingly.
+/// Obtained from [`PartitionMap::router`].
+#[derive(Debug)]
+pub struct PartitionRouter {
+    state: PartitionState,
+}
+
+impl PartitionRouter {
+    /// Number of shards routed across.
+    pub fn shards(&self) -> usize {
+        self.state.shards
+    }
+
+    /// The shard `tuple` of `relation` routes to (total).
+    pub fn route(&self, relation: &str, tuple: &Tuple) -> usize {
+        self.state.route(relation, tuple)
+    }
+
+    /// Splits a delta into per-shard deltas by routing every tuple (index
+    /// `i` of the result targets shard `i`).
+    pub fn split(&self, delta: &Delta) -> Vec<Delta> {
+        let mut parts = vec![Delta::new(); self.shards()];
+        for (relation, rd) in delta.iter() {
+            for t in &rd.insertions {
+                parts[self.route(relation, t)].insert(relation.clone(), t.clone());
+            }
+            for t in &rd.deletions {
+                parts[self.route(relation, t)].delete(relation.clone(), t.clone());
+            }
+        }
+        parts
+    }
 }
 
 /// Resolved routing state shared by the store and every pinned view.
@@ -427,6 +483,69 @@ impl ShardedSnapshotStore {
             partition: Arc::clone(&state),
             shards: stores.iter().map(SnapshotStore::pin).collect(),
         });
+        Ok(ShardedSnapshotStore {
+            shards: stores,
+            partition: state,
+            current: RwLock::new(view),
+            writer: Mutex::new(()),
+            routed: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            pins: AtomicU64::new(0),
+        })
+    }
+
+    /// Rebuilds a sharded store from already-partitioned shard contents
+    /// **at** `epoch` — the crash-recovery constructor.  `parts[i]` becomes
+    /// shard `i` verbatim (no re-routing), so the shard layout of the
+    /// pre-crash store is preserved exactly.
+    ///
+    /// Validates what [`ShardedSnapshotStore::new`] makes true by
+    /// construction: all parts share one schema, the partition map resolves
+    /// against it, and every stored tuple lives on the shard the routing
+    /// function assigns it — a checkpoint written under a different shard
+    /// count or partition map is rejected rather than silently mis-routed.
+    pub fn restore(parts: Vec<Database>, partition: PartitionMap, epoch: u64) -> Result<Self> {
+        if parts.is_empty() {
+            return Err(DataError::InvalidUpdate(
+                "a sharded store needs at least one shard".into(),
+            ));
+        }
+        let schema = parts[0].schema().clone();
+        for (i, part) in parts.iter().enumerate() {
+            if *part.schema() != schema {
+                return Err(DataError::Invariant(format!(
+                    "restore: shard {i} schema differs from shard 0"
+                )));
+            }
+        }
+        let positions = partition.resolve(&schema)?;
+        let state = Arc::new(PartitionState {
+            map: partition,
+            positions,
+            shards: parts.len(),
+        });
+        for (i, part) in parts.iter().enumerate() {
+            for rel in part.relations() {
+                for t in rel.iter() {
+                    let home = state.route(rel.name(), t);
+                    if home != i {
+                        return Err(DataError::Invariant(format!(
+                            "restore: {} tuple {t} stored on shard {i} but routes to {home}",
+                            rel.name()
+                        )));
+                    }
+                }
+            }
+        }
+        let stores: Vec<SnapshotStore> = parts
+            .into_iter()
+            .map(|db| SnapshotStore::restore(db, epoch))
+            .collect();
+        let view = Arc::new(ShardedSnapshotView {
+            epoch,
+            partition: Arc::clone(&state),
+            shards: stores.iter().map(SnapshotStore::pin).collect(),
+        });
+        let shards = stores.len();
         Ok(ShardedSnapshotStore {
             shards: stores,
             partition: state,
@@ -730,6 +849,60 @@ mod tests {
             assert_eq!(shard.epoch(), 40);
         }
         assert_eq!(view.relation_rows("visit").unwrap(), 40 + 40);
+    }
+
+    #[test]
+    fn detached_router_agrees_with_the_store() {
+        let store = ShardedSnapshotStore::new(base(), social_partition(), 3).unwrap();
+        let view = store.pin();
+        let router = social_partition().router(view.schema(), 3).unwrap();
+        assert_eq!(router.shards(), 3);
+        let mut delta = Delta::new();
+        for i in 0..10i64 {
+            delta.insert("visit", tuple![i, 200 + i]);
+        }
+        delta.delete("friend", tuple![0, 1]);
+        assert_eq!(router.split(&delta), view.split(&delta));
+        for rel in base().relations() {
+            for t in rel.iter() {
+                assert_eq!(router.route(rel.name(), t), view.route_tuple(rel.name(), t));
+            }
+        }
+        assert!(social_partition().router(view.schema(), 0).is_err());
+    }
+
+    #[test]
+    fn restore_preserves_layout_and_rejects_misrouted_parts() {
+        let store = ShardedSnapshotStore::new(base(), social_partition(), 3).unwrap();
+        let view = store.pin();
+        let parts: Vec<Database> = view.shards().iter().map(|s| s.to_database()).collect();
+
+        let restored = ShardedSnapshotStore::restore(parts.clone(), social_partition(), 5).unwrap();
+        assert_eq!(restored.epoch(), 5);
+        for shard in restored.pin().shards() {
+            assert_eq!(shard.epoch(), 5);
+        }
+        let merged = restored.pin().to_database();
+        let orig = view.to_database();
+        assert!(merged.contains_database(&orig) && orig.contains_database(&merged));
+        // Same routing function as the original store.
+        for rel in orig.relations() {
+            for t in rel.iter() {
+                assert_eq!(
+                    restored.pin().route_tuple(rel.name(), t),
+                    view.route_tuple(rel.name(), t)
+                );
+            }
+        }
+
+        // Parts laid out under a different shard count mis-route and are
+        // rejected, as is an empty part vector.
+        let two: Vec<Database> = parts.iter().take(2).cloned().collect();
+        assert!(matches!(
+            ShardedSnapshotStore::restore(two, social_partition(), 5),
+            Err(DataError::Invariant(_))
+        ));
+        assert!(ShardedSnapshotStore::restore(vec![], social_partition(), 0).is_err());
     }
 
     #[test]

@@ -69,6 +69,15 @@ impl DatabaseSnapshot {
         }
     }
 
+    /// Wraps a database as an arbitrary epoch — the crash-recovery path,
+    /// where the replayed state must resume at its pre-crash version number
+    /// rather than restart at 0.
+    pub fn from_database_at(db: Database, epoch: u64) -> Self {
+        let mut snap = DatabaseSnapshot::from_database(db);
+        snap.epoch = epoch;
+        snap
+    }
+
     /// The version number: 0 for the initial snapshot, +1 per commit.
     pub fn epoch(&self) -> u64 {
         self.epoch
@@ -192,6 +201,17 @@ impl SnapshotStore {
     pub fn new(db: Database) -> Self {
         SnapshotStore {
             current: RwLock::new(Arc::new(DatabaseSnapshot::from_database(db))),
+            writer: Mutex::new(()),
+            pins: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a store whose current version is `db` **at** `epoch` — the
+    /// crash-recovery constructor ([`DatabaseSnapshot::from_database_at`]).
+    /// Subsequent commits continue from `epoch + 1`.
+    pub fn restore(db: Database, epoch: u64) -> Self {
+        SnapshotStore {
+            current: RwLock::new(Arc::new(DatabaseSnapshot::from_database_at(db, epoch))),
             writer: Mutex::new(()),
             pins: AtomicU64::new(0),
         }
@@ -394,6 +414,17 @@ mod tests {
         assert_eq!(now.relation("friend").unwrap().len(), 2);
         assert!(now.relation("friend").unwrap().contains(&tuple![1, 3]));
         assert!(!now.relation("friend").unwrap().contains(&tuple![2, 1]));
+    }
+
+    #[test]
+    fn restore_resumes_at_the_given_epoch() {
+        let store = SnapshotStore::restore(base(), 7);
+        assert_eq!(store.epoch(), 7);
+        assert_eq!(store.pin().size(), 4);
+        store
+            .commit(Delta::new().insert("friend", tuple![1, 3]))
+            .unwrap();
+        assert_eq!(store.epoch(), 8);
     }
 
     #[test]

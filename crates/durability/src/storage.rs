@@ -1,0 +1,540 @@
+//! Storage backends for the durability plane.
+//!
+//! The WAL and checkpoint machinery talk to a small [`Storage`] trait — a
+//! flat namespace of append-only files with explicit `sync` — with two
+//! implementations:
+//!
+//! * [`DirStorage`]: real files under a directory (`std::fs`), for
+//!   production use.
+//! * [`SimDisk`]: an in-memory simulated disk for the crash-recovery
+//!   harness.  It records every mutation in a **write journal**, can be
+//!   armed to *kill the process* after any global byte
+//!   ([`SimDisk::kill_after`] — the write that crosses the budget is torn
+//!   mid-byte and every later operation fails), supports out-of-band bit
+//!   flips ([`SimDisk::flip_bit`]), and can deterministically reconstruct
+//!   *the exact disk state at any kill point* from the journal of an
+//!   un-killed run ([`SimDisk::reconstruct_at`]) — which is what lets the
+//!   harness test **every** kill point of a schedule without re-running
+//!   the engine once per kill point.
+//!
+//! ### Crash model
+//!
+//! Writes become durable in issue order and a crash truncates the
+//! in-flight write at an arbitrary byte.  Since the WAL syncs after every
+//! record append, the model's one simplification (no reordering of
+//! completed-but-unsynced writes) never diverges from a real disk for the
+//! write patterns this crate issues: there is at most one unsynced record
+//! at any instant, and it is the torn tail recovery must drop anyway.
+
+use crate::{DurabilityError, Result};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A flat namespace of append-only files with explicit sync — everything
+/// the WAL needs from a disk.
+///
+/// All methods take `&self` (interior mutability); implementations must be
+/// safe to share across threads.
+pub trait Storage: Send + Sync + fmt::Debug {
+    /// File names present, in sorted order.
+    fn list(&self) -> Result<Vec<String>>;
+    /// The full contents of `name`.
+    fn read(&self, name: &str) -> Result<Vec<u8>>;
+    /// Appends `bytes` to `name`, creating it if absent.
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<()>;
+    /// Forces `name`'s contents to stable storage (the fsync of a commit).
+    fn sync(&self, name: &str) -> Result<()>;
+    /// Atomically renames `from` to `to` (replacing `to` if present) — the
+    /// publish step of a checkpoint.
+    fn rename(&self, from: &str, to: &str) -> Result<()>;
+    /// Removes `name`.
+    fn remove(&self, name: &str) -> Result<()>;
+    /// Truncates `name` to `len` bytes — the log-repair step of recovery.
+    fn truncate(&self, name: &str, len: u64) -> Result<()>;
+    /// Number of [`Storage::sync`] calls over the storage's lifetime — the
+    /// fsync meter the group-commit amortization bench reads.
+    fn syncs(&self) -> u64;
+}
+
+// ---------------------------------------------------------------------------
+// DirStorage
+// ---------------------------------------------------------------------------
+
+/// [`Storage`] over real files in one directory.
+#[derive(Debug)]
+pub struct DirStorage {
+    root: PathBuf,
+    syncs: AtomicU64,
+}
+
+fn io_err(context: &str, e: std::io::Error) -> DurabilityError {
+    DurabilityError::Io(format!("{context}: {e}"))
+}
+
+impl DirStorage {
+    /// Opens (creating if needed) the directory at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| io_err("create storage dir", e))?;
+        Ok(DirStorage {
+            root,
+            syncs: AtomicU64::new(0),
+        })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl Storage for DirStorage {
+    fn list(&self) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.root).map_err(|e| io_err("list storage dir", e))? {
+            let entry = entry.map_err(|e| io_err("list storage dir", e))?;
+            if entry.path().is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn read(&self, name: &str) -> Result<Vec<u8>> {
+        fs::read(self.path(name)).map_err(|e| io_err(&format!("read {name}"), e))
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))
+            .map_err(|e| io_err(&format!("open {name}"), e))?;
+        file.write_all(bytes)
+            .map_err(|e| io_err(&format!("append {name}"), e))
+    }
+
+    fn sync(&self, name: &str) -> Result<()> {
+        let file =
+            fs::File::open(self.path(name)).map_err(|e| io_err(&format!("open {name}"), e))?;
+        file.sync_all()
+            .map_err(|e| io_err(&format!("sync {name}"), e))?;
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        fs::rename(self.path(from), self.path(to))
+            .map_err(|e| io_err(&format!("rename {from} -> {to}"), e))
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        fs::remove_file(self.path(name)).map_err(|e| io_err(&format!("remove {name}"), e))
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> Result<()> {
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .open(self.path(name))
+            .map_err(|e| io_err(&format!("open {name}"), e))?;
+        file.set_len(len)
+            .map_err(|e| io_err(&format!("truncate {name}"), e))
+    }
+
+    fn syncs(&self) -> u64 {
+        self.syncs.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimDisk
+// ---------------------------------------------------------------------------
+
+/// One entry of the [`SimDisk`] write journal: a mutation exactly as it was
+/// applied (a torn append records only the bytes that landed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskOp {
+    /// Bytes appended to a file.
+    Append {
+        /// Target file.
+        file: String,
+        /// The bytes that actually landed on disk.
+        bytes: Vec<u8>,
+    },
+    /// An atomic rename.
+    Rename {
+        /// Source name.
+        from: String,
+        /// Destination name (replaced if present).
+        to: String,
+    },
+    /// A file removal.
+    Remove {
+        /// Removed file.
+        file: String,
+    },
+    /// A file truncation.
+    Truncate {
+        /// Truncated file.
+        file: String,
+        /// Length after truncation.
+        len: u64,
+    },
+}
+
+#[derive(Debug, Default)]
+struct SimInner {
+    files: BTreeMap<String, Vec<u8>>,
+    journal: Vec<DiskOp>,
+    written: u64,
+    syncs: u64,
+    kill_at: Option<u64>,
+    killed: bool,
+}
+
+/// The in-memory fault-injecting disk.  Cloning the handle shares the same
+/// disk (the engine writes through one clone while the harness inspects
+/// another).
+#[derive(Debug, Clone, Default)]
+pub struct SimDisk {
+    inner: Arc<Mutex<SimInner>>,
+}
+
+impl SimDisk {
+    /// An empty disk with no kill budget armed.
+    pub fn new() -> Self {
+        SimDisk::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SimInner> {
+        self.inner.lock().expect("sim disk poisoned")
+    }
+
+    /// Arms the kill switch: the write that would push the cumulative
+    /// bytes-written counter past `total_bytes` is torn at exactly that
+    /// byte, and every subsequent operation fails with
+    /// [`DurabilityError::Killed`] until [`SimDisk::revive`].
+    pub fn kill_after(&self, total_bytes: u64) {
+        self.lock().kill_at = Some(total_bytes);
+    }
+
+    /// Clears a kill (the "process restart" before recovery runs).
+    pub fn revive(&self) {
+        let mut inner = self.lock();
+        inner.killed = false;
+        inner.kill_at = None;
+    }
+
+    /// True once an armed kill has fired.
+    pub fn is_killed(&self) -> bool {
+        self.lock().killed
+    }
+
+    /// Cumulative bytes written over the disk's lifetime (the coordinate
+    /// system of kill points).
+    pub fn written(&self) -> u64 {
+        self.lock().written
+    }
+
+    /// A copy of the write journal.
+    pub fn journal(&self) -> Vec<DiskOp> {
+        self.lock().journal.clone()
+    }
+
+    /// Flips bit `bit` of byte `byte` in `name` — out-of-band corruption
+    /// (not journalled), for testing CRC detection.
+    pub fn flip_bit(&self, name: &str, byte: usize, bit: u8) {
+        let mut inner = self.lock();
+        let data = inner
+            .files
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("flip_bit: no file {name}"));
+        data[byte] ^= 1 << (bit % 8);
+    }
+
+    /// Reconstructs, on a fresh disk, the exact file state an un-killed
+    /// run's journal implies for a crash at global byte `kill`: journal
+    /// operations are replayed in order, the append that crosses `kill` is
+    /// torn at the boundary, and everything after it never happened.
+    /// `u64::MAX` reconstructs the complete final state.
+    pub fn reconstruct_at(journal: &[DiskOp], kill: u64) -> SimDisk {
+        let disk = SimDisk::new();
+        {
+            let mut inner = disk.lock();
+            let mut written = 0u64;
+            for op in journal {
+                match op {
+                    DiskOp::Append { file, bytes } => {
+                        if written >= kill {
+                            break;
+                        }
+                        let len = bytes.len() as u64;
+                        let take = if written + len <= kill {
+                            bytes.len()
+                        } else {
+                            (kill - written) as usize
+                        };
+                        inner
+                            .files
+                            .entry(file.clone())
+                            .or_default()
+                            .extend_from_slice(&bytes[..take]);
+                        written += take as u64;
+                        if take < bytes.len() {
+                            break;
+                        }
+                    }
+                    DiskOp::Rename { from, to } => {
+                        if written >= kill {
+                            break;
+                        }
+                        if let Some(data) = inner.files.remove(from) {
+                            inner.files.insert(to.clone(), data);
+                        }
+                    }
+                    DiskOp::Remove { file } => {
+                        if written >= kill {
+                            break;
+                        }
+                        inner.files.remove(file);
+                    }
+                    DiskOp::Truncate { file, len } => {
+                        if written >= kill {
+                            break;
+                        }
+                        if let Some(data) = inner.files.get_mut(file) {
+                            data.truncate(*len as usize);
+                        }
+                    }
+                }
+            }
+            inner.written = written;
+        }
+        disk
+    }
+}
+
+impl SimInner {
+    fn check_alive(&self) -> Result<()> {
+        if self.killed {
+            Err(DurabilityError::Killed)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Storage for SimDisk {
+    fn list(&self) -> Result<Vec<String>> {
+        let inner = self.lock();
+        inner.check_alive()?;
+        Ok(inner.files.keys().cloned().collect())
+    }
+
+    fn read(&self, name: &str) -> Result<Vec<u8>> {
+        let inner = self.lock();
+        inner.check_alive()?;
+        inner
+            .files
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DurabilityError::Io(format!("read {name}: no such file")))
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        let mut inner = self.lock();
+        inner.check_alive()?;
+        let take = match inner.kill_at {
+            Some(kill) if inner.written + bytes.len() as u64 > kill => {
+                (kill.saturating_sub(inner.written)) as usize
+            }
+            _ => bytes.len(),
+        };
+        inner
+            .files
+            .entry(name.to_owned())
+            .or_default()
+            .extend_from_slice(&bytes[..take]);
+        inner.written += take as u64;
+        inner.journal.push(DiskOp::Append {
+            file: name.to_owned(),
+            bytes: bytes[..take].to_vec(),
+        });
+        if take < bytes.len() {
+            inner.killed = true;
+            return Err(DurabilityError::Killed);
+        }
+        Ok(())
+    }
+
+    fn sync(&self, name: &str) -> Result<()> {
+        let mut inner = self.lock();
+        inner.check_alive()?;
+        if !inner.files.contains_key(name) {
+            return Err(DurabilityError::Io(format!("sync {name}: no such file")));
+        }
+        inner.syncs += 1;
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let mut inner = self.lock();
+        inner.check_alive()?;
+        let data = inner
+            .files
+            .remove(from)
+            .ok_or_else(|| DurabilityError::Io(format!("rename {from}: no such file")))?;
+        inner.files.insert(to.to_owned(), data);
+        inner.journal.push(DiskOp::Rename {
+            from: from.to_owned(),
+            to: to.to_owned(),
+        });
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> Result<()> {
+        let mut inner = self.lock();
+        inner.check_alive()?;
+        inner
+            .files
+            .remove(name)
+            .ok_or_else(|| DurabilityError::Io(format!("remove {name}: no such file")))?;
+        inner.journal.push(DiskOp::Remove {
+            file: name.to_owned(),
+        });
+        Ok(())
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> Result<()> {
+        let mut inner = self.lock();
+        inner.check_alive()?;
+        let data = inner
+            .files
+            .get_mut(name)
+            .ok_or_else(|| DurabilityError::Io(format!("truncate {name}: no such file")))?;
+        data.truncate(len as usize);
+        inner.journal.push(DiskOp::Truncate {
+            file: name.to_owned(),
+            len,
+        });
+        Ok(())
+    }
+
+    fn syncs(&self) -> u64 {
+        self.lock().syncs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_disk_is_a_storage() {
+        let disk = SimDisk::new();
+        disk.append("a.log", b"hello ").unwrap();
+        disk.append("a.log", b"world").unwrap();
+        disk.sync("a.log").unwrap();
+        assert_eq!(disk.read("a.log").unwrap(), b"hello world");
+        assert_eq!(disk.syncs(), 1);
+        assert_eq!(disk.written(), 11);
+        disk.rename("a.log", "b.log").unwrap();
+        assert_eq!(disk.list().unwrap(), vec!["b.log".to_owned()]);
+        disk.truncate("b.log", 5).unwrap();
+        assert_eq!(disk.read("b.log").unwrap(), b"hello");
+        disk.remove("b.log").unwrap();
+        assert!(disk.list().unwrap().is_empty());
+        assert!(disk.read("b.log").is_err());
+        assert!(disk.sync("b.log").is_err());
+    }
+
+    #[test]
+    fn kill_tears_the_crossing_write_and_fails_later_ops() {
+        let disk = SimDisk::new();
+        disk.append("w.log", b"0123").unwrap();
+        disk.kill_after(6);
+        assert!(matches!(
+            disk.append("w.log", b"abcdef"),
+            Err(DurabilityError::Killed)
+        ));
+        assert!(disk.is_killed());
+        assert!(matches!(disk.list(), Err(DurabilityError::Killed)));
+        assert!(matches!(disk.sync("w.log"), Err(DurabilityError::Killed)));
+        disk.revive();
+        // Exactly two torn bytes landed.
+        assert_eq!(disk.read("w.log").unwrap(), b"0123ab");
+        // The disk is writable again after the "restart".
+        disk.append("w.log", b"!").unwrap();
+        assert_eq!(disk.read("w.log").unwrap(), b"0123ab!");
+    }
+
+    #[test]
+    fn reconstruct_at_replays_the_journal_to_any_kill_point() {
+        let live = SimDisk::new();
+        live.append("w.log", b"0123").unwrap();
+        live.append("tmp", b"abcd").unwrap();
+        live.rename("tmp", "done").unwrap();
+        live.append("w.log", b"4567").unwrap();
+        live.remove("done").unwrap();
+        let journal = live.journal();
+
+        // Full reconstruction equals the final state.
+        let full = SimDisk::reconstruct_at(&journal, u64::MAX);
+        assert_eq!(full.read("w.log").unwrap(), b"01234567");
+        assert!(full.read("done").is_err());
+
+        // Kill mid-second-append: the rename happened, the remove did not.
+        let torn = SimDisk::reconstruct_at(&journal, 10);
+        assert_eq!(torn.read("w.log").unwrap(), b"012345");
+        assert_eq!(torn.read("done").unwrap(), b"abcd");
+
+        // Kill exactly at the first append boundary: nothing after it.
+        let early = SimDisk::reconstruct_at(&journal, 4);
+        assert_eq!(early.read("w.log").unwrap(), b"0123");
+        assert!(early.read("tmp").is_err());
+        assert!(early.read("done").is_err());
+
+        // A killed live run matches its reconstruction.
+        let killed = SimDisk::reconstruct_at(&journal, u64::MAX);
+        killed.kill_after(10);
+        let _ = killed.append("x", b"zz");
+        let mirror = SimDisk::reconstruct_at(&journal, 10);
+        assert_eq!(mirror.read("w.log").unwrap(), b"012345");
+    }
+
+    #[test]
+    fn flip_bit_damages_exactly_one_bit() {
+        let disk = SimDisk::new();
+        disk.append("f", &[0b0000_0000, 0b1111_1111]).unwrap();
+        disk.flip_bit("f", 1, 3);
+        assert_eq!(disk.read("f").unwrap(), vec![0b0000_0000, 0b1111_0111]);
+    }
+
+    #[test]
+    fn dir_storage_round_trips_through_the_filesystem() {
+        let root = std::env::temp_dir().join(format!(
+            "si-durability-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        let disk = DirStorage::open(&root).unwrap();
+        disk.append("w.log", b"hello").unwrap();
+        disk.append("w.log", b" world").unwrap();
+        disk.sync("w.log").unwrap();
+        assert_eq!(disk.read("w.log").unwrap(), b"hello world");
+        assert_eq!(disk.syncs(), 1);
+        disk.rename("w.log", "x.log").unwrap();
+        assert_eq!(disk.list().unwrap(), vec!["x.log".to_owned()]);
+        disk.truncate("x.log", 5).unwrap();
+        assert_eq!(disk.read("x.log").unwrap(), b"hello");
+        disk.remove("x.log").unwrap();
+        assert!(disk.list().unwrap().is_empty());
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,564 @@
+//! The epoch-stamped commit WAL and the recovery path.
+//!
+//! ## Log layout
+//!
+//! The log lives in segment files `wal-<start-epoch:016x>.log`, each a
+//! sequence of frames (`len ‖ crc32 ‖ payload`) whose payload is
+//! `epoch: u64 ‖ Delta`.  [`Wal::append`] writes one frame and syncs it —
+//! fsync-on-commit.  Group commit needs no extra machinery here: the
+//! engine folds a gathered batch into *one* merged delta before applying
+//! it, so a whole storm reaches the log as one record and pays one fsync.
+//!
+//! ## Checkpoint / truncation lifecycle
+//!
+//! [`Wal::checkpoint`] publishes the current state as
+//! `ckpt-<epoch>-<content-id>.ckpt` (tmp → sync → atomic rename), then
+//! rolls to a fresh segment starting at `epoch + 1` and deletes all older
+//! segments — that deletion *is* log truncation, and it is safe in every
+//! crash interleaving because it happens strictly after the checkpoint
+//! rename: a crash in between merely leaves stale segments whose records
+//! replay as no-ops (their epochs are `≤` the checkpoint's).
+//!
+//! ## Recovery invariant
+//!
+//! [`Wal::recover`] loads the newest *valid* checkpoint (frame CRC and
+//! name/content id both checked), replays every record with an epoch
+//! contiguously above it, and stops at the first torn frame, corrupt
+//! frame, or epoch gap — truncating the log there so the store can keep
+//! appending.  The recovered state is exactly the **maximal durable
+//! prefix** of the pre-crash history: every synced commit survives, the
+//! at-most-one torn tail record is dropped, and derived state (indexes,
+//! statistics, materialized answers) is rebuilt, never trusted from disk.
+
+use crate::checkpoint::{Checkpoint, CheckpointBackend};
+use crate::storage::Storage;
+use crate::{DurabilityError, Result};
+use si_data::codec::{self, CodecError, Reader};
+use si_data::{Database, Delta};
+
+fn segment_name(start_epoch: u64) -> String {
+    format!("wal-{start_epoch:016x}.log")
+}
+
+fn parse_segment(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+fn checkpoint_name(epoch: u64, id: u64) -> String {
+    format!("ckpt-{epoch:016x}-{id:016x}.ckpt")
+}
+
+fn parse_checkpoint(name: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix("ckpt-")?.strip_suffix(".ckpt")?;
+    let (epoch_hex, id_hex) = rest.split_once('-')?;
+    if epoch_hex.len() != 16 || id_hex.len() != 16 {
+        return None;
+    }
+    Some((
+        u64::from_str_radix(epoch_hex, 16).ok()?,
+        u64::from_str_radix(id_hex, 16).ok()?,
+    ))
+}
+
+fn decode_record(payload: &[u8]) -> std::result::Result<(u64, Delta), CodecError> {
+    let mut r = Reader::new(payload);
+    let epoch = r.u64()?;
+    let delta = codec::decode_delta(&mut r)?;
+    r.expect_end()?;
+    Ok((epoch, delta))
+}
+
+/// What [`Wal::recover`] rebuilt.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Epoch of the checkpoint recovery started from.
+    pub checkpoint_epoch: u64,
+    /// Epoch after replaying the log tail — the store resumes here.
+    pub epoch: u64,
+    /// Log records replayed on top of the checkpoint.
+    pub replayed: u64,
+    /// True if recovery discarded anything: a torn or corrupt log tail, an
+    /// interrupted checkpoint publish, or an invalid checkpoint file.
+    pub repaired: bool,
+    /// Store flavour captured by the checkpoint.
+    pub backend: CheckpointBackend,
+    /// Recovered per-shard contents (one entry for a single store), with
+    /// declared indexes re-declared and nothing else derived.
+    pub databases: Vec<Database>,
+}
+
+/// The append-only commit log.  One instance owns the storage; the engine
+/// serialises access through its commit path (appends happen under the
+/// commit lock, so `&mut self` is natural here).
+#[derive(Debug)]
+pub struct Wal {
+    storage: Box<dyn Storage>,
+    segment: String,
+    next_epoch: u64,
+    records: u64,
+    checkpoints: u64,
+}
+
+impl Wal {
+    /// Initialises durable storage with `initial` as the base checkpoint
+    /// (normally the store's state at creation) and an empty log.
+    ///
+    /// Fails if `storage` already holds a log — recovery, not creation, is
+    /// the path for that.
+    pub fn create(storage: Box<dyn Storage>, initial: &Checkpoint) -> Result<Wal> {
+        let existing = storage.list()?;
+        if existing
+            .iter()
+            .any(|n| parse_segment(n).is_some() || parse_checkpoint(n).is_some())
+        {
+            return Err(DurabilityError::Invariant(
+                "storage already holds a log; use recover".into(),
+            ));
+        }
+        let mut wal = Wal {
+            storage,
+            segment: segment_name(initial.epoch + 1),
+            next_epoch: initial.epoch + 1,
+            records: 0,
+            checkpoints: 0,
+        };
+        wal.write_checkpoint_file(initial)?;
+        wal.storage.append(&wal.segment, &[])?;
+        Ok(wal)
+    }
+
+    /// The storage behind the log (fsync meter access for benches/tests).
+    pub fn storage(&self) -> &dyn Storage {
+        self.storage.as_ref()
+    }
+
+    /// Records appended over this instance's lifetime.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Checkpoints written over this instance's lifetime.
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints
+    }
+
+    /// The epoch the next [`Wal::append`] must carry.
+    pub fn next_epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    /// Logs the commit that takes the store to `epoch`: one framed record,
+    /// one fsync.  Must be called *before* the in-memory store applies the
+    /// delta (write-ahead), with contiguous epochs.
+    pub fn append(&mut self, epoch: u64, delta: &Delta) -> Result<()> {
+        if epoch != self.next_epoch {
+            return Err(DurabilityError::Invariant(format!(
+                "wal append at epoch {epoch}, expected {}",
+                self.next_epoch
+            )));
+        }
+        let mut payload = Vec::new();
+        codec::put_u64(&mut payload, epoch);
+        codec::encode_delta(&mut payload, delta);
+        self.storage
+            .append(&self.segment, &codec::frame(&payload))?;
+        self.storage.sync(&self.segment)?;
+        self.records += 1;
+        self.next_epoch = epoch + 1;
+        Ok(())
+    }
+
+    fn write_checkpoint_file(&mut self, ckpt: &Checkpoint) -> Result<()> {
+        let payload = ckpt.encode();
+        let id = codec::content_id(&payload);
+        let name = checkpoint_name(ckpt.epoch, id);
+        let tmp = format!("{name}.tmp");
+        // A crash may have left a half-written tmp from an earlier attempt
+        // at this very name; appending to it would corrupt the frame.
+        let _ = self.storage.remove(&tmp);
+        self.storage.append(&tmp, &codec::frame(&payload))?;
+        self.storage.sync(&tmp)?;
+        self.storage.rename(&tmp, &name)?;
+        self.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Publishes `ckpt` (which must capture the current epoch), truncates
+    /// the log under it, and prunes all but the newest `keep` checkpoints.
+    pub fn checkpoint(&mut self, ckpt: &Checkpoint, keep: usize) -> Result<()> {
+        if ckpt.epoch + 1 != self.next_epoch {
+            return Err(DurabilityError::Invariant(format!(
+                "checkpoint at epoch {}, store is at {}",
+                ckpt.epoch,
+                self.next_epoch - 1
+            )));
+        }
+        self.write_checkpoint_file(ckpt)?;
+        // Roll to a fresh segment, then delete the ones the checkpoint
+        // supersedes (this deletion is the log truncation; see module docs
+        // for why this order is crash-safe).
+        let old = std::mem::replace(&mut self.segment, segment_name(ckpt.epoch + 1));
+        if old != self.segment {
+            self.storage.append(&self.segment, &[])?;
+            for name in self.storage.list()? {
+                if parse_segment(&name).is_some() && name != self.segment {
+                    self.storage.remove(&name)?;
+                }
+            }
+        }
+        // Prune old checkpoints (always keeping at least one).
+        let mut ckpts: Vec<(u64, u64, String)> = self
+            .storage
+            .list()?
+            .into_iter()
+            .filter_map(|n| parse_checkpoint(&n).map(|(e, id)| (e, id, n)))
+            .collect();
+        ckpts.sort();
+        let cut = ckpts.len().saturating_sub(keep.max(1));
+        for (_, _, name) in &ckpts[..cut] {
+            self.storage.remove(name)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the durable state from `storage`: newest valid checkpoint,
+    /// plus the contiguous log tail above it, with the log repaired in
+    /// place (torn/corrupt tail truncated) so the returned [`Wal`] can keep
+    /// appending from the recovered epoch.
+    pub fn recover(storage: Box<dyn Storage>) -> Result<(Recovered, Wal)> {
+        let files = storage.list()?;
+        let mut repaired = false;
+
+        // Interrupted checkpoint publishes are junk by construction.
+        for name in files.iter().filter(|n| n.ends_with(".tmp")) {
+            storage.remove(name)?;
+            repaired = true;
+        }
+
+        // Newest checkpoint that passes all three gates: frame CRC,
+        // name/content id, payload decode.
+        let mut candidates: Vec<(u64, u64, String)> = files
+            .iter()
+            .filter_map(|n| parse_checkpoint(n).map(|(e, id)| (e, id, n.clone())))
+            .collect();
+        candidates.sort();
+        let mut checkpoint = None;
+        for (epoch, id, name) in candidates.iter().rev() {
+            let bytes = storage.read(name)?;
+            let mut pos = 0usize;
+            let valid = match codec::read_frame(&bytes, &mut pos) {
+                Ok(payload) if pos == bytes.len() && codec::content_id(payload) == *id => {
+                    Checkpoint::decode(payload)
+                        .ok()
+                        .filter(|c| c.epoch == *epoch)
+                }
+                _ => None,
+            };
+            match valid {
+                Some(c) => {
+                    checkpoint = Some(c);
+                    break;
+                }
+                None => {
+                    // An invalid published checkpoint (bit damage) cannot be
+                    // trusted; drop it and fall back to an older one.
+                    storage.remove(name)?;
+                    repaired = true;
+                }
+            }
+        }
+        let Some(checkpoint) = checkpoint else {
+            return Err(DurabilityError::NoCheckpoint);
+        };
+
+        // Replay the log tail on top of the checkpoint's databases.
+        let mut databases = checkpoint.databases()?;
+        let router = match &checkpoint.backend {
+            CheckpointBackend::Single => None,
+            CheckpointBackend::Sharded { partition } => Some(
+                partition
+                    .router(databases[0].schema(), databases.len())
+                    .map_err(DurabilityError::Data)?,
+            ),
+        };
+        let mut segments: Vec<(u64, String)> = files
+            .iter()
+            .filter_map(|n| parse_segment(n).map(|s| (s, n.clone())))
+            .collect();
+        segments.sort();
+        let mut epoch = checkpoint.epoch;
+        let mut replayed = 0u64;
+        // (segment index, byte offset of the first invalid frame) — where
+        // the durable history ends.
+        let mut stop: Option<(usize, u64)> = None;
+        'segments: for (i, (_, name)) in segments.iter().enumerate() {
+            let bytes = storage.read(name)?;
+            let mut pos = 0usize;
+            let mut valid_end = 0u64;
+            while pos < bytes.len() {
+                let Ok(payload) = codec::read_frame(&bytes, &mut pos) else {
+                    stop = Some((i, valid_end));
+                    break 'segments;
+                };
+                let Ok((e, delta)) = decode_record(payload) else {
+                    stop = Some((i, valid_end));
+                    break 'segments;
+                };
+                if e <= epoch {
+                    // Superseded by the checkpoint (a stale segment that a
+                    // crash interrupted the truncation of).
+                    valid_end = pos as u64;
+                    continue;
+                }
+                if e != epoch + 1 {
+                    // An epoch gap means the tail is not a contiguous
+                    // continuation of what we have — untrusted.
+                    stop = Some((i, valid_end));
+                    break 'segments;
+                }
+                match &router {
+                    None => delta
+                        .apply_in_place(&mut databases[0])
+                        .map_err(DurabilityError::Data)?,
+                    Some(r) => {
+                        for (db, part) in databases.iter_mut().zip(r.split(&delta)) {
+                            part.apply_in_place(db).map_err(DurabilityError::Data)?;
+                        }
+                    }
+                }
+                epoch = e;
+                replayed += 1;
+                valid_end = pos as u64;
+            }
+        }
+
+        // Repair: cut the log at the first invalid frame so the recovered
+        // store can keep appending where the durable history ends.
+        if let Some((i, valid_end)) = stop {
+            repaired = true;
+            storage.truncate(&segments[i].1, valid_end)?;
+            for (_, name) in &segments[i + 1..] {
+                storage.remove(name)?;
+            }
+            segments.truncate(i + 1);
+        }
+        let segment = match segments.last() {
+            Some((_, name)) => name.clone(),
+            None => {
+                let name = segment_name(epoch + 1);
+                storage.append(&name, &[])?;
+                name
+            }
+        };
+
+        let backend = checkpoint.backend.clone();
+        let checkpoint_epoch = checkpoint.epoch;
+        Ok((
+            Recovered {
+                checkpoint_epoch,
+                epoch,
+                replayed,
+                repaired,
+                backend,
+                databases,
+            },
+            Wal {
+                storage,
+                segment,
+                next_epoch: epoch + 1,
+                records: 0,
+                checkpoints: 0,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::SimDisk;
+    use si_data::schema::social_schema;
+    use si_data::{tuple, SnapshotStore};
+
+    fn base() -> Database {
+        let mut db = Database::empty(social_schema());
+        for i in 0..10i64 {
+            db.insert("person", tuple![i, format!("p{i}"), "NYC"])
+                .unwrap();
+        }
+        db
+    }
+
+    fn delta(i: i64) -> Delta {
+        let mut d = Delta::new();
+        d.insert("friend", tuple![i, i + 1]);
+        d
+    }
+
+    #[test]
+    fn names_parse_round_trip() {
+        assert_eq!(parse_segment(&segment_name(42)), Some(42));
+        assert_eq!(
+            parse_checkpoint(&checkpoint_name(7, 0xdead)),
+            Some((7, 0xdead))
+        );
+        assert_eq!(parse_segment("wal-zz.log"), None);
+        assert_eq!(parse_segment("wal-0.log"), None);
+        assert_eq!(parse_checkpoint("ckpt-07.ckpt"), None);
+        assert_eq!(
+            parse_checkpoint(&format!("{}.tmp", checkpoint_name(7, 1))),
+            None
+        );
+    }
+
+    #[test]
+    fn append_replay_recovers_every_synced_commit() {
+        let disk = SimDisk::new();
+        let store = SnapshotStore::new(base());
+        let mut wal =
+            Wal::create(Box::new(disk.clone()), &Checkpoint::single(&store.pin())).unwrap();
+        let mut db = base();
+        for i in 0..5i64 {
+            let d = delta(i);
+            wal.append(i as u64 + 1, &d).unwrap();
+            d.apply_in_place(&mut db).unwrap();
+        }
+        assert_eq!(wal.records(), 5);
+        assert_eq!(disk.syncs(), 1 + 5); // initial checkpoint + 5 commits
+
+        let (rec, resumed) = Wal::recover(Box::new(disk.clone())).unwrap();
+        assert_eq!(rec.checkpoint_epoch, 0);
+        assert_eq!(rec.epoch, 5);
+        assert_eq!(rec.replayed, 5);
+        assert!(!rec.repaired);
+        assert_eq!(rec.databases.len(), 1);
+        assert!(rec.databases[0].contains_database(&db) && db.contains_database(&rec.databases[0]));
+        assert_eq!(resumed.next_epoch(), 6);
+    }
+
+    #[test]
+    fn recovery_resumes_appending_where_the_log_ends() {
+        let disk = SimDisk::new();
+        let store = SnapshotStore::new(base());
+        let mut wal =
+            Wal::create(Box::new(disk.clone()), &Checkpoint::single(&store.pin())).unwrap();
+        wal.append(1, &delta(0)).unwrap();
+        drop(wal);
+        let (_, mut resumed) = Wal::recover(Box::new(disk.clone())).unwrap();
+        resumed.append(2, &delta(1)).unwrap();
+        assert!(matches!(
+            resumed.append(9, &delta(2)),
+            Err(DurabilityError::Invariant(_))
+        ));
+        let (rec, _) = Wal::recover(Box::new(disk)).unwrap();
+        assert_eq!(rec.epoch, 2);
+        assert_eq!(rec.replayed, 2);
+    }
+
+    #[test]
+    fn checkpoint_truncates_the_log_and_prunes_old_checkpoints() {
+        let disk = SimDisk::new();
+        let store = SnapshotStore::new(base());
+        let mut wal =
+            Wal::create(Box::new(disk.clone()), &Checkpoint::single(&store.pin())).unwrap();
+        let mut db = base();
+        for i in 0..4i64 {
+            let d = delta(i);
+            wal.append(i as u64 + 1, &d).unwrap();
+            d.apply_in_place(&mut db).unwrap();
+        }
+        let snap = SnapshotStore::restore(db.clone(), 4);
+        wal.checkpoint(&Checkpoint::single(&snap.pin()), 1).unwrap();
+        // Two checkpoints written in this instance's lifetime: the initial
+        // one from `create`, and this one.
+        assert_eq!(wal.checkpoints(), 2);
+
+        let files = disk.list().unwrap();
+        // One fresh segment, exactly one checkpoint (keep=1 pruned epoch 0).
+        assert_eq!(
+            files.iter().filter(|n| parse_segment(n).is_some()).count(),
+            1
+        );
+        assert_eq!(
+            files
+                .iter()
+                .filter(|n| parse_checkpoint(n).is_some())
+                .count(),
+            1
+        );
+
+        // Post-checkpoint commits replay on top of it.
+        wal.append(5, &delta(10)).unwrap();
+        delta(10).apply_in_place(&mut db).unwrap();
+        let (rec, _) = Wal::recover(Box::new(disk)).unwrap();
+        assert_eq!(rec.checkpoint_epoch, 4);
+        assert_eq!(rec.epoch, 5);
+        assert_eq!(rec.replayed, 1);
+        assert!(rec.databases[0].contains_database(&db) && db.contains_database(&rec.databases[0]));
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_the_log_repaired() {
+        let disk = SimDisk::new();
+        let store = SnapshotStore::new(base());
+        let mut wal =
+            Wal::create(Box::new(disk.clone()), &Checkpoint::single(&store.pin())).unwrap();
+        wal.append(1, &delta(0)).unwrap();
+        let full = disk.written();
+        wal.append(2, &delta(1)).unwrap();
+        // Tear the final record by truncating the segment mid-frame.
+        let seg = segment_name(1);
+        let len = disk.read(&seg).unwrap().len() as u64;
+        disk.truncate(&seg, len - 3).unwrap();
+        let _ = full;
+
+        let (rec, mut resumed) = Wal::recover(Box::new(disk.clone())).unwrap();
+        assert_eq!(rec.epoch, 1);
+        assert_eq!(rec.replayed, 1);
+        assert!(rec.repaired);
+        // The torn bytes are gone from disk; appending works again.
+        resumed.append(2, &delta(1)).unwrap();
+        let (rec2, _) = Wal::recover(Box::new(disk)).unwrap();
+        assert_eq!(rec2.epoch, 2);
+        assert!(!rec2.repaired);
+    }
+
+    #[test]
+    fn bit_flipped_record_is_detected_and_cut() {
+        let disk = SimDisk::new();
+        let store = SnapshotStore::new(base());
+        let mut wal =
+            Wal::create(Box::new(disk.clone()), &Checkpoint::single(&store.pin())).unwrap();
+        let seg = segment_name(1);
+        wal.append(1, &delta(0)).unwrap();
+        let first_end = disk.read(&seg).unwrap().len();
+        wal.append(2, &delta(1)).unwrap();
+        wal.append(3, &delta(2)).unwrap();
+        // Damage the *second* record: recovery keeps epoch 1, cuts 2 and 3.
+        disk.flip_bit(&seg, first_end + codec::FRAME_HEADER + 2, 4);
+        let (rec, _) = Wal::recover(Box::new(disk.clone())).unwrap();
+        assert_eq!(rec.epoch, 1);
+        assert!(rec.repaired);
+        assert_eq!(disk.read(&seg).unwrap().len(), first_end);
+    }
+
+    #[test]
+    fn empty_storage_has_no_checkpoint_and_create_refuses_a_used_log() {
+        let disk = SimDisk::new();
+        assert!(matches!(
+            Wal::recover(Box::new(disk.clone())),
+            Err(DurabilityError::NoCheckpoint)
+        ));
+        let store = SnapshotStore::new(base());
+        let ckpt = Checkpoint::single(&store.pin());
+        let _wal = Wal::create(Box::new(disk.clone()), &ckpt).unwrap();
+        assert!(matches!(
+            Wal::create(Box::new(disk), &ckpt),
+            Err(DurabilityError::Invariant(_))
+        ));
+    }
+}

@@ -2,6 +2,7 @@
 
 use si_core::CoreError;
 use si_data::DataError;
+use si_durability::DurabilityError;
 use std::fmt;
 
 /// Errors raised by the query-serving engine.
@@ -11,6 +12,10 @@ pub enum EngineError {
     Core(CoreError),
     /// Propagated storage error (snapshot commits, bad deltas, …).
     Data(DataError),
+    /// Propagated durability-plane error (WAL append, checkpoint, recovery).
+    /// On a durable engine a commit whose WAL append fails returns this and
+    /// leaves the in-memory store untouched — nothing undurable is served.
+    Durability(DurabilityError),
     /// Admission control rejected the request: every bounded plan's
     /// worst-case fetch count exceeds the engine's fetch budget.  This is the
     /// paper's boundedness guarantee used as a *load-shedding* signal — an
@@ -45,6 +50,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Core(e) => write!(f, "{e}"),
             EngineError::Data(e) => write!(f, "{e}"),
+            EngineError::Durability(e) => write!(f, "{e}"),
             EngineError::RejectedByBudget { budget, cheapest } => write!(
                 f,
                 "admission control rejected the request: cheapest plan fetches ≤{cheapest} tuples, budget is {budget}"
@@ -67,6 +73,7 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Core(e) => Some(e),
             EngineError::Data(e) => Some(e),
+            EngineError::Durability(e) => Some(e),
             _ => None,
         }
     }
@@ -84,6 +91,12 @@ impl From<DataError> for EngineError {
     }
 }
 
+impl From<DurabilityError> for EngineError {
+    fn from(e: DurabilityError) -> Self {
+        EngineError::Durability(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +108,9 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e: EngineError = DataError::UnknownRelation("r".into()).into();
         assert!(e.to_string().contains("unknown relation"));
+        let e: EngineError = DurabilityError::NoCheckpoint.into();
+        assert!(e.to_string().contains("checkpoint"));
+        assert!(std::error::Error::source(&e).is_some());
         let e = EngineError::RejectedByBudget {
             budget: 10,
             cheapest: 20,

@@ -85,6 +85,7 @@ use si_data::{
     DeltaBatch, MeterSink, MeterSnapshot, PartitionMap, ShardStats, ShardedSnapshotStore,
     ShardedSnapshotView, SharedMeter, SnapshotStore, Tuple, Value,
 };
+use si_durability::{Checkpoint, CheckpointBackend, DurabilityConfig, DurabilityError, Wal};
 use si_query::{ConjunctiveQuery, Var};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -141,6 +142,16 @@ pub struct EngineConfig {
     /// fetch.  Off by default — answers are identical either way, this knob
     /// only changes how the fetch cost is spent.
     pub batch_requests: bool,
+    /// Durability policy for engines built with [`Engine::new_durable`],
+    /// [`Engine::new_sharded_durable`] or [`Engine::recover`]: every commit
+    /// pass appends one epoch-stamped record to a write-ahead log **before**
+    /// the in-memory store applies it (fsync-on-commit; an async commit
+    /// storm folds into one record and pays one fsync), and checkpoints
+    /// truncate the log per the policy.  Ignored — no logging — on engines
+    /// built with [`Engine::new`] / [`Engine::new_sharded`], which take no
+    /// storage.  `None` here makes the durable constructors use
+    /// [`DurabilityConfig::default`].
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for EngineConfig {
@@ -157,6 +168,7 @@ impl Default for EngineConfig {
             commit_batch_max: 64,
             commit_linger: Duration::ZERO,
             batch_requests: false,
+            durability: None,
         }
     }
 }
@@ -242,6 +254,26 @@ impl EngineSnapshot {
         match self {
             EngineSnapshot::Single(snap) => snap.epoch(),
             EngineSnapshot::Sharded(view) => view.epoch(),
+        }
+    }
+
+    /// Number of data shards in this version (1 for single-store engines) —
+    /// the uniform way to inspect layout, instead of matching the variants.
+    pub fn shard_count(&self) -> usize {
+        match self {
+            EngineSnapshot::Single(_) => 1,
+            EngineSnapshot::Sharded(view) => view.shard_count(),
+        }
+    }
+
+    /// Per-shard epochs, in shard order.  Every shard commits on every
+    /// global commit, so each entry equals [`EngineSnapshot::epoch`] — the
+    /// coherence invariant the sharded recovery tests pin.  Single-store
+    /// versions report one entry.
+    pub fn shard_epochs(&self) -> Vec<u64> {
+        match self {
+            EngineSnapshot::Single(snap) => vec![snap.epoch()],
+            EngineSnapshot::Sharded(view) => view.shards().iter().map(|s| s.epoch()).collect(),
         }
     }
 
@@ -370,6 +402,16 @@ pub struct EngineMetrics {
     /// lock-guarded version acquisition, so this counts the engine's
     /// lock-acquisition traffic on the storage layer.
     pub snapshot_pins: u64,
+    /// WAL records appended (0 on non-durable engines).  Each record is one
+    /// commit pass, so `wal_records < commits` measures group-commit
+    /// amortization of the log itself.
+    pub wal_records: u64,
+    /// Storage fsyncs issued by the durability plane (0 on non-durable
+    /// engines): one per WAL record plus one per checkpoint publish.
+    pub wal_syncs: u64,
+    /// Checkpoints written since this engine was built (the durable
+    /// constructors' initial checkpoint counts; 0 on non-durable engines).
+    pub checkpoints: u64,
 }
 
 /// Statistics snapshot + the epoch the plan cache keys against.
@@ -377,6 +419,18 @@ pub struct EngineMetrics {
 struct StatsEpoch {
     stats: Arc<si_data::DatabaseStats>,
     epoch: u64,
+}
+
+/// The durability plane of a durable engine: the WAL, the policy, and how
+/// many commit passes have been logged since the last automatic checkpoint
+/// decision.  Guarded by a mutex inside [`Shared`]; commits only touch it
+/// under the commit lock, so the mutex is uncontended — it exists because
+/// [`Wal`] appends through `&mut self` while [`Shared`] is shared by `&`.
+#[derive(Debug)]
+struct DurableState {
+    wal: Wal,
+    policy: DurabilityConfig,
+    passes: u64,
 }
 
 /// Engine state shared between the public handle and the pool workers.
@@ -407,6 +461,8 @@ pub(crate) struct Shared {
     batched_requests: AtomicU64,
     shared_fetches: AtomicU64,
     pub(crate) queued: AtomicUsize,
+    /// `Some` on durable engines: commits log here *before* they apply.
+    wal: Option<Mutex<DurableState>>,
 }
 
 impl Shared {
@@ -869,6 +925,23 @@ impl Shared {
                 .collect();
         }
 
+        // Write-ahead: on a durable engine the merged delta is logged and
+        // fsynced *before* the store applies it.  A whole gathered batch is
+        // one record — one fsync — which is where group commit amortises
+        // the durability cost.  A failed append fails every accepted delta
+        // and leaves the in-memory store untouched: the engine never serves
+        // state the log does not hold.
+        if let Some(wal) = &self.wal {
+            let mut durable = wal.lock().expect("wal lock poisoned");
+            if let Err(e) = durable.wal.append(base.epoch() + 1, &merged) {
+                let err = EngineError::Durability(e);
+                return outcomes
+                    .into_iter()
+                    .map(|o| Err(o.unwrap_or_else(|| err.clone())))
+                    .collect();
+            }
+        }
+
         let snapshot = match self.store.commit(&merged) {
             Ok(snapshot) => snapshot,
             Err(e) => {
@@ -886,6 +959,26 @@ impl Shared {
         self.group_commits.fetch_add(1, Ordering::Relaxed);
         if accepted >= 2 {
             self.deltas_coalesced.fetch_add(accepted, Ordering::Relaxed);
+        }
+
+        // Automatic checkpoint: every `checkpoint_every` logged passes,
+        // publish the just-committed version and truncate the log under it.
+        // The commit is already durable in the log, so a checkpoint failure
+        // (e.g. the fault-injected disk dying mid-publish) must not fail
+        // the commit — it only postpones truncation; recovery replays the
+        // longer log tail instead.
+        if let Some(wal) = &self.wal {
+            let mut durable = wal.lock().expect("wal lock poisoned");
+            durable.passes += 1;
+            let every = durable.policy.checkpoint_every;
+            if every > 0 && durable.passes.is_multiple_of(every) {
+                let ckpt = match &snapshot {
+                    EngineSnapshot::Single(snap) => Checkpoint::single(snap),
+                    EngineSnapshot::Sharded(view) => Checkpoint::sharded(view),
+                };
+                let keep = durable.policy.keep_checkpoints;
+                let _ = durable.wal.checkpoint(&ckpt, keep);
+            }
         }
 
         // Maintenance path: propagate the merged delta into every admitted
@@ -1053,6 +1146,17 @@ impl Shared {
             self.stats.read().expect("stats lock poisoned").epoch,
             self.store.epoch(),
         );
+        let (wal_records, wal_syncs, checkpoints) = match &self.wal {
+            None => (0, 0, 0),
+            Some(wal) => {
+                let durable = wal.lock().expect("wal lock poisoned");
+                (
+                    durable.wal.records(),
+                    durable.wal.storage().syncs(),
+                    durable.wal.checkpoints(),
+                )
+            }
+        };
         EngineMetrics {
             requests: self.requests.load(Ordering::Relaxed),
             cache_hits: self.cache.hits(),
@@ -1075,6 +1179,9 @@ impl Shared {
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             shared_fetches: self.shared_fetches.load(Ordering::Relaxed),
             snapshot_pins: self.store.pins(),
+            wal_records,
+            wal_syncs,
+            checkpoints,
         }
     }
 }
@@ -1146,6 +1253,46 @@ impl Engine {
             access,
             stats,
             config,
+            None,
+        ))
+    }
+
+    /// Builds a **durable** engine over an initial instance: the instance is
+    /// published to `storage` as the base checkpoint, and from then on every
+    /// commit pass appends one epoch-stamped record to the write-ahead log —
+    /// fsynced — *before* the in-memory store applies it.  After a crash,
+    /// [`Engine::recover`] over the same storage rebuilds an engine whose
+    /// state is exactly the maximal durable prefix of the commit history.
+    ///
+    /// The policy knobs come from [`EngineConfig::durability`]
+    /// ([`DurabilityConfig::default`] if unset).
+    pub fn new_durable(
+        mut db: Database,
+        access: AccessSchema,
+        storage: Box<dyn si_durability::Storage>,
+        config: EngineConfig,
+    ) -> Result<Engine> {
+        access.validate(db.schema())?;
+        for (relation, attrs) in access.required_indexes() {
+            if !attrs.is_empty() {
+                db.declare_index(&relation, &attrs)?;
+            }
+        }
+        let stats = Arc::new(db.statistics());
+        let store = SnapshotStore::new(db);
+        let wal = Wal::create(storage, &Checkpoint::single(&store.pin()))
+            .map_err(EngineError::Durability)?;
+        let policy = config.durability.clone().unwrap_or_default();
+        Ok(Self::build(
+            Backend::Single(store),
+            access,
+            stats,
+            config,
+            Some(DurableState {
+                wal,
+                policy,
+                passes: 0,
+            }),
         ))
     }
 
@@ -1177,7 +1324,102 @@ impl Engine {
         }
         let stats = Arc::new(db.statistics());
         let store = ShardedSnapshotStore::new(db, partition, shards)?;
-        Ok(Self::build(Backend::Sharded(store), access, stats, config))
+        Ok(Self::build(
+            Backend::Sharded(store),
+            access,
+            stats,
+            config,
+            None,
+        ))
+    }
+
+    /// Builds a **durable** hash-partitioned engine: [`Engine::new_sharded`]
+    /// plus the write-ahead log of [`Engine::new_durable`].  The base
+    /// checkpoint captures every shard's pages and the partition map, so
+    /// recovery rebuilds the same layout and routing.
+    pub fn new_sharded_durable(
+        mut db: Database,
+        access: AccessSchema,
+        partition: PartitionMap,
+        shards: usize,
+        storage: Box<dyn si_durability::Storage>,
+        config: EngineConfig,
+    ) -> Result<Engine> {
+        access.validate(db.schema())?;
+        for (relation, attrs) in access.required_indexes() {
+            if !attrs.is_empty() {
+                db.declare_index(&relation, &attrs)?;
+            }
+        }
+        let stats = Arc::new(db.statistics());
+        let store = ShardedSnapshotStore::new(db, partition, shards)?;
+        let wal = Wal::create(storage, &Checkpoint::sharded(&store.pin()))
+            .map_err(EngineError::Durability)?;
+        let policy = config.durability.clone().unwrap_or_default();
+        Ok(Self::build(
+            Backend::Sharded(store),
+            access,
+            stats,
+            config,
+            Some(DurableState {
+                wal,
+                policy,
+                passes: 0,
+            }),
+        ))
+    }
+
+    /// Rebuilds a durable engine from `storage` after a crash: newest valid
+    /// checkpoint + replay of the contiguous log tail (the torn final
+    /// record, if any, is dropped and the log repaired in place).  The
+    /// recovered store resumes at the durable epoch, on the same backend
+    /// flavour (single or sharded, with the checkpointed partition map);
+    /// statistics are re-collected from scratch, declared indexes rebuild
+    /// lazily, and the materialized answer cache restarts cold — derived
+    /// state is never trusted from disk.
+    pub fn recover(
+        storage: Box<dyn si_durability::Storage>,
+        access: AccessSchema,
+        config: EngineConfig,
+    ) -> Result<Engine> {
+        let (recovered, wal) = Wal::recover(storage).map_err(EngineError::Durability)?;
+        let epoch = recovered.epoch;
+        let mut databases = recovered.databases;
+        for db in &mut databases {
+            access.validate(db.schema())?;
+            for (relation, attrs) in access.required_indexes() {
+                if !attrs.is_empty() {
+                    db.declare_index(&relation, &attrs)?;
+                }
+            }
+        }
+        let store = match recovered.backend {
+            CheckpointBackend::Single => {
+                if databases.len() != 1 {
+                    return Err(EngineError::Durability(DurabilityError::Invariant(
+                        "single-store checkpoint with multiple shards".into(),
+                    )));
+                }
+                let db = databases.pop().expect("length checked above");
+                Backend::Single(SnapshotStore::restore(db, epoch))
+            }
+            CheckpointBackend::Sharded { partition } => {
+                Backend::Sharded(ShardedSnapshotStore::restore(databases, partition, epoch)?)
+            }
+        };
+        let stats = Arc::new(store.pin().statistics());
+        let policy = config.durability.clone().unwrap_or_default();
+        Ok(Self::build(
+            store,
+            access,
+            stats,
+            config,
+            Some(DurableState {
+                wal,
+                policy,
+                passes: 0,
+            }),
+        ))
     }
 
     fn build(
@@ -1185,6 +1427,7 @@ impl Engine {
         access: AccessSchema,
         stats: Arc<DatabaseStats>,
         config: EngineConfig,
+        wal: Option<DurableState>,
     ) -> Engine {
         let shared = Arc::new(Shared {
             access: Arc::new(access),
@@ -1210,6 +1453,7 @@ impl Engine {
             batched_requests: AtomicU64::new(0),
             shared_fetches: AtomicU64::new(0),
             queued: AtomicUsize::new(0),
+            wal: wal.map(Mutex::new),
             config: config.clone(),
         });
         let pool = pool::WorkerPool::start(Arc::clone(&shared), config.workers);
@@ -1315,6 +1559,42 @@ impl Engine {
     /// *before this call* has been committed (or rejected).
     pub fn flush_commits(&self) -> Result<()> {
         self.committer.flush()
+    }
+
+    /// True when this engine logs commits to a write-ahead log (built via a
+    /// durable constructor or [`Engine::recover`]).
+    pub fn is_durable(&self) -> bool {
+        self.shared.wal.is_some()
+    }
+
+    /// Manually checkpoints a durable engine: publishes the current version
+    /// (tmp → sync → atomic rename under a content-derived name), truncates
+    /// the log beneath it and prunes old checkpoints per
+    /// [`DurabilityConfig::keep_checkpoints`].  Serialises with commits, so
+    /// the published state is exactly one committed version.  Errors on a
+    /// non-durable engine.
+    pub fn checkpoint(&self) -> Result<()> {
+        let Some(wal) = &self.shared.wal else {
+            return Err(EngineError::Durability(DurabilityError::Invariant(
+                "engine has no durability plane; build it with a durable constructor".into(),
+            )));
+        };
+        // Same lock order as the commit path: commit lock, then WAL.
+        let _writer = self
+            .shared
+            .commit_lock
+            .lock()
+            .expect("commit lock poisoned");
+        let ckpt = match self.shared.store.pin() {
+            EngineSnapshot::Single(snap) => Checkpoint::single(&snap),
+            EngineSnapshot::Sharded(view) => Checkpoint::sharded(&view),
+        };
+        let mut durable = wal.lock().expect("wal lock poisoned");
+        let keep = durable.policy.keep_checkpoints;
+        durable
+            .wal
+            .checkpoint(&ckpt, keep)
+            .map_err(EngineError::Durability)
     }
 
     /// Pins the current snapshot version (uniform over single-store and
@@ -2086,5 +2366,175 @@ mod tests {
         sb.sort();
         assert_eq!(sa, sb);
         assert_eq!(a.accesses, b.accesses);
+    }
+
+    use si_durability::SimDisk;
+
+    fn durable_engine(disk: &SimDisk, config: EngineConfig) -> Engine {
+        Engine::new_durable(
+            small_db(),
+            si_access::facebook_access_schema(5000),
+            Box::new(disk.clone()),
+            config,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn durable_engine_logs_commits_and_recovers_identically() {
+        let disk = SimDisk::new();
+        let engine = durable_engine(&disk, EngineConfig::default());
+        assert!(engine.is_durable());
+        let before_crash = engine.execute(&req(1)).unwrap();
+        engine
+            .commit(Delta::new().insert("friend", tuple![3, 1]))
+            .unwrap();
+        engine
+            .commit(Delta::new().insert("person", tuple![9, "eve", "NYC"]))
+            .unwrap();
+        let m = engine.metrics();
+        assert_eq!(m.wal_records, 2);
+        assert_eq!(m.checkpoints, 1); // the initial one
+        assert_eq!(m.wal_syncs, 1 + 2); // initial checkpoint + 2 commits
+        let pre = engine.execute(&req(3)).unwrap();
+        drop(engine);
+
+        let recovered = Engine::recover(
+            Box::new(disk),
+            si_access::facebook_access_schema(5000),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(recovered.epoch(), 2);
+        let post = recovered.execute(&req(3)).unwrap();
+        let mut a = pre.answers.clone();
+        let mut b = post.answers.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(pre.epoch, post.epoch);
+        // Statistics were re-collected from the recovered data, so the
+        // recovered engine plans like the pre-crash one.
+        assert_eq!(pre.static_cost, post.static_cost);
+        // The recovered WAL keeps appending where the durable history ends.
+        recovered
+            .commit(Delta::new().insert("visit", tuple![2, 10]))
+            .unwrap();
+        assert_eq!(recovered.epoch(), 3);
+        let _ = before_crash;
+    }
+
+    #[test]
+    fn durable_engine_auto_checkpoints_and_group_commits_share_one_record() {
+        let disk = SimDisk::new();
+        let engine = durable_engine(
+            &disk,
+            EngineConfig {
+                durability: Some(si_durability::DurabilityConfig {
+                    checkpoint_every: 2,
+                    keep_checkpoints: 1,
+                }),
+                ..EngineConfig::default()
+            },
+        );
+        // One group of three deltas: one WAL record, one fsync.
+        let deltas = vec![
+            Delta::new().insert("friend", tuple![3, 1]).clone(),
+            Delta::new().insert("friend", tuple![3, 2]).clone(),
+            Delta::new().insert("visit", tuple![2, 10]).clone(),
+        ];
+        for r in engine.commit_group(&deltas) {
+            r.unwrap();
+        }
+        let m = engine.metrics();
+        assert_eq!((m.commits, m.wal_records), (3, 1));
+        assert_eq!(m.checkpoints, 1);
+
+        // Second pass trips `checkpoint_every = 2`.
+        engine
+            .commit(Delta::new().insert("friend", tuple![4, 1]))
+            .unwrap();
+        assert_eq!(engine.metrics().checkpoints, 2);
+
+        // Recovery starts from that checkpoint: nothing left to replay.
+        drop(engine);
+        let recovered = Engine::recover(
+            Box::new(disk),
+            si_access::facebook_access_schema(5000),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(recovered.epoch(), 2);
+    }
+
+    #[test]
+    fn sharded_durable_engine_recovers_layout_and_shard_epochs() {
+        let disk = SimDisk::new();
+        let durable = Engine::new_sharded_durable(
+            small_db(),
+            si_access::facebook_access_schema(5000),
+            social_partition(),
+            3,
+            Box::new(disk.clone()),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        durable
+            .commit(Delta::new().insert("friend", tuple![3, 1]))
+            .unwrap();
+        drop(durable);
+        let recovered = Engine::recover(
+            Box::new(disk),
+            si_access::facebook_access_schema(5000),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(recovered.data_shards(), 3);
+        let snapshot = recovered.snapshot();
+        assert_eq!(snapshot.shard_count(), 3);
+        // Coherence: every shard's local epoch equals the global epoch.
+        assert_eq!(snapshot.shard_epochs(), vec![1, 1, 1]);
+        let plain = engine(EngineConfig::default());
+        plain
+            .commit(Delta::new().insert("friend", tuple![3, 1]))
+            .unwrap();
+        let mut a = recovered.execute(&req(3)).unwrap().answers;
+        let mut b = plain.execute(&req(3)).unwrap().answers;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wal_failure_fails_the_commit_and_leaves_the_store_untouched() {
+        let disk = SimDisk::new();
+        let engine = durable_engine(&disk, EngineConfig::default());
+        engine
+            .commit(Delta::new().insert("friend", tuple![3, 1]))
+            .unwrap();
+        disk.kill_after(disk.written()); // every further write dies
+        let err = engine
+            .commit(Delta::new().insert("friend", tuple![4, 1]))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Durability(_)));
+        // Nothing undurable is served: the store still sits at epoch 1.
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.metrics().wal_records, 1);
+    }
+
+    #[test]
+    fn checkpoint_requires_a_durable_engine() {
+        let plain = engine(EngineConfig::default());
+        assert!(matches!(
+            plain.checkpoint().unwrap_err(),
+            EngineError::Durability(_)
+        ));
+        let disk = SimDisk::new();
+        let durable = durable_engine(&disk, EngineConfig::default());
+        durable
+            .commit(Delta::new().insert("friend", tuple![3, 1]))
+            .unwrap();
+        durable.checkpoint().unwrap();
+        assert_eq!(durable.metrics().checkpoints, 2);
     }
 }

@@ -1,0 +1,173 @@
+//! Property tests for the binary codec (`si_data::codec`) that the
+//! durability plane frames its WAL records and checkpoints with: seeded
+//! random values, tuples and deltas must round-trip byte-exactly through
+//! encode → decode, and every damaged frame — truncated at any cut, or
+//! with any single bit flipped — must be *rejected*, never mis-decoded.
+//!
+//! Symbols serialise as their resolved strings (the interner is
+//! process-local, so symbol ids must never touch disk); the generator
+//! leans on empty, non-ASCII and multi-codepoint strings to pin the
+//! re-interning path.
+
+use si_data::codec::{self, CodecError, Reader};
+use si_data::{Delta, Tuple, Value};
+use si_workload::rng::SplitMix64;
+
+const SEEDS: u64 = 200;
+
+/// Interesting string pool: empty, whitespace, non-ASCII, combining marks,
+/// astral-plane emoji — everything the resolved-string codec must carry.
+const STRINGS: &[&str] = &[
+    "",
+    " ",
+    "NYC",
+    "naïve",
+    "東京",
+    "🚀🚀🚀",
+    "Łódź",
+    "a\u{0301}",
+    "line\nbreak",
+    "nul\u{0000}byte",
+];
+
+fn random_value(rng: &mut SplitMix64) -> Value {
+    match rng.gen_range(0..8u8) {
+        0 => Value::Null,
+        1 => Value::bool(rng.gen_range(0..2u8) == 0),
+        2 => Value::int(i64::MIN),
+        3 => Value::int(i64::MAX),
+        4 => Value::int(rng.gen_range(0..1000usize) as i64 - 500),
+        5 | 6 => Value::str(STRINGS[rng.gen_range(0..STRINGS.len())]),
+        _ => Value::str(format!("s{}", rng.gen_range(0..50usize))),
+    }
+}
+
+fn random_tuple(rng: &mut SplitMix64) -> Tuple {
+    let arity = rng.gen_range(0..5usize);
+    (0..arity)
+        .map(|_| random_value(rng))
+        .collect::<Vec<_>>()
+        .into()
+}
+
+fn random_delta(rng: &mut SplitMix64) -> Delta {
+    let mut delta = Delta::new();
+    let relations = ["person", "friend", "visit", "restr", "émission"];
+    for _ in 0..rng.gen_range(0..6usize) {
+        let relation = relations[rng.gen_range(0..relations.len())];
+        let tuple = random_tuple(rng);
+        if rng.gen_range(0..2u8) == 0 {
+            delta.insert(relation, tuple);
+        } else {
+            delta.delete(relation, tuple);
+        }
+    }
+    delta
+}
+
+#[test]
+fn values_tuples_and_deltas_round_trip() {
+    let mut checked = 0u64;
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::seed_from_u64(0xC0DEC ^ seed);
+
+        for _ in 0..20 {
+            let value = random_value(&mut rng);
+            let mut bytes = Vec::new();
+            codec::encode_value(&mut bytes, value);
+            let mut r = Reader::new(&bytes);
+            assert_eq!(codec::decode_value(&mut r).unwrap(), value);
+            r.expect_end().unwrap();
+            checked += 1;
+        }
+
+        for _ in 0..10 {
+            let tuple = random_tuple(&mut rng);
+            let mut bytes = Vec::new();
+            codec::encode_tuple(&mut bytes, &tuple);
+            let mut r = Reader::new(&bytes);
+            assert_eq!(codec::decode_tuple(&mut r).unwrap(), tuple);
+            r.expect_end().unwrap();
+            checked += 1;
+        }
+
+        for _ in 0..5 {
+            let delta = random_delta(&mut rng);
+            let bytes = codec::delta_bytes(&delta);
+            assert_eq!(codec::delta_from_bytes(&bytes).unwrap(), delta);
+            // Deterministic: re-encoding yields the same bytes (BTreeMap
+            // ordering), which the content-addressed checkpoints rely on.
+            assert_eq!(codec::delta_bytes(&delta), bytes);
+            checked += 1;
+        }
+    }
+    println!("codec round trips: {checked} checked, 0 divergent");
+}
+
+#[test]
+fn every_truncation_of_a_frame_is_rejected() {
+    let mut rng = SplitMix64::seed_from_u64(0x7134);
+    for _ in 0..40 {
+        let payload = codec::delta_bytes(&random_delta(&mut rng));
+        let frame = codec::frame(&payload);
+        for cut in 0..frame.len() {
+            let mut pos = 0usize;
+            let err = codec::read_frame(&frame[..cut], &mut pos).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Truncated),
+                "cut at {cut}: expected Truncated, got {err:?}"
+            );
+        }
+        // The full frame decodes back to the payload.
+        let mut pos = 0usize;
+        assert_eq!(codec::read_frame(&frame, &mut pos).unwrap(), &payload[..]);
+        assert_eq!(pos, frame.len());
+    }
+}
+
+#[test]
+fn every_bit_flip_in_a_frame_is_rejected() {
+    let mut rng = SplitMix64::seed_from_u64(0xF11B);
+    for _ in 0..10 {
+        let delta = random_delta(&mut rng);
+        let payload = codec::delta_bytes(&delta);
+        let frame = codec::frame(&payload);
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut damaged = frame.clone();
+                damaged[byte] ^= 1 << bit;
+                let mut pos = 0usize;
+                // A flip in the length field may make the frame run off the
+                // end (Truncated) or shrink it (Corrupt: the CRC no longer
+                // matches the shorter payload); a flip in the CRC or the
+                // payload is always Corrupt.  What must never happen is a
+                // clean decode of different bytes.
+                match codec::read_frame(&damaged, &mut pos) {
+                    Err(CodecError::Truncated) | Err(CodecError::Corrupt { .. }) => {}
+                    Err(other) => panic!("byte {byte} bit {bit}: unexpected {other:?}"),
+                    Ok(decoded) => panic!(
+                        "byte {byte} bit {bit}: damaged frame decoded {} bytes",
+                        decoded.len()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn symbols_survive_as_resolved_strings() {
+    // The wire format must be interner-independent: decoding re-interns, so
+    // equality holds even though the symbol ids may differ in another
+    // process.  Simulate that by round-tripping strings never interned
+    // before this test (fresh names), mixed with the pathological pool.
+    for (i, s) in STRINGS.iter().enumerate() {
+        let value = Value::str(format!("fresh-{i}-{s}"));
+        let mut bytes = Vec::new();
+        codec::encode_value(&mut bytes, value);
+        let mut r = Reader::new(&bytes);
+        let decoded = codec::decode_value(&mut r).unwrap();
+        assert_eq!(decoded, value);
+        assert_eq!(decoded.as_str(), value.as_str());
+    }
+}

@@ -1,0 +1,484 @@
+//! The crash-recovery harness: kill the "process" at **every byte-level
+//! kill point** of seeded commit/checkpoint schedules and prove recovery
+//! rebuilds exactly the maximal durable prefix — epoch-, content- and
+//! statistics-identical to the pre-crash history, with zero divergences.
+//!
+//! The trick that makes "every kill point" affordable is the
+//! [`SimDisk`] write journal: each seeded schedule runs **once** against
+//! an un-killed simulated disk while a naive oracle records the database
+//! at every epoch; afterwards, [`SimDisk::reconstruct_at`] replays the
+//! journal to the exact disk state a crash at any global byte would have
+//! left, and [`Wal::recover`] runs against that state.  Per WAL record the
+//! harness probes four kill points — before the first byte, one byte in
+//! (a torn header), one byte short of durable (a torn tail), and exactly
+//! durable — plus a kill inside the initial checkpoint publish (nothing
+//! durable yet: recovery must report [`DurabilityError::NoCheckpoint`]),
+//! and an out-of-band **bit flip** in the final record (CRC must catch it
+//! and recovery must fall back one epoch).
+//!
+//! Schedules mix single-store and 3-shard engines, automatic checkpoints
+//! (`checkpoint_every` ∈ {0, 1, 2}) and manual mid-schedule checkpoints,
+//! so kill points land inside record appends, checkpoint publishes, log
+//! truncations and checkpoint pruning.  A subset of fully-durable kill
+//! points additionally goes through `Engine::recover`, checking that the
+//! *served* answers, the epoch, the statistics and (sharded) the per-shard
+//! epochs and routing all match an engine that never crashed.
+
+use si_data::codec::{self, Reader};
+use si_data::{Database, Delta, Tuple, Value};
+use si_durability::{DurabilityError, SimDisk, Wal};
+use si_engine::{Engine, EngineConfig, EngineSnapshot, Request};
+use si_query::evaluate_cq;
+use si_workload::rng::SplitMix64;
+use si_workload::{social_partition_map, SocialConfig, SocialGenerator};
+
+const SEEDS: u64 = 110;
+
+fn same(a: &Database, b: &Database) -> bool {
+    a.contains_database(b) && b.contains_database(a)
+}
+
+/// Shard-order merge of recovered per-shard databases into one instance.
+fn merged(databases: &[Database]) -> Database {
+    let mut out = Database::empty(databases[0].schema().clone());
+    for db in databases {
+        for rel in db.relations() {
+            for t in rel.iter() {
+                out.insert(rel.name(), t.clone()).unwrap();
+            }
+        }
+    }
+    out
+}
+
+/// One small mixed-polarity delta valid against the oracle state.  The
+/// `planned` set keeps each tuple unique within the batch, like the
+/// differential suite's generator.
+fn gen_delta(rng: &mut SplitMix64, oracle: &Database, fresh: &mut usize) -> Delta {
+    let mut delta = Delta::new();
+    let mut planned: std::collections::BTreeSet<(String, Tuple)> =
+        std::collections::BTreeSet::new();
+    let persons = oracle
+        .relation("person")
+        .map(|r| r.len())
+        .unwrap_or(1)
+        .max(1);
+    for _ in 0..1 + rng.gen_range(0..3usize) {
+        match rng.gen_range(0..4u8) {
+            0 => {
+                let t: Tuple = vec![
+                    Value::from(rng.gen_range(0..persons)),
+                    Value::from(rng.gen_range(0..persons)),
+                ]
+                .into();
+                if !oracle.contains("friend", &t).unwrap()
+                    && planned.insert(("friend".to_string(), t.clone()))
+                {
+                    delta.insert("friend", t);
+                }
+            }
+            1 => {
+                let rel = oracle.relation("friend").unwrap();
+                if !rel.is_empty() {
+                    if let Some(t) = rel.iter().nth(rng.gen_range(0..rel.len())).cloned() {
+                        if planned.insert(("friend".to_string(), t.clone())) {
+                            delta.delete("friend", t);
+                        }
+                    }
+                }
+            }
+            2 => {
+                *fresh += 1;
+                let t: Tuple =
+                    vec![Value::from(rng.gen_range(0..persons)), Value::from(*fresh)].into();
+                if !oracle.contains("visit", &t).unwrap()
+                    && planned.insert(("visit".to_string(), t.clone()))
+                {
+                    delta.insert("visit", t);
+                }
+            }
+            _ => {
+                *fresh += 1;
+                let city = if rng.gen_range(0..2u8) == 0 {
+                    "NYC"
+                } else {
+                    "LA"
+                };
+                delta.insert(
+                    "person",
+                    vec![
+                        Value::from(*fresh),
+                        Value::str(format!("p{fresh}")),
+                        Value::str(city),
+                    ]
+                    .into(),
+                );
+            }
+        }
+    }
+    delta
+}
+
+/// The byte span of one durable WAL record in the journal's global
+/// coordinate system, plus the epoch it commits.
+struct RecordSpan {
+    start: u64,
+    end: u64,
+    epoch: u64,
+}
+
+#[test]
+fn every_kill_point_recovers_the_maximal_durable_prefix() {
+    let mut kill_points = 0u64;
+    let mut torn_kills = 0u64;
+    let mut no_checkpoint_kills = 0u64;
+    let mut engine_recoveries = 0u64;
+    let mut bit_flips = 0u64;
+
+    for seed in 0..SEEDS {
+        let db = SocialGenerator::new(SocialConfig {
+            persons: 12 + (seed as usize % 4) * 4,
+            restaurants: 4,
+            avg_friends: 3,
+            avg_visits: 2,
+            seed,
+            ..SocialConfig::default()
+        })
+        .generate();
+        let access = si_access::facebook_access_schema(5_000);
+        let sharded = seed % 4 == 0;
+        let config = EngineConfig {
+            workers: 1,
+            materialize_capacity: 8,
+            materialize_after: 1,
+            durability: Some(si_durability::DurabilityConfig {
+                checkpoint_every: seed % 3,
+                keep_checkpoints: 1 + (seed as usize % 2),
+            }),
+            ..EngineConfig::default()
+        };
+
+        // -- Recording pass: one un-killed run, oracle state per epoch. --
+        let disk = SimDisk::new();
+        let engine = if sharded {
+            Engine::new_sharded_durable(
+                db.clone(),
+                access.clone(),
+                social_partition_map(),
+                3,
+                Box::new(disk.clone()),
+                config.clone(),
+            )
+            .unwrap()
+        } else {
+            Engine::new_durable(
+                db.clone(),
+                access.clone(),
+                Box::new(disk.clone()),
+                config.clone(),
+            )
+            .unwrap()
+        };
+        let mut oracle = vec![db.clone()];
+        let mut rng = SplitMix64::seed_from_u64(0xC4A5_4000 ^ seed);
+        let mut fresh = 9_000_000usize;
+        let commits = 7 + (seed as usize % 3);
+        for round in 0..commits {
+            let delta = gen_delta(&mut rng, oracle.last().unwrap(), &mut fresh);
+            if delta.is_empty() {
+                continue;
+            }
+            let epoch = engine.commit(&delta).unwrap();
+            let mut next = oracle.last().unwrap().clone();
+            delta.apply_in_place(&mut next).unwrap();
+            assert_eq!(epoch as usize, oracle.len(), "seed {seed}");
+            oracle.push(next);
+            // Manual checkpoints interleave with the automatic policy, so
+            // kill points land inside publish/truncate/prune sequences too.
+            if seed % 5 == 0 && round == commits / 2 {
+                engine.checkpoint().unwrap();
+            }
+        }
+        drop(engine);
+        let journal = disk.journal();
+
+        // -- Locate every WAL record and the initial checkpoint publish. --
+        let mut written = 0u64;
+        let mut records: Vec<RecordSpan> = Vec::new();
+        let mut initial_tmp_end = None;
+        for op in &journal {
+            if let si_durability::DiskOp::Append { file, bytes } = op {
+                let start = written;
+                written += bytes.len() as u64;
+                if file.starts_with("wal-") && !bytes.is_empty() {
+                    records.push(RecordSpan {
+                        start,
+                        end: written,
+                        epoch: records.len() as u64 + 1,
+                    });
+                } else if initial_tmp_end.is_none() && file.ends_with(".ckpt.tmp") {
+                    initial_tmp_end = Some(written);
+                }
+            }
+        }
+        let initial_tmp_end = initial_tmp_end.expect("the base checkpoint was published");
+        assert!(!records.is_empty(), "seed {seed}: no commits recorded");
+
+        // -- Nothing durable before the base checkpoint's rename. --
+        for k in [1, initial_tmp_end] {
+            let disk_at = SimDisk::reconstruct_at(&journal, k);
+            assert!(
+                matches!(
+                    Wal::recover(Box::new(disk_at)),
+                    Err(DurabilityError::NoCheckpoint)
+                ),
+                "seed {seed} kill {k}: recovery before the base checkpoint"
+            );
+            no_checkpoint_kills += 1;
+        }
+
+        // -- Every record's kill points. --
+        for (i, record) in records.iter().enumerate() {
+            for k in [record.start, record.start + 1, record.end - 1, record.end] {
+                if k <= initial_tmp_end {
+                    // The base checkpoint's rename is issued at exactly
+                    // `initial_tmp_end` written bytes, so a kill at or
+                    // before that point leaves nothing published — the
+                    // NoCheckpoint probe above already covers this state.
+                    continue;
+                }
+                let expected_epoch = records.iter().filter(|r| r.end <= k).count() as u64;
+                let disk_at = SimDisk::reconstruct_at(&journal, k);
+                let (rec, _) = Wal::recover(Box::new(disk_at))
+                    .unwrap_or_else(|e| panic!("seed {seed} kill {k}: recovery failed: {e:?}"));
+                assert_eq!(
+                    rec.epoch, expected_epoch,
+                    "seed {seed} kill {k}: wrong durable epoch"
+                );
+                let got = merged(&rec.databases);
+                assert!(
+                    same(&got, &oracle[expected_epoch as usize]),
+                    "seed {seed} kill {k}: recovered contents diverged at epoch {expected_epoch}"
+                );
+                kill_points += 1;
+                if k > record.start && k < record.end {
+                    torn_kills += 1;
+                }
+            }
+
+            // A subset of fully-durable kill points goes through the full
+            // engine: answers, statistics and shard layout must match a
+            // never-crashed world.
+            if i % 3 != 0 {
+                continue;
+            }
+            let disk_at = SimDisk::reconstruct_at(&journal, record.end);
+            let recovered =
+                Engine::recover(Box::new(disk_at), access.clone(), config.clone()).unwrap();
+            let expected_epoch = record.epoch;
+            let pre_crash = &oracle[expected_epoch as usize];
+            assert_eq!(recovered.epoch(), expected_epoch, "seed {seed} record {i}");
+            let snapshot = recovered.snapshot();
+            assert_eq!(
+                snapshot.statistics(),
+                pre_crash.statistics(),
+                "seed {seed} record {i}: statistics diverged"
+            );
+            assert_eq!(
+                snapshot.shard_epochs(),
+                vec![expected_epoch; snapshot.shard_count()],
+                "seed {seed} record {i}: shard epochs incoherent"
+            );
+            let query = si_workload::q1();
+            for p in 0..4i64 {
+                let request = Request::new(query.clone(), vec!["p".into()], vec![Value::int(p)]);
+                let mut got = recovered.execute(&request).unwrap().answers;
+                got.sort();
+                let bound = query.bind(&[("p".to_string(), Value::int(p))]);
+                let mut naive = evaluate_cq(&bound, pre_crash, None).unwrap();
+                naive.sort();
+                assert_eq!(got, naive, "seed {seed} record {i} p {p}: answers diverged");
+            }
+            engine_recoveries += 1;
+        }
+
+        // -- Corrupt tail: flip one bit in the final record of the final
+        //    segment; the CRC must catch it and recovery falls back exactly
+        //    one epoch (or to the checkpoint if it was the only record). --
+        let full = SimDisk::reconstruct_at(&journal, u64::MAX);
+        let segment = {
+            use si_durability::Storage as _;
+            let mut segs: Vec<String> = full
+                .list()
+                .unwrap()
+                .into_iter()
+                .filter(|n| n.starts_with("wal-") && n.ends_with(".log"))
+                .collect();
+            segs.sort();
+            segs.pop().expect("a current segment always exists")
+        };
+        let bytes = {
+            use si_durability::Storage as _;
+            full.read(&segment).unwrap()
+        };
+        let mut frames: Vec<(usize, u64)> = Vec::new(); // (start offset, epoch)
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let start = pos;
+            let payload = codec::read_frame(&bytes, &mut pos).unwrap();
+            let epoch = Reader::new(payload).u64().unwrap();
+            frames.push((start, epoch));
+        }
+        if let Some(&(start, epoch)) = frames.last() {
+            full.flip_bit(&segment, start + codec::FRAME_HEADER + 3, seed as u8 % 8);
+            let (rec, _) = Wal::recover(Box::new(full)).unwrap();
+            assert_eq!(
+                rec.epoch,
+                epoch - 1,
+                "seed {seed}: corrupt tail must fall back one epoch"
+            );
+            assert!(rec.repaired, "seed {seed}: corruption must be repaired");
+            assert!(
+                same(&merged(&rec.databases), &oracle[(epoch - 1) as usize]),
+                "seed {seed}: post-corruption contents diverged"
+            );
+            bit_flips += 1;
+        }
+    }
+
+    // The harness only means something if the paths actually ran.
+    assert!(kill_points > 3_000, "only {kill_points} kill points probed");
+    assert!(torn_kills > 1_500, "only {torn_kills} torn-record kills");
+    assert!(
+        no_checkpoint_kills >= 2 * SEEDS,
+        "only {no_checkpoint_kills} pre-checkpoint kills"
+    );
+    assert!(
+        engine_recoveries > 200,
+        "only {engine_recoveries} full-engine recoveries"
+    );
+    // Seeds with `checkpoint_every == 1` truncate the log after every
+    // commit, so their current segment is empty and has no record to
+    // corrupt — roughly a third of the schedules skip the bit-flip arm.
+    assert!(bit_flips > 60, "only {bit_flips} corrupt-tail schedules");
+    println!(
+        "crash recovery: {kill_points} kill points across {SEEDS} schedules, 0 divergent \
+         ({torn_kills} torn records, {no_checkpoint_kills} pre-checkpoint kills, \
+         {engine_recoveries} full-engine recoveries, {bit_flips} corrupt tails)"
+    );
+}
+
+/// Satellite: sharded recovery keeps the 3-shard layout *identical* — same
+/// per-shard contents and routing as a never-crashed sharded store, with
+/// the shard-equivalence property (sharded answers ≡ unsharded answers) as
+/// the oracle on the recovered engine.
+#[test]
+fn sharded_recovery_preserves_routing_and_shard_epochs() {
+    for seed in 0..12u64 {
+        let db = SocialGenerator::new(SocialConfig {
+            persons: 20,
+            restaurants: 5,
+            avg_friends: 4,
+            avg_visits: 2,
+            seed,
+            ..SocialConfig::default()
+        })
+        .generate();
+        let access = si_access::facebook_access_schema(5_000);
+        let disk = SimDisk::new();
+        let engine = Engine::new_sharded_durable(
+            db.clone(),
+            access.clone(),
+            social_partition_map(),
+            3,
+            Box::new(disk.clone()),
+            EngineConfig {
+                workers: 1,
+                durability: Some(si_durability::DurabilityConfig {
+                    checkpoint_every: seed % 3,
+                    keep_checkpoints: 2,
+                }),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let mut oracle = db;
+        let mut rng = SplitMix64::seed_from_u64(0x5AAD_C4A5 ^ seed);
+        let mut fresh = 8_000_000usize;
+        for _ in 0..6 {
+            let delta = gen_delta(&mut rng, &oracle, &mut fresh);
+            if delta.is_empty() {
+                continue;
+            }
+            engine.commit(&delta).unwrap();
+            delta.apply_in_place(&mut oracle).unwrap();
+        }
+        let final_epoch = engine.epoch();
+        drop(engine); // the crash
+
+        let recovered = Engine::recover(
+            Box::new(disk),
+            access.clone(),
+            EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(recovered.epoch(), final_epoch, "seed {seed}");
+
+        // Global and per-shard epochs stay coherent through recovery.
+        let snapshot = recovered.snapshot();
+        assert_eq!(snapshot.shard_count(), 3, "seed {seed}");
+        assert_eq!(snapshot.shard_epochs(), vec![final_epoch; 3], "seed {seed}");
+
+        // Routing is *identical*, shard by shard, to a sharded store built
+        // fresh from the oracle state — recovery may not shuffle tuples
+        // between shards even if the merged contents would still be right.
+        let EngineSnapshot::Sharded(view) = &snapshot else {
+            panic!("seed {seed}: recovered engine lost its sharded backend");
+        };
+        let fresh_store =
+            si_data::ShardedSnapshotStore::new(oracle.clone(), social_partition_map(), 3).unwrap();
+        let fresh_view = fresh_store.pin();
+        for (i, (a, b)) in view.shards().iter().zip(fresh_view.shards()).enumerate() {
+            assert!(
+                same(&a.to_database(), &b.to_database()),
+                "seed {seed}: shard {i} contents diverged from fresh routing"
+            );
+        }
+
+        // Shard-equivalence as the oracle: the recovered sharded engine
+        // answers exactly like an unsharded engine over the same state.
+        let unsharded = Engine::new(
+            oracle.clone(),
+            access.clone(),
+            EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let query = si_workload::q1();
+        for p in 0..6i64 {
+            let request = Request::new(query.clone(), vec!["p".into()], vec![Value::int(p)]);
+            let a = recovered.execute(&request).unwrap();
+            let b = unsharded.execute(&request).unwrap();
+            let mut ga = a.answers.clone();
+            let mut gb = b.answers.clone();
+            ga.sort();
+            gb.sort();
+            assert_eq!(ga, gb, "seed {seed} p {p}");
+            assert_eq!(a.accesses, b.accesses, "seed {seed} p {p}");
+        }
+
+        // And the recovered engine keeps committing durably.
+        let mut extra = Delta::new();
+        extra.insert(
+            "friend",
+            vec![Value::int(77_000_001), Value::int(77_000_002)].into(),
+        );
+        recovered.commit(&extra).unwrap();
+        assert_eq!(recovered.epoch(), final_epoch + 1, "seed {seed}");
+    }
+}

@@ -4,11 +4,15 @@
 //! its maintenance runs per shard-local delta), a **batched** engine
 //! (group-commit path plus shared-fetch request batching: queries between
 //! commits are served through `execute_batch`, so identical hot requests
-//! group onto one shared fetch), and a naive single-threaded oracle
-//! database must produce identical answers for every query at every epoch
-//! of every seeded schedule — and the batched arm's epochs, materialized
-//! flags and materialized-hit counts must match the unbatched materializing
-//! arm exactly.
+//! group onto one shared fetch), a **durable** engine (every commit logged
+//! to a write-ahead log on a simulated disk; the engine is repeatedly
+//! dropped — "killed" — between commit rounds and rebuilt with
+//! `Engine::recover`, resuming at the same epoch with a cold materialized
+//! cache that re-warms), and a naive single-threaded oracle database must
+//! produce identical answers for every query at every epoch of every
+//! seeded schedule — and the batched arm's epochs, materialized flags and
+//! materialized-hit counts must match the unbatched materializing arm
+//! exactly.
 //!
 //! Each seed deterministically generates the whole scenario — the instance
 //! (a seeded social database of varying size/fanout), the access
@@ -29,6 +33,7 @@
 
 use si_access::{AccessConstraint, AccessSchema};
 use si_data::{Database, Delta, Tuple, Value};
+use si_durability::SimDisk;
 use si_engine::{Engine, EngineConfig, Request};
 use si_query::{evaluate_cq, parse_cq, ConjunctiveQuery};
 use si_workload::rng::SplitMix64;
@@ -238,6 +243,8 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
     let mut evictions = 0u64;
     let mut batched_group_members = 0u64;
     let mut batched_shared_fetches = 0u64;
+    let mut recoveries = 0u64;
+    let mut durable_materialized_hits = 0u64;
 
     for seed in 0..SEEDS {
         let (db, access, shapes) = scenario(seed);
@@ -284,7 +291,7 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
         // maintained answers propagate per shard-local delta.
         let sharded = Engine::new_sharded(
             db.clone(),
-            access,
+            access.clone(),
             social_partition_map(),
             3,
             EngineConfig {
@@ -296,6 +303,31 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
             },
         )
         .unwrap();
+        // Sixth arm: a durable engine over a simulated disk.  Every commit
+        // is logged write-ahead; between commit rounds the engine is
+        // dropped and recovered from the disk, and must resume at the same
+        // epoch with identical answers.  Its materialized cache restarts
+        // cold on every recovery (derived state is never trusted from
+        // disk), so only answers and epochs — not materialized flags — are
+        // compared against the other arms.
+        let durable_config = EngineConfig {
+            workers: 1,
+            materialize_capacity: 32,
+            materialize_after: 1 + seed % 2,
+            stats_drift_threshold: 0.1,
+            ..EngineConfig::default()
+        };
+        let disk = SimDisk::new();
+        let mut durable = Engine::new_durable(
+            db.clone(),
+            access.clone(),
+            Box::new(disk.clone()),
+            durable_config.clone(),
+        )
+        .unwrap();
+        // Kill decisions come from their own stream so the shared schedule
+        // rng stays byte-for-byte what the other arms consume.
+        let mut kill_rng = SplitMix64::seed_from_u64(0xDEAD_D15C ^ seed);
         let mut oracle = db;
         let mut rng = SplitMix64::seed_from_u64(0xD1FF_E4E0 ^ seed);
         let mut fresh = 5_000_000usize;
@@ -322,10 +354,39 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
                 let epoch_without = without.commit(&delta).unwrap();
                 let epoch_sharded = sharded.commit(&delta).unwrap();
                 let epoch_batched = batched.commit(&delta).unwrap();
+                let epoch_durable = durable.commit(&delta).unwrap();
                 assert_eq!(epoch_with, epoch_without, "seed {seed} op {op}");
                 assert_eq!(epoch_with, epoch_sharded, "seed {seed} op {op}");
                 assert_eq!(epoch_with, epoch_batched, "seed {seed} op {op}");
+                assert_eq!(epoch_with, epoch_durable, "seed {seed} op {op}");
                 delta.apply_in_place(&mut oracle).unwrap();
+
+                // Kill the durable arm between commit rounds (~every third
+                // commit): drop the engine, recover from the disk, and the
+                // recovered engine must sit at the same epoch with an empty
+                // (correctly cold) materialized cache.
+                if kill_rng.gen_range(0..3u8) == 0 {
+                    durable = {
+                        drop(durable);
+                        Engine::recover(
+                            Box::new(disk.clone()),
+                            access.clone(),
+                            durable_config.clone(),
+                        )
+                        .unwrap_or_else(|e| panic!("recovery failed: seed {seed} op {op}: {e:?}"))
+                    };
+                    recoveries += 1;
+                    assert_eq!(
+                        durable.epoch(),
+                        epoch_with,
+                        "recovered epoch diverged: seed {seed} op {op}"
+                    );
+                    assert_eq!(
+                        durable.metrics().materialized_entries,
+                        0,
+                        "recovered cache must start cold: seed {seed} op {op}"
+                    );
+                }
             } else {
                 let (query, parameter) = &shapes[rng.gen_range(0..shapes.len())];
                 let p = rng.gen_range(0..hot as usize) as i64;
@@ -334,6 +395,7 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
                 let a = with.execute(&request).unwrap();
                 let b = without.execute(&request).unwrap();
                 let c = sharded.execute(&request).unwrap();
+                let d = durable.execute(&request).unwrap();
                 let expected = naive_answers(query, parameter, p, &oracle);
                 let mut got_a = a.answers.clone();
                 got_a.sort();
@@ -358,8 +420,20 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
                      (materialized: {})",
                     query.name, c.epoch, c.materialized
                 );
+                let mut got_d = d.answers.clone();
+                got_d.sort();
+                assert_eq!(
+                    got_d, expected,
+                    "durable engine diverged: seed {seed} op {op} query {} p {p} epoch {} \
+                     (materialized: {})",
+                    query.name, d.epoch, d.materialized
+                );
                 assert_eq!(a.epoch, b.epoch, "seed {seed} op {op}");
                 assert_eq!(a.epoch, c.epoch, "seed {seed} op {op}");
+                assert_eq!(a.epoch, d.epoch, "seed {seed} op {op}");
+                if d.materialized {
+                    durable_materialized_hits += 1;
+                }
                 // The sharded arm's access accounting mirrors the plan-path
                 // engine whenever neither was served from maintained answers
                 // (materialized hits touch zero base data by design).
@@ -444,12 +518,21 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
         batched_shared_fetches > 20,
         "only {batched_shared_fetches} shared fetches across the suite"
     );
+    // The durable arm really was killed and its cache really re-warmed:
+    // recoveries happened throughout, and materialized answers were
+    // re-admitted and served again after restarting cold.
+    assert!(recoveries > 100, "only {recoveries} recoveries ran");
+    assert!(
+        durable_materialized_hits > 100,
+        "only {durable_materialized_hits} durable materialized hits across the suite"
+    );
     println!(
         "differential: {queries_checked} queries checked, 0 divergent \
          ({materialized_hits} materialized hits, {maintenance_runs} maintenance runs, \
          {maintenance_fallbacks} fallbacks, {evictions} evictions; 3-shard arm: \
          {sharded_materialized_hits} materialized hits, {sharded_maintenance_runs} \
          maintenance runs; batched arm: {batched_group_members} grouped requests, \
-         {batched_shared_fetches} shared fetches)"
+         {batched_shared_fetches} shared fetches; durable arm: {recoveries} recoveries, \
+         {durable_materialized_hits} materialized hits after cold restarts)"
     );
 }

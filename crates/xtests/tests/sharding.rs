@@ -457,10 +457,17 @@ fn sharded_engine_matches_unsharded_engine_and_oracle_under_commits() {
                 }
             }
         }
-        // The sharded engines really did split their commits across shards.
+        // The sharded engines really did split their commits across shards,
+        // and every shard's local epoch tracks the global one (uniform
+        // inspection through the engine snapshot).
         for engine in &sharded {
             let stats = engine.shard_stats();
             assert!(stats.iter().filter(|s| s.routed_tuples > 0).count() >= 2);
+            let snapshot = engine.snapshot();
+            assert_eq!(
+                snapshot.shard_epochs(),
+                vec![snapshot.epoch(); snapshot.shard_count()]
+            );
         }
     }
 }
