@@ -1,0 +1,169 @@
+//! Tracing overhead: the serving workload with tracing off, sampled
+//! (1-in-64), and on for every request, measured as tuples fetched per
+//! microsecond of wall clock.
+//!
+//! This pins the observability plane's cost contract: with sampling off the
+//! serve path pays one relaxed load plus a handful of relaxed atomic adds
+//! (serve histogram + in-flight gauge) — no allocation — so its throughput
+//! must stay within the **5% tuples/ns regression budget** of the sampled
+//! arm, and the production-recommended 1-in-64 sampling must stay within
+//! the same budget of fully-off.  The full-tracing arm (every request
+//! builds and publishes a `RequestTrace`) is reported for scale but not
+//! asserted: its cost is proportional to traffic by design, which is why
+//! tracing is a sampling knob in the first place.
+//!
+//! All three arms run on **one** engine, retuned between rounds with
+//! `Engine::set_trace_sampling` — separate engine instances differ by
+//! several percent from heap-layout luck alone, which would drown a 5%
+//! budget.  Rounds are interleaved in rotated order (each round index runs
+//! every arm under the same machine conditions, and no arm systematically
+//! leads) and each arm reports its **median** round — robust against both
+//! throttled rounds and lucky spikes, either of which a best-of or a mean
+//! would let a single outlier decide.
+
+use si_engine::{Engine, EngineConfig, Request};
+use si_workload::{serving_access_schema, social_requests, SocialConfig, SocialGenerator};
+use std::time::Instant;
+
+const PERSONS: usize = 2_000;
+const REQUESTS: usize = 3_000;
+const ROUNDS: usize = 11;
+/// Drains of the whole request list per timed round: long rounds average out
+/// scheduler noise that would swamp a 5% budget over a ~100 ms sample.
+const DRAINS_PER_ROUND: usize = 4;
+const ARMS: [(&str, u64); 3] = [("off", 0), ("1-in-64", 64), ("every", 1)];
+
+fn make_engine() -> Engine {
+    let db = SocialGenerator::new(SocialConfig {
+        persons: PERSONS,
+        restaurants: 200,
+        ..SocialConfig::default()
+    })
+    .generate();
+    Engine::new(
+        db,
+        serving_access_schema(5000),
+        EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("engine construction")
+}
+
+/// Cumulative on-CPU nanoseconds of the calling thread (Linux scheduler
+/// accounting; 0 when unavailable).  Serving here is entirely on the
+/// caller's thread, so on-CPU time measures the code's own cost and is
+/// immune to the preemption bursts of a shared machine that would swamp a
+/// 5% wall-clock budget.
+fn on_cpu_nanos() -> u64 {
+    std::fs::read_to_string("/proc/thread-self/schedstat")
+        .ok()
+        .and_then(|s| s.split_whitespace().next()?.parse().ok())
+        .unwrap_or(0)
+}
+
+/// One timed drain of the request list on the caller's thread, returning
+/// tuples fetched per microsecond (of on-CPU time where the kernel reports
+/// it, wall clock otherwise).
+fn round(engine: &Engine, requests: &[Request]) -> f64 {
+    let before = engine.metrics().accesses.tuples_fetched;
+    let cpu_before = on_cpu_nanos();
+    let start = Instant::now();
+    for _ in 0..DRAINS_PER_ROUND {
+        for request in requests {
+            engine.execute(request).expect("serve");
+        }
+    }
+    let cpu = on_cpu_nanos().saturating_sub(cpu_before);
+    let elapsed_us = if cpu > 0 {
+        cpu as f64 / 1e3
+    } else {
+        start.elapsed().as_secs_f64() * 1e6
+    };
+    (engine.metrics().accesses.tuples_fetched - before) as f64 / elapsed_us
+}
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let requests: Vec<Request> = social_requests(PERSONS, REQUESTS, 42)
+        .into_iter()
+        .map(|g| Request::new(g.query, g.parameters, g.values))
+        .collect();
+    let engine = make_engine();
+
+    // Warm the plan cache and lazy indexes outside the timed rounds.
+    for request in requests.iter().take(200) {
+        engine.execute(request).expect("warmup");
+    }
+
+    let mut samples: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for r in 0..ROUNDS {
+        // Rotate which arm goes first each round: thermal/boost decay over a
+        // round-triple otherwise systematically favours whichever arm leads.
+        for offset in 0..ARMS.len() {
+            let i = (r + offset) % ARMS.len();
+            engine.set_trace_sampling(ARMS[i].1);
+            samples[i].push(round(&engine, &requests));
+        }
+    }
+    engine.set_trace_sampling(0);
+    // The asserted quantity is the *paired* per-round ratio, not a ratio of
+    // medians: machine speed drifts over the run (builds finishing, boost
+    // decay), but within one round-triple — a ~1 s window — both arms see
+    // the same conditions, so the ratio isolates the code's own cost.
+    let ratio = median(
+        samples[0]
+            .iter()
+            .zip(&samples[1])
+            .map(|(off, sampled)| sampled / off)
+            .collect(),
+    );
+    let medians: Vec<f64> = samples.into_iter().map(median).collect();
+    let t_off = medians[0];
+
+    println!(
+        "tracing overhead on the serving workload ({} requests x {ROUNDS} interleaved \
+         rounds on one engine, median round per arm; 80% Q1 / 20% Q2 over {PERSONS} persons)\n",
+        REQUESTS * DRAINS_PER_ROUND
+    );
+    println!("{:>9}  {:>11}  {:>7}", "tracing", "tuples/us", "vs off");
+    for (i, (arm, _)) in ARMS.iter().enumerate() {
+        println!(
+            "{:>9}  {:>11.1}  {:>+6.1}%",
+            arm,
+            medians[i],
+            (medians[i] / t_off - 1.0) * 100.0
+        );
+    }
+
+    // The traced rounds really traced (and the scrape page shows it all).
+    let metrics = engine.metrics();
+    assert!(metrics.traces_emitted >= (REQUESTS * ROUNDS) as u64);
+    let page = engine.telemetry().render();
+    assert!(page.contains("si_serve_latency_ns"));
+    assert!(page.contains("si_traces_emitted_total"));
+
+    // The budget: near-zero-cost tracing-off and cheap 1-in-64 sampling.
+    // Both directions, because "off is not slower than sampled" alone would
+    // also pass if the sampler accidentally did work when disabled.
+    assert!(
+        ratio >= 0.95,
+        "1-in-64 sampling lost more than the 5% tuples/ns budget vs off \
+         (median paired ratio {ratio:.3})"
+    );
+    assert!(
+        ratio <= 1.0 / 0.95,
+        "tracing-off lost more than the 5% tuples/ns budget vs sampled \
+         (median paired ratio {ratio:.3})"
+    );
+    println!(
+        "\nbudget: off and 1-in-64 sampling within 5% of each other \
+         (median paired ratio {:+.1}%); full tracing reported above for scale",
+        (ratio - 1.0) * 100.0
+    );
+}

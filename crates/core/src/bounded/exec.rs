@@ -27,6 +27,7 @@
 use crate::bounded::plan::{BoundedPlan, PlanStep};
 use crate::error::CoreError;
 use crate::si::Witness;
+use crate::trace::{ExecPhase, TraceSink};
 use si_access::AccessSource;
 use si_data::{MeterSnapshot, Tuple, TupleSet, Value};
 use si_query::binding::{Binding, VarId, VarTable};
@@ -530,6 +531,32 @@ pub fn execute_bounded<A: AccessSource>(
     fetch_bounded(plan, parameter_values, adb)?.into_answer(plan)
 }
 
+/// Wall-clock nanoseconds since `start`, saturating.
+fn nanos_since(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// [`execute_bounded`] with per-phase timing reported to `sink`.
+///
+/// Identical result to [`execute_bounded`]; additionally reports the
+/// duration of the fetch phase (compile + seed + plan steps) and of the
+/// finalize pass (equality filter + projection + dedup) as
+/// [`ExecPhase::Fetch`] / [`ExecPhase::Finalize`].
+pub fn execute_bounded_traced<A: AccessSource>(
+    plan: &BoundedPlan,
+    parameter_values: &[Value],
+    adb: &A,
+    sink: &mut dyn TraceSink,
+) -> Result<BoundedAnswer, CoreError> {
+    let start = std::time::Instant::now();
+    let fetch = fetch_bounded(plan, parameter_values, adb)?;
+    sink.exec_phase(ExecPhase::Fetch, nanos_since(start));
+    let start = std::time::Instant::now();
+    let answer = fetch.into_answer(plan)?;
+    sink.exec_phase(ExecPhase::Finalize, nanos_since(start));
+    Ok(answer)
+}
+
 /// Executes `plan` morsel-style across `workers` threads.
 ///
 /// The first step runs once (its probe key is the seed binding — the
@@ -554,10 +581,47 @@ where
     A: AccessSource,
     F: Fn() -> A + Sync,
 {
+    partitioned_impl(plan, parameter_values, source, workers, None)
+}
+
+/// [`execute_bounded_partitioned`] with per-phase timing reported to `sink`.
+///
+/// The fetch phase covers the first-step probe, the morsel fan-out, and the
+/// merge of worker results; the finalize phase is the sequential equality
+/// filter + projection + dedup over the merged rows.
+pub fn execute_bounded_partitioned_traced<A, F>(
+    plan: &BoundedPlan,
+    parameter_values: &[Value],
+    source: F,
+    workers: usize,
+    sink: &mut dyn TraceSink,
+) -> Result<BoundedAnswer, CoreError>
+where
+    A: AccessSource,
+    F: Fn() -> A + Sync,
+{
+    partitioned_impl(plan, parameter_values, source, workers, Some(sink))
+}
+
+fn partitioned_impl<A, F>(
+    plan: &BoundedPlan,
+    parameter_values: &[Value],
+    source: F,
+    workers: usize,
+    mut sink: Option<&mut dyn TraceSink>,
+) -> Result<BoundedAnswer, CoreError>
+where
+    A: AccessSource,
+    F: Fn() -> A + Sync,
+{
     let main = source();
     if workers <= 1 || plan.steps.len() < 2 {
-        return execute_bounded(plan, parameter_values, &main);
+        return match sink {
+            Some(sink) => execute_bounded_traced(plan, parameter_values, &main, sink),
+            None => execute_bounded(plan, parameter_values, &main),
+        };
     }
+    let fetch_start = std::time::Instant::now();
     let before = main.meter_snapshot();
     let compiled = compile(plan, parameter_values)?;
     let mut bound = compiled.seed_bound.clone();
@@ -584,7 +648,15 @@ where
             &mut witness_facts,
         )?;
         let accesses = main.meter_snapshot().since(&before);
-        return finalize(plan, &compiled, rows, witness_facts, accesses);
+        if let Some(sink) = sink.as_deref_mut() {
+            sink.exec_phase(ExecPhase::Fetch, nanos_since(fetch_start));
+        }
+        let finalize_start = std::time::Instant::now();
+        let answer = finalize(plan, &compiled, rows, witness_facts, accesses);
+        if let Some(sink) = sink {
+            sink.exec_phase(ExecPhase::Finalize, nanos_since(finalize_start));
+        }
+        return answer;
     }
     let mut accesses = main.meter_snapshot().since(&before);
 
@@ -654,7 +726,15 @@ where
             }
         }
     }
-    finalize(plan, &compiled, all_rows, witness_facts, accesses)
+    if let Some(sink) = sink.as_deref_mut() {
+        sink.exec_phase(ExecPhase::Fetch, nanos_since(fetch_start));
+    }
+    let finalize_start = std::time::Instant::now();
+    let answer = finalize(plan, &compiled, all_rows, witness_facts, accesses);
+    if let Some(sink) = sink {
+        sink.exec_phase(ExecPhase::Finalize, nanos_since(finalize_start));
+    }
+    answer
 }
 
 #[cfg(test)]

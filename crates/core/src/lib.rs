@@ -74,11 +74,13 @@ pub mod incremental;
 pub mod qdsi;
 pub mod qsi;
 pub mod si;
+pub mod trace;
 pub mod views;
 
 pub use bounded::{
-    execute_bounded, execute_bounded_partitioned, execute_naive, fetch_bounded, BoundedAnswer,
-    BoundedPlan, BoundedPlanner, CostBasedPlanner, CostedPlan, PlanStep, SharedFetch,
+    execute_bounded, execute_bounded_partitioned, execute_bounded_partitioned_traced,
+    execute_bounded_traced, execute_naive, fetch_bounded, BoundedAnswer, BoundedPlan,
+    BoundedPlanner, CostBasedPlanner, CostedPlan, PlanStep, SharedFetch,
 };
 pub use controllability::{
     decide_qcntl, decide_qcntl_min, minimal_controlling_sets, AlgebraControllability,
@@ -92,6 +94,7 @@ pub use incremental::{
 pub use qdsi::{decide_qdsi, decide_qdsi_with_access, DecisionMethod, QdsiOutcome, SearchLimits};
 pub use qsi::{decide_qsi, QsiAnswer};
 pub use si::{check_witness, is_witness, AnyQuery, Witness};
+pub use trace::{ExecPhase, NullTraceSink, TraceSink};
 pub use views::{
     decide_vqsi_cq, execute_with_views, find_cheapest_rewriting, find_rewriting, is_rewriting,
     is_scale_independent_using_views, ViewDef, ViewSet, VqsiOutcome,

@@ -1,0 +1,49 @@
+//! Execution-phase trace hooks.
+//!
+//! The serving layer above this crate wants per-request phase timings
+//! (how long the bounded *fetch* took versus the *finalize* pass), but the
+//! core executor must not know about engines, registries, or sampling
+//! policy. [`TraceSink`] is the inversion point: the caller hands the traced
+//! executor variants ([`crate::bounded::exec::execute_bounded_traced`],
+//! [`crate::bounded::exec::execute_bounded_partitioned_traced`]) a sink, and
+//! the executor reports each phase's duration as it completes. The untraced
+//! entry points take no sink and pay nothing.
+
+/// Executor phases reported to a [`TraceSink`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecPhase {
+    /// Plan compilation, seeding, and every plan step: all base-data access.
+    Fetch,
+    /// Equality filter, output projection, and answer dedup: no base data.
+    Finalize,
+}
+
+/// Receiver for executor phase timings.
+///
+/// Implementations are engine-side (a phase clock, a histogram, a test
+/// recorder); the executor only calls [`TraceSink::exec_phase`] once per
+/// completed phase with the measured wall-clock nanoseconds.
+pub trait TraceSink {
+    /// Reports that `phase` just completed and took `nanos` nanoseconds.
+    fn exec_phase(&mut self, phase: ExecPhase, nanos: u64);
+}
+
+/// A no-op sink (useful as a default or in tests).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullTraceSink;
+
+impl TraceSink for NullTraceSink {
+    fn exec_phase(&mut self, _phase: ExecPhase, _nanos: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_accepts_phases() {
+        let mut sink = NullTraceSink;
+        sink.exec_phase(ExecPhase::Fetch, 1);
+        sink.exec_phase(ExecPhase::Finalize, 2);
+    }
+}

@@ -272,6 +272,20 @@ impl MeterSnapshot {
             time_units: self.time_units + other.time_units,
         }
     }
+
+    /// Every counter with its stable exposition name, in declaration order.
+    ///
+    /// This is the metrics-plane integration point: exporters iterate the
+    /// snapshot instead of hand-listing fields, so a counter added here is
+    /// automatically picked up by every exposition surface built on top.
+    pub fn named_counters(&self) -> [(&'static str, u64); 4] {
+        [
+            ("tuples_fetched", self.tuples_fetched),
+            ("index_probes", self.index_probes),
+            ("full_scans", self.full_scans),
+            ("time_units", self.time_units),
+        ]
+    }
 }
 
 #[cfg(test)]

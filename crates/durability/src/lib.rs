@@ -37,7 +37,7 @@ pub mod wal;
 
 pub use checkpoint::{Checkpoint, CheckpointBackend};
 pub use storage::{DirStorage, DiskOp, SimDisk, Storage};
-pub use wal::{Recovered, Wal};
+pub use wal::{Recovered, Wal, WalTimings};
 
 use si_data::codec::CodecError;
 use si_data::DataError;

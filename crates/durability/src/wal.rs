@@ -91,6 +91,33 @@ pub struct Recovered {
     pub databases: Vec<Database>,
 }
 
+/// Cumulative durability timings, measured where the waiting happens.
+///
+/// The fsync counters cover the per-commit `sync` in [`Wal::append`] — the
+/// single dominant latency of a durable commit — and the checkpoint counters
+/// cover the whole tmp → sync → rename publish sequence.  The engine's
+/// telemetry snapshots this before and after a commit pass and records the
+/// difference, so the WAL stays free of any registry dependency.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalTimings {
+    /// Commit fsyncs performed.
+    pub syncs: u64,
+    /// Total nanoseconds spent in commit fsyncs.
+    pub sync_nanos: u64,
+    /// Duration of the most recent commit fsync.
+    pub last_sync_nanos: u64,
+    /// Checkpoint publishes performed (tmp → sync → rename).
+    pub checkpoint_publishes: u64,
+    /// Total nanoseconds spent publishing checkpoints.
+    pub checkpoint_nanos: u64,
+    /// Duration of the most recent checkpoint publish.
+    pub last_checkpoint_nanos: u64,
+}
+
+fn nanos_since(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// The append-only commit log.  One instance owns the storage; the engine
 /// serialises access through its commit path (appends happen under the
 /// commit lock, so `&mut self` is natural here).
@@ -101,6 +128,8 @@ pub struct Wal {
     next_epoch: u64,
     records: u64,
     checkpoints: u64,
+    segment_bytes: u64,
+    timings: WalTimings,
 }
 
 impl Wal {
@@ -125,6 +154,8 @@ impl Wal {
             next_epoch: initial.epoch + 1,
             records: 0,
             checkpoints: 0,
+            segment_bytes: 0,
+            timings: WalTimings::default(),
         };
         wal.write_checkpoint_file(initial)?;
         wal.storage.append(&wal.segment, &[])?;
@@ -151,6 +182,17 @@ impl Wal {
         self.next_epoch
     }
 
+    /// Bytes appended to the current (post-checkpoint) segment so far —
+    /// the live-log gauge an operator watches to size checkpoint cadence.
+    pub fn segment_bytes(&self) -> u64 {
+        self.segment_bytes
+    }
+
+    /// Cumulative fsync / checkpoint-publish timings (see [`WalTimings`]).
+    pub fn timings(&self) -> WalTimings {
+        self.timings
+    }
+
     /// Logs the commit that takes the store to `epoch`: one framed record,
     /// one fsync.  Must be called *before* the in-memory store applies the
     /// delta (write-ahead), with contiguous epochs.
@@ -164,15 +206,22 @@ impl Wal {
         let mut payload = Vec::new();
         codec::put_u64(&mut payload, epoch);
         codec::encode_delta(&mut payload, delta);
-        self.storage
-            .append(&self.segment, &codec::frame(&payload))?;
+        let frame = codec::frame(&payload);
+        self.storage.append(&self.segment, &frame)?;
+        let sync_start = std::time::Instant::now();
         self.storage.sync(&self.segment)?;
+        let sync_nanos = nanos_since(sync_start);
+        self.timings.syncs += 1;
+        self.timings.sync_nanos += sync_nanos;
+        self.timings.last_sync_nanos = sync_nanos;
+        self.segment_bytes += frame.len() as u64;
         self.records += 1;
         self.next_epoch = epoch + 1;
         Ok(())
     }
 
     fn write_checkpoint_file(&mut self, ckpt: &Checkpoint) -> Result<()> {
+        let publish_start = std::time::Instant::now();
         let payload = ckpt.encode();
         let id = codec::content_id(&payload);
         let name = checkpoint_name(ckpt.epoch, id);
@@ -184,6 +233,10 @@ impl Wal {
         self.storage.sync(&tmp)?;
         self.storage.rename(&tmp, &name)?;
         self.checkpoints += 1;
+        let publish_nanos = nanos_since(publish_start);
+        self.timings.checkpoint_publishes += 1;
+        self.timings.checkpoint_nanos += publish_nanos;
+        self.timings.last_checkpoint_nanos = publish_nanos;
         Ok(())
     }
 
@@ -203,6 +256,7 @@ impl Wal {
         // for why this order is crash-safe).
         let old = std::mem::replace(&mut self.segment, segment_name(ckpt.epoch + 1));
         if old != self.segment {
+            self.segment_bytes = 0;
             self.storage.append(&self.segment, &[])?;
             for name in self.storage.list()? {
                 if parse_segment(&name).is_some() && name != self.segment {
@@ -367,11 +421,13 @@ impl Wal {
                 databases,
             },
             Wal {
+                segment_bytes: storage.read(&segment).map(|b| b.len() as u64).unwrap_or(0),
                 storage,
                 segment,
                 next_epoch: epoch + 1,
                 records: 0,
                 checkpoints: 0,
+                timings: WalTimings::default(),
             },
         ))
     }

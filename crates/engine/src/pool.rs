@@ -18,11 +18,15 @@ use crate::{QueryResponse, Request, Shared};
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// One queued request plus the channel its result goes back on.
 pub(crate) struct Job {
     pub request: Request,
     pub reply: mpsc::Sender<Result<QueryResponse, EngineError>>,
+    /// When the job entered the queue — the worker measures queue wait from
+    /// it into the `si_queue_wait_ns` histogram (and the request's trace).
+    pub submitted: Instant,
 }
 
 /// The fixed pool of serving threads.
@@ -73,7 +77,9 @@ impl WorkerPool {
                         };
                         if let [_] = jobs.as_slice() {
                             let job = jobs.into_iter().next().expect("one job");
-                            let result = shared.serve(&job.request);
+                            let wait_nanos = crate::nanos_of(job.submitted.elapsed());
+                            shared.telemetry.queue_wait.record(wait_nanos);
+                            let result = shared.serve_queued(&job.request, wait_nanos);
                             // A dropped reply receiver just means the client
                             // gave up waiting; the work is already merged
                             // into the engine's metrics.
@@ -83,6 +89,12 @@ impl WorkerPool {
                             // the engine still owes work on.
                             shared.queued.fetch_sub(1, Ordering::Relaxed);
                         } else {
+                            for job in &jobs {
+                                shared
+                                    .telemetry
+                                    .queue_wait
+                                    .record(crate::nanos_of(job.submitted.elapsed()));
+                            }
                             let (requests, replies): (Vec<_>, Vec<_>) =
                                 jobs.into_iter().map(|j| (j.request, j.reply)).unzip();
                             let results = shared.serve_batch(&requests);

@@ -1,0 +1,119 @@
+//! Engine-side wiring of the observability plane (`si-telemetry`).
+//!
+//! One [`EngineTelemetry`] lives inside the engine's `Shared` state.  It owns
+//! the [`TelemetryRegistry`] (the scrape surface `Engine::telemetry` exposes),
+//! caches the `Arc` handles of the engine's latency histograms so hot paths
+//! never touch the registry lock, and carries the per-request [`Sampler`]
+//! plus the two serving gauges (in-flight requests, traces emitted).
+//!
+//! Cost discipline: with `trace_sample_every == 0` and no per-request opt-in,
+//! the serve path pays exactly one branch for tracing (the sampler's disabled
+//! check) plus the always-on metrics plane — a handful of relaxed atomic adds
+//! into the serve-latency histogram and the in-flight gauge.  No allocation
+//! happens unless a trace is actually built.
+
+use crate::EngineConfig;
+use si_telemetry::{LatencyHistogram, RequestTrace, Sampler, TelemetryConfig, TelemetryRegistry};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Serve-path service latency (planning + execution, excluding queue wait).
+pub const SERVE_HISTOGRAM: &str = "si_serve_latency_ns";
+/// Time pool-submitted requests spent queued before a worker picked them up.
+pub const QUEUE_WAIT_HISTOGRAM: &str = "si_queue_wait_ns";
+/// End-to-end commit-pass latency (fold + WAL + apply + maintenance + drift).
+pub const COMMIT_HISTOGRAM: &str = "si_commit_latency_ns";
+/// Materialized-answer maintenance time per commit pass.
+pub const MAINTENANCE_HISTOGRAM: &str = "si_maintenance_latency_ns";
+/// WAL fsync time per commit pass (durable engines only).
+pub const FSYNC_HISTOGRAM: &str = "si_fsync_latency_ns";
+/// Checkpoint serialization + publish time (durable engines only).
+pub const CHECKPOINT_HISTOGRAM: &str = "si_checkpoint_latency_ns";
+
+/// The engine's observability state: registry + cached histograms + sampler.
+#[derive(Debug)]
+pub(crate) struct EngineTelemetry {
+    /// The scrape surface (histograms, slow log, commit log, collectors).
+    pub registry: TelemetryRegistry,
+    /// 1-in-N request sampler (`trace_sample_every`; 0 disables tracing).
+    pub sampler: Sampler,
+    /// Service time at or above this many nanoseconds marks a trace slow
+    /// (and forces a post-hoc trace for unsampled requests).
+    pub slow_threshold_nanos: u64,
+    /// Serve-path service latency.
+    pub serve: Arc<LatencyHistogram>,
+    /// Pool queue wait.
+    pub queue_wait: Arc<LatencyHistogram>,
+    /// Commit-pass latency.
+    pub commit: Arc<LatencyHistogram>,
+    /// Maintenance time per commit pass.
+    pub maintenance: Arc<LatencyHistogram>,
+    /// WAL fsync time per commit pass.
+    pub fsync: Arc<LatencyHistogram>,
+    /// Checkpoint publish time.
+    pub checkpoint: Arc<LatencyHistogram>,
+    /// Requests currently inside the serve path (gauge).
+    pub in_flight: AtomicU64,
+    /// Request traces emitted so far (sampled + post-hoc slow + opted-in).
+    pub traces_emitted: AtomicU64,
+}
+
+impl EngineTelemetry {
+    /// Builds the engine's telemetry plane from its config knobs.
+    pub fn new(config: &EngineConfig) -> Self {
+        let registry = TelemetryRegistry::new(TelemetryConfig {
+            slow_log_capacity: config.slow_log_capacity,
+            ..TelemetryConfig::default()
+        });
+        let serve = registry.histogram(SERVE_HISTOGRAM);
+        let queue_wait = registry.histogram(QUEUE_WAIT_HISTOGRAM);
+        let commit = registry.histogram(COMMIT_HISTOGRAM);
+        let maintenance = registry.histogram(MAINTENANCE_HISTOGRAM);
+        let fsync = registry.histogram(FSYNC_HISTOGRAM);
+        let checkpoint = registry.histogram(CHECKPOINT_HISTOGRAM);
+        EngineTelemetry {
+            sampler: Sampler::new(config.trace_sample_every),
+            slow_threshold_nanos: u64::try_from(config.slow_threshold.as_nanos())
+                .unwrap_or(u64::MAX),
+            serve,
+            queue_wait,
+            commit,
+            maintenance,
+            fsync,
+            checkpoint,
+            in_flight: AtomicU64::new(0),
+            traces_emitted: AtomicU64::new(0),
+            registry,
+        }
+    }
+
+    /// True when `service_nanos` crosses the slow threshold.
+    pub fn is_slow(&self, service_nanos: u64) -> bool {
+        service_nanos >= self.slow_threshold_nanos
+    }
+
+    /// Marks a request in flight; the guard decrements on every exit path.
+    pub fn enter(&self) -> InFlightGuard<'_> {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard(&self.in_flight)
+    }
+
+    /// Publishes a finished trace: bumps the emitted counter and offers it to
+    /// the slow log (which retains only the worst K per axis).
+    pub fn emit(&self, trace: RequestTrace) -> Arc<RequestTrace> {
+        let trace = Arc::new(trace);
+        self.traces_emitted.fetch_add(1, Ordering::Relaxed);
+        self.registry.slow_log().offer(Arc::clone(&trace));
+        trace
+    }
+}
+
+/// RAII decrement of the in-flight gauge.
+#[derive(Debug)]
+pub(crate) struct InFlightGuard<'a>(&'a AtomicU64);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}

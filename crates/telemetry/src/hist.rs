@@ -1,0 +1,369 @@
+//! Lock-free log-linear latency histogram.
+//!
+//! [`LatencyHistogram`] buckets `u64` nanosecond values into a **log-linear**
+//! grid: each power-of-two octave is split into 32 linear sub-buckets, so the
+//! representative value of any bucket is within **±1/64 ≈ 1.6 %** of every
+//! value the bucket can hold (values below 32 ns get exact unit buckets).
+//! Recording is wait-free — one relaxed `fetch_add` on the bucket, one on the
+//! running sum, and a `fetch_max`/`fetch_min` pair for the exact extrema — so
+//! the histogram can sit on a serving hot path shared by many threads.
+//!
+//! [`HistogramSnapshot`] is a plain-data copy of the counts taken with relaxed
+//! loads; snapshots merge associatively (`merge(a, b)` is indistinguishable
+//! from having recorded the union of both value streams) and answer quantile
+//! queries by cumulative walk. `quantile(1.0)` returns the exact recorded
+//! maximum, not a bucket representative.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-bucket resolution: each octave `[2^k, 2^{k+1})` is split into
+/// `2^SUB_BITS = 32` linear buckets.
+const SUB_BITS: u32 = 5;
+/// Number of linear sub-buckets per octave (and of exact unit buckets).
+const SUB: u64 = 1 << SUB_BITS;
+/// Highest octave exponent: the last bucket range is `[2^41, 2^42)` ns,
+/// i.e. the histogram resolves values up to ~73 minutes; larger values are
+/// clamped into the top bucket (their exact magnitude survives in `max`).
+const MAX_EXP: u32 = 41;
+/// Largest value that lands in a real bucket (larger values clamp here).
+const MAX_VALUE: u64 = (1 << (MAX_EXP + 1)) - 1;
+/// Total bucket count: 32 exact unit buckets + 37 octaves x 32 sub-buckets.
+const BUCKETS: usize = SUB as usize + ((MAX_EXP - SUB_BITS + 1) as usize) * SUB as usize;
+
+/// Maps a raw nanosecond value to its bucket index.
+fn index_of(raw: u64) -> usize {
+    let v = raw.min(MAX_VALUE);
+    if v < SUB {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros();
+    let sub = ((v - (1u64 << exp)) >> (exp - SUB_BITS)) as usize;
+    SUB as usize + ((exp - SUB_BITS) as usize * SUB as usize) + sub
+}
+
+/// Inclusive lower bound of the value range covered by bucket `idx`.
+fn lower_bound(idx: usize) -> u64 {
+    if idx < SUB as usize {
+        return idx as u64;
+    }
+    let rel = idx - SUB as usize;
+    let exp = (rel as u32 / SUB as u32) + SUB_BITS;
+    let sub = (rel as u64) % SUB;
+    (1u64 << exp) + (sub << (exp - SUB_BITS))
+}
+
+/// Representative value reported for bucket `idx` (its midpoint — the point
+/// that minimises worst-case relative error over the bucket's range).
+fn representative(idx: usize) -> u64 {
+    if idx < SUB as usize {
+        return idx as u64;
+    }
+    let rel = idx - SUB as usize;
+    let exp = (rel as u32 / SUB as u32) + SUB_BITS;
+    let width = 1u64 << (exp - SUB_BITS);
+    lower_bound(idx) + width / 2
+}
+
+/// Worst-case relative error of the representative value for any value that
+/// can land in bucket `idx` (0 for the exact unit buckets).
+pub fn bucket_relative_error(idx: usize) -> f64 {
+    if idx < SUB as usize {
+        return 0.0;
+    }
+    let rel = idx - SUB as usize;
+    let exp = (rel as u32 / SUB as u32) + SUB_BITS;
+    let width = 1u64 << (exp - SUB_BITS);
+    // representative is the midpoint; the farthest value in the bucket is
+    // width/2 away, relative to at least the bucket's lower bound.
+    (width as f64 / 2.0) / lower_bound(idx) as f64
+}
+
+/// A lock-free log-linear histogram of `u64` nanosecond values.
+///
+/// The module-level docs describe the bucket layout and error bounds.
+/// All methods take `&self`; the histogram is safe to share across threads
+/// behind an `Arc` and recording never blocks.
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram (~10 KB of atomics, allocated once).
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Records one nanosecond value. Wait-free; relaxed atomics only.
+    pub fn record(&self, nanos: u64) {
+        self.buckets[index_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+        self.min.fetch_min(nanos, Ordering::Relaxed);
+    }
+
+    /// Records a [`Duration`] (saturating at the `u64` nanosecond ceiling).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Takes a plain-data copy of the current counts.
+    ///
+    /// The copy is made with relaxed per-bucket loads; concurrent recorders
+    /// may land between loads, so the snapshot is a *weakly consistent* cut —
+    /// every recorded value is either fully in or fully out once recorders
+    /// quiesce.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// An immutable, mergeable copy of a [`LatencyHistogram`]'s counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+    min: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (identity element of [`merge`](Self::merge)).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    /// Number of values in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no values have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all recorded nanosecond values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Arithmetic mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`.
+    ///
+    /// Returns the representative (midpoint) of the bucket holding the
+    /// rank-`ceil(q·count)` value, clamped to the exact recorded extrema;
+    /// `quantile(1.0)` is the exact maximum. The result is within the
+    /// bucket's relative-error bound (≤ 1/64) of the true order statistic.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            return self.max;
+        }
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return representative(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (`quantile(0.5)`).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Folds another snapshot into this one.
+    ///
+    /// The result is bucket-for-bucket identical to a snapshot of a histogram
+    /// that recorded both value streams (merge is associative and
+    /// commutative, with [`empty`](Self::empty) as identity).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_buckets_are_exact() {
+        for v in 0..SUB {
+            assert_eq!(lower_bound(index_of(v)), v);
+            assert_eq!(representative(index_of(v)), v);
+            assert_eq!(bucket_relative_error(index_of(v)), 0.0);
+        }
+    }
+
+    #[test]
+    fn buckets_partition_the_range() {
+        // every bucket's lower bound maps back to that bucket, and bucket
+        // lower bounds are strictly increasing.
+        let mut prev = None;
+        for idx in 0..BUCKETS {
+            let lo = lower_bound(idx);
+            assert_eq!(index_of(lo), idx, "lower bound of bucket {idx} maps back");
+            if let Some(p) = prev {
+                assert!(lo > p, "bucket bounds increase at {idx}");
+            }
+            prev = Some(lo);
+        }
+        // the value just below the next bucket's bound still maps here.
+        for idx in 0..BUCKETS - 1 {
+            assert_eq!(index_of(lower_bound(idx + 1) - 1), idx);
+        }
+        assert_eq!(index_of(MAX_VALUE), BUCKETS - 1);
+        assert_eq!(index_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_bound_holds_everywhere() {
+        for idx in SUB as usize..BUCKETS {
+            assert!(bucket_relative_error(idx) <= 1.0 / 64.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantiles_of_known_sequence() {
+        let h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1µs .. 1ms
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.max(), 1_000_000);
+        assert_eq!(s.min(), 1000);
+        assert_eq!(s.quantile(1.0), 1_000_000, "q=1.0 is the exact max");
+        let p50 = s.p50() as f64;
+        assert!((p50 - 500_000.0).abs() / 500_000.0 < 0.02, "p50 = {p50}");
+        let p99 = s.p99() as f64;
+        assert!((p99 - 990_000.0).abs() / 990_000.0 < 0.02, "p99 = {p99}");
+    }
+
+    #[test]
+    fn merge_matches_union() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let u = LatencyHistogram::new();
+        for v in [0u64, 1, 31, 32, 33, 1000, 123_456_789, MAX_VALUE, u64::MAX] {
+            a.record(v);
+            u.record(v);
+            b.record(v.saturating_add(7));
+            u.record(v.saturating_add(7));
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m, u.snapshot());
+    }
+
+    #[test]
+    fn empty_snapshot_reports_zeros() {
+        let s = LatencyHistogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! # `si-telemetry` — the observability plane
+//!
+//! Dependency-free building blocks for observing the scale-independent
+//! serving stack. The crate knows nothing about queries, plans, or
+//! snapshots — it provides the primitives the layers above thread through
+//! their hot paths:
+//!
+//! * [`LatencyHistogram`] — a lock-free log-linear histogram (32 linear
+//!   sub-buckets per power-of-two octave, ≤ 1/64 relative error from
+//!   nanoseconds to ~73 minutes) with mergeable [`HistogramSnapshot`]s and
+//!   exact max tracking. Used for serve latency, commit and maintenance
+//!   latency, WAL fsync latency, and worker-pool queue wait.
+//! * [`RequestTrace`] / [`PhaseClock`] — per-request flight records: phase
+//!   timings that partition the service interval by construction, plan
+//!   provenance, estimated-vs-actual tuples, routed-vs-fanned shard probes,
+//!   and batch membership. [`Sampler`] decides which requests trace inline.
+//! * [`SlowLog`] — a bounded worst-K log (by latency *and* by tuples
+//!   fetched) of slow or sampled traces.
+//! * [`CommitSpan`] / [`CommitLog`] — the write-side spans: gather size,
+//!   merge/apply/fsync/checkpoint/maintenance breakdown per commit pass.
+//! * [`TelemetryRegistry`] — the scrape surface: named histograms plus
+//!   collector closures, rendered as Prometheus-style
+//!   `name{label="v"} value` text by [`TelemetryRegistry::render`].
+//!
+//! Everything is hand-rolled on `std` atomics and mutexes — no external
+//! dependencies — and recording paths never block: histograms are wait-free,
+//! and the slow/commit logs take a short mutex only for requests that were
+//! already sampled as interesting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod registry;
+mod slowlog;
+mod spans;
+mod trace;
+
+pub use hist::{bucket_relative_error, HistogramSnapshot, LatencyHistogram};
+pub use registry::{Collector, Kind, MetricValue, Sample, TelemetryConfig, TelemetryRegistry};
+pub use slowlog::SlowLog;
+pub use spans::{CommitLog, CommitSpan};
+pub use trace::{
+    BatchMembership, Phase, PhaseClock, PhaseTimings, Provenance, RequestTrace, Sampler,
+};
+
+// The whole plane must be shareable across serving threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<LatencyHistogram>();
+    assert_send_sync::<SlowLog>();
+    assert_send_sync::<CommitLog>();
+    assert_send_sync::<TelemetryRegistry>();
+    assert_send_sync::<Sampler>();
+};

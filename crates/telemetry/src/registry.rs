@@ -1,0 +1,298 @@
+//! Metrics registry with Prometheus-style text exposition.
+//!
+//! [`TelemetryRegistry`] is the scrape surface of the observability plane:
+//! it owns the named [`LatencyHistogram`]s, the [`SlowLog`], the
+//! [`CommitLog`], and a list of *collector* closures registered by the layers
+//! above it (the engine registers one that snapshots its counters and
+//! gauges). [`TelemetryRegistry::render`] runs every collector and emits one
+//! `name{label="v"} value` line per sample plus a quantile summary per
+//! histogram — a single string an operator (or test) can scrape.
+
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+use crate::hist::LatencyHistogram;
+use crate::slowlog::SlowLog;
+use crate::spans::CommitLog;
+
+/// Whether a sample is a monotone counter or an instantaneous gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotonically non-decreasing total.
+    Counter,
+    /// Point-in-time level that can move both ways.
+    Gauge,
+}
+
+/// A sample value: integer counters stay exact, ratios render as floats.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Exact integer value.
+    Int(u64),
+    /// Floating-point value (rendered with full precision).
+    Float(f64),
+}
+
+impl From<u64> for MetricValue {
+    fn from(v: u64) -> Self {
+        MetricValue::Int(v)
+    }
+}
+
+impl From<usize> for MetricValue {
+    fn from(v: usize) -> Self {
+        MetricValue::Int(v as u64)
+    }
+}
+
+impl From<f64> for MetricValue {
+    fn from(v: f64) -> Self {
+        MetricValue::Float(v)
+    }
+}
+
+impl fmt::Display for MetricValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricValue::Int(v) => write!(f, "{v}"),
+            MetricValue::Float(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One exposition line: a named, optionally labelled value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name (`[a-z_][a-z0-9_]*` by convention).
+    pub name: String,
+    /// Label pairs rendered inside `{…}` (empty = no braces).
+    pub labels: Vec<(String, String)>,
+    /// Counter or gauge.
+    pub kind: Kind,
+    /// The value.
+    pub value: MetricValue,
+}
+
+impl Sample {
+    /// Convenience constructor for an unlabelled counter.
+    pub fn counter(name: impl Into<String>, value: impl Into<MetricValue>) -> Self {
+        Sample {
+            name: name.into(),
+            labels: Vec::new(),
+            kind: Kind::Counter,
+            value: value.into(),
+        }
+    }
+
+    /// Convenience constructor for an unlabelled gauge.
+    pub fn gauge(name: impl Into<String>, value: impl Into<MetricValue>) -> Self {
+        Sample {
+            name: name.into(),
+            labels: Vec::new(),
+            kind: Kind::Gauge,
+            value: value.into(),
+        }
+    }
+
+    /// Adds a label pair (builder style).
+    pub fn label(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.labels.push((key.into(), value.into()));
+        self
+    }
+
+    /// Renders the sample as one exposition line (no trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = self.name.clone();
+        if !self.labels.is_empty() {
+            out.push('{');
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(k);
+                out.push_str("=\"");
+                // minimal escaping per the Prometheus text format
+                for c in v.chars() {
+                    match c {
+                        '\\' => out.push_str("\\\\"),
+                        '"' => out.push_str("\\\""),
+                        '\n' => out.push_str("\\n"),
+                        _ => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out.push(' ');
+        out.push_str(&self.value.to_string());
+        out
+    }
+}
+
+/// A closure that contributes samples at scrape time.
+pub type Collector = Box<dyn Fn(&mut Vec<Sample>) + Send + Sync>;
+
+/// Construction knobs for [`TelemetryRegistry`].
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetryConfig {
+    /// Worst-K capacity of the slow-query log (per axis; 0 disables).
+    pub slow_log_capacity: usize,
+    /// Ring capacity of the commit-span log (0 disables).
+    pub commit_log_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            slow_log_capacity: 32,
+            commit_log_capacity: 64,
+        }
+    }
+}
+
+/// The scrape surface: histograms + collectors + slow log + commit log.
+pub struct TelemetryRegistry {
+    histograms: RwLock<Vec<(String, Arc<LatencyHistogram>)>>,
+    collectors: RwLock<Vec<Collector>>,
+    slow_log: SlowLog,
+    commit_log: CommitLog,
+}
+
+impl TelemetryRegistry {
+    /// Creates an empty registry.
+    pub fn new(config: TelemetryConfig) -> Self {
+        TelemetryRegistry {
+            histograms: RwLock::new(Vec::new()),
+            collectors: RwLock::new(Vec::new()),
+            slow_log: SlowLog::new(config.slow_log_capacity),
+            commit_log: CommitLog::new(config.commit_log_capacity),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it on first
+    /// use. The `Arc` can be cached by hot paths; recording never goes
+    /// through the registry lock.
+    pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {
+        {
+            let hists = self.histograms.read().expect("registry poisoned");
+            if let Some((_, h)) = hists.iter().find(|(n, _)| n == name) {
+                return Arc::clone(h);
+            }
+        }
+        let mut hists = self.histograms.write().expect("registry poisoned");
+        if let Some((_, h)) = hists.iter().find(|(n, _)| n == name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(LatencyHistogram::new());
+        hists.push((name.to_string(), Arc::clone(&h)));
+        h
+    }
+
+    /// Registers a collector closure run at every scrape.
+    pub fn register_collector(&self, collector: impl Fn(&mut Vec<Sample>) + Send + Sync + 'static) {
+        self.collectors
+            .write()
+            .expect("registry poisoned")
+            .push(Box::new(collector));
+    }
+
+    /// The slow-query log.
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.slow_log
+    }
+
+    /// The commit-span log.
+    pub fn commit_log(&self) -> &CommitLog {
+        &self.commit_log
+    }
+
+    /// Gathers all collector samples (without histogram summaries).
+    pub fn samples(&self) -> Vec<Sample> {
+        let mut out = Vec::new();
+        for c in self.collectors.read().expect("registry poisoned").iter() {
+            c(&mut out);
+        }
+        out
+    }
+
+    /// Renders the full exposition page.
+    ///
+    /// Collector samples come first (in registration order), then one
+    /// summary block per histogram: `name{quantile="0.5|0.95|0.99"}`,
+    /// `name_max`, `name_count`, `name_sum` — quantiles are bucket
+    /// representatives (≤ 1/64 relative error), max is exact.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in self.samples() {
+            out.push_str(&s.render());
+            out.push('\n');
+        }
+        let hists = self.histograms.read().expect("registry poisoned");
+        for (name, h) in hists.iter() {
+            let s = h.snapshot();
+            for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                out.push_str(
+                    &Sample::gauge(name.clone(), s.quantile(q))
+                        .label("quantile", label)
+                        .render(),
+                );
+                out.push('\n');
+            }
+            out.push_str(&Sample::gauge(format!("{name}_max"), s.max()).render());
+            out.push('\n');
+            out.push_str(&Sample::counter(format!("{name}_count"), s.count()).render());
+            out.push('\n');
+            out.push_str(&Sample::counter(format!("{name}_sum"), s.sum()).render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Debug for TelemetryRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let hists = self.histograms.read().expect("registry poisoned");
+        f.debug_struct("TelemetryRegistry")
+            .field(
+                "histograms",
+                &hists.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+            )
+            .field(
+                "collectors",
+                &self.collectors.read().expect("registry poisoned").len(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_rendering_and_escaping() {
+        let s = Sample::counter("si_requests", 7u64);
+        assert_eq!(s.render(), "si_requests 7");
+        let s = Sample::gauge("si_rows", 3u64).label("shard", "a\"b\\c");
+        assert_eq!(s.render(), "si_rows{shard=\"a\\\"b\\\\c\"} 3");
+        let s = Sample::gauge("ratio", 0.5f64);
+        assert_eq!(s.render(), "ratio 0.5");
+    }
+
+    #[test]
+    fn collectors_and_histograms_render() {
+        let reg = TelemetryRegistry::new(TelemetryConfig::default());
+        reg.register_collector(|out| out.push(Sample::counter("si_requests", 42u64)));
+        let h = reg.histogram("si_serve_latency_ns");
+        h.record(1000);
+        h.record(2000);
+        // get-or-create returns the same histogram
+        assert_eq!(reg.histogram("si_serve_latency_ns").count(), 2);
+        let page = reg.render();
+        assert!(page.contains("si_requests 42"));
+        assert!(page.contains("si_serve_latency_ns{quantile=\"0.5\"}"));
+        assert!(page.contains("si_serve_latency_ns_count 2"));
+        assert!(page.contains("si_serve_latency_ns_max 2000"));
+    }
+}

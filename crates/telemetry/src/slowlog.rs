@@ -1,0 +1,196 @@
+//! Bounded slow-query log: worst-K requests by latency and by tuples fetched.
+//!
+//! [`SlowLog`] keeps two independent worst-K rankings over the traces offered
+//! to it — one ordered by service latency, one by tuples fetched — each
+//! bounded at the configured capacity. Traces are stored behind `Arc`s so a
+//! request that is extreme on both axes costs one allocation, not two.
+
+use std::sync::{Arc, Mutex};
+
+use crate::trace::RequestTrace;
+
+/// A bounded worst-K log of slow / expensive request traces.
+///
+/// `offer` is called with every sampled-or-slow trace; the log keeps only the
+/// worst `capacity` on each axis, so memory is bounded regardless of traffic.
+/// A capacity of 0 disables the log entirely.
+#[derive(Debug)]
+pub struct SlowLog {
+    capacity: usize,
+    inner: Mutex<SlowInner>,
+}
+
+#[derive(Debug, Default)]
+struct SlowInner {
+    /// Kept sorted descending by `total_nanos`, truncated at capacity.
+    by_latency: Vec<Arc<RequestTrace>>,
+    /// Kept sorted descending by `fetched_tuples`, truncated at capacity.
+    by_tuples: Vec<Arc<RequestTrace>>,
+    /// Total traces ever offered (admitted or not).
+    offered: u64,
+}
+
+impl SlowLog {
+    /// Creates a log keeping the worst `capacity` traces on each axis.
+    pub fn new(capacity: usize) -> Self {
+        SlowLog {
+            capacity,
+            inner: Mutex::new(SlowInner::default()),
+        }
+    }
+
+    /// Configured per-axis capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers a trace; it is retained only if it ranks among the worst K on
+    /// either axis.
+    pub fn offer(&self, trace: Arc<RequestTrace>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("slow log poisoned");
+        inner.offered += 1;
+        let cap = self.capacity;
+        insert_ranked(&mut inner.by_latency, Arc::clone(&trace), cap, |t| {
+            t.total_nanos
+        });
+        insert_ranked(&mut inner.by_tuples, trace, cap, |t| t.fetched_tuples);
+    }
+
+    /// Worst traces by service latency, slowest first.
+    pub fn worst_by_latency(&self) -> Vec<Arc<RequestTrace>> {
+        self.inner
+            .lock()
+            .expect("slow log poisoned")
+            .by_latency
+            .clone()
+    }
+
+    /// Worst traces by tuples fetched, heaviest first.
+    pub fn worst_by_tuples(&self) -> Vec<Arc<RequestTrace>> {
+        self.inner
+            .lock()
+            .expect("slow log poisoned")
+            .by_tuples
+            .clone()
+    }
+
+    /// Total traces ever offered to the log.
+    pub fn offered(&self) -> u64 {
+        self.inner.lock().expect("slow log poisoned").offered
+    }
+
+    /// Number of traces currently retained on the latency axis.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("slow log poisoned")
+            .by_latency
+            .len()
+    }
+
+    /// True when nothing has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Human-readable rendering of both rankings.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().expect("slow log poisoned");
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# slow log: {} offered, worst {} kept per axis\n",
+            inner.offered, self.capacity
+        ));
+        out.push_str("## worst by latency\n");
+        for t in &inner.by_latency {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        out.push_str("## worst by tuples fetched\n");
+        for t in &inner.by_tuples {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Inserts `trace` into `ranked` (sorted descending by `key`), keeping at
+/// most `cap` entries. Ties keep earlier entries first (stable).
+fn insert_ranked(
+    ranked: &mut Vec<Arc<RequestTrace>>,
+    trace: Arc<RequestTrace>,
+    cap: usize,
+    key: impl Fn(&RequestTrace) -> u64,
+) {
+    let k = key(&trace);
+    if ranked.len() == cap {
+        if let Some(last) = ranked.last() {
+            if key(last) >= k {
+                return; // does not rank
+            }
+        }
+    }
+    let pos = ranked.partition_point(|t| key(t) >= k);
+    ranked.insert(pos, trace);
+    ranked.truncate(cap);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{PhaseTimings, Provenance};
+
+    fn trace(nanos: u64, tuples: u64) -> Arc<RequestTrace> {
+        Arc::new(RequestTrace {
+            shape: format!("q{nanos}"),
+            epoch: 0,
+            phases: PhaseTimings::default(),
+            phases_recorded: false,
+            total_nanos: nanos,
+            queue_wait_nanos: 0,
+            provenance: Provenance::Planned { cache_hit: false },
+            estimated_tuples: 0.0,
+            fetched_tuples: tuples,
+            answers: 0,
+            routed_fetches: 0,
+            fanned_fetches: 0,
+            batch: None,
+            slow: true,
+        })
+    }
+
+    #[test]
+    fn keeps_worst_k_on_both_axes() {
+        let log = SlowLog::new(3);
+        // latency ascending, tuples descending: the two rankings differ.
+        for i in 0..10u64 {
+            log.offer(trace(i * 100, 1000 - i));
+        }
+        let lat: Vec<u64> = log
+            .worst_by_latency()
+            .iter()
+            .map(|t| t.total_nanos)
+            .collect();
+        assert_eq!(lat, vec![900, 800, 700]);
+        let tup: Vec<u64> = log
+            .worst_by_tuples()
+            .iter()
+            .map(|t| t.fetched_tuples)
+            .collect();
+        assert_eq!(tup, vec![1000, 999, 998]);
+        assert_eq!(log.offered(), 10);
+        assert!(log.render().contains("worst by latency"));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let log = SlowLog::new(0);
+        log.offer(trace(1, 1));
+        assert!(log.is_empty());
+        assert_eq!(log.offered(), 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Commit-path and durability spans.
+//!
+//! A [`CommitSpan`] is the write-side counterpart of a request trace: one
+//! record per commit pass, breaking the pass into delta gathering/merging,
+//! WAL append (with the fsync isolated), snapshot application, checkpoint
+//! publication, and per-shard materialized-answer maintenance. Spans land in
+//! a bounded [`CommitLog`] ring so the recent write-path history is always
+//! inspectable.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Timing and size breakdown of one commit pass.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CommitSpan {
+    /// Epoch produced by this commit.
+    pub epoch: u64,
+    /// Number of deltas gathered into the pass (1 for an unbatched commit).
+    pub gather_size: u64,
+    /// Net operations applied after folding.
+    pub ops: u64,
+    /// Folding the gathered deltas into one net-effect delta.
+    pub merge_nanos: u64,
+    /// WAL record append, including the fsync.
+    pub wal_nanos: u64,
+    /// The fsync portion alone (0 when running without durability).
+    pub fsync_nanos: u64,
+    /// Applying the folded delta to the snapshot store.
+    pub apply_nanos: u64,
+    /// Checkpoint serialization + publish (0 when no checkpoint was taken).
+    pub checkpoint_nanos: u64,
+    /// Materialized-answer maintenance, total across shards.
+    pub maintenance_nanos: u64,
+    /// Maintenance time per shard (empty when unsharded or nothing to
+    /// maintain; index = shard id).
+    pub shard_maintenance_nanos: Vec<u64>,
+    /// End-to-end duration of the commit pass.
+    pub total_nanos: u64,
+}
+
+impl CommitSpan {
+    /// One-line human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "epoch={} gathered={} ops={} total={}µs merge={}µs wal={}µs fsync={}µs apply={}µs ckpt={}µs maint={}µs",
+            self.epoch,
+            self.gather_size,
+            self.ops,
+            self.total_nanos / 1000,
+            self.merge_nanos / 1000,
+            self.wal_nanos / 1000,
+            self.fsync_nanos / 1000,
+            self.apply_nanos / 1000,
+            self.checkpoint_nanos / 1000,
+            self.maintenance_nanos / 1000,
+        );
+        if !self.shard_maintenance_nanos.is_empty() {
+            let per: Vec<String> = self
+                .shard_maintenance_nanos
+                .iter()
+                .map(|n| format!("{}µs", n / 1000))
+                .collect();
+            out.push_str(&format!(" per_shard=[{}]", per.join(", ")));
+        }
+        out
+    }
+}
+
+/// Bounded ring of the most recent [`CommitSpan`]s.
+#[derive(Debug)]
+pub struct CommitLog {
+    capacity: usize,
+    inner: Mutex<VecDeque<CommitSpan>>,
+}
+
+impl CommitLog {
+    /// Creates a ring keeping the last `capacity` spans (0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        CommitLog {
+            capacity,
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Records a span, evicting the oldest when full.
+    pub fn record(&self, span: CommitSpan) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut ring = self.inner.lock().expect("commit log poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(span);
+    }
+
+    /// The retained spans, oldest first.
+    pub fn recent(&self) -> Vec<CommitSpan> {
+        self.inner
+            .lock()
+            .expect("commit log poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("commit log poisoned").len()
+    }
+
+    /// True when no spans are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Human-readable rendering, oldest first.
+    pub fn render(&self) -> String {
+        let ring = self.inner.lock().expect("commit log poisoned");
+        let mut out = String::from("# recent commits\n");
+        for span in ring.iter() {
+            out.push_str(&span.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let log = CommitLog::new(2);
+        for epoch in 1..=3 {
+            log.record(CommitSpan {
+                epoch,
+                ..CommitSpan::default()
+            });
+        }
+        let epochs: Vec<u64> = log.recent().iter().map(|s| s.epoch).collect();
+        assert_eq!(epochs, vec![2, 3]);
+        assert!(log.render().contains("epoch=3"));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let log = CommitLog::new(0);
+        log.record(CommitSpan::default());
+        assert!(log.is_empty());
+    }
+}

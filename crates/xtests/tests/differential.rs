@@ -245,6 +245,7 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
     let mut batched_shared_fetches = 0u64;
     let mut recoveries = 0u64;
     let mut durable_materialized_hits = 0u64;
+    let mut traced_requests = 0u64;
 
     for seed in 0..SEEDS {
         let (db, access, shapes) = scenario(seed);
@@ -266,6 +267,23 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
             EngineConfig {
                 workers: 1,
                 stats_drift_threshold: 0.1,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        // Seventh arm: identical config to `with` but with request tracing
+        // on at sample rate 1 — the observability plane must not perturb
+        // answers, epochs, or materialization, and every served request
+        // must emit a trace.
+        let traced = Engine::new(
+            db.clone(),
+            access.clone(),
+            EngineConfig {
+                workers: 1,
+                materialize_capacity: 32,
+                materialize_after: 1 + seed % 2,
+                stats_drift_threshold: 0.1,
+                trace_sample_every: 1,
                 ..EngineConfig::default()
             },
         )
@@ -355,7 +373,9 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
                 let epoch_sharded = sharded.commit(&delta).unwrap();
                 let epoch_batched = batched.commit(&delta).unwrap();
                 let epoch_durable = durable.commit(&delta).unwrap();
+                let epoch_traced = traced.commit(&delta).unwrap();
                 assert_eq!(epoch_with, epoch_without, "seed {seed} op {op}");
+                assert_eq!(epoch_with, epoch_traced, "seed {seed} op {op}");
                 assert_eq!(epoch_with, epoch_sharded, "seed {seed} op {op}");
                 assert_eq!(epoch_with, epoch_batched, "seed {seed} op {op}");
                 assert_eq!(epoch_with, epoch_durable, "seed {seed} op {op}");
@@ -396,6 +416,7 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
                 let b = without.execute(&request).unwrap();
                 let c = sharded.execute(&request).unwrap();
                 let d = durable.execute(&request).unwrap();
+                let t = traced.execute(&request).unwrap();
                 let expected = naive_answers(query, parameter, p, &oracle);
                 let mut got_a = a.answers.clone();
                 got_a.sort();
@@ -431,6 +452,18 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
                 assert_eq!(a.epoch, b.epoch, "seed {seed} op {op}");
                 assert_eq!(a.epoch, c.epoch, "seed {seed} op {op}");
                 assert_eq!(a.epoch, d.epoch, "seed {seed} op {op}");
+                let mut got_t = t.answers.clone();
+                got_t.sort();
+                assert_eq!(
+                    got_t, expected,
+                    "traced engine diverged: seed {seed} op {op} query {} p {p} epoch {}",
+                    query.name, t.epoch
+                );
+                assert_eq!(a.epoch, t.epoch, "seed {seed} op {op}");
+                assert_eq!(
+                    a.materialized, t.materialized,
+                    "traced materialized flag diverged: seed {seed} op {op}"
+                );
                 if d.materialized {
                     durable_materialized_hits += 1;
                 }
@@ -468,6 +501,14 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
         );
         batched_group_members += mb.batched_requests;
         batched_shared_fetches += mb.shared_fetches;
+        // At sample rate 1 the traced arm accounts for 100% of its served
+        // requests: exactly one trace per request, no more, no less.
+        let mt = traced.metrics();
+        assert_eq!(
+            mt.traces_emitted, mt.requests,
+            "tracing must cover every served request: seed {seed}"
+        );
+        traced_requests += mt.requests;
         let m = with.metrics();
         maintenance_runs += m.maintenance_runs;
         maintenance_fallbacks += m.maintenance_fallbacks;
@@ -526,6 +567,11 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
         durable_materialized_hits > 100,
         "only {durable_materialized_hits} durable materialized hits across the suite"
     );
+    // The traced arm really served (and traced) the full schedule.
+    assert!(
+        traced_requests > 1_500,
+        "only {traced_requests} traced requests across the suite"
+    );
     println!(
         "differential: {queries_checked} queries checked, 0 divergent \
          ({materialized_hits} materialized hits, {maintenance_runs} maintenance runs, \
@@ -533,6 +579,7 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
          {sharded_materialized_hits} materialized hits, {sharded_maintenance_runs} \
          maintenance runs; batched arm: {batched_group_members} grouped requests, \
          {batched_shared_fetches} shared fetches; durable arm: {recoveries} recoveries, \
-         {durable_materialized_hits} materialized hits after cold restarts)"
+         {durable_materialized_hits} materialized hits after cold restarts; traced arm: \
+         {traced_requests} requests, every one traced)"
     );
 }
