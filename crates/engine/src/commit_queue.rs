@@ -55,8 +55,20 @@ impl CommitTicket {
     }
 
     /// Returns the outcome if it is already known.
+    ///
+    /// A ticket whose committer is gone without deciding the delta (the
+    /// thread panicked, or teardown raced the reply) reports
+    /// [`EngineError::ShuttingDown`] — a final outcome, **not** `None`:
+    /// `None` means "still pending", and a poll loop that kept seeing it
+    /// for an abandoned ticket would spin forever.  Consequently the
+    /// outcome is handed out once; polling again after receiving it also
+    /// reports `ShuttingDown`.
     pub fn try_wait(&self) -> Option<crate::Result<u64>> {
-        self.receiver.try_recv().ok()
+        match self.receiver.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(EngineError::ShuttingDown)),
+        }
     }
 }
 
@@ -179,5 +191,28 @@ fn run(shared: &Shared, receiver: &mpsc::Receiver<CommitMsg>) {
         for flush in flushes {
             let _ = flush.send(());
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abandoned_tickets_report_shutdown_instead_of_pending_forever() {
+        // A reply channel whose sender is gone without a message models a
+        // committer that died mid-batch: the ticket's outcome is final.
+        let (sender, receiver) = mpsc::channel();
+        let ticket = CommitTicket { receiver };
+        drop(sender);
+        assert_eq!(ticket.try_wait(), Some(Err(EngineError::ShuttingDown)));
+        assert_eq!(ticket.wait(), Err(EngineError::ShuttingDown));
+
+        // A pending ticket still polls as pending.
+        let (sender, receiver) = mpsc::channel();
+        let ticket = CommitTicket { receiver };
+        assert_eq!(ticket.try_wait(), None);
+        sender.send(Ok(7)).unwrap();
+        assert_eq!(ticket.try_wait(), Some(Ok(7)));
     }
 }

@@ -70,16 +70,20 @@ pub mod error;
 pub mod materialize;
 mod pool;
 pub mod shape;
+pub mod subscribe;
 mod telemetry;
 
 pub use cache::{CachedPlan, PlanCache};
 pub use commit_queue::CommitTicket;
 pub use error::EngineError;
-pub use materialize::{MaintenanceSummary, MaterializedAnswer, MaterializedKey, MaterializedSet};
+pub use materialize::{
+    AnswerChange, MaintenanceSummary, MaterializedAnswer, MaterializedKey, MaterializedSet, PinSet,
+};
 pub use shape::{canonicalize, CanonicalQuery, ShapeKey};
 pub use si_telemetry::{
     BatchMembership, CommitSpan, Phase, PhaseTimings, Provenance, RequestTrace, TelemetryRegistry,
 };
+pub use subscribe::{AnswerUpdate, ChangeSet, ObservableQuery, SubscriptionRegistry};
 
 use si_access::{AccessSchema, ShardedAccess, SnapshotAccess};
 use si_core::bounded::{
@@ -98,7 +102,7 @@ use si_data::{
 use si_durability::{Checkpoint, CheckpointBackend, DurabilityConfig, DurabilityError, Wal};
 use si_query::{ConjunctiveQuery, Var};
 use si_telemetry::{PhaseClock, Sample};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -178,6 +182,12 @@ pub struct EngineConfig {
     /// Service time at or above this marks a request slow: its trace is
     /// flagged `slow` and offered to the slow log even when unsampled.
     pub slow_threshold: Duration,
+    /// Bounded per-subscriber update queue depth for
+    /// [`Engine::subscribe`] (≥ 1).  A subscriber whose queue is full does
+    /// **not** block the committer: the queue is collapsed into a single
+    /// [`AnswerUpdate::Resync`] carrying the current full answer
+    /// (drop-to-resync backpressure).
+    pub subscriber_queue_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -198,6 +208,7 @@ impl Default for EngineConfig {
             trace_sample_every: 0,
             slow_log_capacity: 32,
             slow_threshold: Duration::from_millis(50),
+            subscriber_queue_capacity: 64,
         }
     }
 }
@@ -482,6 +493,18 @@ pub struct EngineMetrics {
     pub in_flight: u64,
     /// Request traces emitted so far: sampled, post-hoc slow, and opted-in.
     pub traces_emitted: u64,
+    /// Live subscription handles (gauge).
+    pub subscribers: u64,
+    /// Answer updates currently queued across all subscribers (gauge).
+    pub subscription_queue_depth: u64,
+    /// Change-sets delivered to subscriber queues so far.
+    pub subscription_deliveries: u64,
+    /// Resync markers delivered so far (registration, maintenance drop,
+    /// queue overflow, recovery re-seeding).
+    pub subscription_resyncs: u64,
+    /// Subscriber-queue overflows so far (each collapsed one queue into a
+    /// single Resync).
+    pub subscription_overflows: u64,
 }
 
 /// Statistics snapshot + the epoch the plan cache keys against.
@@ -535,6 +558,10 @@ pub(crate) struct Shared {
     wal: Option<Mutex<DurableState>>,
     /// The observability plane: registry, histograms, sampler, gauges.
     telemetry: EngineTelemetry,
+    /// The reactive plane: subscribed keys → bounded subscriber queues.
+    /// `Arc`-shared with every [`ObservableQuery`] handle and, across
+    /// [`Engine::recover_with_subscriptions`], with the recovered engine.
+    subscriptions: Arc<SubscriptionRegistry>,
 }
 
 impl Shared {
@@ -1376,6 +1403,7 @@ impl Shared {
         // merged delta instead of n passes.
         let mut maintenance_nanos = 0u64;
         let mut shard_maintenance_nanos: Vec<u64> = Vec::new();
+        let mut subscriber_changes: Vec<AnswerChange> = Vec::new();
         if !self.materialized.is_disabled() {
             let maint_start = Instant::now();
             let touched = merged.touched_relations();
@@ -1389,7 +1417,7 @@ impl Shared {
             // Per-shard maintenance time, summed across maintained entries
             // (empty on single-store backends).
             let shard_nanos: Mutex<Vec<u64>> = Mutex::new(vec![0; base.shard_count()]);
-            let summary = self.materialized.maintain_with(
+            let summary = self.materialized.maintain_tracked(
                 base.epoch(),
                 snapshot.epoch(),
                 &touched,
@@ -1413,17 +1441,32 @@ impl Shared {
                         &shard_nanos,
                     )
                 },
+                // Track answer deltas only for subscribed keys: the pass
+                // already knows exactly which tuples entered/left each
+                // answer, the predicate just gates the per-key diff cost.
+                |key| self.subscriptions.is_subscribed(key),
             );
             self.maintenance_runs
                 .fetch_add(summary.maintained, Ordering::Relaxed);
             self.maintenance_fallbacks
                 .fetch_add(summary.fallbacks, Ordering::Relaxed);
             self.maintenance_meter.merge(&summary.accesses);
+            subscriber_changes = summary.changes;
             maintenance_nanos = nanos_of(maint_start.elapsed());
             self.telemetry.maintenance.record(maintenance_nanos);
             if matches!(&base, EngineSnapshot::Sharded(_)) {
                 shard_maintenance_nanos = shard_nanos.into_inner().expect("shard timing poisoned");
             }
+        }
+
+        // Reactive fan-out, still under the commit lock (the registration
+        // fence): deliver each subscribed key's change-set, and resync every
+        // subscribed key that is *not* current at the committed epoch — the
+        // previously silent fallback-by-drop cases (stale entry, gate
+        // rejection, maintenance error) plus racing re-records all surface
+        // here as an explicit Resync instead of a quietly stalled stream.
+        if !self.subscriptions.is_empty() {
+            self.fan_out(&snapshot, subscriber_changes, pass_start);
         }
 
         // Cheap drift probe: row counts only, no tuple scan.
@@ -1570,6 +1613,165 @@ impl Shared {
         }
     }
 
+    /// Registers a reactive subscription for `request`'s answers (see
+    /// [`Engine::subscribe`]).  Runs under the commit lock so the pin, the
+    /// initial full answer, and the recorded entry all land against one
+    /// epoch — the first maintenance pass after registration starts from
+    /// exactly the state the subscriber was handed.
+    fn subscribe(&self, request: &Request) -> Result<ObservableQuery> {
+        if request.values.len() != request.parameters.len() {
+            return Err(EngineError::ParameterArity {
+                expected: request.parameters.len(),
+                actual: request.values.len(),
+            });
+        }
+        let canonical = canonicalize(&request.query, &request.parameters);
+        let key: MaterializedKey = (canonical.key.clone(), request.values.clone());
+        let _fence = self.commit_lock.lock().expect("commit lock poisoned");
+        let snapshot = self.store.pin();
+        let epoch = snapshot.epoch();
+        let (cached, _cache_hit) = self.plan_for(&snapshot, &canonical)?;
+        let (answers, accesses) = self
+            .run_full_query(&snapshot, &cached.plan, &key.1)
+            .map_err(EngineError::Core)?;
+        // Seeding is write-path work: charge the maintenance meter, not the
+        // serve-path request counters.
+        self.maintenance_meter.merge(&accesses);
+        let full = Arc::new(answers.clone());
+        let observable = self.subscriptions.register(
+            key.clone(),
+            canonical.query.clone(),
+            canonical.parameters.clone(),
+            self.config.subscriber_queue_capacity,
+            epoch,
+            Arc::clone(&full),
+        );
+        // The key is pinned now, so the record is admitted immediately and
+        // survives capacity/cost eviction for as long as the handle lives.
+        self.materialized.record(
+            key,
+            &canonical.query,
+            &canonical.parameters,
+            &answers,
+            epoch,
+            cached.stats_epoch,
+            cached.plan.static_cost(),
+            accesses,
+        );
+        Ok(observable)
+    }
+
+    /// Reactive fan-out of one commit, under the commit lock.
+    ///
+    /// Keys that were incrementally maintained this pass deliver their
+    /// change-set (empty ones are elided inside the registry).  Every other
+    /// subscribed key went through a maintenance drop (stale entry, gate
+    /// rejection, run error) or lost a publish race to a re-recording
+    /// reader — its stream cannot be advanced incrementally, so the
+    /// subscriber gets an explicit [`AnswerUpdate::Resync`] instead of a
+    /// silently stalled stream.
+    fn fan_out(&self, snapshot: &EngineSnapshot, changes: Vec<AnswerChange>, pass_start: Instant) {
+        let epoch = snapshot.epoch();
+        let mut handled: HashSet<MaterializedKey> = HashSet::with_capacity(changes.len());
+        for change in changes {
+            let set = ChangeSet {
+                epoch,
+                added: change.added,
+                removed: change.removed,
+            };
+            let enqueued = self
+                .subscriptions
+                .deliver_changes(&change.key, &set, &change.full);
+            if enqueued > 0 {
+                self.telemetry
+                    .delivery
+                    .record(nanos_of(pass_start.elapsed()));
+            }
+            handled.insert(change.key);
+        }
+        for shape in self.subscriptions.subscribed() {
+            if handled.contains(&shape.key) {
+                continue;
+            }
+            let full = match self.materialized.current_answers(&shape.key, epoch) {
+                // Current without a change-set: a racing reader re-recorded
+                // the entry mid-pass, so the incremental delta was lost.
+                Some(full) => full,
+                // Dropped or missing: recompute from scratch and re-record
+                // (the pin re-admits it for the next pass).  A recompute
+                // failure leaves the key for the next commit's catch-all.
+                None => {
+                    let canonical = CanonicalQuery {
+                        key: shape.key.0.clone(),
+                        query: shape.query,
+                        parameters: shape.parameters,
+                    };
+                    match self.reseed_subscription(snapshot, &canonical, &shape.key) {
+                        Some(full) => full,
+                        None => continue,
+                    }
+                }
+            };
+            let enqueued = self.subscriptions.deliver_resync(&shape.key, epoch, &full);
+            if enqueued > 0 {
+                self.telemetry
+                    .delivery
+                    .record(nanos_of(pass_start.elapsed()));
+            }
+        }
+    }
+
+    /// Recomputes a subscribed answer from scratch against `snapshot` and
+    /// re-records it (pinned, so admission is immediate).  Returns `None` on
+    /// planning or execution failure — the caller retries at a later commit.
+    fn reseed_subscription(
+        &self,
+        snapshot: &EngineSnapshot,
+        canonical: &CanonicalQuery,
+        key: &MaterializedKey,
+    ) -> Option<Arc<Vec<Tuple>>> {
+        let (cached, _cache_hit) = self.plan_for(snapshot, canonical).ok()?;
+        let (answers, accesses) = self.run_full_query(snapshot, &cached.plan, &key.1).ok()?;
+        // Write-path work: charged to maintenance, invisible to the
+        // serve-path request counters.
+        self.maintenance_meter.merge(&accesses);
+        self.materialized.record(
+            key.clone(),
+            &canonical.query,
+            &canonical.parameters,
+            &answers,
+            snapshot.epoch(),
+            cached.stats_epoch,
+            cached.plan.static_cost(),
+            accesses,
+        );
+        Some(Arc::new(answers))
+    }
+
+    /// One bounded plan execution against a pinned version, without any of
+    /// the serve path's tracing or materialization offers (used to seed and
+    /// re-seed subscriptions).
+    fn run_full_query(
+        &self,
+        snapshot: &EngineSnapshot,
+        plan: &BoundedPlan,
+        values: &[Value],
+    ) -> std::result::Result<(Vec<Tuple>, MeterSnapshot), CoreError> {
+        let result = match snapshot {
+            EngineSnapshot::Single(snap) => {
+                let view =
+                    SnapshotAccess::<AccessMeter>::new(Arc::clone(snap), Arc::clone(&self.access));
+                execute_bounded(plan, values, &view)?
+            }
+            EngineSnapshot::Sharded(view) => {
+                let source =
+                    ShardedAccess::<AccessMeter>::new(Arc::clone(view), Arc::clone(&self.access));
+                execute_bounded(plan, values, &source)?
+            }
+        };
+        Ok((result.answers, result.accesses))
+    }
+
     fn metrics(&self) -> EngineMetrics {
         // Read the store epoch *while holding* the statistics read lock: a
         // drift refresh bumps `stats.epoch` under the write lock strictly
@@ -1619,6 +1821,11 @@ impl Shared {
             queue_depth: self.queued.load(Ordering::Relaxed) as u64,
             in_flight: self.telemetry.in_flight.load(Ordering::Relaxed),
             traces_emitted: self.telemetry.traces_emitted.load(Ordering::Relaxed),
+            subscribers: self.subscriptions.subscriber_count(),
+            subscription_queue_depth: self.subscriptions.queued_updates(),
+            subscription_deliveries: self.subscriptions.delivered(),
+            subscription_resyncs: self.subscriptions.resyncs(),
+            subscription_overflows: self.subscriptions.overflows(),
         }
     }
 
@@ -1689,6 +1896,23 @@ impl Shared {
         out.push(Sample::gauge("si_queue_depth", m.queue_depth));
         out.push(Sample::gauge("si_in_flight", m.in_flight));
         out.push(Sample::counter("si_traces_emitted_total", m.traces_emitted));
+        out.push(Sample::gauge("si_subscribers", m.subscribers));
+        out.push(Sample::gauge(
+            "si_subscription_queue_depth",
+            m.subscription_queue_depth,
+        ));
+        out.push(Sample::counter(
+            "si_subscription_deliveries_total",
+            m.subscription_deliveries,
+        ));
+        out.push(Sample::counter(
+            "si_subscription_resyncs_total",
+            m.subscription_resyncs,
+        ));
+        out.push(Sample::counter(
+            "si_subscription_overflows_total",
+            m.subscription_overflows,
+        ));
         if let Some(wal) = &self.wal {
             let durable = wal.lock().expect("wal lock poisoned");
             out.push(Sample::gauge(
@@ -1822,6 +2046,7 @@ impl Engine {
             stats,
             config,
             None,
+            Arc::new(SubscriptionRegistry::new()),
         ))
     }
 
@@ -1861,6 +2086,7 @@ impl Engine {
                 policy,
                 passes: 0,
             }),
+            Arc::new(SubscriptionRegistry::new()),
         ))
     }
 
@@ -1898,6 +2124,7 @@ impl Engine {
             stats,
             config,
             None,
+            Arc::new(SubscriptionRegistry::new()),
         ))
     }
 
@@ -1934,6 +2161,7 @@ impl Engine {
                 policy,
                 passes: 0,
             }),
+            Arc::new(SubscriptionRegistry::new()),
         ))
     }
 
@@ -1949,6 +2177,55 @@ impl Engine {
         storage: Box<dyn si_durability::Storage>,
         access: AccessSchema,
         config: EngineConfig,
+    ) -> Result<Engine> {
+        Self::recover_inner(
+            storage,
+            access,
+            config,
+            Arc::new(SubscriptionRegistry::new()),
+        )
+    }
+
+    /// [`Engine::recover`], carrying the subscription registry of the engine
+    /// that crashed.  Live [`ObservableQuery`] handles keep their pins
+    /// through recovery: every surviving subscription is re-seeded against
+    /// the recovered store and its subscribers receive one
+    /// [`AnswerUpdate::Resync`] stamped with the recovered epoch — the
+    /// explicit signal that anything delivered past the durable prefix must
+    /// be discarded.
+    pub fn recover_with_subscriptions(
+        storage: Box<dyn si_durability::Storage>,
+        access: AccessSchema,
+        config: EngineConfig,
+        subscriptions: Arc<SubscriptionRegistry>,
+    ) -> Result<Engine> {
+        let engine = Self::recover_inner(storage, access, config, Arc::clone(&subscriptions))?;
+        {
+            let shared = &engine.shared;
+            let _fence = shared.commit_lock.lock().expect("commit lock poisoned");
+            let snapshot = shared.store.pin();
+            let epoch = snapshot.epoch();
+            for shape in subscriptions.subscribed() {
+                let canonical = CanonicalQuery {
+                    key: shape.key.0.clone(),
+                    query: shape.query,
+                    parameters: shape.parameters,
+                };
+                // A re-seed failure here leaves the key for the first
+                // commit's catch-all resync.
+                if let Some(full) = shared.reseed_subscription(&snapshot, &canonical, &shape.key) {
+                    subscriptions.deliver_resync(&shape.key, epoch, &full);
+                }
+            }
+        }
+        Ok(engine)
+    }
+
+    fn recover_inner(
+        storage: Box<dyn si_durability::Storage>,
+        access: AccessSchema,
+        config: EngineConfig,
+        subscriptions: Arc<SubscriptionRegistry>,
     ) -> Result<Engine> {
         let (recovered, wal) = Wal::recover(storage).map_err(EngineError::Durability)?;
         let epoch = recovered.epoch;
@@ -1987,6 +2264,7 @@ impl Engine {
                 policy,
                 passes: 0,
             }),
+            subscriptions,
         ))
     }
 
@@ -1996,15 +2274,21 @@ impl Engine {
         stats: Arc<DatabaseStats>,
         config: EngineConfig,
         wal: Option<DurableState>,
+        subscriptions: Arc<SubscriptionRegistry>,
     ) -> Engine {
         let shared = Arc::new(Shared {
             access: Arc::new(access),
             store,
             cache: PlanCache::new(config.plan_cache_capacity),
-            materialized: MaterializedSet::new(
+            // The materialized set shares the registry's pin set, so
+            // subscribed shapes bypass admission and survive eviction for as
+            // long as a subscriber holds them.
+            materialized: MaterializedSet::with_pins(
                 config.materialize_capacity,
                 config.materialize_after,
+                Arc::clone(subscriptions.pins()),
             ),
+            subscriptions,
             commit_lock: Mutex::new(()),
             stats: RwLock::new(StatsEpoch { stats, epoch: 0 }),
             meter: SharedMeter::new(),
@@ -2059,6 +2343,33 @@ impl Engine {
         request: &Request,
     ) -> Result<QueryResponse> {
         self.shared.serve_at(snapshot, request)
+    }
+
+    /// Registers a reactive subscription for `request`'s answers.
+    ///
+    /// The returned [`ObservableQuery`] immediately holds one
+    /// [`AnswerUpdate::Resync`] carrying the full answer at the registration
+    /// epoch; from then on every commit that changes the answer pushes an
+    /// epoch-stamped [`ChangeSet`] (group commits deliver the net effect,
+    /// no-op commits are elided).  When the engine cannot advance the stream
+    /// incrementally — maintenance fell back, the subscriber's queue
+    /// overflowed, or the engine recovered from a crash — the subscriber
+    /// gets a fresh `Resync` instead of going silently stale.  Applying the
+    /// updates in order from epoch 0 reconstructs exactly what a cold query
+    /// would answer at every epoch.
+    ///
+    /// Subscribed shapes are pinned into the materialized layer: they bypass
+    /// hotness admission and survive eviction until the handle drops.
+    pub fn subscribe(&self, request: &Request) -> Result<ObservableQuery> {
+        self.shared.subscribe(request)
+    }
+
+    /// The engine's subscription registry — shared state behind every
+    /// [`ObservableQuery`] this engine hands out.  Keep a clone and pass it
+    /// to [`Engine::recover_with_subscriptions`] to carry live
+    /// subscriptions across a crash.
+    pub fn subscriptions(&self) -> Arc<SubscriptionRegistry> {
+        Arc::clone(&self.shared.subscriptions)
     }
 
     /// Queues a request on the worker pool, shedding load when the queue is
@@ -2266,6 +2577,11 @@ const _: () = {
     assert_send_sync::<CachedPlan>();
     assert_send_sync::<MaterializedSet>();
     assert_send_sync::<MaterializedAnswer>();
+    assert_send_sync::<PinSet>();
+    assert_send_sync::<SubscriptionRegistry>();
+    assert_send_sync::<ObservableQuery>();
+    assert_send_sync::<AnswerUpdate>();
+    assert_send_sync::<ChangeSet>();
     assert_send_sync::<Shared>();
     const fn assert_send<T: Send>() {}
     assert_send::<PendingResponse>();
@@ -2805,6 +3121,77 @@ mod tests {
     }
 
     #[test]
+    fn dropping_the_engine_resolves_every_queued_commit_ticket() {
+        // A long linger guarantees teardown lands while the committer is
+        // still gathering: shutdown must drain the queue, not strand it.
+        let engine = engine(EngineConfig {
+            commit_linger: Duration::from_secs(5),
+            commit_batch_max: 3,
+            ..EngineConfig::default()
+        });
+        let tickets: Vec<CommitTicket> = (0..8)
+            .map(|i| {
+                engine
+                    .commit_async(Delta::new().insert("friend", tuple![4, i]).clone())
+                    .unwrap()
+            })
+            .collect();
+        drop(engine);
+        let mut epochs = Vec::new();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let epoch = ticket
+                .wait()
+                .unwrap_or_else(|e| panic!("ticket {i} stranded by shutdown: {e:?}"));
+            epochs.push(epoch);
+        }
+        // Every delta was applied, in order, across the drained batches.
+        assert!(epochs.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*epochs.last().unwrap(), 3, "8 deltas in batches of 3");
+    }
+
+    #[test]
+    fn dropping_a_durable_engine_resolves_every_queued_commit_ticket() {
+        let disk = SimDisk::new();
+        let engine = durable_engine(
+            &disk,
+            EngineConfig {
+                commit_linger: Duration::from_secs(5),
+                commit_batch_max: 64,
+                ..EngineConfig::default()
+            },
+        );
+        let tickets: Vec<CommitTicket> = (0..4)
+            .map(|i| {
+                engine
+                    .commit_async(Delta::new().insert("friend", tuple![4, i]).clone())
+                    .unwrap()
+            })
+            .collect();
+        drop(engine);
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            assert_eq!(
+                ticket
+                    .wait()
+                    .unwrap_or_else(|e| panic!("durable ticket {i} stranded by shutdown: {e:?}")),
+                1,
+                "the drained batch shares one epoch"
+            );
+        }
+        // The drained commits are durable: recovery sees all four rows.
+        let recovered = Engine::recover(
+            Box::new(disk),
+            si_access::facebook_access_schema(5000),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(recovered.epoch(), 1);
+        // Person 4's new friends 0..4 resolve to the NYC persons 1 and 2.
+        let mut answers = recovered.execute(&req(4)).unwrap().answers;
+        answers.sort();
+        assert_eq!(answers, vec![tuple!["ann"], tuple!["bob"]]);
+    }
+
+    #[test]
     fn flush_commits_on_an_idle_queue_returns_immediately() {
         let engine = engine(EngineConfig::default());
         engine.flush_commits().unwrap();
@@ -3262,5 +3649,334 @@ mod tests {
             .unwrap();
         durable.checkpoint().unwrap();
         assert_eq!(durable.metrics().checkpoints, 2);
+    }
+
+    /// The subscribed key of `req(p)`.
+    fn sub_key(p: i64) -> MaterializedKey {
+        (canonicalize(&q1(), &["p".into()]).key, vec![Value::int(p)])
+    }
+
+    /// A query whose maintenance over `friend` is broken both ways: the
+    /// rest-query `visit(b, c)` has no access constraint, so the Corollary
+    /// 5.3 gate rejects it when consulted, and a run slipping past a cached
+    /// verdict errors when it plans the rest-query lazily.
+    fn unmaintainable_query() -> ConjunctiveQuery {
+        parse_cq("B(a, c) :- friend(a, b), visit(b, c)").unwrap()
+    }
+
+    #[test]
+    fn subscriptions_stream_epoch_stamped_changesets() {
+        let engine = engine(EngineConfig::default());
+        let sub = engine.subscribe(&req(1)).unwrap();
+        // Registration hands the full answer at the fenced epoch.
+        let mut state: Vec<Tuple> = match sub.try_recv().expect("initial resync") {
+            AnswerUpdate::Resync { epoch, full_answer } => {
+                assert_eq!(epoch, 0);
+                let mut full = full_answer.as_ref().clone();
+                full.sort();
+                assert_eq!(full, vec![tuple!["bob"], tuple!["dan"]]);
+                full
+            }
+            other => panic!("expected the initial resync, got {other:?}"),
+        };
+        // A commit that changes the answer pushes one epoch-stamped delta.
+        engine
+            .commit(Delta::new().insert("friend", tuple![1, 1]))
+            .unwrap();
+        match sub.try_recv().expect("change-set for epoch 1") {
+            AnswerUpdate::Changes(set) => {
+                assert_eq!(set.epoch, 1);
+                assert_eq!(set.added, vec![tuple!["ann"]]);
+                assert!(set.removed.is_empty());
+                AnswerUpdate::Changes(set).apply_to(&mut state);
+            }
+            other => panic!("expected a change-set, got {other:?}"),
+        }
+        // A commit that does not touch the answer is elided entirely.
+        engine
+            .commit(Delta::new().insert("friend", tuple![3, 4]))
+            .unwrap();
+        assert!(sub.try_recv().is_none(), "no-op commits must be elided");
+        // A deletion flows through `removed`.
+        engine
+            .commit(Delta::new().delete("friend", tuple![1, 2]))
+            .unwrap();
+        match sub.try_recv().expect("change-set for epoch 3") {
+            AnswerUpdate::Changes(set) => {
+                assert_eq!(set.epoch, 3);
+                assert!(set.added.is_empty());
+                assert_eq!(set.removed, vec![tuple!["bob"]]);
+                AnswerUpdate::Changes(set).apply_to(&mut state);
+            }
+            other => panic!("expected a change-set, got {other:?}"),
+        }
+        // The replayed state equals what a cold query answers now.
+        let mut cold = engine.execute(&req(1)).unwrap().answers;
+        cold.sort();
+        assert_eq!(state, cold);
+        let m = engine.metrics();
+        assert_eq!(m.subscribers, 1);
+        assert_eq!(m.subscription_deliveries, 2);
+        assert_eq!(m.subscription_resyncs, 1);
+        assert_eq!(m.subscription_overflows, 0);
+        // Subscription seeding is write-path work, not a served request.
+        assert_eq!(m.requests, 1);
+        // Dropping the handle unregisters and unpins.
+        drop(sub);
+        assert_eq!(engine.metrics().subscribers, 0);
+        assert!(engine.subscriptions().is_empty());
+    }
+
+    #[test]
+    fn fallback_by_drop_notifies_subscribers_on_each_trigger() {
+        // Trigger 1 — stale entry: a commit raced the recording, the answers
+        // are for some other epoch and cannot be maintained.
+        let stale = engine(EngineConfig::default());
+        let sub = stale.subscribe(&req(1)).unwrap();
+        sub.drain();
+        stale
+            .shared
+            .materialized
+            .force_valid_epoch(&sub_key(1), 999);
+        stale
+            .commit(Delta::new().insert("friend", tuple![2, 3]))
+            .unwrap();
+        assert_eq!(stale.metrics().maintenance_fallbacks, 1);
+        match sub.try_recv().expect("resync after the stale drop") {
+            AnswerUpdate::Resync { epoch, full_answer } => {
+                assert_eq!(epoch, 1);
+                let mut full = full_answer.as_ref().clone();
+                full.sort();
+                assert_eq!(full, vec![tuple!["bob"], tuple!["dan"]]);
+            }
+            other => panic!("stale drop must resync, got {other:?}"),
+        }
+        // The re-seeded entry resumes incremental delivery.
+        stale
+            .commit(Delta::new().insert("friend", tuple![1, 1]))
+            .unwrap();
+        match sub.try_recv().expect("change-set after re-seeding") {
+            AnswerUpdate::Changes(set) => assert_eq!(set.added, vec![tuple!["ann"]]),
+            other => panic!("expected a change-set, got {other:?}"),
+        }
+
+        // Trigger 2 — gate rejection: the entry's evaluator is not
+        // maintainable for the touched relation (Corollary 5.3 fails).
+        let gated = engine(EngineConfig::default());
+        let q2 = parse_cq("Q2(f) :- friend(p, f)").unwrap();
+        let sub = gated
+            .subscribe(&Request::new(
+                q2.clone(),
+                vec!["p".into()],
+                vec![Value::int(1)],
+            ))
+            .unwrap();
+        sub.drain();
+        let key = (canonicalize(&q2, &["p".into()]).key, vec![Value::int(1)]);
+        gated.shared.materialized.record(
+            key,
+            &unmaintainable_query(),
+            &[],
+            &[],
+            0,
+            0,
+            si_access::StaticCost::default(),
+            MeterSnapshot::default(),
+        );
+        gated
+            .commit(Delta::new().insert("friend", tuple![2, 3]))
+            .unwrap();
+        assert_eq!(gated.metrics().maintenance_fallbacks, 1);
+        match sub.try_recv().expect("resync after the gate rejection") {
+            AnswerUpdate::Resync { epoch, full_answer } => {
+                assert_eq!(epoch, 1);
+                let mut full = full_answer.as_ref().clone();
+                full.sort();
+                assert_eq!(full, vec![tuple![2], tuple![3], tuple![4]]);
+            }
+            other => panic!("gate rejection must resync, got {other:?}"),
+        }
+
+        // Trigger 3 — maintenance error: the shape's cached gate verdict
+        // (earned by the healthy evaluator) lets the broken one through, and
+        // its lazy rest-query planning fails mid-run.
+        let errored = engine(EngineConfig::default());
+        let sub = errored.subscribe(&req(1)).unwrap();
+        sub.drain();
+        errored
+            .commit(Delta::new().insert("friend", tuple![1, 1]))
+            .unwrap();
+        assert!(matches!(sub.try_recv(), Some(AnswerUpdate::Changes(_))));
+        errored.shared.materialized.record(
+            sub_key(1),
+            &unmaintainable_query(),
+            &[],
+            &[],
+            1,
+            0,
+            si_access::StaticCost::default(),
+            MeterSnapshot::default(),
+        );
+        errored
+            .commit(Delta::new().insert("friend", tuple![2, 3]))
+            .unwrap();
+        assert_eq!(errored.metrics().maintenance_fallbacks, 1);
+        match sub.try_recv().expect("resync after the maintenance error") {
+            AnswerUpdate::Resync { epoch, full_answer } => {
+                assert_eq!(epoch, 2);
+                let mut full = full_answer.as_ref().clone();
+                full.sort();
+                assert_eq!(full, vec![tuple!["ann"], tuple!["bob"], tuple!["dan"]]);
+            }
+            other => panic!("maintenance error must resync, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subscription_overflow_collapses_to_a_single_resync() {
+        let engine = engine(EngineConfig {
+            subscriber_queue_capacity: 2,
+            ..EngineConfig::default()
+        });
+        let sub = engine.subscribe(&req(1)).unwrap();
+        // Nobody drains: each commit below changes the answer, so updates
+        // pile up past the capacity of 2 and collapse.
+        engine
+            .commit(Delta::new().insert("friend", tuple![1, 1]))
+            .unwrap();
+        engine
+            .commit(Delta::new().delete("friend", tuple![1, 1]))
+            .unwrap();
+        engine
+            .commit(Delta::new().insert("friend", tuple![1, 1]))
+            .unwrap();
+        assert!(sub.queue_len() <= 2, "queue must stay bounded");
+        assert_eq!(sub.overflows(), 1);
+        let updates = sub.drain();
+        // The tail update is one resync carrying the current full answer —
+        // replaying it lands on exactly the cold answer.
+        let resyncs = updates
+            .iter()
+            .filter(|u| matches!(u, AnswerUpdate::Resync { .. }))
+            .count();
+        assert_eq!(resyncs, 1, "overflow must collapse into one resync");
+        let mut state = Vec::new();
+        for update in &updates {
+            update.apply_to(&mut state);
+        }
+        let mut cold = engine.execute(&req(1)).unwrap().answers;
+        cold.sort();
+        assert_eq!(state, cold);
+        assert_eq!(engine.metrics().subscription_overflows, 1);
+    }
+
+    #[test]
+    fn group_commits_deliver_the_net_effect_changeset() {
+        let engine = engine(EngineConfig::default());
+        let sub = engine.subscribe(&req(1)).unwrap();
+        sub.drain();
+        // A storm that cancels out entirely is elided: the group advances
+        // the epoch but the answer never changed.
+        let outcomes = engine.commit_group(&[
+            Delta::new().insert("friend", tuple![1, 1]).clone(),
+            Delta::new().delete("friend", tuple![1, 1]).clone(),
+        ]);
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+        assert!(
+            sub.try_recv().is_none(),
+            "a cancelled-out group must deliver nothing"
+        );
+        // A group with a net effect delivers exactly one change-set.
+        let outcomes = engine.commit_group(&[
+            Delta::new()
+                .insert("person", tuple![5, "eve", "NYC"])
+                .clone(),
+            Delta::new().insert("friend", tuple![1, 5]).clone(),
+        ]);
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+        let updates = sub.drain();
+        assert_eq!(updates.len(), 1, "one net change-set per group");
+        match &updates[0] {
+            AnswerUpdate::Changes(set) => {
+                assert_eq!(set.epoch, engine.epoch());
+                assert_eq!(set.added, vec![tuple!["eve"]]);
+                assert!(set.removed.is_empty());
+            }
+            other => panic!("expected the net change-set, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subscribed_shapes_are_pinned_past_admission_and_eviction() {
+        // Capacity 0 disables the materialized layer for ordinary requests,
+        // yet a subscription must still be maintained incrementally.
+        let engine = engine(EngineConfig {
+            materialize_capacity: 0,
+            materialize_after: 1,
+            ..EngineConfig::default()
+        });
+        let sub = engine.subscribe(&req(1)).unwrap();
+        sub.drain();
+        // The pinned entry even serves ordinary requests for the same key...
+        assert!(engine.execute(&req(1)).unwrap().materialized);
+        // ...while unsubscribed keys still see a zero-capacity layer.
+        engine.execute(&req(2)).unwrap();
+        assert!(!engine.execute(&req(2)).unwrap().materialized);
+        engine
+            .commit(Delta::new().insert("friend", tuple![1, 1]))
+            .unwrap();
+        assert!(matches!(sub.try_recv(), Some(AnswerUpdate::Changes(_))));
+        assert_eq!(engine.metrics().maintenance_runs, 1);
+        // Unsubscribing releases the pin; with capacity 0 the layer is
+        // disabled again and the next commit maintains nothing.
+        drop(sub);
+        engine
+            .commit(Delta::new().insert("friend", tuple![4, 1]))
+            .unwrap();
+        assert_eq!(engine.metrics().maintenance_runs, 1);
+    }
+
+    #[test]
+    fn recovery_resyncs_surviving_subscribers_at_the_recovered_epoch() {
+        let disk = SimDisk::new();
+        let engine = durable_engine(&disk, EngineConfig::default());
+        let sub = engine.subscribe(&req(1)).unwrap();
+        let registry = engine.subscriptions();
+        engine
+            .commit(Delta::new().insert("friend", tuple![1, 1]))
+            .unwrap();
+        sub.drain();
+        drop(engine);
+        let recovered = Engine::recover_with_subscriptions(
+            Box::new(disk),
+            si_access::facebook_access_schema(5000),
+            EngineConfig::default(),
+            registry,
+        )
+        .unwrap();
+        assert_eq!(recovered.epoch(), 1);
+        // The handle survived the crash: it is told exactly where the
+        // durable prefix ends, with the full answer to restart from.
+        match sub.try_recv().expect("resync at the recovered epoch") {
+            AnswerUpdate::Resync { epoch, full_answer } => {
+                assert_eq!(epoch, 1);
+                let mut full = full_answer.as_ref().clone();
+                full.sort();
+                assert_eq!(full, vec![tuple!["ann"], tuple!["bob"], tuple!["dan"]]);
+            }
+            other => panic!("recovery must resync, got {other:?}"),
+        }
+        // And the stream continues incrementally on the recovered engine.
+        recovered
+            .commit(Delta::new().delete("friend", tuple![1, 1]))
+            .unwrap();
+        match sub.try_recv().expect("post-recovery change-set") {
+            AnswerUpdate::Changes(set) => {
+                assert_eq!(set.epoch, 2);
+                assert_eq!(set.removed, vec![tuple!["ann"]]);
+            }
+            other => panic!("expected a change-set, got {other:?}"),
+        }
+        assert_eq!(recovered.metrics().subscribers, 1);
     }
 }

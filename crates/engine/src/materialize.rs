@@ -45,7 +45,7 @@ use si_core::{CoreError, IncrementalBoundedEvaluator};
 use si_data::{MeterSnapshot, Tuple, Value};
 use si_query::{ConjunctiveQuery, Var};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Key of a materialized answer: the canonical query shape plus the
@@ -117,6 +117,86 @@ struct Inner {
     boundedness: HashMap<ShapeKey, HashMap<String, bool>>,
 }
 
+/// Reference-counted set of materialized keys that must survive eviction.
+///
+/// The subscription registry pins every subscribed (shape, values) pair;
+/// the [`MaterializedSet`] consults the set to bypass admission thresholds
+/// and to exempt pinned entries from capacity and cost-based eviction — a
+/// subscriber's answer must stay incrementally maintained even when the
+/// eviction economics would drop it.  The `Arc` is owned by the registry so
+/// pins survive an [`Engine::recover`](crate::Engine::recover), which builds
+/// a fresh `MaterializedSet` around the same pin set.
+#[derive(Debug, Default)]
+pub struct PinSet {
+    /// Distinct pinned keys with their subscriber refcounts.
+    keys: RwLock<HashMap<MaterializedKey, usize>>,
+    /// Number of distinct pinned keys, so the hot-path check is one relaxed
+    /// load when nothing is pinned.
+    count: AtomicUsize,
+}
+
+impl PinSet {
+    /// Adds one reference to `key`.
+    pub fn pin(&self, key: &MaterializedKey) {
+        let mut keys = self.keys.write().expect("pin set poisoned");
+        let slot = keys.entry(key.clone()).or_insert(0);
+        if *slot == 0 {
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+        *slot += 1;
+    }
+
+    /// Drops one reference to `key`; the pin disappears at refcount zero.
+    pub fn unpin(&self, key: &MaterializedKey) {
+        let mut keys = self.keys.write().expect("pin set poisoned");
+        if let Some(slot) = keys.get_mut(key) {
+            *slot -= 1;
+            if *slot == 0 {
+                keys.remove(key);
+                self.count.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// True iff `key` currently holds at least one pin.
+    pub fn is_pinned(&self, key: &MaterializedKey) -> bool {
+        if self.count.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        self.keys
+            .read()
+            .expect("pin set poisoned")
+            .contains_key(key)
+    }
+
+    /// True iff nothing is pinned (one relaxed load).
+    pub fn is_empty(&self) -> bool {
+        self.count.load(Ordering::Relaxed) == 0
+    }
+
+    /// Number of distinct pinned keys.
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// The answer delta of one maintained entry across a commit, reported by
+/// [`MaterializedSet::maintain_tracked`] for keys its `track` predicate
+/// selects (the subscribed ones).  `added`/`removed` are the net effect of
+/// the commit on the entry's answers; `full` shares the entry's complete
+/// post-commit answer (what a queue-overflow Resync carries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerChange {
+    /// The maintained entry's key.
+    pub key: MaterializedKey,
+    /// Tuples that entered the answer (sorted).
+    pub added: Vec<Tuple>,
+    /// Tuples that left the answer (sorted).
+    pub removed: Vec<Tuple>,
+    /// The complete answer after the commit, shared with the entry.
+    pub full: Arc<Vec<Tuple>>,
+}
+
 /// What a maintenance pass did, for the engine's metrics.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MaintenanceSummary {
@@ -134,6 +214,13 @@ pub struct MaintenanceSummary {
     /// (the engine accounts them on its own write-path meter inside the
     /// `run` closure).
     pub accesses: MeterSnapshot,
+    /// Per-entry answer deltas for tracked keys
+    /// ([`MaterializedSet::maintain_tracked`]'s `track` predicate).
+    pub changes: Vec<AnswerChange>,
+    /// Every key this pass dropped or evicted (stale, gate-rejected,
+    /// errored, or cost-evicted) — what the subscription registry turns into
+    /// Resync markers.
+    pub dropped: Vec<MaterializedKey>,
 }
 
 /// The concurrent (shape, values) → maintained answers cache.
@@ -147,6 +234,10 @@ pub struct MaterializedSet {
     threshold: u64,
     hits: AtomicU64,
     evictions: AtomicU64,
+    /// Keys pinned by the subscription registry: admitted unconditionally,
+    /// never capacity- or cost-evicted, and kept maintained even when
+    /// `capacity == 0`.
+    pins: Arc<PinSet>,
 }
 
 impl MaterializedSet {
@@ -154,18 +245,32 @@ impl MaterializedSet {
     /// once it has been requested `threshold` times (`threshold <= 1` admits
     /// on first execution).
     pub fn new(capacity: usize, threshold: u64) -> Self {
+        Self::with_pins(capacity, threshold, Arc::new(PinSet::default()))
+    }
+
+    /// Like [`MaterializedSet::new`], sharing an externally owned pin set
+    /// (the subscription registry's, so pins survive engine recovery).
+    pub fn with_pins(capacity: usize, threshold: u64, pins: Arc<PinSet>) -> Self {
         MaterializedSet {
             inner: RwLock::new(Inner::default()),
             capacity,
             threshold: threshold.max(1),
             hits: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            pins,
         }
     }
 
-    /// True iff the layer is disabled (capacity 0).
+    /// True iff the layer is disabled: capacity 0 *and* no pinned keys.
+    /// Subscribed shapes are pinned, so an engine configured without a
+    /// materialized cache still maintains exactly its subscribers' answers.
     pub fn is_disabled(&self) -> bool {
-        self.capacity == 0
+        self.capacity == 0 && self.pins.is_empty()
+    }
+
+    /// The shared pin set (cloned into the subscription registry).
+    pub fn pins(&self) -> &Arc<PinSet> {
+        &self.pins
     }
 
     /// Looks up maintained answers for `key`, provided they are exact for
@@ -216,6 +321,7 @@ impl MaterializedSet {
         if self.is_disabled() {
             return;
         }
+        let pinned = self.pins.is_pinned(&key);
         // Read-lock fast path.
         let mut counted = false;
         {
@@ -227,10 +333,12 @@ impl MaterializedSet {
                 if entry.valid_epoch > epoch {
                     return;
                 }
-            } else if let Some(counter) = inner.seen.get(&key) {
-                counted = true;
-                if counter.fetch_add(1, Ordering::Relaxed) + 1 < self.threshold {
-                    return;
+            } else if !pinned {
+                if let Some(counter) = inner.seen.get(&key) {
+                    counted = true;
+                    if counter.fetch_add(1, Ordering::Relaxed) + 1 < self.threshold {
+                        return;
+                    }
                 }
             }
         }
@@ -240,6 +348,10 @@ impl MaterializedSet {
             if inner.map[&key].valid_epoch > epoch {
                 return;
             }
+        } else if pinned {
+            // Subscribed keys bypass the hotness threshold: the registry
+            // needs the entry maintained from its first recording.
+            inner.seen.remove(&key);
         } else if counted {
             // Counted to the threshold on the fast path: admit.
             inner.seen.remove(&key);
@@ -281,10 +393,25 @@ impl MaterializedSet {
         };
         if inner.map.insert(key.clone(), entry).is_none() {
             inner.order.push_back(key);
-            while inner.map.len() > self.capacity {
-                let Some(oldest) = inner.order.pop_front() else {
+            // Capacity counts only unpinned entries: subscribed keys are
+            // pinned by the registry and never capacity-evicted.
+            loop {
+                let unpinned = if self.pins.is_empty() {
+                    inner.map.len()
+                } else {
+                    inner
+                        .order
+                        .iter()
+                        .filter(|k| !self.pins.is_pinned(k))
+                        .count()
+                };
+                if unpinned <= self.capacity {
+                    break;
+                }
+                let Some(pos) = inner.order.iter().position(|k| !self.pins.is_pinned(k)) else {
                     break;
                 };
+                let oldest = inner.order.remove(pos).expect("position is in range");
                 Self::purge(&mut inner, &oldest);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
@@ -315,12 +442,36 @@ impl MaterializedSet {
         base_epoch: u64,
         next_epoch: u64,
         touched: &[String],
-        mut gate: G,
-        mut run: R,
+        gate: G,
+        run: R,
     ) -> MaintenanceSummary
     where
         G: FnMut(&ConjunctiveQuery, &[Var], &str) -> bool,
         R: FnMut(&mut IncrementalBoundedEvaluator) -> Result<MeterSnapshot, CoreError>,
+    {
+        self.maintain_tracked(base_epoch, next_epoch, touched, gate, run, |_| false)
+    }
+
+    /// [`MaterializedSet::maintain_with`] plus per-entry answer deltas: for
+    /// every maintained key that `track` selects (the subscribed ones), the
+    /// summary carries an [`AnswerChange`] with the tuples that entered and
+    /// left the answer across the commit — computed by diffing the sorted
+    /// pre- and post-maintenance answer sets during publication, so a
+    /// `DeltaBatch`-cancelled storm nets out to an empty change.  Dropped
+    /// and evicted keys are reported in `dropped` regardless of `track`.
+    pub fn maintain_tracked<G, R, T>(
+        &self,
+        base_epoch: u64,
+        next_epoch: u64,
+        touched: &[String],
+        mut gate: G,
+        mut run: R,
+        track: T,
+    ) -> MaintenanceSummary
+    where
+        G: FnMut(&ConjunctiveQuery, &[Var], &str) -> bool,
+        R: FnMut(&mut IncrementalBoundedEvaluator) -> Result<MeterSnapshot, CoreError>,
+        T: Fn(&MaterializedKey) -> bool,
     {
         let mut summary = MaintenanceSummary::default();
         if self.is_disabled() {
@@ -371,6 +522,7 @@ impl MaterializedSet {
             }
             for key in dropped {
                 Self::purge(inner, &key);
+                summary.dropped.push(key);
             }
         }
 
@@ -411,7 +563,17 @@ impl MaterializedSet {
                 }
                 match result {
                     Ok(cost) => {
-                        entry.answers = Arc::new(evaluator.answers());
+                        let new_answers = Arc::new(evaluator.answers());
+                        if track(&key) {
+                            let (added, removed) = diff_answers(&entry.answers, &new_answers);
+                            summary.changes.push(AnswerChange {
+                                key: key.clone(),
+                                added,
+                                removed,
+                                full: Arc::clone(&new_answers),
+                            });
+                        }
+                        entry.answers = new_answers;
                         entry.evaluator = Some(evaluator);
                         entry.valid_epoch = next_epoch;
                         entry.maintained_commits += 1;
@@ -421,7 +583,9 @@ impl MaterializedSet {
                             .fetch_add(cost.tuples_fetched, Ordering::Relaxed)
                             + cost.tuples_fetched;
                         summary.maintained += 1;
-                        if since_hit > entry.reexec_cost.tuples_fetched {
+                        if since_hit > entry.reexec_cost.tuples_fetched
+                            && !self.pins.is_pinned(&key)
+                        {
                             summary.cost_evictions += 1;
                             dropped.push(key);
                         }
@@ -435,11 +599,36 @@ impl MaterializedSet {
             }
             for key in dropped {
                 Self::purge(inner, &key);
+                summary.dropped.push(key);
             }
         }
         self.evictions
             .fetch_add(summary.cost_evictions, Ordering::Relaxed);
         summary
+    }
+
+    /// Maintained answers for `key`, exact for `epoch`, without counting a
+    /// hit or resetting the keep-warm economics — the subscription fan-out
+    /// reads entries through this so delivery never perturbs eviction.
+    pub fn current_answers(&self, key: &MaterializedKey, epoch: u64) -> Option<Arc<Vec<Tuple>>> {
+        let inner = self.inner.read().expect("materialized set poisoned");
+        let entry = inner.map.get(key)?;
+        entry.evaluator.as_ref()?;
+        if entry.valid_epoch != epoch {
+            return None;
+        }
+        Some(Arc::clone(&entry.answers))
+    }
+
+    /// Test hook: forces an entry's `valid_epoch`, simulating the race where
+    /// a commit lands between a request's execution and its recording (the
+    /// "stale entry" maintenance drop trigger).
+    #[cfg(test)]
+    pub(crate) fn force_valid_epoch(&self, key: &MaterializedKey, epoch: u64) {
+        let mut inner = self.inner.write().expect("materialized set poisoned");
+        if let Some(entry) = inner.map.get_mut(key) {
+            entry.valid_epoch = epoch;
+        }
     }
 
     /// The bound on the pre-admission hotness tracker (see
@@ -494,6 +683,36 @@ impl MaterializedSet {
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
     }
+}
+
+/// Set difference of two answer vectors: `(new − old, old − new)`, both
+/// sorted.  `new` arrives sorted (the evaluator renders from a `BTreeSet`);
+/// `old` may be in plan-execution order, so it is sorted here first.
+fn diff_answers(old: &[Tuple], new: &[Tuple]) -> (Vec<Tuple>, Vec<Tuple>) {
+    let mut old_sorted: Vec<&Tuple> = old.iter().collect();
+    old_sorted.sort();
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < old_sorted.len() && j < new.len() {
+        match old_sorted[i].cmp(&new[j]) {
+            std::cmp::Ordering::Less => {
+                removed.push((*old_sorted[i]).clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                added.push(new[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    removed.extend(old_sorted[i..].iter().map(|t| (*t).clone()));
+    added.extend(new[j..].iter().cloned());
+    (added, removed)
 }
 
 #[cfg(test)]
@@ -706,6 +925,171 @@ mod tests {
         );
         assert_eq!(set.stats_epoch_of(&key("s", 1)), Some(7));
         assert_eq!(set.stats_epoch_of(&key("s", 2)), None);
+    }
+
+    #[test]
+    fn pinned_keys_bypass_admission_and_survive_eviction() {
+        let pins = Arc::new(PinSet::default());
+        let set = MaterializedSet::with_pins(1, 3, Arc::clone(&pins));
+        let hot = key("sub", 1);
+        pins.pin(&hot);
+        // Admitted on first recording despite threshold 3.
+        record(&set, hot.clone(), 0, 1);
+        assert!(set.get(&hot, 0).is_some());
+        // Capacity 1 counts only unpinned entries: admitting two more keys
+        // evicts among them, never the pinned one.
+        record(&set, key("a", 1), 0, 10);
+        record(&set, key("a", 1), 0, 10);
+        record(&set, key("a", 1), 0, 10);
+        record(&set, key("b", 1), 0, 10);
+        record(&set, key("b", 1), 0, 10);
+        record(&set, key("b", 1), 0, 10);
+        assert!(set.get(&hot, 0).is_some(), "pinned key survives capacity");
+        assert!(set.get(&key("a", 1), 0).is_none(), "unpinned FIFO evicted");
+        assert!(set.get(&key("b", 1), 0).is_some());
+        // Cost-based eviction also skips pinned keys: maintenance far above
+        // the re-execution cost (1 tuple) with no hits in between.  The
+        // unpinned `b` (re-execution cost 10) is evicted on the first pass.
+        for e in 0..4 {
+            let s = set.maintain_with(e, e + 1, &[], |_, _, _| true, |_| Ok(fetch_cost(50)));
+            assert!(
+                !s.dropped.contains(&hot),
+                "pinned key never cost-evicted (pass {e})"
+            );
+        }
+        assert!(set.get(&hot, 4).is_some());
+        // Unpinning re-enables the economics.
+        pins.unpin(&hot);
+        let s = set.maintain_with(4, 5, &[], |_, _, _| true, |_| Ok(fetch_cost(50)));
+        assert_eq!(s.cost_evictions, 1);
+    }
+
+    #[test]
+    fn pins_override_the_disabled_state() {
+        let pins = Arc::new(PinSet::default());
+        let set = MaterializedSet::with_pins(0, 1, Arc::clone(&pins));
+        assert!(set.is_disabled());
+        let k = key("sub", 1);
+        pins.pin(&k);
+        assert!(!set.is_disabled(), "pinned keys keep the layer live");
+        record(&set, k.clone(), 0, 10);
+        assert!(set.get(&k, 0).is_some());
+        // An unpinned key is immediately evicted again (capacity 0).
+        record(&set, key("other", 1), 0, 10);
+        assert!(set.get(&key("other", 1), 0).is_none());
+        assert!(set.get(&k, 0).is_some());
+        pins.unpin(&k);
+        assert!(set.is_disabled());
+    }
+
+    #[test]
+    fn pin_refcounts_nest() {
+        let pins = PinSet::default();
+        let k = key("s", 1);
+        pins.pin(&k);
+        pins.pin(&k);
+        assert_eq!(pins.len(), 1);
+        pins.unpin(&k);
+        assert!(pins.is_pinned(&k), "one reference still held");
+        pins.unpin(&k);
+        assert!(!pins.is_pinned(&k));
+        assert!(pins.is_empty());
+    }
+
+    #[test]
+    fn tracked_maintenance_reports_answer_deltas() {
+        let set = MaterializedSet::new(8, 1);
+        let k = key("s", 1);
+        set.record(
+            k.clone(),
+            &q(),
+            &["p".into()],
+            &[tuple!["bob"], tuple!["ann"]],
+            0,
+            0,
+            StaticCost::default(),
+            fetch_cost(10),
+        );
+        // The run closure mutates the evaluator's answers the way real
+        // maintenance does: drop "bob", add "eve".
+        let summary = set.maintain_tracked(
+            0,
+            1,
+            &[],
+            |_, _, _| true,
+            |evaluator| {
+                *evaluator = IncrementalBoundedEvaluator::from_materialized(
+                    q(),
+                    vec!["p".into()],
+                    vec![Value::int(1)],
+                    [tuple!["ann"], tuple!["eve"]],
+                    fetch_cost(10),
+                );
+                Ok(fetch_cost(1))
+            },
+            |_| true,
+        );
+        assert_eq!(summary.changes.len(), 1);
+        let change = &summary.changes[0];
+        assert_eq!(change.key, k);
+        assert_eq!(change.added, vec![tuple!["eve"]]);
+        assert_eq!(change.removed, vec![tuple!["bob"]]);
+        assert_eq!(*change.full, vec![tuple!["ann"], tuple!["eve"]]);
+        // A no-op maintenance yields an elided (empty) change.
+        let summary =
+            set.maintain_tracked(1, 2, &[], |_, _, _| true, |_| Ok(fetch_cost(0)), |_| true);
+        assert_eq!(summary.changes.len(), 1);
+        assert!(summary.changes[0].added.is_empty());
+        assert!(summary.changes[0].removed.is_empty());
+        // Untracked keys produce no change records.
+        let summary =
+            set.maintain_tracked(2, 3, &[], |_, _, _| true, |_| Ok(fetch_cost(0)), |_| false);
+        assert!(summary.changes.is_empty());
+    }
+
+    #[test]
+    fn every_drop_trigger_reports_the_dropped_key() {
+        // Trigger 1: stale epoch (entry at 0, commit bases at 3).
+        let set = MaterializedSet::new(8, 1);
+        let k = key("s", 1);
+        record(&set, k.clone(), 0, 10);
+        let summary = set.maintain_with(3, 4, &[], |_, _, _| true, |_| Ok(fetch_cost(0)));
+        assert_eq!(summary.dropped, vec![k.clone()]);
+        // Trigger 2: gate rejection.
+        record(&set, k.clone(), 4, 10);
+        let touched = vec!["visit".to_string()];
+        let summary = set.maintain_with(4, 5, &touched, |_, _, _| false, |_| Ok(fetch_cost(0)));
+        assert_eq!(summary.dropped, vec![k.clone()]);
+        // Trigger 3: maintenance error.
+        record(&set, k.clone(), 5, 10);
+        let summary = set.maintain_with(
+            5,
+            6,
+            &[],
+            |_, _, _| true,
+            |_| Err(CoreError::Invariant("boom".into())),
+        );
+        assert_eq!(summary.dropped, vec![k.clone()]);
+        // Cost evictions are reported too.
+        record(&set, k.clone(), 6, 1);
+        let summary = set.maintain_with(6, 7, &[], |_, _, _| true, |_| Ok(fetch_cost(50)));
+        assert_eq!(summary.cost_evictions, 1);
+        assert_eq!(summary.dropped, vec![k]);
+    }
+
+    #[test]
+    fn diff_answers_handles_unsorted_old_and_disjoint_sets() {
+        let old = vec![tuple!["c"], tuple!["a"]];
+        let new = vec![tuple!["a"], tuple!["b"]];
+        let (added, removed) = diff_answers(&old, &new);
+        assert_eq!(added, vec![tuple!["b"]]);
+        assert_eq!(removed, vec![tuple!["c"]]);
+        let (added, removed) = diff_answers(&[], &new);
+        assert_eq!(added, new);
+        assert!(removed.is_empty());
+        let (added, removed) = diff_answers(&old, &[]);
+        assert!(added.is_empty());
+        assert_eq!(removed, vec![tuple!["a"], tuple!["c"]]);
     }
 
     #[test]

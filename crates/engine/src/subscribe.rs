@@ -1,0 +1,629 @@
+//! The reactive plane: push epoch-stamped answer deltas to subscribers.
+//!
+//! The materialized cache ([`crate::materialize`]) keeps hot answers
+//! incrementally maintained across commits; this layer delivers those
+//! maintenance results instead of making consumers re-serve the query.  An
+//! [`ObservableQuery`] subscriber registers a (canonical shape, parameter
+//! values) interest and receives [`AnswerUpdate`]s through a bounded
+//! per-subscriber queue:
+//!
+//! * [`AnswerUpdate::Changes`] — a coalesced, epoch-stamped
+//!   [`ChangeSet`] `{ added, removed, epoch }`: the net effect of one commit
+//!   (or one group-commit pass) on the subscribed answer.  Commits that do
+//!   not change the answer are elided — a delete-then-reinsert storm that
+//!   [`DeltaBatch`](si_data::DeltaBatch) cancels delivers nothing.
+//! * [`AnswerUpdate::Resync`] — a full-state marker `{ epoch, full_answer }`
+//!   that replaces everything the subscriber knew.  Emitted at registration
+//!   (the fenced initial state), after a queue overflow, whenever the
+//!   maintenance path dropped the subscribed entry (stale epoch, Corollary
+//!   5.3 gate rejection, maintenance error — the previously *silent*
+//!   fallback-by-drop), and after [`Engine::recover`](crate::Engine)
+//!   rebuilds the engine around a surviving registry.
+//!
+//! **Registration fencing.** [`Engine::subscribe`](crate::Engine::subscribe)
+//! runs under the engine's commit lock: it pins the current snapshot,
+//! computes the full answer, records a *pinned* materialized entry and
+//! enqueues the initial `Resync` before any later commit can run its
+//! fan-out.  A commit therefore either happened before registration (its
+//! effect is inside the initial `Resync`) or after it (its `ChangeSet` is
+//! delivered) — no update of the registration epoch can be missed or
+//! double-received.
+//!
+//! **Backpressure is drop-to-resync.** Delivery never blocks the committer:
+//! a full queue is cleared and replaced by a single `Resync` carrying the
+//! entry's current full answer.  A slow subscriber loses granularity, never
+//! correctness — replaying its stream from epoch 0 still reconstructs the
+//! exact cold-query answer at every epoch it observed.
+//!
+//! **Pinning.** Every subscribed key is pinned in the shared
+//! [`PinSet`], which exempts it from the materialized cache's admission
+//! threshold and from capacity/cost-based eviction, and keeps the
+//! maintenance pass alive even on engines configured with
+//! `materialize_capacity == 0`.
+
+use crate::materialize::{MaterializedKey, PinSet};
+use si_data::Tuple;
+use si_query::{ConjunctiveQuery, Var};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The net effect of one commit (or group-commit pass) on a subscribed
+/// answer, exact for snapshot `epoch`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangeSet {
+    /// The snapshot epoch the answer is exact for after applying the change.
+    pub epoch: u64,
+    /// Tuples that entered the answer (sorted).
+    pub added: Vec<Tuple>,
+    /// Tuples that left the answer (sorted).
+    pub removed: Vec<Tuple>,
+}
+
+impl ChangeSet {
+    /// True iff the commit did not change the answer.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// One message in a subscriber's change stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnswerUpdate {
+    /// An incremental answer delta to apply to the subscriber's state.
+    Changes(ChangeSet),
+    /// A full-state marker: replace everything with `full_answer`, exact for
+    /// `epoch`.  The first message of every subscription is a `Resync`.
+    Resync {
+        /// The snapshot epoch `full_answer` is exact for.
+        epoch: u64,
+        /// The complete answer, shared with the materialized entry.
+        full_answer: Arc<Vec<Tuple>>,
+    },
+}
+
+impl AnswerUpdate {
+    /// The snapshot epoch this update brings the subscriber to.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            AnswerUpdate::Changes(change) => change.epoch,
+            AnswerUpdate::Resync { epoch, .. } => *epoch,
+        }
+    }
+
+    /// Applies this update to a replayed answer state (sorted tuples),
+    /// returning the state after the update — the replay oracle's step
+    /// function.
+    pub fn apply_to(&self, state: &mut Vec<Tuple>) {
+        match self {
+            AnswerUpdate::Changes(change) => {
+                state.retain(|t| !change.removed.contains(t));
+                state.extend(change.added.iter().cloned());
+                state.sort();
+            }
+            AnswerUpdate::Resync { full_answer, .. } => {
+                *state = (**full_answer).clone();
+                state.sort();
+            }
+        }
+    }
+}
+
+/// A subscriber's bounded delivery queue.
+#[derive(Debug)]
+struct QueueState {
+    items: VecDeque<AnswerUpdate>,
+    /// Overflows observed (each collapsed the queue into one `Resync`).
+    overflows: u64,
+}
+
+/// Per-subscriber delivery state, shared between the registry (producer)
+/// and the [`ObservableQuery`] handle (consumer).
+#[derive(Debug)]
+struct SubscriberState {
+    id: u64,
+    queue: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl SubscriberState {
+    fn new(id: u64, capacity: usize) -> Self {
+        SubscriberState {
+            id,
+            queue: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                overflows: 0,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `update`; when the queue is full it is cleared and replaced
+    /// by a single `Resync { epoch, full }`.  Returns true iff the update
+    /// went through without collapsing to a resync.
+    fn deliver(&self, update: AnswerUpdate, epoch: u64, full: &Arc<Vec<Tuple>>) -> bool {
+        let mut queue = self.queue.lock().expect("subscriber queue poisoned");
+        let fits = queue.items.len() < self.capacity;
+        if fits {
+            queue.items.push_back(update);
+        } else {
+            queue.items.clear();
+            queue.items.push_back(AnswerUpdate::Resync {
+                epoch,
+                full_answer: Arc::clone(full),
+            });
+            queue.overflows += 1;
+        }
+        self.ready.notify_all();
+        fits
+    }
+}
+
+/// A live subscription handle: the consumer side of one subscriber's
+/// bounded queue.  Dropping the handle unregisters the subscriber and
+/// releases its pin on the materialized entry.
+#[derive(Debug)]
+pub struct ObservableQuery {
+    key: MaterializedKey,
+    state: Arc<SubscriberState>,
+    registry: Arc<SubscriptionRegistry>,
+}
+
+impl ObservableQuery {
+    /// The subscribed (canonical shape, parameter values) key.
+    pub fn key(&self) -> &MaterializedKey {
+        &self.key
+    }
+
+    /// Takes the next queued update without blocking.
+    pub fn try_recv(&self) -> Option<AnswerUpdate> {
+        let mut queue = self.state.queue.lock().expect("subscriber queue poisoned");
+        queue.items.pop_front()
+    }
+
+    /// Waits up to `timeout` for the next update.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<AnswerUpdate> {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.state.queue.lock().expect("subscriber queue poisoned");
+        loop {
+            if let Some(update) = queue.items.pop_front() {
+                return Some(update);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .state
+                .ready
+                .wait_timeout(queue, deadline - now)
+                .expect("subscriber queue poisoned");
+            queue = guard;
+        }
+    }
+
+    /// Drains every queued update in delivery order.
+    pub fn drain(&self) -> Vec<AnswerUpdate> {
+        let mut queue = self.state.queue.lock().expect("subscriber queue poisoned");
+        queue.items.drain(..).collect()
+    }
+
+    /// Updates currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.state
+            .queue
+            .lock()
+            .expect("subscriber queue poisoned")
+            .items
+            .len()
+    }
+
+    /// Times the bounded queue overflowed (each collapsed it to one Resync).
+    pub fn overflows(&self) -> u64 {
+        self.state
+            .queue
+            .lock()
+            .expect("subscriber queue poisoned")
+            .overflows
+    }
+}
+
+impl Drop for ObservableQuery {
+    fn drop(&mut self) {
+        self.registry.unregister(&self.key, self.state.id);
+    }
+}
+
+/// One subscribed key's interest: the canonical query (kept so the engine
+/// can recompute the full answer for resyncs and recovery re-seeding) plus
+/// its subscribers.
+#[derive(Debug)]
+struct KeyInterest {
+    query: ConjunctiveQuery,
+    parameters: Vec<Var>,
+    subscribers: Vec<Arc<SubscriberState>>,
+}
+
+/// A subscribed key with the canonical query that serves it — what the
+/// engine's fan-out and recovery re-seeding iterate over.
+#[derive(Debug, Clone)]
+pub(crate) struct SubscribedShape {
+    /// The (shape, parameter values) key.
+    pub key: MaterializedKey,
+    /// The canonical (alpha-renamed) query.
+    pub query: ConjunctiveQuery,
+    /// The canonical parameter variables.
+    pub parameters: Vec<Var>,
+}
+
+/// The engine's subscription registry: subscribed keys → subscriber queues,
+/// plus the pin set it shares with the materialized cache.  The registry is
+/// `Arc`-owned by the engine *and* by every [`ObservableQuery`] handle, so
+/// it survives [`Engine::recover`](crate::Engine) — the recovered engine is
+/// built around the same registry and re-seeds every subscriber with a
+/// `Resync` at the recovered epoch.
+#[derive(Debug, Default)]
+pub struct SubscriptionRegistry {
+    inner: Mutex<HashMap<MaterializedKey, KeyInterest>>,
+    pins: Arc<PinSet>,
+    next_id: AtomicU64,
+    delivered: AtomicU64,
+    resyncs: AtomicU64,
+    overflows: AtomicU64,
+}
+
+impl SubscriptionRegistry {
+    /// Creates an empty registry with its own pin set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The pin set shared with the materialized cache.
+    pub fn pins(&self) -> &Arc<PinSet> {
+        &self.pins
+    }
+
+    /// True iff nobody is subscribed (one relaxed load via the pin set).
+    pub fn is_empty(&self) -> bool {
+        self.pins.is_empty()
+    }
+
+    /// Live subscriber handles.
+    pub fn subscriber_count(&self) -> u64 {
+        let inner = self.inner.lock().expect("subscription registry poisoned");
+        inner.values().map(|i| i.subscribers.len() as u64).sum()
+    }
+
+    /// Updates currently queued across all subscribers (gauge).
+    pub fn queued_updates(&self) -> u64 {
+        let inner = self.inner.lock().expect("subscription registry poisoned");
+        inner
+            .values()
+            .flat_map(|i| i.subscribers.iter())
+            .map(|s| {
+                s.queue
+                    .lock()
+                    .expect("subscriber queue poisoned")
+                    .items
+                    .len() as u64
+            })
+            .sum()
+    }
+
+    /// Change-sets delivered (enqueued) so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Resync markers delivered so far (registration, drop, overflow,
+    /// recovery).
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs.load(Ordering::Relaxed)
+    }
+
+    /// Queue overflows so far (each collapsed a queue into one Resync).
+    pub fn overflows(&self) -> u64 {
+        self.overflows.load(Ordering::Relaxed)
+    }
+
+    /// True iff `key` has at least one subscriber.
+    pub(crate) fn is_subscribed(&self, key: &MaterializedKey) -> bool {
+        self.pins.is_pinned(key)
+    }
+
+    /// Every subscribed shape, for the commit fan-out and recovery
+    /// re-seeding.
+    pub(crate) fn subscribed(&self) -> Vec<SubscribedShape> {
+        let inner = self.inner.lock().expect("subscription registry poisoned");
+        inner
+            .iter()
+            .map(|(key, interest)| SubscribedShape {
+                key: key.clone(),
+                query: interest.query.clone(),
+                parameters: interest.parameters.clone(),
+            })
+            .collect()
+    }
+
+    /// Registers a subscriber for `key`, pinning it and enqueuing the fenced
+    /// initial `Resync { epoch, full_answer }` as its first message.  The
+    /// caller (the engine) holds the commit lock, which is the fence.
+    pub(crate) fn register(
+        self: &Arc<Self>,
+        key: MaterializedKey,
+        query: ConjunctiveQuery,
+        parameters: Vec<Var>,
+        capacity: usize,
+        epoch: u64,
+        full_answer: Arc<Vec<Tuple>>,
+    ) -> ObservableQuery {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::new(SubscriberState::new(id, capacity));
+        state.deliver(
+            AnswerUpdate::Resync {
+                epoch,
+                full_answer: Arc::clone(&full_answer),
+            },
+            epoch,
+            &full_answer,
+        );
+        self.resyncs.fetch_add(1, Ordering::Relaxed);
+        self.pins.pin(&key);
+        {
+            let mut inner = self.inner.lock().expect("subscription registry poisoned");
+            inner
+                .entry(key.clone())
+                .or_insert_with(|| KeyInterest {
+                    query,
+                    parameters,
+                    subscribers: Vec::new(),
+                })
+                .subscribers
+                .push(Arc::clone(&state));
+        }
+        ObservableQuery {
+            key,
+            state,
+            registry: Arc::clone(self),
+        }
+    }
+
+    /// Removes subscriber `id` from `key` and releases its pin; the key's
+    /// interest disappears with its last subscriber.
+    fn unregister(&self, key: &MaterializedKey, id: u64) {
+        let mut inner = self.inner.lock().expect("subscription registry poisoned");
+        if let Some(interest) = inner.get_mut(key) {
+            interest.subscribers.retain(|s| s.id != id);
+            if interest.subscribers.is_empty() {
+                inner.remove(key);
+            }
+            self.pins.unpin(key);
+        }
+    }
+
+    /// Fans a change-set out to `key`'s subscribers.  Empty change-sets are
+    /// elided (net-effect-only delivery); a full queue collapses to a
+    /// `Resync` carrying `full`.  Returns the number of updates enqueued.
+    pub(crate) fn deliver_changes(
+        &self,
+        key: &MaterializedKey,
+        change: &ChangeSet,
+        full: &Arc<Vec<Tuple>>,
+    ) -> u64 {
+        if change.is_empty() {
+            return 0;
+        }
+        let inner = self.inner.lock().expect("subscription registry poisoned");
+        let Some(interest) = inner.get(key) else {
+            return 0;
+        };
+        let mut enqueued = 0;
+        for subscriber in &interest.subscribers {
+            enqueued += 1;
+            if subscriber.deliver(AnswerUpdate::Changes(change.clone()), change.epoch, full) {
+                self.delivered.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.overflows.fetch_add(1, Ordering::Relaxed);
+                self.resyncs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        enqueued
+    }
+
+    /// Fans a `Resync { epoch, full }` out to `key`'s subscribers (entry
+    /// dropped by maintenance, or recovery re-seeding).  Returns the number
+    /// of updates enqueued.
+    pub(crate) fn deliver_resync(
+        &self,
+        key: &MaterializedKey,
+        epoch: u64,
+        full: &Arc<Vec<Tuple>>,
+    ) -> u64 {
+        let inner = self.inner.lock().expect("subscription registry poisoned");
+        let Some(interest) = inner.get(key) else {
+            return 0;
+        };
+        let mut enqueued = 0;
+        for subscriber in &interest.subscribers {
+            enqueued += 1;
+            if !subscriber.deliver(
+                AnswerUpdate::Resync {
+                    epoch,
+                    full_answer: Arc::clone(full),
+                },
+                epoch,
+                full,
+            ) {
+                self.overflows.fetch_add(1, Ordering::Relaxed);
+            }
+            self.resyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        enqueued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_data::tuple;
+    use si_query::parse_cq;
+
+    fn registry() -> Arc<SubscriptionRegistry> {
+        Arc::new(SubscriptionRegistry::new())
+    }
+
+    fn shape() -> (ConjunctiveQuery, Vec<Var>) {
+        let q = parse_cq(r#"Q(v0, v1) :- friend(v0, v1)"#).unwrap();
+        (q, vec!["v0".into()])
+    }
+
+    fn key(p: i64) -> MaterializedKey {
+        ("shape".to_string(), vec![si_data::Value::int(p)])
+    }
+
+    fn full(tuples: &[Tuple]) -> Arc<Vec<Tuple>> {
+        Arc::new(tuples.to_vec())
+    }
+
+    #[test]
+    fn registration_delivers_the_fenced_initial_resync() {
+        let registry = registry();
+        let (q, params) = shape();
+        let sub = registry.register(key(1), q, params, 8, 3, full(&[tuple!["a"]]));
+        assert_eq!(registry.subscriber_count(), 1);
+        assert!(registry.is_subscribed(&key(1)));
+        assert!(!registry.is_subscribed(&key(2)));
+        let first = sub.try_recv().expect("initial resync queued");
+        assert_eq!(
+            first,
+            AnswerUpdate::Resync {
+                epoch: 3,
+                full_answer: full(&[tuple!["a"]]),
+            }
+        );
+        assert!(sub.try_recv().is_none());
+        assert_eq!(registry.resyncs(), 1);
+    }
+
+    #[test]
+    fn dropping_the_handle_unregisters_and_unpins() {
+        let registry = registry();
+        let (q, params) = shape();
+        let sub = registry.register(key(1), q.clone(), params.clone(), 8, 0, full(&[]));
+        let sub2 = registry.register(key(1), q, params, 8, 0, full(&[]));
+        assert_eq!(registry.subscriber_count(), 2);
+        drop(sub);
+        assert_eq!(registry.subscriber_count(), 1);
+        assert!(registry.is_subscribed(&key(1)), "second handle still pins");
+        drop(sub2);
+        assert!(registry.is_empty());
+        assert!(!registry.is_subscribed(&key(1)));
+    }
+
+    #[test]
+    fn empty_change_sets_are_elided() {
+        let registry = registry();
+        let (q, params) = shape();
+        let sub = registry.register(key(1), q, params, 8, 0, full(&[]));
+        sub.drain();
+        let change = ChangeSet {
+            epoch: 1,
+            added: vec![],
+            removed: vec![],
+        };
+        assert_eq!(registry.deliver_changes(&key(1), &change, &full(&[])), 0);
+        assert!(sub.try_recv().is_none());
+        assert_eq!(registry.delivered(), 0);
+    }
+
+    #[test]
+    fn overflow_collapses_the_queue_into_exactly_one_resync() {
+        let registry = registry();
+        let (q, params) = shape();
+        let sub = registry.register(key(1), q, params, 2, 0, full(&[]));
+        sub.drain();
+        for e in 1..=5u64 {
+            let change = ChangeSet {
+                epoch: e,
+                added: vec![tuple![e as i64]],
+                removed: vec![],
+            };
+            registry.deliver_changes(&key(1), &change, &full(&[tuple![e as i64]]));
+        }
+        // Capacity 2: epochs 1 and 2 fit, epoch 3 overflows (collapse to one
+        // Resync at 3), epochs 4 and 5 then refill past it… epoch 5 would be
+        // the third item, collapsing again at 5.
+        assert!(sub.overflows() >= 1);
+        let updates = sub.drain();
+        assert!(updates.len() <= 2, "queue never exceeds capacity");
+        let resyncs = updates
+            .iter()
+            .filter(|u| matches!(u, AnswerUpdate::Resync { .. }))
+            .count();
+        assert_eq!(resyncs, 1, "overflow leaves exactly one resync marker");
+        assert_eq!(updates[0].epoch(), 5 - (updates.len() as u64 - 1));
+    }
+
+    #[test]
+    fn replay_across_an_overflow_reconstructs_the_full_answer() {
+        let registry = registry();
+        let (q, params) = shape();
+        let sub = registry.register(key(1), q, params, 2, 0, full(&[]));
+        let mut state: Vec<Tuple> = Vec::new();
+        let mut answer: Vec<Tuple> = Vec::new();
+        for e in 1..=7u64 {
+            answer.push(tuple![e as i64]);
+            answer.sort();
+            let change = ChangeSet {
+                epoch: e,
+                added: vec![tuple![e as i64]],
+                removed: vec![],
+            };
+            registry.deliver_changes(&key(1), &change, &full(&answer));
+            if e % 3 == 0 {
+                for update in sub.drain() {
+                    update.apply_to(&mut state);
+                }
+                assert_eq!(state, answer, "replay exact at epoch {e}");
+            }
+        }
+        for update in sub.drain() {
+            update.apply_to(&mut state);
+        }
+        assert_eq!(state, answer);
+    }
+
+    #[test]
+    fn resyncs_are_fanned_to_every_subscriber_of_the_key() {
+        let registry = registry();
+        let (q, params) = shape();
+        let a = registry.register(key(1), q.clone(), params.clone(), 8, 0, full(&[]));
+        let b = registry.register(key(1), q.clone(), params.clone(), 8, 0, full(&[]));
+        let other = registry.register(key(2), q, params, 8, 0, full(&[]));
+        a.drain();
+        b.drain();
+        other.drain();
+        assert_eq!(
+            registry.deliver_resync(&key(1), 9, &full(&[tuple!["x"]])),
+            2
+        );
+        assert_eq!(a.queue_len(), 1);
+        assert_eq!(b.queue_len(), 1);
+        assert_eq!(other.queue_len(), 0);
+        assert_eq!(a.try_recv().unwrap().epoch(), 9);
+    }
+
+    #[test]
+    fn recv_timeout_returns_queued_updates_and_times_out_empty() {
+        let registry = registry();
+        let (q, params) = shape();
+        let sub = registry.register(key(1), q, params, 8, 4, full(&[]));
+        let update = sub.recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(update.epoch(), 4);
+        assert!(sub.recv_timeout(Duration::from_millis(10)).is_none());
+    }
+}

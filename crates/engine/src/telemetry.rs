@@ -29,6 +29,9 @@ pub const MAINTENANCE_HISTOGRAM: &str = "si_maintenance_latency_ns";
 pub const FSYNC_HISTOGRAM: &str = "si_fsync_latency_ns";
 /// Checkpoint serialization + publish time (durable engines only).
 pub const CHECKPOINT_HISTOGRAM: &str = "si_checkpoint_latency_ns";
+/// Commit-start → subscriber-queue delivery latency of one change-set or
+/// resync push (reactive plane; engines with subscribers only).
+pub const DELIVERY_HISTOGRAM: &str = "si_subscription_delivery_ns";
 
 /// The engine's observability state: registry + cached histograms + sampler.
 #[derive(Debug)]
@@ -52,6 +55,8 @@ pub(crate) struct EngineTelemetry {
     pub fsync: Arc<LatencyHistogram>,
     /// Checkpoint publish time.
     pub checkpoint: Arc<LatencyHistogram>,
+    /// Subscription delivery latency (commit start → update enqueued).
+    pub delivery: Arc<LatencyHistogram>,
     /// Requests currently inside the serve path (gauge).
     pub in_flight: AtomicU64,
     /// Request traces emitted so far (sampled + post-hoc slow + opted-in).
@@ -71,6 +76,7 @@ impl EngineTelemetry {
         let maintenance = registry.histogram(MAINTENANCE_HISTOGRAM);
         let fsync = registry.histogram(FSYNC_HISTOGRAM);
         let checkpoint = registry.histogram(CHECKPOINT_HISTOGRAM);
+        let delivery = registry.histogram(DELIVERY_HISTOGRAM);
         EngineTelemetry {
             sampler: Sampler::new(config.trace_sample_every),
             slow_threshold_nanos: u64::try_from(config.slow_threshold.as_nanos())
@@ -81,6 +87,7 @@ impl EngineTelemetry {
             maintenance,
             fsync,
             checkpoint,
+            delivery,
             in_flight: AtomicU64::new(0),
             traces_emitted: AtomicU64::new(0),
             registry,

@@ -238,6 +238,82 @@ pub fn update_heavy_scenario(
         .collect()
 }
 
+/// One step of a subscriber-churn schedule.
+#[derive(Debug, Clone)]
+pub enum ChurnOp {
+    /// Open a subscription in `slot` (the slot is empty when this op runs).
+    Subscribe {
+        /// Which subscription slot to fill.
+        slot: usize,
+        /// What to subscribe to (a hot Q1/Q2 request shape).
+        request: GeneratedRequest,
+    },
+    /// Drop the subscription held in `slot` (occupied when this op runs).
+    Unsubscribe {
+        /// Which subscription slot to vacate.
+        slot: usize,
+    },
+    /// Commit an update batch (well formed against the instance as evolved
+    /// by every earlier `Commit` of the schedule).
+    Commit(Delta),
+}
+
+/// Generates a subscriber-churn schedule over `db`: `ops` steps of which
+/// roughly `commit_percent`% are `visit` insert/delete batches and the rest
+/// toggle one of `slots` subscription slots — an empty slot subscribes to a
+/// hot Q1/Q2 shape (person drawn from the `hot_persons` lowest ids, so
+/// slots repeatedly re-subscribe to shapes other slots watch too), an
+/// occupied slot drops its subscription.  Registration and teardown thereby
+/// interleave with commits, which is the traffic the reactive plane's
+/// epoch-fenced registration and pin accounting must survive.
+/// Deterministic per seed.
+pub fn subscriber_churn_scenario(
+    db: &Database,
+    ops: usize,
+    slots: usize,
+    hot_persons: usize,
+    commit_percent: u8,
+    seed: u64,
+) -> Vec<ChurnOp> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let planned = ops * (commit_percent.min(100) as usize) / 100 + ops / 8 + 4;
+    let mut commits = visit_update_stream(db, planned, 2, 1, seed ^ 0xC4A1).into_iter();
+    let q1 = q1();
+    let q2 = q2();
+    let slots = slots.max(1);
+    let mut occupied = vec![false; slots];
+    (0..ops)
+        .map(|_| {
+            if rng.gen_range(0..100u8) < commit_percent {
+                if let Some(delta) = commits.next() {
+                    return ChurnOp::Commit(delta);
+                }
+            }
+            let slot = rng.gen_range(0..slots);
+            if occupied[slot] {
+                occupied[slot] = false;
+                ChurnOp::Unsubscribe { slot }
+            } else {
+                occupied[slot] = true;
+                let p = rng.gen_range(0..hot_persons.max(1)) as i64;
+                let query = if rng.gen_range(0..100u8) < 60 {
+                    q1.clone()
+                } else {
+                    q2.clone()
+                };
+                ChurnOp::Subscribe {
+                    slot,
+                    request: GeneratedRequest {
+                        query,
+                        parameters: vec!["p".into()],
+                        values: vec![Value::int(p)],
+                    },
+                }
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,6 +460,72 @@ mod tests {
         let merged = Delta::merge(&db, &odd).unwrap();
         assert!(merged.size() <= 4, "net effect {} > hot set", merged.size());
         assert!(!merged.is_empty());
+    }
+
+    #[test]
+    fn churn_schedules_balance_subscribes_drops_and_commits() {
+        let db = SocialGenerator::new(SocialConfig {
+            persons: 100,
+            restaurants: 20,
+            ..SocialConfig::default()
+        })
+        .generate();
+        let a = subscriber_churn_scenario(&db, 120, 6, 8, 30, 13);
+        let b = subscriber_churn_scenario(&db, 120, 6, 8, 30, 13);
+        assert_eq!(a.len(), 120);
+        // Deterministic per seed.
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (ChurnOp::Commit(dx), ChurnOp::Commit(dy)) => assert_eq!(dx, dy),
+                (
+                    ChurnOp::Subscribe {
+                        slot: sx,
+                        request: rx,
+                    },
+                    ChurnOp::Subscribe {
+                        slot: sy,
+                        request: ry,
+                    },
+                ) => {
+                    assert_eq!(sx, sy);
+                    assert_eq!(rx.values, ry.values);
+                    assert_eq!(rx.query.name, ry.query.name);
+                }
+                (ChurnOp::Unsubscribe { slot: sx }, ChurnOp::Unsubscribe { slot: sy }) => {
+                    assert_eq!(sx, sy)
+                }
+                _ => panic!("schedules diverged in op kind"),
+            }
+        }
+        // The schedule is consistent with its slot model (subscribe only
+        // into empty slots, drop only occupied ones), commits are valid
+        // against the evolving instance, and all three op kinds occur.
+        let schema = social_schema();
+        let mut evolving = db.clone();
+        let mut occupied = [false; 6];
+        let (mut subs, mut drops, mut commits) = (0, 0, 0);
+        for op in &a {
+            match op {
+                ChurnOp::Subscribe { slot, request } => {
+                    assert!(!occupied[*slot], "subscribed into an occupied slot");
+                    occupied[*slot] = true;
+                    request.query.validate(&schema).unwrap();
+                    subs += 1;
+                }
+                ChurnOp::Unsubscribe { slot } => {
+                    assert!(occupied[*slot], "dropped an empty slot");
+                    occupied[*slot] = false;
+                    drops += 1;
+                }
+                ChurnOp::Commit(delta) => {
+                    delta.apply_in_place(&mut evolving).unwrap();
+                    commits += 1;
+                }
+            }
+        }
+        assert!(subs >= 20, "only {subs} subscribes");
+        assert!(drops >= 15, "only {drops} drops");
+        assert!(commits >= 20, "only {commits} commits");
     }
 
     #[test]

@@ -21,7 +21,8 @@ pub mod updates;
 
 pub use concurrent::{
     burst_requests, serving_access_schema, small_commit_storm, social_partition_map,
-    social_requests, update_heavy_scenario, GeneratedRequest, ScenarioOp,
+    social_requests, subscriber_churn_scenario, update_heavy_scenario, ChurnOp, GeneratedRequest,
+    ScenarioOp,
 };
 pub use queries::{example_46_access_schema, paper_views, q1, q2, q2_rewriting, q3};
 pub use scaling::{geometric_sizes, ScalePoint};

@@ -8,8 +8,14 @@
 //! to a write-ahead log on a simulated disk; the engine is repeatedly
 //! dropped — "killed" — between commit rounds and rebuilt with
 //! `Engine::recover`, resuming at the same epoch with a cold materialized
-//! cache that re-warms), and a naive single-threaded oracle database must
-//! produce identical answers for every query at every epoch of every
+//! cache that re-warms), a **subscribing** engine (the reactive plane:
+//! every shape × hot-parameter pair is held as a live `ObservableQuery`,
+//! and its answers are never queried — they are *replayed* purely from the
+//! pushed update stream, the fenced initial `Resync` plus per-commit
+//! `ChangeSet`s; a third of the seeds run one-slot subscriber queues and
+//! drain only every third commit, so the stream is carried through
+//! overflow resyncs instead), and a naive single-threaded oracle database
+//! must produce identical answers for every query at every epoch of every
 //! seeded schedule — and the batched arm's epochs, materialized flags and
 //! materialized-hit counts must match the unbatched materializing arm
 //! exactly.
@@ -34,7 +40,7 @@
 use si_access::{AccessConstraint, AccessSchema};
 use si_data::{Database, Delta, Tuple, Value};
 use si_durability::SimDisk;
-use si_engine::{Engine, EngineConfig, Request};
+use si_engine::{AnswerUpdate, Engine, EngineConfig, ObservableQuery, Request};
 use si_query::{evaluate_cq, parse_cq, ConjunctiveQuery};
 use si_workload::rng::SplitMix64;
 use si_workload::{serving_access_schema, social_partition_map, SocialConfig, SocialGenerator};
@@ -190,6 +196,89 @@ fn naive_answers(query: &ConjunctiveQuery, parameter: &str, p: i64, db: &Databas
     answers
 }
 
+/// One subscription the subscribing arm replays: the live handle, the
+/// answer state rebuilt purely from its update stream, and what it
+/// subscribed to (for the oracle check).
+struct ReplayedSubscription {
+    handle: ObservableQuery,
+    state: Vec<Tuple>,
+    last_epoch: u64,
+    query: ConjunctiveQuery,
+    parameter: String,
+    p: i64,
+}
+
+/// Subscribes `engine` to every shape at every hot parameter and replays
+/// each fenced initial `Resync` into the starting state — which must equal
+/// the cold answer on the un-updated oracle.
+fn subscribe_all(
+    engine: &Engine,
+    shapes: &[(ConjunctiveQuery, String)],
+    hot: i64,
+    oracle: &Database,
+    seed: u64,
+) -> Vec<ReplayedSubscription> {
+    let mut subs = Vec::new();
+    for (query, parameter) in shapes {
+        for p in 0..hot {
+            let request = Request::new(query.clone(), vec![parameter.clone()], vec![Value::int(p)]);
+            let handle = engine.subscribe(&request).unwrap_or_else(|e| {
+                panic!(
+                    "subscribe failed: seed {seed} query {} p {p}: {e:?}",
+                    query.name
+                )
+            });
+            let mut sub = ReplayedSubscription {
+                handle,
+                state: Vec::new(),
+                last_epoch: 0,
+                query: query.clone(),
+                parameter: parameter.clone(),
+                p,
+            };
+            let (changes, resyncs) = drain_replay(&mut sub, oracle, seed, 0);
+            assert_eq!(resyncs, 1, "registration queues exactly one resync");
+            assert_eq!(changes, 0, "no change-set can precede registration");
+            subs.push(sub);
+        }
+    }
+    subs
+}
+
+/// Drains one subscriber's queue into its replayed state and checks the
+/// replay invariant: epochs never regress, and the rebuilt state equals
+/// the cold answer on the oracle.  Returns (change-sets, resyncs) drained.
+fn drain_replay(
+    sub: &mut ReplayedSubscription,
+    oracle: &Database,
+    seed: u64,
+    op: usize,
+) -> (u64, u64) {
+    let mut changes = 0u64;
+    let mut resyncs = 0u64;
+    for update in sub.handle.drain() {
+        assert!(
+            update.epoch() >= sub.last_epoch,
+            "subscription epoch regressed: seed {seed} op {op} query {} p {}",
+            sub.query.name,
+            sub.p
+        );
+        sub.last_epoch = update.epoch();
+        match &update {
+            AnswerUpdate::Changes(_) => changes += 1,
+            AnswerUpdate::Resync { .. } => resyncs += 1,
+        }
+        update.apply_to(&mut sub.state);
+    }
+    let expected = naive_answers(&sub.query, &sub.parameter, sub.p, oracle);
+    assert_eq!(
+        sub.state, expected,
+        "subscribing arm replay diverged: seed {seed} op {op} query {} p {}",
+        sub.query.name, sub.p
+    );
+    (changes, resyncs)
+}
+
 /// One query the batched arm still owes: the request plus everything the
 /// unbatched materializing arm observed when it served the same op (expected
 /// answers, epoch, materialized flag).
@@ -246,6 +335,10 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
     let mut recoveries = 0u64;
     let mut durable_materialized_hits = 0u64;
     let mut traced_requests = 0u64;
+    let mut subscription_changes = 0u64;
+    let mut streamed_resyncs = 0u64;
+    let mut subscription_deliveries = 0u64;
+    let mut subscription_overflows = 0u64;
 
     for seed in 0..SEEDS {
         let (db, access, shapes) = scenario(seed);
@@ -284,6 +377,27 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
                 materialize_after: 1 + seed % 2,
                 stats_drift_threshold: 0.1,
                 trace_sample_every: 1,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        // Eighth arm: a subscribing engine — same materialization config,
+        // but every shape × hot-parameter pair holds a live
+        // `ObservableQuery`.  Its answers are never queried; they are
+        // replayed from the push stream and checked against the oracle
+        // after every drain.  A third of the seeds run a one-slot
+        // subscriber queue and drain only every third commit, so the
+        // stream must survive overflow (drop-to-resync) to stay exact.
+        let tight_queue = seed % 3 == 0;
+        let subscribing = Engine::new(
+            db.clone(),
+            access.clone(),
+            EngineConfig {
+                workers: 1,
+                materialize_capacity: 32,
+                materialize_after: 1 + seed % 2,
+                stats_drift_threshold: 0.1,
+                subscriber_queue_capacity: if tight_queue { 1 } else { 64 },
                 ..EngineConfig::default()
             },
         )
@@ -358,6 +472,8 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
             .unwrap_or_default();
 
         let mut pending: Vec<PendingBatched> = Vec::new();
+        let mut subs = subscribe_all(&subscribing, &shapes, hot, &oracle, seed);
+        let mut commits_since_drain = 0usize;
 
         for op in 0..OPS_PER_SEED {
             if rng.gen_range(0..100u8) < 35 {
@@ -374,12 +490,36 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
                 let epoch_batched = batched.commit(&delta).unwrap();
                 let epoch_durable = durable.commit(&delta).unwrap();
                 let epoch_traced = traced.commit(&delta).unwrap();
+                let epoch_subscribing = subscribing.commit(&delta).unwrap();
                 assert_eq!(epoch_with, epoch_without, "seed {seed} op {op}");
                 assert_eq!(epoch_with, epoch_traced, "seed {seed} op {op}");
                 assert_eq!(epoch_with, epoch_sharded, "seed {seed} op {op}");
                 assert_eq!(epoch_with, epoch_batched, "seed {seed} op {op}");
                 assert_eq!(epoch_with, epoch_durable, "seed {seed} op {op}");
+                assert_eq!(epoch_with, epoch_subscribing, "seed {seed} op {op}");
                 delta.apply_in_place(&mut oracle).unwrap();
+
+                // The subscribing arm replays its streams: after every
+                // commit on roomy queues, only every third commit on the
+                // one-slot seeds — whose queues must stay bounded (and
+                // overflow into resyncs) in between.
+                commits_since_drain += 1;
+                if tight_queue {
+                    for sub in &subs {
+                        assert!(
+                            sub.handle.queue_len() <= 1,
+                            "bounded queue exceeded its capacity: seed {seed} op {op}"
+                        );
+                    }
+                }
+                if !tight_queue || commits_since_drain >= 3 {
+                    commits_since_drain = 0;
+                    for sub in subs.iter_mut() {
+                        let (changes, resyncs) = drain_replay(sub, &oracle, seed, op);
+                        subscription_changes += changes;
+                        streamed_resyncs += resyncs;
+                    }
+                }
 
                 // Kill the durable arm between commit rounds (~every third
                 // commit): drop the engine, recover from the disk, and the
@@ -493,6 +633,25 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
             }
         }
         drain_batched(&batched, &mut pending, seed);
+        // Final drain: whatever the last commits queued must still replay
+        // to the oracle's final state.
+        for sub in subs.iter_mut() {
+            let (changes, resyncs) = drain_replay(sub, &oracle, seed, OPS_PER_SEED);
+            subscription_changes += changes;
+            streamed_resyncs += resyncs;
+        }
+        let msub = subscribing.metrics();
+        assert_eq!(
+            msub.subscribers,
+            subs.len() as u64,
+            "every subscription handle is still registered: seed {seed}"
+        );
+        assert_eq!(
+            msub.subscription_queue_depth, 0,
+            "nothing left queued after the final drain: seed {seed}"
+        );
+        subscription_deliveries += msub.subscription_deliveries;
+        subscription_overflows += msub.subscription_overflows;
         let mb = batched.metrics();
         assert_eq!(
             mb.materialized_hits,
@@ -572,6 +731,24 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
         traced_requests > 1_500,
         "only {traced_requests} traced requests across the suite"
     );
+    // The subscribing arm really streamed: incremental change-sets carried
+    // most epochs, and the one-slot seeds really overflowed — replay
+    // stayed exact through both delivery modes.
+    assert!(
+        subscription_changes > 300,
+        "only {subscription_changes} streamed change-sets across the suite"
+    );
+    // (The heavy overflow floor lives in
+    // `overflowed_subscribers_replay_to_the_exact_answer`; here the
+    // schedule only has to reach the path at all.)
+    assert!(
+        subscription_overflows > 0,
+        "the one-slot seeds never overflowed a subscriber queue"
+    );
+    assert!(
+        streamed_resyncs > 0,
+        "overflows must surface as resync markers in the drained streams"
+    );
     println!(
         "differential: {queries_checked} queries checked, 0 divergent \
          ({materialized_hits} materialized hits, {maintenance_runs} maintenance runs, \
@@ -580,6 +757,66 @@ fn engines_with_and_without_materialization_agree_with_the_oracle() {
          maintenance runs; batched arm: {batched_group_members} grouped requests, \
          {batched_shared_fetches} shared fetches; durable arm: {recoveries} recoveries, \
          {durable_materialized_hits} materialized hits after cold restarts; traced arm: \
-         {traced_requests} requests, every one traced)"
+         {traced_requests} requests, every one traced; subscribing arm: \
+         {subscription_changes} change-sets replayed, {streamed_resyncs} resyncs, \
+         {subscription_overflows} overflows, {subscription_deliveries} deliveries)"
     );
+}
+
+/// Property: a subscriber's bounded queue never exceeds its capacity under
+/// a commit storm with no draining, and however many overflows collapse
+/// the stream, replaying what the subscriber *does* receive reconstructs
+/// the exact cold answer — a slow subscriber loses granularity, never
+/// correctness.
+#[test]
+fn overflowed_subscribers_replay_to_the_exact_answer() {
+    let mut overflows = 0u64;
+    for seed in 0..40u64 {
+        let (db, access, shapes) = scenario(seed);
+        let engine = Engine::new(
+            db.clone(),
+            access,
+            EngineConfig {
+                workers: 1,
+                materialize_capacity: 32,
+                materialize_after: 1,
+                stats_drift_threshold: 0.1,
+                subscriber_queue_capacity: 2,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let mut oracle = db;
+        let restaurant_ids: Vec<Value> = oracle
+            .relation("restr")
+            .map(|r| r.iter().filter_map(|t| t.get(0).copied()).collect())
+            .unwrap_or_default();
+        let mut subs = subscribe_all(&engine, &shapes, 4, &oracle, seed);
+        let mut rng = SplitMix64::seed_from_u64(0x0F100D ^ seed);
+        let mut fresh = 9_000_000usize;
+        for op in 0..16 {
+            let delta = gen_delta(&mut rng, &oracle, &restaurant_ids, &mut fresh);
+            if delta.is_empty() {
+                continue;
+            }
+            engine.commit(&delta).unwrap();
+            delta.apply_in_place(&mut oracle).unwrap();
+            for sub in &subs {
+                assert!(
+                    sub.handle.queue_len() <= 2,
+                    "queue exceeded its capacity: seed {seed} op {op}"
+                );
+            }
+        }
+        // One drain at the end of the storm replays to the final answer.
+        for sub in subs.iter_mut() {
+            drain_replay(sub, &oracle, seed, 16);
+        }
+        overflows += engine.metrics().subscription_overflows;
+    }
+    assert!(
+        overflows > 5,
+        "only {overflows} overflows across the storm suite"
+    );
+    println!("overflow property: {overflows} overflows, every replay exact");
 }

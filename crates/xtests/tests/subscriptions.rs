@@ -1,0 +1,388 @@
+//! End-to-end suite for the reactive plane: live `ObservableQuery`
+//! subscriptions driven through churn, group-commit storms and crash
+//! recovery, with every stream checked against the replay oracle — the
+//! state rebuilt purely from the pushed updates (the fenced initial
+//! `Resync` plus per-commit `ChangeSet`s, with overflow and recovery
+//! resyncs in between) must equal the answer a cold query computes on a
+//! naive oracle database at every point a subscriber looks.
+//!
+//! Three angles:
+//!
+//! * **Churn** — `si_workload::subscriber_churn_scenario` interleaves
+//!   subscribes, drops and commits, so registration fencing and pin
+//!   accounting run against a moving subscriber population.
+//! * **Group commits** — storms committed through `Engine::commit_group`
+//!   must stream net effects only: one change-set per group that changed
+//!   the answer, nothing for a group that cancels out, and a
+//!   delete-then-reinsert `visit` storm (which never joins `restr`) is
+//!   elided entirely.
+//! * **Recovery** — a durable engine is killed mid-stream and rebuilt with
+//!   `Engine::recover_with_subscriptions`: every surviving subscriber must
+//!   see a `Resync` stamped with the recovered epoch as its next
+//!   synchronization point, then resume incremental delivery.
+
+use si_data::{Database, Delta, Tuple, Value};
+use si_durability::SimDisk;
+use si_engine::{AnswerUpdate, Engine, EngineConfig, ObservableQuery, Request};
+use si_query::evaluate_cq;
+use si_workload::rng::SplitMix64;
+use si_workload::{
+    serving_access_schema, small_commit_storm, subscriber_churn_scenario, ChurnOp,
+    GeneratedRequest, SocialConfig, SocialGenerator,
+};
+use std::collections::BTreeSet;
+
+/// One live subscription plus the state replayed from its update stream.
+struct LiveSubscription {
+    handle: ObservableQuery,
+    state: Vec<Tuple>,
+    request: GeneratedRequest,
+}
+
+/// What a cold query computes for `request` on the oracle database.
+fn cold_answers(request: &GeneratedRequest, db: &Database) -> Vec<Tuple> {
+    let bindings: Vec<(String, Value)> = request
+        .parameters
+        .iter()
+        .cloned()
+        .zip(request.values.iter().copied())
+        .collect();
+    let bound = request.query.bind(&bindings);
+    let mut answers = evaluate_cq(&bound, db, None).unwrap();
+    answers.sort();
+    answers
+}
+
+/// Drains one subscriber into its replayed state and checks it against the
+/// oracle.  Returns the number of (change-sets, resyncs) drained.
+fn drain_replay(sub: &mut LiveSubscription, oracle: &Database, context: &str) -> (u64, u64) {
+    let mut changes = 0u64;
+    let mut resyncs = 0u64;
+    for update in sub.handle.drain() {
+        match &update {
+            AnswerUpdate::Changes(_) => changes += 1,
+            AnswerUpdate::Resync { .. } => resyncs += 1,
+        }
+        update.apply_to(&mut sub.state);
+    }
+    let expected = cold_answers(&sub.request, oracle);
+    assert_eq!(
+        sub.state, expected,
+        "replay diverged: {context} query {} values {:?}",
+        sub.request.query.name, sub.request.values
+    );
+    (changes, resyncs)
+}
+
+/// Subscribes `engine` to `request` and replays the fenced initial resync.
+fn open_subscription(
+    engine: &Engine,
+    request: GeneratedRequest,
+    oracle: &Database,
+    context: &str,
+) -> LiveSubscription {
+    let handle = engine
+        .subscribe(&Request::new(
+            request.query.clone(),
+            request.parameters.clone(),
+            request.values.clone(),
+        ))
+        .unwrap_or_else(|e| panic!("subscribe failed: {context}: {e:?}"));
+    let mut sub = LiveSubscription {
+        handle,
+        state: Vec::new(),
+        request,
+    };
+    let (changes, resyncs) = drain_replay(&mut sub, oracle, context);
+    assert_eq!(resyncs, 1, "registration queues exactly one resync");
+    assert_eq!(changes, 0, "no change-set can precede registration");
+    sub
+}
+
+/// A 1–2 tuple friend insert/delete batch valid against the oracle, biased
+/// towards the `hot` lowest person ids (the ones subscriptions watch) so
+/// the streams actually carry changes.
+fn friend_flip(rng: &mut SplitMix64, oracle: &Database, hot: usize) -> Delta {
+    let persons = oracle
+        .relation("person")
+        .map(|r| r.len())
+        .unwrap_or(1)
+        .max(1);
+    let hot = hot.clamp(1, persons);
+    let mut delta = Delta::new();
+    let mut planned: BTreeSet<Tuple> = BTreeSet::new();
+    for _ in 0..(1 + rng.gen_range(0..2usize)) {
+        if rng.gen_range(0..2usize) == 0 {
+            let a = Value::from(if rng.gen_range(0..3usize) < 2 {
+                rng.gen_range(0..hot)
+            } else {
+                rng.gen_range(0..persons)
+            });
+            let b = Value::from(rng.gen_range(0..persons));
+            let t: Tuple = vec![a, b].into();
+            if !oracle.contains("friend", &t).unwrap() && planned.insert(t.clone()) {
+                delta.insert("friend", t);
+            }
+        } else {
+            let rel = oracle.relation("friend").unwrap();
+            // Prefer deleting an edge a subscribed person owns.
+            let hot_edges: Vec<Tuple> = rel
+                .iter()
+                .filter(|t| matches!(t.get(0), Some(Value::Int(a)) if (*a as usize) < hot))
+                .cloned()
+                .collect();
+            let pool: &[Tuple] = if !hot_edges.is_empty() && rng.gen_range(0..3usize) < 2 {
+                &hot_edges
+            } else {
+                &[]
+            };
+            let t = if pool.is_empty() {
+                if rel.is_empty() {
+                    continue;
+                }
+                let i = rng.gen_range(0..rel.len());
+                rel.iter().nth(i).cloned()
+            } else {
+                Some(pool[rng.gen_range(0..pool.len())].clone())
+            };
+            if let Some(t) = t {
+                if planned.insert(t.clone()) {
+                    delta.delete("friend", t);
+                }
+            }
+        }
+    }
+    delta
+}
+
+fn social_db(seed: u64) -> Database {
+    SocialGenerator::new(SocialConfig {
+        persons: 40 + (seed as usize % 4) * 10,
+        restaurants: 10,
+        avg_friends: 5,
+        avg_visits: 2,
+        seed,
+        ..SocialConfig::default()
+    })
+    .generate()
+}
+
+fn reactive_config() -> EngineConfig {
+    EngineConfig {
+        workers: 1,
+        materialize_capacity: 16,
+        materialize_after: 1,
+        stats_drift_threshold: 0.1,
+        subscriber_queue_capacity: 8,
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn subscriber_churn_replays_exactly_under_interleaved_commits() {
+    let mut subscribes = 0u64;
+    let mut drops = 0u64;
+    let mut streamed_changes = 0u64;
+    for seed in 0..24u64 {
+        let db = social_db(seed);
+        let engine =
+            Engine::new(db.clone(), serving_access_schema(5_000), reactive_config()).unwrap();
+        let schedule = subscriber_churn_scenario(&db, 100, 5, 6, 30, seed);
+        let mut oracle = db;
+        let mut slots: Vec<Option<LiveSubscription>> = (0..5).map(|_| None).collect();
+        for (op, step) in schedule.into_iter().enumerate() {
+            let context = format!("seed {seed} op {op}");
+            match step {
+                ChurnOp::Subscribe { slot, request } => {
+                    slots[slot] = Some(open_subscription(&engine, request, &oracle, &context));
+                    subscribes += 1;
+                }
+                ChurnOp::Unsubscribe { slot } => {
+                    slots[slot] = None;
+                    drops += 1;
+                }
+                ChurnOp::Commit(delta) => {
+                    engine.commit(&delta).unwrap();
+                    delta.apply_in_place(&mut oracle).unwrap();
+                    for sub in slots.iter_mut().flatten() {
+                        let (changes, _) = drain_replay(sub, &oracle, &context);
+                        streamed_changes += changes;
+                    }
+                }
+            }
+        }
+        // The registry's population tracks the live handles exactly: drops
+        // released their pins, survivors are still registered.
+        let live = slots.iter().flatten().count() as u64;
+        assert_eq!(
+            engine.metrics().subscribers,
+            live,
+            "registry population diverged from live handles: seed {seed}"
+        );
+    }
+    assert!(
+        subscribes > 400,
+        "only {subscribes} subscribes across the suite"
+    );
+    assert!(drops > 300, "only {drops} drops across the suite");
+    println!(
+        "subscriber churn: {subscribes} subscribes, {drops} drops, \
+         {streamed_changes} change-sets replayed exactly"
+    );
+}
+
+#[test]
+fn group_commit_storms_stream_net_effects_that_replay_exactly() {
+    for seed in 0..12u64 {
+        let db = social_db(seed);
+        let engine =
+            Engine::new(db.clone(), serving_access_schema(5_000), reactive_config()).unwrap();
+        let mut oracle = db.clone();
+        let requests = si_workload::social_requests(8, 6, seed ^ 0x6E0);
+        let mut subs: Vec<LiveSubscription> = requests
+            .into_iter()
+            .map(|request| open_subscription(&engine, request, &oracle, &format!("seed {seed}")))
+            .collect();
+
+        // Friend-flip batches committed as groups of three: each subscriber
+        // sees at most ONE update per group — the net effect — however many
+        // member deltas touched its answer.
+        let mut rng = SplitMix64::seed_from_u64(0x9E00F ^ seed);
+        for round in 0..6 {
+            let mut group = Vec::new();
+            for _ in 0..3 {
+                let delta = friend_flip(&mut rng, &oracle, 8);
+                if !delta.is_empty() {
+                    delta.apply_in_place(&mut oracle).unwrap();
+                    group.push(delta);
+                }
+            }
+            if group.is_empty() {
+                continue;
+            }
+            let outcomes = engine.commit_group(&group);
+            assert!(
+                outcomes.iter().all(|o| o.is_ok()),
+                "seed {seed} round {round}"
+            );
+            for sub in subs.iter_mut() {
+                assert!(
+                    sub.handle.queue_len() <= 1,
+                    "a group must stream at most one net update: seed {seed} round {round}"
+                );
+                drain_replay(sub, &oracle, &format!("seed {seed} round {round}"));
+            }
+        }
+
+        // A delete-then-reinsert `visit` storm committed as ONE group: the
+        // toggled facts use fresh restaurant ids that never join `restr`,
+        // and an even toggle count cancels outright — the group advances
+        // the epoch but every subscriber's change-set is empty and elided.
+        let storm = small_commit_storm(&oracle, 16, 2, seed);
+        let outcomes = engine.commit_group(&storm);
+        assert!(outcomes.iter().all(|o| o.is_ok()), "seed {seed}");
+        for delta in &storm {
+            delta.apply_in_place(&mut oracle).unwrap();
+        }
+        for sub in subs.iter_mut() {
+            assert_eq!(
+                sub.handle.queue_len(),
+                0,
+                "a cancelled-out storm must deliver nothing: seed {seed}"
+            );
+            drain_replay(sub, &oracle, &format!("seed {seed} post-storm"));
+        }
+    }
+}
+
+#[test]
+fn recovery_mid_stream_resumes_with_a_resync_at_the_recovered_epoch() {
+    let mut recoveries = 0u64;
+    let mut post_recovery_changes = 0u64;
+    for seed in 0..16u64 {
+        let db = social_db(seed);
+        let access = serving_access_schema(5_000);
+        let disk = SimDisk::new();
+        let mut engine = Engine::new_durable(
+            db.clone(),
+            access.clone(),
+            Box::new(disk.clone()),
+            reactive_config(),
+        )
+        .unwrap();
+        let mut oracle = db;
+        let requests = si_workload::social_requests(6, 4, seed ^ 0xAB1E);
+        let mut subs: Vec<LiveSubscription> = requests
+            .into_iter()
+            .map(|request| open_subscription(&engine, request, &oracle, &format!("seed {seed}")))
+            .collect();
+
+        let mut rng = SplitMix64::seed_from_u64(0x5EED_CAFE ^ seed);
+        let mut kill_rng = SplitMix64::seed_from_u64(0xDEAD_FA11 ^ seed);
+        for op in 0..20 {
+            let delta = friend_flip(&mut rng, &oracle, 8);
+            if delta.is_empty() {
+                continue;
+            }
+            engine.commit(&delta).unwrap();
+            delta.apply_in_place(&mut oracle).unwrap();
+
+            if kill_rng.gen_range(0..4u8) == 0 {
+                // Kill mid-stream: some updates may still sit undrained in
+                // the queues.  The recovered engine re-seeds every
+                // surviving subscription, and the LAST thing each queue
+                // holds must be a Resync stamped with the recovered epoch —
+                // the explicit point from which the stream is exact again.
+                let registry = engine.subscriptions();
+                drop(engine);
+                engine = Engine::recover_with_subscriptions(
+                    Box::new(disk.clone()),
+                    access.clone(),
+                    reactive_config(),
+                    registry,
+                )
+                .unwrap_or_else(|e| panic!("recovery failed: seed {seed} op {op}: {e:?}"));
+                recoveries += 1;
+                for sub in subs.iter_mut() {
+                    let updates = sub.handle.drain();
+                    match updates.last() {
+                        Some(AnswerUpdate::Resync { epoch, .. }) => assert_eq!(
+                            *epoch,
+                            engine.epoch(),
+                            "recovery resync must carry the recovered epoch: seed {seed} op {op}"
+                        ),
+                        other => panic!(
+                            "recovery must end the queue with a resync, got {other:?}: \
+                             seed {seed} op {op}"
+                        ),
+                    }
+                    for update in updates {
+                        update.apply_to(&mut sub.state);
+                    }
+                    let expected = cold_answers(&sub.request, &oracle);
+                    assert_eq!(
+                        sub.state, expected,
+                        "post-recovery replay diverged: seed {seed} op {op}"
+                    );
+                }
+            } else {
+                for sub in subs.iter_mut() {
+                    let (changes, _) = drain_replay(sub, &oracle, &format!("seed {seed} op {op}"));
+                    post_recovery_changes += changes;
+                }
+            }
+        }
+    }
+    assert!(
+        recoveries > 10,
+        "only {recoveries} mid-stream recoveries ran"
+    );
+    assert!(
+        post_recovery_changes > 30,
+        "only {post_recovery_changes} incremental change-sets streamed around recoveries"
+    );
+    println!(
+        "recovery mid-stream: {recoveries} recoveries, every stream resynced at the \
+         recovered epoch and {post_recovery_changes} change-sets replayed exactly"
+    );
+}

@@ -370,3 +370,71 @@ fn injected_slow_queries_land_in_the_slow_log() {
     assert_eq!(engine.metrics().traces_emitted, 6);
     assert!(log.render().contains("SLOW"));
 }
+
+// ---------------------------------------------------------------------------
+// Recovery gauge coherence
+// ---------------------------------------------------------------------------
+
+/// Regression: a recovered engine's very first scrape — before any request
+/// or commit — must already report the recovered epoch and the recovered
+/// per-shard row counts.  The gauges are computed from live pinned
+/// snapshots, so a freshly recovered serving stack never renders a page
+/// that contradicts the store it is serving from.
+#[test]
+fn recovered_engines_render_coherent_gauges_before_any_request() {
+    let db = social_db();
+    let access = serving_access_schema(5_000);
+    let config = EngineConfig::default();
+    let disk = SimDisk::new();
+    let engine = Engine::new_sharded_durable(
+        db.clone(),
+        access.clone(),
+        social_partition_map(),
+        3,
+        Box::new(disk.clone()),
+        config.clone(),
+    )
+    .unwrap();
+    // A few commits so the recovered state differs from the base checkpoint.
+    let mut evolving = db;
+    for seed in 0..3u64 {
+        let delta = si_workload::visit_insertions(&evolving, 5, 0xC0FE ^ seed);
+        if delta.is_empty() {
+            continue;
+        }
+        engine.commit(&delta).unwrap();
+        delta.apply_in_place(&mut evolving).unwrap();
+    }
+    let epoch = engine.epoch();
+    assert!(epoch > 0, "the scenario must commit at least once");
+    let pre_crash = engine.shard_stats();
+    drop(engine);
+
+    let recovered = Engine::recover(Box::new(disk), access, config).unwrap();
+    // First scrape, zero requests served, zero commits applied since boot.
+    let page = recovered.telemetry().render();
+    assert!(
+        page.contains(&format!("si_snapshot_epoch {epoch}\n")),
+        "recovered page must report the recovered epoch {epoch}:\n{page}"
+    );
+    assert!(page.contains("si_requests_total 0\n"));
+    for stats in &pre_crash {
+        let line = format!(
+            "si_shard_rows{{shard=\"{}\"}} {}\n",
+            stats.shard, stats.rows
+        );
+        assert!(
+            page.contains(&line),
+            "recovered page must report the pre-crash shard rows `{line}`:\n{page}"
+        );
+    }
+    // The gauges agree with the recovered store itself.
+    assert_eq!(recovered.epoch(), epoch);
+    let post: Vec<(usize, usize)> = recovered
+        .shard_stats()
+        .iter()
+        .map(|s| (s.shard, s.rows))
+        .collect();
+    let pre: Vec<(usize, usize)> = pre_crash.iter().map(|s| (s.shard, s.rows)).collect();
+    assert_eq!(post, pre, "recovered shard layout diverged");
+}
