@@ -60,6 +60,20 @@ pub enum AccessError {
     /// surface exists (raised by [`crate::ShardedAccess::source_relation`];
     /// every retrieval primitive routes or fans out instead).
     ShardedRelation(String),
+    /// A remote shard server could not serve the probe (wire failure,
+    /// disconnected replica, malformed reply).
+    Remote(String),
+    /// The remote replica does not retain the epoch the read was pinned to:
+    /// it is either ahead of replication (`requested > newest`) or past the
+    /// replica's retention window (`requested < oldest`).
+    EpochUnavailable {
+        /// The epoch the read was pinned to.
+        requested: u64,
+        /// Oldest epoch the replica still retains.
+        oldest: u64,
+        /// Newest epoch the replica has applied.
+        newest: u64,
+    },
 }
 
 impl fmt::Display for AccessError {
@@ -86,6 +100,17 @@ impl fmt::Display for AccessError {
                      not the single-relation surface"
                 )
             }
+            AccessError::Remote(msg) => {
+                write!(f, "remote shard fetch failed: {msg}")
+            }
+            AccessError::EpochUnavailable {
+                requested,
+                oldest,
+                newest,
+            } => write!(
+                f,
+                "epoch {requested} unavailable on replica (retains [{oldest}, {newest}])"
+            ),
         }
     }
 }

@@ -19,6 +19,10 @@
 //!   hash-partitioned [`si_data::ShardedSnapshotView`]: exact-match probes
 //!   on the partition column route to a single shard, everything else
 //!   scatter-gathers in shard order with unsharded-identical accounting;
+//! * [`remote`] — [`ReplicatedAccess`], `ShardedAccess`'s transport-backed
+//!   twin: the same routing and charge points against a [`ShardProber`]
+//!   (shard replica servers behind a wire), with replicas executing only
+//!   the raw pushed-down probe so accounting stays byte-identical;
 //! * [`cost`] — the two-sided cost model: static, data-independent bounds
 //!   ([`StaticCost`]) that *admit* bounded plans, and statistics-driven
 //!   estimates ([`CostModel`]) that *rank* them.
@@ -31,6 +35,7 @@ pub mod constraint;
 pub mod cost;
 pub mod embedded;
 pub mod indexed;
+pub mod remote;
 pub mod schema;
 pub mod sharded;
 pub mod source;
@@ -40,9 +45,10 @@ pub use constraint::AccessConstraint;
 pub use cost::{CostModel, StaticCost};
 pub use embedded::EmbeddedConstraint;
 pub use indexed::{AccessError, AccessIndexedDatabase};
+pub use remote::{ReplicatedAccess, ShardProber};
 pub use schema::{facebook_access_schema, AccessSchema};
 pub use sharded::ShardedAccess;
-pub use source::{AccessSource, SnapshotAccess};
+pub use source::{raw_index_probe, AccessSource, SnapshotAccess};
 
 /// Convenience result alias for fallible operations in this crate.
 pub type Result<T> = std::result::Result<T, AccessError>;

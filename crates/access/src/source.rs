@@ -69,16 +69,32 @@ pub(crate) fn split_probe(
     Ok(split)
 }
 
+/// Runs the pushed-down part of a probe split against one relation:
+/// `select_eq` on `attrs = key`, or — for `attrs = ∅`, where the constraint
+/// bounds the whole relation — a (bounded) iteration.
+///
+/// This is the *entire* shard-local fetch semantics of every surface: the
+/// unsharded probe, [`crate::ShardedAccess`]'s per-shard leg, and a remote
+/// shard replica serving a [`crate::remote::ShardProber::probe`] all call
+/// exactly this function, so the raw fetched set — the one the meter
+/// charges — cannot drift between in-process and transport-backed
+/// execution.
+pub fn raw_index_probe(
+    rel: &Relation,
+    attrs: &[String],
+    key: &[Value],
+) -> Result<Vec<Tuple>, AccessError> {
+    if attrs.is_empty() {
+        Ok(rel.iter().cloned().collect())
+    } else {
+        Ok(rel.select_eq(attrs, key)?.0)
+    }
+}
+
 impl ProbeSplit {
-    /// Runs the index part against one relation: `select_eq` on the pushed
-    /// attributes, or — for `X = ∅`, where the constraint bounds the whole
-    /// relation — a (bounded) scan.
+    /// Runs the index part against one relation (see [`raw_index_probe`]).
     pub(crate) fn probe(&self, rel: &Relation) -> Result<Vec<Tuple>, AccessError> {
-        if self.index_attrs.is_empty() {
-            Ok(rel.iter().cloned().collect())
-        } else {
-            Ok(rel.select_eq(&self.index_attrs, &self.index_key)?.0)
-        }
+        raw_index_probe(rel, &self.index_attrs, &self.index_key)
     }
 
     /// Applies the residual filter.

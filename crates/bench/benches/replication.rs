@@ -1,0 +1,172 @@
+//! Replicated serving: read fan-out over wire-attached replicas vs
+//! primary-only in-process serving.
+//!
+//! Custom harness (`harness = false`): like the sharding bench, this
+//! measures quantities the criterion shim cannot — a divergence count,
+//! exact tuples-fetched totals, and replica-lag gauge coherence.
+//!
+//! **Pre-pass** — a sample of the social request mix is served both ways
+//! on a 4-shard engine with one replica per shard behind duplex pipes;
+//! any divergence in answers or meters fails the bench.
+//!
+//! **Fan-out study** — the same request stream is timed primary-only
+//! (`execute`: in-process scatter-gather) and replicated
+//! (`execute_replicated`: every probe crosses the framed wire protocol).
+//! Exact metering must agree tuple-for-tuple; the wall-clock delta is the
+//! transport tax per 1k reads.
+//!
+//! **Lag coherence** — a paused replica plus a commit must surface as
+//! `si_replica_lag = 1` for exactly that shard (and a typed epoch-wait
+//! refusal); after resume the fleet converges and every lag gauge returns
+//! to zero.
+
+use si_data::Delta;
+use si_engine::{Engine, EngineConfig, Request, ShardReplica};
+use si_wire::{Connection, Duplex};
+use si_workload::{
+    serving_access_schema, social_partition_map, social_requests, SocialConfig, SocialGenerator,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const PERSONS: usize = 1_000;
+const SHARDS: usize = 4;
+const READS: usize = 1_000;
+const VERIFY_SAMPLE: usize = 200;
+
+fn attach_fleet(engine: &Engine) -> Vec<Arc<ShardReplica>> {
+    (0..SHARDS)
+        .map(|shard| {
+            let (primary_end, replica_end) = Duplex::pair();
+            let replica = Arc::new(ShardReplica::new(8));
+            replica.spawn(Arc::new(Connection::new(Arc::new(replica_end))));
+            engine.attach_replica(shard, Arc::new(primary_end)).unwrap();
+            replica
+        })
+        .collect()
+}
+
+fn lags(engine: &Engine) -> Vec<u64> {
+    let epoch = engine.snapshot().epoch();
+    engine
+        .replica_statuses()
+        .iter()
+        .map(|s| epoch.saturating_sub(s.acked_epoch))
+        .collect()
+}
+
+fn main() {
+    let db = SocialGenerator::new(SocialConfig {
+        persons: PERSONS,
+        restaurants: 100,
+        ..SocialConfig::default()
+    })
+    .generate();
+    let engine = Engine::new_sharded(
+        db,
+        serving_access_schema(5000),
+        social_partition_map(),
+        SHARDS,
+        EngineConfig {
+            materialize_after: u64::MAX, // both paths run the bounded plan
+            ..EngineConfig::default()
+        },
+    )
+    .expect("sharded engine construction");
+    let replicas = attach_fleet(&engine);
+    let requests: Vec<Request> = social_requests(PERSONS, READS, 7)
+        .into_iter()
+        .map(|g| Request::new(g.query, g.parameters, g.values))
+        .collect();
+
+    // Pre-pass: transport-backed serving must be answer- and meter-exact.
+    let mut divergent = 0usize;
+    for request in requests.iter().take(VERIFY_SAMPLE) {
+        let local = engine.execute(request).expect("local execution");
+        let remote = engine
+            .execute_replicated(request)
+            .expect("replicated execution");
+        let mut a = local.answers.clone();
+        let mut b = remote.answers.clone();
+        a.sort();
+        b.sort();
+        if a != b || local.accesses != remote.accesses {
+            divergent += 1;
+        }
+    }
+    println!(
+        "correctness: {divergent}/{VERIFY_SAMPLE} divergent responses \
+         ({SHARDS}-shard engine, replicated vs primary-only)"
+    );
+    assert_eq!(divergent, 0, "replicated serving diverged");
+
+    // Fan-out study: the transport tax per 1k reads, meters held equal.
+    let primary_start = Instant::now();
+    let mut primary_tuples = 0u64;
+    for request in &requests {
+        primary_tuples += engine
+            .execute(request)
+            .expect("local")
+            .accesses
+            .tuples_fetched;
+    }
+    let primary_elapsed = primary_start.elapsed();
+
+    let replicated_start = Instant::now();
+    let mut replicated_tuples = 0u64;
+    for request in &requests {
+        replicated_tuples += engine
+            .execute_replicated(request)
+            .expect("replicated")
+            .accesses
+            .tuples_fetched;
+    }
+    let replicated_elapsed = replicated_start.elapsed();
+
+    assert_eq!(
+        primary_tuples, replicated_tuples,
+        "exact metering must agree across the transport boundary"
+    );
+    println!(
+        "\n{:>14}  {:>14}  {:>16}",
+        "mode", "tuples fetched", "wall / 1k reads"
+    );
+    println!(
+        "{:>14}  {:>14}  {:>14.2?}",
+        "primary-only", primary_tuples, primary_elapsed
+    );
+    println!(
+        "{:>14}  {:>14}  {:>14.2?}",
+        "replicated", replicated_tuples, replicated_elapsed
+    );
+
+    // Lag coherence: pause one replica, commit, and the gauges must tell
+    // the truth — lag 1 on exactly that shard, refusal on reads, then
+    // convergence back to all-zero after resume.
+    replicas[0].pause();
+    engine.set_replica_epoch_wait(Duration::from_millis(30));
+    engine
+        .commit(Delta::new().insert("visit", vec![1.into(), 9_999_999.into()].into()))
+        .expect("commit");
+    assert!(
+        engine.execute_replicated(&requests[0]).is_err(),
+        "a lagging replica must refuse the epoch wait"
+    );
+    assert_eq!(lags(&engine), {
+        let mut want = vec![0u64; SHARDS];
+        want[0] = 1;
+        want
+    });
+    let page = engine.telemetry().render();
+    assert!(
+        page.contains("si_replica_lag") && page.contains("si_replication_ack_ns"),
+        "replication gauges and histogram must be on the exposition page"
+    );
+    replicas[0].resume();
+    engine.set_replica_epoch_wait(Duration::from_secs(5));
+    engine
+        .execute_replicated(&requests[0])
+        .expect("post-resume replicated read");
+    assert_eq!(lags(&engine), vec![0u64; SHARDS]);
+    println!("\nlag gauges: coherent through pause → refusal → resume → convergence");
+}

@@ -204,12 +204,32 @@ impl<'a> Reader<'a> {
     /// bytes (every element costs at least one byte), so a damaged count
     /// cannot drive an absurd allocation.
     pub fn count(&mut self) -> CodecResult<usize> {
+        self.count_of(1)
+    }
+
+    /// [`Reader::count`] with a tighter bound: every element of the list
+    /// being counted costs at least `min_elem_bytes` encoded bytes, so any
+    /// count claiming more than `remaining / min_elem_bytes` elements cannot
+    /// be completed by the bytes that follow — it is a torn or damaged
+    /// length field, rejected *before* anything is allocated for it.
+    pub fn count_of(&mut self, min_elem_bytes: usize) -> CodecResult<usize> {
         let n = self.u32()? as usize;
-        if n > self.remaining() {
+        if n > self.remaining() / min_elem_bytes.max(1) {
             return Err(CodecError::Truncated);
         }
         Ok(n)
     }
+}
+
+/// A `Vec` pre-sized for `n` decoded elements, with the reservation capped
+/// so that it never exceeds the bytes actually present in the input: a
+/// hostile length field can at worst reserve `r.remaining()` bytes worth of
+/// `T`s (the decode loop then fails on the missing bytes), never the
+/// gigabytes the field claims.  Valid inputs whose elements encode smaller
+/// than `size_of::<T>()` under-reserve and grow amortized — correctness is
+/// unaffected.
+fn prealloc<T>(n: usize, r: &Reader<'_>) -> Vec<T> {
+    Vec::with_capacity(n.min(r.remaining() / std::mem::size_of::<T>().max(1)))
 }
 
 // ---------------------------------------------------------------------------
@@ -265,8 +285,9 @@ pub fn encode_tuple(out: &mut Vec<u8>, tuple: &Tuple) {
 
 /// Decodes an arity-prefixed [`Tuple`].
 pub fn decode_tuple(r: &mut Reader<'_>) -> CodecResult<Tuple> {
+    // Every value costs at least its tag byte.
     let arity = r.count()?;
-    let mut values = Vec::with_capacity(arity);
+    let mut values = prealloc(arity, r);
     for _ in 0..arity {
         values.push(decode_value(r)?);
     }
@@ -281,8 +302,9 @@ fn encode_tuple_list(out: &mut Vec<u8>, tuples: &[Tuple]) {
 }
 
 fn decode_tuple_list(r: &mut Reader<'_>) -> CodecResult<Vec<Tuple>> {
-    let n = r.count()?;
-    let mut tuples = Vec::with_capacity(n);
+    // Every tuple costs at least its 4-byte arity prefix.
+    let n = r.count_of(4)?;
+    let mut tuples = prealloc(n, r);
     for _ in 0..n {
         tuples.push(decode_tuple(r)?);
     }
@@ -303,7 +325,9 @@ pub fn encode_delta(out: &mut Vec<u8>, delta: &Delta) {
 
 /// Decodes a [`Delta`].
 pub fn decode_delta(r: &mut Reader<'_>) -> CodecResult<Delta> {
-    let relations = r.count()?;
+    // Every relation entry costs at least a 4-byte name length plus two
+    // 4-byte list counts.
+    let relations = r.count_of(12)?;
     let mut delta = Delta::new();
     for _ in 0..relations {
         let name = r.str()?.to_owned();
@@ -391,25 +415,28 @@ impl RelationPage {
     /// Decodes one page.
     pub fn decode(r: &mut Reader<'_>) -> CodecResult<RelationPage> {
         let name = r.str()?.to_owned();
-        let arity = r.count()?;
-        let mut attributes = Vec::with_capacity(arity);
+        // Attribute and index-attribute strings cost at least their 4-byte
+        // length prefix; a declared-index entry at least its 4-byte count.
+        let arity = r.count_of(4)?;
+        let mut attributes = prealloc(arity, r);
         for _ in 0..arity {
             attributes.push(r.str()?.to_owned());
         }
-        let declared_count = r.count()?;
-        let mut declared = Vec::with_capacity(declared_count);
+        let declared_count = r.count_of(4)?;
+        let mut declared = prealloc(declared_count, r);
         for _ in 0..declared_count {
-            let k = r.count()?;
-            let mut attrs = Vec::with_capacity(k);
+            let k = r.count_of(4)?;
+            let mut attrs = prealloc(k, r);
             for _ in 0..k {
                 attrs.push(r.str()?.to_owned());
             }
             declared.push(attrs);
         }
-        let rows = r.count()?;
-        let mut tuples = Vec::with_capacity(rows);
+        // Every row costs at least one tag byte per value.
+        let rows = r.count_of(arity.max(1))?;
+        let mut tuples = prealloc(rows, r);
         for _ in 0..rows {
-            let mut values = Vec::with_capacity(arity);
+            let mut values = Vec::with_capacity(arity.min(r.remaining()));
             for _ in 0..arity {
                 values.push(decode_value(r)?);
             }
@@ -641,5 +668,158 @@ mod tests {
         let a = content_id(b"checkpoint-a");
         assert_eq!(a, content_id(b"checkpoint-a"));
         assert_ne!(a, content_id(b"checkpoint-b"));
+    }
+
+    /// SplitMix64 — deterministic driver for the fuzz-style tests below.
+    struct Mix(u64);
+    impl Mix {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    fn fixture_delta() -> Delta {
+        let mut delta = Delta::new();
+        for i in 0..40i64 {
+            delta.insert("person", tuple![i, format!("p{i}"), "NYC"]);
+            delta.delete("friend", tuple![i, i + 1]);
+            delta.insert("visit", tuple![i, 100 + i]);
+        }
+        delta
+    }
+
+    fn fixture_page() -> RelationPage {
+        let mut db = Database::empty(social_schema());
+        for i in 0..40i64 {
+            let city = if i % 2 == 0 { "NYC" } else { "LA" };
+            db.insert("person", tuple![i, format!("p{i}"), city])
+                .unwrap();
+        }
+        db.declare_index("person", &["city".into()]).unwrap();
+        RelationPage::from_relation(db.relation("person").unwrap())
+    }
+
+    fn decode_page_exact(bytes: &[u8]) -> CodecResult<RelationPage> {
+        let mut r = Reader::new(bytes);
+        let page = RelationPage::decode(&mut r)?;
+        r.expect_end()?;
+        Ok(page)
+    }
+
+    #[test]
+    fn hostile_counts_are_rejected_before_allocation() {
+        // A count field claiming 2^30 elements over a dozen remaining bytes
+        // must fail the per-element byte bound, not reach `with_capacity`.
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 0x4000_0000);
+        bytes.extend_from_slice(&[0u8; 12]);
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.count_of(4), Err(CodecError::Truncated));
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.count(), Err(CodecError::Truncated));
+
+        // Even a count that passes the 1-byte-per-element bound cannot
+        // reserve more memory than the input holds: the reservation is
+        // capped by remaining bytes over the element's in-memory size.
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 64);
+        bytes.extend_from_slice(&[0u8; 64]);
+        let mut r = Reader::new(&bytes);
+        let n = r.count().unwrap();
+        assert_eq!(n, 64);
+        let v: Vec<Tuple> = prealloc(n, &r);
+        assert!(
+            v.capacity() * std::mem::size_of::<Tuple>() <= 2 * r.remaining(),
+            "prealloc reserved {} elements over {} input bytes",
+            v.capacity(),
+            r.remaining()
+        );
+    }
+
+    #[test]
+    fn truncated_encodings_error_cleanly_at_every_cut() {
+        let delta = fixture_delta();
+        let bytes = delta_bytes(&delta);
+        for cut in 0..bytes.len() {
+            assert!(
+                delta_from_bytes(&bytes[..cut]).is_err(),
+                "delta cut at {cut} decoded"
+            );
+        }
+        let page = fixture_page();
+        let mut bytes = Vec::new();
+        page.encode(&mut bytes);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_page_exact(&bytes[..cut]).is_err(),
+                "page cut at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn length_field_bit_flips_never_abort_or_over_allocate() {
+        // Stomp a huge value over every 4-byte window — every length and
+        // count field is hit somewhere in the sweep.  Decoding must return
+        // an error (the field now claims more than the bytes can hold),
+        // never abort on an absurd allocation.
+        let delta = fixture_delta();
+        let bytes = delta_bytes(&delta);
+        for offset in 0..bytes.len().saturating_sub(4) {
+            let mut damaged = bytes.clone();
+            damaged[offset..offset + 4].copy_from_slice(&0x7FFF_FFF0u32.to_le_bytes());
+            let _ = delta_from_bytes(&damaged);
+        }
+        // The very first count field (relation count) must reject outright.
+        let mut damaged = bytes.clone();
+        damaged[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(delta_from_bytes(&damaged).is_err());
+
+        // Random single-bit flips across delta and page encodings:
+        // structurally damaged inputs decode to an error or to a different
+        // (still well-formed) value — they never panic the decoder.
+        let page = fixture_page();
+        let mut page_bytes = Vec::new();
+        page.encode(&mut page_bytes);
+        let mut rng = Mix(0x5EED);
+        for _ in 0..400 {
+            let mut d = bytes.clone();
+            let bit = (rng.next() as usize) % (d.len() * 8);
+            d[bit / 8] ^= 1 << (bit % 8);
+            let _ = delta_from_bytes(&d);
+
+            let mut p = page_bytes.clone();
+            let bit = (rng.next() as usize) % (p.len() * 8);
+            p[bit / 8] ^= 1 << (bit % 8);
+            let _ = decode_page_exact(&p);
+        }
+    }
+
+    #[test]
+    fn framed_records_reject_every_truncation_and_length_stomp() {
+        let delta = fixture_delta();
+        let framed = frame(&delta_bytes(&delta));
+        let mut rng = Mix(0xF00D);
+        for _ in 0..200 {
+            // Random truncation: torn tail.
+            let cut = (rng.next() as usize) % framed.len();
+            let mut pos = 0;
+            assert_eq!(
+                read_frame(&framed[..cut], &mut pos),
+                Err(CodecError::Truncated)
+            );
+            // Random bit flip in the length field: torn (length grew past
+            // the buffer) or corrupt (length shrank, CRC over the wrong
+            // span) — never an allocation of the claimed length.
+            let mut damaged = framed.clone();
+            let bit = (rng.next() as usize) % 32;
+            damaged[bit / 8] ^= 1 << (bit % 8);
+            let mut pos = 0;
+            assert!(read_frame(&damaged, &mut pos).is_err());
+        }
     }
 }

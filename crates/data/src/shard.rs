@@ -195,6 +195,29 @@ impl PartitionRouter {
         self.state.route(relation, tuple)
     }
 
+    /// The partition column of `relation`, if one was declared — the same
+    /// answer a pinned [`ShardedSnapshotView`] over this map would give, so
+    /// routing decisions made against a router (e.g. by a replicated access
+    /// source) cannot drift from the store's.
+    pub fn attribute(&self, relation: &str) -> Option<&str> {
+        self.state.map.attribute(relation)
+    }
+
+    /// The partition column's position in `relation`, if one was declared.
+    pub fn position(&self, relation: &str) -> Option<usize> {
+        self.state.positions.get(relation).copied()
+    }
+
+    /// The shard a partition-column value of `relation` routes to, if the
+    /// relation has a declared partition column (mirror of
+    /// [`ShardedSnapshotView::route_value`]).
+    pub fn route_value(&self, relation: &str, value: Value) -> Option<usize> {
+        self.state
+            .positions
+            .contains_key(relation)
+            .then(|| shard_of_value(value, self.state.shards))
+    }
+
     /// Splits a delta into per-shard deltas by routing every tuple (index
     /// `i` of the result targets shard `i`).
     pub fn split(&self, delta: &Delta) -> Vec<Delta> {

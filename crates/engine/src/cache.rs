@@ -48,6 +48,7 @@ pub struct PlanCache {
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    purged: AtomicU64,
 }
 
 impl PlanCache {
@@ -58,7 +59,29 @@ impl PlanCache {
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            purged: AtomicU64::new(0),
         }
+    }
+
+    /// Drops every entry planned under a statistics epoch other than
+    /// `current_epoch`, returning how many were removed.
+    ///
+    /// Stale entries can never hit again (lookups always pass the current
+    /// epoch), so without this they would sit in the map until FIFO
+    /// capacity pressure happened to push them out — dead weight that also
+    /// ages out *live* shapes early.  The engine calls this eagerly at
+    /// every statistics-epoch bump.
+    pub fn purge_stale(&self, current_epoch: u64) -> usize {
+        let mut inner = self.inner.write().expect("plan cache poisoned");
+        let CacheInner { map, order } = &mut *inner;
+        let before = map.len();
+        map.retain(|_, cached| cached.stats_epoch == current_epoch);
+        let removed = before - map.len();
+        if removed > 0 {
+            order.retain(|key| map.contains_key(key));
+            self.purged.fetch_add(removed as u64, Ordering::Relaxed);
+        }
+        removed
     }
 
     /// Looks up the plan for `key`, provided it was planned under
@@ -112,6 +135,11 @@ impl PlanCache {
     /// Lookups that required (re-)planning so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Dead-epoch entries reclaimed by [`PlanCache::purge_stale`] so far.
+    pub fn purged(&self) -> u64 {
+        self.purged.load(Ordering::Relaxed)
     }
 }
 
@@ -209,6 +237,33 @@ mod tests {
         );
         assert!(cache.get("b", 0).is_some());
         assert!(cache.get("c", 1).is_some());
+    }
+
+    #[test]
+    fn purge_reclaims_dead_epoch_entries_without_capacity_pressure() {
+        let cache = PlanCache::new(64);
+        for i in 0..8 {
+            cache.insert(format!("old-{i}"), entry(0));
+        }
+        cache.insert("live".into(), entry(1));
+        assert_eq!(cache.len(), 9, "far below capacity: FIFO would keep all");
+
+        // The stats-epoch bump reclaims every dead-epoch entry eagerly —
+        // no lookups, no capacity pressure required.
+        assert_eq!(cache.purge_stale(1), 8);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.purged(), 8);
+        assert!(cache.get("live", 1).is_some(), "current-epoch entry kept");
+        assert!(cache.get("old-0", 1).is_none());
+
+        // The FIFO order queue shrank with the map: filling the cache to
+        // capacity now evicts live shapes only when genuinely full.
+        assert_eq!(cache.purge_stale(1), 0, "idempotent");
+        for i in 0..63 {
+            cache.insert(format!("new-{i}"), entry(1));
+        }
+        assert_eq!(cache.len(), 64);
+        assert!(cache.get("live", 1).is_some(), "no ghost-order evictions");
     }
 
     #[test]

@@ -43,6 +43,21 @@ pub enum EngineError {
     },
     /// The engine's worker pool has shut down.
     ShuttingDown,
+    /// The requested epoch cannot be served: it is ahead of what the store
+    /// (or, for replicated reads, a replica) has committed/applied, or it
+    /// has fallen out of a replica's retention window.  Raised by
+    /// [`Engine::execute_at`](crate::Engine::execute_at) for snapshots from
+    /// a different store's future, and by replicated execution when the
+    /// epoch wait for read-your-writes times out.
+    EpochUnavailable {
+        /// The epoch the caller pinned.
+        requested: u64,
+        /// The newest epoch available to serve.
+        newest: u64,
+    },
+    /// A replication-plane failure: the attach handshake failed, a shard has
+    /// no replica attached, or a replica connection died mid-operation.
+    Replication(String),
 }
 
 impl fmt::Display for EngineError {
@@ -64,6 +79,11 @@ impl fmt::Display for EngineError {
                 "request supplies {actual} parameter values, query declares {expected}"
             ),
             EngineError::ShuttingDown => write!(f, "engine is shutting down"),
+            EngineError::EpochUnavailable { requested, newest } => write!(
+                f,
+                "epoch {requested} is not available to serve (newest is {newest})"
+            ),
+            EngineError::Replication(msg) => write!(f, "replication failure: {msg}"),
         }
     }
 }
@@ -130,5 +150,14 @@ mod tests {
         .to_string()
         .contains("declares 2"));
         assert!(EngineError::ShuttingDown.to_string().contains("shutting"));
+        assert!(EngineError::EpochUnavailable {
+            requested: 7,
+            newest: 3
+        }
+        .to_string()
+        .contains("epoch 7"));
+        assert!(EngineError::Replication("wire tore".into())
+            .to_string()
+            .contains("wire tore"));
     }
 }

@@ -69,6 +69,7 @@ mod commit_queue;
 pub mod error;
 pub mod materialize;
 mod pool;
+pub mod replica;
 pub mod shape;
 pub mod subscribe;
 mod telemetry;
@@ -79,13 +80,14 @@ pub use error::EngineError;
 pub use materialize::{
     AnswerChange, MaintenanceSummary, MaterializedAnswer, MaterializedKey, MaterializedSet, PinSet,
 };
+pub use replica::{ReplicaClient, ReplicaSet, ReplicaStatus, ShardReplica, WireProber};
 pub use shape::{canonicalize, CanonicalQuery, ShapeKey};
 pub use si_telemetry::{
     BatchMembership, CommitSpan, Phase, PhaseTimings, Provenance, RequestTrace, TelemetryRegistry,
 };
 pub use subscribe::{AnswerUpdate, ChangeSet, ObservableQuery, SubscriptionRegistry};
 
-use si_access::{AccessSchema, ShardedAccess, SnapshotAccess};
+use si_access::{AccessError, AccessSchema, ShardedAccess, SnapshotAccess};
 use si_core::bounded::{
     execute_bounded, execute_bounded_partitioned, execute_bounded_partitioned_traced,
     execute_bounded_traced, fetch_bounded, SharedFetch,
@@ -562,6 +564,10 @@ pub(crate) struct Shared {
     /// `Arc`-shared with every [`ObservableQuery`] handle and, across
     /// [`Engine::recover_with_subscriptions`], with the recovered engine.
     subscriptions: Arc<SubscriptionRegistry>,
+    /// The replication plane, created lazily by the first
+    /// [`Engine::attach_replica`] (sharded engines only): per-shard wire
+    /// clients, replay log, and the read-your-writes epoch wait.
+    replication: RwLock<Option<Arc<ReplicaSet>>>,
 }
 
 impl Shared {
@@ -590,8 +596,98 @@ impl Shared {
     /// Serves one request against a caller-pinned snapshot version (no pin
     /// taken, so a traced request charges 0 to the `SnapshotPin` phase).
     fn serve_at(&self, snapshot: &EngineSnapshot, request: &Request) -> Result<QueryResponse> {
+        // A pinned version this store has *not* committed yet (a snapshot
+        // from a different engine's future, or a replica running ahead) has
+        // no data behind it here — refuse it with a typed error instead of
+        // serving whatever the foreign Arc happens to hold.  Old pins stay
+        // valid: their versions are retained by the Arc itself.
+        if snapshot.epoch() > self.store.epoch() {
+            return Err(EngineError::EpochUnavailable {
+                requested: snapshot.epoch(),
+                newest: self.store.epoch(),
+            });
+        }
         let clock = (self.telemetry.sampler.hit() || request.trace).then(PhaseClock::new);
         self.serve_traced(snapshot, request, clock, 0)
+    }
+
+    /// Serves one request through the replicated read path: pin the current
+    /// version, wait until every replica acknowledges that epoch
+    /// (read-your-writes), then execute the plan over the wire with
+    /// [`ReplicatedAccess`] — the transport-backed mirror of the sharded
+    /// serve path, with byte-identical accounting.
+    pub(crate) fn serve_replicated(&self, request: &Request) -> Result<QueryResponse> {
+        let start = Instant::now();
+        let _in_flight = self.telemetry.enter();
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if request.values.len() != request.parameters.len() {
+            return Err(EngineError::ParameterArity {
+                expected: request.parameters.len(),
+                actual: request.values.len(),
+            });
+        }
+        let set = self
+            .replication
+            .read()
+            .expect("replication lock poisoned")
+            .clone()
+            .ok_or_else(|| EngineError::Replication("no replicas attached".to_owned()))?;
+        let mut clock = (self.telemetry.sampler.hit() || request.trace).then(PhaseClock::new);
+        let snapshot = self.store.pin();
+        let epoch = snapshot.epoch();
+        // Read-your-writes: every commit this engine acknowledged is
+        // visible to the replicas before any probe is routed to them.
+        set.wait_read_your_writes(epoch)?;
+        if let Some(c) = clock.as_mut() {
+            c.mark(Phase::SnapshotPin);
+        }
+        let canonical = canonicalize(&request.query, &request.parameters);
+        if let Some(c) = clock.as_mut() {
+            c.mark(Phase::Admit);
+        }
+        let (cached, cache_hit) = self.plan_for(&snapshot, &canonical)?;
+        if let Some(c) = clock.as_mut() {
+            c.mark(Phase::PlanLookup);
+        }
+        let source = set.source_at(epoch)?;
+        let result =
+            execute_bounded(&cached.plan, &request.values, &source).map_err(|e| match e {
+                CoreError::Access(AccessError::EpochUnavailable {
+                    requested, newest, ..
+                }) => EngineError::EpochUnavailable { requested, newest },
+                other => EngineError::Core(other),
+            })?;
+        if let Some(c) = clock.as_mut() {
+            c.skip();
+        }
+        self.meter.merge(&result.accesses);
+        let trace = self.finish_request(
+            clock,
+            start,
+            0,
+            request.trace,
+            TraceFacts {
+                shape: &canonical.key,
+                epoch,
+                provenance: Provenance::Planned { cache_hit },
+                estimated_tuples: cached.estimated_tuples,
+                fetched_tuples: result.accesses.tuples_fetched,
+                answers: result.answers.len() as u64,
+                routed_fetches: source.routed_fetches(),
+                fanned_fetches: source.fanned_fetches(),
+                batch: None,
+            },
+        );
+        Ok(QueryResponse {
+            answers: result.answers,
+            accesses: result.accesses,
+            epoch,
+            cache_hit,
+            materialized: false,
+            static_cost: cached.plan.static_cost(),
+            service: start.elapsed(),
+            trace,
+        })
     }
 
     /// The serve path proper: admit → plan-cache → execute → merge, with the
@@ -1362,6 +1458,23 @@ impl Shared {
             }
         };
         let apply_nanos = nanos_of(apply_start.elapsed());
+
+        // Replication ship point: the commit is applied (and, on durable
+        // engines, logged), so stream it to the replicas.  Still under the
+        // commit lock — attach/reconnect also runs under it, so no record
+        // can slip between a resync and the live stream.  Sends do not wait
+        // for acks; replicated reads wait on the ack watermark instead.
+        if let EngineSnapshot::Sharded(view) = &snapshot {
+            let set = self
+                .replication
+                .read()
+                .expect("replication lock poisoned")
+                .clone();
+            if let Some(set) = set {
+                set.ship(view, &merged);
+            }
+        }
+
         self.commits.fetch_add(accepted, Ordering::Relaxed);
         self.group_commits.fetch_add(1, Ordering::Relaxed);
         if accepted >= 2 {
@@ -1486,6 +1599,13 @@ impl Shared {
             guard.stats = fresh;
             guard.epoch += 1;
             self.stats_refreshes.fetch_add(1, Ordering::Relaxed);
+            // Every entry planned under the old epoch is now permanently
+            // unreachable (lookups pass the current epoch) — reclaim it
+            // eagerly instead of letting dead weight age live shapes out of
+            // the FIFO.
+            let current = guard.epoch;
+            drop(guard);
+            self.cache.purge_stale(current);
         }
         let epoch = snapshot.epoch();
 
@@ -1928,6 +2048,29 @@ impl Shared {
                 );
             }
         }
+        let replication = self
+            .replication
+            .read()
+            .expect("replication lock poisoned")
+            .clone();
+        if let Some(set) = replication {
+            let primary = self.store.epoch();
+            for status in set.statuses() {
+                let shard = status.shard.to_string();
+                out.push(
+                    Sample::gauge("si_replica_epoch", status.acked_epoch)
+                        .label("shard", shard.clone()),
+                );
+                out.push(
+                    Sample::gauge("si_replica_lag", primary.saturating_sub(status.acked_epoch))
+                        .label("shard", shard.clone()),
+                );
+                out.push(
+                    Sample::gauge("si_replica_connected", u64::from(status.connected))
+                        .label("shard", shard),
+                );
+            }
+        }
     }
 }
 
@@ -2307,6 +2450,7 @@ impl Engine {
             queued: AtomicUsize::new(0),
             wal: wal.map(Mutex::new),
             telemetry: EngineTelemetry::new(&config),
+            replication: RwLock::new(None),
             config: config.clone(),
         });
         // The registry lives inside `Shared`, so its collector holds a weak
@@ -2343,6 +2487,108 @@ impl Engine {
         request: &Request,
     ) -> Result<QueryResponse> {
         self.shared.serve_at(snapshot, request)
+    }
+
+    /// Attaches (or re-attaches) a shard replica over `transport`, syncing
+    /// it to the current version before it joins the serving set.
+    ///
+    /// Sharded engines only.  The handshake runs under the commit lock, so
+    /// no commit can slip between the resync and the live WAL stream: the
+    /// replica is brought to the pinned epoch — by replaying the logged
+    /// record tail when it bridges the gap, or by a full snapshot bootstrap
+    /// otherwise — and every later commit is shipped as one
+    /// [`si_wire::Message::WalRecord`] per shard.  Reconnecting after a
+    /// torn wire is the same call with a fresh transport; the replica
+    /// resumes from its clean applied prefix.
+    pub fn attach_replica(
+        &self,
+        shard: usize,
+        transport: Arc<dyn si_wire::Transport>,
+    ) -> Result<()> {
+        let _writer = self
+            .shared
+            .commit_lock
+            .lock()
+            .expect("commit lock poisoned");
+        let Backend::Sharded(store) = &self.shared.store else {
+            return Err(EngineError::Replication(
+                "replication requires a sharded engine".to_owned(),
+            ));
+        };
+        let view = store.pin();
+        let set = {
+            let existing = self
+                .shared
+                .replication
+                .read()
+                .expect("replication lock poisoned")
+                .clone();
+            match existing {
+                Some(set) => set,
+                None => {
+                    let schema = Arc::new(view.schema().clone());
+                    let router = store
+                        .partition_map()
+                        .router(&schema, store.shard_count())
+                        .map_err(EngineError::Data)?;
+                    let set = Arc::new(ReplicaSet::new(
+                        schema,
+                        Arc::clone(&self.shared.access),
+                        Arc::new(router),
+                        Arc::clone(&self.shared.telemetry.replication),
+                    ));
+                    *self
+                        .shared
+                        .replication
+                        .write()
+                        .expect("replication lock poisoned") = Some(Arc::clone(&set));
+                    set
+                }
+            }
+        };
+        set.attach(shard, transport, &view)
+    }
+
+    /// Per-shard replica liveness and acknowledged epochs (empty until the
+    /// first [`Engine::attach_replica`]).
+    pub fn replica_statuses(&self) -> Vec<ReplicaStatus> {
+        self.shared
+            .replication
+            .read()
+            .expect("replication lock poisoned")
+            .as_ref()
+            .map(|set| set.statuses())
+            .unwrap_or_default()
+    }
+
+    /// Adjusts how long replicated reads wait for every replica to
+    /// acknowledge the pinned epoch before refusing with
+    /// [`EngineError::EpochUnavailable`].  No-op before the first attach.
+    pub fn set_replica_epoch_wait(&self, timeout: Duration) {
+        if let Some(set) = self
+            .shared
+            .replication
+            .read()
+            .expect("replication lock poisoned")
+            .as_ref()
+        {
+            set.set_epoch_wait(timeout);
+        }
+    }
+
+    /// Serves a request through the attached replicas instead of the local
+    /// shards: pin the current version, wait for every replica to
+    /// acknowledge that epoch (read-your-writes), then execute over the
+    /// wire with [`si_access::ReplicatedAccess`].
+    ///
+    /// Answers, witnesses and [`MeterSnapshot`] accounting are identical to
+    /// [`Engine::execute`] at the same version — the replicas run only the
+    /// raw pushed-down probes; routing, residual filtering and metering
+    /// stay here.  Fails with [`EngineError::EpochUnavailable`] when a
+    /// lagging replica cannot acknowledge the pinned epoch in time, and
+    /// with [`EngineError::Replication`] when a shard has no replica.
+    pub fn execute_replicated(&self, request: &Request) -> Result<QueryResponse> {
+        self.shared.serve_replicated(request)
     }
 
     /// Registers a reactive subscription for `request`'s answers.
@@ -2575,6 +2821,10 @@ const _: () = {
     assert_send_sync::<EngineMetrics>();
     assert_send_sync::<PlanCache>();
     assert_send_sync::<CachedPlan>();
+    assert_send_sync::<ShardReplica>();
+    assert_send_sync::<ReplicaClient>();
+    assert_send_sync::<ReplicaSet>();
+    assert_send_sync::<ReplicaStatus>();
     assert_send_sync::<MaterializedSet>();
     assert_send_sync::<MaterializedAnswer>();
     assert_send_sync::<PinSet>();
@@ -2759,6 +3009,172 @@ mod tests {
         old_answers.sort();
         assert_eq!(old_answers, vec![tuple!["bob"], tuple!["dan"]]);
         assert_eq!(new.answers, vec![tuple!["dan"]]);
+    }
+
+    #[test]
+    fn execute_at_refuses_epochs_the_store_has_not_committed() {
+        // Single-store: a snapshot from another engine's future is refused
+        // with a typed error instead of silently serving foreign data.
+        let behind = engine(EngineConfig::default());
+        let ahead = engine(EngineConfig::default());
+        for _ in 0..3 {
+            ahead
+                .commit(Delta::new().insert("friend", tuple![3, 1]))
+                .unwrap();
+            ahead
+                .commit(Delta::new().delete("friend", tuple![3, 1]))
+                .unwrap();
+        }
+        let future = ahead.snapshot();
+        assert_eq!(future.epoch(), 6);
+        assert_eq!(
+            behind.execute_at(&future, &req(1)).unwrap_err(),
+            EngineError::EpochUnavailable {
+                requested: 6,
+                newest: 0
+            }
+        );
+        // Pins at or behind the store's epoch still serve; the foreign
+        // future stays refused with the updated watermark.
+        behind
+            .commit(Delta::new().insert("friend", tuple![2, 1]))
+            .unwrap();
+        let pinned = behind.snapshot();
+        assert!(behind.execute_at(&pinned, &req(1)).is_ok());
+        assert_eq!(
+            behind.execute_at(&future, &req(1)).unwrap_err(),
+            EngineError::EpochUnavailable {
+                requested: 6,
+                newest: 1
+            }
+        );
+
+        // Sharded backends enforce the same guard.
+        let behind = sharded_engine(3, EngineConfig::default());
+        let ahead = sharded_engine(3, EngineConfig::default());
+        ahead
+            .commit(Delta::new().insert("friend", tuple![3, 1]))
+            .unwrap();
+        let future = ahead.snapshot();
+        assert_eq!(
+            behind.execute_at(&future, &req(1)).unwrap_err(),
+            EngineError::EpochUnavailable {
+                requested: 1,
+                newest: 0
+            }
+        );
+    }
+
+    #[test]
+    fn stats_epoch_bump_purges_dead_plan_cache_entries_eagerly() {
+        let engine = engine(EngineConfig {
+            stats_drift_threshold: 0.0, // every commit bumps the stats epoch
+            ..EngineConfig::default()
+        });
+        engine.execute(&req(1)).unwrap();
+        assert_eq!(engine.shared.cache.len(), 1);
+        assert_eq!(engine.shared.cache.purged(), 0);
+        // The drift-triggered epoch bump reclaims the now-dead entry at the
+        // commit itself — no lookups, no capacity pressure required.
+        engine
+            .commit(Delta::new().insert("friend", tuple![3, 4]))
+            .unwrap();
+        assert_eq!(engine.shared.cache.purged(), 1);
+        assert_eq!(engine.shared.cache.len(), 0);
+        // Re-planning under the fresh epoch repopulates and stays put.
+        engine.execute(&req(1)).unwrap();
+        assert_eq!(engine.shared.cache.len(), 1);
+        assert_eq!(engine.shared.cache.purged(), 1);
+    }
+
+    /// Boots one [`ShardReplica`] per shard over in-process duplex pipes
+    /// and attaches them to the engine.
+    fn attach_replica_fleet(engine: &Engine, shards: usize) -> Vec<Arc<ShardReplica>> {
+        let mut replicas = Vec::new();
+        for shard in 0..shards {
+            let (primary_end, replica_end) = si_wire::Duplex::pair();
+            let replica = Arc::new(ShardReplica::new(8));
+            let conn = Arc::new(si_wire::Connection::new(Arc::new(replica_end)));
+            replica.spawn(conn);
+            engine.attach_replica(shard, Arc::new(primary_end)).unwrap();
+            replicas.push(replica);
+        }
+        replicas
+    }
+
+    #[test]
+    fn replicated_execution_matches_local_sharded_execution() {
+        let config = EngineConfig {
+            materialize_after: u64::MAX, // keep both paths on the plan path
+            ..EngineConfig::default()
+        };
+        let engine = sharded_engine(2, config);
+        let replicas = attach_replica_fleet(&engine, 2);
+        for p in 1..=4 {
+            let local = engine.execute(&req(p)).unwrap();
+            let remote = engine.execute_replicated(&req(p)).unwrap();
+            let mut a = local.answers.clone();
+            let mut b = remote.answers.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "p={p}");
+            assert_eq!(local.accesses, remote.accesses, "p={p}");
+            assert_eq!(local.epoch, remote.epoch);
+            assert_eq!(local.static_cost, remote.static_cost);
+        }
+        // Read-your-writes: the commit is visible through the replicas
+        // immediately after `commit` returns.
+        engine
+            .commit(Delta::new().insert("friend", tuple![2, 1]))
+            .unwrap();
+        let local = engine.execute(&req(2)).unwrap();
+        let remote = engine.execute_replicated(&req(2)).unwrap();
+        let mut a = local.answers.clone();
+        let mut b = remote.answers.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(local.accesses, remote.accesses);
+        assert_eq!(remote.epoch, 1);
+        for replica in &replicas {
+            assert_eq!(replica.newest_epoch(), Some(1));
+        }
+        let statuses = engine.replica_statuses();
+        assert_eq!(statuses.len(), 2);
+        for status in statuses {
+            assert!(status.connected);
+            assert_eq!(status.acked_epoch, 1);
+        }
+    }
+
+    #[test]
+    fn lagging_replica_refuses_then_serves_after_catching_up() {
+        let engine = sharded_engine(2, EngineConfig::default());
+        let replicas = attach_replica_fleet(&engine, 2);
+        // Freeze shard 0's WAL application and commit: the replica cannot
+        // acknowledge the new epoch, so the epoch-wait times out with a
+        // typed refusal instead of serving a stale version.
+        replicas[0].pause();
+        engine.set_replica_epoch_wait(Duration::from_millis(50));
+        engine
+            .commit(Delta::new().insert("friend", tuple![2, 1]))
+            .unwrap();
+        assert_eq!(
+            engine.execute_replicated(&req(2)).unwrap_err(),
+            EngineError::EpochUnavailable {
+                requested: 1,
+                newest: 0
+            }
+        );
+        // Resume: the queued record applies, the ack lands, and the same
+        // read now serves the committed epoch.
+        replicas[0].resume();
+        engine.set_replica_epoch_wait(Duration::from_secs(5));
+        let served = engine.execute_replicated(&req(2)).unwrap();
+        assert_eq!(served.epoch, 1);
+        let mut answers = served.answers;
+        answers.sort();
+        assert_eq!(answers, vec![tuple!["ann"], tuple!["dan"]]);
     }
 
     #[test]

@@ -1,0 +1,1000 @@
+//! The replicated serving plane: shard replica servers, the primary-side
+//! wire clients that feed them, and the epoch-pinned prober the replicated
+//! read path executes against.
+//!
+//! ## Roles
+//!
+//! * [`ShardReplica`] — one shard's replica *server*.  It sits behind a
+//!   [`si_wire::Transport`] boundary, applies the primary's WAL stream in
+//!   epoch order, retains a window of recent versions, and serves
+//!   **epoch-pinned reads**: a probe pinned to epoch `e'` is answered from
+//!   the retained version at exactly `e'`, and refused (never served from a
+//!   different version) when `e'` is ahead of replication or past the
+//!   retention window.
+//! * [`ReplicaClient`] — the primary's per-shard wire client: a synchronous
+//!   connect handshake (symbol-dictionary seed, WAL replay or snapshot
+//!   resync), then a reader thread that routes replies to waiting callers
+//!   and folds `WalAck`s into the acknowledged-epoch watermark.
+//! * [`ReplicaSet`] — the primary's replication state: one client slot per
+//!   shard, the bounded replay log of recently shipped records, the routing
+//!   state shared with [`si_access::ReplicatedAccess`], and the epoch-wait
+//!   that gives replicated reads read-your-writes.
+//! * [`WireProber`] — [`si_access::ShardProber`] over a `ReplicaSet` at a
+//!   pinned epoch; replicas execute only the raw pushed-down probe, so
+//!   transport-backed accounting is byte-identical to in-process sharded
+//!   accounting (see `si_access::remote`).
+//!
+//! ## Stream discipline
+//!
+//! The primary ships one [`Message::WalRecord`] per shard per commit — the
+//! shard's split of the committed delta as [`codec::delta_bytes`], the same
+//! record encoding the durability WAL frames.  Records apply strictly in
+//! epoch order: an already-applied epoch acks idempotently (the resend after
+//! a reconnect), a gap is refused with an error so the primary falls back to
+//! a full [`Message::Snapshot`].  A torn connection never corrupts a
+//! replica: frames are CRC-checked and a partial frame surfaces as
+//! [`WireError::Closed`], so the replica's state is always the clean prefix
+//! of applied records — exactly what the kill-at-any-byte harness pins.
+
+use crate::error::EngineError;
+use crate::Result;
+use si_access::{AccessError, AccessSchema, ReplicatedAccess, ShardProber};
+use si_data::codec;
+use si_data::{
+    Database, DatabaseSchema, DatabaseSnapshot, PartitionRouter, RelationPage, RelationSchema,
+    ShardedSnapshotView, Tuple, Value,
+};
+use si_telemetry::LatencyHistogram;
+use si_wire::{Connection, Message, Transport, WireError, WireResult, PROTOCOL_VERSION};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Versions a replica retains by default (the epoch-pinned read window).
+pub const DEFAULT_RETAIN: usize = 8;
+
+/// Shipped records the primary keeps for reconnect replay before falling
+/// back to a full snapshot.
+const REPLAY_LOG_CAP: usize = 1024;
+
+/// How long a replicated read waits for every replica to acknowledge the
+/// pinned epoch before failing with [`EngineError::EpochUnavailable`].
+const DEFAULT_EPOCH_WAIT: Duration = Duration::from_secs(5);
+
+/// How long a primary-side caller waits for one reply frame.
+const DEFAULT_REPLY_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The replica's mutable state: the retained version window plus the
+/// lag-injection pause flag.
+#[derive(Debug, Default)]
+struct ReplicaState {
+    /// Applied versions by epoch; empty until a snapshot bootstrap.
+    retained: BTreeMap<u64, Arc<DatabaseSnapshot>>,
+    /// While set, WAL application blocks (probes of retained epochs would
+    /// still be served, but they share the connection's serve loop).
+    paused: bool,
+}
+
+impl ReplicaState {
+    fn newest(&self) -> Option<u64> {
+        self.retained.keys().next_back().copied()
+    }
+
+    fn oldest(&self) -> Option<u64> {
+        self.retained.keys().next().copied()
+    }
+}
+
+/// One shard's replica server: applies the primary's WAL stream and serves
+/// epoch-pinned reads from its retained version window.
+///
+/// State is independent of any one connection: [`ShardReplica::serve`] runs
+/// one message loop per connection, and a replica whose wire tore resumes
+/// from its clean applied prefix when the primary reconnects on a fresh
+/// transport.
+#[derive(Debug)]
+pub struct ShardReplica {
+    state: Mutex<ReplicaState>,
+    resumed: Condvar,
+    /// Number of recent versions retained for epoch-pinned reads (≥ 1).
+    retain: usize,
+}
+
+impl ShardReplica {
+    /// Creates an empty replica retaining up to `retain` recent versions.
+    pub fn new(retain: usize) -> Self {
+        ShardReplica {
+            state: Mutex::new(ReplicaState::default()),
+            resumed: Condvar::new(),
+            retain: retain.max(1),
+        }
+    }
+
+    /// Blocks WAL application (lag injection for tests): shipped records
+    /// queue on the wire and stay unacknowledged until [`ShardReplica::resume`].
+    pub fn pause(&self) {
+        self.state.lock().expect("replica state poisoned").paused = true;
+    }
+
+    /// Unblocks WAL application.
+    pub fn resume(&self) {
+        self.state.lock().expect("replica state poisoned").paused = false;
+        self.resumed.notify_all();
+    }
+
+    /// Newest epoch this replica has applied (`None` before bootstrap).
+    pub fn newest_epoch(&self) -> Option<u64> {
+        self.state.lock().expect("replica state poisoned").newest()
+    }
+
+    /// Oldest epoch still retained for pinned reads.
+    pub fn oldest_epoch(&self) -> Option<u64> {
+        self.state.lock().expect("replica state poisoned").oldest()
+    }
+
+    /// The retained epochs, oldest first.
+    pub fn retained_epochs(&self) -> Vec<u64> {
+        self.state
+            .lock()
+            .expect("replica state poisoned")
+            .retained
+            .keys()
+            .copied()
+            .collect()
+    }
+
+    /// Materialises the retained version at `epoch` (tests compare this
+    /// against the primary shard's own snapshot).
+    pub fn database_at(&self, epoch: u64) -> Option<Database> {
+        self.state
+            .lock()
+            .expect("replica state poisoned")
+            .retained
+            .get(&epoch)
+            .map(|snap| snap.to_database())
+    }
+
+    /// Runs one connection's message loop until the peer disconnects.
+    ///
+    /// A clean peer close (or a torn wire) returns `Ok(())` — the replica
+    /// keeps its applied state and a later [`ShardReplica::serve`] on a
+    /// fresh connection resumes from it.  Protocol violations return the
+    /// wire error.
+    pub fn serve(&self, conn: &Connection) -> WireResult<()> {
+        let result = self.serve_loop(conn);
+        // Tear down both directions on exit: a peer blocked on a reply
+        // (e.g. mid-handshake across a torn wire) must wake with `Closed`
+        // rather than hang on a response that will never come.
+        conn.shutdown();
+        result
+    }
+
+    fn serve_loop(&self, conn: &Connection) -> WireResult<()> {
+        loop {
+            let message = match conn.recv() {
+                Ok(m) => m,
+                Err(WireError::Closed) => return Ok(()),
+                Err(e) => return Err(e),
+            };
+            match message {
+                Message::Hello { version, .. } => {
+                    if version != PROTOCOL_VERSION {
+                        let _ = conn.send(&Message::Error {
+                            id: 0,
+                            message: format!(
+                                "protocol version {version} unsupported (speaking {PROTOCOL_VERSION})"
+                            ),
+                        });
+                        return Err(WireError::Protocol(format!(
+                            "peer speaks protocol version {version}"
+                        )));
+                    }
+                    let newest = self.newest_epoch().unwrap_or(0);
+                    conn.send(&Message::HelloAck {
+                        version: PROTOCOL_VERSION,
+                        epoch: newest,
+                    })?;
+                }
+                Message::Snapshot { epoch, pages } => match install_pages(&pages, epoch) {
+                    Ok(snapshot) => {
+                        let mut state = self.state.lock().expect("replica state poisoned");
+                        state.retained = BTreeMap::from([(epoch, Arc::new(snapshot))]);
+                        drop(state);
+                        conn.send(&Message::SnapshotAck { epoch })?;
+                    }
+                    Err(message) => conn.send(&Message::Error { id: 0, message })?,
+                },
+                Message::WalRecord { epoch, delta } => {
+                    let reply = self.apply_record(epoch, &delta);
+                    conn.send(&reply)?;
+                }
+                Message::Probe {
+                    id,
+                    epoch,
+                    relation,
+                    attrs,
+                    key,
+                } => {
+                    let reply = self.serve_probe(id, epoch, &relation, &attrs, &key);
+                    conn.send(&reply)?;
+                }
+                Message::Scan {
+                    id,
+                    epoch,
+                    relation,
+                } => {
+                    let reply = self.serve_probe(id, epoch, &relation, &[], &[]);
+                    conn.send(&reply)?;
+                }
+                Message::Contains {
+                    id,
+                    epoch,
+                    relation,
+                    tuple,
+                } => {
+                    let reply = self.serve_contains(id, epoch, &relation, &tuple);
+                    conn.send(&reply)?;
+                }
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "replica received a reply-direction message: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Spawns [`ShardReplica::serve`] on its own thread (test harness
+    /// convenience; the connection's serve side is single-threaded anyway).
+    pub fn spawn(
+        self: &Arc<Self>,
+        conn: Arc<Connection>,
+    ) -> std::thread::JoinHandle<WireResult<()>> {
+        let replica = Arc::clone(self);
+        std::thread::spawn(move || replica.serve(&conn))
+    }
+
+    /// Applies one shipped WAL record in epoch order (blocking while
+    /// paused), answering with the ack or the refusal.
+    fn apply_record(&self, epoch: u64, delta: &[u8]) -> Message {
+        let mut state = self.state.lock().expect("replica state poisoned");
+        while state.paused {
+            state = self.resumed.wait(state).expect("replica state poisoned");
+        }
+        let Some(newest) = state.newest() else {
+            return Message::Error {
+                id: 0,
+                message: "wal record before snapshot bootstrap".to_owned(),
+            };
+        };
+        if epoch <= newest {
+            // Resent prefix after a reconnect: already applied, ack as held.
+            return Message::WalAck { epoch: newest };
+        }
+        if epoch != newest + 1 {
+            return Message::Error {
+                id: 0,
+                message: format!("wal gap: have epoch {newest}, record targets {epoch}"),
+            };
+        }
+        let parsed = match codec::delta_from_bytes(delta) {
+            Ok(d) => d,
+            Err(e) => {
+                return Message::Error {
+                    id: 0,
+                    message: format!("wal record decode failed: {e}"),
+                }
+            }
+        };
+        let base = state
+            .retained
+            .get(&newest)
+            .expect("newest() came from the map")
+            .clone();
+        match base.apply(&parsed) {
+            Ok(next) => {
+                debug_assert_eq!(next.epoch(), epoch);
+                state.retained.insert(epoch, Arc::new(next));
+                while state.retained.len() > self.retain {
+                    let oldest = *state.retained.keys().next().expect("non-empty");
+                    state.retained.remove(&oldest);
+                }
+                Message::WalAck { epoch }
+            }
+            Err(e) => Message::Error {
+                id: 0,
+                message: format!("wal record apply failed: {e}"),
+            },
+        }
+    }
+
+    /// Runs the raw pushed-down probe against the retained version pinned
+    /// to `epoch` (empty `attrs` = full iteration, the scan leg).
+    fn serve_probe(
+        &self,
+        id: u64,
+        epoch: u64,
+        relation: &str,
+        attrs: &[String],
+        key: &[Value],
+    ) -> Message {
+        let state = self.state.lock().expect("replica state poisoned");
+        let Some(snapshot) = state.retained.get(&epoch) else {
+            return Message::Refused {
+                id,
+                requested: epoch,
+                oldest: state.oldest().unwrap_or(0),
+                newest: state.newest().unwrap_or(0),
+            };
+        };
+        match snapshot
+            .relation(relation)
+            .map_err(AccessError::Data)
+            .and_then(|rel| si_access::raw_index_probe(rel, attrs, key))
+        {
+            Ok(tuples) => Message::Rows { id, tuples },
+            Err(e) => Message::Error {
+                id,
+                message: e.to_string(),
+            },
+        }
+    }
+
+    /// Membership probe against the retained version pinned to `epoch`.
+    fn serve_contains(&self, id: u64, epoch: u64, relation: &str, tuple: &Tuple) -> Message {
+        let state = self.state.lock().expect("replica state poisoned");
+        let Some(snapshot) = state.retained.get(&epoch) else {
+            return Message::Refused {
+                id,
+                requested: epoch,
+                oldest: state.oldest().unwrap_or(0),
+                newest: state.newest().unwrap_or(0),
+            };
+        };
+        match snapshot.relation(relation) {
+            Ok(rel) => Message::Found {
+                id,
+                found: rel.contains(tuple),
+            },
+            Err(e) => Message::Error {
+                id,
+                message: e.to_string(),
+            },
+        }
+    }
+}
+
+/// Rebuilds a shard database from snapshot pages and pins it at `epoch`
+/// (the same page → database pattern durability checkpoints use).
+fn install_pages(
+    pages: &[RelationPage],
+    epoch: u64,
+) -> std::result::Result<DatabaseSnapshot, String> {
+    let schemas = pages
+        .iter()
+        .map(|page| {
+            let attrs: Vec<&str> = page.attributes.iter().map(String::as_str).collect();
+            RelationSchema::new(&page.name, &attrs)
+        })
+        .collect();
+    let schema = DatabaseSchema::from_relations(schemas).map_err(|e| e.to_string())?;
+    let mut db = Database::empty(schema);
+    for page in pages {
+        for attrs in &page.declared {
+            db.declare_index(&page.name, attrs)
+                .map_err(|e| e.to_string())?;
+        }
+        db.insert_all(&page.name, page.tuples.iter().cloned())
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(DatabaseSnapshot::from_database_at(db, epoch))
+}
+
+/// The primary's wire client for one shard replica.
+///
+/// Created by the connect handshake ([`crate::Engine::attach_replica`]): the
+/// handshake is synchronous — hello, then WAL replay or snapshot resync,
+/// each step waiting for its ack — and only then does the reader thread
+/// start, so the replica is known to be at the primary's epoch before any
+/// read is routed to it.
+#[derive(Debug)]
+pub struct ReplicaClient {
+    shard: usize,
+    conn: Arc<Connection>,
+    /// In-flight request replies, routed by request id.
+    pending: Mutex<HashMap<u64, mpsc::Sender<Message>>>,
+    next_id: AtomicU64,
+    /// Newest epoch the replica has acknowledged applying.
+    acked: Mutex<u64>,
+    acked_cv: Condvar,
+    connected: AtomicBool,
+    /// Ship instants of unacknowledged records, for the ack histogram.
+    inflight_ship: Mutex<HashMap<u64, Instant>>,
+    ack_histogram: Arc<LatencyHistogram>,
+    reply_timeout: Duration,
+}
+
+impl ReplicaClient {
+    /// Synchronous connect: handshake, bring the replica to `epoch` (WAL
+    /// replay from `log` when it covers the gap, full snapshot otherwise),
+    /// then start the reader thread.
+    ///
+    /// `pages` lazily serialises the primary shard's relations — only
+    /// called when a snapshot bootstrap is actually needed.
+    #[allow(clippy::too_many_arguments)]
+    fn connect(
+        conn: Arc<Connection>,
+        shard: usize,
+        epoch: u64,
+        seed: Vec<String>,
+        pages: impl FnOnce() -> Vec<RelationPage>,
+        log: &BTreeMap<u64, Arc<Vec<Vec<u8>>>>,
+        ack_histogram: Arc<LatencyHistogram>,
+        reply_timeout: Duration,
+    ) -> std::result::Result<Arc<ReplicaClient>, WireError> {
+        conn.send(&Message::Hello {
+            version: PROTOCOL_VERSION,
+            shard: shard as u32,
+            epoch,
+            seed,
+        })?;
+        let replica_epoch = match conn.recv()? {
+            Message::HelloAck { version, epoch } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(WireError::Protocol(format!(
+                        "replica speaks protocol version {version}"
+                    )));
+                }
+                epoch
+            }
+            other => {
+                return Err(WireError::Protocol(format!(
+                    "expected HelloAck, got {other:?}"
+                )))
+            }
+        };
+
+        // Resync: replay the logged tail when it bridges the replica's
+        // epoch to ours, otherwise ship a full snapshot.  `epoch == 0`
+        // always snapshots — a replica reporting 0 may simply hold no
+        // state yet.
+        let replayable = replica_epoch > 0
+            && replica_epoch <= epoch
+            && ((replica_epoch + 1)..=epoch).all(|e| log.contains_key(&e));
+        if replayable {
+            for e in (replica_epoch + 1)..=epoch {
+                let record = &log[&e][shard];
+                conn.send(&Message::WalRecord {
+                    epoch: e,
+                    delta: record.clone(),
+                })?;
+                match conn.recv()? {
+                    Message::WalAck { epoch: acked } if acked >= e => {}
+                    other => {
+                        return Err(WireError::Protocol(format!(
+                            "expected WalAck({e}), got {other:?}"
+                        )))
+                    }
+                }
+            }
+        } else if replica_epoch != epoch || epoch == 0 {
+            conn.send(&Message::Snapshot {
+                epoch,
+                pages: pages(),
+            })?;
+            match conn.recv()? {
+                Message::SnapshotAck { epoch: acked } if acked == epoch => {}
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "expected SnapshotAck({epoch}), got {other:?}"
+                    )))
+                }
+            }
+        }
+
+        let client = Arc::new(ReplicaClient {
+            shard,
+            conn,
+            pending: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            acked: Mutex::new(epoch),
+            acked_cv: Condvar::new(),
+            connected: AtomicBool::new(true),
+            inflight_ship: Mutex::new(HashMap::new()),
+            ack_histogram,
+            reply_timeout,
+        });
+        client.start_reader();
+        Ok(client)
+    }
+
+    /// The reader thread: routes replies to waiting callers, folds WAL
+    /// acks into the watermark, and severs the client on any wire failure
+    /// (dropping pending senders so callers fail fast instead of timing
+    /// out).
+    fn start_reader(self: &Arc<Self>) {
+        let client = Arc::clone(self);
+        std::thread::spawn(move || {
+            loop {
+                match client.conn.recv() {
+                    Ok(Message::WalAck { epoch }) => {
+                        if let Some(shipped) = client
+                            .inflight_ship
+                            .lock()
+                            .expect("ship clock poisoned")
+                            .remove(&epoch)
+                        {
+                            let nanos =
+                                u64::try_from(shipped.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                            client.ack_histogram.record(nanos);
+                        }
+                        let mut acked = client.acked.lock().expect("ack watermark poisoned");
+                        if epoch > *acked {
+                            *acked = epoch;
+                            client.acked_cv.notify_all();
+                        }
+                    }
+                    Ok(message) => match message.reply_id() {
+                        Some(id) if id != 0 => {
+                            let sender = client
+                                .pending
+                                .lock()
+                                .expect("pending map poisoned")
+                                .remove(&id);
+                            if let Some(tx) = sender {
+                                let _ = tx.send(message);
+                            }
+                        }
+                        // `Error { id: 0 }` (stream-level failure) or an
+                        // unexpected request-direction message: sever.
+                        _ => break,
+                    },
+                    Err(_) => break,
+                }
+            }
+            client.sever();
+        });
+    }
+
+    /// Marks the client dead and fails everything waiting on it.
+    fn sever(&self) {
+        self.connected.store(false, Ordering::SeqCst);
+        // Close both directions so the replica's serve loop (and anything
+        // else blocked on this wire) observes the death promptly.
+        self.conn.shutdown();
+        self.pending.lock().expect("pending map poisoned").clear();
+        self.inflight_ship
+            .lock()
+            .expect("ship clock poisoned")
+            .clear();
+        // Wake epoch waiters so they observe the disconnect.
+        self.acked_cv.notify_all();
+    }
+
+    /// True while the reader thread believes the wire is healthy.
+    pub fn is_connected(&self) -> bool {
+        self.connected.load(Ordering::SeqCst)
+    }
+
+    /// Newest epoch the replica has acknowledged.
+    pub fn acked_epoch(&self) -> u64 {
+        *self.acked.lock().expect("ack watermark poisoned")
+    }
+
+    /// Ships one WAL record without waiting for its ack (replication lag is
+    /// natural; reads wait on the watermark instead).
+    fn ship(&self, epoch: u64, delta: &[u8]) {
+        if !self.is_connected() {
+            return;
+        }
+        self.inflight_ship
+            .lock()
+            .expect("ship clock poisoned")
+            .insert(epoch, Instant::now());
+        let record = Message::WalRecord {
+            epoch,
+            delta: delta.to_vec(),
+        };
+        if self.conn.send(&record).is_err() {
+            self.sever();
+        }
+    }
+
+    /// Blocks until the replica acknowledges `epoch`, the client severs, or
+    /// `timeout` elapses.  Returns whether the epoch was acknowledged.
+    pub fn wait_for_epoch(&self, epoch: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut acked = self.acked.lock().expect("ack watermark poisoned");
+        while *acked < epoch {
+            if !self.is_connected() {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _timeout) = self
+                .acked_cv
+                .wait_timeout(acked, deadline - now)
+                .expect("ack watermark poisoned");
+            acked = guard;
+        }
+        true
+    }
+
+    /// One request/reply round trip, correlated by request id.
+    fn call(
+        &self,
+        build: impl FnOnce(u64) -> Message,
+    ) -> std::result::Result<Message, AccessError> {
+        if !self.is_connected() {
+            return Err(AccessError::Remote(format!(
+                "shard {} replica disconnected",
+                self.shard
+            )));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        self.pending
+            .lock()
+            .expect("pending map poisoned")
+            .insert(id, tx);
+        if let Err(e) = self.conn.send(&build(id)) {
+            self.pending
+                .lock()
+                .expect("pending map poisoned")
+                .remove(&id);
+            self.sever();
+            return Err(AccessError::Remote(format!(
+                "shard {} send failed: {e}",
+                self.shard
+            )));
+        }
+        match rx.recv_timeout(self.reply_timeout) {
+            Ok(message) => Ok(message),
+            Err(_) => {
+                self.pending
+                    .lock()
+                    .expect("pending map poisoned")
+                    .remove(&id);
+                Err(AccessError::Remote(format!(
+                    "shard {} reply timed out or connection died",
+                    self.shard
+                )))
+            }
+        }
+    }
+
+    /// Maps a reply carrying rows, folding refusals and remote failures
+    /// into the access-error surface the executors understand.
+    fn expect_rows(&self, reply: Message) -> std::result::Result<Vec<Tuple>, AccessError> {
+        match reply {
+            Message::Rows { tuples, .. } => Ok(tuples),
+            Message::Refused {
+                requested,
+                oldest,
+                newest,
+                ..
+            } => Err(AccessError::EpochUnavailable {
+                requested,
+                oldest,
+                newest,
+            }),
+            Message::Error { message, .. } => Err(AccessError::Remote(message)),
+            other => Err(AccessError::Remote(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Epoch-pinned pushed-down probe on the replica.
+    pub fn probe(
+        &self,
+        epoch: u64,
+        relation: &str,
+        attrs: &[String],
+        key: &[Value],
+    ) -> std::result::Result<Vec<Tuple>, AccessError> {
+        let reply = self.call(|id| Message::Probe {
+            id,
+            epoch,
+            relation: relation.to_owned(),
+            attrs: attrs.to_vec(),
+            key: key.to_vec(),
+        })?;
+        self.expect_rows(reply)
+    }
+
+    /// Epoch-pinned full iteration on the replica.
+    pub fn scan(&self, epoch: u64, relation: &str) -> std::result::Result<Vec<Tuple>, AccessError> {
+        let reply = self.call(|id| Message::Scan {
+            id,
+            epoch,
+            relation: relation.to_owned(),
+        })?;
+        self.expect_rows(reply)
+    }
+
+    /// Epoch-pinned membership probe on the replica.
+    pub fn contains(
+        &self,
+        epoch: u64,
+        relation: &str,
+        tuple: &Tuple,
+    ) -> std::result::Result<bool, AccessError> {
+        let reply = self.call(|id| Message::Contains {
+            id,
+            epoch,
+            relation: relation.to_owned(),
+            tuple: tuple.clone(),
+        })?;
+        match reply {
+            Message::Found { found, .. } => Ok(found),
+            Message::Refused {
+                requested,
+                oldest,
+                newest,
+                ..
+            } => Err(AccessError::EpochUnavailable {
+                requested,
+                oldest,
+                newest,
+            }),
+            Message::Error { message, .. } => Err(AccessError::Remote(message)),
+            other => Err(AccessError::Remote(format!("unexpected reply {other:?}"))),
+        }
+    }
+}
+
+/// One replica's liveness and replication watermark, as the lag gauges and
+/// tests observe it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// The shard this replica serves.
+    pub shard: usize,
+    /// Whether a client is attached and its wire is healthy.
+    pub connected: bool,
+    /// Newest epoch the replica has acknowledged (0 when never attached).
+    pub acked_epoch: u64,
+}
+
+/// The primary's replication state: per-shard client slots, the bounded
+/// replay log, and the routing state replicated reads share with
+/// [`ReplicatedAccess`].
+#[derive(Debug)]
+pub struct ReplicaSet {
+    schema: Arc<DatabaseSchema>,
+    access: Arc<AccessSchema>,
+    router: Arc<PartitionRouter>,
+    slots: Vec<Mutex<Option<Arc<ReplicaClient>>>>,
+    /// Recently shipped records: epoch → per-shard `delta_bytes`.  Bounded
+    /// by [`REPLAY_LOG_CAP`]; reconnects beyond it snapshot instead.
+    log: Mutex<BTreeMap<u64, Arc<Vec<Vec<u8>>>>>,
+    ack_histogram: Arc<LatencyHistogram>,
+    /// Read-your-writes wait budget, in milliseconds.
+    wait_millis: AtomicU64,
+}
+
+impl ReplicaSet {
+    pub(crate) fn new(
+        schema: Arc<DatabaseSchema>,
+        access: Arc<AccessSchema>,
+        router: Arc<PartitionRouter>,
+        ack_histogram: Arc<LatencyHistogram>,
+    ) -> Self {
+        let shards = router.shards();
+        ReplicaSet {
+            schema,
+            access,
+            router,
+            slots: (0..shards).map(|_| Mutex::new(None)).collect(),
+            log: Mutex::new(BTreeMap::new()),
+            ack_histogram,
+            wait_millis: AtomicU64::new(
+                u64::try_from(DEFAULT_EPOCH_WAIT.as_millis()).unwrap_or(u64::MAX),
+            ),
+        }
+    }
+
+    /// Number of shards (and client slots).
+    pub fn shard_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Adjusts how long replicated reads wait for acknowledgement before
+    /// refusing with [`EngineError::EpochUnavailable`].
+    pub fn set_epoch_wait(&self, timeout: Duration) {
+        self.wait_millis.store(
+            u64::try_from(timeout.as_millis()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Per-shard liveness and watermark.
+    pub fn statuses(&self) -> Vec<ReplicaStatus> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(shard, slot)| {
+                let client = slot.lock().expect("replica slot poisoned").clone();
+                match client {
+                    Some(c) => ReplicaStatus {
+                        shard,
+                        connected: c.is_connected(),
+                        acked_epoch: c.acked_epoch(),
+                    },
+                    None => ReplicaStatus {
+                        shard,
+                        connected: false,
+                        acked_epoch: 0,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Connects (or reconnects) the replica serving `shard` over
+    /// `transport`, syncing it to `view`'s epoch before the slot swaps.
+    pub(crate) fn attach(
+        &self,
+        shard: usize,
+        transport: Arc<dyn Transport>,
+        view: &ShardedSnapshotView,
+    ) -> Result<()> {
+        if shard >= self.slots.len() {
+            return Err(EngineError::Replication(format!(
+                "shard {shard} out of range ({} shards)",
+                self.slots.len()
+            )));
+        }
+        let conn = Arc::new(Connection::new(transport));
+        let seed = seed_symbols(&self.schema);
+        let log = self.log.lock().expect("replay log poisoned").clone();
+        let shard_snapshot = Arc::clone(view.shard(shard));
+        let pages = move || {
+            shard_snapshot
+                .relations()
+                .map(RelationPage::from_relation)
+                .collect()
+        };
+        let client = ReplicaClient::connect(
+            conn,
+            shard,
+            view.epoch(),
+            seed,
+            pages,
+            &log,
+            Arc::clone(&self.ack_histogram),
+            DEFAULT_REPLY_TIMEOUT,
+        )
+        .map_err(|e| EngineError::Replication(format!("shard {shard} attach failed: {e}")))?;
+        *self.slots[shard].lock().expect("replica slot poisoned") = Some(client);
+        Ok(())
+    }
+
+    /// Ships one committed delta: splits it per shard, records the encoded
+    /// records in the replay log, and sends each shard's record to its
+    /// attached client without waiting for acks.
+    pub(crate) fn ship(&self, view: &ShardedSnapshotView, merged: &si_data::Delta) {
+        let epoch = view.epoch();
+        let parts: Vec<Vec<u8>> = view.split(merged).iter().map(codec::delta_bytes).collect();
+        let parts = Arc::new(parts);
+        {
+            let mut log = self.log.lock().expect("replay log poisoned");
+            log.insert(epoch, Arc::clone(&parts));
+            while log.len() > REPLAY_LOG_CAP {
+                let oldest = *log.keys().next().expect("non-empty");
+                log.remove(&oldest);
+            }
+        }
+        for (shard, slot) in self.slots.iter().enumerate() {
+            let client = slot.lock().expect("replica slot poisoned").clone();
+            if let Some(client) = client {
+                client.ship(epoch, &parts[shard]);
+            }
+        }
+    }
+
+    /// Read-your-writes: blocks until every shard's replica acknowledges
+    /// `epoch`, refusing with [`EngineError::EpochUnavailable`] on timeout
+    /// or disconnect and with [`EngineError::Replication`] when a shard has
+    /// no replica attached at all.
+    pub(crate) fn wait_read_your_writes(&self, epoch: u64) -> Result<()> {
+        let timeout = Duration::from_millis(self.wait_millis.load(Ordering::Relaxed));
+        for (shard, slot) in self.slots.iter().enumerate() {
+            let client = slot
+                .lock()
+                .expect("replica slot poisoned")
+                .clone()
+                .ok_or_else(|| {
+                    EngineError::Replication(format!("no replica attached for shard {shard}"))
+                })?;
+            if !client.wait_for_epoch(epoch, timeout) {
+                return Err(EngineError::EpochUnavailable {
+                    requested: epoch,
+                    newest: client.acked_epoch(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the epoch-pinned transport-backed [`AccessSource`] replicated
+    /// reads execute against.
+    ///
+    /// [`AccessSource`]: si_access::AccessSource
+    pub(crate) fn source_at(&self, epoch: u64) -> Result<ReplicatedAccess<WireProber>> {
+        let clients = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(shard, slot)| {
+                slot.lock()
+                    .expect("replica slot poisoned")
+                    .clone()
+                    .ok_or_else(|| {
+                        EngineError::Replication(format!("no replica attached for shard {shard}"))
+                    })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ReplicatedAccess::new(
+            Arc::clone(&self.schema),
+            Arc::clone(&self.access),
+            Arc::clone(&self.router),
+            WireProber { clients, epoch },
+        ))
+    }
+}
+
+/// Seeds both directions' symbol dictionaries with the schema's stable
+/// vocabulary (relation and attribute names), so steady-state probe traffic
+/// never re-ships them as strings.
+fn seed_symbols(schema: &DatabaseSchema) -> Vec<String> {
+    let mut seed: Vec<String> = Vec::new();
+    for relation in schema.relations() {
+        seed.push(relation.name().to_owned());
+        for attr in relation.attributes() {
+            seed.push(attr.clone());
+        }
+    }
+    seed.sort();
+    seed.dedup();
+    seed
+}
+
+/// [`ShardProber`] over a [`ReplicaSet`]'s clients at a pinned epoch: each
+/// probe travels the wire and executes `raw_index_probe` on the replica's
+/// retained version at exactly that epoch.
+#[derive(Debug)]
+pub struct WireProber {
+    clients: Vec<Arc<ReplicaClient>>,
+    epoch: u64,
+}
+
+impl ShardProber for WireProber {
+    fn shard_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn probe(
+        &self,
+        shard: usize,
+        relation: &str,
+        attrs: &[String],
+        key: &[Value],
+    ) -> std::result::Result<Vec<Tuple>, AccessError> {
+        self.clients[shard].probe(self.epoch, relation, attrs, key)
+    }
+
+    fn contains(
+        &self,
+        shard: usize,
+        relation: &str,
+        tuple: &Tuple,
+    ) -> std::result::Result<bool, AccessError> {
+        self.clients[shard].contains(self.epoch, relation, tuple)
+    }
+
+    fn scan(&self, shard: usize, relation: &str) -> std::result::Result<Vec<Tuple>, AccessError> {
+        self.clients[shard].scan(self.epoch, relation)
+    }
+}

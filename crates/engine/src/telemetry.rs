@@ -32,6 +32,9 @@ pub const CHECKPOINT_HISTOGRAM: &str = "si_checkpoint_latency_ns";
 /// Commit-start → subscriber-queue delivery latency of one change-set or
 /// resync push (reactive plane; engines with subscribers only).
 pub const DELIVERY_HISTOGRAM: &str = "si_subscription_delivery_ns";
+/// WAL-record ship → replica acknowledgement latency, per shipped record
+/// per replica (replication plane; engines with attached replicas only).
+pub const REPLICATION_HISTOGRAM: &str = "si_replication_ack_ns";
 
 /// The engine's observability state: registry + cached histograms + sampler.
 #[derive(Debug)]
@@ -57,6 +60,8 @@ pub(crate) struct EngineTelemetry {
     pub checkpoint: Arc<LatencyHistogram>,
     /// Subscription delivery latency (commit start → update enqueued).
     pub delivery: Arc<LatencyHistogram>,
+    /// Replication ship → ack latency (per record per replica).
+    pub replication: Arc<LatencyHistogram>,
     /// Requests currently inside the serve path (gauge).
     pub in_flight: AtomicU64,
     /// Request traces emitted so far (sampled + post-hoc slow + opted-in).
@@ -77,6 +82,7 @@ impl EngineTelemetry {
         let fsync = registry.histogram(FSYNC_HISTOGRAM);
         let checkpoint = registry.histogram(CHECKPOINT_HISTOGRAM);
         let delivery = registry.histogram(DELIVERY_HISTOGRAM);
+        let replication = registry.histogram(REPLICATION_HISTOGRAM);
         EngineTelemetry {
             sampler: Sampler::new(config.trace_sample_every),
             slow_threshold_nanos: u64::try_from(config.slow_threshold.as_nanos())
@@ -88,6 +94,7 @@ impl EngineTelemetry {
             fsync,
             checkpoint,
             delivery,
+            replication,
             in_flight: AtomicU64::new(0),
             traces_emitted: AtomicU64::new(0),
             registry,

@@ -1,0 +1,302 @@
+//! A framed, dictionary-carrying connection over a [`Transport`].
+//!
+//! [`Connection`] owns one transport endpoint plus one [`EncodeDict`] for
+//! the outbound direction and one [`DecodeDict`] for the inbound
+//! direction.  [`Connection::send`] encodes a [`Message`] and writes it as
+//! one `len ‖ crc32 ‖ payload` frame *while holding the outbound lock*, so
+//! concurrent senders serialise and the dictionary registrations land on
+//! the wire in the exact order the receiver will replay them.
+//! [`Connection::recv`] reads one frame, verifies length cap and CRC
+//! before trusting anything, and decodes under the inbound lock.
+//!
+//! Receiving (or sending) a [`Message::Hello`] seeds **both** of this
+//! end's dictionaries with the handshake vocabulary; because `Hello` is
+//! the first message in each direction (the primary sends nothing else
+//! until the `HelloAck` arrives), both ends observe the seed before any
+//! dictionary-encoded value flows.
+
+use crate::dict::{DecodeDict, EncodeDict};
+use crate::message::Message;
+use crate::transport::Transport;
+use crate::{WireError, WireResult, MAX_FRAME_BYTES};
+use si_data::codec::{self, CodecError, FRAME_HEADER};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A message-granular connection: framing, CRC validation and symbol
+/// dictionaries over a byte [`Transport`].
+pub struct Connection {
+    transport: Arc<dyn Transport>,
+    tx: Mutex<EncodeDict>,
+    rx: Mutex<DecodeDict>,
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection")
+            .field("frames_sent", &self.frames_sent.load(Ordering::Relaxed))
+            .field(
+                "frames_received",
+                &self.frames_received.load(Ordering::Relaxed),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl Connection {
+    /// Wraps a transport endpoint with fresh (empty) dictionaries.
+    pub fn new(transport: Arc<dyn Transport>) -> Self {
+        Self {
+            transport,
+            tx: Mutex::new(EncodeDict::new()),
+            rx: Mutex::new(DecodeDict::new()),
+            frames_sent: AtomicU64::new(0),
+            frames_received: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+        }
+    }
+
+    /// Encodes and writes one message as a single frame.  Sending a
+    /// [`Message::Hello`] also seeds this end's dictionaries with its
+    /// vocabulary (the receiver does the same on receipt).
+    pub fn send(&self, message: &Message) -> WireResult<()> {
+        let mut tx = self.tx.lock().expect("wire tx lock");
+        if let Message::Hello { seed, .. } = message {
+            tx.seed(seed);
+            self.rx.lock().expect("wire rx lock").seed(seed);
+        }
+        let payload = message.encode(&mut tx);
+        let framed = codec::frame(&payload);
+        // Dictionary ordering: the write happens under the tx lock so frames
+        // hit the wire in registration order.
+        self.transport.write_all(&framed)?;
+        drop(tx);
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent
+            .fetch_add(framed.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Reads and decodes one message.  The frame header is validated
+    /// against [`MAX_FRAME_BYTES`] before the payload is allocated, and the
+    /// CRC before any byte is interpreted.
+    pub fn recv(&self) -> WireResult<Message> {
+        let mut rx = self.rx.lock().expect("wire rx lock");
+        let mut header = [0u8; FRAME_HEADER];
+        self.transport.read_exact(&mut header)?;
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+        let expected_crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        if len > MAX_FRAME_BYTES {
+            return Err(WireError::Protocol(format!(
+                "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+            )));
+        }
+        let mut payload = vec![0u8; len];
+        self.transport.read_exact(&mut payload)?;
+        let found_crc = codec::crc32(&payload);
+        if found_crc != expected_crc {
+            return Err(WireError::Codec(CodecError::Corrupt {
+                expected: expected_crc,
+                found: found_crc,
+            }));
+        }
+        let message = Message::decode(&payload, &mut rx)?;
+        if let Message::Hello { seed, .. } = &message {
+            rx.seed(seed);
+            self.tx.lock().expect("wire tx lock").seed(seed);
+        }
+        drop(rx);
+        self.frames_received.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add((FRAME_HEADER + len) as u64, Ordering::Relaxed);
+        Ok(message)
+    }
+
+    /// Tears down the underlying transport; blocked peers see
+    /// [`WireError::Closed`].
+    pub fn shutdown(&self) {
+        self.transport.shutdown();
+    }
+
+    /// Frames sent over this connection.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent.load(Ordering::Relaxed)
+    }
+
+    /// Frames received over this connection.
+    pub fn frames_received(&self) -> u64 {
+        self.frames_received.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes written (frame headers included).
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes read (frame headers included).
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Symbols this end has sent as full strings / as dense references.
+    pub fn dictionary_stats(&self) -> (u64, u64) {
+        let tx = self.tx.lock().expect("wire tx lock");
+        (tx.registered(), tx.refs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::PROTOCOL_VERSION;
+    use crate::transport::Duplex;
+    use si_data::tuple;
+    use std::thread;
+
+    fn pair() -> (Connection, Connection) {
+        let (a, b) = Duplex::pair();
+        (Connection::new(Arc::new(a)), Connection::new(Arc::new(b)))
+    }
+
+    #[test]
+    fn messages_cross_the_wire_intact() {
+        let (primary, replica) = pair();
+        let msg = Message::Probe {
+            id: 1,
+            epoch: 4,
+            relation: "visit".into(),
+            attrs: vec!["rid".into()],
+            key: vec![si_data::Value::str("downtown-diner")],
+        };
+        primary.send(&msg).unwrap();
+        assert_eq!(replica.recv().unwrap(), msg);
+        assert_eq!(primary.frames_sent(), 1);
+        assert_eq!(replica.frames_received(), 1);
+        assert_eq!(primary.bytes_sent(), replica.bytes_received());
+    }
+
+    #[test]
+    fn hello_seeds_both_directions_on_both_ends() {
+        let (primary, replica) = pair();
+        let hello = Message::Hello {
+            version: PROTOCOL_VERSION,
+            shard: 0,
+            epoch: 0,
+            seed: vec!["NYC".into()],
+        };
+        primary.send(&hello).unwrap();
+        replica.recv().unwrap();
+
+        // Replica → primary: the seeded symbol is referenced, never spelled.
+        replica
+            .send(&Message::Rows {
+                id: 1,
+                tuples: vec![tuple![1, "NYC"]],
+            })
+            .unwrap();
+        primary.recv().unwrap();
+        let (registered, refs) = replica.dictionary_stats();
+        assert_eq!((registered, refs), (0, 1));
+    }
+
+    #[test]
+    fn symbols_repeat_as_references_across_frames() {
+        let (primary, replica) = pair();
+        let row = Message::Rows {
+            id: 1,
+            tuples: vec![tuple![1, "ann", "NYC"]],
+        };
+        primary.send(&row).unwrap();
+        primary.send(&row).unwrap();
+        assert_eq!(replica.recv().unwrap(), row);
+        assert_eq!(replica.recv().unwrap(), row);
+        let (registered, refs) = primary.dictionary_stats();
+        assert_eq!(registered, 2, "each symbol spelled exactly once");
+        assert_eq!(refs, 2, "then referenced");
+    }
+
+    #[test]
+    fn oversized_frame_headers_are_rejected_before_allocation() {
+        let (raw, peer) = Duplex::pair();
+        let conn = Connection::new(Arc::new(peer));
+        let mut header = Vec::new();
+        codec::put_u32(&mut header, (MAX_FRAME_BYTES as u32) + 1);
+        codec::put_u32(&mut header, 0);
+        raw.write_all(&header).unwrap();
+        assert!(matches!(conn.recv(), Err(WireError::Protocol(_))));
+    }
+
+    #[test]
+    fn corrupt_payloads_fail_the_crc_check() {
+        let (raw, peer) = Duplex::pair();
+        let conn = Connection::new(Arc::new(peer));
+        let mut enc = EncodeDict::new();
+        let payload = Message::WalAck { epoch: 3 }.encode(&mut enc);
+        let mut framed = codec::frame(&payload);
+        let last = framed.len() - 1;
+        framed[last] ^= 0x40;
+        raw.write_all(&framed).unwrap();
+        assert!(matches!(
+            conn.recv(),
+            Err(WireError::Codec(CodecError::Corrupt { .. }))
+        ));
+    }
+
+    #[test]
+    fn torn_wire_surfaces_as_closed_mid_frame() {
+        let (primary_t, replica_t) = Duplex::pair();
+        let replica = Connection::new(Arc::new(replica_t));
+        let mut enc = EncodeDict::new();
+        let payload = Message::WalRecord {
+            epoch: 1,
+            delta: vec![7; 64],
+        }
+        .encode(&mut enc);
+        let framed = codec::frame(&payload);
+        primary_t.kill_outbound_after(framed.len() / 2);
+        let _ = primary_t.write_all(&framed);
+        assert!(matches!(replica.recv(), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn concurrent_senders_never_interleave_frames() {
+        let (primary, replica) = pair();
+        let primary = Arc::new(primary);
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let p = Arc::clone(&primary);
+                thread::spawn(move || {
+                    for i in 0..50 {
+                        p.send(&Message::Rows {
+                            id: t * 1000 + i,
+                            tuples: vec![tuple![i as i64, "shared-symbol"]],
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut seen = 0;
+        for _ in 0..200 {
+            match replica.recv().unwrap() {
+                Message::Rows { tuples, .. } => {
+                    assert_eq!(
+                        tuples[0].get(1),
+                        Some(&si_data::Value::str("shared-symbol"))
+                    );
+                    seen += 1;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(seen, 200);
+    }
+}

@@ -1,0 +1,273 @@
+//! Per-direction incremental symbol dictionaries.
+//!
+//! Symbol values dominate the bytes of probe keys and result rows, and the
+//! same handful of strings ("NYC", a person name, a restaurant id) recurs
+//! across thousands of messages.  The wire therefore interns them: the
+//! first time a direction carries a symbol it travels as its resolved
+//! string under the `SYM_NEW` tag — which appends it to *both* ends'
+//! dictionaries — and every later occurrence is a dense `u32` id under
+//! `SYM_REF`.
+//!
+//! Each direction of a connection has its own dictionary pair (the
+//! sender's [`EncodeDict`], the receiver's [`DecodeDict`]); because frames
+//! on one direction are strictly ordered, the two stay identical by
+//! construction.  The [`crate::Message::Hello`] handshake seeds both
+//! directions with a shared starting vocabulary, so a bootstrap snapshot's
+//! symbols are registered before the first data message flows.
+//!
+//! The decode side stores *interned* [`Value`]s, not strings: a `SYM_REF`
+//! resolves with one bounds-checked array lookup and zero re-interning —
+//! the global interner is touched exactly once per distinct symbol per
+//! connection direction.
+
+use crate::{WireError, WireResult};
+use si_data::codec::{self, CodecError, Reader};
+use si_data::{Tuple, Value};
+use std::collections::HashMap;
+
+/// Wire tag bytes for dictionary-encoded values.  `NULL`/`BOOL`/`INT`
+/// deliberately match [`si_data::codec`]'s tags; symbols split into the two
+/// dictionary forms.
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+/// Symbol appearing on this direction for the first time: resolved string
+/// follows; both ends register it (id = dictionary length before the push).
+const TAG_SYM_NEW: u8 = 3;
+/// Symbol already registered on this direction: dense `u32` id follows.
+const TAG_SYM_REF: u8 = 4;
+
+/// The sender half of one direction's dictionary: resolved string → wire id.
+#[derive(Debug, Default)]
+pub struct EncodeDict {
+    ids: HashMap<String, u32>,
+    /// Symbols registered (strings sent in full) over this direction.
+    registered: u64,
+    /// Dense references emitted over this direction.
+    refs: u64,
+}
+
+impl EncodeDict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `symbols` in order (the `Hello` seed).  Symbols already
+    /// present keep their first id; duplicates in the seed are an error on
+    /// the construction side, tolerated here by skipping.
+    pub fn seed(&mut self, symbols: &[String]) {
+        for s in symbols {
+            if !self.ids.contains_key(s) {
+                let id = self.ids.len() as u32;
+                self.ids.insert(s.clone(), id);
+            }
+        }
+    }
+
+    /// Symbols this side has sent as full strings (each exactly once).
+    pub fn registered(&self) -> u64 {
+        self.registered
+    }
+
+    /// Dense `SYM_REF` references this side has emitted.
+    pub fn refs(&self) -> u64 {
+        self.refs
+    }
+
+    /// Distinct symbols known to this direction.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no symbol has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Appends the dictionary encoding of one value.
+    pub fn encode_value(&mut self, out: &mut Vec<u8>, value: Value) {
+        match value {
+            Value::Null => out.push(TAG_NULL),
+            Value::Bool(b) => {
+                out.push(TAG_BOOL);
+                out.push(u8::from(b));
+            }
+            Value::Int(i) => {
+                out.push(TAG_INT);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Sym(s) => match self.ids.get(s.as_str()) {
+                Some(&id) => {
+                    self.refs += 1;
+                    out.push(TAG_SYM_REF);
+                    codec::put_u32(out, id);
+                }
+                None => {
+                    let id = self.ids.len() as u32;
+                    self.ids.insert(s.as_str().to_owned(), id);
+                    self.registered += 1;
+                    out.push(TAG_SYM_NEW);
+                    codec::put_str(out, s.as_str());
+                }
+            },
+        }
+    }
+
+    /// Appends an arity-prefixed tuple, dictionary-encoding each value.
+    pub fn encode_tuple(&mut self, out: &mut Vec<u8>, tuple: &Tuple) {
+        codec::put_u32(out, tuple.arity() as u32);
+        for v in tuple.iter() {
+            self.encode_value(out, *v);
+        }
+    }
+}
+
+/// The receiver half of one direction's dictionary: wire id → interned value.
+#[derive(Debug, Default)]
+pub struct DecodeDict {
+    symbols: Vec<Value>,
+}
+
+impl DecodeDict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `symbols` in order (the `Hello` seed), interning each once.
+    pub fn seed(&mut self, symbols: &[String]) {
+        for s in symbols {
+            let v = Value::str(s);
+            if !self.symbols.contains(&v) {
+                self.symbols.push(v);
+            }
+        }
+    }
+
+    /// Distinct symbols known to this direction.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// True when no symbol has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Decodes one dictionary-encoded value, registering `SYM_NEW` entries.
+    pub fn decode_value(&mut self, r: &mut Reader<'_>) -> WireResult<Value> {
+        match r.u8().map_err(WireError::Codec)? {
+            TAG_NULL => Ok(Value::Null),
+            TAG_BOOL => match r.u8().map_err(WireError::Codec)? {
+                0 => Ok(Value::Bool(false)),
+                1 => Ok(Value::Bool(true)),
+                b => Err(WireError::Codec(CodecError::Invalid(format!(
+                    "bad bool byte {b}"
+                )))),
+            },
+            TAG_INT => Ok(Value::Int(r.i64().map_err(WireError::Codec)?)),
+            TAG_SYM_NEW => {
+                let v = Value::str(r.str().map_err(WireError::Codec)?);
+                self.symbols.push(v);
+                Ok(v)
+            }
+            TAG_SYM_REF => {
+                let id = r.u32().map_err(WireError::Codec)? as usize;
+                self.symbols.get(id).copied().ok_or_else(|| {
+                    WireError::Protocol(format!(
+                        "symbol reference {id} out of range (dictionary holds {})",
+                        self.symbols.len()
+                    ))
+                })
+            }
+            t => Err(WireError::Codec(CodecError::Invalid(format!(
+                "bad wire value tag {t}"
+            )))),
+        }
+    }
+
+    /// Decodes an arity-prefixed dictionary-encoded tuple.
+    pub fn decode_tuple(&mut self, r: &mut Reader<'_>) -> WireResult<Tuple> {
+        let arity = r.count().map_err(WireError::Codec)?;
+        let mut values = Vec::with_capacity(arity.min(r.remaining()));
+        for _ in 0..arity {
+            values.push(self.decode_value(r)?);
+        }
+        Ok(Tuple::new(values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_data::tuple;
+
+    #[test]
+    fn symbols_travel_as_strings_exactly_once_then_as_ids() {
+        let mut enc = EncodeDict::new();
+        let mut dec = DecodeDict::new();
+        let t = tuple![1, "downtown-diner", "NYC"];
+
+        let mut first = Vec::new();
+        enc.encode_tuple(&mut first, &t);
+        let mut second = Vec::new();
+        enc.encode_tuple(&mut second, &t);
+
+        // First encoding registers both symbols; the second references them.
+        assert_eq!(enc.registered(), 2);
+        assert_eq!(enc.refs(), 2);
+        assert!(second.len() < first.len());
+        // The resolved string appears in the first encoding only.
+        let needle = b"downtown-diner";
+        assert!(first.windows(needle.len()).any(|w| w == needle));
+        assert!(!second.windows(needle.len()).any(|w| w == needle));
+
+        let mut r = Reader::new(&first);
+        assert_eq!(dec.decode_tuple(&mut r).unwrap(), t);
+        let mut r = Reader::new(&second);
+        assert_eq!(dec.decode_tuple(&mut r).unwrap(), t);
+        assert_eq!(dec.len(), 2);
+    }
+
+    #[test]
+    fn seeded_dictionaries_reference_immediately() {
+        let mut enc = EncodeDict::new();
+        let mut dec = DecodeDict::new();
+        let seed = vec!["NYC".to_owned(), "LA".to_owned()];
+        enc.seed(&seed);
+        dec.seed(&seed);
+
+        let mut out = Vec::new();
+        enc.encode_value(&mut out, Value::str("LA"));
+        assert_eq!(enc.registered(), 0, "seeded symbol never re-sent");
+        assert_eq!(enc.refs(), 1);
+        let mut r = Reader::new(&out);
+        assert_eq!(dec.decode_value(&mut r).unwrap(), Value::str("LA"));
+    }
+
+    #[test]
+    fn out_of_range_references_are_protocol_errors() {
+        let mut out = vec![TAG_SYM_REF];
+        codec::put_u32(&mut out, 7);
+        let mut dec = DecodeDict::new();
+        let mut r = Reader::new(&out);
+        assert!(matches!(
+            dec.decode_value(&mut r),
+            Err(WireError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn non_symbol_values_round_trip() {
+        let mut enc = EncodeDict::new();
+        let mut dec = DecodeDict::new();
+        for v in [Value::Null, Value::Bool(true), Value::Int(-7)] {
+            let mut out = Vec::new();
+            enc.encode_value(&mut out, v);
+            let mut r = Reader::new(&out);
+            assert_eq!(dec.decode_value(&mut r).unwrap(), v);
+        }
+        assert_eq!(enc.registered(), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! The replication wire protocol: length-prefixed, CRC-framed messages over
+//! a byte transport, carrying an interned-symbol dictionary.
+//!
+//! `si-wire` is the boundary between a primary engine and its shard
+//! replicas.  It builds directly on [`si_data::codec`]'s frame format
+//! (`len ‖ crc32 ‖ payload`, little-endian) and adds three layers:
+//!
+//! * **[`transport`]** — a blocking byte-stream [`Transport`] with two
+//!   implementations: [`Duplex`], an in-process pipe pair whose
+//!   [`Duplex::kill_outbound_after`] tears the wire at an exact byte (the
+//!   fault-injection hook the replication kill harness drives), and
+//!   [`TcpTransport`], a loopback-socket transport for process separation.
+//! * **[`dict`]** — per-direction incremental symbol dictionaries: a symbol
+//!   travels as its resolved string exactly once per direction (tag
+//!   `SYM_NEW`, which registers it on both ends) and as a dense `u32` wire
+//!   id ever after (tag `SYM_REF`).  The [`Message::Hello`] handshake seeds
+//!   both directions with a shared starting vocabulary.
+//! * **[`message`]** — the typed message catalog ([`Message`]): handshake,
+//!   snapshot bootstrap, WAL-record shipping (reusing
+//!   [`si_data::codec::delta_bytes`] verbatim, so the replication stream is
+//!   byte-identical to the durability log's record payloads), and the
+//!   scatter-gather probe/scan/contains requests mirroring
+//!   `AccessSource::fetch_via` semantics.
+//!
+//! A [`Connection`] binds the three together: it owns the transport plus
+//! one encode dictionary (outbound) and one decode dictionary (inbound),
+//! and sends/receives whole [`Message`]s.  Messages on one direction are
+//! strictly ordered, which is what keeps the two ends' dictionaries
+//! identical without any negotiation beyond the `Hello` seed.
+//!
+//! Nothing in this crate knows about engines, epoch waits or routing — the
+//! serving semantics live in `si_engine::replica` and
+//! `si_access::ReplicatedAccess`.  This crate is pure protocol: bytes in,
+//! typed messages out, with torn and corrupt inputs surfacing as typed
+//! [`WireError`]s, never panics or unbounded allocations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conn;
+pub mod dict;
+pub mod message;
+pub mod transport;
+
+pub use conn::Connection;
+pub use dict::{DecodeDict, EncodeDict};
+pub use message::{Message, PROTOCOL_VERSION};
+pub use transport::{Duplex, TcpTransport, Transport};
+
+use si_data::codec::CodecError;
+use std::fmt;
+
+/// Hard cap on one frame's declared payload length.  A peer announcing a
+/// larger frame is misbehaving or corrupt; the reader rejects the header
+/// before allocating anything for the payload.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// Errors surfaced by wire operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The peer closed the connection (or the wire tore mid-frame).
+    Closed,
+    /// A frame or message failed to decode (torn, corrupt, or invalid).
+    Codec(CodecError),
+    /// Structurally valid bytes that violate the protocol (bad version,
+    /// unknown message tag, frame over [`MAX_FRAME_BYTES`], out-of-range
+    /// dictionary reference, ...).
+    Protocol(String),
+    /// The replica does not retain the requested epoch: it is either ahead
+    /// of replication (`requested > newest`) or past the retention window
+    /// (`requested < oldest`).
+    EpochUnavailable {
+        /// The epoch the request was pinned to.
+        requested: u64,
+        /// Oldest epoch the replica still retains.
+        oldest: u64,
+        /// Newest epoch the replica has applied.
+        newest: u64,
+    },
+    /// An I/O failure on a socket-backed transport.
+    Io(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed by peer"),
+            WireError::Codec(e) => write!(f, "wire decode failed: {e}"),
+            WireError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            WireError::EpochUnavailable {
+                requested,
+                oldest,
+                newest,
+            } => write!(
+                f,
+                "epoch {requested} unavailable on replica (retains [{oldest}, {newest}])"
+            ),
+            WireError::Io(msg) => write!(f, "transport i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
+        WireError::Codec(e)
+    }
+}
+
+/// Result alias for wire operations.
+pub type WireResult<T> = std::result::Result<T, WireError>;

@@ -1,0 +1,588 @@
+//! The typed message catalog of the replication protocol.
+//!
+//! Every message is one frame (`len ‖ crc32 ‖ payload`); the payload is a
+//! tag byte followed by the tag-specific body.  Request messages carry a
+//! caller-chosen `id` echoed by their reply, so a client can demultiplex
+//! concurrent requests over one connection.  Values inside probe keys,
+//! result rows, membership tuples and snapshot pages are
+//! dictionary-encoded (see [`crate::dict`]); WAL records deliberately are
+//! **not** — they reuse [`si_data::codec::delta_bytes`] verbatim, so the
+//! bytes shipped to a replica are exactly the bytes the durability log
+//! frames, and a replica's `apply` path shares the WAL's decoder.
+//!
+//! ## Catalog
+//!
+//! | message | direction | reply |
+//! |---|---|---|
+//! | [`Message::Hello`] | primary → replica | [`Message::HelloAck`] |
+//! | [`Message::Snapshot`] | primary → replica | [`Message::SnapshotAck`] |
+//! | [`Message::WalRecord`] | primary → replica | [`Message::WalAck`] |
+//! | [`Message::Probe`] | primary → replica | [`Message::Rows`] / [`Message::Refused`] / [`Message::Error`] |
+//! | [`Message::Scan`] | primary → replica | [`Message::Rows`] / [`Message::Refused`] / [`Message::Error`] |
+//! | [`Message::Contains`] | primary → replica | [`Message::Found`] / [`Message::Refused`] / [`Message::Error`] |
+
+use crate::dict::{DecodeDict, EncodeDict};
+use crate::{WireError, WireResult};
+use si_data::codec::{self, Reader, RelationPage};
+use si_data::{Tuple, Value};
+
+/// Protocol version carried by [`Message::Hello`] / [`Message::HelloAck`];
+/// a mismatch aborts the handshake.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+const TAG_HELLO: u8 = 1;
+const TAG_HELLO_ACK: u8 = 2;
+const TAG_SNAPSHOT: u8 = 3;
+const TAG_SNAPSHOT_ACK: u8 = 4;
+const TAG_WAL_RECORD: u8 = 5;
+const TAG_WAL_ACK: u8 = 6;
+const TAG_PROBE: u8 = 7;
+const TAG_SCAN: u8 = 8;
+const TAG_CONTAINS: u8 = 9;
+const TAG_ROWS: u8 = 10;
+const TAG_FOUND: u8 = 11;
+const TAG_REFUSED: u8 = 12;
+const TAG_ERROR: u8 = 13;
+
+/// One protocol message.  See the module docs for the catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Handshake opener (primary → replica): protocol version, the shard
+    /// index this connection serves, the primary's current epoch, and the
+    /// symbol-dictionary seed applied to **both** directions before any
+    /// other message flows.
+    Hello {
+        /// Protocol version ([`PROTOCOL_VERSION`]).
+        version: u32,
+        /// Shard index this connection replicates.
+        shard: u32,
+        /// The primary's current epoch at connect time.
+        epoch: u64,
+        /// Shared starting vocabulary for both directions' dictionaries.
+        seed: Vec<String>,
+    },
+    /// Handshake reply: the replica's protocol version and the newest epoch
+    /// it has applied (`0` with no state; the primary uses this to choose
+    /// between WAL replay and a full snapshot for resync).
+    HelloAck {
+        /// Protocol version ([`PROTOCOL_VERSION`]).
+        version: u32,
+        /// Newest epoch the replica has applied, or 0 if it holds no state.
+        epoch: u64,
+    },
+    /// Full-state bootstrap/resync: the shard's relation pages at `epoch`.
+    /// Page tuples are dictionary-encoded.
+    Snapshot {
+        /// The epoch the pages capture.
+        epoch: u64,
+        /// The shard's relations, one page each.
+        pages: Vec<RelationPage>,
+    },
+    /// Snapshot installed; the replica now serves `epoch`.
+    SnapshotAck {
+        /// The installed epoch.
+        epoch: u64,
+    },
+    /// One replicated commit: the target epoch and the commit's delta as
+    /// [`si_data::codec::delta_bytes`] — the exact payload the primary's
+    /// WAL framed.
+    WalRecord {
+        /// The epoch this record's application produces.
+        epoch: u64,
+        /// `delta_bytes` of the committed delta (symbols as strings).
+        delta: Vec<u8>,
+    },
+    /// Applied (or already-held) WAL record: the replica's newest epoch.
+    WalAck {
+        /// Newest epoch the replica has applied.
+        epoch: u64,
+    },
+    /// Epoch-pinned index probe: run the pushed-down part of a probe split
+    /// (`select_eq` on `attrs = key`, or a full iteration when `attrs` is
+    /// empty) against `relation` at `epoch`, returning the raw matches in
+    /// shard-local order.  Residual filtering, projection and metering stay
+    /// on the primary — that is what keeps transport-backed accounting
+    /// byte-identical to in-process sharded execution.
+    Probe {
+        /// Request id echoed by the reply.
+        id: u64,
+        /// The pinned epoch to serve from.
+        epoch: u64,
+        /// Relation to probe.
+        relation: String,
+        /// Pushed-down index attributes (empty = full iteration).
+        attrs: Vec<String>,
+        /// Literal key values, parallel to `attrs` (dictionary-encoded).
+        key: Vec<Value>,
+    },
+    /// Epoch-pinned full iteration of `relation` (the fan-out leg of a
+    /// gated full scan).
+    Scan {
+        /// Request id echoed by the reply.
+        id: u64,
+        /// The pinned epoch to serve from.
+        epoch: u64,
+        /// Relation to iterate.
+        relation: String,
+    },
+    /// Epoch-pinned membership probe (dictionary-encoded tuple).
+    Contains {
+        /// Request id echoed by the reply.
+        id: u64,
+        /// The pinned epoch to serve from.
+        epoch: u64,
+        /// Relation to probe.
+        relation: String,
+        /// The tuple whose membership is asked.
+        tuple: Tuple,
+    },
+    /// Reply to [`Message::Probe`] / [`Message::Scan`]: the matching tuples
+    /// in shard-local order (dictionary-encoded).
+    Rows {
+        /// Echo of the request id.
+        id: u64,
+        /// Matching tuples, shard-local order.
+        tuples: Vec<Tuple>,
+    },
+    /// Reply to [`Message::Contains`].
+    Found {
+        /// Echo of the request id.
+        id: u64,
+        /// Whether the tuple is present.
+        found: bool,
+    },
+    /// The replica refused an epoch-pinned read: the pinned epoch is ahead
+    /// of replication or past the retention window.
+    Refused {
+        /// Echo of the request id.
+        id: u64,
+        /// The epoch the request was pinned to.
+        requested: u64,
+        /// Oldest retained epoch.
+        oldest: u64,
+        /// Newest applied epoch.
+        newest: u64,
+    },
+    /// The replica failed to serve a request for any other reason.
+    Error {
+        /// Echo of the request id (0 when the failure was not tied to one).
+        id: u64,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+fn put_string_list(out: &mut Vec<u8>, items: &[String]) {
+    codec::put_u32(out, items.len() as u32);
+    for s in items {
+        codec::put_str(out, s);
+    }
+}
+
+fn read_string_list(r: &mut Reader<'_>) -> WireResult<Vec<String>> {
+    let n = r.count_of(4).map_err(WireError::Codec)?;
+    let mut items = Vec::with_capacity(n.min(r.remaining() / 4));
+    for _ in 0..n {
+        items.push(r.str().map_err(WireError::Codec)?.to_owned());
+    }
+    Ok(items)
+}
+
+fn encode_page(out: &mut Vec<u8>, page: &RelationPage, dict: &mut EncodeDict) {
+    codec::put_str(out, &page.name);
+    put_string_list(out, &page.attributes);
+    codec::put_u32(out, page.declared.len() as u32);
+    for attrs in &page.declared {
+        put_string_list(out, attrs);
+    }
+    codec::put_u32(out, page.tuples.len() as u32);
+    for t in &page.tuples {
+        for v in t.iter() {
+            dict.encode_value(out, *v);
+        }
+    }
+}
+
+fn decode_page(r: &mut Reader<'_>, dict: &mut DecodeDict) -> WireResult<RelationPage> {
+    let name = r.str().map_err(WireError::Codec)?.to_owned();
+    let attributes = read_string_list(r)?;
+    let declared_count = r.count_of(4).map_err(WireError::Codec)?;
+    let mut declared = Vec::with_capacity(declared_count.min(r.remaining() / 4));
+    for _ in 0..declared_count {
+        declared.push(read_string_list(r)?);
+    }
+    let arity = attributes.len();
+    let rows = r.count_of(arity.max(1)).map_err(WireError::Codec)?;
+    let mut tuples = Vec::with_capacity(rows.min(r.remaining() / arity.max(1)));
+    for _ in 0..rows {
+        let mut values = Vec::with_capacity(arity.min(r.remaining()));
+        for _ in 0..arity {
+            values.push(dict.decode_value(r)?);
+        }
+        tuples.push(Tuple::new(values));
+    }
+    Ok(RelationPage {
+        name,
+        attributes,
+        declared,
+        tuples,
+    })
+}
+
+impl Message {
+    /// Encodes the message payload (unframed), dictionary-encoding values
+    /// through `dict`.
+    pub fn encode(&self, dict: &mut EncodeDict) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Message::Hello {
+                version,
+                shard,
+                epoch,
+                seed,
+            } => {
+                out.push(TAG_HELLO);
+                codec::put_u32(&mut out, *version);
+                codec::put_u32(&mut out, *shard);
+                codec::put_u64(&mut out, *epoch);
+                put_string_list(&mut out, seed);
+            }
+            Message::HelloAck { version, epoch } => {
+                out.push(TAG_HELLO_ACK);
+                codec::put_u32(&mut out, *version);
+                codec::put_u64(&mut out, *epoch);
+            }
+            Message::Snapshot { epoch, pages } => {
+                out.push(TAG_SNAPSHOT);
+                codec::put_u64(&mut out, *epoch);
+                codec::put_u32(&mut out, pages.len() as u32);
+                for page in pages {
+                    encode_page(&mut out, page, dict);
+                }
+            }
+            Message::SnapshotAck { epoch } => {
+                out.push(TAG_SNAPSHOT_ACK);
+                codec::put_u64(&mut out, *epoch);
+            }
+            Message::WalRecord { epoch, delta } => {
+                out.push(TAG_WAL_RECORD);
+                codec::put_u64(&mut out, *epoch);
+                codec::put_u32(&mut out, delta.len() as u32);
+                out.extend_from_slice(delta);
+            }
+            Message::WalAck { epoch } => {
+                out.push(TAG_WAL_ACK);
+                codec::put_u64(&mut out, *epoch);
+            }
+            Message::Probe {
+                id,
+                epoch,
+                relation,
+                attrs,
+                key,
+            } => {
+                out.push(TAG_PROBE);
+                codec::put_u64(&mut out, *id);
+                codec::put_u64(&mut out, *epoch);
+                codec::put_str(&mut out, relation);
+                put_string_list(&mut out, attrs);
+                codec::put_u32(&mut out, key.len() as u32);
+                for v in key {
+                    dict.encode_value(&mut out, *v);
+                }
+            }
+            Message::Scan {
+                id,
+                epoch,
+                relation,
+            } => {
+                out.push(TAG_SCAN);
+                codec::put_u64(&mut out, *id);
+                codec::put_u64(&mut out, *epoch);
+                codec::put_str(&mut out, relation);
+            }
+            Message::Contains {
+                id,
+                epoch,
+                relation,
+                tuple,
+            } => {
+                out.push(TAG_CONTAINS);
+                codec::put_u64(&mut out, *id);
+                codec::put_u64(&mut out, *epoch);
+                codec::put_str(&mut out, relation);
+                dict.encode_tuple(&mut out, tuple);
+            }
+            Message::Rows { id, tuples } => {
+                out.push(TAG_ROWS);
+                codec::put_u64(&mut out, *id);
+                codec::put_u32(&mut out, tuples.len() as u32);
+                for t in tuples {
+                    dict.encode_tuple(&mut out, t);
+                }
+            }
+            Message::Found { id, found } => {
+                out.push(TAG_FOUND);
+                codec::put_u64(&mut out, *id);
+                out.push(u8::from(*found));
+            }
+            Message::Refused {
+                id,
+                requested,
+                oldest,
+                newest,
+            } => {
+                out.push(TAG_REFUSED);
+                codec::put_u64(&mut out, *id);
+                codec::put_u64(&mut out, *requested);
+                codec::put_u64(&mut out, *oldest);
+                codec::put_u64(&mut out, *newest);
+            }
+            Message::Error { id, message } => {
+                out.push(TAG_ERROR);
+                codec::put_u64(&mut out, *id);
+                codec::put_str(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Decodes one message payload (a complete frame's contents),
+    /// resolving dictionary references through `dict` and requiring full
+    /// consumption.
+    pub fn decode(bytes: &[u8], dict: &mut DecodeDict) -> WireResult<Message> {
+        let mut r = Reader::new(bytes);
+        let msg = match r.u8().map_err(WireError::Codec)? {
+            TAG_HELLO => Message::Hello {
+                version: r.u32().map_err(WireError::Codec)?,
+                shard: r.u32().map_err(WireError::Codec)?,
+                epoch: r.u64().map_err(WireError::Codec)?,
+                seed: read_string_list(&mut r)?,
+            },
+            TAG_HELLO_ACK => Message::HelloAck {
+                version: r.u32().map_err(WireError::Codec)?,
+                epoch: r.u64().map_err(WireError::Codec)?,
+            },
+            TAG_SNAPSHOT => {
+                let epoch = r.u64().map_err(WireError::Codec)?;
+                let n = r.count_of(4).map_err(WireError::Codec)?;
+                let mut pages = Vec::with_capacity(n.min(r.remaining() / 4));
+                for _ in 0..n {
+                    pages.push(decode_page(&mut r, dict)?);
+                }
+                Message::Snapshot { epoch, pages }
+            }
+            TAG_SNAPSHOT_ACK => Message::SnapshotAck {
+                epoch: r.u64().map_err(WireError::Codec)?,
+            },
+            TAG_WAL_RECORD => {
+                let epoch = r.u64().map_err(WireError::Codec)?;
+                let len = r.count().map_err(WireError::Codec)?;
+                let mut delta = Vec::with_capacity(len);
+                for _ in 0..len {
+                    delta.push(r.u8().map_err(WireError::Codec)?);
+                }
+                Message::WalRecord { epoch, delta }
+            }
+            TAG_WAL_ACK => Message::WalAck {
+                epoch: r.u64().map_err(WireError::Codec)?,
+            },
+            TAG_PROBE => {
+                let id = r.u64().map_err(WireError::Codec)?;
+                let epoch = r.u64().map_err(WireError::Codec)?;
+                let relation = r.str().map_err(WireError::Codec)?.to_owned();
+                let attrs = read_string_list(&mut r)?;
+                let klen = r.count().map_err(WireError::Codec)?;
+                let mut key = Vec::with_capacity(klen.min(r.remaining()));
+                for _ in 0..klen {
+                    key.push(dict.decode_value(&mut r)?);
+                }
+                Message::Probe {
+                    id,
+                    epoch,
+                    relation,
+                    attrs,
+                    key,
+                }
+            }
+            TAG_SCAN => Message::Scan {
+                id: r.u64().map_err(WireError::Codec)?,
+                epoch: r.u64().map_err(WireError::Codec)?,
+                relation: r.str().map_err(WireError::Codec)?.to_owned(),
+            },
+            TAG_CONTAINS => Message::Contains {
+                id: r.u64().map_err(WireError::Codec)?,
+                epoch: r.u64().map_err(WireError::Codec)?,
+                relation: r.str().map_err(WireError::Codec)?.to_owned(),
+                tuple: dict.decode_tuple(&mut r)?,
+            },
+            TAG_ROWS => {
+                let id = r.u64().map_err(WireError::Codec)?;
+                let n = r.count_of(4).map_err(WireError::Codec)?;
+                let mut tuples = Vec::with_capacity(n.min(r.remaining() / 4));
+                for _ in 0..n {
+                    tuples.push(dict.decode_tuple(&mut r)?);
+                }
+                Message::Rows { id, tuples }
+            }
+            TAG_FOUND => Message::Found {
+                id: r.u64().map_err(WireError::Codec)?,
+                found: match r.u8().map_err(WireError::Codec)? {
+                    0 => false,
+                    1 => true,
+                    b => {
+                        return Err(WireError::Codec(codec::CodecError::Invalid(format!(
+                            "bad found byte {b}"
+                        ))))
+                    }
+                },
+            },
+            TAG_REFUSED => Message::Refused {
+                id: r.u64().map_err(WireError::Codec)?,
+                requested: r.u64().map_err(WireError::Codec)?,
+                oldest: r.u64().map_err(WireError::Codec)?,
+                newest: r.u64().map_err(WireError::Codec)?,
+            },
+            TAG_ERROR => Message::Error {
+                id: r.u64().map_err(WireError::Codec)?,
+                message: r.str().map_err(WireError::Codec)?.to_owned(),
+            },
+            t => return Err(WireError::Protocol(format!("unknown message tag {t}"))),
+        };
+        r.expect_end().map_err(WireError::Codec)?;
+        Ok(msg)
+    }
+
+    /// The request id a reply should be demultiplexed by, if this message
+    /// is a reply kind.
+    pub fn reply_id(&self) -> Option<u64> {
+        match self {
+            Message::Rows { id, .. }
+            | Message::Found { id, .. }
+            | Message::Refused { id, .. }
+            | Message::Error { id, .. } => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_data::{tuple, Database};
+
+    fn round_trip(msg: &Message) -> Message {
+        let mut enc = EncodeDict::new();
+        let mut dec = DecodeDict::new();
+        let bytes = msg.encode(&mut enc);
+        Message::decode(&bytes, &mut dec).unwrap()
+    }
+
+    #[test]
+    fn every_message_kind_round_trips() {
+        let mut db = Database::empty(si_data::schema::social_schema());
+        db.insert("person", tuple![1, "ann", "NYC"]).unwrap();
+        let page = RelationPage::from_relation(db.relation("person").unwrap());
+        let delta_bytes = {
+            let mut d = si_data::Delta::new();
+            d.insert("friend", tuple![1, 2]);
+            codec::delta_bytes(&d)
+        };
+        let messages = vec![
+            Message::Hello {
+                version: PROTOCOL_VERSION,
+                shard: 3,
+                epoch: 17,
+                seed: vec!["NYC".into(), "ann".into()],
+            },
+            Message::HelloAck {
+                version: PROTOCOL_VERSION,
+                epoch: 12,
+            },
+            Message::Snapshot {
+                epoch: 17,
+                pages: vec![page],
+            },
+            Message::SnapshotAck { epoch: 17 },
+            Message::WalRecord {
+                epoch: 18,
+                delta: delta_bytes,
+            },
+            Message::WalAck { epoch: 18 },
+            Message::Probe {
+                id: 9,
+                epoch: 17,
+                relation: "friend".into(),
+                attrs: vec!["id1".into()],
+                key: vec![Value::int(1)],
+            },
+            Message::Scan {
+                id: 10,
+                epoch: 17,
+                relation: "person".into(),
+            },
+            Message::Contains {
+                id: 11,
+                epoch: 17,
+                relation: "person".into(),
+                tuple: tuple![1, "ann", "NYC"],
+            },
+            Message::Rows {
+                id: 9,
+                tuples: vec![tuple![1, 2], tuple![1, 3]],
+            },
+            Message::Found {
+                id: 11,
+                found: true,
+            },
+            Message::Refused {
+                id: 9,
+                requested: 20,
+                oldest: 12,
+                newest: 17,
+            },
+            Message::Error {
+                id: 9,
+                message: "no such relation".into(),
+            },
+        ];
+        for msg in &messages {
+            assert_eq!(&round_trip(msg), msg, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn dictionary_state_carries_across_messages_in_order() {
+        let mut enc = EncodeDict::new();
+        let mut dec = DecodeDict::new();
+        let a = Message::Rows {
+            id: 1,
+            tuples: vec![tuple![1, "ann", "NYC"]],
+        };
+        let b = Message::Rows {
+            id: 2,
+            tuples: vec![tuple![2, "ann", "NYC"]],
+        };
+        let ba = a.encode(&mut enc);
+        let bb = b.encode(&mut enc);
+        assert!(bb.len() < ba.len(), "second message references, not spells");
+        assert_eq!(Message::decode(&ba, &mut dec).unwrap(), a);
+        assert_eq!(Message::decode(&bb, &mut dec).unwrap(), b);
+    }
+
+    #[test]
+    fn unknown_tags_and_trailing_bytes_are_rejected() {
+        let mut dec = DecodeDict::new();
+        assert!(matches!(
+            Message::decode(&[200], &mut dec),
+            Err(WireError::Protocol(_))
+        ));
+        let mut enc = EncodeDict::new();
+        let mut bytes = Message::WalAck { epoch: 1 }.encode(&mut enc);
+        bytes.push(0);
+        assert!(matches!(
+            Message::decode(&bytes, &mut dec),
+            Err(WireError::Codec(codec::CodecError::Invalid(_)))
+        ));
+    }
+}
